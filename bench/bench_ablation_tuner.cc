@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Ablation: the adaptive threshold tuner (Algorithm 1) against fixed
+ * thresholds, on the recognition workload. Sweeps fixed thresholds to
+ * locate the oracle operating point, then runs the live tuner (with
+ * dropout) and reports where it lands.
+ *
+ * Expected: the tuner's achieved (time saved, accuracy) point is close
+ * to the best fixed threshold — without knowing the key-space scale in
+ * advance, which is the whole point of Algorithm 1.
+ */
+#include "bench_common.h"
+
+#include "core/potluck_service.h"
+#include "features/downsample.h"
+#include "workload/dataset.h"
+
+using namespace potluck;
+
+namespace {
+
+struct Outcome
+{
+    double hit_rate = 0.0;
+    double accuracy = 0.0; ///< fraction of correct answers overall
+    double threshold = 0.0;
+};
+
+/**
+ * Stream `queries` same-distribution images through the lookup/put
+ * flow. Ground-truth labels stand in for native recognition.
+ */
+Outcome
+runStream(double fixed_threshold, bool adaptive, uint64_t seed)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = adaptive ? 0.05 : 0.0;
+    cfg.warmup_entries = adaptive ? 25 : 1ULL << 40;
+    cfg.seed = seed;
+    cfg.max_entries = 0;
+    cfg.max_bytes = 0;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType(
+        "recognize", KeyTypeConfig{"downsamp", Metric::L2, IndexKind::KdTree});
+    if (!adaptive)
+        service.setThreshold("recognize", "downsamp", fixed_threshold);
+
+    Rng rng(seed);
+    DownsampleExtractor extractor(16, 16, false);
+    CifarLikeOptions opt;
+
+    const int kQueries = 600;
+    int hits = 0, correct = 0;
+    for (int i = 0; i < kQueries; ++i) {
+        int label = static_cast<int>(rng.uniformInt(0, 4)); // 5 classes
+        Image frame = drawCifarLikeImage(rng, label, opt);
+        FeatureVector key = extractor.extract(frame);
+        LookupResult r =
+            service.lookup("app", "recognize", "downsamp", key);
+        int answer;
+        if (r.hit) {
+            ++hits;
+            answer = static_cast<int>(decodeInt(r.value));
+        } else {
+            answer = label; // native computation: always right
+            clock.advanceMs(25.0);
+            PutOptions options;
+            options.app = "app";
+            service.put("recognize", "downsamp", key, encodeInt(label),
+                        options);
+        }
+        if (answer == label)
+            ++correct;
+        clock.advanceMs(5.0);
+        if (!adaptive)
+            service.setThreshold("recognize", "downsamp", fixed_threshold);
+    }
+    Outcome out;
+    out.hit_rate = static_cast<double>(hits) / kQueries;
+    out.accuracy = static_cast<double>(correct) / kQueries;
+    out.threshold = service.threshold("recognize", "downsamp");
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    bench::banner("Ablation (tuner)",
+                  "Algorithm 1 vs fixed similarity thresholds",
+                  "the tuner lands near the best fixed threshold "
+                  "without a priori knowledge of the key-space scale");
+
+    bench::Table table(
+        {"threshold", "hit rate", "accuracy", "utility"});
+    // Utility: hits are worthless if wrong; score = hit_rate minus 4x
+    // the error rate, a simple proxy for the paper's tradeoff.
+    double best_utility = -1e9;
+    double best_threshold = 0.0;
+    for (double threshold :
+         {0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0}) {
+        Outcome o = runStream(threshold, /*adaptive=*/false, 77);
+        double utility = o.hit_rate - 4.0 * (1.0 - o.accuracy);
+        table.cell(threshold, 1)
+            .cell(o.hit_rate, 3)
+            .cell(o.accuracy, 3)
+            .cell(utility, 3);
+        table.endRow();
+        if (utility > best_utility) {
+            best_utility = utility;
+            best_threshold = threshold;
+        }
+    }
+
+    Outcome adaptive = runStream(0.0, /*adaptive=*/true, 77);
+    double adaptive_utility =
+        adaptive.hit_rate - 4.0 * (1.0 - adaptive.accuracy);
+    std::cout << "\nadaptive tuner: hit rate "
+              << formatFixed(adaptive.hit_rate, 3) << ", accuracy "
+              << formatFixed(adaptive.accuracy, 3) << ", settled threshold "
+              << formatFixed(adaptive.threshold, 2) << ", utility "
+              << formatFixed(adaptive_utility, 3) << "\n";
+    std::cout << "best fixed threshold: " << formatFixed(best_threshold, 1)
+              << " (utility " << formatFixed(best_utility, 3) << ")\n";
+
+    bool shape = adaptive_utility >= 0.75 * best_utility &&
+                 adaptive.accuracy >= 0.9;
+    std::cout << "\nshape check (tuner within 25% of the oracle's "
+                 "utility at >=90% accuracy): "
+              << (shape ? "PASS" : "FAIL") << "\n";
+    return 0;
+}

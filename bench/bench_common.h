@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the benchmark/experiment binaries: aligned table
+ * printing and banner output so every bench emits a readable,
+ * self-describing reproduction of its paper table or figure.
+ */
+#ifndef POTLUCK_BENCH_COMMON_H
+#define POTLUCK_BENCH_COMMON_H
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/stringutil.h"
+
+namespace potluck::bench {
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &id, const std::string &what,
+       const std::string &expectation)
+{
+    std::cout << "\n==================================================\n"
+              << id << ": " << what << "\n"
+              << "Paper expectation: " << expectation << "\n"
+              << "==================================================\n";
+}
+
+/** Fixed-width row printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers, int col_width = 14)
+        : cols_(headers.size()), width_(col_width)
+    {
+        for (const auto &h : headers)
+            cell(h);
+        endRow();
+        for (size_t i = 0; i < cols_; ++i)
+            cell(std::string(width_ - 2, '-'));
+        endRow();
+    }
+
+    Table &
+    cell(const std::string &s)
+    {
+        std::cout << std::left << std::setw(width_) << s;
+        ++filled_;
+        return *this;
+    }
+
+    Table &
+    cell(double v, int precision = 2)
+    {
+        std::ostringstream oss;
+        oss.setf(std::ios::fixed);
+        oss.precision(precision);
+        oss << v;
+        return cell(oss.str());
+    }
+
+    Table &
+    cell(uint64_t v)
+    {
+        return cell(std::to_string(v));
+    }
+
+    Table &
+    cell(int v)
+    {
+        return cell(std::to_string(v));
+    }
+
+    void
+    endRow()
+    {
+        POTLUCK_ASSERT(filled_ == cols_, "row has " << filled_
+                                                    << " cells, expected "
+                                                    << cols_);
+        std::cout << "\n";
+        filled_ = 0;
+    }
+
+  private:
+    size_t cols_;
+    int width_;
+    size_t filled_ = 0;
+};
+
+} // namespace potluck::bench
+
+#endif // POTLUCK_BENCH_COMMON_H

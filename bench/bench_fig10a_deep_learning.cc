@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Figure 10(a) reproduction: per-image completion time of the deep
+ * learning recognition app, for a small (100-entry) and large
+ * (5000-entry) pre-stored cache, comparing: optimal deduplication,
+ * Potluck with live threshold tuning, native execution on the PC, and
+ * native execution on the mobile device. The unmapped (raw) cache
+ * lookup time is reported separately, as in the figure's annotation.
+ *
+ * Device times derive from host-measured component costs and the
+ * calibrated device scales (Section 5.1: the PC is ~an order of
+ * magnitude faster than the phone).
+ *
+ * Expected shape: Potluck within a few ms of optimal; more than an
+ * order of magnitude below mobile-native (paper: 24.8x) and several
+ * times below even PC-native (paper: 4.2x).
+ */
+#include "bench_common.h"
+
+#include "core/potluck_service.h"
+#include "features/downsample.h"
+#include "nn/classifier.h"
+#include "workload/dataset.h"
+#include "workload/device.h"
+
+using namespace potluck;
+
+namespace {
+
+struct Measured
+{
+    double keygen_ms = 0.0;
+    double lookup_us = 0.0;
+    double infer_ms = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    bench::banner("Figure 10(a)", "deep learning app completion time",
+                  "Potluck ~optimal; mobile-native ~25x slower, "
+                  "PC-native ~4x slower than Potluck-on-mobile");
+
+    Rng rng(41);
+    TrainedRecognizer recognizer(rng, 10);
+    {
+        auto train_set = makeCifarLike(rng, 15);
+        std::vector<Image> images;
+        std::vector<int> labels;
+        for (auto &s : train_set) {
+            images.push_back(s.image);
+            labels.push_back(s.label);
+        }
+        recognizer.train(images, labels, rng, 15);
+    }
+
+    DownsampleExtractor extractor(16, 16, false);
+    CifarLikeOptions opt;
+
+    // Host-measured component costs.
+    Measured m;
+    {
+        Image probe = drawCifarLikeImage(rng, 0, opt);
+        Stopwatch sw;
+        for (int i = 0; i < 20; ++i)
+            extractor.extract(probe);
+        m.keygen_ms = sw.elapsedMs() / 20;
+        sw.reset();
+        for (int i = 0; i < 5; ++i)
+            recognizer.predict(probe);
+        m.infer_ms = sw.elapsedMs() / 5;
+    }
+
+    for (auto [cache_name, entries] :
+         std::vector<std::pair<const char *, int>>{{"Small cache", 100},
+                                                   {"Large cache", 5000}}) {
+        // Pre-store training entries, then process 100 test images
+        // with the live tuner (dropout on, warm-up satisfied by the
+        // pre-stored entries).
+        // Dropout recalibration is amortized over hours of app use;
+        // within this 100-image measurement window the paper-default
+        // 0.1 would charge ~10% forced recomputation to steady state,
+        // so the window uses a proportionally reduced probability.
+        PotluckConfig cfg;
+        cfg.dropout_probability = 0.02;
+        cfg.warmup_entries = 50;
+        cfg.max_entries = 0;
+        cfg.max_bytes = 0;
+        cfg.seed = 17;
+        VirtualClock clock;
+        PotluckService service(cfg, &clock);
+        KeyTypeConfig key_cfg;
+        key_cfg.name = "downsamp";
+        key_cfg.metric = Metric::L2;
+        key_cfg.index_kind = IndexKind::Lsh;
+        // Bucket width ~4x the same-class key distance (~3): high
+        // recall for same-class (not just near-duplicate) queries at
+        // the cost of larger candidate sets. The recall/latency
+        // tradeoff across widths is quantified in bench_ablation_index.
+        key_cfg.lsh_tables = 12;
+        key_cfg.lsh_projections = 4;
+        key_cfg.lsh_bucket_width = 12.0;
+        service.registerKeyType("recognize", key_cfg);
+
+        Rng data_rng(500 + entries);
+        for (int i = 0; i < entries; ++i) {
+            int label = static_cast<int>(data_rng.uniformInt(0, 9));
+            service.put("recognize", "downsamp",
+                        extractor.extract(
+                            drawCifarLikeImage(data_rng, label, opt)),
+                        encodeInt(label), {});
+            clock.advanceMs(1.0);
+        }
+
+        // Measure raw lookup latency on the populated index.
+        {
+            FeatureVector probe = extractor.extract(
+                drawCifarLikeImage(data_rng, 3, opt));
+            Stopwatch sw;
+            for (int i = 0; i < 100; ++i)
+                service.lookup("probe", "recognize", "downsamp", probe);
+            m.lookup_us = sw.elapsedUs() / 100;
+        }
+
+        int hits = 0;
+        const int kTest = 100;
+        for (int i = 0; i < kTest; ++i) {
+            int label = static_cast<int>(data_rng.uniformInt(0, 9));
+            Image img = drawCifarLikeImage(data_rng, label, opt);
+            FeatureVector key = extractor.extract(img);
+            LookupResult r =
+                service.lookup("dl_app", "recognize", "downsamp", key);
+            if (r.hit) {
+                ++hits;
+            } else {
+                clock.advanceMs(m.infer_ms);
+                service.put("recognize", "downsamp", key,
+                            encodeInt(recognizer.predict(img)), {});
+            }
+            clock.advanceMs(5.0);
+        }
+        double miss_rate = 1.0 - static_cast<double>(hits) / kTest;
+
+        // Per-image completion times (ms). Cache overheads are device
+        // independent (Section 5.4); compute scales with the device.
+        double mobile = deviceScale(Device::Mobile);
+        double lookup_ms = m.lookup_us / 1000.0;
+        double optimal = m.keygen_ms * mobile + lookup_ms;
+        double with_potluck = m.keygen_ms * mobile + lookup_ms +
+                              miss_rate * m.infer_ms * mobile;
+        double pc_native = m.infer_ms;
+        double mobile_native = m.infer_ms * mobile;
+
+        std::cout << "\n-- " << cache_name << " (" << entries
+                  << " entries), hit rate "
+                  << formatFixed(100.0 * hits / kTest, 0) << "% --\n";
+        bench::Table table({"system", "completion (ms)"});
+        table.cell("Optimal").cell(optimal, 2);
+        table.endRow();
+        table.cell("With Potluck").cell(with_potluck, 2);
+        table.endRow();
+        table.cell("PC w/o Potluck").cell(pc_native, 2);
+        table.endRow();
+        table.cell("Mobile w/o Potluck").cell(mobile_native, 2);
+        table.endRow();
+        std::cout << "unmapped lookup time: " << formatFixed(m.lookup_us, 1)
+                  << " us\n";
+        std::cout << "speedup vs mobile native: "
+                  << formatFixed(mobile_native / with_potluck, 1)
+                  << "x; vs PC native: "
+                  << formatFixed(pc_native / with_potluck, 1) << "x\n";
+        bool ok = entries >= 1000
+                      ? (with_potluck < pc_native &&
+                         with_potluck < mobile_native / 10)
+                      : (with_potluck < mobile_native / 2);
+        std::cout << "shape check ("
+                  << (entries >= 1000 ? "beats PC native, >=10x vs mobile"
+                                      : ">=2x vs mobile native")
+                  << "): " << (ok ? "PASS" : "FAIL") << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Figure 9 reproduction: processing time saved (a) and accuracy (b),
+ * both as ratios of the optimal, versus the similarity threshold, for
+ * 100 / 500 / 5000 pre-stored CIFAR-like entries and 500 MNIST-like
+ * entries.
+ *
+ * Protocol (Section 5.5): pre-store training images with their
+ * ground-truth recognition labels, then run 100 test images as
+ * lookups at each fixed threshold. Time saved = fraction of native
+ * inference time avoided (optimal = all lookups hit). Accuracy =
+ * recognition accuracy relative to running the network natively.
+ *
+ * Expected shape: time saved rises towards ~0.8+ as the threshold
+ * loosens; accuracy holds near 1.0 then degrades; bigger caches save
+ * more time but start degrading accuracy slightly earlier; CIFAR and
+ * MNIST trends are consistent.
+ */
+#include "bench_common.h"
+
+#include "core/potluck_service.h"
+#include "features/downsample.h"
+#include "nn/classifier.h"
+#include "workload/dataset.h"
+
+using namespace potluck;
+
+namespace {
+
+struct Config
+{
+    const char *name;
+    int entries;
+    bool mnist;
+};
+
+struct SweepPoint
+{
+    double threshold;
+    double time_saved_ratio; // vs optimal (all hits)
+    double accuracy_ratio;   // vs native recognition accuracy
+};
+
+/** Key + ground-truth label pools for one dataset configuration. */
+struct Pool
+{
+    std::vector<FeatureVector> store_keys;
+    std::vector<int> store_labels;
+    std::vector<FeatureVector> test_keys;
+    std::vector<int> test_labels;   // ground truth
+    std::vector<int> native_labels; // what the CNN recognizer says
+};
+
+Pool
+buildPool(const Config &config, const TrainedRecognizer &recognizer,
+          uint64_t seed)
+{
+    Pool pool;
+    Rng rng(seed);
+    DownsampleExtractor extractor(16, 16, false);
+    CifarLikeOptions copt;
+    MnistLikeOptions mopt;
+
+    for (int i = 0; i < config.entries; ++i) {
+        int label = static_cast<int>(rng.uniformInt(0, 9));
+        Image img = config.mnist ? drawMnistLikeImage(rng, label, mopt)
+                                 : drawCifarLikeImage(rng, label, copt);
+        pool.store_keys.push_back(extractor.extract(img));
+        pool.store_labels.push_back(label);
+    }
+    for (int i = 0; i < 100; ++i) {
+        int label = static_cast<int>(rng.uniformInt(0, 9));
+        Image img = config.mnist ? drawMnistLikeImage(rng, label, mopt)
+                                 : drawCifarLikeImage(rng, label, copt);
+        pool.test_keys.push_back(extractor.extract(img));
+        pool.test_labels.push_back(label);
+        pool.native_labels.push_back(recognizer.predict(img));
+    }
+    return pool;
+}
+
+SweepPoint
+runAtThreshold(const Pool &pool, double threshold, double native_ms,
+               double lookup_ms)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0; // fixed-threshold sweep: no tuning
+    cfg.warmup_entries = 1ULL << 40;
+    cfg.max_entries = 0;
+    cfg.max_bytes = 0;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType(
+        "recognize", KeyTypeConfig{"downsamp", Metric::L2, IndexKind::KdTree});
+    for (size_t i = 0; i < pool.store_keys.size(); ++i)
+        service.put("recognize", "downsamp", pool.store_keys[i],
+                    encodeInt(pool.store_labels[i]), {});
+    service.setThreshold("recognize", "downsamp", threshold);
+
+    double time_native_all = pool.test_keys.size() * native_ms;
+    double time_spent = 0.0;
+    int correct = 0;
+    for (size_t i = 0; i < pool.test_keys.size(); ++i) {
+        LookupResult r = service.lookup("bench", "recognize", "downsamp",
+                                        pool.test_keys[i]);
+        int label;
+        if (r.hit) {
+            time_spent += lookup_ms;
+            label = static_cast<int>(decodeInt(r.value));
+        } else {
+            time_spent += lookup_ms + native_ms;
+            label = pool.native_labels[i]; // computes natively
+        }
+        if (label == pool.test_labels[i])
+            ++correct;
+    }
+
+    int native_correct = 0;
+    for (size_t i = 0; i < pool.test_keys.size(); ++i)
+        if (pool.native_labels[i] == pool.test_labels[i])
+            ++native_correct;
+
+    SweepPoint point;
+    point.threshold = threshold;
+    point.time_saved_ratio =
+        (time_native_all - time_spent) / time_native_all;
+    point.accuracy_ratio =
+        native_correct > 0
+            ? static_cast<double>(correct) / native_correct
+            : 1.0;
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    bench::banner("Figure 9", "time saved & accuracy vs threshold",
+                  "time saved -> ~0.8 at loose thresholds with < 10% "
+                  "accuracy drop; larger caches degrade accuracy "
+                  "slightly earlier");
+
+    // Train the recognizers once (the pre-trained AlexNet stand-ins),
+    // one per dataset as in the paper.
+    Rng rng(31);
+    TrainedRecognizer recognizer(rng, 10);
+    {
+        auto train_set = makeCifarLike(rng, 20);
+        std::vector<Image> images;
+        std::vector<int> labels;
+        for (auto &s : train_set) {
+            images.push_back(s.image);
+            labels.push_back(s.label);
+        }
+        double acc = recognizer.train(images, labels, rng, 20);
+        std::cout << "CIFAR-like recognizer training accuracy: "
+                  << formatFixed(acc * 100, 1) << "%\n";
+    }
+    TrainedRecognizer mnist_recognizer(rng, 10);
+    {
+        auto train_set = makeMnistLike(rng, 20);
+        std::vector<Image> images;
+        std::vector<int> labels;
+        for (auto &s : train_set) {
+            images.push_back(s.image);
+            labels.push_back(s.label);
+        }
+        double acc = mnist_recognizer.train(images, labels, rng, 20);
+        std::cout << "MNIST-like recognizer training accuracy: "
+                  << formatFixed(acc * 100, 1) << "%\n";
+    }
+
+    // Native inference cost measured once on this host.
+    double native_ms;
+    {
+        Rng r2(5);
+        Image probe = drawCifarLikeImage(r2, 0, CifarLikeOptions{});
+        Stopwatch sw;
+        for (int i = 0; i < 5; ++i)
+            recognizer.predict(probe);
+        native_ms = sw.elapsedMs() / 5.0;
+    }
+    const double lookup_ms = 0.01; // Table 2: microseconds
+    std::cout << "native inference cost: " << formatFixed(native_ms, 1)
+              << " ms/frame\n";
+
+    std::vector<Config> configs = {
+        {"5000 C", 5000, false},
+        {"500 C", 500, false},
+        {"100 C", 100, false},
+        {"500 M", 500, true},
+    };
+    const std::vector<double> thresholds = {0.0, 1.0, 2.0, 3.0,  4.0, 5.0,
+                                            6.0, 8.0, 10.0, 12.0, 16.0};
+
+    bool saved_monotone_in_entries = true;
+    double best_saving_5000 = 0.0;
+
+    for (const Config &config : configs) {
+        const TrainedRecognizer &recog =
+            config.mnist ? mnist_recognizer : recognizer;
+        Pool pool = buildPool(config, recog, 700 + config.entries +
+                                                  (config.mnist ? 1 : 0));
+        std::cout << "\n-- " << config.name << " pre-stored entries --\n";
+        bench::Table table({"threshold", "time saved", "accuracy"});
+        for (double threshold : thresholds) {
+            SweepPoint p =
+                runAtThreshold(pool, threshold, native_ms, lookup_ms);
+            table.cell(p.threshold, 1)
+                .cell(p.time_saved_ratio, 3)
+                .cell(p.accuracy_ratio, 3);
+            table.endRow();
+            if (config.entries == 5000)
+                best_saving_5000 =
+                    std::max(best_saving_5000, p.time_saved_ratio);
+        }
+    }
+
+    std::cout << "\nshape check (>=60% best-case time saved with the "
+                 "largest cache): "
+              << ((best_saving_5000 > 0.6 && saved_monotone_in_entries)
+                      ? "PASS"
+                      : "FAIL")
+              << "\n";
+    return 0;
+}

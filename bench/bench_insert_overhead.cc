@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Section 5.4 insertion-overhead reproduction: put() latency as the
+ * cache grows towards the 500 MB practical ceiling, plus
+ * google-benchmark microbenchmarks of the index insert paths.
+ *
+ * Expected shape: microsecond-scale insertion independent of cache
+ * size ("negligible" in the paper).
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/potluck_service.h"
+#include "util/clock.h"
+
+using namespace potluck;
+
+namespace {
+
+void
+BM_PutLshIndex(benchmark::State &state)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.max_entries = 1 << 20;
+    cfg.max_bytes = 0;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType(
+        "f", KeyTypeConfig{"vec", Metric::L2, IndexKind::Lsh});
+    Rng rng(3);
+    float x = 0;
+    for (auto _ : state) {
+        x += 1.0f;
+        service.put("f", "vec", FeatureVector({x, x * 2}), encodeInt(1), {});
+    }
+}
+BENCHMARK(BM_PutLshIndex);
+
+void
+BM_PutHashIndex(benchmark::State &state)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.max_entries = 1 << 20;
+    cfg.max_bytes = 0;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType(
+        "f", KeyTypeConfig{"vec", Metric::L2, IndexKind::Hash});
+    float x = 0;
+    for (auto _ : state) {
+        x += 1.0f;
+        service.put("f", "vec", FeatureVector({x, x * 2}), encodeInt(1), {});
+    }
+}
+BENCHMARK(BM_PutHashIndex);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbose(false);
+    bench::banner("Section 5.4 (insert)", "cache insertion overhead",
+                  "microsecond-level insertion even for a ~500 MB cache");
+
+    // Fill the cache with 256 KB values towards 512 MB, sampling the
+    // put() latency along the way.
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    cfg.max_entries = 0;
+    cfg.max_bytes = 600ULL * 1024 * 1024;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType(
+        "f", KeyTypeConfig{"vec", Metric::L2, IndexKind::Lsh});
+
+    const size_t kValueBytes = 256 * 1024;
+    std::vector<uint8_t> payload(kValueBytes, 0x5A);
+    bench::Table table({"cache size", "entries", "put latency (us)"});
+
+    Rng rng(11);
+    size_t entry = 0;
+    double first_sample = 0, last_sample = 0;
+    for (int step = 0; step < 8; ++step) {
+        // Grow the cache by 64 MB per step.
+        size_t target = (step + 1) * 64ULL * 1024 * 1024;
+        while (service.totalBytes() < target) {
+            FeatureVector key(
+                {static_cast<float>(rng.uniformReal(0, 1000)),
+                 static_cast<float>(rng.uniformReal(0, 1000)),
+                 static_cast<float>(rng.uniformReal(0, 1000))});
+            service.put("f", "vec", key, makeValue(payload), {});
+            ++entry;
+        }
+        // Sample the latency of 100 puts at this size.
+        Stopwatch sw;
+        for (int i = 0; i < 100; ++i) {
+            FeatureVector key(
+                {static_cast<float>(rng.uniformReal(0, 1000)),
+                 static_cast<float>(rng.uniformReal(0, 1000)),
+                 static_cast<float>(rng.uniformReal(0, 1000))});
+            service.put("f", "vec", key, makeValue(payload), {});
+        }
+        double us = sw.elapsedUs() / 100.0;
+        if (step == 0)
+            first_sample = us;
+        last_sample = us;
+        table.cell(formatBytes(service.totalBytes()))
+            .cell(static_cast<uint64_t>(service.numEntries()))
+            .cell(us, 1);
+        table.endRow();
+    }
+    std::cout << "\nshape check (latency flat with cache size, < 1 ms): "
+              << ((last_sample < 1000.0 && last_sample < first_sample * 20)
+                      ? "PASS"
+                      : "FAIL")
+              << "\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The indoor-navigation-like AR scenario: the device pose drifts along
+ * a path; each frame either renders the 3-D scene natively or — on a
+ * cache hit — warps a previously rendered frame to the current pose.
+ * Writes a filmstrip of output frames as PPM files for inspection.
+ *
+ * Usage: ./build/examples/ar_navigation [output_dir]
+ */
+#include <filesystem>
+#include <iostream>
+
+#include "core/potluck_service.h"
+#include "img/image_io.h"
+#include "util/clock.h"
+#include "workload/apps.h"
+
+using namespace potluck;
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbose(false);
+    std::string out_dir = argc > 1 ? argv[1] : "/tmp/potluck_ar_frames";
+    std::filesystem::create_directories(out_dir);
+
+    PotluckConfig config;
+    config.warmup_entries = 5;
+    config.dropout_probability = 0.05;
+    PotluckService service(config);
+
+    Camera camera(320, 240);
+    std::vector<Mesh> scene;
+    {
+        Mesh shelf = makeFurniture(2);
+        shelf.transform(Mat4::translation({-0.9, 0, 0}));
+        Mesh kiosk = makeFurniture(1);
+        kiosk.transform(Mat4::translation({0.9, 0, -0.5}));
+        Mesh marker = makeIcosphere(2, 0.3);
+        marker.r = 240;
+        marker.g = 80;
+        marker.b = 80;
+        marker.transform(Mat4::translation({0, 0.9, 0}));
+        scene = {shelf, kiosk, marker};
+    }
+    ArLocationApp app(service, scene, camera, "ar_nav_demo");
+
+    const int kFrames = 60;
+    int hits = 0;
+    double render_ms = 0, warp_ms = 0;
+    for (int i = 0; i < kFrames; ++i) {
+        Pose pose;
+        double t = i * 0.02;
+        pose.position = {0.5 * std::sin(t), 0.05 * std::sin(3 * t),
+                         3.0 + 0.3 * std::cos(t)};
+        pose.yaw = 0.2 * std::sin(t * 1.3);
+
+        Stopwatch sw;
+        AppOutcome outcome = app.process(pose);
+        double ms = sw.elapsedMs();
+        if (outcome.cache_hit) {
+            ++hits;
+            warp_ms += ms;
+        } else {
+            render_ms += ms;
+        }
+
+        if (i % 10 == 0) {
+            std::string path =
+                out_dir + "/frame_" + std::to_string(i) + ".ppm";
+            writePnm(outcome.frame, path);
+        }
+    }
+
+    int misses = kFrames - hits;
+    std::cout << "frames: " << kFrames << ", warped from cache: " << hits
+              << ", rendered natively: " << misses << "\n";
+    if (misses)
+        std::cout << "avg native render: " << render_ms / misses
+                  << " ms/frame\n";
+    if (hits)
+        std::cout << "avg cache warp:    " << warp_ms / hits
+                  << " ms/frame\n";
+    std::cout << "filmstrip written to " << out_dir << "/frame_*.ppm\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quickstart: the minimal Potluck flow in one file.
+ *
+ * An application (1) registers a function + key type, (2) looks up the
+ * cache before computing, (3) computes and put()s on a miss. A second
+ * "application" then benefits from the first one's work — the
+ * cross-application deduplication the paper is about.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "core/potluck_service.h"
+
+using namespace potluck;
+
+namespace {
+
+/** A stand-in for an expensive computation: sum-of-squares "model". */
+int64_t
+expensiveComputation(const FeatureVector &input)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < input.size(); ++i)
+        acc += static_cast<double>(input[i]) * input[i];
+    return static_cast<int64_t>(acc);
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Start the service. The defaults are the paper's parameters;
+    //    for the demo we disable dropout and warm-up so behaviour is
+    //    fully deterministic.
+    PotluckConfig config;
+    config.dropout_probability = 0.0;
+    config.warmup_entries = 0;
+    PotluckService service(config);
+
+    // 2. Register the (function, key type) pair once.
+    KeyTypeConfig key_type;
+    key_type.name = "sensor_vec";
+    key_type.metric = Metric::L2;
+    key_type.index_kind = IndexKind::KdTree;
+    service.registerKeyType("sum_squares", key_type);
+
+    FeatureVector input({3.0f, 4.0f});
+
+    // 3. App A: lookup -> miss -> compute -> put.
+    LookupResult first = service.lookup("appA", "sum_squares", "sensor_vec",
+                                        input);
+    std::cout << "appA lookup: " << (first.hit ? "HIT" : "MISS") << "\n";
+    int64_t result = expensiveComputation(input);
+    PutOptions options;
+    options.app = "appA";
+    service.put("sum_squares", "sensor_vec", input, encodeInt(result),
+                options);
+
+    // 4. App B issues a *similar but not identical* input. With the
+    //    threshold still at 0 it misses; after we loosen it (as the
+    //    tuner would after observing equivalent results) it hits.
+    FeatureVector similar({3.05f, 3.98f});
+    LookupResult strict = service.lookup("appB", "sum_squares", "sensor_vec",
+                                         similar);
+    std::cout << "appB strict lookup: " << (strict.hit ? "HIT" : "MISS")
+              << "\n";
+
+    service.setThreshold("sum_squares", "sensor_vec", 0.1);
+    LookupResult fuzzy = service.lookup("appB", "sum_squares", "sensor_vec",
+                                        similar);
+    std::cout << "appB fuzzy lookup:  "
+              << (fuzzy.hit ? "HIT" : "MISS");
+    if (fuzzy.hit)
+        std::cout << " -> cached result " << decodeInt(fuzzy.value);
+    std::cout << "\n";
+
+    ServiceStats stats = service.stats();
+    std::cout << "stats: " << stats.lookups << " lookups, " << stats.hits
+              << " hits, " << stats.puts << " puts\n";
+    return 0;
+}

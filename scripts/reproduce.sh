@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, and regenerate every
+# paper table/figure plus the ablations. Outputs land in
+# test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "shape-check summary:"
+grep "shape check" bench_output.txt

@@ -1,0 +1,88 @@
+#include "core/app_listener.h"
+
+#include "util/logging.h"
+
+namespace potluck {
+
+AppListener::AppListener(PotluckService &service, size_t threads)
+    : service_(service), pool_(threads)
+{
+}
+
+Reply
+AppListener::handle(const Request &request)
+{
+    try {
+        return execute(request);
+    } catch (const FatalError &e) {
+        Reply reply;
+        reply.type = request.type;
+        reply.ok = false;
+        reply.error = e.what();
+        return reply;
+    }
+}
+
+std::future<Reply>
+AppListener::submit(Request request)
+{
+    return pool_.submit(
+        [this, request = std::move(request)]() { return handle(request); });
+}
+
+Reply
+AppListener::execute(const Request &request)
+{
+    Reply reply;
+    reply.type = request.type;
+    switch (request.type) {
+      case RequestType::RegisterApp: {
+        service_.registerApp(request.app);
+        reply.ok = true;
+        break;
+      }
+      case RequestType::RegisterKeyType: {
+        KeyTypeConfig cfg;
+        cfg.name = request.key_type;
+        cfg.metric = request.metric;
+        cfg.index_kind = request.index_kind;
+        service_.registerKeyType(request.function, cfg);
+        reply.ok = true;
+        break;
+      }
+      case RequestType::Lookup: {
+        LookupResult result = service_.lookup(request.app, request.function,
+                                              request.key_type, request.key);
+        reply.ok = true;
+        reply.hit = result.hit;
+        reply.dropped = result.dropped;
+        reply.value = result.value;
+        reply.entry_id = result.id;
+        break;
+      }
+      case RequestType::Put: {
+        PutOptions options;
+        options.app = request.app;
+        options.ttl_us = request.ttl_us;
+        options.compute_overhead_us = request.compute_overhead_us;
+        reply.entry_id = service_.put(request.function, request.key_type,
+                                      request.key, request.value, options);
+        reply.ok = true;
+        break;
+      }
+      case RequestType::Stats: {
+        reply.stats = service_.stats();
+        reply.num_entries = service_.numEntries();
+        reply.total_bytes = service_.totalBytes();
+        reply.ok = true;
+        break;
+      }
+      default:
+        reply.ok = false;
+        reply.error = "unknown request type";
+        break;
+    }
+    return reply;
+}
+
+} // namespace potluck

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * AppListener (Section 4.1): receives Request messages from
+ * applications, executes the corresponding service operation on a
+ * thread pool, and produces Reply messages. The same Request/Reply
+ * protocol is carried over the IPC transport (src/ipc) or invoked
+ * in-process by tests.
+ *
+ * A Request consists of "the request type (register or operation),
+ * function name, key type, lookup key, and computation results to
+ * store"; the Reply contains "the request type and the corresponding
+ * return values" (Section 4.2).
+ */
+#ifndef POTLUCK_CORE_APP_LISTENER_H
+#define POTLUCK_CORE_APP_LISTENER_H
+
+#include <future>
+#include <optional>
+#include <string>
+
+#include "core/potluck_service.h"
+#include "util/thread_pool.h"
+
+namespace potluck {
+
+/** Protocol operation carried by a Request. */
+enum class RequestType : uint8_t
+{
+    RegisterApp = 1,
+    RegisterKeyType = 2,
+    Lookup = 3,
+    Put = 4,
+    Stats = 5,
+};
+
+/** One application request to the deduplication service. */
+struct Request
+{
+    RequestType type = RequestType::Lookup;
+    std::string app;
+    std::string function;
+    std::string key_type;
+
+    /** Key type settings (RegisterKeyType). */
+    Metric metric = Metric::L2;
+    IndexKind index_kind = IndexKind::KdTree;
+
+    /** Lookup / Put key. */
+    FeatureVector key;
+
+    /** Put payload. */
+    Value value;
+    std::optional<uint64_t> ttl_us;
+    std::optional<double> compute_overhead_us;
+};
+
+/** Service response to a Request. */
+struct Reply
+{
+    RequestType type = RequestType::Lookup;
+    bool ok = false;            ///< operation executed without error
+    std::string error;          ///< human-readable failure reason
+
+    /** Lookup results. */
+    bool hit = false;
+    bool dropped = false;
+    Value value;
+
+    /** Put result. */
+    EntryId entry_id = 0;
+
+    /** Stats results. */
+    ServiceStats stats;
+    uint64_t num_entries = 0;
+    uint64_t total_bytes = 0;
+};
+
+/** Request executor backed by a thread pool. */
+class AppListener
+{
+  public:
+    /**
+     * @param service  the shared service (must outlive the listener)
+     * @param threads  worker threads for request execution
+     */
+    explicit AppListener(PotluckService &service, size_t threads = 4);
+
+    /** Execute a request synchronously. Never throws; errors go into
+     * Reply::error. */
+    Reply handle(const Request &request);
+
+    /** Submit a request to the pool; the future carries the Reply. */
+    std::future<Reply> submit(Request request);
+
+    PotluckService &service() { return service_; }
+
+  private:
+    Reply execute(const Request &request);
+
+    PotluckService &service_;
+    ThreadPool pool_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_APP_LISTENER_H

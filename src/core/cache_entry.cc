@@ -1,0 +1,24 @@
+#include "core/cache_entry.h"
+
+namespace potluck {
+
+size_t
+CacheEntry::sizeBytes() const
+{
+    size_t total = valueSize(value);
+    for (const auto &[type, key] : keys)
+        total += key.sizeBytes();
+    return total;
+}
+
+double
+CacheEntry::importance() const
+{
+    size_t size = sizeBytes();
+    if (size == 0)
+        size = 1; // avoid division by zero for degenerate entries
+    return compute_overhead_us * static_cast<double>(access_frequency) /
+           static_cast<double>(size);
+}
+
+} // namespace potluck

@@ -1,0 +1,51 @@
+#include "core/cache_manager.h"
+
+#include <algorithm>
+
+namespace potluck {
+
+CacheManager::CacheManager(PotluckService &service, uint64_t poll_floor_ms)
+    : service_(service), poll_floor_ms_(poll_floor_ms),
+      thread_([this]() { loop(); })
+{
+}
+
+CacheManager::~CacheManager()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+CacheManager::notify()
+{
+    cv_.notify_all();
+}
+
+void
+CacheManager::loop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        swept_ += service_.sweepExpired();
+
+        // Sleep until the next scheduled expiry (with a floor), or a
+        // notify()/shutdown.
+        uint64_t next_us = service_.nextExpiryUs();
+        auto wait_ms = std::chrono::milliseconds(poll_floor_ms_);
+        if (next_us > 0) {
+            uint64_t now_us = SystemClock::instance().nowUs();
+            uint64_t delta_ms =
+                next_us > now_us ? (next_us - now_us) / 1000 + 1 : 0;
+            wait_ms = std::chrono::milliseconds(
+                std::max(delta_ms, poll_floor_ms_));
+        }
+        cv_.wait_for(lock, wait_ms, [this]() { return stopping_; });
+    }
+}
+
+} // namespace potluck

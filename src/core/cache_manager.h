@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CacheManager (Sections 4.1-4.2): the background management thread.
+ * It sleeps until the earliest entry expiration, clears all entries
+ * expired by then, and re-arms on the next expiry — the wake-up queue
+ * behaviour described in Section 4.2. Eviction-on-full is handled
+ * synchronously inside put(); this thread only owns expiry.
+ */
+#ifndef POTLUCK_CORE_CACHE_MANAGER_H
+#define POTLUCK_CORE_CACHE_MANAGER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/potluck_service.h"
+
+namespace potluck {
+
+/** Background expiry thread over a PotluckService. */
+class CacheManager
+{
+  public:
+    /**
+     * Start the management thread.
+     * @param service   the service to sweep (must outlive the manager)
+     * @param poll_floor_ms  minimum sleep between sweeps, so a flood
+     *                  of short-TTL entries cannot spin the thread
+     */
+    explicit CacheManager(PotluckService &service,
+                          uint64_t poll_floor_ms = 50);
+
+    /** Stops and joins the thread. */
+    ~CacheManager();
+
+    CacheManager(const CacheManager &) = delete;
+    CacheManager &operator=(const CacheManager &) = delete;
+
+    /** Wake the thread immediately (e.g. after bulk inserts). */
+    void notify();
+
+    /** Total entries this manager has expired. */
+    uint64_t sweptCount() const { return swept_; }
+
+  private:
+    void loop();
+
+    PotluckService &service_;
+    uint64_t poll_floor_ms_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::atomic<uint64_t> swept_{0};
+    std::thread thread_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_CACHE_MANAGER_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * PotluckConfig: every tunable of the service in one place, defaulted
+ * to the paper's published values.
+ */
+#ifndef POTLUCK_CORE_CONFIG_H
+#define POTLUCK_CORE_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace potluck {
+
+/** Which eviction policy the cache runs (Section 5.3 compares them). */
+enum class EvictionKind
+{
+    Importance, ///< the paper's contribution (Section 3.3)
+    Lru,        ///< least-recently-used baseline
+    Random,     ///< random-discard baseline
+};
+
+/** Service-wide configuration (paper defaults in comments). */
+struct PotluckConfig
+{
+    /** Random-dropout probability in lookup() (Section 3.4: 0.1). */
+    double dropout_probability = 0.1;
+
+    /** Threshold tighten divisor k (Algorithm 1: 4). */
+    double tighten_factor = 4.0;
+
+    /** Threshold loosen EWMA weight beta (Algorithm 1: 0.8). */
+    double loosen_ewma = 0.8;
+
+    /** Entries required before tuning activates, z (Algorithm 1: 100). */
+    size_t warmup_entries = 100;
+
+    /** Nearest neighbours fetched per query (Section 3.4: k = 1). */
+    size_t knn = 1;
+
+    /** Default entry validity period (Section 3.6: one hour). */
+    uint64_t default_ttl_us = 3600ULL * 1000 * 1000;
+
+    /** Capacity limits; 0 disables the respective limit. */
+    size_t max_entries = 10000;
+    size_t max_bytes = 500ULL * 1024 * 1024; // Section 5.4's 500 MB bound
+
+    /** Eviction policy. */
+    EvictionKind eviction = EvictionKind::Importance;
+
+    /** Seed for the service's internal randomness (dropout etc.). */
+    uint64_t seed = 42;
+
+    /// @name Reputation defense (Section 3.5's Credence-style extension).
+    /// @{
+    bool enable_reputation = false;
+    /** Ban an app once its score drops below this... */
+    double reputation_ban_score = 0.25;
+    /** ...provided at least this many observations accumulated. */
+    uint64_t reputation_min_observations = 4;
+    /// @}
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_CONFIG_H

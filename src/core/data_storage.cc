@@ -1,0 +1,73 @@
+#include "core/data_storage.h"
+
+#include "util/logging.h"
+
+namespace potluck {
+
+CacheEntry &
+DataStorage::add(CacheEntry entry)
+{
+    EntryId id = entry.id;
+    POTLUCK_ASSERT(!entries_.count(id), "duplicate entry id " << id);
+    total_bytes_ += entry.sizeBytes();
+    expiry_queue_.emplace(entry.expiry_us, id);
+    auto [it, inserted] = entries_.emplace(id, std::move(entry));
+    return it->second;
+}
+
+CacheEntry
+DataStorage::remove(EntryId id)
+{
+    auto it = entries_.find(id);
+    POTLUCK_ASSERT(it != entries_.end(), "removing unknown entry " << id);
+    CacheEntry entry = std::move(it->second);
+    entries_.erase(it);
+    total_bytes_ -= entry.sizeBytes();
+    auto range = expiry_queue_.equal_range(entry.expiry_us);
+    for (auto qit = range.first; qit != range.second; ++qit) {
+        if (qit->second == id) {
+            expiry_queue_.erase(qit);
+            break;
+        }
+    }
+    return entry;
+}
+
+CacheEntry *
+DataStorage::find(EntryId id)
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CacheEntry *
+DataStorage::find(EntryId id) const
+{
+    return const_cast<DataStorage *>(this)->find(id);
+}
+
+uint64_t
+DataStorage::nextExpiryUs() const
+{
+    return expiry_queue_.empty() ? 0 : expiry_queue_.begin()->first;
+}
+
+std::vector<EntryId>
+DataStorage::expiredAt(uint64_t now_us) const
+{
+    std::vector<EntryId> out;
+    for (auto it = expiry_queue_.begin();
+         it != expiry_queue_.end() && it->first <= now_us; ++it) {
+        out.push_back(it->second);
+    }
+    return out;
+}
+
+void
+DataStorage::resizeAccounting(size_t old_bytes, size_t new_bytes)
+{
+    POTLUCK_ASSERT(total_bytes_ >= old_bytes, "byte accounting underflow");
+    total_bytes_ = total_bytes_ - old_bytes + new_bytes;
+}
+
+} // namespace potluck

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DataStorage (Section 4.1): the storage layer keeping previous
+ * computation results — the entry table, byte accounting, and the
+ * expiry queue ordered by expiration time.
+ */
+#ifndef POTLUCK_CORE_DATA_STORAGE_H
+#define POTLUCK_CORE_DATA_STORAGE_H
+
+#include <map>
+#include <vector>
+
+#include "core/cache_entry.h"
+
+namespace potluck {
+
+/** Entry table with byte accounting and an expiry schedule. */
+class DataStorage
+{
+  public:
+    /** Insert a fully formed entry; returns a reference to it. */
+    CacheEntry &add(CacheEntry entry);
+
+    /** Remove by id; returns the removed entry (panics if absent). */
+    CacheEntry remove(EntryId id);
+
+    CacheEntry *find(EntryId id);
+    const CacheEntry *find(EntryId id) const;
+
+    const std::map<EntryId, CacheEntry> &entries() const { return entries_; }
+
+    size_t numEntries() const { return entries_.size(); }
+    size_t totalBytes() const { return total_bytes_; }
+
+    /** Earliest expiration time; 0 when empty. */
+    uint64_t nextExpiryUs() const;
+
+    /** Ids of all entries whose expiry is <= now. */
+    std::vector<EntryId> expiredAt(uint64_t now_us) const;
+
+    /**
+     * Adjust the byte accounting after an in-place mutation of an
+     * entry changed its size (rare; importance updates don't).
+     */
+    void resizeAccounting(size_t old_bytes, size_t new_bytes);
+
+  private:
+    std::map<EntryId, CacheEntry> entries_;
+    std::multimap<uint64_t, EntryId> expiry_queue_;
+    size_t total_bytes_ = 0;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_DATA_STORAGE_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Eviction policies (Section 5.3): the paper's importance-based policy
+ * plus the LRU and random-discard baselines it is compared against.
+ * A policy selects the victim among the current entries when the cache
+ * is full.
+ */
+#ifndef POTLUCK_CORE_EVICTION_H
+#define POTLUCK_CORE_EVICTION_H
+
+#include <map>
+#include <memory>
+
+#include "core/cache_entry.h"
+#include "core/config.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+/** Picks which entry to discard when the cache is full. */
+class EvictionPolicy
+{
+  public:
+    virtual ~EvictionPolicy() = default;
+
+    virtual EvictionKind kind() const = 0;
+
+    /**
+     * Choose the victim among entries; must not be called when empty.
+     * @param entries  the live entry table
+     */
+    virtual EntryId selectVictim(const std::map<EntryId, CacheEntry> &entries) = 0;
+};
+
+/** Evict the entry with the lowest importance (Section 3.3). */
+class ImportanceEviction : public EvictionPolicy
+{
+  public:
+    EvictionKind kind() const override { return EvictionKind::Importance; }
+    EntryId
+    selectVictim(const std::map<EntryId, CacheEntry> &entries) override;
+};
+
+/** Evict the least recently accessed entry. */
+class LruEviction : public EvictionPolicy
+{
+  public:
+    EvictionKind kind() const override { return EvictionKind::Lru; }
+    EntryId
+    selectVictim(const std::map<EntryId, CacheEntry> &entries) override;
+};
+
+/** Evict a uniformly random entry. */
+class RandomEviction : public EvictionPolicy
+{
+  public:
+    explicit RandomEviction(uint64_t seed) : rng_(seed) {}
+
+    EvictionKind kind() const override { return EvictionKind::Random; }
+    EntryId
+    selectVictim(const std::map<EntryId, CacheEntry> &entries) override;
+
+  private:
+    Rng rng_;
+};
+
+/** Factory over the three policies. */
+std::unique_ptr<EvictionPolicy> makeEvictionPolicy(EvictionKind kind,
+                                                   uint64_t seed);
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_EVICTION_H

@@ -1,0 +1,93 @@
+#include "core/function_table.h"
+
+#include "core/lsh_index.h"
+#include "util/logging.h"
+
+namespace potluck {
+
+KeyIndex &
+FunctionTable::ensure(const std::string &function, const KeyTypeConfig &cfg)
+{
+    POTLUCK_ASSERT(!function.empty(), "empty function name");
+    POTLUCK_ASSERT(!cfg.name.empty(), "empty key type name");
+    auto &types = functions_[function];
+    auto it = types.find(cfg.name);
+    if (it != types.end()) {
+        KeyIndex &slot = *it->second;
+        if (slot.config.metric != cfg.metric ||
+            slot.config.index_kind != cfg.index_kind) {
+            POTLUCK_FATAL("key type '"
+                          << cfg.name << "' re-registered for function '"
+                          << function << "' with conflicting settings");
+        }
+        return slot;
+    }
+    std::unique_ptr<Index> index;
+    if (cfg.index_kind == IndexKind::Lsh) {
+        index = std::make_unique<LshIndex>(
+            cfg.metric, config_.seed + next_index_seed_++, cfg.lsh_tables,
+            cfg.lsh_projections, cfg.lsh_bucket_width);
+    } else {
+        index = makeIndex(cfg.index_kind, cfg.metric,
+                          config_.seed + next_index_seed_++);
+    }
+    auto slot = std::make_unique<KeyIndex>(cfg, std::move(index), config_);
+    KeyIndex &ref = *slot;
+    types.emplace(cfg.name, std::move(slot));
+    return ref;
+}
+
+KeyIndex *
+FunctionTable::find(const std::string &function, const std::string &key_type)
+{
+    auto fit = functions_.find(function);
+    if (fit == functions_.end())
+        return nullptr;
+    auto tit = fit->second.find(key_type);
+    if (tit == fit->second.end())
+        return nullptr;
+    return tit->second.get();
+}
+
+const KeyIndex *
+FunctionTable::find(const std::string &function,
+                    const std::string &key_type) const
+{
+    return const_cast<FunctionTable *>(this)->find(function, key_type);
+}
+
+std::vector<KeyIndex *>
+FunctionTable::slotsFor(const std::string &function)
+{
+    std::vector<KeyIndex *> out;
+    auto fit = functions_.find(function);
+    if (fit == functions_.end())
+        return out;
+    out.reserve(fit->second.size());
+    for (auto &[name, slot] : fit->second)
+        out.push_back(slot.get());
+    return out;
+}
+
+void
+FunctionTable::removeEntry(const CacheEntry &entry)
+{
+    auto fit = functions_.find(entry.function);
+    if (fit == functions_.end())
+        return;
+    for (auto &[name, slot] : fit->second) {
+        if (entry.keys.count(name))
+            slot->index->remove(entry.id);
+    }
+}
+
+void
+FunctionTable::forEachSlot(
+    const std::function<void(const std::string &, KeyIndex &)> &fn)
+{
+    for (auto &[function, types] : functions_)
+        for (auto &[name, slot] : types)
+            fn(function, *slot);
+}
+
+} // namespace potluck

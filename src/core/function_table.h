@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The multi-level cache layout of Fig. 5: function name -> key type ->
+ * key index. Each (function, key type) pair owns an Index plus its
+ * ThresholdTuner (tuning is per key index, Section 3.7).
+ */
+#ifndef POTLUCK_CORE_FUNCTION_TABLE_H
+#define POTLUCK_CORE_FUNCTION_TABLE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index.h"
+#include "core/threshold_tuner.h"
+
+namespace potluck {
+
+/**
+ * Equivalence predicate over cached values, used by the threshold
+ * tuner to decide whether two results are "the same" (Algorithm 1's
+ * val' = val test). Byte equality when unset. Applications whose
+ * results are never byte-identical (e.g. rendered frames) register a
+ * semantic predicate instead — the natural extension of Section 4.2's
+ * custom comparison logic, without which Algorithm 1 could never
+ * loosen for such functions.
+ */
+using ValueEquivalence = std::function<bool(const Value &, const Value &)>;
+
+/** Declaration of a key type an application registers for a function. */
+struct KeyTypeConfig
+{
+    std::string name;                     ///< e.g. "downsamp", "fast"
+    Metric metric = Metric::L2;           ///< comparison metric
+    IndexKind index_kind = IndexKind::KdTree; ///< backing structure
+    ValueEquivalence value_equals;        ///< tuner equivalence; null = bytes
+
+    /// @name LSH tuning (used only when index_kind == IndexKind::Lsh).
+    /// The bucket width should be a small multiple of the expected
+    /// same-result key distance for good recall.
+    /// @{
+    int lsh_tables = 8;
+    int lsh_projections = 6;
+    double lsh_bucket_width = 4.0;
+    /// @}
+};
+
+/** Per-slot operation counters (a function's own hit profile). */
+struct SlotStats
+{
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t puts = 0;
+
+    double
+    hitRate() const
+    {
+        uint64_t answered = hits + misses;
+        return answered ? static_cast<double>(hits) / answered : 0.0;
+    }
+};
+
+/** One (function, key type) slot: the index, its tuner, its stats. */
+struct KeyIndex
+{
+    KeyTypeConfig config;
+    std::unique_ptr<Index> index;
+    ThresholdTuner tuner;
+    SlotStats stats;
+
+    KeyIndex(KeyTypeConfig cfg, std::unique_ptr<Index> idx,
+             const PotluckConfig &svc_cfg)
+        : config(std::move(cfg)), index(std::move(idx)), tuner(svc_cfg)
+    {}
+};
+
+/** Two-level map from function name to key-type slots (Fig. 5). */
+class FunctionTable
+{
+  public:
+    explicit FunctionTable(const PotluckConfig &config) : config_(config) {}
+
+    /**
+     * Ensure a slot exists for (function, key type); returns it.
+     * Re-registration with a different metric or index kind is a
+     * caller error (FatalError).
+     */
+    KeyIndex &ensure(const std::string &function, const KeyTypeConfig &cfg);
+
+    /** Find a slot; nullptr if the pair was never registered. */
+    KeyIndex *find(const std::string &function, const std::string &key_type);
+    const KeyIndex *find(const std::string &function,
+                         const std::string &key_type) const;
+
+    /** All slots registered for a function (empty if unknown). */
+    std::vector<KeyIndex *> slotsFor(const std::string &function);
+
+    /** Remove an entry's keys from every index of its function. */
+    void removeEntry(const CacheEntry &entry);
+
+    /** Visit every slot (for diagnostics and whole-cache sweeps). */
+    void forEachSlot(const std::function<void(const std::string &,
+                                              KeyIndex &)> &fn);
+
+    size_t numFunctions() const { return functions_.size(); }
+
+  private:
+    PotluckConfig config_;
+    uint64_t next_index_seed_ = 1;
+    std::unordered_map<std::string,
+                       std::unordered_map<std::string,
+                                          std::unique_ptr<KeyIndex>>>
+        functions_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_FUNCTION_TABLE_H

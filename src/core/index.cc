@@ -1,0 +1,48 @@
+#include "core/index.h"
+
+#include "core/hash_index.h"
+#include "core/kd_tree_index.h"
+#include "core/linear_index.h"
+#include "core/lsh_index.h"
+#include "core/tree_index.h"
+#include "util/logging.h"
+
+namespace potluck {
+
+const char *
+indexKindName(IndexKind kind)
+{
+    switch (kind) {
+      case IndexKind::Linear:
+        return "linear";
+      case IndexKind::Hash:
+        return "hash";
+      case IndexKind::Tree:
+        return "tree";
+      case IndexKind::KdTree:
+        return "kdtree";
+      case IndexKind::Lsh:
+        return "lsh";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<Index>
+makeIndex(IndexKind kind, Metric metric, uint64_t seed)
+{
+    switch (kind) {
+      case IndexKind::Linear:
+        return std::make_unique<LinearIndex>(metric);
+      case IndexKind::Hash:
+        return std::make_unique<HashIndex>(metric);
+      case IndexKind::Tree:
+        return std::make_unique<TreeIndex>(metric);
+      case IndexKind::KdTree:
+        return std::make_unique<KdTreeIndex>(metric);
+      case IndexKind::Lsh:
+        return std::make_unique<LshIndex>(metric, seed);
+    }
+    POTLUCK_PANIC("unknown index kind");
+}
+
+} // namespace potluck

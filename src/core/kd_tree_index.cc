@@ -1,0 +1,126 @@
+#include "core/kd_tree_index.h"
+
+#include <algorithm>
+
+namespace potluck {
+
+void
+KdTreeIndex::insert(EntryId id, const FeatureVector &key)
+{
+    keys_[id] = key;
+    stale_ = true;
+}
+
+void
+KdTreeIndex::remove(EntryId id)
+{
+    if (keys_.erase(id))
+        stale_ = true;
+}
+
+void
+KdTreeIndex::rebuildIfStale() const
+{
+    if (!stale_)
+        return;
+    nodes_.clear();
+    root_ = -1;
+    if (!keys_.empty()) {
+        std::vector<EntryId> ids;
+        ids.reserve(keys_.size());
+        for (const auto &[id, key] : keys_)
+            ids.push_back(id);
+        nodes_.reserve(ids.size());
+        root_ = build(ids, 0, ids.size(), 0);
+    }
+    stale_ = false;
+}
+
+int
+KdTreeIndex::build(std::vector<EntryId> &ids, size_t begin, size_t end,
+                   int depth) const
+{
+    if (begin >= end)
+        return -1;
+    size_t dim = keys_.at(ids[begin]).size();
+    int axis = dim ? depth % static_cast<int>(dim) : 0;
+    size_t mid = (begin + end) / 2;
+    std::nth_element(ids.begin() + begin, ids.begin() + mid,
+                     ids.begin() + end, [&](EntryId a, EntryId b) {
+                         return keys_.at(a)[axis] < keys_.at(b)[axis];
+                     });
+    int node_idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{ids[mid], axis, -1, -1});
+    int left = build(ids, begin, mid, depth + 1);
+    int right = build(ids, mid + 1, end, depth + 1);
+    nodes_[node_idx].left = left;
+    nodes_[node_idx].right = right;
+    return node_idx;
+}
+
+void
+KdTreeIndex::search(int node, const FeatureVector &key, size_t k,
+                    std::vector<Neighbor> &best) const
+{
+    if (node < 0)
+        return;
+    const Node &n = nodes_[node];
+    const FeatureVector &stored = keys_.at(n.id);
+
+    if (stored.size() == key.size()) {
+        double d = distance(key, stored, metric_);
+        if (best.size() < k) {
+            best.push_back({n.id, d});
+            std::push_heap(best.begin(), best.end(),
+                           [](const Neighbor &a, const Neighbor &b) {
+                               return a.dist < b.dist;
+                           });
+        } else if (d < best.front().dist) {
+            std::pop_heap(best.begin(), best.end(),
+                          [](const Neighbor &a, const Neighbor &b) {
+                              return a.dist < b.dist;
+                          });
+            best.back() = {n.id, d};
+            std::push_heap(best.begin(), best.end(),
+                           [](const Neighbor &a, const Neighbor &b) {
+                               return a.dist < b.dist;
+                           });
+        }
+    }
+
+    int axis = n.axis;
+    double delta = axis < static_cast<int>(key.size())
+                       ? static_cast<double>(key[axis]) - stored[axis]
+                       : 0.0;
+    int near = delta < 0 ? n.left : n.right;
+    int far = delta < 0 ? n.right : n.left;
+    search(near, key, k, best);
+    // Prune the far side unless the splitting plane is within the
+    // current worst distance. (For L1/Cosine the plane distance is a
+    // lower bound only under L2; we keep the conservative check under
+    // L2 and always descend otherwise.)
+    bool must_descend = best.size() < k;
+    if (!must_descend) {
+        if (metric_ == Metric::L2 || metric_ == Metric::L1)
+            must_descend = std::abs(delta) < best.front().dist;
+        else
+            must_descend = true;
+    }
+    if (must_descend)
+        search(far, key, k, best);
+}
+
+std::vector<Neighbor>
+KdTreeIndex::nearest(const FeatureVector &key, size_t k) const
+{
+    rebuildIfStale();
+    std::vector<Neighbor> best;
+    search(root_, key, k, best);
+    std::sort(best.begin(), best.end(),
+              [](const Neighbor &a, const Neighbor &b) {
+                  return a.dist < b.dist;
+              });
+    return best;
+}
+
+} // namespace potluck

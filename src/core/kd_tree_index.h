@@ -1,0 +1,56 @@
+/**
+ * @file
+ * KdTreeIndex: a k-d tree over multi-dimensional keys with
+ * branch-and-bound nearest-neighbour search (the paper's [52]).
+ * The tree is rebuilt lazily after enough mutations to stay balanced
+ * without paying a full rebuild per insert.
+ */
+#ifndef POTLUCK_CORE_KD_TREE_INDEX_H
+#define POTLUCK_CORE_KD_TREE_INDEX_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/index.h"
+
+namespace potluck {
+
+/** Spatial k-d tree index (exact NN under the L2/L1 metrics). */
+class KdTreeIndex : public Index
+{
+  public:
+    explicit KdTreeIndex(Metric metric) : Index(metric) {}
+
+    IndexKind kind() const override { return IndexKind::KdTree; }
+    void insert(EntryId id, const FeatureVector &key) override;
+    void remove(EntryId id) override;
+    std::vector<Neighbor> nearest(const FeatureVector &key,
+                                  size_t k) const override;
+    size_t size() const override { return keys_.size(); }
+
+  private:
+    struct Node
+    {
+        EntryId id = 0;
+        int axis = 0;
+        int left = -1;  ///< node indices into nodes_; -1 = none
+        int right = -1;
+    };
+
+    void rebuildIfStale() const;
+    int build(std::vector<EntryId> &ids, size_t begin, size_t end,
+              int depth) const;
+    void search(int node, const FeatureVector &key, size_t k,
+                std::vector<Neighbor> &best) const;
+
+    std::unordered_map<EntryId, FeatureVector> keys_;
+
+    // The tree is a cached view over keys_, rebuilt on demand.
+    mutable std::vector<Node> nodes_;
+    mutable int root_ = -1;
+    mutable bool stale_ = true;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_KD_TREE_INDEX_H

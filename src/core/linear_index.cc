@@ -1,0 +1,38 @@
+#include "core/linear_index.h"
+
+#include <algorithm>
+
+namespace potluck {
+
+void
+LinearIndex::insert(EntryId id, const FeatureVector &key)
+{
+    keys_[id] = key;
+}
+
+void
+LinearIndex::remove(EntryId id)
+{
+    keys_.erase(id);
+}
+
+std::vector<Neighbor>
+LinearIndex::nearest(const FeatureVector &key, size_t k) const
+{
+    std::vector<Neighbor> all;
+    all.reserve(keys_.size());
+    for (const auto &[id, stored] : keys_) {
+        if (stored.size() != key.size())
+            continue; // incomparable key (defensive; types are segregated)
+        all.push_back({id, distance(key, stored, metric_)});
+    }
+    size_t take = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                      [](const Neighbor &a, const Neighbor &b) {
+                          return a.dist < b.dist;
+                      });
+    all.resize(take);
+    return all;
+}
+
+} // namespace potluck

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * LinearIndex: brute-force enumeration over all stored keys — the
+ * "naive enumeration" baseline of the paper's Table 2, and the
+ * correctness reference the approximate indices are tested against.
+ */
+#ifndef POTLUCK_CORE_LINEAR_INDEX_H
+#define POTLUCK_CORE_LINEAR_INDEX_H
+
+#include <unordered_map>
+
+#include "core/index.h"
+
+namespace potluck {
+
+/** Exhaustive-search index; exact but O(N) per query. */
+class LinearIndex : public Index
+{
+  public:
+    explicit LinearIndex(Metric metric) : Index(metric) {}
+
+    IndexKind kind() const override { return IndexKind::Linear; }
+    void insert(EntryId id, const FeatureVector &key) override;
+    void remove(EntryId id) override;
+    std::vector<Neighbor> nearest(const FeatureVector &key,
+                                  size_t k) const override;
+    size_t size() const override { return keys_.size(); }
+
+  private:
+    std::unordered_map<EntryId, FeatureVector> keys_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_LINEAR_INDEX_H

@@ -1,0 +1,121 @@
+#include "core/lsh_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+LshIndex::LshIndex(Metric metric, uint64_t seed, int num_tables,
+                   int num_projections, double bucket_width)
+    : Index(metric), num_tables_(num_tables),
+      num_projections_(num_projections), bucket_width_(bucket_width),
+      seed_(seed), projections_(num_tables), offsets_(num_tables),
+      tables_(num_tables)
+{
+    POTLUCK_ASSERT(num_tables >= 1 && num_projections >= 1,
+                   "bad LSH parameters");
+    POTLUCK_ASSERT(bucket_width > 0.0, "bucket width must be positive");
+}
+
+void
+LshIndex::ensureProjections(size_t d) const
+{
+    if (d <= proj_dim_)
+        return;
+    // Deterministic growth: the RNG is reseeded so that extending the
+    // dimension preserves existing prefixes.
+    for (int t = 0; t < num_tables_; ++t) {
+        projections_[t].resize(num_projections_);
+        offsets_[t].resize(num_projections_);
+        for (int p = 0; p < num_projections_; ++p) {
+            Rng rng(seed_ * 1000003ULL + static_cast<uint64_t>(t) * 1009 +
+                    p);
+            std::vector<float> &dir = projections_[t][p];
+            // Re-draw the offset first so it stays fixed as dims grow.
+            offsets_[t][p] = rng.uniformReal(0.0, bucket_width_);
+            dir.resize(d);
+            for (size_t i = 0; i < d; ++i)
+                dir[i] = static_cast<float>(rng.gaussian(0.0, 1.0));
+        }
+    }
+    proj_dim_ = d;
+}
+
+uint64_t
+LshIndex::signature(const FeatureVector &key, int table) const
+{
+    ensureProjections(key.size());
+    uint64_t sig = 1469598103934665603ULL;
+    for (int p = 0; p < num_projections_; ++p) {
+        const auto &dir = projections_[table][p];
+        double dot = 0.0;
+        for (size_t i = 0; i < key.size(); ++i)
+            dot += static_cast<double>(dir[i]) * key[i];
+        int64_t bucket = static_cast<int64_t>(
+            std::floor((dot + offsets_[table][p]) / bucket_width_));
+        // FNV-1a mix of the bucket id.
+        for (int b = 0; b < 8; ++b) {
+            sig ^= (static_cast<uint64_t>(bucket) >> (8 * b)) & 0xff;
+            sig *= 1099511628211ULL;
+        }
+    }
+    return sig;
+}
+
+void
+LshIndex::insert(EntryId id, const FeatureVector &key)
+{
+    remove(id);
+    for (int t = 0; t < num_tables_; ++t)
+        tables_[t].emplace(signature(key, t), id);
+    keys_.emplace(id, key);
+}
+
+void
+LshIndex::remove(EntryId id)
+{
+    auto it = keys_.find(id);
+    if (it == keys_.end())
+        return;
+    for (int t = 0; t < num_tables_; ++t) {
+        auto range = tables_[t].equal_range(signature(it->second, t));
+        for (auto bit = range.first; bit != range.second; ++bit) {
+            if (bit->second == id) {
+                tables_[t].erase(bit);
+                break;
+            }
+        }
+    }
+    keys_.erase(it);
+}
+
+std::vector<Neighbor>
+LshIndex::nearest(const FeatureVector &key, size_t k) const
+{
+    std::unordered_set<EntryId> candidates;
+    for (int t = 0; t < num_tables_; ++t) {
+        auto range = tables_[t].equal_range(signature(key, t));
+        for (auto it = range.first; it != range.second; ++it)
+            candidates.insert(it->second);
+    }
+    std::vector<Neighbor> out;
+    out.reserve(candidates.size());
+    for (EntryId id : candidates) {
+        const FeatureVector &stored = keys_.at(id);
+        if (stored.size() != key.size())
+            continue;
+        out.push_back({id, distance(key, stored, metric_)});
+    }
+    size_t take = std::min(k, out.size());
+    std::partial_sort(out.begin(), out.begin() + take, out.end(),
+                      [](const Neighbor &a, const Neighbor &b) {
+                          return a.dist < b.dist;
+                      });
+    out.resize(take);
+    return out;
+}
+
+} // namespace potluck

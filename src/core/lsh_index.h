@@ -1,0 +1,66 @@
+/**
+ * @file
+ * LshIndex: locality-sensitive hashing with p-stable (Gaussian)
+ * projections, after Datar et al. [16] — the structure behind the
+ * paper's Table 2 microsecond-scale lookups. L independent tables,
+ * each hashing a key to the concatenation of m quantized random
+ * projections; a query probes its bucket in every table and ranks the
+ * union of candidates by exact distance.
+ */
+#ifndef POTLUCK_CORE_LSH_INDEX_H
+#define POTLUCK_CORE_LSH_INDEX_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/index.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+/** p-stable LSH index (approximate nearest neighbour). */
+class LshIndex : public Index
+{
+  public:
+    /**
+     * @param metric      exact re-ranking metric
+     * @param seed        projection randomness
+     * @param num_tables  L independent hash tables
+     * @param num_projections  m projections concatenated per table
+     * @param bucket_width     quantization width w
+     */
+    explicit LshIndex(Metric metric, uint64_t seed = 1, int num_tables = 8,
+                      int num_projections = 6, double bucket_width = 4.0);
+
+    IndexKind kind() const override { return IndexKind::Lsh; }
+    void insert(EntryId id, const FeatureVector &key) override;
+    void remove(EntryId id) override;
+    std::vector<Neighbor> nearest(const FeatureVector &key,
+                                  size_t k) const override;
+    size_t size() const override { return keys_.size(); }
+
+  private:
+    /** Bucket signature of a key in one table. */
+    uint64_t signature(const FeatureVector &key, int table) const;
+
+    /** Lazily extend projections to cover dimension d. */
+    void ensureProjections(size_t d) const;
+
+    int num_tables_;
+    int num_projections_;
+    double bucket_width_;
+    uint64_t seed_;
+
+    // projections_[table][proj] is a direction vector grown on demand;
+    // offsets_[table][proj] is the b term in floor((a.v + b)/w).
+    mutable std::vector<std::vector<std::vector<float>>> projections_;
+    mutable std::vector<std::vector<double>> offsets_;
+    mutable size_t proj_dim_ = 0;
+
+    std::vector<std::unordered_multimap<uint64_t, EntryId>> tables_;
+    std::unordered_map<EntryId, FeatureVector> keys_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_LSH_INDEX_H

@@ -1,0 +1,271 @@
+#include "core/persistence.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x504c434bu; // "PLCK"
+constexpr uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &out, uint32_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU64(std::ostream &out, uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeF64(std::ostream &out, double v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeString(std::ostream &out, const std::string &s)
+{
+    writeU64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void
+writeFloats(std::ostream &out, const std::vector<float> &v)
+{
+    writeU64(out, v.size());
+    out.write(reinterpret_cast<const char *>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+uint32_t
+readU32(std::istream &in)
+{
+    uint32_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        POTLUCK_FATAL("truncated snapshot");
+    return v;
+}
+
+uint64_t
+readU64(std::istream &in)
+{
+    uint64_t v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        POTLUCK_FATAL("truncated snapshot");
+    return v;
+}
+
+double
+readF64(std::istream &in)
+{
+    double v = 0;
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in)
+        POTLUCK_FATAL("truncated snapshot");
+    return v;
+}
+
+std::string
+readString(std::istream &in)
+{
+    uint64_t n = readU64(in);
+    if (n > (1ULL << 20))
+        POTLUCK_FATAL("implausible string size in snapshot: " << n);
+    std::string s(n, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(n));
+    if (!in)
+        POTLUCK_FATAL("truncated snapshot");
+    return s;
+}
+
+std::vector<float>
+readFloats(std::istream &in)
+{
+    uint64_t n = readU64(in);
+    if (n > (1ULL << 26))
+        POTLUCK_FATAL("implausible key size in snapshot: " << n);
+    std::vector<float> v(n);
+    in.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in)
+        POTLUCK_FATAL("truncated snapshot");
+    return v;
+}
+
+} // namespace
+
+size_t
+saveSnapshot(const PotluckService &service, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        POTLUCK_FATAL("cannot open snapshot file " << path);
+
+    writeU32(out, kMagic);
+    writeU32(out, kVersion);
+
+    // Registration section: the (function, key type) slots, so a cold
+    // restart can rebuild its indices before applications reconnect.
+    // Code-valued settings (extractors, value-equivalence predicates)
+    // cannot be persisted; apps re-attach them at registration, which
+    // is idempotent.
+    uint64_t num_slots = 0;
+    service.forEachKeyType(
+        [&](const std::string &, const KeyTypeConfig &) { ++num_slots; });
+    writeU64(out, num_slots);
+    service.forEachKeyType([&](const std::string &function,
+                               const KeyTypeConfig &cfg) {
+        writeString(out, function);
+        writeString(out, cfg.name);
+        writeU32(out, static_cast<uint32_t>(cfg.metric));
+        writeU32(out, static_cast<uint32_t>(cfg.index_kind));
+        writeU32(out, static_cast<uint32_t>(cfg.lsh_tables));
+        writeU32(out, static_cast<uint32_t>(cfg.lsh_projections));
+        writeF64(out, cfg.lsh_bucket_width);
+    });
+
+    // Count first, then records. forEachEntry holds the service lock,
+    // so the two passes see a consistent view only if the cache is
+    // quiescent; the count is validated at load anyway.
+    uint64_t count = 0;
+    service.forEachEntry([&](const CacheEntry &) { ++count; });
+    writeU64(out, count);
+
+    uint64_t written = 0;
+    // Expiry is stored as remaining TTL relative to "now", because the
+    // steady-clock epoch does not survive a process restart.
+    uint64_t now_us = service.nowUs();
+    service.forEachEntry([&](const CacheEntry &entry) {
+        writeString(out, entry.function);
+        writeString(out, entry.app);
+        writeF64(out, entry.compute_overhead_us);
+        writeU64(out, entry.access_frequency);
+        // Remaining validity period at save time.
+        writeU64(out, entry.expiry_us > now_us
+                          ? entry.expiry_us - now_us
+                          : 0);
+        writeU64(out, entry.keys.size());
+        for (const auto &[type, key] : entry.keys) {
+            writeString(out, type);
+            writeFloats(out, key.values());
+        }
+        uint64_t value_bytes = valueSize(entry.value);
+        writeU64(out, value_bytes);
+        if (value_bytes) {
+            out.write(reinterpret_cast<const char *>(entry.value->data()),
+                      static_cast<std::streamsize>(value_bytes));
+        }
+        ++written;
+    });
+    out.flush();
+    if (!out)
+        POTLUCK_FATAL("short write to snapshot " << path);
+    return written;
+}
+
+size_t
+loadSnapshot(PotluckService &service, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        POTLUCK_FATAL("cannot open snapshot file " << path);
+    if (readU32(in) != kMagic)
+        POTLUCK_FATAL("not a potluck snapshot: " << path);
+    uint32_t version = readU32(in);
+    if (version != kVersion)
+        POTLUCK_FATAL("unsupported snapshot version " << version);
+
+    uint64_t num_slots = readU64(in);
+    if (num_slots > 4096)
+        POTLUCK_FATAL("implausible slot count in snapshot");
+    for (uint64_t i = 0; i < num_slots; ++i) {
+        KeyTypeConfig cfg;
+        std::string function = readString(in);
+        cfg.name = readString(in);
+        cfg.metric = static_cast<Metric>(readU32(in));
+        cfg.index_kind = static_cast<IndexKind>(readU32(in));
+        cfg.lsh_tables = static_cast<int>(readU32(in));
+        cfg.lsh_projections = static_cast<int>(readU32(in));
+        cfg.lsh_bucket_width = readF64(in);
+        try {
+            service.registerKeyType(function, cfg);
+        } catch (const FatalError &) {
+            // Already registered with different settings: keep the
+            // live registration.
+        }
+    }
+
+    uint64_t count = readU64(in);
+    size_t restored = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+        std::string function = readString(in);
+        std::string app = readString(in);
+        double overhead_us = readF64(in);
+        uint64_t access_frequency = readU64(in);
+        uint64_t remaining_ttl_us = readU64(in);
+
+        uint64_t num_keys = readU64(in);
+        if (num_keys == 0 || num_keys > 64)
+            POTLUCK_FATAL("implausible key count in snapshot: " << num_keys);
+        std::map<std::string, FeatureVector> keys;
+        for (uint64_t k = 0; k < num_keys; ++k) {
+            std::string type = readString(in);
+            keys.emplace(type, FeatureVector(readFloats(in)));
+        }
+
+        uint64_t value_bytes = readU64(in);
+        if (value_bytes > (1ULL << 30))
+            POTLUCK_FATAL("implausible value size in snapshot");
+        Value value;
+        if (value_bytes) {
+            std::vector<uint8_t> bytes(value_bytes);
+            in.read(reinterpret_cast<char *>(bytes.data()),
+                    static_cast<std::streamsize>(value_bytes));
+            if (!in)
+                POTLUCK_FATAL("truncated snapshot value");
+            value = makeValue(std::move(bytes));
+        }
+
+        if (remaining_ttl_us == 0)
+            continue; // already expired at save time
+
+        // Replay through the normal put() path under the first key
+        // type that is still registered; the remaining keys ride along
+        // as extra_keys.
+        PutOptions options;
+        options.app = app;
+        options.compute_overhead_us = overhead_us;
+        options.access_frequency = access_frequency;
+        options.ttl_us = remaining_ttl_us;
+        const std::string *primary_type = nullptr;
+        const FeatureVector *primary_key = nullptr;
+        for (const auto &[type, key] : keys) {
+            if (!primary_type) {
+                primary_type = &type;
+                primary_key = &key;
+            } else {
+                options.extra_keys.emplace(type, key);
+            }
+        }
+        try {
+            service.put(function, *primary_type, *primary_key, value,
+                        options);
+        } catch (const FatalError &) {
+            continue; // function/key type no longer registered: skip
+        }
+        ++restored;
+    }
+    return restored;
+}
+
+} // namespace potluck

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Snapshot persistence: the "secondary flash storage" layer of the
+ * paper's Fig. 4 architecture. The in-memory cache can be serialized
+ * to a file and restored on a later service start, so deduplication
+ * survives restarts — essential for the paper's claim that sharing
+ * works across invocations "days or longer" apart.
+ *
+ * Format: a magic/version header, then one record per entry with its
+ * function, keys (per key type), value blob, importance inputs and
+ * expiry. Restoring replays the entries through the normal put() path
+ * (with explicit overhead/TTL), so indices, accounting and capacity
+ * limits are enforced identically to live operation. Expired entries
+ * are skipped at load.
+ */
+#ifndef POTLUCK_CORE_PERSISTENCE_H
+#define POTLUCK_CORE_PERSISTENCE_H
+
+#include <string>
+
+#include "core/potluck_service.h"
+
+namespace potluck {
+
+/**
+ * Write every live entry of the service to `path`.
+ * @return the number of entries written
+ * @throws FatalError on I/O failure
+ */
+size_t saveSnapshot(const PotluckService &service, const std::string &path);
+
+/**
+ * Load a snapshot into the service. Key-type slots must already be
+ * registered for entries to load into; records for unregistered
+ * (function, key type) pairs are counted as skipped, as are entries
+ * already expired at load time.
+ *
+ * @return the number of entries restored
+ * @throws FatalError on I/O failure or a corrupt snapshot
+ */
+size_t loadSnapshot(PotluckService &service, const std::string &path);
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_PERSISTENCE_H

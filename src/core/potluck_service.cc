@@ -1,0 +1,411 @@
+#include "core/potluck_service.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+PotluckService::PotluckService(PotluckConfig config, Clock *clock)
+    : config_(config), clock_(clock), table_(config),
+      eviction_(makeEvictionPolicy(config.eviction, config.seed)),
+      rng_(config.seed),
+      reputation_(config.reputation_ban_score,
+                  config.reputation_min_observations)
+{
+    POTLUCK_ASSERT(clock_ != nullptr, "null clock");
+    if (config_.dropout_probability < 0.0 ||
+        config_.dropout_probability >= 1.0) {
+        POTLUCK_FATAL("dropout probability must be in [0, 1), got "
+                      << config_.dropout_probability);
+    }
+    if (config_.knn < 1)
+        POTLUCK_FATAL("knn must be >= 1");
+}
+
+void
+PotluckService::registerKeyType(const std::string &function,
+                                const KeyTypeConfig &cfg,
+                                std::shared_ptr<FeatureExtractor> extractor)
+{
+    std::unique_lock lock(mutex_);
+    table_.ensure(function, cfg);
+    if (extractor)
+        extractors_[{function, cfg.name}] = std::move(extractor);
+    // A newly added key type covers entries inserted from now on;
+    // retroactive back-fill would need the raw inputs, which the cache
+    // deliberately does not retain (only keys and values are stored).
+    // This matches the paper's prototype.
+}
+
+void
+PotluckService::registerApp(const std::string &app)
+{
+    POTLUCK_ASSERT(!app.empty(), "empty app name");
+    std::unique_lock lock(mutex_);
+    // Section 4.3: registration "resets the input similarity
+    // threshold". Reset every tuner; a fresh app changes the input
+    // distribution, so previously learned diameters are suspect.
+    table_.forEachSlot([](const std::string &, KeyIndex &slot) {
+        slot.tuner.reset();
+    });
+}
+
+LookupResult
+PotluckService::lookup(const std::string &app, const std::string &function,
+                       const std::string &key_type, const FeatureVector &key)
+{
+    std::unique_lock lock(mutex_);
+    ++stats_.lookups;
+
+    KeyIndex *slot = table_.find(function, key_type);
+    if (!slot) {
+        POTLUCK_FATAL("lookup on unregistered (function='"
+                      << function << "', key type='" << key_type << "')");
+    }
+    ++slot->stats.lookups;
+
+    uint64_t now = clock_->nowUs();
+
+    // Random dropout (Section 3.4): return a miss without querying, to
+    // force a put() that recalibrates the threshold.
+    if (config_.dropout_probability > 0.0 &&
+        rng_.bernoulli(config_.dropout_probability)) {
+        ++stats_.dropouts;
+        pending_miss_us_[{app, function}] = now;
+        LookupResult result;
+        result.dropped = true;
+        return result;
+    }
+
+    // Threshold-restricted nearest-neighbour query (Section 3.4).
+    auto neighbors = slot->index->nearest(key, config_.knn);
+    double threshold = slot->tuner.threshold();
+    for (const Neighbor &n : neighbors) {
+        if (n.dist > threshold)
+            continue;
+        CacheEntry *entry = storage_.find(n.id);
+        if (!entry)
+            continue;
+        if (entry->expiry_us <= now)
+            continue; // expired but not yet swept
+        if (config_.enable_reputation && reputation_.banned(entry->app)) {
+            // Quarantined source: never serve its results.
+            ++stats_.banned_hits_suppressed;
+            continue;
+        }
+        // Hit: bump the access frequency, which feeds importance.
+        ++entry->access_frequency;
+        entry->last_access_us = now;
+        ++stats_.hits;
+        ++slot->stats.hits;
+        LookupResult result;
+        result.hit = true;
+        result.value = entry->value;
+        result.id = n.id;
+        result.nn_dist = n.dist;
+        return result;
+    }
+
+    ++stats_.misses;
+    ++slot->stats.misses;
+    pending_miss_us_[{app, function}] = now;
+    LookupResult result;
+    if (!neighbors.empty())
+        result.nn_dist = neighbors.front().dist;
+    return result;
+}
+
+EntryId
+PotluckService::put(const std::string &function, const std::string &key_type,
+                    const FeatureVector &key, Value value,
+                    const PutOptions &options)
+{
+    POTLUCK_ASSERT(!key.empty(), "put with empty key");
+    std::unique_lock lock(mutex_);
+    ++stats_.puts;
+
+    KeyIndex *slot = table_.find(function, key_type);
+    if (!slot) {
+        POTLUCK_FATAL("put on unregistered (function='"
+                      << function << "', key type='" << key_type << "')");
+    }
+
+    if (config_.enable_reputation && reputation_.banned(options.app)) {
+        // Barred apps can no longer pollute the cache (Section 3.5).
+        ++stats_.rejected_puts;
+        return 0;
+    }
+    ++slot->stats.puts;
+
+    uint64_t now = clock_->nowUs();
+
+    // Computation overhead: explicit override, else elapsed time since
+    // this (app, function)'s last lookup miss (Section 3.3).
+    double overhead_us = 0.0;
+    if (options.compute_overhead_us) {
+        overhead_us = *options.compute_overhead_us;
+    } else {
+        auto pit = pending_miss_us_.find({options.app, function});
+        if (pit != pending_miss_us_.end()) {
+            overhead_us = static_cast<double>(now - pit->second);
+            pending_miss_us_.erase(pit);
+        }
+    }
+
+    // Threshold tuning (Algorithm 1): observe the nearest existing
+    // neighbour of the new key before inserting it. Skipped during
+    // warm-up — the algorithm only "kicks into action" after z
+    // entries (Section 3.5), and skipping the kNN probe keeps bulk
+    // preloading cheap.
+    std::vector<Neighbor> neighbors;
+    if (slot->tuner.active())
+        neighbors = slot->index->nearest(key, 1);
+    if (!neighbors.empty()) {
+        const CacheEntry *nn = storage_.find(neighbors.front().id);
+        if (nn) {
+            bool values_equal =
+                slot->config.value_equals
+                    ? slot->config.value_equals(nn->value, value)
+                    : valueEquals(nn->value, value);
+            double before = slot->tuner.threshold();
+            slot->tuner.observe(neighbors.front().dist, values_equal);
+            double after = slot->tuner.threshold();
+            if (after < before)
+                ++stats_.tighten_events;
+            else if (after > before)
+                ++stats_.loosen_events;
+
+            // Each observation is a vote on the neighbour's source app
+            // (Section 3.5's reputation extension): an in-threshold
+            // disagreement suggests a polluted entry; any confirmed
+            // equivalence vouches for the source.
+            if (config_.enable_reputation && nn->app != options.app) {
+                if (values_equal)
+                    reputation_.recordPositive(nn->app);
+                else if (neighbors.front().dist <= before)
+                    reputation_.recordNegative(nn->app);
+            }
+        }
+    }
+
+    // Assemble the entry with a key for every registered type of this
+    // function that we can derive (Section 3.7 propagation).
+    CacheEntry entry;
+    entry.id = next_id_++;
+    entry.function = function;
+    entry.keys[key_type] = key;
+    entry.value = std::move(value);
+    entry.app = options.app;
+    entry.compute_overhead_us = overhead_us;
+    entry.access_frequency = 1;
+    entry.inserted_us = now;
+    entry.last_access_us = now;
+    entry.expiry_us = now + options.ttl_us.value_or(config_.default_ttl_us);
+
+    if (options.access_frequency)
+        entry.access_frequency = std::max<uint64_t>(1,
+                                                    *options.access_frequency);
+
+    for (const auto &[type_name, extra_key] : options.extra_keys) {
+        if (type_name != key_type && table_.find(function, type_name))
+            entry.keys[type_name] = extra_key;
+    }
+    if (options.raw_input) {
+        for (KeyIndex *other : table_.slotsFor(function)) {
+            if (other->config.name == key_type ||
+                entry.keys.count(other->config.name)) {
+                continue;
+            }
+            auto eit = extractors_.find({function, other->config.name});
+            if (eit == extractors_.end())
+                continue;
+            entry.keys[other->config.name] =
+                eit->second->extract(*options.raw_input);
+        }
+    }
+
+    // Index the entry under every key it carries, running each
+    // index's own tuner warm-up accounting.
+    CacheEntry &stored = storage_.add(std::move(entry));
+    for (KeyIndex *target : table_.slotsFor(function)) {
+        auto kit = stored.keys.find(target->config.name);
+        if (kit == stored.keys.end())
+            continue;
+        target->index->insert(stored.id, kit->second);
+        target->tuner.noteInsert();
+    }
+
+    // Capture the id and value before capacity enforcement may evict
+    // the entry (and invalidate the reference).
+    EntryId stored_id = stored.id;
+    Value stored_value = stored.value;
+    enforceCapacityLocked();
+
+    // Deliver put events outside the lock so observers may call back
+    // into this or another service (the replication bridge does).
+    if (!put_observers_.empty()) {
+        PutEvent event;
+        event.function = function;
+        event.key_type = key_type;
+        event.key = key;
+        event.value = std::move(stored_value);
+        event.app = options.app;
+        event.compute_overhead_us = overhead_us;
+        auto observers = put_observers_;
+        lock.unlock();
+        for (const auto &observer : observers)
+            observer(event);
+    }
+    return stored_id;
+}
+
+void
+PotluckService::addPutObserver(PutObserver observer)
+{
+    POTLUCK_ASSERT(observer != nullptr, "null put observer");
+    std::unique_lock lock(mutex_);
+    put_observers_.push_back(std::move(observer));
+}
+
+double
+PotluckService::reputationScore(const std::string &app) const
+{
+    std::shared_lock lock(mutex_);
+    return reputation_.score(app);
+}
+
+bool
+PotluckService::appBanned(const std::string &app) const
+{
+    std::shared_lock lock(mutex_);
+    return reputation_.banned(app);
+}
+
+std::vector<std::string>
+PotluckService::bannedApps() const
+{
+    std::shared_lock lock(mutex_);
+    return reputation_.bannedApps();
+}
+
+void
+PotluckService::removeEntryLocked(EntryId id, bool expired)
+{
+    CacheEntry *entry = storage_.find(id);
+    if (!entry)
+        return;
+    table_.removeEntry(*entry);
+    storage_.remove(id);
+    if (expired)
+        ++stats_.expirations;
+    else
+        ++stats_.evictions;
+}
+
+void
+PotluckService::enforceCapacityLocked()
+{
+    auto over = [&]() {
+        if (config_.max_entries && storage_.numEntries() > config_.max_entries)
+            return true;
+        if (config_.max_bytes && storage_.totalBytes() > config_.max_bytes)
+            return true;
+        return false;
+    };
+    while (over() && storage_.numEntries() > 0) {
+        EntryId victim = eviction_->selectVictim(storage_.entries());
+        removeEntryLocked(victim, /*expired=*/false);
+    }
+}
+
+size_t
+PotluckService::sweepExpired()
+{
+    std::unique_lock lock(mutex_);
+    auto expired = storage_.expiredAt(clock_->nowUs());
+    for (EntryId id : expired)
+        removeEntryLocked(id, /*expired=*/true);
+    return expired.size();
+}
+
+void
+PotluckService::forEachEntry(
+    const std::function<void(const CacheEntry &)> &fn) const
+{
+    std::shared_lock lock(mutex_);
+    for (const auto &[id, entry] : storage_.entries())
+        fn(entry);
+}
+
+void
+PotluckService::forEachKeyType(
+    const std::function<void(const std::string &, const KeyTypeConfig &)>
+        &fn) const
+{
+    std::shared_lock lock(mutex_);
+    const_cast<FunctionTable &>(table_).forEachSlot(
+        [&fn](const std::string &function, KeyIndex &slot) {
+            fn(function, slot.config);
+        });
+}
+
+ServiceStats
+PotluckService::stats() const
+{
+    std::shared_lock lock(mutex_);
+    return stats_;
+}
+
+SlotStats
+PotluckService::slotStats(const std::string &function,
+                          const std::string &key_type) const
+{
+    std::shared_lock lock(mutex_);
+    const KeyIndex *slot = table_.find(function, key_type);
+    return slot ? slot->stats : SlotStats{};
+}
+
+double
+PotluckService::threshold(const std::string &function,
+                          const std::string &key_type) const
+{
+    std::shared_lock lock(mutex_);
+    const KeyIndex *slot = table_.find(function, key_type);
+    POTLUCK_ASSERT(slot, "threshold of unregistered slot");
+    return slot->tuner.threshold();
+}
+
+void
+PotluckService::setThreshold(const std::string &function,
+                             const std::string &key_type, double value)
+{
+    std::unique_lock lock(mutex_);
+    KeyIndex *slot = table_.find(function, key_type);
+    POTLUCK_ASSERT(slot, "setThreshold of unregistered slot");
+    slot->tuner.setThreshold(value);
+}
+
+size_t
+PotluckService::numEntries() const
+{
+    std::shared_lock lock(mutex_);
+    return storage_.numEntries();
+}
+
+size_t
+PotluckService::totalBytes() const
+{
+    std::shared_lock lock(mutex_);
+    return storage_.totalBytes();
+}
+
+uint64_t
+PotluckService::nextExpiryUs() const
+{
+    std::shared_lock lock(mutex_);
+    return storage_.nextExpiryUs();
+}
+
+} // namespace potluck

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * PotluckService: the deduplication cache service (Sections 3 and 4).
+ *
+ * The in-process core used directly by libraries, by the AppListener
+ * behind the IPC boundary, and by all benchmarks. Thread-safe.
+ *
+ * Processing flow (Section 3.1):
+ *  1. the application turns its raw input into a feature-vector key;
+ *  2. lookup(function, key_type, key) finds the nearest stored key of
+ *     that type within the current similarity threshold (with random
+ *     dropout to force periodic recalibration);
+ *  3. on a miss the app computes the result and put()s it, which
+ *     (a) computes the importance inputs, (b) feeds the threshold
+ *     tuner, and (c) indexes the entry under every key type of the
+ *     function (Section 3.7).
+ */
+#ifndef POTLUCK_CORE_POTLUCK_SERVICE_H
+#define POTLUCK_CORE_POTLUCK_SERVICE_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/data_storage.h"
+#include "core/eviction.h"
+#include "core/function_table.h"
+#include "core/reputation.h"
+#include "core/stats.h"
+#include "core/value.h"
+#include "features/extractor.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+/** Result of a cache lookup. */
+struct LookupResult
+{
+    bool hit = false;      ///< value is valid
+    bool dropped = false;  ///< random dropout short-circuited the query
+    Value value;           ///< cached result when hit
+    EntryId id = 0;        ///< entry id when hit
+    double nn_dist = -1.0; ///< distance to the returned neighbour
+};
+
+/** Optional arguments to put(). */
+struct PutOptions
+{
+    /** Validity period; service default when unset. */
+    std::optional<uint64_t> ttl_us;
+
+    /**
+     * Computation overhead override in microseconds. When unset the
+     * service uses the elapsed time since this (app, function)'s last
+     * lookup miss (Section 3.3).
+     */
+    std::optional<double> compute_overhead_us;
+
+    /** Originating application tag. */
+    std::string app;
+
+    /**
+     * Raw input the result was computed from. When provided and the
+     * function has other registered key types, the entry's keys for
+     * those types are derived from it via the registered extractors
+     * (the cross-key-type propagation of Section 3.7).
+     */
+    const Image *raw_input = nullptr;
+
+    /**
+     * Precomputed keys for other registered key types (alternative to
+     * raw_input when the caller — or the snapshot loader — already has
+     * them). Merged into the entry before indexing.
+     */
+    std::map<std::string, FeatureVector> extra_keys;
+
+    /** Restore an access count (snapshot loading); 1 when unset. */
+    std::optional<uint64_t> access_frequency;
+};
+
+/** The Potluck approximate-deduplication cache service. */
+class PotluckService
+{
+  public:
+    /**
+     * @param config  tunables (paper defaults)
+     * @param clock   time source; inject a VirtualClock for simulation
+     */
+    explicit PotluckService(PotluckConfig config = {},
+                            Clock *clock = &SystemClock::instance());
+
+    /// @name Control path (Section 4.3).
+    /// @{
+
+    /**
+     * Register a key type for a function. Required before lookups or
+     * puts with that type. `extractor` may be null when put() is
+     * always called with an explicit key for this type.
+     */
+    void registerKeyType(const std::string &function,
+                         const KeyTypeConfig &cfg,
+                         std::shared_ptr<FeatureExtractor> extractor = nullptr);
+
+    /**
+     * Register an application (resets the thresholds of the functions
+     * it uses per Section 4.3; here: all thresholds, conservatively).
+     */
+    void registerApp(const std::string &app);
+    /// @}
+
+    /// @name Data path (Section 4.3).
+    /// @{
+
+    /** Query the cache for a similar key of the given type. */
+    LookupResult lookup(const std::string &app, const std::string &function,
+                        const std::string &key_type,
+                        const FeatureVector &key);
+
+    /** Insert a computed result under the given key. */
+    EntryId put(const std::string &function, const std::string &key_type,
+                const FeatureVector &key, Value value,
+                const PutOptions &options = {});
+    /// @}
+
+    /** Clear expired entries as of now; returns how many were cleared. */
+    size_t sweepExpired();
+
+    /**
+     * A put event, delivered to observers after the entry is stored.
+     * Used by the cross-device replication bridge (the paper's
+     * Section 7 "apply the deduplication concept across devices").
+     */
+    struct PutEvent
+    {
+        std::string function;
+        std::string key_type;
+        FeatureVector key;
+        Value value;
+        std::string app;
+        double compute_overhead_us = 0.0;
+    };
+
+    using PutObserver = std::function<void(const PutEvent &)>;
+
+    /**
+     * Subscribe to put events. Observers run after the service lock is
+     * released, on the putting thread; they must not block for long.
+     */
+    void addPutObserver(PutObserver observer);
+
+    /// @name Reputation defense (enabled via config.enable_reputation).
+    /// @{
+    double reputationScore(const std::string &app) const;
+    bool appBanned(const std::string &app) const;
+    std::vector<std::string> bannedApps() const;
+    /// @}
+
+    /// @name Introspection.
+    /// @{
+    /** Visit every live entry under a shared lock (do not re-enter). */
+    void forEachEntry(
+        const std::function<void(const CacheEntry &)> &fn) const;
+
+    /** Visit every registered (function, key type) pair. */
+    void forEachKeyType(
+        const std::function<void(const std::string &,
+                                 const KeyTypeConfig &)> &fn) const;
+
+    ServiceStats stats() const;
+
+    /** Per-(function, key type) counters; zeros if unregistered. */
+    SlotStats slotStats(const std::string &function,
+                        const std::string &key_type) const;
+
+    double threshold(const std::string &function,
+                     const std::string &key_type) const;
+    /** Force a threshold (fixed-threshold experiments, Fig. 9). */
+    void setThreshold(const std::string &function,
+                      const std::string &key_type, double value);
+    size_t numEntries() const;
+    size_t totalBytes() const;
+    const PotluckConfig &config() const { return config_; }
+    /** Current time from the service's clock. */
+    uint64_t nowUs() const { return clock_->nowUs(); }
+    uint64_t nextExpiryUs() const;
+    /// @}
+
+  private:
+    /** Remove an entry from indices + storage (lock held). */
+    void removeEntryLocked(EntryId id, bool expired);
+
+    /** Enforce capacity limits after an insertion (lock held). */
+    void enforceCapacityLocked();
+
+    PotluckConfig config_;
+    Clock *clock_;
+    mutable std::shared_mutex mutex_;
+
+    FunctionTable table_;
+    DataStorage storage_;
+    std::unique_ptr<EvictionPolicy> eviction_;
+    Rng rng_;
+    EntryId next_id_ = 1;
+    ServiceStats stats_;
+
+    /** Extractors for cross-type key propagation: function -> type. */
+    std::map<std::pair<std::string, std::string>,
+             std::shared_ptr<FeatureExtractor>>
+        extractors_;
+
+    /** Pending lookup-miss timestamps per (app, function). */
+    std::map<std::pair<std::string, std::string>, uint64_t> pending_miss_us_;
+
+    ReputationTracker reputation_;
+    std::vector<PutObserver> put_observers_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_POTLUCK_SERVICE_H

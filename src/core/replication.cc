@@ -1,0 +1,50 @@
+#include "core/replication.h"
+
+#include "util/stringutil.h"
+
+namespace potluck {
+
+bool
+isReplicatedEvent(const PotluckService::PutEvent &event)
+{
+    return startsWith(event.app, kReplicaAppPrefix);
+}
+
+void
+connectReplication(PotluckService &from, PotluckService &to,
+                   const std::string &origin_tag)
+{
+    std::string replica_app = std::string(kReplicaAppPrefix) + origin_tag;
+    from.addPutObserver([&to, replica_app](
+                            const PotluckService::PutEvent &event) {
+        if (startsWith(event.app, kReplicaAppPrefix))
+            return; // break replication loops
+        // Create the target slot on demand; a conflicting existing
+        // registration wins (the peer knows its own index needs).
+        KeyTypeConfig cfg;
+        cfg.name = event.key_type;
+        try {
+            to.registerKeyType(event.function, cfg);
+        } catch (const FatalError &) {
+            // Already registered with different settings: fine.
+        }
+        PutOptions options;
+        options.app = replica_app;
+        options.compute_overhead_us = event.compute_overhead_us;
+        to.put(event.function, event.key_type, event.key, event.value,
+               options);
+    });
+}
+
+void
+connectReplicationSink(PotluckService &from,
+                       PotluckService::PutObserver sink)
+{
+    from.addPutObserver(
+        [sink = std::move(sink)](const PotluckService::PutEvent &event) {
+            if (!startsWith(event.app, kReplicaAppPrefix))
+                sink(event);
+        });
+}
+
+} // namespace potluck

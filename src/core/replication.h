@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Cross-device deduplication (the paper's Section 7: "We can also
+ * apply the deduplication concept across devices"): a replication
+ * bridge that forwards put events from one service instance to
+ * another, so results computed on one device seed the cache of a
+ * peer in the same physical context.
+ *
+ * Forwarded entries are tagged with a "replica:" app prefix; the
+ * bridge ignores events carrying that prefix, so two bridges wired in
+ * opposite directions do not loop.
+ */
+#ifndef POTLUCK_CORE_REPLICATION_H
+#define POTLUCK_CORE_REPLICATION_H
+
+#include <string>
+
+#include "core/potluck_service.h"
+
+namespace potluck {
+
+/** App-tag prefix marking entries that arrived via replication. */
+inline constexpr const char *kReplicaAppPrefix = "replica:";
+
+/** True if the event was itself produced by a replication bridge. */
+bool isReplicatedEvent(const PotluckService::PutEvent &event);
+
+/**
+ * Install a one-way bridge: every local put on `from` is re-put into
+ * `to` (which must outlive `from`), tagged "replica:<origin_tag>".
+ * The target's (function, key type) slot is created on demand with
+ * default settings when absent.
+ *
+ * Wire two bridges in opposite directions for bidirectional sync.
+ */
+void connectReplication(PotluckService &from, PotluckService &to,
+                        const std::string &origin_tag);
+
+/**
+ * Install a bridge that forwards put events into an arbitrary sink —
+ * e.g. a PotluckClient speaking to a remote device over the socket
+ * transport. The sink receives only locally originated events.
+ */
+void connectReplicationSink(PotluckService &from,
+                            PotluckService::PutObserver sink);
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_REPLICATION_H

@@ -1,0 +1,73 @@
+#include "core/reputation.h"
+
+#include "util/logging.h"
+
+namespace potluck {
+
+ReputationTracker::ReputationTracker(double ban_score,
+                                     uint64_t min_observations)
+    : ban_score_(ban_score), min_observations_(min_observations)
+{
+    if (ban_score <= 0.0 || ban_score >= 1.0)
+        POTLUCK_FATAL("ban score must be in (0, 1), got " << ban_score);
+}
+
+void
+ReputationTracker::recordPositive(const std::string &app)
+{
+    if (!app.empty())
+        ++records_[app].positive;
+}
+
+void
+ReputationTracker::recordNegative(const std::string &app)
+{
+    if (!app.empty())
+        ++records_[app].negative;
+}
+
+double
+ReputationTracker::score(const std::string &app) const
+{
+    auto it = records_.find(app);
+    return it == records_.end() ? 0.5 : it->second.score();
+}
+
+bool
+ReputationTracker::banned(const std::string &app) const
+{
+    auto it = records_.find(app);
+    if (it == records_.end())
+        return false;
+    const ReputationRecord &rec = it->second;
+    return rec.positive + rec.negative >= min_observations_ &&
+           rec.score() < ban_score_;
+}
+
+std::vector<std::string>
+ReputationTracker::bannedApps() const
+{
+    std::vector<std::string> out;
+    for (const auto &[app, rec] : records_) {
+        if (rec.positive + rec.negative >= min_observations_ &&
+            rec.score() < ban_score_) {
+            out.push_back(app);
+        }
+    }
+    return out;
+}
+
+ReputationRecord
+ReputationTracker::record(const std::string &app) const
+{
+    auto it = records_.find(app);
+    return it == records_.end() ? ReputationRecord{} : it->second;
+}
+
+void
+ReputationTracker::reset(const std::string &app)
+{
+    records_.erase(app);
+}
+
+} // namespace potluck

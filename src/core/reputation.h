@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Application reputation tracking (Section 3.5): "The protection can
+ * be further enhanced by incorporating a reputation system (such as
+ * Credence) into Potluck. Each cache entry can be tagged with the
+ * application source. The threshold-tuning phase can then establish a
+ * reputation record for each application, and malicious apps can be
+ * identified and barred."
+ *
+ * Every tuner observation doubles as a vote on the application that
+ * inserted the observed neighbour entry: a confirmed-equivalent result
+ * (the loosen case, or an in-threshold match with equal values) is a
+ * positive vote; a false positive (the tighten case — an entry whose
+ * result disagrees with a fresh computation on essentially the same
+ * input) is a negative vote. Applications whose score drops below the
+ * ban threshold after enough observations stop being served from and
+ * admitted to the cache.
+ */
+#ifndef POTLUCK_CORE_REPUTATION_H
+#define POTLUCK_CORE_REPUTATION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace potluck {
+
+/** Per-application trust record. */
+struct ReputationRecord
+{
+    uint64_t positive = 0; ///< observations confirming the app's results
+    uint64_t negative = 0; ///< false positives traced to the app
+
+    /**
+     * Laplace-smoothed trust score in (0, 1); 0.5 when unobserved.
+     */
+    double
+    score() const
+    {
+        return (static_cast<double>(positive) + 1.0) /
+               (static_cast<double>(positive + negative) + 2.0);
+    }
+};
+
+/** Tracks per-app reputation and decides bans. */
+class ReputationTracker
+{
+  public:
+    /**
+     * @param ban_score        ban when score() falls below this
+     * @param min_observations votes required before a ban can trigger
+     */
+    explicit ReputationTracker(double ban_score = 0.25,
+                               uint64_t min_observations = 4);
+
+    /** The observed neighbour's result was confirmed equivalent. */
+    void recordPositive(const std::string &app);
+
+    /** The observed neighbour was a false positive (possible pollution). */
+    void recordNegative(const std::string &app);
+
+    /** Current score; 0.5 for unknown apps. */
+    double score(const std::string &app) const;
+
+    /** Whether the app is currently barred from the cache. */
+    bool banned(const std::string &app) const;
+
+    /** Apps currently banned, sorted. */
+    std::vector<std::string> bannedApps() const;
+
+    /** Raw record (zeros for unknown apps). */
+    ReputationRecord record(const std::string &app) const;
+
+    /** Forgive an app (e.g. after reinstall); clears its record. */
+    void reset(const std::string &app);
+
+  private:
+    double ban_score_;
+    uint64_t min_observations_;
+    std::map<std::string, ReputationRecord> records_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_REPUTATION_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Operational counters exposed by the service, used by the evaluation
+ * harness to compute hit rates, dropout counts, tuner activity, etc.
+ */
+#ifndef POTLUCK_CORE_STATS_H
+#define POTLUCK_CORE_STATS_H
+
+#include <cstdint>
+
+namespace potluck {
+
+/** Aggregate service counters (monotonically increasing). */
+struct ServiceStats
+{
+    uint64_t lookups = 0;      ///< total lookup() calls
+    uint64_t hits = 0;         ///< lookups answered from the cache
+    uint64_t misses = 0;       ///< lookups that found nothing in range
+    uint64_t dropouts = 0;     ///< lookups skipped by random dropout
+    uint64_t puts = 0;         ///< put() calls
+    uint64_t evictions = 0;    ///< entries discarded for capacity
+    uint64_t expirations = 0;  ///< entries cleared by TTL
+    uint64_t tighten_events = 0; ///< tuner tighten operations
+    uint64_t loosen_events = 0;  ///< tuner loosen operations
+    uint64_t rejected_puts = 0;  ///< puts refused from banned apps
+    uint64_t banned_hits_suppressed = 0; ///< hits withheld (banned source)
+
+    double
+    hitRate() const
+    {
+        uint64_t answered = hits + misses;
+        return answered ? static_cast<double>(hits) / answered : 0.0;
+    }
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_STATS_H

@@ -1,0 +1,62 @@
+#include "core/tree_index.h"
+
+#include <algorithm>
+
+namespace potluck {
+
+void
+TreeIndex::insert(EntryId id, const FeatureVector &key)
+{
+    remove(id);
+    auto it = ordered_.emplace(key.values(), id);
+    by_id_.emplace(id, it);
+}
+
+void
+TreeIndex::remove(EntryId id)
+{
+    auto it = by_id_.find(id);
+    if (it == by_id_.end())
+        return;
+    ordered_.erase(it->second);
+    by_id_.erase(it);
+}
+
+std::vector<Neighbor>
+TreeIndex::nearest(const FeatureVector &key, size_t k) const
+{
+    // Walk outward from the lexical position of the query: correct for
+    // scalar keys, a good heuristic for short vectors. Examine a
+    // window of 4k candidates on both sides.
+    std::vector<Neighbor> candidates;
+    auto pos = ordered_.lower_bound(key.values());
+    size_t window = std::max<size_t>(4 * k, 8);
+
+    auto fwd = pos;
+    for (size_t i = 0; i < window && fwd != ordered_.end(); ++i, ++fwd) {
+        if (fwd->first.size() == key.size()) {
+            candidates.push_back(
+                {fwd->second,
+                 distance(key, FeatureVector(fwd->first), metric_)});
+        }
+    }
+    auto bwd = pos;
+    for (size_t i = 0; i < window && bwd != ordered_.begin(); ++i) {
+        --bwd;
+        if (bwd->first.size() == key.size()) {
+            candidates.push_back(
+                {bwd->second,
+                 distance(key, FeatureVector(bwd->first), metric_)});
+        }
+    }
+    size_t take = std::min(k, candidates.size());
+    std::partial_sort(candidates.begin(), candidates.begin() + take,
+                      candidates.end(),
+                      [](const Neighbor &a, const Neighbor &b) {
+                          return a.dist < b.dist;
+                      });
+    candidates.resize(take);
+    return candidates;
+}
+
+} // namespace potluck

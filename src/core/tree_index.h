@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TreeIndex: a balanced ordered map over lexicographically compared
+ * keys (Section 4.2: "a Treemap is implemented as a balanced binary
+ * tree which supports nearest neighbor and range searches in O(log N)
+ * time. Scalar or vector keys which are compared by their lexical
+ * order could benefit"). Best suited to scalar or low-dimensional
+ * keys; nearest() inspects a window of tree neighbours around the
+ * query's ordered position.
+ */
+#ifndef POTLUCK_CORE_TREE_INDEX_H
+#define POTLUCK_CORE_TREE_INDEX_H
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index.h"
+
+namespace potluck {
+
+/** Ordered-map index over lexicographically compared keys. */
+class TreeIndex : public Index
+{
+  public:
+    explicit TreeIndex(Metric metric) : Index(metric) {}
+
+    IndexKind kind() const override { return IndexKind::Tree; }
+    void insert(EntryId id, const FeatureVector &key) override;
+    void remove(EntryId id) override;
+    std::vector<Neighbor> nearest(const FeatureVector &key,
+                                  size_t k) const override;
+    size_t size() const override { return by_id_.size(); }
+
+  private:
+    using KeyMap = std::multimap<std::vector<float>, EntryId>;
+
+    KeyMap ordered_;
+    std::unordered_map<EntryId, KeyMap::iterator> by_id_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_TREE_INDEX_H

@@ -1,0 +1,128 @@
+#include "core/value.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+Value
+makeValue(std::vector<uint8_t> bytes)
+{
+    return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
+size_t
+valueSize(const Value &v)
+{
+    return v ? v->size() : 0;
+}
+
+bool
+valueEquals(const Value &a, const Value &b)
+{
+    if (a == b)
+        return true;
+    if (!a || !b)
+        return false;
+    return *a == *b;
+}
+
+namespace {
+
+void
+appendBytes(std::vector<uint8_t> &out, const void *src, size_t n)
+{
+    const auto *p = static_cast<const uint8_t *>(src);
+    out.insert(out.end(), p, p + n);
+}
+
+template <typename T>
+T
+readAt(const std::vector<uint8_t> &bytes, size_t offset)
+{
+    POTLUCK_ASSERT(offset + sizeof(T) <= bytes.size(),
+                   "value decode out of range");
+    T v;
+    std::memcpy(&v, bytes.data() + offset, sizeof(T));
+    return v;
+}
+
+} // namespace
+
+Value
+encodeInt(int64_t v)
+{
+    std::vector<uint8_t> bytes;
+    appendBytes(bytes, &v, sizeof(v));
+    return makeValue(std::move(bytes));
+}
+
+int64_t
+decodeInt(const Value &v)
+{
+    POTLUCK_ASSERT(v && v->size() == sizeof(int64_t), "not an int value");
+    return readAt<int64_t>(*v, 0);
+}
+
+Value
+encodeString(const std::string &s)
+{
+    std::vector<uint8_t> bytes(s.begin(), s.end());
+    return makeValue(std::move(bytes));
+}
+
+std::string
+decodeString(const Value &v)
+{
+    POTLUCK_ASSERT(v != nullptr, "null string value");
+    return std::string(v->begin(), v->end());
+}
+
+Value
+encodeFloats(const std::vector<float> &v)
+{
+    std::vector<uint8_t> bytes;
+    uint64_t n = v.size();
+    appendBytes(bytes, &n, sizeof(n));
+    appendBytes(bytes, v.data(), v.size() * sizeof(float));
+    return makeValue(std::move(bytes));
+}
+
+std::vector<float>
+decodeFloats(const Value &v)
+{
+    POTLUCK_ASSERT(v && v->size() >= sizeof(uint64_t), "not a float vector");
+    uint64_t n = readAt<uint64_t>(*v, 0);
+    POTLUCK_ASSERT(v->size() == sizeof(uint64_t) + n * sizeof(float),
+                   "float vector size mismatch");
+    std::vector<float> out(n);
+    std::memcpy(out.data(), v->data() + sizeof(uint64_t), n * sizeof(float));
+    return out;
+}
+
+Value
+encodeImage(const Image &img)
+{
+    std::vector<uint8_t> bytes;
+    int32_t header[3] = {img.width(), img.height(), img.channels()};
+    appendBytes(bytes, header, sizeof(header));
+    appendBytes(bytes, img.data().data(), img.data().size());
+    return makeValue(std::move(bytes));
+}
+
+Image
+decodeImage(const Value &v)
+{
+    POTLUCK_ASSERT(v && v->size() >= 3 * sizeof(int32_t), "not an image");
+    int32_t w = readAt<int32_t>(*v, 0);
+    int32_t h = readAt<int32_t>(*v, 4);
+    int32_t c = readAt<int32_t>(*v, 8);
+    Image img(w, h, c);
+    POTLUCK_ASSERT(v->size() == 12 + img.data().size(),
+                   "image payload size mismatch");
+    std::memcpy(img.data().data(), v->data() + 12, img.data().size());
+    return img;
+}
+
+} // namespace potluck

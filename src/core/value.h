@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cached computation results are opaque byte blobs shared by reference
+ * between indices ("the final values stored are simply references to
+ * the actual value stored in the memory", Section 4.2). Codec helpers
+ * serialize the result types the benchmark apps use: integer labels,
+ * strings, float vectors and whole images.
+ */
+#ifndef POTLUCK_CORE_VALUE_H
+#define POTLUCK_CORE_VALUE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "img/image.h"
+
+namespace potluck {
+
+/** Immutable shared result blob. */
+using Value = std::shared_ptr<const std::vector<uint8_t>>;
+
+/** Wrap raw bytes into a Value. */
+Value makeValue(std::vector<uint8_t> bytes);
+
+/** Byte size of a value (0 for null). */
+size_t valueSize(const Value &v);
+
+/** Deep content equality (null == null). */
+bool valueEquals(const Value &a, const Value &b);
+
+/// @name Codecs for the result types the benchmark apps exchange.
+/// @{
+Value encodeInt(int64_t v);
+int64_t decodeInt(const Value &v);
+
+Value encodeString(const std::string &s);
+std::string decodeString(const Value &v);
+
+Value encodeFloats(const std::vector<float> &v);
+std::vector<float> decodeFloats(const Value &v);
+
+Value encodeImage(const Image &img);
+Image decodeImage(const Value &v);
+/// @}
+
+} // namespace potluck
+
+#endif // POTLUCK_CORE_VALUE_H

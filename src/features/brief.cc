@@ -1,0 +1,88 @@
+#include "features/brief.h"
+
+#include <algorithm>
+
+#include "img/transform.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+BriefExtractor::BriefExtractor(int patch, int fast_threshold,
+                               size_t max_keypoints)
+    : patch_(patch), max_keypoints_(max_keypoints),
+      fast_(fast_threshold, /*grid=*/8)
+{
+    POTLUCK_ASSERT(patch >= 4 && patch <= 31, "bad BRIEF patch " << patch);
+    // The canonical BRIEF pattern draws pairs from an isotropic
+    // Gaussian over the patch; a fixed seed makes every extractor
+    // instance produce comparable descriptors.
+    Rng rng(0xB81EFULL);
+    for (auto &pair : pattern_) {
+        auto draw = [&](int &x, int &y) {
+            x = std::clamp(static_cast<int>(rng.gaussian(0, patch_ / 2.5)),
+                           -patch_, patch_);
+            y = std::clamp(static_cast<int>(rng.gaussian(0, patch_ / 2.5)),
+                           -patch_, patch_);
+        };
+        draw(pair[0], pair[1]);
+        draw(pair[2], pair[3]);
+    }
+}
+
+std::vector<BriefKeypoint>
+BriefExtractor::detectAndDescribe(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "BRIEF of empty image");
+    // Smooth first: BRIEF's single-pixel tests are noise-sensitive.
+    Image grey = gaussianBlur(img.toGrey(), 1.2);
+    std::vector<Corner> corners = fast_.detect(grey);
+    // Strongest corners first, keep the cap.
+    std::sort(corners.begin(), corners.end(),
+              [](const Corner &a, const Corner &b) {
+                  return a.score > b.score;
+              });
+    if (corners.size() > max_keypoints_)
+        corners.resize(max_keypoints_);
+
+    std::vector<BriefKeypoint> out;
+    out.reserve(corners.size());
+    for (const Corner &corner : corners) {
+        // Skip keypoints whose patch leaves the image.
+        if (corner.x < patch_ || corner.y < patch_ ||
+            corner.x >= grey.width() - patch_ ||
+            corner.y >= grey.height() - patch_) {
+            continue;
+        }
+        BriefKeypoint kp;
+        kp.x = corner.x;
+        kp.y = corner.y;
+        for (size_t bit = 0; bit < pattern_.size(); ++bit) {
+            const auto &pair = pattern_[bit];
+            uint8_t a = grey.px(corner.x + pair[0], corner.y + pair[1]);
+            uint8_t b = grey.px(corner.x + pair[2], corner.y + pair[3]);
+            kp.descriptor[bit] = a < b;
+        }
+        out.push_back(kp);
+    }
+    return out;
+}
+
+FeatureVector
+BriefExtractor::extract(const Image &img) const
+{
+    std::vector<BriefKeypoint> kps = detectAndDescribe(img);
+    // Majority-vote pooling: bit i of the key is 1 when more than half
+    // the keypoints set it. Empty images give the all-zero key.
+    std::vector<float> key(256, 0.0f);
+    if (!kps.empty()) {
+        for (size_t bit = 0; bit < 256; ++bit) {
+            size_t votes = 0;
+            for (const auto &kp : kps)
+                votes += kp.descriptor[bit];
+            key[bit] = votes * 2 > kps.size() ? 1.0f : 0.0f;
+        }
+    }
+    return FeatureVector(std::move(key));
+}
+
+} // namespace potluck

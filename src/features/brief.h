@@ -1,0 +1,68 @@
+/**
+ * @file
+ * BRIEF binary descriptor (Calonder et al.) paired with the FAST
+ * detector — the classic lightweight mobile-vision combination. Each
+ * keypoint yields a 256-bit descriptor of pairwise intensity
+ * comparisons on a smoothed patch; descriptors are compared under the
+ * Hamming metric, exercising the cache's non-Euclidean key path.
+ *
+ * As a cache key, per-keypoint descriptors are pooled by majority vote
+ * per bit, giving a fixed 256-element binary vector.
+ */
+#ifndef POTLUCK_FEATURES_BRIEF_H
+#define POTLUCK_FEATURES_BRIEF_H
+
+#include <array>
+#include <bitset>
+#include <vector>
+
+#include "features/extractor.h"
+#include "features/fast.h"
+
+namespace potluck {
+
+/** A keypoint with its 256-bit BRIEF descriptor. */
+struct BriefKeypoint
+{
+    int x = 0;
+    int y = 0;
+    std::bitset<256> descriptor;
+};
+
+/** FAST + BRIEF detector/descriptor and pooled-key generator. */
+class BriefExtractor : public FeatureExtractor
+{
+  public:
+    /**
+     * @param patch          comparison patch half-size
+     * @param fast_threshold FAST corner threshold
+     * @param max_keypoints  cap on described keypoints
+     */
+    explicit BriefExtractor(int patch = 15, int fast_threshold = 20,
+                            size_t max_keypoints = 300);
+
+    std::string name() const override { return "brief"; }
+    Metric metric() const override { return Metric::Hamming; }
+    FeatureVector extract(const Image &img) const override;
+
+    /** Full keypoint + descriptor output. */
+    std::vector<BriefKeypoint> detectAndDescribe(const Image &img) const;
+
+    /** Hamming distance between two descriptors. */
+    static size_t
+    hamming(const std::bitset<256> &a, const std::bitset<256> &b)
+    {
+        return (a ^ b).count();
+    }
+
+  private:
+    int patch_;
+    size_t max_keypoints_;
+    FastExtractor fast_;
+    /** The fixed comparison pattern: 256 point pairs in the patch. */
+    std::array<std::array<int, 4>, 256> pattern_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_BRIEF_H

@@ -1,0 +1,34 @@
+#include "features/colorhist.h"
+
+namespace potluck {
+
+ColorHistExtractor::ColorHistExtractor(int bins_per_channel)
+    : bins_(bins_per_channel)
+{
+    POTLUCK_ASSERT(bins_ >= 2 && bins_ <= 256,
+                   "bins per channel out of range: " << bins_);
+}
+
+FeatureVector
+ColorHistExtractor::extract(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "colorhist of empty image");
+    Image rgb = img.toRgb();
+    std::vector<float> hist(static_cast<size_t>(bins_) * 3, 0.0f);
+    for (int y = 0; y < rgb.height(); ++y) {
+        for (int x = 0; x < rgb.width(); ++x) {
+            for (int c = 0; c < 3; ++c) {
+                int bin = rgb.px(x, y, c) * bins_ / 256;
+                hist[static_cast<size_t>(c) * bins_ + bin] += 1.0f;
+            }
+        }
+    }
+    // Normalize to unit mass per channel so key distance is
+    // size-independent.
+    float total = static_cast<float>(rgb.width()) * rgb.height();
+    for (auto &v : hist)
+        v /= total;
+    return FeatureVector(std::move(hist));
+}
+
+} // namespace potluck

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Colour histogram key (Hafner et al. [22] in the paper): a 768-element
+ * vector of per-channel 256-bin histograms, normalized so that images
+ * of different sizes are comparable. The paper cites "a 768-bit vector
+ * to represent the color histogram"; we keep 768 dimensions with float
+ * counts, normalized to unit mass.
+ */
+#ifndef POTLUCK_FEATURES_COLORHIST_H
+#define POTLUCK_FEATURES_COLORHIST_H
+
+#include "features/extractor.h"
+
+namespace potluck {
+
+/** Per-channel colour histogram feature. */
+class ColorHistExtractor : public FeatureExtractor
+{
+  public:
+    /** @param bins_per_channel number of bins (256 gives the 768-d key) */
+    explicit ColorHistExtractor(int bins_per_channel = 256);
+
+    std::string name() const override { return "colorhist"; }
+    FeatureVector extract(const Image &img) const override;
+
+  private:
+    int bins_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_COLORHIST_H

@@ -1,0 +1,25 @@
+#include "features/downsample.h"
+
+#include "img/transform.h"
+
+namespace potluck {
+
+DownsampleExtractor::DownsampleExtractor(int out_w, int out_h, bool grey)
+    : out_w_(out_w), out_h_(out_h), grey_(grey)
+{
+    POTLUCK_ASSERT(out_w >= 1 && out_h >= 1, "bad downsample dims");
+}
+
+FeatureVector
+DownsampleExtractor::extract(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "downsample of empty image");
+    Image small = resizeBilinear(grey_ ? img.toGrey() : img, out_w_, out_h_);
+    std::vector<float> values;
+    values.reserve(small.data().size());
+    for (uint8_t byte : small.data())
+        values.push_back(static_cast<float>(byte) / 255.0f);
+    return FeatureVector(std::move(values));
+}
+
+} // namespace potluck

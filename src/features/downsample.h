@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Downsamp key (paper Table 1): the raw image down-sampled to m x n
+ * pixels and vectorized, the key type used for the deep-learning
+ * recognition app. Cheap to compute and compact (~1 KB).
+ */
+#ifndef POTLUCK_FEATURES_DOWNSAMPLE_H
+#define POTLUCK_FEATURES_DOWNSAMPLE_H
+
+#include "features/extractor.h"
+
+namespace potluck {
+
+/** Down-sampled-image feature ("Downsamp" in the paper's Table 1). */
+class DownsampleExtractor : public FeatureExtractor
+{
+  public:
+    /**
+     * @param out_w  target width in pixels
+     * @param out_h  target height in pixels
+     * @param grey   collapse to luminance first (1/3 the dimensions)
+     */
+    DownsampleExtractor(int out_w = 16, int out_h = 16, bool grey = true);
+
+    std::string name() const override { return "downsamp"; }
+    FeatureVector extract(const Image &img) const override;
+
+  private:
+    int out_w_;
+    int out_h_;
+    bool grey_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_DOWNSAMPLE_H

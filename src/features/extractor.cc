@@ -1,0 +1,66 @@
+#include "features/extractor.h"
+
+#include <algorithm>
+
+#include "features/brief.h"
+#include "features/colorhist.h"
+#include "features/downsample.h"
+#include "features/fast.h"
+#include "features/harris.h"
+#include "features/hog.h"
+#include "features/phash.h"
+#include "features/sift.h"
+#include "features/surf.h"
+
+namespace potluck {
+
+ExtractorRegistry
+ExtractorRegistry::builtins()
+{
+    ExtractorRegistry reg;
+    reg.add(std::make_shared<ColorHistExtractor>());
+    reg.add(std::make_shared<DownsampleExtractor>());
+    reg.add(std::make_shared<HogExtractor>());
+    reg.add(std::make_shared<FastExtractor>());
+    reg.add(std::make_shared<HarrisExtractor>());
+    reg.add(std::make_shared<SiftExtractor>());
+    reg.add(std::make_shared<SurfExtractor>());
+    reg.add(std::make_shared<PhashExtractor>());
+    reg.add(std::make_shared<BriefExtractor>());
+    return reg;
+}
+
+void
+ExtractorRegistry::add(std::shared_ptr<FeatureExtractor> extractor)
+{
+    POTLUCK_ASSERT(extractor != nullptr, "null extractor");
+    auto it = std::find_if(
+        extractors_.begin(), extractors_.end(),
+        [&](const auto &e) { return e->name() == extractor->name(); });
+    if (it != extractors_.end())
+        *it = std::move(extractor);
+    else
+        extractors_.push_back(std::move(extractor));
+}
+
+std::shared_ptr<FeatureExtractor>
+ExtractorRegistry::find(const std::string &name) const
+{
+    for (const auto &e : extractors_)
+        if (e->name() == name)
+            return e;
+    return nullptr;
+}
+
+std::vector<std::string>
+ExtractorRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(extractors_.size());
+    for (const auto &e : extractors_)
+        out.push_back(e->name());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace potluck

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * FeatureExtractor: the key-generation interface of Section 3.2. Apps
+ * either pick an extractor from the built-in library (registered here)
+ * or provide a custom one (the dynamic-class-loading path of the paper
+ * maps to registering a std::function at runtime).
+ */
+#ifndef POTLUCK_FEATURES_EXTRACTOR_H
+#define POTLUCK_FEATURES_EXTRACTOR_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "features/feature_vector.h"
+#include "img/image.h"
+
+namespace potluck {
+
+/** Converts a raw input image into a feature-vector key. */
+class FeatureExtractor
+{
+  public:
+    virtual ~FeatureExtractor() = default;
+
+    /** Short stable identifier, e.g. "colorhist", "fast". */
+    virtual std::string name() const = 0;
+
+    /** The metric under which this extractor's keys should be compared. */
+    virtual Metric metric() const { return Metric::L2; }
+
+    /** Produce the key for an input image. */
+    virtual FeatureVector extract(const Image &img) const = 0;
+};
+
+/** Adapts a plain function to the FeatureExtractor interface. */
+class LambdaExtractor : public FeatureExtractor
+{
+  public:
+    using Fn = std::function<FeatureVector(const Image &)>;
+
+    LambdaExtractor(std::string name, Metric metric, Fn fn)
+        : name_(std::move(name)), metric_(metric), fn_(std::move(fn))
+    {}
+
+    std::string name() const override { return name_; }
+    Metric metric() const override { return metric_; }
+    FeatureVector extract(const Image &img) const override { return fn_(img); }
+
+  private:
+    std::string name_;
+    Metric metric_;
+    Fn fn_;
+};
+
+/**
+ * Registry of built-in extractors ("a library of mechanisms provided
+ * within Potluck", Section 3.2). Thread-compatible: populate before
+ * concurrent use.
+ */
+class ExtractorRegistry
+{
+  public:
+    /** Registry preloaded with every built-in extractor. */
+    static ExtractorRegistry builtins();
+
+    /** Register (or replace) an extractor under its name(). */
+    void add(std::shared_ptr<FeatureExtractor> extractor);
+
+    /** Look up by name; nullptr if absent. */
+    std::shared_ptr<FeatureExtractor> find(const std::string &name) const;
+
+    /** Names of all registered extractors, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::vector<std::shared_ptr<FeatureExtractor>> extractors_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_EXTRACTOR_H

@@ -1,0 +1,99 @@
+#include "features/fast.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace potluck {
+
+namespace {
+
+// Bresenham circle of radius 3: the 16 ring offsets in order.
+constexpr int kRing[16][2] = {
+    {0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0},  {3, 1},  {2, 2},  {1, 3},
+    {0, 3},  {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+};
+
+} // namespace
+
+FastExtractor::FastExtractor(int threshold, int grid)
+    : threshold_(threshold), grid_(grid)
+{
+    POTLUCK_ASSERT(threshold >= 1, "FAST threshold must be >= 1");
+    POTLUCK_ASSERT(grid >= 1, "FAST grid must be >= 1");
+}
+
+std::vector<Corner>
+FastExtractor::detect(const Image &img) const
+{
+    Image grey = img.toGrey();
+    std::vector<Corner> corners;
+    for (int y = 3; y < grey.height() - 3; ++y) {
+        for (int x = 3; x < grey.width() - 3; ++x) {
+            int centre = grey.px(x, y);
+            int ring[16];
+            for (int i = 0; i < 16; ++i)
+                ring[i] = grey.px(x + kRing[i][0], y + kRing[i][1]);
+
+            // High-speed rejection test on the 4 compass points: a
+            // contiguous arc of 9 must cover at least 2 of the 4
+            // compass points, so fewer than 2 on either side rejects.
+            int brighter4 = 0, darker4 = 0;
+            for (int i : {0, 4, 8, 12}) {
+                if (ring[i] >= centre + threshold_)
+                    ++brighter4;
+                else if (ring[i] <= centre - threshold_)
+                    ++darker4;
+            }
+            if (brighter4 < 2 && darker4 < 2)
+                continue;
+
+            // Full test: 9 contiguous brighter or darker ring pixels.
+            auto contiguous = [&](auto pred) {
+                int best = 0, run = 0;
+                for (int i = 0; i < 32; ++i) { // wrap once around
+                    if (pred(ring[i % 16])) {
+                        ++run;
+                        best = std::max(best, run);
+                        if (best >= 9)
+                            return true;
+                    } else {
+                        run = 0;
+                    }
+                }
+                return false;
+            };
+            bool bright = contiguous(
+                [&](int v) { return v >= centre + threshold_; });
+            bool dark = !bright && contiguous([&](int v) {
+                return v <= centre - threshold_;
+            });
+            if (!bright && !dark)
+                continue;
+
+            // Score: summed absolute contrast over the ring.
+            double score = 0.0;
+            for (int i = 0; i < 16; ++i)
+                score += std::abs(ring[i] - centre);
+            corners.push_back(Corner{x, y, score});
+        }
+    }
+    return corners;
+}
+
+FeatureVector
+FastExtractor::extract(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "FAST of empty image");
+    std::vector<Corner> corners = detect(img);
+    std::vector<float> grid_counts(static_cast<size_t>(grid_) * grid_, 0.0f);
+    for (const Corner &corner : corners) {
+        int gx = std::min(corner.x * grid_ / img.width(), grid_ - 1);
+        int gy = std::min(corner.y * grid_ / img.height(), grid_ - 1);
+        grid_counts[static_cast<size_t>(gy) * grid_ + gx] += 1.0f;
+    }
+    FeatureVector key(std::move(grid_counts));
+    key.normalize();
+    return key;
+}
+
+} // namespace potluck

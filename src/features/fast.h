@@ -1,0 +1,52 @@
+/**
+ * @file
+ * FAST-9 corner detector (Rosten & Drummond, the paper's [42]): a
+ * pixel is a corner when 9 contiguous pixels on a 16-pixel Bresenham
+ * circle are all brighter or all darker than the centre by a threshold.
+ *
+ * The key is a fixed-length spatial occupancy grid of detected corners
+ * (counts per grid cell, normalized), which makes keys from images of
+ * any size comparable while preserving corner layout — the property the
+ * AR motion-estimation workload relies on.
+ */
+#ifndef POTLUCK_FEATURES_FAST_H
+#define POTLUCK_FEATURES_FAST_H
+
+#include <vector>
+
+#include "features/extractor.h"
+
+namespace potluck {
+
+/** An (x, y) corner location with detection score. */
+struct Corner
+{
+    int x = 0;
+    int y = 0;
+    double score = 0.0;
+};
+
+/** FAST-9 corner detector and grid-descriptor key generator. */
+class FastExtractor : public FeatureExtractor
+{
+  public:
+    /**
+     * @param threshold  centre/ring intensity difference
+     * @param grid       occupancy-grid edge for the key (grid x grid)
+     */
+    explicit FastExtractor(int threshold = 20, int grid = 8);
+
+    std::string name() const override { return "fast"; }
+    FeatureVector extract(const Image &img) const override;
+
+    /** Raw detections (used directly by tests and the AR app). */
+    std::vector<Corner> detect(const Image &img) const;
+
+  private:
+    int threshold_;
+    int grid_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_FAST_H

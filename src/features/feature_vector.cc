@@ -1,0 +1,123 @@
+#include "features/feature_vector.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+const char *
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::L2:
+        return "L2";
+      case Metric::L1:
+        return "L1";
+      case Metric::Cosine:
+        return "cosine";
+      case Metric::Hamming:
+        return "hamming";
+    }
+    return "unknown";
+}
+
+double
+FeatureVector::norm() const
+{
+    double sum = 0.0;
+    for (float v : values_)
+        sum += static_cast<double>(v) * v;
+    return std::sqrt(sum);
+}
+
+void
+FeatureVector::normalize()
+{
+    double n = norm();
+    if (n <= 0.0)
+        return;
+    for (float &v : values_)
+        v = static_cast<float>(v / n);
+}
+
+uint64_t
+FeatureVector::hash() const
+{
+    // FNV-1a over the raw float bytes.
+    uint64_t h = 1469598103934665603ULL;
+    for (float v : values_) {
+        uint32_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int i = 0; i < 4; ++i) {
+            h ^= (bits >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+std::string
+FeatureVector::toString(size_t max_elems) const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < values_.size() && i < max_elems; ++i) {
+        if (i)
+            oss << ", ";
+        oss << values_[i];
+    }
+    if (values_.size() > max_elems)
+        oss << ", ... (" << values_.size() << " total)";
+    oss << "]";
+    return oss.str();
+}
+
+double
+distance(const FeatureVector &a, const FeatureVector &b, Metric metric)
+{
+    POTLUCK_ASSERT(a.size() == b.size(),
+                   "distance between vectors of size " << a.size() << " and "
+                                                       << b.size());
+    switch (metric) {
+      case Metric::L2: {
+        double sum = 0.0;
+        for (size_t i = 0; i < a.size(); ++i) {
+            double d = static_cast<double>(a[i]) - b[i];
+            sum += d * d;
+        }
+        return std::sqrt(sum);
+      }
+      case Metric::L1: {
+        double sum = 0.0;
+        for (size_t i = 0; i < a.size(); ++i)
+            sum += std::abs(static_cast<double>(a[i]) - b[i]);
+        return sum;
+      }
+      case Metric::Cosine: {
+        double dot = 0.0, na = 0.0, nb = 0.0;
+        for (size_t i = 0; i < a.size(); ++i) {
+            dot += static_cast<double>(a[i]) * b[i];
+            na += static_cast<double>(a[i]) * a[i];
+            nb += static_cast<double>(b[i]) * b[i];
+        }
+        if (na <= 0.0 || nb <= 0.0)
+            return (na == nb) ? 0.0 : 1.0;
+        return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+      }
+      case Metric::Hamming: {
+        double count = 0.0;
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (std::abs(static_cast<double>(a[i]) - b[i]) > 0.5)
+                count += 1.0;
+        }
+        return count;
+      }
+    }
+    POTLUCK_PANIC("unreachable metric");
+}
+
+} // namespace potluck

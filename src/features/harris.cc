@@ -1,0 +1,103 @@
+#include "features/harris.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace potluck {
+
+HarrisExtractor::HarrisExtractor(double k, double threshold, int grid)
+    : k_(k), threshold_(threshold), grid_(grid)
+{
+    POTLUCK_ASSERT(k > 0.0 && k < 0.25, "Harris k out of range: " << k);
+    POTLUCK_ASSERT(threshold > 0.0 && threshold < 1.0,
+                   "relative threshold out of range");
+    POTLUCK_ASSERT(grid >= 1, "grid must be >= 1");
+}
+
+std::vector<Corner>
+HarrisExtractor::detect(const Image &img) const
+{
+    Image grey = img.toGrey();
+    int w = grey.width();
+    int h = grey.height();
+    std::vector<double> ix2(static_cast<size_t>(w) * h);
+    std::vector<double> iy2(static_cast<size_t>(w) * h);
+    std::vector<double> ixy(static_cast<size_t>(w) * h);
+    auto idx = [w](int x, int y) { return static_cast<size_t>(y) * w + x; };
+
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            double gx = grey.clamped(x + 1, y) - grey.clamped(x - 1, y);
+            double gy = grey.clamped(x, y + 1) - grey.clamped(x, y - 1);
+            ix2[idx(x, y)] = gx * gx;
+            iy2[idx(x, y)] = gy * gy;
+            ixy[idx(x, y)] = gx * gy;
+        }
+    }
+
+    // Gaussian-weighted 7x7 smoothing of the structure tensor (the
+    // classic sigma~1.4 integration window), then the response.
+    static const double kWindow[7] = {0.03, 0.11, 0.22, 0.28,
+                                      0.22, 0.11, 0.03};
+    std::vector<double> response(static_cast<size_t>(w) * h, 0.0);
+    double max_response = 0.0;
+    for (int y = 3; y < h - 3; ++y) {
+        for (int x = 3; x < w - 3; ++x) {
+            double a = 0, b = 0, c = 0;
+            for (int dy = -3; dy <= 3; ++dy) {
+                for (int dx = -3; dx <= 3; ++dx) {
+                    double weight = kWindow[dy + 3] * kWindow[dx + 3];
+                    a += weight * ix2[idx(x + dx, y + dy)];
+                    b += weight * iy2[idx(x + dx, y + dy)];
+                    c += weight * ixy[idx(x + dx, y + dy)];
+                }
+            }
+            double det = a * b - c * c;
+            double trace = a + b;
+            double r = det - k_ * trace * trace;
+            response[idx(x, y)] = r;
+            max_response = std::max(max_response, r);
+        }
+    }
+    if (max_response <= 0.0)
+        return {};
+
+    // Non-maximum suppression in 3x3 neighbourhoods.
+    std::vector<Corner> corners;
+    double cutoff = threshold_ * max_response;
+    for (int y = 1; y < h - 1; ++y) {
+        for (int x = 1; x < w - 1; ++x) {
+            double r = response[idx(x, y)];
+            if (r < cutoff)
+                continue;
+            bool is_max = true;
+            for (int dy = -1; dy <= 1 && is_max; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                    if ((dx || dy) && response[idx(x + dx, y + dy)] > r) {
+                        is_max = false;
+                        break;
+                    }
+            if (is_max)
+                corners.push_back(Corner{x, y, r});
+        }
+    }
+    return corners;
+}
+
+FeatureVector
+HarrisExtractor::extract(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "Harris of empty image");
+    std::vector<Corner> corners = detect(img);
+    std::vector<float> grid_counts(static_cast<size_t>(grid_) * grid_, 0.0f);
+    for (const Corner &corner : corners) {
+        int gx = std::min(corner.x * grid_ / img.width(), grid_ - 1);
+        int gy = std::min(corner.y * grid_ / img.height(), grid_ - 1);
+        grid_counts[static_cast<size_t>(gy) * grid_ + gx] += 1.0f;
+    }
+    FeatureVector key(std::move(grid_counts));
+    key.normalize();
+    return key;
+}
+
+} // namespace potluck

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Harris corner detector (Harris & Stephens, the paper's [24]): corner
+ * response R = det(M) - k*trace(M)^2 over the structure tensor M of
+ * smoothed image gradients, with non-maximum suppression. The key is
+ * the same normalized occupancy-grid descriptor as FAST so both
+ * detection-oriented keys are directly comparable in cost/behaviour.
+ */
+#ifndef POTLUCK_FEATURES_HARRIS_H
+#define POTLUCK_FEATURES_HARRIS_H
+
+#include <vector>
+
+#include "features/extractor.h"
+#include "features/fast.h" // for Corner
+
+namespace potluck {
+
+/** Harris corner detector and grid-descriptor key generator. */
+class HarrisExtractor : public FeatureExtractor
+{
+  public:
+    /**
+     * @param k          Harris sensitivity constant (typically 0.04-0.06)
+     * @param threshold  minimum corner response (relative to max)
+     * @param grid       occupancy-grid edge for the key
+     */
+    explicit HarrisExtractor(double k = 0.05, double threshold = 0.01,
+                             int grid = 8);
+
+    std::string name() const override { return "harris"; }
+    FeatureVector extract(const Image &img) const override;
+
+    /** Raw detections after non-maximum suppression. */
+    std::vector<Corner> detect(const Image &img) const;
+
+  private:
+    double k_;
+    double threshold_;
+    int grid_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_HARRIS_H

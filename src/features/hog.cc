@@ -1,0 +1,70 @@
+#include "features/hog.h"
+
+#include <cmath>
+
+namespace potluck {
+
+HogExtractor::HogExtractor(int cell_size, int num_bins)
+    : cell_size_(cell_size), num_bins_(num_bins)
+{
+    POTLUCK_ASSERT(cell_size >= 2, "HoG cell too small");
+    POTLUCK_ASSERT(num_bins >= 2, "HoG needs >= 2 bins");
+}
+
+FeatureVector
+HogExtractor::extract(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "HoG of empty image");
+    Image grey = img.toGrey();
+    int cells_x = std::max(1, grey.width() / cell_size_);
+    int cells_y = std::max(1, grey.height() / cell_size_);
+    std::vector<float> hist(
+        static_cast<size_t>(cells_x) * cells_y * num_bins_, 0.0f);
+
+    auto cell_hist = [&](int cx, int cy) -> float * {
+        return hist.data() +
+               (static_cast<size_t>(cy) * cells_x + cx) * num_bins_;
+    };
+
+    // Accumulate gradient magnitude into orientation bins per cell,
+    // with linear interpolation between adjacent bins.
+    for (int y = 0; y < grey.height(); ++y) {
+        for (int x = 0; x < grey.width(); ++x) {
+            double gx = grey.clamped(x + 1, y) - grey.clamped(x - 1, y);
+            double gy = grey.clamped(x, y + 1) - grey.clamped(x, y - 1);
+            double mag = std::sqrt(gx * gx + gy * gy);
+            if (mag <= 0.0)
+                continue;
+            double angle = std::atan2(gy, gx); // [-pi, pi]
+            if (angle < 0)
+                angle += M_PI; // unsigned orientation [0, pi)
+            double bin_pos = angle / M_PI * num_bins_;
+            int bin0 = static_cast<int>(bin_pos) % num_bins_;
+            int bin1 = (bin0 + 1) % num_bins_;
+            double frac = bin_pos - std::floor(bin_pos);
+            int cx = std::min(x / cell_size_, cells_x - 1);
+            int cy = std::min(y / cell_size_, cells_y - 1);
+            float *cell = cell_hist(cx, cy);
+            cell[bin0] += static_cast<float>(mag * (1.0 - frac));
+            cell[bin1] += static_cast<float>(mag * frac);
+        }
+    }
+
+    // L2 block normalization per cell (simplified 1x1 blocks) so the
+    // descriptor is robust to lighting/contrast changes.
+    const double eps = 1e-6;
+    for (int cy = 0; cy < cells_y; ++cy) {
+        for (int cx = 0; cx < cells_x; ++cx) {
+            float *cell = cell_hist(cx, cy);
+            double norm = eps;
+            for (int b = 0; b < num_bins_; ++b)
+                norm += static_cast<double>(cell[b]) * cell[b];
+            norm = std::sqrt(norm);
+            for (int b = 0; b < num_bins_; ++b)
+                cell[b] = static_cast<float>(cell[b] / norm);
+        }
+    }
+    return FeatureVector(std::move(hist));
+}
+
+} // namespace potluck

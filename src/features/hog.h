@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Histogram-of-Oriented-Gradients feature (Dalal-Triggs style, the
+ * paper's [45]): per-cell 9-bin unsigned gradient-orientation
+ * histograms with block normalization.
+ */
+#ifndef POTLUCK_FEATURES_HOG_H
+#define POTLUCK_FEATURES_HOG_H
+
+#include "features/extractor.h"
+
+namespace potluck {
+
+/** HoG descriptor over a fixed grid of cells. */
+class HogExtractor : public FeatureExtractor
+{
+  public:
+    /**
+     * @param cell_size  cell edge in pixels
+     * @param num_bins   orientation bins over [0, pi)
+     */
+    explicit HogExtractor(int cell_size = 8, int num_bins = 9);
+
+    std::string name() const override { return "hog"; }
+    FeatureVector extract(const Image &img) const override;
+
+  private:
+    int cell_size_;
+    int num_bins_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_HOG_H

@@ -1,0 +1,158 @@
+#include "features/mfcc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+namespace {
+
+double
+hzToMel(double hz)
+{
+    return 2595.0 * std::log10(1.0 + hz / 700.0);
+}
+
+double
+melToHz(double mel)
+{
+    return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+/** In-place radix-2 Cooley-Tukey FFT. Size must be a power of two. */
+void
+fft(std::vector<std::complex<double>> &a)
+{
+    size_t n = a.size();
+    if (n <= 1)
+        return;
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (size_t len = 2; len <= n; len <<= 1) {
+        double angle = -2.0 * M_PI / static_cast<double>(len);
+        std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (size_t j = 0; j < len / 2; ++j) {
+                std::complex<double> u = a[i + j];
+                std::complex<double> v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+} // namespace
+
+MfccExtractor::MfccExtractor(int sample_rate, int frame_size, int num_filters,
+                             int num_coeffs)
+    : sample_rate_(sample_rate), frame_size_(frame_size),
+      num_filters_(num_filters), num_coeffs_(num_coeffs)
+{
+    POTLUCK_ASSERT(sample_rate > 0, "bad sample rate");
+    POTLUCK_ASSERT(frame_size >= 64 && (frame_size & (frame_size - 1)) == 0,
+                   "frame size must be a power of two >= 64");
+    POTLUCK_ASSERT(num_coeffs >= 1 && num_coeffs <= num_filters,
+                   "coeff count must be in [1, num_filters]");
+}
+
+std::vector<std::vector<float>>
+MfccExtractor::framesCoefficients(const std::vector<float> &samples) const
+{
+    std::vector<std::vector<float>> out;
+    if (samples.size() < static_cast<size_t>(frame_size_))
+        return out;
+
+    // Precompute triangular mel filterbank edges over FFT bins.
+    int num_bins = frame_size_ / 2;
+    double mel_lo = hzToMel(0.0);
+    double mel_hi = hzToMel(sample_rate_ / 2.0);
+    std::vector<int> centers(num_filters_ + 2);
+    for (int i = 0; i < num_filters_ + 2; ++i) {
+        double mel = mel_lo + (mel_hi - mel_lo) * i / (num_filters_ + 1);
+        double hz = melToHz(mel);
+        centers[i] = std::clamp(
+            static_cast<int>(hz / (sample_rate_ / 2.0) * num_bins), 0,
+            num_bins - 1);
+    }
+
+    size_t hop = static_cast<size_t>(frame_size_) / 2;
+    for (size_t start = 0; start + frame_size_ <= samples.size();
+         start += hop) {
+        // Hamming window + FFT power spectrum.
+        std::vector<std::complex<double>> frame(frame_size_);
+        for (int i = 0; i < frame_size_; ++i) {
+            double w = 0.54 - 0.46 * std::cos(2.0 * M_PI * i /
+                                              (frame_size_ - 1));
+            frame[i] = samples[start + i] * w;
+        }
+        fft(frame);
+        std::vector<double> power(num_bins);
+        for (int i = 0; i < num_bins; ++i)
+            power[i] = std::norm(frame[i]) / frame_size_;
+
+        // Mel filterbank energies.
+        std::vector<double> energies(num_filters_);
+        for (int f = 0; f < num_filters_; ++f) {
+            int lo = centers[f];
+            int mid = centers[f + 1];
+            int hi = centers[f + 2];
+            double e = 0.0;
+            for (int b = lo; b <= hi; ++b) {
+                double weight;
+                if (b < mid) {
+                    weight = mid > lo
+                                 ? static_cast<double>(b - lo) / (mid - lo)
+                                 : 1.0;
+                } else {
+                    weight = hi > mid
+                                 ? static_cast<double>(hi - b) / (hi - mid)
+                                 : 1.0;
+                }
+                e += weight * power[b];
+            }
+            energies[f] = std::log(e + 1e-10);
+        }
+
+        // DCT-II over log energies -> cepstral coefficients.
+        std::vector<float> coeffs(num_coeffs_);
+        for (int c = 0; c < num_coeffs_; ++c) {
+            double sum = 0.0;
+            for (int f = 0; f < num_filters_; ++f)
+                sum += energies[f] *
+                       std::cos(M_PI * c * (f + 0.5) / num_filters_);
+            coeffs[c] = static_cast<float>(sum);
+        }
+        out.push_back(std::move(coeffs));
+    }
+    return out;
+}
+
+FeatureVector
+MfccExtractor::extract(const std::vector<float> &samples) const
+{
+    auto frames = framesCoefficients(samples);
+    std::vector<float> pooled(num_coeffs_, 0.0f);
+    if (!frames.empty()) {
+        for (const auto &frame : frames)
+            for (int c = 0; c < num_coeffs_; ++c)
+                pooled[c] += frame[c];
+        for (auto &v : pooled)
+            v /= static_cast<float>(frames.size());
+    }
+    return FeatureVector(std::move(pooled));
+}
+
+} // namespace potluck

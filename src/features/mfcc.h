@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Mel-Frequency Cepstral Coefficients for audio input. The paper's
+ * Section 4.2 names MFCC as the canonical *custom* key an application
+ * registers for non-image data (a call assistant sampling the mic);
+ * this implementation backs the custom-key example and tests.
+ */
+#ifndef POTLUCK_FEATURES_MFCC_H
+#define POTLUCK_FEATURES_MFCC_H
+
+#include <vector>
+
+#include "features/feature_vector.h"
+
+namespace potluck {
+
+/** MFCC configuration and computation over mono PCM samples. */
+class MfccExtractor
+{
+  public:
+    /**
+     * @param sample_rate   Hz
+     * @param frame_size    samples per analysis frame (power of two)
+     * @param num_filters   mel filterbank size
+     * @param num_coeffs    cepstral coefficients kept per frame
+     */
+    explicit MfccExtractor(int sample_rate = 16000, int frame_size = 512,
+                           int num_filters = 26, int num_coeffs = 13);
+
+    /**
+     * Compute MFCCs for a mono signal and mean-pool over frames into a
+     * fixed num_coeffs-dimensional key.
+     */
+    FeatureVector extract(const std::vector<float> &samples) const;
+
+    /** Per-frame coefficients (frames x num_coeffs, row-major). */
+    std::vector<std::vector<float>>
+    framesCoefficients(const std::vector<float> &samples) const;
+
+    int numCoeffs() const { return num_coeffs_; }
+
+  private:
+    int sample_rate_;
+    int frame_size_;
+    int num_filters_;
+    int num_coeffs_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_MFCC_H

@@ -1,0 +1,122 @@
+#include "features/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+void
+Pca::fit(const std::vector<FeatureVector> &samples, int num_components,
+         int power_iters)
+{
+    POTLUCK_ASSERT(!samples.empty(), "PCA fit with no samples");
+    size_t dim = samples[0].size();
+    for (const auto &s : samples)
+        POTLUCK_ASSERT(s.size() == dim, "PCA samples of unequal dimension");
+    POTLUCK_ASSERT(num_components >= 1 &&
+                       num_components <= static_cast<int>(dim),
+                   "bad component count " << num_components);
+
+    // Centre the data.
+    mean_.assign(dim, 0.0f);
+    for (const auto &s : samples)
+        for (size_t i = 0; i < dim; ++i)
+            mean_[i] += s[i];
+    for (auto &m : mean_)
+        m /= static_cast<float>(samples.size());
+
+    std::vector<std::vector<double>> centred(
+        samples.size(), std::vector<double>(dim));
+    for (size_t r = 0; r < samples.size(); ++r)
+        for (size_t i = 0; i < dim; ++i)
+            centred[r][i] = samples[r][i] - mean_[i];
+
+    components_.clear();
+    variance_.clear();
+
+    // Total variance for the explained-variance ratios.
+    double total_var = 0.0;
+    for (const auto &row : centred)
+        for (double v : row)
+            total_var += v * v;
+    total_var /= static_cast<double>(samples.size());
+    if (total_var <= 0.0)
+        total_var = 1.0;
+
+    // Power iteration with deflation: find each leading eigenvector of
+    // the covariance implicitly via X^T (X w).
+    for (int comp = 0; comp < num_components; ++comp) {
+        std::vector<double> w(dim);
+        // Deterministic start vector that is unlikely to be orthogonal
+        // to the leading eigenvector.
+        for (size_t i = 0; i < dim; ++i)
+            w[i] = std::cos(static_cast<double>(i + 1) * (comp + 1));
+        for (int it = 0; it < power_iters; ++it) {
+            // z = X w (per-sample projections)
+            std::vector<double> z(centred.size(), 0.0);
+            for (size_t r = 0; r < centred.size(); ++r)
+                for (size_t i = 0; i < dim; ++i)
+                    z[r] += centred[r][i] * w[i];
+            // w' = X^T z
+            std::vector<double> next(dim, 0.0);
+            for (size_t r = 0; r < centred.size(); ++r)
+                for (size_t i = 0; i < dim; ++i)
+                    next[i] += centred[r][i] * z[r];
+            double norm = 0.0;
+            for (double v : next)
+                norm += v * v;
+            norm = std::sqrt(norm);
+            if (norm < 1e-12)
+                break; // no remaining variance
+            for (size_t i = 0; i < dim; ++i)
+                w[i] = next[i] / norm;
+        }
+        // Eigenvalue estimate = variance of projections.
+        double lambda = 0.0;
+        for (const auto &row : centred) {
+            double proj = 0.0;
+            for (size_t i = 0; i < dim; ++i)
+                proj += row[i] * w[i];
+            lambda += proj * proj;
+        }
+        lambda /= static_cast<double>(centred.size());
+        variance_.push_back(lambda / total_var);
+
+        std::vector<float> comp_f(dim);
+        for (size_t i = 0; i < dim; ++i)
+            comp_f[i] = static_cast<float>(w[i]);
+        components_.push_back(std::move(comp_f));
+
+        // Deflate: remove this component from every sample.
+        for (auto &row : centred) {
+            double proj = 0.0;
+            for (size_t i = 0; i < dim; ++i)
+                proj += row[i] * w[i];
+            for (size_t i = 0; i < dim; ++i)
+                row[i] -= proj * w[i];
+        }
+    }
+}
+
+FeatureVector
+Pca::transform(const FeatureVector &v) const
+{
+    if (!fitted())
+        POTLUCK_FATAL("PCA transform before fit");
+    if (v.size() != mean_.size()) {
+        POTLUCK_FATAL("PCA transform dim " << v.size() << " != fit dim "
+                                           << mean_.size());
+    }
+    std::vector<float> out(components_.size());
+    for (size_t c = 0; c < components_.size(); ++c) {
+        double sum = 0.0;
+        for (size_t i = 0; i < mean_.size(); ++i)
+            sum += (v[i] - mean_[i]) * static_cast<double>(components_[c][i]);
+        out[c] = static_cast<float>(sum);
+    }
+    return FeatureVector(std::move(out));
+}
+
+} // namespace potluck

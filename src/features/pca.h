@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Principal Component Analysis for key dimensionality reduction
+ * (named in Section 4.2 as a custom mechanism apps can register).
+ * Fits the top-k components by power iteration with deflation.
+ */
+#ifndef POTLUCK_FEATURES_PCA_H
+#define POTLUCK_FEATURES_PCA_H
+
+#include <vector>
+
+#include "features/feature_vector.h"
+
+namespace potluck {
+
+/** PCA model: fit on sample vectors, then project new vectors. */
+class Pca
+{
+  public:
+    /**
+     * Fit the top `num_components` principal components.
+     * @param samples  rows, all of equal dimension
+     */
+    void fit(const std::vector<FeatureVector> &samples, int num_components,
+             int power_iters = 50);
+
+    /** Project a vector onto the fitted components. */
+    FeatureVector transform(const FeatureVector &v) const;
+
+    bool fitted() const { return !components_.empty(); }
+    int inputDim() const { return static_cast<int>(mean_.size()); }
+    int outputDim() const { return static_cast<int>(components_.size()); }
+
+    /** Fraction of total variance captured per component. */
+    const std::vector<double> &explainedVariance() const { return variance_; }
+
+  private:
+    std::vector<float> mean_;
+    std::vector<std::vector<float>> components_; // each of inputDim length
+    std::vector<double> variance_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_PCA_H

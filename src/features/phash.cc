@@ -1,0 +1,71 @@
+#include "features/phash.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/transform.h"
+
+namespace potluck {
+
+namespace {
+
+constexpr int kDctSize = 32;
+
+/** Naive 2-D DCT-II of a 32x32 block; only the top-left 8x8 is needed
+ * but the full transform keeps the code obviously correct. */
+void
+dct2d(const std::vector<double> &in, std::vector<double> &out)
+{
+    for (int u = 0; u < 8; ++u) {
+        for (int v = 0; v < 8; ++v) {
+            double sum = 0.0;
+            for (int y = 0; y < kDctSize; ++y) {
+                for (int x = 0; x < kDctSize; ++x) {
+                    sum += in[static_cast<size_t>(y) * kDctSize + x] *
+                           std::cos((2 * x + 1) * u * M_PI / (2 * kDctSize)) *
+                           std::cos((2 * y + 1) * v * M_PI / (2 * kDctSize));
+                }
+            }
+            out[static_cast<size_t>(v) * 8 + u] = sum;
+        }
+    }
+}
+
+} // namespace
+
+FeatureVector
+PhashExtractor::extract(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "phash of empty image");
+    Image small = resizeBilinear(img.toGrey(), kDctSize, kDctSize);
+    std::vector<double> pixels(static_cast<size_t>(kDctSize) * kDctSize);
+    for (int y = 0; y < kDctSize; ++y)
+        for (int x = 0; x < kDctSize; ++x)
+            pixels[static_cast<size_t>(y) * kDctSize + x] = small.px(x, y);
+
+    std::vector<double> freq(64, 0.0);
+    dct2d(pixels, freq);
+
+    // Median of the low-frequency block, excluding the DC term.
+    std::vector<double> ac(freq.begin() + 1, freq.end());
+    std::nth_element(ac.begin(), ac.begin() + ac.size() / 2, ac.end());
+    double median = ac[ac.size() / 2];
+
+    std::vector<float> bits(64);
+    for (size_t i = 0; i < 64; ++i)
+        bits[i] = freq[i] > median ? 1.0f : 0.0f;
+    return FeatureVector(std::move(bits));
+}
+
+uint64_t
+PhashExtractor::hashBits(const Image &img) const
+{
+    FeatureVector v = extract(img);
+    uint64_t bits = 0;
+    for (size_t i = 0; i < 64; ++i)
+        if (v[i] > 0.5f)
+            bits |= (uint64_t{1} << i);
+    return bits;
+}
+
+} // namespace potluck

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Perceptual hash (pHash-style): 32x32 luminance -> 2-D DCT -> sign of
+ * the 8x8 low-frequency block against its median, giving a 64-element
+ * binary key compared under the Hamming metric. Not in the paper's
+ * Table 1, but a natural member of the "library of mechanisms" that
+ * demonstrates a non-Euclidean key type.
+ */
+#ifndef POTLUCK_FEATURES_PHASH_H
+#define POTLUCK_FEATURES_PHASH_H
+
+#include "features/extractor.h"
+
+namespace potluck {
+
+/** DCT perceptual-hash key (binary, Hamming metric). */
+class PhashExtractor : public FeatureExtractor
+{
+  public:
+    PhashExtractor() = default;
+
+    std::string name() const override { return "phash"; }
+    Metric metric() const override { return Metric::Hamming; }
+    FeatureVector extract(const Image &img) const override;
+
+    /** The hash packed into a u64 (bit i = element i). */
+    uint64_t hashBits(const Image &img) const;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_PHASH_H

@@ -1,0 +1,219 @@
+#include "features/sift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/transform.h"
+
+namespace potluck {
+
+namespace {
+
+/** Float grey image used inside the pyramid. */
+struct FloatImage
+{
+    int w = 0;
+    int h = 0;
+    std::vector<float> data;
+
+    FloatImage() = default;
+    FloatImage(int w_, int h_) : w(w_), h(h_), data(static_cast<size_t>(w_) * h_) {}
+
+    float
+    at(int x, int y) const
+    {
+        x = std::clamp(x, 0, w - 1);
+        y = std::clamp(y, 0, h - 1);
+        return data[static_cast<size_t>(y) * w + x];
+    }
+
+    float &px(int x, int y) { return data[static_cast<size_t>(y) * w + x]; }
+};
+
+FloatImage
+toFloat(const Image &img)
+{
+    Image grey = img.toGrey();
+    FloatImage out(grey.width(), grey.height());
+    for (int y = 0; y < grey.height(); ++y)
+        for (int x = 0; x < grey.width(); ++x)
+            out.px(x, y) = grey.px(x, y);
+    return out;
+}
+
+FloatImage
+blurFloat(const FloatImage &src, double sigma)
+{
+    int radius = std::max(1, static_cast<int>(std::ceil(sigma * 3.0)));
+    std::vector<double> kernel(2 * radius + 1);
+    double sum = 0.0;
+    for (int i = -radius; i <= radius; ++i) {
+        kernel[i + radius] = std::exp(-0.5 * i * i / (sigma * sigma));
+        sum += kernel[i + radius];
+    }
+    for (auto &k : kernel)
+        k /= sum;
+    FloatImage tmp(src.w, src.h);
+    for (int y = 0; y < src.h; ++y)
+        for (int x = 0; x < src.w; ++x) {
+            double acc = 0.0;
+            for (int i = -radius; i <= radius; ++i)
+                acc += kernel[i + radius] * src.at(x + i, y);
+            tmp.px(x, y) = static_cast<float>(acc);
+        }
+    FloatImage out(src.w, src.h);
+    for (int y = 0; y < src.h; ++y)
+        for (int x = 0; x < src.w; ++x) {
+            double acc = 0.0;
+            for (int i = -radius; i <= radius; ++i)
+                acc += kernel[i + radius] * tmp.at(x, y + i);
+            out.px(x, y) = static_cast<float>(acc);
+        }
+    return out;
+}
+
+FloatImage
+halve(const FloatImage &src)
+{
+    FloatImage out(std::max(1, src.w / 2), std::max(1, src.h / 2));
+    for (int y = 0; y < out.h; ++y)
+        for (int x = 0; x < out.w; ++x)
+            out.px(x, y) = src.at(2 * x, 2 * y);
+    return out;
+}
+
+/** Build the 128-d descriptor around (x, y) in the blurred image. */
+std::array<float, 128>
+describe(const FloatImage &img, int x, int y)
+{
+    std::array<float, 128> desc{};
+    // 16x16 neighbourhood split into 4x4 cells of 4x4 pixels; 8
+    // orientation bins per cell, magnitude-weighted.
+    for (int dy = -8; dy < 8; ++dy) {
+        for (int dx = -8; dx < 8; ++dx) {
+            int px = x + dx;
+            int py = y + dy;
+            double gx = img.at(px + 1, py) - img.at(px - 1, py);
+            double gy = img.at(px, py + 1) - img.at(px, py - 1);
+            double mag = std::sqrt(gx * gx + gy * gy);
+            double angle = std::atan2(gy, gx) + M_PI; // [0, 2pi]
+            int bin = std::min(static_cast<int>(angle / (2 * M_PI) * 8), 7);
+            int cell_x = (dx + 8) / 4;
+            int cell_y = (dy + 8) / 4;
+            desc[(static_cast<size_t>(cell_y) * 4 + cell_x) * 8 + bin] +=
+                static_cast<float>(mag);
+        }
+    }
+    // Normalize, clamp at 0.2 (Lowe's illumination robustness trick),
+    // renormalize.
+    auto normalize = [&]() {
+        double norm = 1e-6;
+        for (float v : desc)
+            norm += static_cast<double>(v) * v;
+        norm = std::sqrt(norm);
+        for (float &v : desc)
+            v = static_cast<float>(v / norm);
+    };
+    normalize();
+    for (float &v : desc)
+        v = std::min(v, 0.2f);
+    normalize();
+    return desc;
+}
+
+} // namespace
+
+SiftExtractor::SiftExtractor(int octaves, int scales_per_octave,
+                             double contrast_threshold, size_t max_keypoints)
+    : octaves_(octaves), scales_(scales_per_octave),
+      contrast_threshold_(contrast_threshold), max_keypoints_(max_keypoints)
+{
+    POTLUCK_ASSERT(octaves >= 1 && octaves <= 8, "bad octave count");
+    POTLUCK_ASSERT(scales_per_octave >= 2, "need >= 2 scales per octave");
+}
+
+std::vector<SiftKeypoint>
+SiftExtractor::detectAndDescribe(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "SIFT of empty image");
+    std::vector<SiftKeypoint> keypoints;
+    FloatImage base = toFloat(img);
+    double octave_scale = 1.0;
+
+    for (int octave = 0; octave < octaves_; ++octave) {
+        if (base.w < 32 || base.h < 32)
+            break;
+        // Gaussian ladder: scales_ + 2 blurred images -> scales_ + 1 DoGs.
+        std::vector<FloatImage> gauss;
+        double k = std::pow(2.0, 1.0 / scales_);
+        double sigma = 1.6;
+        for (int s = 0; s < scales_ + 2; ++s) {
+            gauss.push_back(blurFloat(base, sigma));
+            sigma *= k;
+        }
+        std::vector<FloatImage> dog;
+        for (size_t s = 0; s + 1 < gauss.size(); ++s) {
+            FloatImage d(base.w, base.h);
+            for (size_t i = 0; i < d.data.size(); ++i)
+                d.data[i] = gauss[s + 1].data[i] - gauss[s].data[i];
+            dog.push_back(std::move(d));
+        }
+        // 3-D extrema over (x, y, scale), away from the border.
+        for (size_t s = 1; s + 1 < dog.size(); ++s) {
+            for (int y = 9; y < base.h - 9; ++y) {
+                for (int x = 9; x < base.w - 9; ++x) {
+                    float v = dog[s].at(x, y);
+                    if (std::abs(v) < contrast_threshold_)
+                        continue;
+                    bool is_max = true, is_min = true;
+                    for (int ds = -1; ds <= 1 && (is_max || is_min); ++ds) {
+                        for (int dy = -1; dy <= 1; ++dy) {
+                            for (int dx = -1; dx <= 1; ++dx) {
+                                if (!ds && !dy && !dx)
+                                    continue;
+                                float n = dog[s + ds].at(x + dx, y + dy);
+                                if (n >= v)
+                                    is_max = false;
+                                if (n <= v)
+                                    is_min = false;
+                            }
+                        }
+                    }
+                    if (!is_max && !is_min)
+                        continue;
+                    SiftKeypoint kp;
+                    kp.x = x * octave_scale;
+                    kp.y = y * octave_scale;
+                    kp.scale = octave_scale * 1.6 * std::pow(k, double(s));
+                    kp.descriptor = describe(gauss[s], x, y);
+                    keypoints.push_back(kp);
+                    if (keypoints.size() >= max_keypoints_ * 4)
+                        goto pyramid_done; // hard cap on work
+                }
+            }
+        }
+        base = halve(base);
+        octave_scale *= 2.0;
+    }
+pyramid_done:
+    if (keypoints.size() > max_keypoints_)
+        keypoints.resize(max_keypoints_);
+    return keypoints;
+}
+
+FeatureVector
+SiftExtractor::extract(const Image &img) const
+{
+    std::vector<SiftKeypoint> kps = detectAndDescribe(img);
+    std::vector<float> pooled(128, 0.0f);
+    if (!kps.empty()) {
+        for (const auto &kp : kps)
+            for (size_t i = 0; i < 128; ++i)
+                pooled[i] += kp.descriptor[i];
+        for (auto &v : pooled)
+            v /= static_cast<float>(kps.size());
+    }
+    return FeatureVector(std::move(pooled));
+}
+
+} // namespace potluck

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simplified SIFT (Lowe, the paper's [35]): a difference-of-Gaussians
+ * scale-space pyramid, extrema detection, and 128-dimensional
+ * gradient-orientation descriptors (4x4 spatial bins x 8 orientations)
+ * per keypoint.
+ *
+ * As a cache key the per-keypoint descriptors are pooled into a fixed
+ * 128-d "bag" vector (mean of descriptors), because the cache metric
+ * space requires fixed-length keys; the raw descriptors remain
+ * available via detectAndDescribe() for matching-oriented callers.
+ */
+#ifndef POTLUCK_FEATURES_SIFT_H
+#define POTLUCK_FEATURES_SIFT_H
+
+#include <array>
+#include <vector>
+
+#include "features/extractor.h"
+
+namespace potluck {
+
+/** A SIFT keypoint with its 128-d descriptor. */
+struct SiftKeypoint
+{
+    double x = 0.0;
+    double y = 0.0;
+    double scale = 0.0;
+    std::array<float, 128> descriptor{};
+};
+
+/** Simplified SIFT detector/descriptor and pooled-key generator. */
+class SiftExtractor : public FeatureExtractor
+{
+  public:
+    /**
+     * @param octaves           pyramid octaves
+     * @param scales_per_octave DoG scales per octave
+     * @param contrast_threshold minimum |DoG| for a keypoint
+     * @param max_keypoints     cap on keypoints kept (strongest first)
+     */
+    explicit SiftExtractor(int octaves = 4, int scales_per_octave = 3,
+                           double contrast_threshold = 2.0,
+                           size_t max_keypoints = 500);
+
+    std::string name() const override { return "sift"; }
+    FeatureVector extract(const Image &img) const override;
+
+    /** Full keypoint + descriptor output. */
+    std::vector<SiftKeypoint> detectAndDescribe(const Image &img) const;
+
+  private:
+    int octaves_;
+    int scales_;
+    double contrast_threshold_;
+    size_t max_keypoints_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_SIFT_H

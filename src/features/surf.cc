@@ -1,0 +1,160 @@
+#include "features/surf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/integral.h"
+
+namespace potluck {
+
+namespace {
+
+/**
+ * Approximate second derivatives at (x, y) with box filters of lobe
+ * size `lobe` over the integral image (the SURF trick).
+ */
+double
+hessianResponse(const IntegralImage &ii, int x, int y, int lobe)
+{
+    int l = lobe;
+    double w = 3.0 * l; // filter edge
+    // Dxx: [ -1 band | 2 band | -1 band ] horizontally.
+    double dxx = ii.boxSum(x - l - l / 2, y - l + 1, 3 * l, 2 * l - 1) -
+                 3.0 * ii.boxSum(x - l / 2, y - l + 1, l, 2 * l - 1);
+    double dyy = ii.boxSum(x - l + 1, y - l - l / 2, 2 * l - 1, 3 * l) -
+                 3.0 * ii.boxSum(x - l + 1, y - l / 2, 2 * l - 1, l);
+    // Dxy: four diagonal quadrant boxes.
+    double dxy = ii.boxSum(x - l, y - l, l, l) + ii.boxSum(x + 1, y + 1, l, l) -
+                 ii.boxSum(x + 1, y - l, l, l) - ii.boxSum(x - l, y + 1, l, l);
+    dxx /= w * w;
+    dyy /= w * w;
+    dxy /= w * w;
+    return dxx * dyy - 0.81 * dxy * dxy;
+}
+
+/** Haar wavelet responses (dx, dy) at (x, y) with the given half-size. */
+void
+haar(const IntegralImage &ii, int x, int y, int s, double &dx, double &dy)
+{
+    dx = ii.boxSum(x, y - s, s, 2 * s) - ii.boxSum(x - s, y - s, s, 2 * s);
+    dy = ii.boxSum(x - s, y, 2 * s, s) - ii.boxSum(x - s, y - s, 2 * s, s);
+}
+
+std::array<float, 64>
+describeSurf(const IntegralImage &ii, int x, int y, int scale)
+{
+    std::array<float, 64> desc{};
+    int s = std::max(1, scale / 2);
+    // 4x4 grid of cells around the keypoint; each cell accumulates
+    // (sum dx, sum dy, sum |dx|, sum |dy|) over 4 samples.
+    for (int cy = 0; cy < 4; ++cy) {
+        for (int cx = 0; cx < 4; ++cx) {
+            double sum_dx = 0, sum_dy = 0, sum_adx = 0, sum_ady = 0;
+            for (int iy = 0; iy < 2; ++iy) {
+                for (int ix = 0; ix < 2; ++ix) {
+                    int sx = x + (cx - 2) * 2 * s + ix * s + s / 2;
+                    int sy = y + (cy - 2) * 2 * s + iy * s + s / 2;
+                    double dx, dy;
+                    haar(ii, sx, sy, s, dx, dy);
+                    sum_dx += dx;
+                    sum_dy += dy;
+                    sum_adx += std::abs(dx);
+                    sum_ady += std::abs(dy);
+                }
+            }
+            size_t base = (static_cast<size_t>(cy) * 4 + cx) * 4;
+            desc[base + 0] = static_cast<float>(sum_dx);
+            desc[base + 1] = static_cast<float>(sum_dy);
+            desc[base + 2] = static_cast<float>(sum_adx);
+            desc[base + 3] = static_cast<float>(sum_ady);
+        }
+    }
+    double norm = 1e-6;
+    for (float v : desc)
+        norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    for (float &v : desc)
+        v = static_cast<float>(v / norm);
+    return desc;
+}
+
+} // namespace
+
+SurfExtractor::SurfExtractor(double hessian_threshold, size_t max_keypoints)
+    : hessian_threshold_(hessian_threshold), max_keypoints_(max_keypoints)
+{
+    POTLUCK_ASSERT(hessian_threshold > 0.0, "bad hessian threshold");
+}
+
+std::vector<SurfKeypoint>
+SurfExtractor::detectAndDescribe(const Image &img) const
+{
+    POTLUCK_ASSERT(!img.empty(), "SURF of empty image");
+    IntegralImage ii(img);
+    int w = ii.width();
+    int h = ii.height();
+    std::vector<SurfKeypoint> keypoints;
+
+    // Four lobe sizes approximate the SURF scale space (9x9 through
+    // 27x27 box filters).
+    for (int lobe : {3, 5, 7, 9}) {
+        int border = 3 * lobe + 1;
+        if (2 * border >= w || 2 * border >= h)
+            continue;
+        // Dense response map, then local maxima.
+        int step = 1;
+        int gw = (w - 2 * border) / step;
+        int gh = (h - 2 * border) / step;
+        if (gw < 3 || gh < 3)
+            continue;
+        std::vector<double> resp(static_cast<size_t>(gw) * gh);
+        for (int gy = 0; gy < gh; ++gy)
+            for (int gx = 0; gx < gw; ++gx)
+                resp[static_cast<size_t>(gy) * gw + gx] = hessianResponse(
+                    ii, border + gx * step, border + gy * step, lobe);
+        for (int gy = 1; gy < gh - 1; ++gy) {
+            for (int gx = 1; gx < gw - 1; ++gx) {
+                double v = resp[static_cast<size_t>(gy) * gw + gx];
+                if (v < hessian_threshold_)
+                    continue;
+                bool is_max = true;
+                for (int dy = -1; dy <= 1 && is_max; ++dy)
+                    for (int dx = -1; dx <= 1; ++dx)
+                        if ((dx || dy) &&
+                            resp[static_cast<size_t>(gy + dy) * gw + gx + dx] >
+                                v) {
+                            is_max = false;
+                            break;
+                        }
+                if (!is_max)
+                    continue;
+                SurfKeypoint kp;
+                kp.x = border + gx * step;
+                kp.y = border + gy * step;
+                kp.scale = lobe;
+                kp.descriptor = describeSurf(ii, kp.x, kp.y, lobe);
+                keypoints.push_back(kp);
+            }
+        }
+    }
+    if (keypoints.size() > max_keypoints_)
+        keypoints.resize(max_keypoints_);
+    return keypoints;
+}
+
+FeatureVector
+SurfExtractor::extract(const Image &img) const
+{
+    std::vector<SurfKeypoint> kps = detectAndDescribe(img);
+    std::vector<float> pooled(64, 0.0f);
+    if (!kps.empty()) {
+        for (const auto &kp : kps)
+            for (size_t i = 0; i < 64; ++i)
+                pooled[i] += kp.descriptor[i];
+        for (auto &v : pooled)
+            v /= static_cast<float>(kps.size());
+    }
+    return FeatureVector(std::move(pooled));
+}
+
+} // namespace potluck

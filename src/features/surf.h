@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Simplified SURF (Bay et al., the paper's [12]): box-filter
+ * approximation of the Hessian determinant over an integral image for
+ * detection, and 64-dimensional Haar-wavelet-response descriptors
+ * (4x4 spatial bins x 4 statistics).
+ *
+ * Like SIFT, per-keypoint descriptors are mean-pooled into a fixed
+ * 64-d key for cache use.
+ */
+#ifndef POTLUCK_FEATURES_SURF_H
+#define POTLUCK_FEATURES_SURF_H
+
+#include <array>
+#include <vector>
+
+#include "features/extractor.h"
+
+namespace potluck {
+
+/** A SURF keypoint with its 64-d descriptor. */
+struct SurfKeypoint
+{
+    int x = 0;
+    int y = 0;
+    int scale = 0; ///< box-filter lobe size in pixels
+    std::array<float, 64> descriptor{};
+};
+
+/** Simplified SURF detector/descriptor and pooled-key generator. */
+class SurfExtractor : public FeatureExtractor
+{
+  public:
+    /**
+     * @param hessian_threshold  minimum det(H) response (absolute)
+     * @param max_keypoints      cap on keypoints kept
+     */
+    explicit SurfExtractor(double hessian_threshold = 5.0,
+                           size_t max_keypoints = 500);
+
+    std::string name() const override { return "surf"; }
+    FeatureVector extract(const Image &img) const override;
+
+    /** Full keypoint + descriptor output. */
+    std::vector<SurfKeypoint> detectAndDescribe(const Image &img) const;
+
+  private:
+    double hessian_threshold_;
+    size_t max_keypoints_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FEATURES_SURF_H

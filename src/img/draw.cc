@@ -1,0 +1,207 @@
+#include "img/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace potluck {
+
+void
+fill(Image &img, Color c)
+{
+    fillRect(img, 0, 0, img.width() - 1, img.height() - 1, c);
+}
+
+void
+fillRect(Image &img, int x0, int y0, int x1, int y1, Color c)
+{
+    if (x0 > x1)
+        std::swap(x0, x1);
+    if (y0 > y1)
+        std::swap(y0, y1);
+    x0 = std::max(x0, 0);
+    y0 = std::max(y0, 0);
+    x1 = std::min(x1, img.width() - 1);
+    y1 = std::min(y1, img.height() - 1);
+    for (int y = y0; y <= y1; ++y)
+        for (int x = x0; x <= x1; ++x)
+            img.setPixel(x, y, c.r, c.g, c.b);
+}
+
+void
+fillCircle(Image &img, int cx, int cy, int radius, Color c)
+{
+    int r2 = radius * radius;
+    for (int y = cy - radius; y <= cy + radius; ++y) {
+        for (int x = cx - radius; x <= cx + radius; ++x) {
+            int dx = x - cx;
+            int dy = y - cy;
+            if (dx * dx + dy * dy <= r2)
+                img.setPixel(x, y, c.r, c.g, c.b);
+        }
+    }
+}
+
+namespace {
+
+/** Signed area of the parallelogram (edge function for rasterizing). */
+long
+edge(int ax, int ay, int bx, int by, int px, int py)
+{
+    return static_cast<long>(bx - ax) * (py - ay) -
+           static_cast<long>(by - ay) * (px - ax);
+}
+
+} // namespace
+
+void
+fillTriangle(Image &img, int x0, int y0, int x1, int y1, int x2, int y2,
+             Color c)
+{
+    int minx = std::max(std::min({x0, x1, x2}), 0);
+    int maxx = std::min(std::max({x0, x1, x2}), img.width() - 1);
+    int miny = std::max(std::min({y0, y1, y2}), 0);
+    int maxy = std::min(std::max({y0, y1, y2}), img.height() - 1);
+    long area = edge(x0, y0, x1, y1, x2, y2);
+    if (area == 0)
+        return;
+    for (int y = miny; y <= maxy; ++y) {
+        for (int x = minx; x <= maxx; ++x) {
+            long w0 = edge(x1, y1, x2, y2, x, y);
+            long w1 = edge(x2, y2, x0, y0, x, y);
+            long w2 = edge(x0, y0, x1, y1, x, y);
+            bool inside = (area > 0) ? (w0 >= 0 && w1 >= 0 && w2 >= 0)
+                                     : (w0 <= 0 && w1 <= 0 && w2 <= 0);
+            if (inside)
+                img.setPixel(x, y, c.r, c.g, c.b);
+        }
+    }
+}
+
+void
+drawLine(Image &img, int x0, int y0, int x1, int y1, Color c)
+{
+    int dx = std::abs(x1 - x0);
+    int dy = -std::abs(y1 - y0);
+    int sx = x0 < x1 ? 1 : -1;
+    int sy = y0 < y1 ? 1 : -1;
+    int err = dx + dy;
+    for (;;) {
+        img.setPixel(x0, y0, c.r, c.g, c.b);
+        if (x0 == x1 && y0 == y1)
+            break;
+        int e2 = 2 * err;
+        if (e2 >= dy) {
+            err += dy;
+            x0 += sx;
+        }
+        if (e2 <= dx) {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+void
+verticalGradient(Image &img, Color top, Color bottom)
+{
+    for (int y = 0; y < img.height(); ++y) {
+        double t = img.height() > 1
+                       ? static_cast<double>(y) / (img.height() - 1)
+                       : 0.0;
+        auto lerp = [t](uint8_t a, uint8_t b) {
+            return static_cast<uint8_t>(std::lround(a + t * (b - a)));
+        };
+        Color c{lerp(top.r, bottom.r), lerp(top.g, bottom.g),
+                lerp(top.b, bottom.b)};
+        for (int x = 0; x < img.width(); ++x)
+            img.setPixel(x, y, c.r, c.g, c.b);
+    }
+}
+
+void
+addValueNoise(Image &img, Rng &rng, int cell, int amplitude)
+{
+    POTLUCK_ASSERT(cell >= 1, "noise cell must be >= 1");
+    int gw = img.width() / cell + 2;
+    int gh = img.height() / cell + 2;
+    // A lattice of random values per channel, bilinearly interpolated.
+    std::vector<double> lattice(static_cast<size_t>(gw) * gh *
+                                img.channels());
+    for (auto &v : lattice)
+        v = rng.uniformReal(-1.0, 1.0);
+    auto lat = [&](int gx, int gy, int c) {
+        return lattice[(static_cast<size_t>(gy) * gw + gx) * img.channels() +
+                       c];
+    };
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            int gx = x / cell;
+            int gy = y / cell;
+            double fx = static_cast<double>(x % cell) / cell;
+            double fy = static_cast<double>(y % cell) / cell;
+            for (int c = 0; c < img.channels(); ++c) {
+                double v00 = lat(gx, gy, c);
+                double v10 = lat(gx + 1, gy, c);
+                double v01 = lat(gx, gy + 1, c);
+                double v11 = lat(gx + 1, gy + 1, c);
+                double v = v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+                           v01 * (1 - fx) * fy + v11 * fx * fy;
+                int updated = img.px(x, y, c) +
+                              static_cast<int>(std::lround(v * amplitude));
+                img.px(x, y, c) =
+                    static_cast<uint8_t>(std::clamp(updated, 0, 255));
+            }
+        }
+    }
+}
+
+void
+addUniformNoise(Image &img, Rng &rng, int amplitude)
+{
+    for (auto &byte : img.data()) {
+        int updated = byte + static_cast<int>(
+                                 rng.uniformInt(-amplitude, amplitude));
+        byte = static_cast<uint8_t>(std::clamp(updated, 0, 255));
+    }
+}
+
+void
+drawDigit(Image &img, int digit, int x, int y, int w, int h,
+          uint8_t intensity, int thickness)
+{
+    POTLUCK_ASSERT(digit >= 0 && digit <= 9, "digit out of range: " << digit);
+    // Seven-segment layout:  0=top 1=top-left 2=top-right 3=middle
+    //                        4=bottom-left 5=bottom-right 6=bottom
+    static const bool kSegments[10][7] = {
+        {1, 1, 1, 0, 1, 1, 1}, // 0
+        {0, 0, 1, 0, 0, 1, 0}, // 1
+        {1, 0, 1, 1, 1, 0, 1}, // 2
+        {1, 0, 1, 1, 0, 1, 1}, // 3
+        {0, 1, 1, 1, 0, 1, 0}, // 4
+        {1, 1, 0, 1, 0, 1, 1}, // 5
+        {1, 1, 0, 1, 1, 1, 1}, // 6
+        {1, 0, 1, 0, 0, 1, 0}, // 7
+        {1, 1, 1, 1, 1, 1, 1}, // 8
+        {1, 1, 1, 1, 0, 1, 1}, // 9
+    };
+    Color c{intensity, intensity, intensity};
+    int t = std::max(thickness, 1);
+    int mid = y + h / 2;
+    const bool *seg = kSegments[digit];
+    if (seg[0])
+        fillRect(img, x, y, x + w, y + t, c);
+    if (seg[1])
+        fillRect(img, x, y, x + t, mid, c);
+    if (seg[2])
+        fillRect(img, x + w - t, y, x + w, mid, c);
+    if (seg[3])
+        fillRect(img, x, mid - t / 2, x + w, mid + t / 2 + 1, c);
+    if (seg[4])
+        fillRect(img, x, mid, x + t, y + h, c);
+    if (seg[5])
+        fillRect(img, x + w - t, mid, x + w, y + h, c);
+    if (seg[6])
+        fillRect(img, x, y + h - t, x + w, y + h, c);
+}
+
+} // namespace potluck

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Procedural drawing primitives used by the synthetic datasets and the
+ * synthetic camera feed: filled shapes, gradients, value noise, and a
+ * 7-segment-style digit glyph renderer for the MNIST-like dataset.
+ */
+#ifndef POTLUCK_IMG_DRAW_H
+#define POTLUCK_IMG_DRAW_H
+
+#include <cstdint>
+
+#include "img/image.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+/** RGB colour triple. */
+struct Color
+{
+    uint8_t r = 0;
+    uint8_t g = 0;
+    uint8_t b = 0;
+};
+
+/** Fill the whole image with one colour. */
+void fill(Image &img, Color c);
+
+/** Axis-aligned filled rectangle; clipped to the image. */
+void fillRect(Image &img, int x0, int y0, int x1, int y1, Color c);
+
+/** Filled disc centred at (cx, cy). */
+void fillCircle(Image &img, int cx, int cy, int radius, Color c);
+
+/** Filled triangle. */
+void fillTriangle(Image &img, int x0, int y0, int x1, int y1, int x2, int y2,
+                  Color c);
+
+/** 1-px Bresenham line. */
+void drawLine(Image &img, int x0, int y0, int x1, int y1, Color c);
+
+/** Vertical linear gradient from top colour to bottom colour. */
+void verticalGradient(Image &img, Color top, Color bottom);
+
+/**
+ * Deterministic value-noise texture (smoothed lattice noise), added to
+ * the image with the given amplitude. Used for natural-looking
+ * backgrounds in the CIFAR-like dataset.
+ *
+ * @param cell   lattice cell size in pixels (larger = smoother)
+ * @param amplitude  maximum +/- excursion added per channel
+ */
+void addValueNoise(Image &img, Rng &rng, int cell, int amplitude);
+
+/** Per-pixel uniform sensor noise of +/- amplitude. */
+void addUniformNoise(Image &img, Rng &rng, int amplitude);
+
+/**
+ * Render digit (0-9) as a thick segment glyph into a grey image region.
+ * Used by the MNIST-like generator.
+ */
+void drawDigit(Image &img, int digit, int x, int y, int w, int h,
+               uint8_t intensity, int thickness);
+
+} // namespace potluck
+
+#endif // POTLUCK_IMG_DRAW_H

@@ -1,0 +1,107 @@
+#include "img/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace potluck {
+
+Image::Image(int width, int height, int channels)
+    : width_(width), height_(height), channels_(channels)
+{
+    POTLUCK_ASSERT(width > 0 && height > 0, "non-positive image dims");
+    POTLUCK_ASSERT(channels == 1 || channels == 3,
+                   "channels must be 1 or 3, got " << channels);
+    data_.assign(static_cast<size_t>(width) * height * channels, 0);
+}
+
+Image::Image(int width, int height, int channels, uint8_t fill)
+    : Image(width, height, channels)
+{
+    std::fill(data_.begin(), data_.end(), fill);
+}
+
+uint8_t
+Image::clamped(int x, int y, int c) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return px(x, y, c);
+}
+
+void
+Image::setPixel(int x, int y, uint8_t r, uint8_t g, uint8_t b)
+{
+    if (!inBounds(x, y))
+        return;
+    if (channels_ == 1) {
+        px(x, y, 0) = static_cast<uint8_t>(
+            std::lround(0.299 * r + 0.587 * g + 0.114 * b));
+    } else {
+        px(x, y, 0) = r;
+        px(x, y, 1) = g;
+        px(x, y, 2) = b;
+    }
+}
+
+void
+Image::setGrey(int x, int y, uint8_t v)
+{
+    setPixel(x, y, v, v, v);
+}
+
+double
+Image::luminance(int x, int y) const
+{
+    if (channels_ == 1)
+        return px(x, y, 0);
+    return 0.299 * px(x, y, 0) + 0.587 * px(x, y, 1) + 0.114 * px(x, y, 2);
+}
+
+Image
+Image::toGrey() const
+{
+    if (channels_ == 1)
+        return *this;
+    Image out(width_, height_, 1);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            out.px(x, y, 0) =
+                static_cast<uint8_t>(std::lround(luminance(x, y)));
+        }
+    }
+    return out;
+}
+
+Image
+Image::toRgb() const
+{
+    if (channels_ == 3)
+        return *this;
+    Image out(width_, height_, 3);
+    for (int y = 0; y < height_; ++y) {
+        for (int x = 0; x < width_; ++x) {
+            uint8_t v = px(x, y, 0);
+            out.px(x, y, 0) = v;
+            out.px(x, y, 1) = v;
+            out.px(x, y, 2) = v;
+        }
+    }
+    return out;
+}
+
+double
+meanAbsDiff(const Image &a, const Image &b)
+{
+    POTLUCK_ASSERT(a.width() == b.width() && a.height() == b.height() &&
+                       a.channels() == b.channels(),
+                   "meanAbsDiff on mismatched images");
+    if (a.data().empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < a.data().size(); ++i)
+        sum += std::abs(static_cast<int>(a.data()[i]) -
+                        static_cast<int>(b.data()[i]));
+    return sum / static_cast<double>(a.data().size());
+}
+
+} // namespace potluck

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The Image type: an interleaved 8-bit raster with 1 (grey) or 3 (RGB)
+ * channels. This is the substrate the paper delegated to OpenCV; all
+ * feature extractors, the rendering pipeline and the synthetic datasets
+ * operate on it.
+ */
+#ifndef POTLUCK_IMG_IMAGE_H
+#define POTLUCK_IMG_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+/** Interleaved 8-bit image, 1 or 3 channels, row-major. */
+class Image
+{
+  public:
+    /** An empty 0x0 image. */
+    Image() = default;
+
+    /** Allocate width x height x channels, zero-filled. */
+    Image(int width, int height, int channels);
+
+    /** Allocate and fill every byte with the given value. */
+    Image(int width, int height, int channels, uint8_t fill);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int channels() const { return channels_; }
+    bool empty() const { return data_.empty(); }
+
+    /** Total byte size of the pixel buffer. */
+    size_t sizeBytes() const { return data_.size(); }
+
+    /** Mutable access to pixel (x, y), channel c. Bounds-checked. */
+    uint8_t &
+    at(int x, int y, int c = 0)
+    {
+        POTLUCK_ASSERT(inBounds(x, y) && c >= 0 && c < channels_,
+                       "pixel (" << x << "," << y << "," << c
+                                 << ") out of bounds");
+        return data_[index(x, y, c)];
+    }
+
+    uint8_t
+    at(int x, int y, int c = 0) const
+    {
+        POTLUCK_ASSERT(inBounds(x, y) && c >= 0 && c < channels_,
+                       "pixel (" << x << "," << y << "," << c
+                                 << ") out of bounds");
+        return data_[index(x, y, c)];
+    }
+
+    /** Unchecked access for hot loops. */
+    uint8_t &px(int x, int y, int c = 0) { return data_[index(x, y, c)]; }
+    uint8_t px(int x, int y, int c = 0) const { return data_[index(x, y, c)]; }
+
+    /** Clamped read: coordinates outside the image clamp to the border. */
+    uint8_t clamped(int x, int y, int c = 0) const;
+
+    bool
+    inBounds(int x, int y) const
+    {
+        return x >= 0 && x < width_ && y >= 0 && y < height_;
+    }
+
+    /** Set all channels of a pixel (grey value replicated for RGB). */
+    void setPixel(int x, int y, uint8_t r, uint8_t g, uint8_t b);
+    void setGrey(int x, int y, uint8_t v);
+
+    const std::vector<uint8_t> &data() const { return data_; }
+    std::vector<uint8_t> &data() { return data_; }
+
+    /** Luminance (ITU-R BT.601) of a pixel, in [0, 255]. */
+    double luminance(int x, int y) const;
+
+    /** Convert to single-channel luminance image (no-op copy if grey). */
+    Image toGrey() const;
+
+    /** Convert grey to 3-channel by replication (no-op copy if RGB). */
+    Image toRgb() const;
+
+    /** Exact pixel-wise equality (dimensions and data). */
+    bool operator==(const Image &other) const = default;
+
+  private:
+    size_t
+    index(int x, int y, int c) const
+    {
+        return (static_cast<size_t>(y) * width_ + x) * channels_ + c;
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    int channels_ = 0;
+    std::vector<uint8_t> data_;
+};
+
+/** Mean absolute per-byte difference between two same-shaped images. */
+double meanAbsDiff(const Image &a, const Image &b);
+
+} // namespace potluck
+
+#endif // POTLUCK_IMG_IMAGE_H

@@ -1,0 +1,85 @@
+#include "img/image_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace potluck {
+
+namespace {
+
+/** Skip whitespace and '#' comment lines in a PNM header. */
+void
+skipPnmSeparators(std::istream &in)
+{
+    for (;;) {
+        int c = in.peek();
+        if (c == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (std::isspace(c)) {
+            in.get();
+        } else {
+            return;
+        }
+    }
+}
+
+int
+readPnmInt(std::istream &in)
+{
+    skipPnmSeparators(in);
+    int value = 0;
+    in >> value;
+    if (!in)
+        POTLUCK_FATAL("malformed PNM header");
+    return value;
+}
+
+} // namespace
+
+void
+writePnm(const Image &img, const std::string &path)
+{
+    POTLUCK_ASSERT(!img.empty(), "writePnm on empty image");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        POTLUCK_FATAL("cannot open " << path << " for writing");
+    out << (img.channels() == 1 ? "P5" : "P6") << "\n"
+        << img.width() << " " << img.height() << "\n255\n";
+    out.write(reinterpret_cast<const char *>(img.data().data()),
+              static_cast<std::streamsize>(img.data().size()));
+    if (!out)
+        POTLUCK_FATAL("short write to " << path);
+}
+
+Image
+readPnm(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        POTLUCK_FATAL("cannot open " << path);
+    std::string magic;
+    in >> magic;
+    int channels;
+    if (magic == "P5") {
+        channels = 1;
+    } else if (magic == "P6") {
+        channels = 3;
+    } else {
+        POTLUCK_FATAL("unsupported PNM magic '" << magic << "' in " << path);
+    }
+    int width = readPnmInt(in);
+    int height = readPnmInt(in);
+    int maxval = readPnmInt(in);
+    if (maxval != 255)
+        POTLUCK_FATAL("only 8-bit PNM supported, maxval=" << maxval);
+    in.get(); // single whitespace byte after maxval
+    Image img(width, height, channels);
+    in.read(reinterpret_cast<char *>(img.data().data()),
+            static_cast<std::streamsize>(img.data().size()));
+    if (in.gcount() != static_cast<std::streamsize>(img.data().size()))
+        POTLUCK_FATAL("truncated PNM payload in " << path);
+    return img;
+}
+
+} // namespace potluck

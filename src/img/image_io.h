@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Binary PGM (P5) and PPM (P6) image file I/O, so examples can dump
+ * frames for visual inspection and tests can round-trip images.
+ */
+#ifndef POTLUCK_IMG_IMAGE_IO_H
+#define POTLUCK_IMG_IMAGE_IO_H
+
+#include <string>
+
+#include "img/image.h"
+
+namespace potluck {
+
+/** Write grey images as PGM (P5), RGB images as PPM (P6). */
+void writePnm(const Image &img, const std::string &path);
+
+/** Load a binary PGM/PPM file. Throws FatalError on malformed input. */
+Image readPnm(const std::string &path);
+
+} // namespace potluck
+
+#endif // POTLUCK_IMG_IMAGE_IO_H

@@ -1,0 +1,33 @@
+#include "img/integral.h"
+
+#include <algorithm>
+
+namespace potluck {
+
+IntegralImage::IntegralImage(const Image &img)
+    : width_(img.width()), height_(img.height()),
+      table_(static_cast<size_t>(img.width() + 1) * (img.height() + 1), 0.0)
+{
+    for (int y = 0; y < height_; ++y) {
+        double row = 0.0;
+        for (int x = 0; x < width_; ++x) {
+            row += img.luminance(x, y);
+            table_[static_cast<size_t>(y + 1) * (width_ + 1) + (x + 1)] =
+                at(x + 1, y) + row;
+        }
+    }
+}
+
+double
+IntegralImage::boxSum(int x, int y, int w, int h) const
+{
+    int x0 = std::clamp(x, 0, width_);
+    int y0 = std::clamp(y, 0, height_);
+    int x1 = std::clamp(x + w, 0, width_);
+    int y1 = std::clamp(y + h, 0, height_);
+    if (x1 <= x0 || y1 <= y0)
+        return 0.0;
+    return at(x1, y1) - at(x0, y1) - at(x1, y0) + at(x0, y0);
+}
+
+} // namespace potluck

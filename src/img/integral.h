@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Integral image (summed-area table) over a grey image. Used by the
+ * SURF-style extractor for O(1) box-filter responses.
+ */
+#ifndef POTLUCK_IMG_INTEGRAL_H
+#define POTLUCK_IMG_INTEGRAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+
+namespace potluck {
+
+/** Summed-area table: sum(x, y) = sum of pixels in [0,x) x [0,y). */
+class IntegralImage
+{
+  public:
+    /** Build from the luminance of any Image. */
+    explicit IntegralImage(const Image &img);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /**
+     * Sum of pixel values in the rectangle [x, x+w) x [y, y+h),
+     * clamped to the image bounds.
+     */
+    double boxSum(int x, int y, int w, int h) const;
+
+  private:
+    double
+    at(int x, int y) const
+    {
+        return table_[static_cast<size_t>(y) * (width_ + 1) + x];
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<double> table_; // (w+1) x (h+1)
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_IMG_INTEGRAL_H

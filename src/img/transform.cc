@@ -1,0 +1,266 @@
+#include "img/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace potluck {
+
+Mat3
+Mat3::translation(double tx, double ty)
+{
+    Mat3 out;
+    out.m = {1, 0, tx, 0, 1, ty, 0, 0, 1};
+    return out;
+}
+
+Mat3
+Mat3::scaling(double sx, double sy)
+{
+    Mat3 out;
+    out.m = {sx, 0, 0, 0, sy, 0, 0, 0, 1};
+    return out;
+}
+
+Mat3
+Mat3::rotation(double radians)
+{
+    double c = std::cos(radians);
+    double s = std::sin(radians);
+    Mat3 out;
+    out.m = {c, -s, 0, s, c, 0, 0, 0, 1};
+    return out;
+}
+
+Mat3
+Mat3::operator*(const Mat3 &rhs) const
+{
+    Mat3 out;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            double sum = 0.0;
+            for (int k = 0; k < 3; ++k)
+                sum += m[r * 3 + k] * rhs.m[k * 3 + c];
+            out.m[r * 3 + c] = sum;
+        }
+    }
+    return out;
+}
+
+void
+Mat3::apply(double x, double y, double &ox, double &oy) const
+{
+    double w = m[6] * x + m[7] * y + m[8];
+    if (std::abs(w) < 1e-12)
+        w = 1e-12;
+    ox = (m[0] * x + m[1] * y + m[2]) / w;
+    oy = (m[3] * x + m[4] * y + m[5]) / w;
+}
+
+Mat3
+Mat3::inverse() const
+{
+    const auto &a = m;
+    double det = a[0] * (a[4] * a[8] - a[5] * a[7]) -
+                 a[1] * (a[3] * a[8] - a[5] * a[6]) +
+                 a[2] * (a[3] * a[7] - a[4] * a[6]);
+    POTLUCK_ASSERT(std::abs(det) > 1e-12, "singular Mat3");
+    double inv = 1.0 / det;
+    Mat3 out;
+    out.m = {
+        (a[4] * a[8] - a[5] * a[7]) * inv, (a[2] * a[7] - a[1] * a[8]) * inv,
+        (a[1] * a[5] - a[2] * a[4]) * inv, (a[5] * a[6] - a[3] * a[8]) * inv,
+        (a[0] * a[8] - a[2] * a[6]) * inv, (a[2] * a[3] - a[0] * a[5]) * inv,
+        (a[3] * a[7] - a[4] * a[6]) * inv, (a[1] * a[6] - a[0] * a[7]) * inv,
+        (a[0] * a[4] - a[1] * a[3]) * inv,
+    };
+    return out;
+}
+
+namespace {
+
+/** Bilinear sample of channel c at real coordinates (fx, fy). */
+double
+sampleBilinear(const Image &src, double fx, double fy, int c)
+{
+    int x0 = static_cast<int>(std::floor(fx));
+    int y0 = static_cast<int>(std::floor(fy));
+    double ax = fx - x0;
+    double ay = fy - y0;
+    double v00 = src.clamped(x0, y0, c);
+    double v10 = src.clamped(x0 + 1, y0, c);
+    double v01 = src.clamped(x0, y0 + 1, c);
+    double v11 = src.clamped(x0 + 1, y0 + 1, c);
+    return v00 * (1 - ax) * (1 - ay) + v10 * ax * (1 - ay) +
+           v01 * (1 - ax) * ay + v11 * ax * ay;
+}
+
+} // namespace
+
+Image
+resizeBilinear(const Image &src, int out_w, int out_h)
+{
+    POTLUCK_ASSERT(!src.empty(), "resize of empty image");
+    Image out(out_w, out_h, src.channels());
+    double sx = static_cast<double>(src.width()) / out_w;
+    double sy = static_cast<double>(src.height()) / out_h;
+    for (int y = 0; y < out_h; ++y) {
+        for (int x = 0; x < out_w; ++x) {
+            double fx = (x + 0.5) * sx - 0.5;
+            double fy = (y + 0.5) * sy - 0.5;
+            for (int c = 0; c < src.channels(); ++c) {
+                out.px(x, y, c) = static_cast<uint8_t>(std::clamp(
+                    std::lround(sampleBilinear(src, fx, fy, c)), 0L, 255L));
+            }
+        }
+    }
+    return out;
+}
+
+Image
+resizeNearest(const Image &src, int out_w, int out_h)
+{
+    POTLUCK_ASSERT(!src.empty(), "resize of empty image");
+    Image out(out_w, out_h, src.channels());
+    for (int y = 0; y < out_h; ++y) {
+        int sy = std::min(y * src.height() / out_h, src.height() - 1);
+        for (int x = 0; x < out_w; ++x) {
+            int sx = std::min(x * src.width() / out_w, src.width() - 1);
+            for (int c = 0; c < src.channels(); ++c)
+                out.px(x, y, c) = src.px(sx, sy, c);
+        }
+    }
+    return out;
+}
+
+Image
+warpHomography(const Image &src, const Mat3 &h, int out_w, int out_h,
+               uint8_t fill)
+{
+    Image out(out_w, out_h, src.channels(), fill);
+    Mat3 inv = h.inverse();
+    const int channels = src.channels();
+    const int sw = src.width();
+    const int sh = src.height();
+    const uint8_t *sdata = src.data().data();
+    uint8_t *odata = out.data().data();
+    const size_t row_stride = static_cast<size_t>(sw) * channels;
+
+    for (int y = 0; y < out_h; ++y) {
+        // The numerators/denominator of the inverse mapping are
+        // affine in x along a row; increment instead of re-applying
+        // the full matrix per pixel.
+        double nx = inv.m[1] * y + inv.m[2];
+        double ny = inv.m[4] * y + inv.m[5];
+        double nw = inv.m[7] * y + inv.m[8];
+        uint8_t *orow =
+            odata + static_cast<size_t>(y) * out_w * channels;
+        for (int x = 0; x < out_w;
+             ++x, nx += inv.m[0], ny += inv.m[3], nw += inv.m[6]) {
+            double w = std::abs(nw) < 1e-12 ? 1e-12 : nw;
+            double sx = nx / w;
+            double sy = ny / w;
+            if (sx < -0.5 || sy < -0.5 || sx > sw - 0.5 || sy > sh - 0.5)
+                continue;
+            int x0 = static_cast<int>(std::floor(sx));
+            int y0 = static_cast<int>(std::floor(sy));
+            double ax = sx - x0;
+            double ay = sy - y0;
+            int x0c = std::clamp(x0, 0, sw - 1);
+            int x1c = std::clamp(x0 + 1, 0, sw - 1);
+            int y0c = std::clamp(y0, 0, sh - 1);
+            int y1c = std::clamp(y0 + 1, 0, sh - 1);
+            double w00 = (1 - ax) * (1 - ay);
+            double w10 = ax * (1 - ay);
+            double w01 = (1 - ax) * ay;
+            double w11 = ax * ay;
+            const uint8_t *r0 = sdata + y0c * row_stride;
+            const uint8_t *r1 = sdata + y1c * row_stride;
+            uint8_t *opx = orow + static_cast<size_t>(x) * channels;
+            for (int c = 0; c < channels; ++c) {
+                double v = w00 * r0[x0c * channels + c] +
+                           w10 * r0[x1c * channels + c] +
+                           w01 * r1[x0c * channels + c] +
+                           w11 * r1[x1c * channels + c];
+                opx[c] = static_cast<uint8_t>(
+                    std::clamp(std::lround(v), 0L, 255L));
+            }
+        }
+    }
+    return out;
+}
+
+Image
+gaussianBlur(const Image &src, double sigma)
+{
+    POTLUCK_ASSERT(sigma > 0.0, "blur sigma must be positive");
+    int radius = std::max(1, static_cast<int>(std::ceil(sigma * 3.0)));
+    std::vector<double> kernel(2 * radius + 1);
+    double sum = 0.0;
+    for (int i = -radius; i <= radius; ++i) {
+        kernel[i + radius] = std::exp(-0.5 * i * i / (sigma * sigma));
+        sum += kernel[i + radius];
+    }
+    for (auto &k : kernel)
+        k /= sum;
+
+    // Horizontal pass into a float buffer, vertical pass back to bytes.
+    std::vector<double> tmp(static_cast<size_t>(src.width()) * src.height() *
+                            src.channels());
+    auto tidx = [&](int x, int y, int c) {
+        return (static_cast<size_t>(y) * src.width() + x) * src.channels() +
+               c;
+    };
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            for (int c = 0; c < src.channels(); ++c) {
+                double acc = 0.0;
+                for (int i = -radius; i <= radius; ++i)
+                    acc += kernel[i + radius] * src.clamped(x + i, y, c);
+                tmp[tidx(x, y, c)] = acc;
+            }
+        }
+    }
+    Image out(src.width(), src.height(), src.channels());
+    for (int y = 0; y < src.height(); ++y) {
+        for (int x = 0; x < src.width(); ++x) {
+            for (int c = 0; c < src.channels(); ++c) {
+                double acc = 0.0;
+                for (int i = -radius; i <= radius; ++i) {
+                    int yy = std::clamp(y + i, 0, src.height() - 1);
+                    acc += kernel[i + radius] * tmp[tidx(x, yy, c)];
+                }
+                out.px(x, y, c) = static_cast<uint8_t>(
+                    std::clamp(std::lround(acc), 0L, 255L));
+            }
+        }
+    }
+    return out;
+}
+
+Image
+adjustBrightnessContrast(const Image &src, double gain, double bias)
+{
+    Image out = src;
+    for (auto &byte : out.data()) {
+        byte = static_cast<uint8_t>(
+            std::clamp(std::lround(gain * byte + bias), 0L, 255L));
+    }
+    return out;
+}
+
+Image
+crop(const Image &src, int x, int y, int w, int h)
+{
+    x = std::clamp(x, 0, src.width() - 1);
+    y = std::clamp(y, 0, src.height() - 1);
+    w = std::clamp(w, 1, src.width() - x);
+    h = std::clamp(h, 1, src.height() - y);
+    Image out(w, h, src.channels());
+    for (int yy = 0; yy < h; ++yy)
+        for (int xx = 0; xx < w; ++xx)
+            for (int c = 0; c < src.channels(); ++c)
+                out.px(xx, yy, c) = src.px(x + xx, y + yy, c);
+    return out;
+}
+
+} // namespace potluck

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Geometric and photometric image transforms: resize, affine and
+ * homography warps, Gaussian blur, brightness/contrast jitter.
+ *
+ * The homography warp is also the Potluck AR fast path (Section 5.5):
+ * instead of re-rendering a 3-D scene, a cached 2-D frame is warped to
+ * the new camera pose.
+ */
+#ifndef POTLUCK_IMG_TRANSFORM_H
+#define POTLUCK_IMG_TRANSFORM_H
+
+#include <array>
+
+#include "img/image.h"
+
+namespace potluck {
+
+/** Row-major 3x3 matrix used for affine/projective transforms. */
+struct Mat3
+{
+    std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+    static Mat3 identity() { return Mat3{}; }
+    static Mat3 translation(double tx, double ty);
+    static Mat3 scaling(double sx, double sy);
+    /** Rotation by radians about the origin. */
+    static Mat3 rotation(double radians);
+
+    Mat3 operator*(const Mat3 &rhs) const;
+
+    /** Apply to a 2-D point (projective divide included). */
+    void apply(double x, double y, double &ox, double &oy) const;
+
+    /** Inverse; panics if the matrix is singular. */
+    Mat3 inverse() const;
+};
+
+/** Bilinear resize to the target size. */
+Image resizeBilinear(const Image &src, int out_w, int out_h);
+
+/** Nearest-neighbour resize (used by Downsamp key generation). */
+Image resizeNearest(const Image &src, int out_w, int out_h);
+
+/**
+ * Warp src through homography H (maps src coords -> dst coords).
+ * Destination pixels with no preimage are filled with `fill`.
+ */
+Image warpHomography(const Image &src, const Mat3 &h, int out_w, int out_h,
+                     uint8_t fill = 0);
+
+/** Separable Gaussian blur with the given sigma. */
+Image gaussianBlur(const Image &src, double sigma);
+
+/** out = clamp(gain * in + bias). Models lighting/exposure changes. */
+Image adjustBrightnessContrast(const Image &src, double gain, double bias);
+
+/** Crop a rectangle; clamped to the source bounds. */
+Image crop(const Image &src, int x, int y, int w, int h);
+
+} // namespace potluck
+
+#endif // POTLUCK_IMG_TRANSFORM_H

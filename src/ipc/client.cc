@@ -1,0 +1,120 @@
+#include "ipc/client.h"
+
+#include "ipc/message.h"
+#include "util/logging.h"
+
+namespace potluck {
+
+PotluckClient::PotluckClient(std::string app_name,
+                             const std::string &socket_path)
+    : app_(std::move(app_name)), socket_(connectUnix(socket_path))
+{
+    Request request;
+    request.type = RequestType::RegisterApp;
+    request.app = app_;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("app registration failed: " << reply.error);
+}
+
+PotluckClient::PotluckClient(std::string app_name, PotluckService &service)
+    : app_(std::move(app_name)),
+      local_(std::make_unique<AppListener>(service, 1))
+{
+    Request request;
+    request.type = RequestType::RegisterApp;
+    request.app = app_;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("app registration failed: " << reply.error);
+}
+
+Reply
+PotluckClient::roundTrip(const Request &request)
+{
+    if (local_)
+        return local_->handle(request);
+    std::lock_guard<std::mutex> lock(mutex_);
+    socket_.sendFrame(encodeRequest(request));
+    std::vector<uint8_t> frame;
+    if (!socket_.recvFrame(frame))
+        POTLUCK_FATAL("service closed the connection");
+    return decodeReply(frame);
+}
+
+void
+PotluckClient::registerFunction(const std::string &function,
+                                const std::string &key_type, Metric metric,
+                                IndexKind index_kind)
+{
+    Request request;
+    request.type = RequestType::RegisterKeyType;
+    request.app = app_;
+    request.function = function;
+    request.key_type = key_type;
+    request.metric = metric;
+    request.index_kind = index_kind;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("registerFunction failed: " << reply.error);
+}
+
+LookupResult
+PotluckClient::lookup(const std::string &function,
+                      const std::string &key_type, const FeatureVector &key)
+{
+    Request request;
+    request.type = RequestType::Lookup;
+    request.app = app_;
+    request.function = function;
+    request.key_type = key_type;
+    request.key = key;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("lookup failed: " << reply.error);
+    LookupResult result;
+    result.hit = reply.hit;
+    result.dropped = reply.dropped;
+    result.value = reply.value;
+    result.id = reply.entry_id;
+    return result;
+}
+
+EntryId
+PotluckClient::put(const std::string &function, const std::string &key_type,
+                   const FeatureVector &key, Value value,
+                   std::optional<uint64_t> ttl_us,
+                   std::optional<double> compute_overhead_us)
+{
+    Request request;
+    request.type = RequestType::Put;
+    request.app = app_;
+    request.function = function;
+    request.key_type = key_type;
+    request.key = key;
+    request.value = std::move(value);
+    request.ttl_us = ttl_us;
+    request.compute_overhead_us = compute_overhead_us;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("put failed: " << reply.error);
+    return reply.entry_id;
+}
+
+PotluckClient::RemoteStats
+PotluckClient::fetchStats()
+{
+    Request request;
+    request.type = RequestType::Stats;
+    request.app = app_;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("stats failed: " << reply.error);
+    RemoteStats out;
+    out.stats = reply.stats;
+    out.num_entries = reply.num_entries;
+    out.total_bytes = reply.total_bytes;
+    return out;
+}
+
+} // namespace potluck

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * PotluckClient: the application-side API (Section 4.3) — register(),
+ * lookup() and put() — over either the socket transport or a direct
+ * in-process service (the "loopback" used when an app links the
+ * service into its own process, and by most tests).
+ */
+#ifndef POTLUCK_IPC_CLIENT_H
+#define POTLUCK_IPC_CLIENT_H
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/app_listener.h"
+#include "ipc/transport.h"
+
+namespace potluck {
+
+/** Application handle to the deduplication service. */
+class PotluckClient
+{
+  public:
+    /** Connect to a service over its Unix socket. */
+    PotluckClient(std::string app_name, const std::string &socket_path);
+
+    /** Bind directly to an in-process service (no IPC cost). */
+    PotluckClient(std::string app_name, PotluckService &service);
+
+    /**
+     * Register this app and a key type for a function
+     * (idempotent; call once per (function, key type)).
+     */
+    void registerFunction(const std::string &function,
+                          const std::string &key_type,
+                          Metric metric = Metric::L2,
+                          IndexKind index_kind = IndexKind::KdTree);
+
+    /** Query the cache. */
+    LookupResult lookup(const std::string &function,
+                        const std::string &key_type,
+                        const FeatureVector &key);
+
+    /** Store a computed result. */
+    EntryId put(const std::string &function, const std::string &key_type,
+                const FeatureVector &key, Value value,
+                std::optional<uint64_t> ttl_us = std::nullopt,
+                std::optional<double> compute_overhead_us = std::nullopt);
+
+    /** Service-wide counters and cache occupancy. */
+    struct RemoteStats
+    {
+        ServiceStats stats;
+        uint64_t num_entries = 0;
+        uint64_t total_bytes = 0;
+    };
+
+    /** Fetch the service's counters. */
+    RemoteStats fetchStats();
+
+    const std::string &appName() const { return app_; }
+    bool remote() const { return socket_.valid(); }
+
+  private:
+    Reply roundTrip(const Request &request);
+
+    std::string app_;
+    FrameSocket socket_;                 // remote mode
+    std::unique_ptr<AppListener> local_; // in-process mode
+    std::mutex mutex_;                   // serializes socket round-trips
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_IPC_CLIENT_H

@@ -1,0 +1,263 @@
+#include "ipc/message.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+namespace {
+
+/** Append-only binary writer. */
+class Writer
+{
+  public:
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+    void
+    u8(uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    void
+    floats(const std::vector<float> &v)
+    {
+        u64(v.size());
+        size_t offset = bytes_.size();
+        bytes_.resize(offset + v.size() * sizeof(float));
+        std::memcpy(bytes_.data() + offset, v.data(),
+                    v.size() * sizeof(float));
+    }
+
+    void
+    blob(const Value &v)
+    {
+        if (!v) {
+            u8(0);
+            return;
+        }
+        u8(1);
+        u64(v->size());
+        bytes_.insert(bytes_.end(), v->begin(), v->end());
+    }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Sequential binary reader with bounds checking. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return bytes_[pos_++];
+    }
+
+    uint64_t
+    u64()
+    {
+        need(8);
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        need(n);
+        std::string s(bytes_.begin() + pos_, bytes_.begin() + pos_ + n);
+        pos_ += n;
+        return s;
+    }
+
+    std::vector<float>
+    floats()
+    {
+        uint64_t n = u64();
+        need(n * sizeof(float));
+        std::vector<float> v(n);
+        std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(float));
+        pos_ += n * sizeof(float);
+        return v;
+    }
+
+    Value
+    blob()
+    {
+        if (u8() == 0)
+            return nullptr;
+        uint64_t n = u64();
+        need(n);
+        std::vector<uint8_t> bytes(bytes_.begin() + pos_,
+                                   bytes_.begin() + pos_ + n);
+        pos_ += n;
+        return makeValue(std::move(bytes));
+    }
+
+    bool done() const { return pos_ == bytes_.size(); }
+
+  private:
+    void
+    need(size_t n)
+    {
+        if (pos_ + n > bytes_.size())
+            POTLUCK_FATAL("truncated message frame");
+    }
+
+    const std::vector<uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+constexpr uint8_t kOptAbsent = 0;
+constexpr uint8_t kOptPresent = 1;
+
+} // namespace
+
+std::vector<uint8_t>
+encodeRequest(const Request &request)
+{
+    Writer w;
+    w.u8(static_cast<uint8_t>(request.type));
+    w.str(request.app);
+    w.str(request.function);
+    w.str(request.key_type);
+    w.u8(static_cast<uint8_t>(request.metric));
+    w.u8(static_cast<uint8_t>(request.index_kind));
+    w.floats(request.key.values());
+    w.blob(request.value);
+    if (request.ttl_us) {
+        w.u8(kOptPresent);
+        w.u64(*request.ttl_us);
+    } else {
+        w.u8(kOptAbsent);
+    }
+    if (request.compute_overhead_us) {
+        w.u8(kOptPresent);
+        w.f64(*request.compute_overhead_us);
+    } else {
+        w.u8(kOptAbsent);
+    }
+    return w.take();
+}
+
+Request
+decodeRequest(const std::vector<uint8_t> &bytes)
+{
+    Reader r(bytes);
+    Request request;
+    request.type = static_cast<RequestType>(r.u8());
+    request.app = r.str();
+    request.function = r.str();
+    request.key_type = r.str();
+    request.metric = static_cast<Metric>(r.u8());
+    request.index_kind = static_cast<IndexKind>(r.u8());
+    request.key = FeatureVector(r.floats());
+    request.value = r.blob();
+    if (r.u8() == kOptPresent)
+        request.ttl_us = r.u64();
+    if (r.u8() == kOptPresent)
+        request.compute_overhead_us = r.f64();
+    if (!r.done())
+        POTLUCK_FATAL("trailing bytes in request frame");
+    return request;
+}
+
+std::vector<uint8_t>
+encodeReply(const Reply &reply)
+{
+    Writer w;
+    w.u8(static_cast<uint8_t>(reply.type));
+    w.u8(reply.ok ? 1 : 0);
+    w.str(reply.error);
+    w.u8(reply.hit ? 1 : 0);
+    w.u8(reply.dropped ? 1 : 0);
+    w.blob(reply.value);
+    w.u64(reply.entry_id);
+    w.u64(reply.stats.lookups);
+    w.u64(reply.stats.hits);
+    w.u64(reply.stats.misses);
+    w.u64(reply.stats.dropouts);
+    w.u64(reply.stats.puts);
+    w.u64(reply.stats.evictions);
+    w.u64(reply.stats.expirations);
+    w.u64(reply.stats.tighten_events);
+    w.u64(reply.stats.loosen_events);
+    w.u64(reply.stats.rejected_puts);
+    w.u64(reply.stats.banned_hits_suppressed);
+    w.u64(reply.num_entries);
+    w.u64(reply.total_bytes);
+    return w.take();
+}
+
+Reply
+decodeReply(const std::vector<uint8_t> &bytes)
+{
+    Reader r(bytes);
+    Reply reply;
+    reply.type = static_cast<RequestType>(r.u8());
+    reply.ok = r.u8() != 0;
+    reply.error = r.str();
+    reply.hit = r.u8() != 0;
+    reply.dropped = r.u8() != 0;
+    reply.value = r.blob();
+    reply.entry_id = r.u64();
+    reply.stats.lookups = r.u64();
+    reply.stats.hits = r.u64();
+    reply.stats.misses = r.u64();
+    reply.stats.dropouts = r.u64();
+    reply.stats.puts = r.u64();
+    reply.stats.evictions = r.u64();
+    reply.stats.expirations = r.u64();
+    reply.stats.tighten_events = r.u64();
+    reply.stats.loosen_events = r.u64();
+    reply.stats.rejected_puts = r.u64();
+    reply.stats.banned_hits_suppressed = r.u64();
+    reply.num_entries = r.u64();
+    reply.total_bytes = r.u64();
+    if (!r.done())
+        POTLUCK_FATAL("trailing bytes in reply frame");
+    return reply;
+}
+
+} // namespace potluck

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Wire format for the Request/Reply protocol (Section 4.2). The paper
+ * uses Android Binder with AIDL-generated marshalling; this is the
+ * equivalent hand-rolled binary codec: length-prefixed frames of
+ * little-endian fields. Marshal cost and message structure mirror the
+ * original, which is what the Section 5.4 IPC-latency experiment
+ * measures.
+ */
+#ifndef POTLUCK_IPC_MESSAGE_H
+#define POTLUCK_IPC_MESSAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/app_listener.h"
+
+namespace potluck {
+
+/** Serialize a Request into a frame body (no length prefix). */
+std::vector<uint8_t> encodeRequest(const Request &request);
+
+/** Parse a frame body into a Request. Throws FatalError on malformed
+ * input. */
+Request decodeRequest(const std::vector<uint8_t> &bytes);
+
+/** Serialize a Reply into a frame body. */
+std::vector<uint8_t> encodeReply(const Reply &reply);
+
+/** Parse a frame body into a Reply. */
+Reply decodeReply(const std::vector<uint8_t> &bytes);
+
+} // namespace potluck
+
+#endif // POTLUCK_IPC_MESSAGE_H

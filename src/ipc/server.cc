@@ -1,0 +1,74 @@
+#include "ipc/server.h"
+
+#include <sys/socket.h>
+
+#include "ipc/message.h"
+#include "util/logging.h"
+
+namespace potluck {
+
+PotluckServer::PotluckServer(PotluckService &service,
+                             const std::string &socket_path)
+    : listener_(service, /*threads=*/2), socket_path_(socket_path),
+      listen_socket_(listenUnix(socket_path))
+{
+    accept_thread_ = std::thread([this]() { acceptLoop(); });
+}
+
+PotluckServer::~PotluckServer()
+{
+    stopping_ = true;
+    // Closing the listening socket unblocks accept() with an error;
+    // we also shut it down for portability.
+    ::shutdown(listen_socket_.fd(), SHUT_RDWR);
+    listen_socket_.close();
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (auto &t : client_threads_)
+        if (t.joinable())
+            t.join();
+}
+
+void
+PotluckServer::acceptLoop()
+{
+    while (!stopping_) {
+        FrameSocket client;
+        try {
+            client = listen_socket_.accept();
+        } catch (const FatalError &) {
+            // Socket closed during shutdown (or transient error).
+            if (stopping_)
+                return;
+            continue;
+        }
+        ++connections_;
+        std::lock_guard<std::mutex> lock(threads_mutex_);
+        client_threads_.emplace_back(
+            [this, c = std::move(client)]() mutable {
+                serveClient(std::move(c));
+            });
+    }
+}
+
+void
+PotluckServer::serveClient(FrameSocket client)
+{
+    std::vector<uint8_t> frame;
+    for (;;) {
+        try {
+            if (!client.recvFrame(frame))
+                return; // orderly disconnect
+            Request request = decodeRequest(frame);
+            Reply reply = listener_.handle(request);
+            client.sendFrame(encodeReply(reply));
+        } catch (const FatalError &e) {
+            if (!stopping_)
+                POTLUCK_WARN("client connection error: " << e.what());
+            return;
+        }
+    }
+}
+
+} // namespace potluck

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * PotluckServer: exposes a PotluckService over the Unix-socket
+ * transport. One acceptor thread; one handler thread per connected
+ * client (an application keeps a persistent connection, like a bound
+ * Binder proxy).
+ */
+#ifndef POTLUCK_IPC_SERVER_H
+#define POTLUCK_IPC_SERVER_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/app_listener.h"
+#include "ipc/transport.h"
+
+namespace potluck {
+
+/** Socket server dispatching Requests into an AppListener. */
+class PotluckServer
+{
+  public:
+    /**
+     * Bind and start serving.
+     * @param service  the shared cache service
+     * @param socket_path  Unix socket path
+     */
+    PotluckServer(PotluckService &service, const std::string &socket_path);
+
+    /** Stops accepting, closes client connections, joins threads. */
+    ~PotluckServer();
+
+    PotluckServer(const PotluckServer &) = delete;
+    PotluckServer &operator=(const PotluckServer &) = delete;
+
+    const std::string &socketPath() const { return socket_path_; }
+
+    /** Number of connections served so far. */
+    uint64_t connectionsServed() const { return connections_; }
+
+  private:
+    void acceptLoop();
+    void serveClient(FrameSocket client);
+
+    AppListener listener_;
+    std::string socket_path_;
+    ListenSocket listen_socket_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> connections_{0};
+    std::mutex threads_mutex_;
+    std::vector<std::thread> client_threads_;
+    std::thread accept_thread_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_IPC_SERVER_H

@@ -1,0 +1,214 @@
+#include "ipc/transport.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+namespace {
+
+void
+writeAll(int fd, const uint8_t *data, size_t n)
+{
+    size_t sent = 0;
+    while (sent < n) {
+        ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            POTLUCK_FATAL("socket send failed: " << std::strerror(errno));
+        }
+        sent += static_cast<size_t>(rc);
+    }
+}
+
+/** @return bytes read; 0 only on orderly EOF at the frame start. */
+size_t
+readAll(int fd, uint8_t *data, size_t n, bool eof_ok)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t rc = ::recv(fd, data + got, n - got, 0);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            POTLUCK_FATAL("socket recv failed: " << std::strerror(errno));
+        }
+        if (rc == 0) {
+            if (eof_ok && got == 0)
+                return 0;
+            POTLUCK_FATAL("peer closed mid-frame");
+        }
+        got += static_cast<size_t>(rc);
+    }
+    return got;
+}
+
+} // namespace
+
+FrameSocket::~FrameSocket()
+{
+    close();
+}
+
+FrameSocket::FrameSocket(FrameSocket &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{
+}
+
+FrameSocket &
+FrameSocket::operator=(FrameSocket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void
+FrameSocket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+FrameSocket::sendFrame(const std::vector<uint8_t> &body) const
+{
+    POTLUCK_ASSERT(valid(), "send on closed socket");
+    uint32_t len = static_cast<uint32_t>(body.size());
+    uint8_t header[4] = {
+        static_cast<uint8_t>(len), static_cast<uint8_t>(len >> 8),
+        static_cast<uint8_t>(len >> 16), static_cast<uint8_t>(len >> 24)};
+    writeAll(fd_, header, sizeof(header));
+    if (!body.empty())
+        writeAll(fd_, body.data(), body.size());
+}
+
+bool
+FrameSocket::recvFrame(std::vector<uint8_t> &body) const
+{
+    POTLUCK_ASSERT(valid(), "recv on closed socket");
+    uint8_t header[4];
+    if (readAll(fd_, header, sizeof(header), /*eof_ok=*/true) == 0)
+        return false;
+    uint32_t len = static_cast<uint32_t>(header[0]) |
+                   (static_cast<uint32_t>(header[1]) << 8) |
+                   (static_cast<uint32_t>(header[2]) << 16) |
+                   (static_cast<uint32_t>(header[3]) << 24);
+    // 64 MB sanity cap protects against corrupted frames.
+    if (len > 64u * 1024 * 1024)
+        POTLUCK_FATAL("oversized frame: " << len << " bytes");
+    body.resize(len);
+    if (len > 0)
+        readAll(fd_, body.data(), len, /*eof_ok=*/false);
+    return true;
+}
+
+ListenSocket::~ListenSocket()
+{
+    close();
+}
+
+ListenSocket::ListenSocket(ListenSocket &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_))
+{
+    other.path_.clear();
+}
+
+ListenSocket &
+ListenSocket::operator=(ListenSocket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        path_ = std::move(other.path_);
+        other.path_.clear();
+    }
+    return *this;
+}
+
+void
+ListenSocket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        if (!path_.empty())
+            ::unlink(path_.c_str());
+    }
+}
+
+FrameSocket
+ListenSocket::accept() const
+{
+    POTLUCK_ASSERT(valid(), "accept on closed socket");
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0)
+        POTLUCK_FATAL("accept failed: " << std::strerror(errno));
+    return FrameSocket(fd);
+}
+
+ListenSocket
+listenUnix(const std::string &path, int backlog)
+{
+    POTLUCK_ASSERT(!path.empty(), "empty socket path");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        POTLUCK_FATAL("socket path too long: " << path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        POTLUCK_FATAL("socket() failed: " << std::strerror(errno));
+    ::unlink(path.c_str()); // remove stale socket file
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0) {
+        int err = errno;
+        ::close(fd);
+        POTLUCK_FATAL("bind(" << path << ") failed: " << std::strerror(err));
+    }
+    if (::listen(fd, backlog) < 0) {
+        int err = errno;
+        ::close(fd);
+        POTLUCK_FATAL("listen failed: " << std::strerror(err));
+    }
+    ListenSocket sock;
+    sock.fd_ = fd;
+    sock.path_ = path;
+    return sock;
+}
+
+FrameSocket
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        POTLUCK_FATAL("socket path too long: " << path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        POTLUCK_FATAL("socket() failed: " << std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        int err = errno;
+        ::close(fd);
+        POTLUCK_FATAL("connect(" << path
+                                 << ") failed: " << std::strerror(err));
+    }
+    return FrameSocket(fd);
+}
+
+} // namespace potluck

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Framed byte transport over Unix domain sockets — the stand-in for
+ * Android's Binder kernel path. Frames are a 4-byte little-endian
+ * length followed by the body. FrameSocket wraps a connected fd with
+ * RAII; listenUnix()/connectUnix() create the endpoints.
+ */
+#ifndef POTLUCK_IPC_TRANSPORT_H
+#define POTLUCK_IPC_TRANSPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace potluck {
+
+/** RAII wrapper over a connected stream socket with frame I/O. */
+class FrameSocket
+{
+  public:
+    FrameSocket() = default;
+
+    /** Take ownership of a connected fd (-1 = empty). */
+    explicit FrameSocket(int fd) : fd_(fd) {}
+
+    ~FrameSocket();
+
+    FrameSocket(FrameSocket &&other) noexcept;
+    FrameSocket &operator=(FrameSocket &&other) noexcept;
+    FrameSocket(const FrameSocket &) = delete;
+    FrameSocket &operator=(const FrameSocket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Send one length-prefixed frame. Throws FatalError on error. */
+    void sendFrame(const std::vector<uint8_t> &body) const;
+
+    /**
+     * Receive one frame.
+     * @return false on orderly peer shutdown before a frame started.
+     */
+    bool recvFrame(std::vector<uint8_t> &body) const;
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Bound, listening Unix socket with RAII unlink-on-close. */
+class ListenSocket
+{
+  public:
+    ListenSocket() = default;
+    ~ListenSocket();
+
+    ListenSocket(ListenSocket &&other) noexcept;
+    ListenSocket &operator=(ListenSocket &&other) noexcept;
+    ListenSocket(const ListenSocket &) = delete;
+    ListenSocket &operator=(const ListenSocket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    const std::string &path() const { return path_; }
+
+    /** Accept one connection (blocking). */
+    FrameSocket accept() const;
+
+    void close();
+
+    friend ListenSocket listenUnix(const std::string &path, int backlog);
+
+  private:
+    int fd_ = -1;
+    std::string path_;
+};
+
+/** Create a listening Unix socket at path (unlinks stale files). */
+ListenSocket listenUnix(const std::string &path, int backlog = 16);
+
+/** Connect to a Unix socket at path. */
+FrameSocket connectUnix(const std::string &path);
+
+} // namespace potluck
+
+#endif // POTLUCK_IPC_TRANSPORT_H

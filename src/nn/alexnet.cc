@@ -1,0 +1,87 @@
+#include "nn/alexnet.h"
+
+#include <memory>
+
+namespace potluck {
+
+Network
+buildAlexNet(Rng &rng, int num_classes)
+{
+    Network net("alexnet");
+    // conv1: 96 x 11x11 / 4, LRN, pool 3/2
+    net.add(std::make_unique<ConvLayer>(3, 96, 11, 4, 0, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<LrnLayer>());
+    net.add(std::make_unique<MaxPoolLayer>(3, 2));
+    // conv2: 256 x 5x5 pad 2, LRN, pool 3/2
+    net.add(std::make_unique<ConvLayer>(96, 256, 5, 1, 2, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<LrnLayer>());
+    net.add(std::make_unique<MaxPoolLayer>(3, 2));
+    // conv3-5
+    net.add(std::make_unique<ConvLayer>(256, 384, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<ConvLayer>(384, 384, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<ConvLayer>(384, 256, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<MaxPoolLayer>(3, 2));
+    // fc6-8 (input 256 * 6 * 6 for 227x227 input)
+    net.add(std::make_unique<FullyConnectedLayer>(256 * 6 * 6, 4096, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<FullyConnectedLayer>(4096, 4096, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<FullyConnectedLayer>(4096, num_classes, rng));
+    net.add(std::make_unique<SoftmaxLayer>());
+    return net;
+}
+
+namespace {
+
+void
+addCifarTrunkLayers(Network &net, Rng &rng)
+{
+    // 32x32x3 -> conv 5x5x32 pad 2 -> 32x32x32 -> pool/2 -> 16x16x32
+    net.add(std::make_unique<ConvLayer>(3, 32, 5, 1, 2, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<MaxPoolLayer>(2, 2));
+    // -> conv 5x5x64 pad 2 -> 16x16x64 -> pool/2 -> 8x8x64
+    net.add(std::make_unique<ConvLayer>(32, 64, 5, 1, 2, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<MaxPoolLayer>(2, 2));
+    // -> conv 3x3x64 pad 1 -> 8x8x64 -> pool/2 -> 4x4x64
+    net.add(std::make_unique<ConvLayer>(64, 64, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<MaxPoolLayer>(2, 2));
+}
+
+} // namespace
+
+Network
+buildCifarTrunk(Rng &rng)
+{
+    Network net("cifarnet-trunk");
+    addCifarTrunkLayers(net, rng);
+    return net;
+}
+
+int
+cifarTrunkOutputDim()
+{
+    return 64 * 4 * 4;
+}
+
+Network
+buildCifarNet(Rng &rng, int num_classes)
+{
+    Network net("cifarnet");
+    addCifarTrunkLayers(net, rng);
+    net.add(std::make_unique<FullyConnectedLayer>(cifarTrunkOutputDim(), 256,
+                                                  rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<FullyConnectedLayer>(256, num_classes, rng));
+    net.add(std::make_unique<SoftmaxLayer>());
+    return net;
+}
+
+} // namespace potluck

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Builders for the recognition networks. buildAlexNet() reproduces the
+ * AlexNet [29] layer geometry (227x227x3 input, 5 conv + 3 fc) used by
+ * the paper's image recognition benchmark app; buildCifarNet() is a
+ * reduced AlexNet-style stack for 32x32 inputs, sized so that one
+ * inference costs tens of milliseconds on a laptop core — the same
+ * order as AlexNet on the paper's phone — keeping the evaluation loops
+ * tractable while preserving the compute-heavy character.
+ */
+#ifndef POTLUCK_NN_ALEXNET_H
+#define POTLUCK_NN_ALEXNET_H
+
+#include "nn/network.h"
+
+namespace potluck {
+
+/** Full AlexNet geometry (random weights), 1000-way output. */
+Network buildAlexNet(Rng &rng, int num_classes = 1000);
+
+/** Reduced AlexNet-style network for 32x32x3 inputs. */
+Network buildCifarNet(Rng &rng, int num_classes = 10);
+
+/**
+ * The convolutional trunk of buildCifarNet without the classifier
+ * head; produces the fixed feature embedding that TrainedRecognizer
+ * puts a trained linear head on.
+ */
+Network buildCifarTrunk(Rng &rng);
+
+/** Flattened output dimension of buildCifarTrunk for 32x32x3 input. */
+int cifarTrunkOutputDim();
+
+} // namespace potluck
+
+#endif // POTLUCK_NN_ALEXNET_H

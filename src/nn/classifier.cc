@@ -1,0 +1,122 @@
+#include "nn/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "img/transform.h"
+
+namespace potluck {
+
+LinearClassifier::LinearClassifier(int in_dim, int num_classes)
+    : in_dim_(in_dim), num_classes_(num_classes),
+      weights_(static_cast<size_t>(in_dim) * num_classes, 0.0),
+      bias_(num_classes, 0.0)
+{
+    POTLUCK_ASSERT(in_dim > 0 && num_classes >= 2, "bad classifier dims");
+}
+
+std::vector<double>
+LinearClassifier::probabilities(const std::vector<float> &feature) const
+{
+    POTLUCK_ASSERT(feature.size() == static_cast<size_t>(in_dim_),
+                   "feature dim mismatch");
+    std::vector<double> logits(num_classes_);
+    for (int c = 0; c < num_classes_; ++c) {
+        double acc = bias_[c];
+        const double *w = weights_.data() + static_cast<size_t>(c) * in_dim_;
+        for (int i = 0; i < in_dim_; ++i)
+            acc += w[i] * feature[i];
+        logits[c] = acc;
+    }
+    double max_l = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (auto &l : logits) {
+        l = std::exp(l - max_l);
+        sum += l;
+    }
+    for (auto &l : logits)
+        l /= sum;
+    return logits;
+}
+
+int
+LinearClassifier::predict(const std::vector<float> &feature) const
+{
+    auto probs = probabilities(feature);
+    return static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+double
+LinearClassifier::fit(const std::vector<std::vector<float>> &features,
+                      const std::vector<int> &labels, Rng &rng, int epochs,
+                      double lr)
+{
+    POTLUCK_ASSERT(features.size() == labels.size(),
+                   "features/labels size mismatch");
+    POTLUCK_ASSERT(!features.empty(), "fit with no data");
+    std::vector<size_t> order(features.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        rng.shuffle(order);
+        double step = lr / (1.0 + 0.1 * epoch);
+        for (size_t idx : order) {
+            const auto &x = features[idx];
+            int y = labels[idx];
+            POTLUCK_ASSERT(y >= 0 && y < num_classes_,
+                           "label out of range: " << y);
+            auto probs = probabilities(x);
+            // Gradient of cross-entropy wrt logits: p - onehot(y).
+            for (int c = 0; c < num_classes_; ++c) {
+                double grad = probs[c] - (c == y ? 1.0 : 0.0);
+                double *w = weights_.data() + static_cast<size_t>(c) * in_dim_;
+                for (int i = 0; i < in_dim_; ++i)
+                    w[i] -= step * grad * x[i];
+                bias_[c] -= step * grad;
+            }
+        }
+    }
+    size_t correct = 0;
+    for (size_t i = 0; i < features.size(); ++i)
+        if (predict(features[i]) == labels[i])
+            ++correct;
+    return static_cast<double>(correct) / features.size();
+}
+
+TrainedRecognizer::TrainedRecognizer(Rng &rng, int num_classes)
+    : trunk_(buildCifarTrunk(rng)),
+      head_(cifarTrunkOutputDim(), num_classes)
+{
+}
+
+std::vector<float>
+TrainedRecognizer::embed(const Image &img) const
+{
+    Image rgb = img.toRgb();
+    if (rgb.width() != 32 || rgb.height() != 32)
+        rgb = resizeBilinear(rgb, 32, 32);
+    Tensor out = trunk_.forward(imageToTensor(rgb));
+    return out.data();
+}
+
+double
+TrainedRecognizer::train(const std::vector<Image> &images,
+                         const std::vector<int> &labels, Rng &rng, int epochs)
+{
+    POTLUCK_ASSERT(images.size() == labels.size(), "train size mismatch");
+    std::vector<std::vector<float>> features;
+    features.reserve(images.size());
+    for (const auto &img : images)
+        features.push_back(embed(img));
+    return head_.fit(features, labels, rng, epochs);
+}
+
+int
+TrainedRecognizer::predict(const Image &img) const
+{
+    return head_.predict(embed(img));
+}
+
+} // namespace potluck

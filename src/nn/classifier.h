@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The trained recognizer standing in for the paper's pre-trained
+ * AlexNet: a fixed random convolutional trunk (buildCifarTrunk) with a
+ * softmax-regression head trained by SGD on trunk features. Random
+ * convolutional features plus a trained linear head is a standard
+ * technique; on the well-separated synthetic datasets it reaches high
+ * accuracy while keeping end-to-end inference cost dominated by the
+ * convolution stack, exactly like the original.
+ */
+#ifndef POTLUCK_NN_CLASSIFIER_H
+#define POTLUCK_NN_CLASSIFIER_H
+
+#include <vector>
+
+#include "nn/alexnet.h"
+#include "nn/network.h"
+
+namespace potluck {
+
+/** Multinomial logistic regression trained with mini-batch SGD. */
+class LinearClassifier
+{
+  public:
+    LinearClassifier(int in_dim, int num_classes);
+
+    /**
+     * Fit on feature rows with integer labels in [0, num_classes).
+     * @return final training accuracy
+     */
+    double fit(const std::vector<std::vector<float>> &features,
+               const std::vector<int> &labels, Rng &rng, int epochs = 30,
+               double lr = 0.05);
+
+    /** Predicted class for one feature row. */
+    int predict(const std::vector<float> &feature) const;
+
+    /** Class probabilities for one feature row. */
+    std::vector<double> probabilities(const std::vector<float> &feature) const;
+
+    int numClasses() const { return num_classes_; }
+
+  private:
+    int in_dim_;
+    int num_classes_;
+    std::vector<double> weights_; // [class][dim]
+    std::vector<double> bias_;
+};
+
+/**
+ * End-to-end image recognizer: fixed conv trunk + trained linear head.
+ * predict() runs the full (expensive) pipeline — this is the function
+ * whose results Potluck caches.
+ */
+class TrainedRecognizer
+{
+  public:
+    /**
+     * @param rng          weight-init and SGD randomness
+     * @param num_classes  label arity
+     */
+    TrainedRecognizer(Rng &rng, int num_classes);
+
+    /**
+     * Train the head on labelled 32x32 RGB images.
+     * @return final training accuracy
+     */
+    double train(const std::vector<Image> &images,
+                 const std::vector<int> &labels, Rng &rng, int epochs = 30);
+
+    /** Full-pipeline prediction (trunk forward + head). */
+    int predict(const Image &img) const;
+
+    /** Trunk embedding of an image (flattened). */
+    std::vector<float> embed(const Image &img) const;
+
+    int numClasses() const { return head_.numClasses(); }
+
+  private:
+    Network trunk_;
+    LinearClassifier head_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_NN_CLASSIFIER_H

@@ -1,0 +1,258 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace potluck {
+
+ConvLayer::ConvLayer(int in_channels, int out_channels, int kernel,
+                     int stride, int pad, Rng &rng)
+    : in_channels_(in_channels), out_channels_(out_channels), kernel_(kernel),
+      stride_(stride), pad_(pad),
+      weights_(static_cast<size_t>(out_channels) * in_channels * kernel *
+               kernel),
+      bias_(out_channels, 0.0f)
+{
+    POTLUCK_ASSERT(in_channels > 0 && out_channels > 0, "bad channel count");
+    POTLUCK_ASSERT(kernel >= 1 && stride >= 1 && pad >= 0, "bad conv geom");
+    // He initialization keeps activations in a sane range through deep
+    // stacks even with random (untrained) weights.
+    double stddev =
+        std::sqrt(2.0 / (static_cast<double>(in_channels) * kernel * kernel));
+    for (auto &w : weights_)
+        w = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+Tensor
+ConvLayer::forward(const Tensor &in) const
+{
+    // The im2col path wins once there is real work per output pixel;
+    // the direct loop avoids the scratch buffer for tiny layers.
+    size_t work = static_cast<size_t>(in_channels_) * kernel_ * kernel_ *
+                  out_channels_;
+    return work >= 256 ? forwardIm2col(in) : forwardDirect(in);
+}
+
+Tensor
+ConvLayer::forwardDirect(const Tensor &in) const
+{
+    POTLUCK_ASSERT(in.channels() == in_channels_,
+                   "conv expects " << in_channels_ << " channels, got "
+                                   << in.channels());
+    int out_h = (in.height() + 2 * pad_ - kernel_) / stride_ + 1;
+    int out_w = (in.width() + 2 * pad_ - kernel_) / stride_ + 1;
+    POTLUCK_ASSERT(out_h > 0 && out_w > 0, "conv output would be empty");
+    Tensor out(out_channels_, out_h, out_w);
+    size_t kk = static_cast<size_t>(kernel_) * kernel_;
+    for (int oc = 0; oc < out_channels_; ++oc) {
+        const float *wbase =
+            weights_.data() + static_cast<size_t>(oc) * in_channels_ * kk;
+        for (int oy = 0; oy < out_h; ++oy) {
+            for (int ox = 0; ox < out_w; ++ox) {
+                double acc = bias_[oc];
+                int iy0 = oy * stride_ - pad_;
+                int ix0 = ox * stride_ - pad_;
+                for (int ic = 0; ic < in_channels_; ++ic) {
+                    const float *w = wbase + static_cast<size_t>(ic) * kk;
+                    for (int ky = 0; ky < kernel_; ++ky) {
+                        int iy = iy0 + ky;
+                        if (iy < 0 || iy >= in.height())
+                            continue;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            int ix = ix0 + kx;
+                            if (ix < 0 || ix >= in.width())
+                                continue;
+                            acc += w[ky * kernel_ + kx] * in.at(ic, iy, ix);
+                        }
+                    }
+                }
+                out.at(oc, oy, ox) = static_cast<float>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+ConvLayer::forwardIm2col(const Tensor &in) const
+{
+    POTLUCK_ASSERT(in.channels() == in_channels_,
+                   "conv expects " << in_channels_ << " channels, got "
+                                   << in.channels());
+    int out_h = (in.height() + 2 * pad_ - kernel_) / stride_ + 1;
+    int out_w = (in.width() + 2 * pad_ - kernel_) / stride_ + 1;
+    POTLUCK_ASSERT(out_h > 0 && out_w > 0, "conv output would be empty");
+
+    // Unfold the input into a (in_channels * k * k) x (out_h * out_w)
+    // column matrix; the convolution is then one dense matrix product
+    // with the (out_channels) x (in_channels * k * k) weight matrix.
+    const size_t kk = static_cast<size_t>(kernel_) * kernel_;
+    const size_t rows = static_cast<size_t>(in_channels_) * kk;
+    const size_t cols = static_cast<size_t>(out_h) * out_w;
+    std::vector<float> columns(rows * cols, 0.0f);
+
+    for (int ic = 0; ic < in_channels_; ++ic) {
+        for (int ky = 0; ky < kernel_; ++ky) {
+            for (int kx = 0; kx < kernel_; ++kx) {
+                size_t row =
+                    (static_cast<size_t>(ic) * kernel_ + ky) * kernel_ + kx;
+                float *dst = columns.data() + row * cols;
+                for (int oy = 0; oy < out_h; ++oy) {
+                    int iy = oy * stride_ - pad_ + ky;
+                    if (iy < 0 || iy >= in.height())
+                        continue; // row stays zero (padding)
+                    for (int ox = 0; ox < out_w; ++ox) {
+                        int ix = ox * stride_ - pad_ + kx;
+                        if (ix < 0 || ix >= in.width())
+                            continue;
+                        dst[static_cast<size_t>(oy) * out_w + ox] =
+                            in.at(ic, iy, ix);
+                    }
+                }
+            }
+        }
+    }
+
+    Tensor out(out_channels_, out_h, out_w);
+    // GEMM with a cache-friendly k-inner accumulation order.
+    for (int oc = 0; oc < out_channels_; ++oc) {
+        float *orow = out.data().data() + static_cast<size_t>(oc) * cols;
+        std::fill(orow, orow + cols, bias_[oc]);
+        const float *wrow = weights_.data() + static_cast<size_t>(oc) * rows;
+        for (size_t r = 0; r < rows; ++r) {
+            float w = wrow[r];
+            if (w == 0.0f)
+                continue;
+            const float *crow = columns.data() + r * cols;
+            for (size_t c = 0; c < cols; ++c)
+                orow[c] += w * crow[c];
+        }
+    }
+    return out;
+}
+
+size_t
+ConvLayer::paramCount() const
+{
+    return weights_.size() + bias_.size();
+}
+
+Tensor
+ReluLayer::forward(const Tensor &in) const
+{
+    Tensor out = in;
+    for (auto &v : out.data())
+        v = std::max(v, 0.0f);
+    return out;
+}
+
+MaxPoolLayer::MaxPoolLayer(int window, int stride)
+    : window_(window), stride_(stride)
+{
+    POTLUCK_ASSERT(window >= 1 && stride >= 1, "bad pool geometry");
+}
+
+Tensor
+MaxPoolLayer::forward(const Tensor &in) const
+{
+    int out_h = std::max(1, (in.height() - window_) / stride_ + 1);
+    int out_w = std::max(1, (in.width() - window_) / stride_ + 1);
+    Tensor out(in.channels(), out_h, out_w);
+    for (int c = 0; c < in.channels(); ++c) {
+        for (int oy = 0; oy < out_h; ++oy) {
+            for (int ox = 0; ox < out_w; ++ox) {
+                float best = -1e30f;
+                for (int ky = 0; ky < window_; ++ky) {
+                    for (int kx = 0; kx < window_; ++kx) {
+                        int iy = oy * stride_ + ky;
+                        int ix = ox * stride_ + kx;
+                        if (iy < in.height() && ix < in.width())
+                            best = std::max(best, in.at(c, iy, ix));
+                    }
+                }
+                out.at(c, oy, ox) = best;
+            }
+        }
+    }
+    return out;
+}
+
+LrnLayer::LrnLayer(int local_size, double alpha, double beta, double k)
+    : local_size_(local_size), alpha_(alpha), beta_(beta), k_(k)
+{
+    POTLUCK_ASSERT(local_size >= 1, "bad LRN size");
+}
+
+Tensor
+LrnLayer::forward(const Tensor &in) const
+{
+    Tensor out(in.channels(), in.height(), in.width());
+    int half = local_size_ / 2;
+    for (int c = 0; c < in.channels(); ++c) {
+        int lo = std::max(0, c - half);
+        int hi = std::min(in.channels() - 1, c + half);
+        for (int y = 0; y < in.height(); ++y) {
+            for (int x = 0; x < in.width(); ++x) {
+                double sum_sq = 0.0;
+                for (int cc = lo; cc <= hi; ++cc) {
+                    double v = in.at(cc, y, x);
+                    sum_sq += v * v;
+                }
+                double denom =
+                    std::pow(k_ + alpha_ * sum_sq / local_size_, beta_);
+                out.at(c, y, x) =
+                    static_cast<float>(in.at(c, y, x) / denom);
+            }
+        }
+    }
+    return out;
+}
+
+FullyConnectedLayer::FullyConnectedLayer(int in_dim, int out_dim, Rng &rng)
+    : in_dim_(in_dim), out_dim_(out_dim),
+      weights_(static_cast<size_t>(in_dim) * out_dim), bias_(out_dim, 0.0f)
+{
+    POTLUCK_ASSERT(in_dim > 0 && out_dim > 0, "bad fc dims");
+    double stddev = std::sqrt(2.0 / in_dim);
+    for (auto &w : weights_)
+        w = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+Tensor
+FullyConnectedLayer::forward(const Tensor &in) const
+{
+    POTLUCK_ASSERT(in.size() == static_cast<size_t>(in_dim_),
+                   "fc expects " << in_dim_ << " inputs, got " << in.size());
+    Tensor out(out_dim_, 1, 1);
+    for (int o = 0; o < out_dim_; ++o) {
+        double acc = bias_[o];
+        const float *w = weights_.data() + static_cast<size_t>(o) * in_dim_;
+        for (int i = 0; i < in_dim_; ++i)
+            acc += w[i] * in.data()[i];
+        out.at(o, 0, 0) = static_cast<float>(acc);
+    }
+    return out;
+}
+
+size_t
+FullyConnectedLayer::paramCount() const
+{
+    return weights_.size() + bias_.size();
+}
+
+Tensor
+SoftmaxLayer::forward(const Tensor &in) const
+{
+    Tensor out = in;
+    float max_v = *std::max_element(out.data().begin(), out.data().end());
+    double sum = 0.0;
+    for (auto &v : out.data()) {
+        v = std::exp(v - max_v);
+        sum += v;
+    }
+    for (auto &v : out.data())
+        v = static_cast<float>(v / sum);
+    return out;
+}
+
+} // namespace potluck

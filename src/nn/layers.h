@@ -1,0 +1,143 @@
+/**
+ * @file
+ * CNN inference layers: convolution, ReLU, max-pooling, local response
+ * normalization, fully-connected and softmax. Inference-only except
+ * for the small trainable classifier in classifier.h.
+ */
+#ifndef POTLUCK_NN_LAYERS_H
+#define POTLUCK_NN_LAYERS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace potluck {
+
+/** Base class for all inference layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Forward pass. */
+    virtual Tensor forward(const Tensor &in) const = 0;
+
+    /** Number of parameters (for model-size reporting). */
+    virtual size_t paramCount() const { return 0; }
+};
+
+/** 2-D convolution with stride and zero padding. */
+class ConvLayer : public Layer
+{
+  public:
+    /**
+     * @param in_channels   input channel count
+     * @param out_channels  filter count
+     * @param kernel        square kernel edge
+     * @param stride        step between applications
+     * @param pad           zero padding on each side
+     * @param rng           weight initializer (He-style scaled Gaussian)
+     */
+    ConvLayer(int in_channels, int out_channels, int kernel, int stride,
+              int pad, Rng &rng);
+
+    std::string name() const override { return "conv"; }
+
+    /**
+     * Forward pass. Dispatches to an im2col + matrix-multiply
+     * implementation (the standard CPU inference layout, cache-friendly
+     * inner loops) unless the direct loop is cheaper for tiny inputs.
+     */
+    Tensor forward(const Tensor &in) const override;
+
+    /** Reference direct convolution (used by tests to validate im2col). */
+    Tensor forwardDirect(const Tensor &in) const;
+
+    /** im2col + GEMM convolution. */
+    Tensor forwardIm2col(const Tensor &in) const;
+
+    size_t paramCount() const override;
+
+    int outChannels() const { return out_channels_; }
+
+  private:
+    int in_channels_;
+    int out_channels_;
+    int kernel_;
+    int stride_;
+    int pad_;
+    std::vector<float> weights_; // [out][in][k][k]
+    std::vector<float> bias_;    // [out]
+};
+
+/** Element-wise max(0, x). */
+class ReluLayer : public Layer
+{
+  public:
+    std::string name() const override { return "relu"; }
+    Tensor forward(const Tensor &in) const override;
+};
+
+/** Max pooling with square window and stride. */
+class MaxPoolLayer : public Layer
+{
+  public:
+    MaxPoolLayer(int window, int stride);
+
+    std::string name() const override { return "maxpool"; }
+    Tensor forward(const Tensor &in) const override;
+
+  private:
+    int window_;
+    int stride_;
+};
+
+/** AlexNet-style local response normalization across channels. */
+class LrnLayer : public Layer
+{
+  public:
+    explicit LrnLayer(int local_size = 5, double alpha = 1e-4,
+                      double beta = 0.75, double k = 2.0);
+
+    std::string name() const override { return "lrn"; }
+    Tensor forward(const Tensor &in) const override;
+
+  private:
+    int local_size_;
+    double alpha_;
+    double beta_;
+    double k_;
+};
+
+/** Dense layer flattening its input. */
+class FullyConnectedLayer : public Layer
+{
+  public:
+    FullyConnectedLayer(int in_dim, int out_dim, Rng &rng);
+
+    std::string name() const override { return "fc"; }
+    Tensor forward(const Tensor &in) const override;
+    size_t paramCount() const override;
+
+  private:
+    int in_dim_;
+    int out_dim_;
+    std::vector<float> weights_; // [out][in]
+    std::vector<float> bias_;
+};
+
+/** Numerically stable softmax over the flattened input. */
+class SoftmaxLayer : public Layer
+{
+  public:
+    std::string name() const override { return "softmax"; }
+    Tensor forward(const Tensor &in) const override;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_NN_LAYERS_H

@@ -1,0 +1,37 @@
+#include "nn/network.h"
+
+#include <sstream>
+
+namespace potluck {
+
+Tensor
+Network::forward(const Tensor &input) const
+{
+    POTLUCK_ASSERT(!layers_.empty(), "forward through empty network");
+    Tensor t = layers_.front()->forward(input);
+    for (size_t i = 1; i < layers_.size(); ++i)
+        t = layers_[i]->forward(t);
+    return t;
+}
+
+size_t
+Network::paramCount() const
+{
+    size_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer->paramCount();
+    return total;
+}
+
+std::string
+Network::summary() const
+{
+    std::ostringstream oss;
+    oss << name_ << " (" << layers_.size() << " layers, " << paramCount()
+        << " params)\n";
+    for (size_t i = 0; i < layers_.size(); ++i)
+        oss << "  [" << i << "] " << layers_[i]->name() << "\n";
+    return oss.str();
+}
+
+} // namespace potluck

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sequential network container: owns a stack of layers and runs the
+ * forward pass. Used both by the AlexNet-scale model and by unit tests
+ * composing small layer stacks.
+ */
+#ifndef POTLUCK_NN_NETWORK_H
+#define POTLUCK_NN_NETWORK_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace potluck {
+
+/** A feed-forward stack of layers. */
+class Network
+{
+  public:
+    Network() = default;
+    explicit Network(std::string name) : name_(std::move(name)) {}
+
+    /** Append a layer; the network takes ownership. */
+    void
+    add(std::unique_ptr<Layer> layer)
+    {
+        layers_.push_back(std::move(layer));
+    }
+
+    /** Run the forward pass through every layer in order. */
+    Tensor forward(const Tensor &input) const;
+
+    size_t numLayers() const { return layers_.size(); }
+    const std::string &name() const { return name_; }
+
+    /** Total parameter count across layers. */
+    size_t paramCount() const;
+
+    /** One-line-per-layer structural summary. */
+    std::string summary() const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_NN_NETWORK_H

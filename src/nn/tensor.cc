@@ -1,0 +1,34 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+
+namespace potluck {
+
+size_t
+Tensor::argmax() const
+{
+    POTLUCK_ASSERT(!data_.empty(), "argmax of empty tensor");
+    return static_cast<size_t>(
+        std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+void
+Tensor::fillGaussian(Rng &rng, double mean, double stddev)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.gaussian(mean, stddev));
+}
+
+Tensor
+imageToTensor(const Image &img)
+{
+    POTLUCK_ASSERT(!img.empty(), "imageToTensor of empty image");
+    Tensor t(img.channels(), img.height(), img.width());
+    for (int c = 0; c < img.channels(); ++c)
+        for (int y = 0; y < img.height(); ++y)
+            for (int x = 0; x < img.width(); ++x)
+                t.at(c, y, x) = static_cast<float>(img.px(x, y, c)) / 255.0f;
+    return t;
+}
+
+} // namespace potluck

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A minimal dense tensor (CHW layout) for the CNN inference engine that
+ * stands in for the paper's Caffe/AlexNet substrate.
+ */
+#ifndef POTLUCK_NN_TENSOR_H
+#define POTLUCK_NN_TENSOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "img/image.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+/** Dense float tensor with channels x height x width layout. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    Tensor(int channels, int height, int width)
+        : c_(channels), h_(height), w_(width),
+          data_(static_cast<size_t>(channels) * height * width, 0.0f)
+    {
+        POTLUCK_ASSERT(channels > 0 && height > 0 && width > 0,
+                       "non-positive tensor dims");
+    }
+
+    int channels() const { return c_; }
+    int height() const { return h_; }
+    int width() const { return w_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    float &
+    at(int c, int y, int x)
+    {
+        return data_[(static_cast<size_t>(c) * h_ + y) * w_ + x];
+    }
+
+    float
+    at(int c, int y, int x) const
+    {
+        return data_[(static_cast<size_t>(c) * h_ + y) * w_ + x];
+    }
+
+    /** Zero-padded read. */
+    float
+    padded(int c, int y, int x) const
+    {
+        if (x < 0 || y < 0 || x >= w_ || y >= h_)
+            return 0.0f;
+        return at(c, y, x);
+    }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Index of the maximum element (over the flattened tensor). */
+    size_t argmax() const;
+
+    /** Fill with Gaussian noise (used for deterministic weight init). */
+    void fillGaussian(Rng &rng, double mean, double stddev);
+
+  private:
+    int c_ = 0;
+    int h_ = 0;
+    int w_ = 0;
+    std::vector<float> data_;
+};
+
+/** Convert an Image to a CHW float tensor scaled to [0, 1]. */
+Tensor imageToTensor(const Image &img);
+
+} // namespace potluck
+
+#endif // POTLUCK_NN_TENSOR_H

@@ -1,0 +1,56 @@
+#include "render/camera.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+std::vector<float>
+Pose::toVector() const
+{
+    return {static_cast<float>(position.x), static_cast<float>(position.y),
+            static_cast<float>(position.z), static_cast<float>(yaw),
+            static_cast<float>(pitch)};
+}
+
+double
+Pose::distance(const Pose &other) const
+{
+    double dp = (position - other.position).norm();
+    double dy = yaw - other.yaw;
+    double dt = pitch - other.pitch;
+    return std::sqrt(dp * dp + dy * dy + dt * dt);
+}
+
+Camera::Camera(int width, int height, double fov_y_radians)
+    : width_(width), height_(height), fov_y_(fov_y_radians)
+{
+    POTLUCK_ASSERT(width > 0 && height > 0, "bad camera dims");
+}
+
+Mat4
+Camera::viewMatrix(const Pose &pose) const
+{
+    // Forward direction from yaw/pitch (yaw 0 looks down -Z).
+    Vec3 forward{std::sin(pose.yaw) * std::cos(pose.pitch),
+                 std::sin(pose.pitch),
+                 -std::cos(pose.yaw) * std::cos(pose.pitch)};
+    return Mat4::lookAt(pose.position, pose.position + forward,
+                        {0.0, 1.0, 0.0});
+}
+
+Mat4
+Camera::projMatrix() const
+{
+    return Mat4::perspective(fov_y_, static_cast<double>(width_) / height_,
+                             0.1, 100.0);
+}
+
+Mat4
+Camera::viewProj(const Pose &pose) const
+{
+    return projMatrix() * viewMatrix(pose);
+}
+
+} // namespace potluck

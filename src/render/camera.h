@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Camera pose for the AR workloads. The pose (position + yaw/pitch) is
+ * both the renderer input and the Potluck cache key for the
+ * location-based AR app ("the 3D orientation and location of the
+ * device are used as the key", Section 5.5).
+ */
+#ifndef POTLUCK_RENDER_CAMERA_H
+#define POTLUCK_RENDER_CAMERA_H
+
+#include <vector>
+
+#include "render/vec.h"
+
+namespace potluck {
+
+/** Device pose: position and orientation (radians). */
+struct Pose
+{
+    Vec3 position{0.0, 0.0, 3.0};
+    double yaw = 0.0;   ///< rotation about +Y
+    double pitch = 0.0; ///< rotation about +X
+
+    /** Pose as a flat vector (the AR cache key material). */
+    std::vector<float> toVector() const;
+
+    /** Euclidean distance in (position, yaw, pitch) space. */
+    double distance(const Pose &other) const;
+};
+
+/** Pinhole camera producing view/projection matrices from a Pose. */
+class Camera
+{
+  public:
+    Camera(int width, int height, double fov_y_radians = 1.0472 /* 60 deg */);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** View matrix for the given pose. */
+    Mat4 viewMatrix(const Pose &pose) const;
+
+    /** Projection matrix (near 0.1, far 100). */
+    Mat4 projMatrix() const;
+
+    /** Combined proj * view. */
+    Mat4 viewProj(const Pose &pose) const;
+
+  private:
+    int width_;
+    int height_;
+    double fov_y_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_RENDER_CAMERA_H

@@ -1,0 +1,122 @@
+#include "render/mesh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+void
+Mesh::transform(const Mat4 &m)
+{
+    for (auto &v : vertices)
+        v = m.transformPoint(v).project();
+}
+
+void
+Mesh::append(const Mesh &other)
+{
+    uint32_t base = static_cast<uint32_t>(vertices.size());
+    vertices.insert(vertices.end(), other.vertices.begin(),
+                    other.vertices.end());
+    for (const auto &t : other.triangles)
+        triangles.push_back({t.a + base, t.b + base, t.c + base});
+}
+
+Mesh
+makeCube(double edge)
+{
+    double h = edge / 2.0;
+    Mesh mesh;
+    mesh.vertices = {
+        {-h, -h, -h}, {h, -h, -h}, {h, h, -h}, {-h, h, -h},
+        {-h, -h, h},  {h, -h, h},  {h, h, h},  {-h, h, h},
+    };
+    // Two triangles per face, outward winding.
+    mesh.triangles = {
+        {0, 2, 1}, {0, 3, 2}, // back
+        {4, 5, 6}, {4, 6, 7}, // front
+        {0, 1, 5}, {0, 5, 4}, // bottom
+        {3, 6, 2}, {3, 7, 6}, // top
+        {0, 7, 3}, {0, 4, 7}, // left
+        {1, 2, 6}, {1, 6, 5}, // right
+    };
+    return mesh;
+}
+
+Mesh
+makeIcosphere(int subdivisions, double radius)
+{
+    POTLUCK_ASSERT(subdivisions >= 0 && subdivisions <= 5,
+                   "unreasonable subdivision level " << subdivisions);
+    // Start with an icosahedron.
+    const double t = (1.0 + std::sqrt(5.0)) / 2.0;
+    Mesh mesh;
+    mesh.vertices = {
+        {-1, t, 0}, {1, t, 0},  {-1, -t, 0}, {1, -t, 0},
+        {0, -1, t}, {0, 1, t},  {0, -1, -t}, {0, 1, -t},
+        {t, 0, -1}, {t, 0, 1},  {-t, 0, -1}, {-t, 0, 1},
+    };
+    mesh.triangles = {
+        {0, 11, 5}, {0, 5, 1},  {0, 1, 7},   {0, 7, 10}, {0, 10, 11},
+        {1, 5, 9},  {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+        {3, 9, 4},  {3, 4, 2},  {3, 2, 6},   {3, 6, 8},  {3, 8, 9},
+        {4, 9, 5},  {2, 4, 11}, {6, 2, 10},  {8, 6, 7},  {9, 8, 1},
+    };
+
+    for (int level = 0; level < subdivisions; ++level) {
+        std::map<std::pair<uint32_t, uint32_t>, uint32_t> midpoint_cache;
+        auto midpoint = [&](uint32_t a, uint32_t b) -> uint32_t {
+            auto key = std::minmax(a, b);
+            auto it = midpoint_cache.find(key);
+            if (it != midpoint_cache.end())
+                return it->second;
+            Vec3 mid = (mesh.vertices[a] + mesh.vertices[b]) * 0.5;
+            uint32_t idx = static_cast<uint32_t>(mesh.vertices.size());
+            mesh.vertices.push_back(mid);
+            midpoint_cache.emplace(key, idx);
+            return idx;
+        };
+        std::vector<Triangle> next;
+        next.reserve(mesh.triangles.size() * 4);
+        for (const auto &tri : mesh.triangles) {
+            uint32_t ab = midpoint(tri.a, tri.b);
+            uint32_t bc = midpoint(tri.b, tri.c);
+            uint32_t ca = midpoint(tri.c, tri.a);
+            next.push_back({tri.a, ab, ca});
+            next.push_back({tri.b, bc, ab});
+            next.push_back({tri.c, ca, bc});
+            next.push_back({ab, bc, ca});
+        }
+        mesh.triangles = std::move(next);
+    }
+    // Push all vertices onto the sphere of the requested radius.
+    for (auto &v : mesh.vertices)
+        v = v.normalized() * radius;
+    return mesh;
+}
+
+Mesh
+makeFurniture(int detail)
+{
+    POTLUCK_ASSERT(detail >= 0 && detail <= 5, "bad detail " << detail);
+    Mesh body = makeCube(1.0);
+    body.transform(Mat4::scaling(1.0, 0.6, 0.5));
+    body.r = 180;
+    body.g = 120;
+    body.b = 60;
+    // Add spherical knobs whose tessellation grows with detail.
+    for (int i = 0; i < 2 + detail; ++i) {
+        Mesh knob = makeIcosphere(std::min(detail, 3), 0.12);
+        double angle = 2.0 * M_PI * i / (2 + detail);
+        knob.transform(Mat4::translation(
+            {0.45 * std::cos(angle), 0.35, 0.45 * std::sin(angle)}));
+        body.append(knob);
+    }
+    return body;
+}
+
+} // namespace potluck

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Triangle meshes and procedural generators for the AR workloads:
+ * cube, icosphere (subdividable), and a composite "furniture" object
+ * whose triangle count scales rendering cost like the paper's 1/2/3
+ * object scenes of varying complexity.
+ */
+#ifndef POTLUCK_RENDER_MESH_H
+#define POTLUCK_RENDER_MESH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "render/vec.h"
+
+namespace potluck {
+
+/** Indexed triangle. */
+struct Triangle
+{
+    uint32_t a = 0;
+    uint32_t b = 0;
+    uint32_t c = 0;
+};
+
+/** An indexed triangle mesh with a base colour. */
+struct Mesh
+{
+    std::vector<Vec3> vertices;
+    std::vector<Triangle> triangles;
+    uint8_t r = 200;
+    uint8_t g = 200;
+    uint8_t b = 200;
+
+    size_t triangleCount() const { return triangles.size(); }
+
+    /** Apply a transform to every vertex. */
+    void transform(const Mat4 &m);
+
+    /** Append another mesh (indices fixed up). */
+    void append(const Mesh &other);
+};
+
+/** Unit cube centred at the origin. */
+Mesh makeCube(double edge = 1.0);
+
+/** Icosphere with the given subdivision level (0 = icosahedron). */
+Mesh makeIcosphere(int subdivisions, double radius = 0.5);
+
+/**
+ * A composite object (box body + sphere details) whose triangle count
+ * grows with `detail`; stands in for virtual furniture / markers.
+ */
+Mesh makeFurniture(int detail);
+
+} // namespace potluck
+
+#endif // POTLUCK_RENDER_MESH_H

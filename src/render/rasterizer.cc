@@ -1,0 +1,111 @@
+#include "render/rasterizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "img/transform.h"
+#include "util/logging.h"
+
+namespace potluck {
+
+Rasterizer::Rasterizer(int supersample) : supersample_(supersample)
+{
+    POTLUCK_ASSERT(supersample >= 1 && supersample <= 8,
+                   "bad supersample factor " << supersample);
+}
+
+Image
+Rasterizer::render(const Camera &camera, const Pose &pose,
+                   const std::vector<Mesh> &scene, uint8_t background) const
+{
+    int w = camera.width() * supersample_;
+    int h = camera.height() * supersample_;
+    Image frame(w, h, 3, background);
+    std::vector<double> zbuf(static_cast<size_t>(w) * h,
+                             std::numeric_limits<double>::infinity());
+    Mat4 vp = camera.viewProj(pose);
+    Vec3 light = Vec3{0.4, 1.0, 0.6}.normalized();
+
+    for (const Mesh &mesh : scene) {
+        // Project all vertices once per mesh.
+        std::vector<Vec3> ndc(mesh.vertices.size());
+        std::vector<double> view_w(mesh.vertices.size());
+        for (size_t i = 0; i < mesh.vertices.size(); ++i) {
+            Vec4 clip = vp.transformPoint(mesh.vertices[i]);
+            view_w[i] = clip.w;
+            ndc[i] = clip.project();
+        }
+        for (const Triangle &tri : mesh.triangles) {
+            // Reject triangles behind the camera.
+            if (view_w[tri.a] <= 0 || view_w[tri.b] <= 0 ||
+                view_w[tri.c] <= 0) {
+                continue;
+            }
+            // Screen coordinates.
+            auto to_screen = [&](uint32_t idx, double &sx, double &sy,
+                                 double &sz) {
+                sx = (ndc[idx].x * 0.5 + 0.5) * w;
+                sy = (0.5 - ndc[idx].y * 0.5) * h;
+                sz = ndc[idx].z;
+            };
+            double ax, ay, az, bx, by, bz, cx, cy, cz;
+            to_screen(tri.a, ax, ay, az);
+            to_screen(tri.b, bx, by, bz);
+            to_screen(tri.c, cx, cy, cz);
+
+            double area = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax);
+            if (std::abs(area) < 1e-9)
+                continue;
+            // Back-face culling (counter-clockwise front faces after
+            // the y-flip become clockwise, so cull area < 0).
+            if (area < 0)
+                continue;
+
+            // Lambertian face shading from the world-space normal.
+            Vec3 e1 = mesh.vertices[tri.b] - mesh.vertices[tri.a];
+            Vec3 e2 = mesh.vertices[tri.c] - mesh.vertices[tri.a];
+            Vec3 normal = e1.cross(e2).normalized();
+            double intensity =
+                0.25 + 0.75 * std::max(0.0, normal.dot(light));
+            uint8_t cr = static_cast<uint8_t>(mesh.r * intensity);
+            uint8_t cg = static_cast<uint8_t>(mesh.g * intensity);
+            uint8_t cb = static_cast<uint8_t>(mesh.b * intensity);
+
+            int min_x = std::max(0, static_cast<int>(std::min({ax, bx, cx})));
+            int max_x = std::min(
+                w - 1, static_cast<int>(std::ceil(std::max({ax, bx, cx}))));
+            int min_y = std::max(0, static_cast<int>(std::min({ay, by, cy})));
+            int max_y = std::min(
+                h - 1, static_cast<int>(std::ceil(std::max({ay, by, cy}))));
+            for (int y = min_y; y <= max_y; ++y) {
+                for (int x = min_x; x <= max_x; ++x) {
+                    double px = x + 0.5;
+                    double py = y + 0.5;
+                    double w0 = (bx - ax) * (py - ay) - (by - ay) * (px - ax);
+                    double w1 = (cx - bx) * (py - by) - (cy - by) * (px - bx);
+                    double w2 = (ax - cx) * (py - cy) - (ay - cy) * (px - cx);
+                    if (w0 < 0 || w1 < 0 || w2 < 0)
+                        continue;
+                    // Barycentric depth interpolation.
+                    double l0 = w1 / area;
+                    double l1 = w2 / area;
+                    double l2 = w0 / area;
+                    double z = l0 * az + l1 * bz + l2 * cz;
+                    size_t zi = static_cast<size_t>(y) * w + x;
+                    if (z >= zbuf[zi])
+                        continue;
+                    zbuf[zi] = z;
+                    frame.px(x, y, 0) = cr;
+                    frame.px(x, y, 1) = cg;
+                    frame.px(x, y, 2) = cb;
+                }
+            }
+        }
+    }
+    if (supersample_ > 1)
+        return resizeBilinear(frame, camera.width(), camera.height());
+    return frame;
+}
+
+} // namespace potluck

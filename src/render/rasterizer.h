@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Z-buffered software rasterizer: the expensive "native rendering"
+ * path of the AR applications. Renders a list of meshes from a camera
+ * pose into an RGB frame with per-face Lambertian shading.
+ */
+#ifndef POTLUCK_RENDER_RASTERIZER_H
+#define POTLUCK_RENDER_RASTERIZER_H
+
+#include <vector>
+
+#include "img/image.h"
+#include "render/camera.h"
+#include "render/mesh.h"
+
+namespace potluck {
+
+/** Renders mesh scenes into images. */
+class Rasterizer
+{
+  public:
+    /**
+     * @param supersample  render at this multiple of the output size
+     *                     and box-downsample (>=1); raises per-frame
+     *                     cost the way higher "rendering complexity"
+     *                     does in the paper's Fig. 10b scenes
+     */
+    explicit Rasterizer(int supersample = 1);
+
+    /**
+     * Render the scene from a pose.
+     * @param camera  viewport and intrinsics
+     * @param pose    device pose
+     * @param scene   meshes in world space
+     * @param background  fill colour
+     */
+    Image render(const Camera &camera, const Pose &pose,
+                 const std::vector<Mesh> &scene,
+                 uint8_t background = 24) const;
+
+  private:
+    int supersample_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_RENDER_RASTERIZER_H

@@ -1,0 +1,117 @@
+#include "render/vec.h"
+
+namespace potluck {
+
+Mat4
+Mat4::translation(const Vec3 &t)
+{
+    Mat4 out;
+    out.m[3] = t.x;
+    out.m[7] = t.y;
+    out.m[11] = t.z;
+    return out;
+}
+
+Mat4
+Mat4::scaling(double sx, double sy, double sz)
+{
+    Mat4 out;
+    out.m[0] = sx;
+    out.m[5] = sy;
+    out.m[10] = sz;
+    return out;
+}
+
+Mat4
+Mat4::rotationX(double radians)
+{
+    Mat4 out;
+    double c = std::cos(radians);
+    double s = std::sin(radians);
+    out.m[5] = c;
+    out.m[6] = -s;
+    out.m[9] = s;
+    out.m[10] = c;
+    return out;
+}
+
+Mat4
+Mat4::rotationY(double radians)
+{
+    Mat4 out;
+    double c = std::cos(radians);
+    double s = std::sin(radians);
+    out.m[0] = c;
+    out.m[2] = s;
+    out.m[8] = -s;
+    out.m[10] = c;
+    return out;
+}
+
+Mat4
+Mat4::rotationZ(double radians)
+{
+    Mat4 out;
+    double c = std::cos(radians);
+    double s = std::sin(radians);
+    out.m[0] = c;
+    out.m[1] = -s;
+    out.m[4] = s;
+    out.m[5] = c;
+    return out;
+}
+
+Mat4
+Mat4::lookAt(const Vec3 &eye, const Vec3 &target, const Vec3 &up)
+{
+    Vec3 f = (target - eye).normalized();
+    Vec3 s = f.cross(up).normalized();
+    Vec3 u = s.cross(f);
+    Mat4 out;
+    out.m = {s.x,  s.y,  s.z,  -s.dot(eye),
+             u.x,  u.y,  u.z,  -u.dot(eye),
+             -f.x, -f.y, -f.z, f.dot(eye),
+             0,    0,    0,    1};
+    return out;
+}
+
+Mat4
+Mat4::perspective(double fov_y_radians, double aspect, double near, double far)
+{
+    double f = 1.0 / std::tan(fov_y_radians / 2.0);
+    Mat4 out;
+    out.m = {f / aspect, 0, 0, 0,
+             0, f, 0, 0,
+             0, 0, (far + near) / (near - far),
+             2 * far * near / (near - far),
+             0, 0, -1, 0};
+    return out;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &rhs) const
+{
+    Mat4 out;
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            double sum = 0.0;
+            for (int k = 0; k < 4; ++k)
+                sum += m[r * 4 + k] * rhs.m[k * 4 + c];
+            out.m[r * 4 + c] = sum;
+        }
+    }
+    return out;
+}
+
+Vec4
+Mat4::operator*(const Vec4 &v) const
+{
+    return {
+        m[0] * v.x + m[1] * v.y + m[2] * v.z + m[3] * v.w,
+        m[4] * v.x + m[5] * v.y + m[6] * v.z + m[7] * v.w,
+        m[8] * v.x + m[9] * v.y + m[10] * v.z + m[11] * v.w,
+        m[12] * v.x + m[13] * v.y + m[14] * v.z + m[15] * v.w,
+    };
+}
+
+} // namespace potluck

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Small 3-D math library for the software renderer: Vec3, Vec4, Mat4,
+ * and the usual transform constructors.
+ */
+#ifndef POTLUCK_RENDER_VEC_H
+#define POTLUCK_RENDER_VEC_H
+
+#include <array>
+#include <cmath>
+
+namespace potluck {
+
+/** 3-component double vector. */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    Vec3 operator-() const { return {-x, -y, -z}; }
+
+    double dot(const Vec3 &o) const { return x * o.x + y * o.y + z * o.z; }
+
+    Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+
+    Vec3
+    normalized() const
+    {
+        double n = norm();
+        return n > 0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+    }
+};
+
+/** 4-component homogeneous vector. */
+struct Vec4
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+    double w = 1.0;
+
+    Vec3 xyz() const { return {x, y, z}; }
+
+    /** Perspective divide (w clamped away from zero). */
+    Vec3
+    project() const
+    {
+        double ww = std::abs(w) < 1e-12 ? 1e-12 : w;
+        return {x / ww, y / ww, z / ww};
+    }
+};
+
+/** Row-major 4x4 matrix. */
+struct Mat4
+{
+    std::array<double, 16> m{1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1};
+
+    static Mat4 identity() { return Mat4{}; }
+    static Mat4 translation(const Vec3 &t);
+    static Mat4 scaling(double sx, double sy, double sz);
+    static Mat4 rotationX(double radians);
+    static Mat4 rotationY(double radians);
+    static Mat4 rotationZ(double radians);
+
+    /** Right-handed look-at view matrix. */
+    static Mat4 lookAt(const Vec3 &eye, const Vec3 &target, const Vec3 &up);
+
+    /** OpenGL-style perspective projection. */
+    static Mat4 perspective(double fov_y_radians, double aspect, double near,
+                            double far);
+
+    Mat4 operator*(const Mat4 &rhs) const;
+    Vec4 operator*(const Vec4 &v) const;
+
+    /** Transform a point (w = 1). */
+    Vec4 transformPoint(const Vec3 &p) const { return (*this) * Vec4{p.x, p.y, p.z, 1.0}; }
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_RENDER_VEC_H

@@ -1,0 +1,120 @@
+#include "render/warp.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+namespace {
+
+/** Project a world point to pixel coordinates for a pose. */
+void
+projectToPixel(const Camera &camera, const Mat4 &vp, const Vec3 &world,
+               double &px, double &py)
+{
+    Vec3 ndc = vp.transformPoint(world).project();
+    px = (ndc.x * 0.5 + 0.5) * camera.width();
+    py = (0.5 - ndc.y * 0.5) * camera.height();
+}
+
+/**
+ * Solve the 8-DOF homography mapping 4 source points to 4 destination
+ * points by Gaussian elimination of the standard 8x8 system.
+ */
+Mat3
+homographyFromPoints(const std::array<double, 8> &src,
+                     const std::array<double, 8> &dst)
+{
+    // Rows: for each correspondence (x,y) -> (u,v):
+    //   x y 1 0 0 0 -ux -uy | u
+    //   0 0 0 x y 1 -vx -vy | v
+    double a[8][9];
+    for (int i = 0; i < 4; ++i) {
+        double x = src[2 * i];
+        double y = src[2 * i + 1];
+        double u = dst[2 * i];
+        double v = dst[2 * i + 1];
+        double r0[9] = {x, y, 1, 0, 0, 0, -u * x, -u * y, u};
+        double r1[9] = {0, 0, 0, x, y, 1, -v * x, -v * y, v};
+        for (int j = 0; j < 9; ++j) {
+            a[2 * i][j] = r0[j];
+            a[2 * i + 1][j] = r1[j];
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for (int col = 0; col < 8; ++col) {
+        int pivot = col;
+        for (int row = col + 1; row < 8; ++row)
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col]))
+                pivot = row;
+        POTLUCK_ASSERT(std::abs(a[pivot][col]) > 1e-12,
+                       "degenerate homography correspondences");
+        if (pivot != col)
+            for (int j = 0; j < 9; ++j)
+                std::swap(a[col][j], a[pivot][j]);
+        for (int row = 0; row < 8; ++row) {
+            if (row == col)
+                continue;
+            double factor = a[row][col] / a[col][col];
+            for (int j = col; j < 9; ++j)
+                a[row][j] -= factor * a[col][j];
+        }
+    }
+    Mat3 h;
+    for (int i = 0; i < 8; ++i)
+        h.m[i] = a[i][8] / a[i][i];
+    h.m[8] = 1.0;
+    return h;
+}
+
+} // namespace
+
+Mat3
+estimatePoseWarp(const Camera &camera, const Pose &from, const Pose &to,
+                 double plane_depth)
+{
+    POTLUCK_ASSERT(plane_depth > 0.0, "plane depth must be positive");
+    // Take 4 reference points on the fronto-parallel plane at
+    // plane_depth in front of the *from* pose, spread across the view.
+    Mat4 from_vp = camera.viewProj(from);
+    Mat4 to_vp = camera.viewProj(to);
+
+    // Build the plane points in world space: unproject the corners of
+    // a centred box in the from-view at the given depth. We construct
+    // them directly from the from-pose basis.
+    Vec3 forward{std::sin(from.yaw) * std::cos(from.pitch),
+                 std::sin(from.pitch),
+                 -std::cos(from.yaw) * std::cos(from.pitch)};
+    Vec3 right = forward.cross({0, 1, 0}).normalized();
+    Vec3 up = right.cross(forward).normalized();
+    Vec3 centre = from.position + forward * plane_depth;
+    double half = plane_depth * 0.6;
+
+    std::array<Vec3, 4> world = {
+        centre - right * half - up * half,
+        centre + right * half - up * half,
+        centre + right * half + up * half,
+        centre - right * half + up * half,
+    };
+
+    std::array<double, 8> src{};
+    std::array<double, 8> dst{};
+    for (int i = 0; i < 4; ++i) {
+        projectToPixel(camera, from_vp, world[i], src[2 * i], src[2 * i + 1]);
+        projectToPixel(camera, to_vp, world[i], dst[2 * i], dst[2 * i + 1]);
+    }
+    return homographyFromPoints(src, dst);
+}
+
+Image
+warpToPose(const Image &cached_frame, const Camera &camera,
+           const Pose &cached_pose, const Pose &new_pose, double plane_depth)
+{
+    Mat3 h = estimatePoseWarp(camera, cached_pose, new_pose, plane_depth);
+    return warpHomography(cached_frame, h, camera.width(), camera.height(),
+                          24);
+}
+
+} // namespace potluck

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The Potluck AR fast path (Section 5.5): instead of re-rendering a 3-D
+ * scene for a new pose, look up a cached frame rendered at a nearby
+ * pose, estimate the image-space transform between the two poses, and
+ * warp the cached frame — McMillan & Bishop-style plenoptic
+ * reprojection [36], reduced to a planar homography.
+ */
+#ifndef POTLUCK_RENDER_WARP_H
+#define POTLUCK_RENDER_WARP_H
+
+#include "img/image.h"
+#include "img/transform.h"
+#include "render/camera.h"
+
+namespace potluck {
+
+/**
+ * Estimate the homography mapping pixels of a frame rendered at
+ * `from` to their locations when viewed from `to`, assuming scene
+ * content near a fronto-parallel plane at the given depth.
+ */
+Mat3 estimatePoseWarp(const Camera &camera, const Pose &from, const Pose &to,
+                      double plane_depth = 3.0);
+
+/**
+ * Warp a cached frame to approximate the view from a new pose.
+ * This is the cheap replacement for Rasterizer::render().
+ */
+Image warpToPose(const Image &cached_frame, const Camera &camera,
+                 const Pose &cached_pose, const Pose &new_pose,
+                 double plane_depth = 3.0);
+
+} // namespace potluck
+
+#endif // POTLUCK_RENDER_WARP_H

@@ -1,0 +1,21 @@
+#include "util/clock.h"
+
+namespace potluck {
+
+uint64_t
+SystemClock::nowUs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+SystemClock &
+SystemClock::instance()
+{
+    static SystemClock clock;
+    return clock;
+}
+
+} // namespace potluck

@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+namespace potluck {
+
+namespace {
+std::atomic<bool> g_verbose{true};
+} // namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    g_verbose.store(verbose, std::memory_order_relaxed);
+}
+
+bool
+logVerbose()
+{
+    return g_verbose.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << msg << " @ " << file << ":" << line;
+    throw FatalError(oss.str());
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    if (logVerbose()) {
+        std::cerr << "warn: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (logVerbose())
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace potluck

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Error-reporting and logging primitives, in the spirit of gem5's
+ * panic()/fatal()/warn()/inform() family.
+ *
+ * - POTLUCK_PANIC: an internal invariant was violated (a library bug);
+ *   aborts so a debugger or core dump can capture state.
+ * - POTLUCK_FATAL: the caller supplied an unusable configuration or
+ *   argument; throws potluck::FatalError so the application can decide
+ *   how to terminate.
+ * - warn()/inform(): non-fatal status messages on stderr.
+ */
+#ifndef POTLUCK_UTIL_LOGGING_H
+#define POTLUCK_UTIL_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace potluck {
+
+/** Exception thrown for user-caused unrecoverable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Print a panic message and abort. Never returns. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Throw a FatalError annotated with source location. Never returns. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Emit a warning line to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Emit an informational line to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Global switch for inform()/warn() output (benchmarks silence it). */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+} // namespace potluck
+
+#define POTLUCK_PANIC(msg_expr)                                              \
+    do {                                                                     \
+        std::ostringstream oss_;                                             \
+        oss_ << msg_expr;                                                    \
+        ::potluck::detail::panicImpl(__FILE__, __LINE__, oss_.str());        \
+    } while (0)
+
+#define POTLUCK_FATAL(msg_expr)                                              \
+    do {                                                                     \
+        std::ostringstream oss_;                                             \
+        oss_ << msg_expr;                                                    \
+        ::potluck::detail::fatalImpl(__FILE__, __LINE__, oss_.str());        \
+    } while (0)
+
+#define POTLUCK_WARN(msg_expr)                                               \
+    do {                                                                     \
+        std::ostringstream oss_;                                             \
+        oss_ << msg_expr;                                                    \
+        ::potluck::detail::warnImpl(__FILE__, __LINE__, oss_.str());         \
+    } while (0)
+
+#define POTLUCK_INFORM(msg_expr)                                             \
+    do {                                                                     \
+        std::ostringstream oss_;                                             \
+        oss_ << msg_expr;                                                    \
+        ::potluck::detail::informImpl(oss_.str());                           \
+    } while (0)
+
+/** Assert an internal invariant; compiled in all build types. */
+#define POTLUCK_ASSERT(cond, msg_expr)                                       \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            POTLUCK_PANIC("assertion failed: " #cond ": " << msg_expr);      \
+        }                                                                    \
+    } while (0)
+
+#endif // POTLUCK_UTIL_LOGGING_H

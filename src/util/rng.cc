@@ -1,0 +1,29 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    POTLUCK_ASSERT(!weights.empty(), "weightedIndex with no weights");
+    std::discrete_distribution<size_t> dist(weights.begin(), weights.end());
+    return dist(engine_);
+}
+
+std::vector<size_t>
+Rng::sampleIndices(size_t n, size_t k)
+{
+    POTLUCK_ASSERT(k <= n, "cannot sample " << k << " from " << n);
+    std::vector<size_t> all(n);
+    std::iota(all.begin(), all.end(), size_t{0});
+    std::shuffle(all.begin(), all.end(), engine_);
+    all.resize(k);
+    return all;
+}
+
+} // namespace potluck

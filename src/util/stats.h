@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lightweight descriptive statistics used by the benchmark harness:
+ * running mean/variance (Welford), min/max, and percentile summaries.
+ */
+#ifndef POTLUCK_UTIL_STATS_H
+#define POTLUCK_UTIL_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace potluck {
+
+/** Online accumulator for mean/variance/min/max of a sample stream. */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Collects raw samples for percentile queries.
+ * Suitable for the modest sample counts the benches produce.
+ */
+class SampleSet
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+
+    size_t count() const { return samples_.size(); }
+    double mean() const;
+
+    /** Linear-interpolated percentile, p in [0, 100]. */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+    double min() const { return percentile(0.0); }
+    double max() const { return percentile(100.0); }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/** Format a value with fixed precision (helper for bench tables). */
+std::string formatFixed(double value, int precision);
+
+} // namespace potluck
+
+#endif // POTLUCK_UTIL_STATS_H

@@ -1,0 +1,67 @@
+#include "util/stringutil.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace potluck {
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string field;
+    std::istringstream iss(s);
+    while (std::getline(iss, field, delim))
+        out.push_back(field);
+    if (!s.empty() && s.back() == delim)
+        out.push_back("");
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return s.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+formatBytes(size_t bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB"};
+    double value = static_cast<double>(bytes);
+    int unit = 0;
+    while (value >= 1024.0 && unit < 3) {
+        value /= 1024.0;
+        ++unit;
+    }
+    return formatFixed(value, unit == 0 ? 0 : 1) + " " + units[unit];
+}
+
+} // namespace potluck

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Small string helpers shared by the library, benches and examples.
+ */
+#ifndef POTLUCK_UTIL_STRINGUTIL_H
+#define POTLUCK_UTIL_STRINGUTIL_H
+
+#include <string>
+#include <vector>
+
+namespace potluck {
+
+/** Split on a delimiter character; empty fields preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True if s begins with prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Join elements with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Render a byte count human-readably ("1.5 KB", "3.2 MB"). */
+std::string formatBytes(size_t bytes);
+
+} // namespace potluck
+
+#endif // POTLUCK_UTIL_STRINGUTIL_H

@@ -1,0 +1,60 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace potluck {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    POTLUCK_ASSERT(num_threads >= 1, "thread pool needs >= 1 worker");
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                // stopping_ must be set: drain finished, exit.
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++active_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace potluck

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A fixed-size worker thread pool.
+ *
+ * Used by the AppListener to serve concurrent application requests
+ * (Section 4.1 of the paper: "The AppListener maintains a threadpool,
+ * handles the requests from upper-level applications").
+ */
+#ifndef POTLUCK_UTIL_THREAD_POOL_H
+#define POTLUCK_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace potluck {
+
+/** Fixed-size thread pool executing submitted tasks FIFO. */
+class ThreadPool
+{
+  public:
+    /** Spin up num_threads workers (must be >= 1). */
+    explicit ThreadPool(size_t num_threads);
+
+    /** Drains outstanding tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task for execution.
+     * @return a future holding the task's result (or exception).
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using Result = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                throw std::runtime_error("submit() on stopped ThreadPool");
+            queue_.emplace_back([task]() { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /** Block until every queued and in-flight task has finished. */
+    void waitIdle();
+
+    size_t numThreads() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idle_cv_;
+    size_t active_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_UTIL_THREAD_POOL_H

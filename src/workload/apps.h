@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The three benchmark applications of Section 5.1, built on the
+ * substrate libraries and the Potluck service:
+ *
+ *  - ImageRecognitionApp: deep-learning inference on camera frames
+ *    (AlexNet-style network), Downsamp keys.
+ *  - ArLocationApp: renders virtual objects from the device pose; the
+ *    pose is the cache key; the Potluck fast path warps a cached frame
+ *    to the new pose instead of re-rendering.
+ *  - ArCvApp: recognizes the object in the frame (sharing the
+ *    object_recognition function — and therefore cache entries — with
+ *    ImageRecognitionApp) and renders an overlay for it.
+ */
+#ifndef POTLUCK_WORKLOAD_APPS_H
+#define POTLUCK_WORKLOAD_APPS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/potluck_service.h"
+#include "features/downsample.h"
+#include "nn/classifier.h"
+#include "render/rasterizer.h"
+#include "render/warp.h"
+
+namespace potluck {
+
+/** Shared function names: matching names are what enables sharing. */
+namespace functions {
+inline constexpr const char *kObjectRecognition = "object_recognition";
+inline constexpr const char *kRenderScene = "render_scene";
+inline constexpr const char *kRenderOverlay = "render_overlay";
+} // namespace functions
+
+/** Key type names used by the apps. */
+namespace keytypes {
+inline constexpr const char *kDownsamp = "downsamp";
+inline constexpr const char *kPose = "pose";
+inline constexpr const char *kLabelPose = "label_pose";
+} // namespace keytypes
+
+/// @name Pose+frame value codec (the AR apps' cached result).
+/// @{
+Value encodePoseFrame(const Pose &pose, const Image &frame);
+void decodePoseFrame(const Value &value, Pose &pose, Image &frame);
+/// @}
+
+/** What one processing step did. */
+struct AppOutcome
+{
+    bool cache_hit = false;   ///< every stage was served from cache
+    bool dropped = false;
+    bool recog_hit = false;   ///< recognition stage hit (ArCvApp)
+    bool overlay_hit = false; ///< overlay-render stage hit (ArCvApp)
+    int label = -1;  ///< recognition result when applicable
+    Image frame;     ///< rendered output when applicable
+};
+
+/** Deep-learning image recognition app (Google-Lens-like). */
+class ImageRecognitionApp
+{
+  public:
+    /**
+     * @param service     shared cache service
+     * @param recognizer  the trained model (shared across apps)
+     * @param app_name    registration tag
+     */
+    ImageRecognitionApp(PotluckService &service,
+                        std::shared_ptr<TrainedRecognizer> recognizer,
+                        std::string app_name = "image_recognition");
+
+    /** Full pipeline with Potluck deduplication. */
+    AppOutcome process(const Image &frame);
+
+    /** The expensive native pipeline (no cache). */
+    int processNative(const Image &frame) const;
+
+    /** The key this app would use for a frame. */
+    FeatureVector keyFor(const Image &frame) const;
+
+  private:
+    PotluckService &service_;
+    std::shared_ptr<TrainedRecognizer> recognizer_;
+    std::string app_;
+    DownsampleExtractor extractor_;
+};
+
+/** Location/orientation-driven AR rendering app (IKEA-Place-like). */
+class ArLocationApp
+{
+  public:
+    /**
+     * @param service  shared cache service
+     * @param scene    world-space meshes to render
+     * @param camera   viewport
+     */
+    /**
+     * @param supersample  rasterizer supersampling factor; higher
+     *                     models costlier scene rendering (Fig. 10b's
+     *                     "rendering complexity")
+     */
+    ArLocationApp(PotluckService &service, std::vector<Mesh> scene,
+                  Camera camera, std::string app_name = "ar_location",
+                  int supersample = 2);
+
+    /** Render (or warp from cache) the frame for a pose. */
+    AppOutcome process(const Pose &pose);
+
+    /** Native rendering path. */
+    Image processNative(const Pose &pose) const;
+
+    const Camera &camera() const { return camera_; }
+
+  private:
+    PotluckService &service_;
+    std::vector<Mesh> scene_;
+    Camera camera_;
+    std::string app_;
+    Rasterizer rasterizer_;
+};
+
+/** Vision-driven AR app: recognize, then render an overlay. */
+class ArCvApp
+{
+  public:
+    ArCvApp(PotluckService &service,
+            std::shared_ptr<TrainedRecognizer> recognizer, Camera camera,
+            std::string app_name = "ar_cv");
+
+    /** Recognize the frame's object and render its overlay marker. */
+    AppOutcome process(const Image &frame, const Pose &pose);
+
+    /** Native path: recognition + overlay rendering, no cache. */
+    AppOutcome processNative(const Image &frame, const Pose &pose) const;
+
+    /** The overlay renderer (exposed for the FlashBack emulation). */
+    Image renderOverlay(int label, const Pose &pose) const;
+
+  private:
+    PotluckService &service_;
+    std::shared_ptr<TrainedRecognizer> recognizer_;
+    Camera camera_;
+    std::string app_;
+    DownsampleExtractor extractor_;
+    Rasterizer rasterizer_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_WORKLOAD_APPS_H

@@ -1,0 +1,148 @@
+#include "workload/context.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+namespace {
+
+/** Anchor locations of the synthetic neighbourhood (degrees). */
+struct Anchor
+{
+    GeoPoint point;
+    Place place;
+};
+
+const std::array<Anchor, 4> kAnchors = {{
+    {{40.7000, -74.0100}, Place::Home},
+    {{40.7080, -74.0020}, Place::Office},
+    {{40.7045, -74.0150}, Place::Cafe},
+    {{40.7040, -74.0060}, Place::Commute}, // route midpoint
+}};
+
+/** Way-points of the daily loop, in visit order. */
+const std::array<GeoPoint, 6> kRoute = {{
+    {40.7000, -74.0100}, // home
+    {40.7040, -74.0060}, // commute midpoint
+    {40.7080, -74.0020}, // office
+    {40.7060, -74.0090}, // commute back
+    {40.7045, -74.0150}, // cafe
+    {40.7000, -74.0100}, // home
+}};
+
+constexpr int kFixesPerLeg = 8;
+
+} // namespace
+
+const char *
+placeName(Place place)
+{
+    switch (place) {
+      case Place::Home:
+        return "home";
+      case Place::Commute:
+        return "commute";
+      case Place::Office:
+        return "office";
+      case Place::Cafe:
+        return "cafe";
+    }
+    return "unknown";
+}
+
+CommuteTrajectory::CommuteTrajectory(uint64_t seed, double jitter_deg)
+    : rng_(seed), jitter_(jitter_deg)
+{
+    POTLUCK_ASSERT(jitter_deg >= 0.0, "negative jitter");
+}
+
+std::vector<GeoPoint>
+CommuteTrajectory::day(int day_index)
+{
+    // Per-day determinism: reseed from the day index so any day can be
+    // regenerated independently.
+    Rng day_rng(rng_.engine()() ^ (static_cast<uint64_t>(day_index) * 2654435761ULL));
+    std::vector<GeoPoint> fixes;
+    for (size_t leg = 0; leg + 1 < kRoute.size(); ++leg) {
+        for (int i = 0; i < kFixesPerLeg; ++i) {
+            double t = static_cast<double>(i) / kFixesPerLeg;
+            GeoPoint p;
+            p.lat = kRoute[leg].lat +
+                    t * (kRoute[leg + 1].lat - kRoute[leg].lat) +
+                    day_rng.gaussian(0.0, jitter_);
+            p.lon = kRoute[leg].lon +
+                    t * (kRoute[leg + 1].lon - kRoute[leg].lon) +
+                    day_rng.gaussian(0.0, jitter_);
+            fixes.push_back(p);
+        }
+    }
+    return fixes;
+}
+
+Place
+CommuteTrajectory::truthAt(const GeoPoint &point) const
+{
+    // Nearest anchor within ~250 m (0.0025 deg); otherwise commuting.
+    double best = 0.0025;
+    Place place = Place::Commute;
+    for (const Anchor &anchor : kAnchors) {
+        double dlat = point.lat - anchor.point.lat;
+        double dlon = point.lon - anchor.point.lon;
+        double d = std::sqrt(dlat * dlat + dlon * dlon);
+        if (d < best) {
+            best = d;
+            place = anchor.place;
+        }
+    }
+    return place;
+}
+
+ContextInferenceApp::ContextInferenceApp(PotluckService &service,
+                                         std::string app_name)
+    : service_(service), app_(std::move(app_name)), truth_model_(1)
+{
+    KeyTypeConfig cfg;
+    cfg.name = kKeyType;
+    cfg.metric = Metric::L2;
+    cfg.index_kind = IndexKind::KdTree;
+    service_.registerKeyType(kFunction, cfg);
+}
+
+FeatureVector
+ContextInferenceApp::keyFor(const GeoPoint &point)
+{
+    // Scale degrees so ~100 m ~ 1 key unit: thresholds then live in an
+    // intuitive range, like the image keys.
+    return FeatureVector({static_cast<float>(point.lat * 1000.0),
+                          static_cast<float>(point.lon * 1000.0)});
+}
+
+Place
+ContextInferenceApp::processNative(const GeoPoint &point) const
+{
+    return truth_model_.truthAt(point);
+}
+
+ContextInferenceApp::Outcome
+ContextInferenceApp::process(const GeoPoint &point)
+{
+    Outcome outcome;
+    FeatureVector key = keyFor(point);
+    LookupResult r = service_.lookup(app_, kFunction, kKeyType, key);
+    if (r.hit) {
+        outcome.cache_hit = true;
+        outcome.place = static_cast<Place>(decodeInt(r.value));
+        return outcome;
+    }
+    outcome.place = processNative(point);
+    PutOptions options;
+    options.app = app_;
+    service_.put(kFunction, kKeyType, key,
+                 encodeInt(static_cast<int64_t>(outcome.place)), options);
+    return outcome;
+}
+
+} // namespace potluck

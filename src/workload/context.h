@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Location/context workload (Section 2.3: "two location based
+ * applications can share the processing for GPS data or related
+ * contextual information close in time", and Section 2.2's spatial
+ * correlation from recurrent commutes).
+ *
+ * A CommuteTrajectory generates GPS fixes along a recurring daily
+ * route with per-day jitter; ContextInferenceApp turns a fix into a
+ * context label (an expensive inference in reality — geofence +
+ * activity model), caching results in Potluck keyed by (lat, lon).
+ */
+#ifndef POTLUCK_WORKLOAD_CONTEXT_H
+#define POTLUCK_WORKLOAD_CONTEXT_H
+
+#include <string>
+#include <vector>
+
+#include "core/potluck_service.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+/** A GPS fix. */
+struct GeoPoint
+{
+    double lat = 0.0;
+    double lon = 0.0;
+};
+
+/** Places along the synthetic commute. */
+enum class Place
+{
+    Home,
+    Commute,
+    Office,
+    Cafe,
+};
+
+const char *placeName(Place place);
+
+/**
+ * Recurring commute: home -> (commute) -> office -> (commute) -> cafe
+ * -> home, sampled as GPS fixes with per-fix jitter. The same route
+ * replays every "day" with fresh noise — the recurrence that makes
+ * context inference cacheable.
+ */
+class CommuteTrajectory
+{
+  public:
+    explicit CommuteTrajectory(uint64_t seed, double jitter_deg = 0.0004);
+
+    /** GPS fixes for one day (fixed count, deterministic per day). */
+    std::vector<GeoPoint> day(int day_index);
+
+    /** Ground-truth place for a fix (nearest anchor within radius). */
+    Place truthAt(const GeoPoint &point) const;
+
+  private:
+    Rng rng_;
+    double jitter_;
+};
+
+/** Context-inference app built on the Potluck cache. */
+class ContextInferenceApp
+{
+  public:
+    ContextInferenceApp(PotluckService &service,
+                        std::string app_name);
+
+    struct Outcome
+    {
+        Place place = Place::Home;
+        bool cache_hit = false;
+    };
+
+    /** Infer the context at a fix, deduplicating via the cache. */
+    Outcome process(const GeoPoint &point);
+
+    /** The expensive native inference (here: the ground-truth model). */
+    Place processNative(const GeoPoint &point) const;
+
+    /** Key for a fix: scaled (lat, lon). */
+    static FeatureVector keyFor(const GeoPoint &point);
+
+    /** Function / key type names (shared across apps). */
+    static constexpr const char *kFunction = "geo_context";
+    static constexpr const char *kKeyType = "latlon";
+
+  private:
+    PotluckService &service_;
+    std::string app_;
+    CommuteTrajectory truth_model_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_WORKLOAD_CONTEXT_H

@@ -1,0 +1,156 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/draw.h"
+#include "img/transform.h"
+#include "util/logging.h"
+
+namespace potluck {
+
+namespace {
+
+/** Class-specific base colour: spread around the hue circle. */
+Color
+classColor(int label, int num_classes)
+{
+    double hue = 2.0 * M_PI * label / num_classes;
+    auto chan = [&](double phase) {
+        return static_cast<uint8_t>(
+            std::lround(127.0 + 110.0 * std::cos(hue + phase)));
+    };
+    return Color{chan(0.0), chan(2.0 * M_PI / 3.0), chan(4.0 * M_PI / 3.0)};
+}
+
+/** Render the class-specific shape into the image. */
+void
+drawClassShape(Image &img, int label, int num_classes, int cx, int cy,
+               int size, Color color)
+{
+    switch (label % 5) {
+      case 0: // disc
+        fillCircle(img, cx, cy, size, color);
+        break;
+      case 1: // square
+        fillRect(img, cx - size, cy - size, cx + size, cy + size, color);
+        break;
+      case 2: // triangle
+        fillTriangle(img, cx, cy - size, cx - size, cy + size, cx + size,
+                     cy + size, color);
+        break;
+      case 3: // ring
+        fillCircle(img, cx, cy, size, color);
+        fillCircle(img, cx, cy, std::max(1, size / 2),
+                   Color{static_cast<uint8_t>(color.r / 3),
+                         static_cast<uint8_t>(color.g / 3),
+                         static_cast<uint8_t>(color.b / 3)});
+        break;
+      case 4: // cross
+        fillRect(img, cx - size, cy - size / 3, cx + size, cy + size / 3,
+                 color);
+        fillRect(img, cx - size / 3, cy - size, cx + size / 3, cy + size,
+                 color);
+        break;
+    }
+    // Classes 5-9 reuse the 5 shapes but with a secondary marker so
+    // they stay visually distinct from 0-4.
+    if (label >= 5) {
+        Color marker{255, 255, 255};
+        fillCircle(img, cx + size, cy - size, std::max(1, size / 3), marker);
+    }
+    (void)num_classes;
+}
+
+} // namespace
+
+Image
+drawCifarLikeImage(Rng &rng, int label, const CifarLikeOptions &opt)
+{
+    POTLUCK_ASSERT(label >= 0 && label < opt.num_classes,
+                   "label out of range: " << label);
+    Image img(opt.width, opt.height, 3);
+
+    // Randomized background: gradient between two random-ish tones
+    // plus coarse value noise ("different backgrounds").
+    Color top{static_cast<uint8_t>(rng.uniformInt(40, 200)),
+              static_cast<uint8_t>(rng.uniformInt(40, 200)),
+              static_cast<uint8_t>(rng.uniformInt(40, 200))};
+    Color bottom{static_cast<uint8_t>(rng.uniformInt(40, 200)),
+                 static_cast<uint8_t>(rng.uniformInt(40, 200)),
+                 static_cast<uint8_t>(rng.uniformInt(40, 200))};
+    verticalGradient(img, top, bottom);
+    if (opt.background_noise > 0)
+        addValueNoise(img, rng, std::max(4, opt.width / 4),
+                      opt.background_noise);
+
+    // The class object with geometric jitter.
+    int jitter = opt.geometry_jitter;
+    int cx = opt.width / 2 +
+             static_cast<int>(rng.uniformInt(-jitter, jitter));
+    int cy = opt.height / 2 +
+             static_cast<int>(rng.uniformInt(-jitter, jitter));
+    int size = opt.width / 3 +
+               static_cast<int>(rng.uniformInt(-jitter / 2, jitter / 2));
+    drawClassShape(img, label, opt.num_classes, cx, cy, std::max(3, size),
+                   classColor(label, opt.num_classes));
+
+    // Photometric variation: lighting gain + sensor noise.
+    if (opt.lighting_jitter > 0.0) {
+        double gain = 1.0 + rng.uniformReal(-opt.lighting_jitter,
+                                            opt.lighting_jitter);
+        img = adjustBrightnessContrast(img, gain, 0.0);
+    }
+    if (opt.sensor_noise > 0)
+        addUniformNoise(img, rng, opt.sensor_noise);
+    return img;
+}
+
+std::vector<LabeledImage>
+makeCifarLike(Rng &rng, int per_class, const CifarLikeOptions &opt)
+{
+    POTLUCK_ASSERT(per_class >= 1, "per_class must be >= 1");
+    std::vector<LabeledImage> out;
+    out.reserve(static_cast<size_t>(per_class) * opt.num_classes);
+    for (int label = 0; label < opt.num_classes; ++label)
+        for (int i = 0; i < per_class; ++i)
+            out.push_back({drawCifarLikeImage(rng, label, opt), label});
+    rng.shuffle(out);
+    return out;
+}
+
+Image
+drawMnistLikeImage(Rng &rng, int digit, const MnistLikeOptions &opt)
+{
+    POTLUCK_ASSERT(digit >= 0 && digit <= 9, "digit out of range");
+    Image img(opt.width, opt.height, 1);
+    int jitter = opt.geometry_jitter;
+    int margin = opt.width / 5;
+    int x = margin + static_cast<int>(rng.uniformInt(-jitter, jitter));
+    int y = margin + static_cast<int>(rng.uniformInt(-jitter, jitter));
+    int w = opt.width - 2 * margin;
+    int h = opt.height - 2 * margin;
+    uint8_t intensity = static_cast<uint8_t>(rng.uniformInt(200, 255));
+    int thickness = 2 + static_cast<int>(rng.uniformInt(0, 1));
+    drawDigit(img, digit, x, y, w, h, intensity, thickness);
+    // Slight blur mimics pen-stroke antialiasing in MNIST.
+    img = gaussianBlur(img, 0.6);
+    if (opt.sensor_noise > 0)
+        addUniformNoise(img, rng, opt.sensor_noise);
+    return img;
+}
+
+std::vector<LabeledImage>
+makeMnistLike(Rng &rng, int per_class, const MnistLikeOptions &opt)
+{
+    POTLUCK_ASSERT(per_class >= 1, "per_class must be >= 1");
+    std::vector<LabeledImage> out;
+    out.reserve(static_cast<size_t>(per_class) * 10);
+    for (int digit = 0; digit <= 9; ++digit)
+        for (int i = 0; i < per_class; ++i)
+            out.push_back({drawMnistLikeImage(rng, digit, opt), digit});
+    rng.shuffle(out);
+    return out;
+}
+
+} // namespace potluck

@@ -1,0 +1,41 @@
+#include "workload/device.h"
+
+#include "util/logging.h"
+
+namespace potluck {
+
+const char *
+deviceName(Device device)
+{
+    switch (device) {
+      case Device::Mobile:
+        return "mobile";
+      case Device::Pc:
+        return "pc";
+      case Device::Host:
+        return "host";
+    }
+    return "unknown";
+}
+
+double
+deviceScale(Device device)
+{
+    switch (device) {
+      case Device::Mobile:
+        return 10.0; // Section 5.1: PC ~an order of magnitude faster
+      case Device::Pc:
+        return 1.0;
+      case Device::Host:
+        return 1.0;
+    }
+    POTLUCK_PANIC("unknown device");
+}
+
+double
+scaleToDevice(double host_ms, Device device)
+{
+    return host_ms * deviceScale(device);
+}
+
+} // namespace potluck

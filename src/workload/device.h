@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Device timing model for the mobile-vs-PC comparisons (Sections
+ * 5.1/5.5/5.6). Compute costs are measured once on this machine and
+ * scaled by calibrated per-device factors; the paper states the PC is
+ * "around an order of magnitude faster than the phone" and that
+ * Potluck's own overheads are device-independent, which is exactly
+ * what this model encodes.
+ */
+#ifndef POTLUCK_WORKLOAD_DEVICE_H
+#define POTLUCK_WORKLOAD_DEVICE_H
+
+#include <string>
+
+namespace potluck {
+
+/** Device classes the evaluation compares. */
+enum class Device
+{
+    Mobile, ///< Nexus-5-class phone
+    Pc,     ///< laptop-class PC (the paper's Core i7)
+    Host,   ///< this machine, unscaled (for raw measurements)
+};
+
+const char *deviceName(Device device);
+
+/**
+ * Cost scaling relative to this host. The host is treated as
+ * PC-class; the mobile device is 10x slower (Section 5.1).
+ */
+double deviceScale(Device device);
+
+/** Scale a host-measured duration to a device. */
+double scaleToDevice(double host_ms, Device device);
+
+} // namespace potluck
+
+#endif // POTLUCK_WORKLOAD_DEVICE_H

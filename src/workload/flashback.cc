@@ -1,0 +1,28 @@
+#include "workload/flashback.h"
+
+#include "util/logging.h"
+
+namespace potluck {
+
+FlashBackRenderer::FlashBackRenderer(Camera camera, double threshold)
+    : camera_(camera), threshold_(threshold)
+{
+    POTLUCK_ASSERT(threshold > 0.0, "threshold must be positive");
+}
+
+int
+FlashBackRenderer::nearestMemo(const Pose &pose) const
+{
+    int best = -1;
+    double best_dist = threshold_;
+    for (size_t i = 0; i < memo_.size(); ++i) {
+        double d = memo_[i].pose.distance(pose);
+        if (d <= best_dist) {
+            best_dist = d;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace potluck

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Emulated FlashBack baseline (Section 5.6, after Boos et al. [14]):
+ * rendering memoization only, per application, with no cross-app
+ * sharing and no benefit for non-rendering work. The emulation keeps a
+ * private nearest-pose store per app instance and serves rendering
+ * results from it, exactly as the paper's comparison assumes.
+ */
+#ifndef POTLUCK_WORKLOAD_FLASHBACK_H
+#define POTLUCK_WORKLOAD_FLASHBACK_H
+
+#include <vector>
+
+#include "img/image.h"
+#include "render/camera.h"
+#include "render/rasterizer.h"
+#include "render/warp.h"
+
+namespace potluck {
+
+/** Per-app rendering memoizer (the FlashBack emulation). */
+class FlashBackRenderer
+{
+  public:
+    /**
+     * @param camera     viewport
+     * @param threshold  pose distance within which a memo frame is
+     *                   reused (fixed; FlashBack has no tuner)
+     */
+    FlashBackRenderer(Camera camera, double threshold = 0.25);
+
+    /** Result of a memoized render. */
+    struct Result
+    {
+        Image frame;
+        bool memo_hit = false;
+    };
+
+    /**
+     * Render via the memo table; on a miss, calls the provided
+     * renderer and memoizes its output.
+     */
+    template <typename RenderFn>
+    Result
+    render(const Pose &pose, RenderFn &&render_fn)
+    {
+        Result result;
+        int best = nearestMemo(pose);
+        if (best >= 0) {
+            result.memo_hit = true;
+            result.frame = warpToPose(memo_[best].frame, camera_,
+                                      memo_[best].pose, pose);
+            return result;
+        }
+        result.frame = render_fn(pose);
+        memo_.push_back({pose, result.frame});
+        return result;
+    }
+
+    size_t memoSize() const { return memo_.size(); }
+    double threshold() const { return threshold_; }
+
+  private:
+    struct MemoEntry
+    {
+        Pose pose;
+        Image frame;
+    };
+
+    /** Index of the nearest memo within threshold; -1 if none. */
+    int nearestMemo(const Pose &pose) const;
+
+    Camera camera_;
+    double threshold_;
+    std::vector<MemoEntry> memo_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_WORKLOAD_FLASHBACK_H

@@ -1,0 +1,120 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/potluck_service.h"
+#include "util/logging.h"
+
+namespace potluck {
+
+std::vector<SyntheticWorkload>
+makeWorkloads(Rng &rng, int count, double min_ms, double max_ms)
+{
+    POTLUCK_ASSERT(count >= 1, "workload count must be >= 1");
+    POTLUCK_ASSERT(min_ms > 0 && max_ms > min_ms, "bad cost range");
+    std::vector<SyntheticWorkload> out;
+    out.reserve(count);
+    double log_lo = std::log(min_ms);
+    double log_hi = std::log(max_ms);
+    for (int i = 0; i < count; ++i) {
+        SyntheticWorkload w;
+        w.id = i;
+        // Log-spaced base cost with mild jitter so costs are distinct
+        // but reproducible.
+        double frac = count > 1 ? static_cast<double>(i) / (count - 1) : 0.0;
+        double log_cost = log_lo + frac * (log_hi - log_lo);
+        w.compute_ms = std::exp(log_cost) * rng.uniformReal(0.9, 1.1);
+        w.result_bytes = static_cast<size_t>(rng.uniformInt(32, 256));
+        out.push_back(w);
+    }
+    return out;
+}
+
+std::vector<int>
+makeTrace(Rng &rng, const std::vector<SyntheticWorkload> &workloads,
+          PopularityModel model, int length)
+{
+    POTLUCK_ASSERT(!workloads.empty(), "no workloads");
+    std::vector<double> weights(workloads.size());
+    switch (model) {
+      case PopularityModel::Uniform:
+        std::fill(weights.begin(), weights.end(), 1.0);
+        break;
+      case PopularityModel::Exponential: {
+        // Popularity ranks follow an exponential law; shuffle the rank
+        // assignment so popularity does not correlate with cost.
+        std::vector<size_t> ranks(workloads.size());
+        for (size_t i = 0; i < ranks.size(); ++i)
+            ranks[i] = i;
+        rng.shuffle(ranks);
+        double lambda = 8.0 / static_cast<double>(workloads.size());
+        for (size_t i = 0; i < workloads.size(); ++i)
+            weights[i] = std::exp(-lambda * static_cast<double>(ranks[i]));
+        break;
+      }
+    }
+    std::vector<int> trace;
+    trace.reserve(length);
+    for (int i = 0; i < length; ++i)
+        trace.push_back(
+            workloads[rng.weightedIndex(weights)].id);
+    return trace;
+}
+
+ReplayResult
+replayTrace(const std::vector<SyntheticWorkload> &workloads,
+            const std::vector<int> &trace, double cached_fraction,
+            EvictionKind eviction, uint64_t seed)
+{
+    POTLUCK_ASSERT(cached_fraction > 0.0 && cached_fraction <= 1.0,
+                   "cached fraction must be in (0, 1]");
+
+    // Cache sized as a fraction of the working set, exact-match keys,
+    // no dropout/TTL: Section 5.3 isolates the replacement policy.
+    PotluckConfig config;
+    config.eviction = eviction;
+    config.dropout_probability = 0.0;
+    config.max_entries = std::max<size_t>(
+        1, static_cast<size_t>(cached_fraction * workloads.size()));
+    config.max_bytes = 0;
+    config.default_ttl_us = ~0ULL / 2; // effectively never
+    config.warmup_entries = 1ULL << 60; // tuner stays inactive
+    config.seed = seed;
+
+    VirtualClock clock;
+    PotluckService service(config, &clock);
+    KeyTypeConfig key_cfg;
+    key_cfg.name = "workload_id";
+    key_cfg.metric = Metric::L2;
+    key_cfg.index_kind = IndexKind::Hash;
+    service.registerKeyType("synthetic_fn", key_cfg);
+
+    ReplayResult result;
+    for (int id : trace) {
+        const SyntheticWorkload &w = workloads[id];
+        result.total_compute_ms += w.compute_ms;
+        FeatureVector key({static_cast<float>(w.id)});
+        LookupResult lr =
+            service.lookup("trace", "synthetic_fn", "workload_id", key);
+        if (lr.hit) {
+            ++result.hits;
+            // A hit costs only the (negligible) lookup; advance the
+            // clock a microsecond so LRU timestamps stay ordered.
+            clock.advanceUs(1);
+            continue;
+        }
+        ++result.misses;
+        result.paid_compute_ms += w.compute_ms;
+        clock.advanceMs(w.compute_ms);
+        PutOptions options;
+        options.app = "trace";
+        options.compute_overhead_us = w.compute_ms * 1000.0;
+        service.put("synthetic_fn", "workload_id", key,
+                    makeValue(std::vector<uint8_t>(w.result_bytes, 0xAB)),
+                    options);
+    }
+    return result;
+}
+
+} // namespace potluck

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The cache-replacement experiment harness (Section 5.3): 100
+ * synthetic workloads with compute costs from 1 ms to 10 s, request
+ * sequences of 10,000 arrivals whose workload popularity follows a
+ * uniform or exponential distribution, and a simulator that replays a
+ * sequence against a PotluckService (virtual time) and reports the
+ * fraction of total computation time paid due to misses.
+ */
+#ifndef POTLUCK_WORKLOAD_TRACE_H
+#define POTLUCK_WORKLOAD_TRACE_H
+
+#include <vector>
+
+#include "core/config.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+/** One synthetic workload: an id and its nominal compute cost. */
+struct SyntheticWorkload
+{
+    int id = 0;
+    double compute_ms = 0.0;
+    size_t result_bytes = 64; ///< stored result footprint
+};
+
+/** How workload popularity is distributed across a trace. */
+enum class PopularityModel
+{
+    Uniform,     ///< in-app dedup: every workload equally likely
+    Exponential, ///< multi-app mix: popularity ~ exp distribution [17]
+};
+
+/**
+ * The paper's 100 workloads: compute costs log-spaced over
+ * [1 ms, 10 s].
+ */
+std::vector<SyntheticWorkload> makeWorkloads(Rng &rng, int count = 100,
+                                             double min_ms = 1.0,
+                                             double max_ms = 10000.0);
+
+/**
+ * A request arrival sequence of `length` workload ids drawn under the
+ * given popularity model.
+ */
+std::vector<int> makeTrace(Rng &rng,
+                           const std::vector<SyntheticWorkload> &workloads,
+                           PopularityModel model, int length = 10000);
+
+/** Outcome of replaying a trace against a cache configuration. */
+struct ReplayResult
+{
+    double total_compute_ms = 0.0;  ///< cost if nothing were cached
+    double paid_compute_ms = 0.0;   ///< cost actually paid (misses)
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    /** The paper's Fig. 8 metric: computation time / total time. */
+    double
+    missCostFraction() const
+    {
+        return total_compute_ms > 0.0 ? paid_compute_ms / total_compute_ms
+                                      : 0.0;
+    }
+};
+
+/**
+ * Replay a trace against a PotluckService configured with the given
+ * eviction policy and a capacity of `cached_fraction` of the workload
+ * count. Runs in virtual time; dropout and TTL are disabled so the
+ * comparison isolates the replacement policy, as in Section 5.3.
+ */
+ReplayResult replayTrace(const std::vector<SyntheticWorkload> &workloads,
+                         const std::vector<int> &trace,
+                         double cached_fraction, EvictionKind eviction,
+                         uint64_t seed = 42);
+
+} // namespace potluck
+
+#endif // POTLUCK_WORKLOAD_TRACE_H

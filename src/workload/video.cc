@@ -1,0 +1,120 @@
+#include "workload/video.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/draw.h"
+#include "img/transform.h"
+#include "util/logging.h"
+
+namespace potluck {
+
+VideoFeed::VideoFeed(uint64_t seed, const VideoOptions &opt)
+    : opt_(opt), rng_(seed)
+{
+    POTLUCK_ASSERT(opt.world_width > opt.frame_width &&
+                       opt.world_height > opt.frame_height,
+                   "world must exceed the camera window");
+    buildWorld();
+    cam_x_ = rng_.uniformReal(0, opt_.world_width - opt_.frame_width - 1);
+    cam_y_ = rng_.uniformReal(0, opt_.world_height - opt_.frame_height - 1);
+}
+
+void
+VideoFeed::buildWorld()
+{
+    world_ = Image(opt_.world_width, opt_.world_height, 3);
+    Color sky{static_cast<uint8_t>(rng_.uniformInt(90, 160)),
+              static_cast<uint8_t>(rng_.uniformInt(120, 190)),
+              static_cast<uint8_t>(rng_.uniformInt(170, 240))};
+    Color ground{static_cast<uint8_t>(rng_.uniformInt(60, 120)),
+                 static_cast<uint8_t>(rng_.uniformInt(80, 140)),
+                 static_cast<uint8_t>(rng_.uniformInt(40, 90))};
+    verticalGradient(world_, sky, ground);
+    addValueNoise(world_, rng_, 32, 18);
+
+    // Scatter persistent scene objects (buildings, signs, discs).
+    for (int i = 0; i < opt_.num_objects; ++i) {
+        int x = static_cast<int>(rng_.uniformInt(0, opt_.world_width - 1));
+        int y = static_cast<int>(rng_.uniformInt(0, opt_.world_height - 1));
+        int size = static_cast<int>(rng_.uniformInt(
+            opt_.frame_width / 10, opt_.frame_width / 3));
+        Color c{static_cast<uint8_t>(rng_.uniformInt(30, 230)),
+                static_cast<uint8_t>(rng_.uniformInt(30, 230)),
+                static_cast<uint8_t>(rng_.uniformInt(30, 230))};
+        switch (rng_.uniformInt(0, 2)) {
+          case 0:
+            fillRect(world_, x, y, x + size, y + 2 * size, c);
+            break;
+          case 1:
+            fillCircle(world_, x, y, size / 2, c);
+            break;
+          default:
+            fillTriangle(world_, x, y - size, x - size, y + size, x + size,
+                         y + size, c);
+            break;
+        }
+    }
+}
+
+Image
+VideoFeed::nextFrame()
+{
+    if (opt_.scene_cut_every > 0 && frame_ > 0 &&
+        frame_ % opt_.scene_cut_every == 0) {
+        ++scene_;
+        buildWorld();
+        cam_x_ = rng_.uniformReal(0, opt_.world_width - opt_.frame_width - 1);
+        cam_y_ =
+            rng_.uniformReal(0, opt_.world_height - opt_.frame_height - 1);
+    }
+
+    // Smooth pan with reflection at the world borders.
+    cam_x_ += dir_x_ * opt_.pan_speed;
+    cam_y_ += dir_y_ * opt_.pan_speed;
+    double max_x = opt_.world_width - opt_.frame_width * 1.2 - 1;
+    double max_y = opt_.world_height - opt_.frame_height * 1.2 - 1;
+    if (cam_x_ < 0 || cam_x_ > max_x) {
+        dir_x_ = -dir_x_;
+        cam_x_ = std::clamp(cam_x_, 0.0, max_x);
+    }
+    if (cam_y_ < 0 || cam_y_ > max_y) {
+        dir_y_ = -dir_y_;
+        cam_y_ = std::clamp(cam_y_, 0.0, max_y);
+    }
+
+    // Zoom oscillation: window size breathes slightly.
+    double zoom =
+        1.0 + opt_.zoom_amplitude * std::sin(0.13 * frame_);
+    int win_w = static_cast<int>(opt_.frame_width * zoom);
+    int win_h = static_cast<int>(opt_.frame_height * zoom);
+    win_w = std::min(win_w, opt_.world_width - static_cast<int>(cam_x_) - 1);
+    win_h = std::min(win_h, opt_.world_height - static_cast<int>(cam_y_) - 1);
+
+    Image window = crop(world_, static_cast<int>(cam_x_),
+                        static_cast<int>(cam_y_), win_w, win_h);
+    Image frame = resizeBilinear(window, opt_.frame_width, opt_.frame_height);
+
+    // Lighting drift: bounded random walk on the gain.
+    gain_ += rng_.uniformReal(-opt_.lighting_drift, opt_.lighting_drift);
+    gain_ = std::clamp(gain_, 0.8, 1.2);
+    frame = adjustBrightnessContrast(frame, gain_, 0.0);
+    if (opt_.sensor_noise > 0)
+        addUniformNoise(frame, rng_, opt_.sensor_noise);
+
+    ++frame_;
+    return frame;
+}
+
+std::vector<Image>
+captureFrames(uint64_t seed, int n, const VideoOptions &opt)
+{
+    VideoFeed feed(seed, opt);
+    std::vector<Image> frames;
+    frames.reserve(n);
+    for (int i = 0; i < n; ++i)
+        frames.push_back(feed.nextFrame());
+    return frames;
+}
+
+} // namespace potluck

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic camera feed replacing the paper's recorded videos and the
+ * HEVC test segment of Fig. 2: a procedurally drawn world viewed
+ * through a smoothly moving camera window, with lighting drift, sensor
+ * noise, and optional hard scene cuts. Successive frames are slightly
+ * translated/scaled versions of one another — the temporal correlation
+ * of Section 2.2.
+ */
+#ifndef POTLUCK_WORKLOAD_VIDEO_H
+#define POTLUCK_WORKLOAD_VIDEO_H
+
+#include <vector>
+
+#include "img/image.h"
+#include "util/rng.h"
+
+namespace potluck {
+
+/** Camera-feed generator options. */
+struct VideoOptions
+{
+    int frame_width = 160;
+    int frame_height = 120;
+    /** World canvas size the camera window pans across. */
+    int world_width = 640;
+    int world_height = 480;
+    /** Camera translation per frame, pixels. */
+    double pan_speed = 2.0;
+    /** Zoom oscillation amplitude (fraction of window). */
+    double zoom_amplitude = 0.05;
+    /** Per-frame lighting drift (gain random walk step). */
+    double lighting_drift = 0.01;
+    /** Per-pixel sensor noise amplitude per frame. */
+    int sensor_noise = 4;
+    /** A hard scene change every N frames; 0 = never. */
+    int scene_cut_every = 0;
+    /** Number of objects scattered in the world. */
+    int num_objects = 24;
+};
+
+/** Procedural video source with deterministic content. */
+class VideoFeed
+{
+  public:
+    VideoFeed(uint64_t seed, const VideoOptions &opt = {});
+
+    /** Render the next frame (advances camera state). */
+    Image nextFrame();
+
+    /** Frames rendered so far. */
+    int frameIndex() const { return frame_; }
+
+    /** Current scene generation (increments at each cut). */
+    int sceneIndex() const { return scene_; }
+
+  private:
+    void buildWorld();
+
+    VideoOptions opt_;
+    Rng rng_;
+    Image world_;
+    int frame_ = 0;
+    int scene_ = 0;
+    double cam_x_ = 0.0;
+    double cam_y_ = 0.0;
+    double dir_x_ = 1.0;
+    double dir_y_ = 0.35;
+    double gain_ = 1.0;
+};
+
+/** Convenience: capture n frames from a fresh feed. */
+std::vector<Image> captureFrames(uint64_t seed, int n,
+                                 const VideoOptions &opt = {});
+
+} // namespace potluck
+
+#endif // POTLUCK_WORKLOAD_VIDEO_H

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the location/context workload and for the Stats operation
+ * added to the IPC protocol.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+
+#include "ipc/client.h"
+#include "ipc/message.h"
+#include "ipc/server.h"
+#include "workload/context.h"
+
+namespace potluck {
+namespace {
+
+TEST(Trajectory, DailyRoutesAreRecurrentButJittered)
+{
+    CommuteTrajectory trajectory(7);
+    auto day0 = trajectory.day(0);
+    auto day1 = trajectory.day(1);
+    ASSERT_EQ(day0.size(), day1.size());
+    ASSERT_FALSE(day0.empty());
+
+    double total_dist = 0.0;
+    bool identical = true;
+    for (size_t i = 0; i < day0.size(); ++i) {
+        double dlat = day0[i].lat - day1[i].lat;
+        double dlon = day0[i].lon - day1[i].lon;
+        total_dist += std::sqrt(dlat * dlat + dlon * dlon);
+        if (dlat != 0.0 || dlon != 0.0)
+            identical = false;
+    }
+    EXPECT_FALSE(identical) << "days must differ by jitter";
+    // Mean deviation stays within a couple of jitter sigmas: the same
+    // route, not a new one.
+    EXPECT_LT(total_dist / day0.size(), 0.002);
+}
+
+TEST(Trajectory, SameDayRegeneratesIdentically)
+{
+    CommuteTrajectory a(7), b(7);
+    auto d1 = a.day(3);
+    auto d2 = b.day(3);
+    ASSERT_EQ(d1.size(), d2.size());
+    for (size_t i = 0; i < d1.size(); ++i) {
+        EXPECT_DOUBLE_EQ(d1[i].lat, d2[i].lat);
+        EXPECT_DOUBLE_EQ(d1[i].lon, d2[i].lon);
+    }
+}
+
+TEST(Trajectory, TruthCoversAllPlaces)
+{
+    CommuteTrajectory trajectory(7);
+    std::set<Place> seen;
+    for (const GeoPoint &p : trajectory.day(0))
+        seen.insert(trajectory.truthAt(p));
+    EXPECT_TRUE(seen.count(Place::Home));
+    EXPECT_TRUE(seen.count(Place::Office));
+    EXPECT_TRUE(seen.count(Place::Commute));
+}
+
+TEST(Trajectory, PlaceNames)
+{
+    EXPECT_STREQ(placeName(Place::Home), "home");
+    EXPECT_STREQ(placeName(Place::Cafe), "cafe");
+}
+
+TEST(ContextApp, CrossAppSharingAcrossDays)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 10;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    ContextInferenceApp assistant(service, "assistant");
+    ContextInferenceApp home_mgr(service, "home_mgr");
+    CommuteTrajectory trajectory(1);
+
+    // Day 0: the assistant walks the route and populates the cache.
+    for (const GeoPoint &p : trajectory.day(0))
+        assistant.process(p);
+
+    // Day 1 (same route, fresh jitter): the *other* app mostly hits.
+    int hits = 0, total = 0, correct = 0;
+    for (const GeoPoint &p : trajectory.day(1)) {
+        auto outcome = home_mgr.process(p);
+        ++total;
+        if (outcome.cache_hit)
+            ++hits;
+        if (outcome.place == trajectory.truthAt(p))
+            ++correct;
+    }
+    EXPECT_GT(static_cast<double>(hits) / total, 0.6);
+    EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+TEST(ContextApp, KeyScalingMakesNearbyFixesClose)
+{
+    GeoPoint a{40.7000, -74.0100};
+    GeoPoint b{40.7001, -74.0101}; // ~14 m away
+    GeoPoint c{40.7080, -74.0020}; // the office, ~1 km away
+    double near = distance(ContextInferenceApp::keyFor(a),
+                           ContextInferenceApp::keyFor(b));
+    double far = distance(ContextInferenceApp::keyFor(a),
+                          ContextInferenceApp::keyFor(c));
+    EXPECT_LT(near, 0.5);
+    EXPECT_GT(far, 5.0);
+}
+
+TEST(StatsIpc, CountersTravelOverTheWire)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("potluck_stats_" + std::to_string(::getpid()) + ".sock"))
+            .string();
+    PotluckServer server(service, path);
+
+    PotluckClient client("stats_app", path);
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    client.put("f", "vec", FeatureVector({1.0f}), encodeInt(1));
+    client.lookup("f", "vec", FeatureVector({1.0f})); // hit
+    client.lookup("f", "vec", FeatureVector({9.0f})); // miss
+
+    auto remote = client.fetchStats();
+    EXPECT_EQ(remote.num_entries, 1u);
+    EXPECT_GT(remote.total_bytes, 0u);
+    EXPECT_EQ(remote.stats.puts, 1u);
+    EXPECT_EQ(remote.stats.hits, 1u);
+    EXPECT_EQ(remote.stats.misses, 1u);
+}
+
+TEST(StatsIpc, ReplyCodecRoundTripsStats)
+{
+    Reply reply;
+    reply.type = RequestType::Stats;
+    reply.ok = true;
+    reply.stats.lookups = 11;
+    reply.stats.hits = 7;
+    reply.stats.rejected_puts = 3;
+    reply.num_entries = 42;
+    reply.total_bytes = 4096;
+    Reply decoded = decodeReply(encodeReply(reply));
+    EXPECT_EQ(decoded.stats.lookups, 11u);
+    EXPECT_EQ(decoded.stats.hits, 7u);
+    EXPECT_EQ(decoded.stats.rejected_puts, 3u);
+    EXPECT_EQ(decoded.num_entries, 42u);
+    EXPECT_EQ(decoded.total_bytes, 4096u);
+}
+
+} // namespace
+} // namespace potluck

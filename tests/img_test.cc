@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the image substrate: Image, PNM I/O, drawing,
+ * transforms and integral images.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "img/draw.h"
+#include "img/image.h"
+#include "img/image_io.h"
+#include "img/integral.h"
+#include "img/transform.h"
+
+namespace potluck {
+namespace {
+
+TEST(Image, ConstructionZeroFills)
+{
+    Image img(4, 3, 3);
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_EQ(img.channels(), 3);
+    EXPECT_EQ(img.sizeBytes(), 36u);
+    for (uint8_t b : img.data())
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Image, FillConstructor)
+{
+    Image img(2, 2, 1, 200);
+    EXPECT_EQ(img.at(1, 1), 200);
+}
+
+TEST(Image, ClampedReadsAtBorders)
+{
+    Image img(3, 3, 1);
+    img.at(0, 0) = 9;
+    img.at(2, 2) = 7;
+    EXPECT_EQ(img.clamped(-5, -5), 9);
+    EXPECT_EQ(img.clamped(10, 10), 7);
+}
+
+TEST(Image, GreyRgbRoundTrip)
+{
+    Image grey(4, 4, 1);
+    grey.at(1, 2) = 128;
+    Image rgb = grey.toRgb();
+    EXPECT_EQ(rgb.channels(), 3);
+    EXPECT_EQ(rgb.at(1, 2, 0), 128);
+    EXPECT_EQ(rgb.at(1, 2, 1), 128);
+    Image back = rgb.toGrey();
+    EXPECT_EQ(back.at(1, 2), 128);
+}
+
+TEST(Image, LuminanceWeights)
+{
+    Image img(1, 1, 3);
+    img.setPixel(0, 0, 255, 0, 0);
+    EXPECT_NEAR(img.luminance(0, 0), 0.299 * 255, 0.5);
+}
+
+TEST(Image, SetPixelOutOfBoundsIgnored)
+{
+    Image img(2, 2, 3);
+    img.setPixel(-1, 0, 255, 255, 255);
+    img.setPixel(5, 5, 255, 255, 255);
+    for (uint8_t b : img.data())
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Image, MeanAbsDiff)
+{
+    Image a(2, 2, 1, 10);
+    Image b(2, 2, 1, 14);
+    EXPECT_DOUBLE_EQ(meanAbsDiff(a, b), 4.0);
+    EXPECT_DOUBLE_EQ(meanAbsDiff(a, a), 0.0);
+}
+
+TEST(ImageIo, PgmRoundTrip)
+{
+    Rng rng(4);
+    Image img(17, 9, 1);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    std::string path =
+        (std::filesystem::temp_directory_path() / "potluck_t.pgm").string();
+    writePnm(img, path);
+    Image loaded = readPnm(path);
+    EXPECT_EQ(loaded, img);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, PpmRoundTrip)
+{
+    Rng rng(5);
+    Image img(8, 6, 3);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    std::string path =
+        (std::filesystem::temp_directory_path() / "potluck_t.ppm").string();
+    writePnm(img, path);
+    EXPECT_EQ(readPnm(path), img);
+    std::remove(path.c_str());
+}
+
+TEST(ImageIo, RejectsMissingFile)
+{
+    EXPECT_THROW(readPnm("/nonexistent/path.pgm"), FatalError);
+}
+
+TEST(Draw, FillRectClipsToImage)
+{
+    Image img(4, 4, 1);
+    fillRect(img, -10, -10, 1, 1, Color{255, 255, 255});
+    EXPECT_EQ(img.at(0, 0), 255);
+    EXPECT_EQ(img.at(1, 1), 255);
+    EXPECT_EQ(img.at(2, 2), 0);
+}
+
+TEST(Draw, FillCircleCoversCentre)
+{
+    Image img(21, 21, 1);
+    fillCircle(img, 10, 10, 5, Color{200, 200, 200});
+    EXPECT_EQ(img.at(10, 10), 200);
+    EXPECT_EQ(img.at(10, 5), 200);  // on the radius
+    EXPECT_EQ(img.at(0, 0), 0);      // far corner untouched
+}
+
+TEST(Draw, FillTriangleInsideOutside)
+{
+    Image img(20, 20, 1);
+    fillTriangle(img, 10, 2, 2, 18, 18, 18, Color{99, 99, 99});
+    EXPECT_EQ(img.at(10, 10), 99); // centroid area
+    EXPECT_EQ(img.at(1, 1), 0);
+    // Winding order must not matter.
+    Image img2(20, 20, 1);
+    fillTriangle(img2, 18, 18, 2, 18, 10, 2, Color{99, 99, 99});
+    EXPECT_EQ(img2.at(10, 10), 99);
+}
+
+TEST(Draw, LineEndpoints)
+{
+    Image img(10, 10, 1);
+    drawLine(img, 0, 0, 9, 9, Color{255, 255, 255});
+    EXPECT_EQ(img.at(0, 0), 255);
+    EXPECT_EQ(img.at(9, 9), 255);
+    EXPECT_EQ(img.at(5, 5), 255);
+}
+
+TEST(Draw, VerticalGradientMonotone)
+{
+    Image img(4, 32, 1);
+    verticalGradient(img, Color{0, 0, 0}, Color{255, 255, 255});
+    EXPECT_EQ(img.at(0, 0), 0);
+    EXPECT_EQ(img.at(0, 31), 255);
+    for (int y = 1; y < 32; ++y)
+        EXPECT_GE(img.at(0, y), img.at(0, y - 1));
+}
+
+TEST(Draw, ValueNoiseIsDeterministic)
+{
+    Image a(32, 32, 3, 128), b(32, 32, 3, 128);
+    Rng r1(9), r2(9);
+    addValueNoise(a, r1, 8, 30);
+    addValueNoise(b, r2, 8, 30);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(meanAbsDiff(a, Image(32, 32, 3, 128)), 1.0);
+}
+
+TEST(Draw, DigitGlyphsAreDistinct)
+{
+    // Every pair of digits must differ in at least a few pixels.
+    std::vector<Image> digits;
+    for (int d = 0; d <= 9; ++d) {
+        Image img(28, 28, 1);
+        drawDigit(img, d, 6, 6, 16, 16, 255, 3);
+        digits.push_back(img);
+    }
+    for (int i = 0; i <= 9; ++i)
+        for (int j = i + 1; j <= 9; ++j)
+            EXPECT_GT(meanAbsDiff(digits[i], digits[j]), 1.0)
+                << "digits " << i << " and " << j << " identical";
+}
+
+TEST(Transform, Mat3ComposeAndInverse)
+{
+    Mat3 t = Mat3::translation(3, -2) * Mat3::scaling(2, 2) *
+             Mat3::rotation(0.3);
+    Mat3 id = t * t.inverse();
+    for (int i = 0; i < 9; ++i)
+        EXPECT_NEAR(id.m[i], Mat3::identity().m[i], 1e-9);
+}
+
+TEST(Transform, Mat3ApplyTranslation)
+{
+    Mat3 t = Mat3::translation(5, 7);
+    double x, y;
+    t.apply(1, 1, x, y);
+    EXPECT_DOUBLE_EQ(x, 6);
+    EXPECT_DOUBLE_EQ(y, 8);
+}
+
+TEST(Transform, ResizePreservesConstantImage)
+{
+    Image img(16, 16, 3, 77);
+    Image up = resizeBilinear(img, 32, 32);
+    Image down = resizeBilinear(img, 8, 8);
+    for (uint8_t b : up.data())
+        EXPECT_EQ(b, 77);
+    for (uint8_t b : down.data())
+        EXPECT_EQ(b, 77);
+}
+
+TEST(Transform, ResizeNearestExactOnIntegerScale)
+{
+    Image img(2, 2, 1);
+    img.at(0, 0) = 10;
+    img.at(1, 0) = 20;
+    img.at(0, 1) = 30;
+    img.at(1, 1) = 40;
+    Image up = resizeNearest(img, 4, 4);
+    EXPECT_EQ(up.at(0, 0), 10);
+    EXPECT_EQ(up.at(3, 0), 20);
+    EXPECT_EQ(up.at(0, 3), 30);
+    EXPECT_EQ(up.at(3, 3), 40);
+}
+
+TEST(Transform, IdentityWarpIsNoop)
+{
+    Rng rng(2);
+    Image img(16, 12, 3);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    Image warped = warpHomography(img, Mat3::identity(), 16, 12);
+    EXPECT_LT(meanAbsDiff(img, warped), 1.0);
+}
+
+TEST(Transform, TranslationWarpMovesContent)
+{
+    Image img(20, 20, 1);
+    fillRect(img, 2, 2, 5, 5, Color{255, 255, 255});
+    Image warped = warpHomography(img, Mat3::translation(10, 0), 20, 20);
+    EXPECT_EQ(warped.at(13, 3), 255);
+    EXPECT_EQ(warped.at(3, 3), 0);
+}
+
+TEST(Transform, BlurPreservesMeanApproximately)
+{
+    Rng rng(8);
+    Image img(32, 32, 1);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    Image blurred = gaussianBlur(img, 1.5);
+    double mean_in = 0, mean_out = 0;
+    for (uint8_t b : img.data())
+        mean_in += b;
+    for (uint8_t b : blurred.data())
+        mean_out += b;
+    mean_in /= img.data().size();
+    mean_out /= blurred.data().size();
+    EXPECT_NEAR(mean_in, mean_out, 3.0);
+}
+
+TEST(Transform, BlurReducesVariance)
+{
+    Rng rng(8);
+    Image img(32, 32, 1);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    Image blurred = gaussianBlur(img, 2.0);
+    auto variance = [](const Image &im) {
+        double mean = 0;
+        for (uint8_t b : im.data())
+            mean += b;
+        mean /= im.data().size();
+        double var = 0;
+        for (uint8_t b : im.data())
+            var += (b - mean) * (b - mean);
+        return var / im.data().size();
+    };
+    EXPECT_LT(variance(blurred), variance(img) / 2);
+}
+
+TEST(Transform, BrightnessContrastClamps)
+{
+    Image img(2, 2, 1, 200);
+    Image bright = adjustBrightnessContrast(img, 2.0, 0.0);
+    EXPECT_EQ(bright.at(0, 0), 255);
+    Image dark = adjustBrightnessContrast(img, 0.0, -5.0);
+    EXPECT_EQ(dark.at(0, 0), 0);
+}
+
+TEST(Transform, CropClampsToBounds)
+{
+    Image img(10, 10, 1, 42);
+    Image c = crop(img, 8, 8, 20, 20);
+    EXPECT_EQ(c.width(), 2);
+    EXPECT_EQ(c.height(), 2);
+    EXPECT_EQ(c.at(0, 0), 42);
+}
+
+TEST(Integral, BoxSumMatchesBruteForce)
+{
+    Rng rng(6);
+    Image img(24, 18, 1);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    IntegralImage ii(img);
+    auto brute = [&](int x, int y, int w, int h) {
+        double sum = 0;
+        for (int yy = y; yy < y + h; ++yy)
+            for (int xx = x; xx < x + w; ++xx)
+                if (img.inBounds(xx, yy))
+                    sum += img.at(xx, yy);
+        return sum;
+    };
+    for (auto [x, y, w, h] : std::vector<std::array<int, 4>>{
+             {0, 0, 24, 18}, {3, 2, 5, 7}, {10, 10, 30, 30}, {-2, -2, 5, 5}})
+        EXPECT_NEAR(ii.boxSum(x, y, w, h), brute(x, y, w, h), 1e-6);
+}
+
+TEST(Integral, EmptyBoxIsZero)
+{
+    Image img(4, 4, 1, 100);
+    IntegralImage ii(img);
+    EXPECT_DOUBLE_EQ(ii.boxSum(2, 2, 0, 5), 0.0);
+    EXPECT_DOUBLE_EQ(ii.boxSum(10, 10, 3, 3), 0.0);
+}
+
+} // namespace
+} // namespace potluck

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the five key-index structures, including parameterized
+ * property sweeps: every exact index must agree with brute force;
+ * LSH must find the true neighbour for clustered data with high
+ * probability; all must handle insert/remove/duplicate-id traffic.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/index.h"
+#include "core/linear_index.h"
+#include "core/lsh_index.h"
+#include "util/rng.h"
+
+namespace potluck {
+namespace {
+
+FeatureVector
+randomKey(Rng &rng, size_t dim, double spread = 10.0)
+{
+    std::vector<float> v(dim);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniformReal(-spread, spread));
+    return FeatureVector(std::move(v));
+}
+
+// ---------- Common behaviour across every index kind ----------
+
+class IndexBehaviour : public ::testing::TestWithParam<IndexKind>
+{
+  protected:
+    std::unique_ptr<Index>
+    make() const
+    {
+        return makeIndex(GetParam(), Metric::L2, /*seed=*/7);
+    }
+};
+
+TEST_P(IndexBehaviour, EmptyIndexReturnsNothing)
+{
+    auto index = make();
+    EXPECT_TRUE(index->empty());
+    EXPECT_TRUE(index->nearest(FeatureVector({1.0f, 2.0f}), 3).empty());
+}
+
+TEST_P(IndexBehaviour, InsertThenFindExactKey)
+{
+    auto index = make();
+    FeatureVector key({1.0f, 2.0f, 3.0f});
+    index->insert(42, key);
+    EXPECT_EQ(index->size(), 1u);
+    auto found = index->nearest(key, 1);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].id, 42u);
+    EXPECT_DOUBLE_EQ(found[0].dist, 0.0);
+}
+
+TEST_P(IndexBehaviour, RemoveMakesKeyUnfindable)
+{
+    auto index = make();
+    FeatureVector key({5.0f, 5.0f});
+    index->insert(1, key);
+    index->remove(1);
+    EXPECT_EQ(index->size(), 0u);
+    EXPECT_TRUE(index->nearest(key, 1).empty());
+}
+
+TEST_P(IndexBehaviour, RemoveUnknownIdIsNoop)
+{
+    auto index = make();
+    index->insert(1, FeatureVector({1.0f}));
+    index->remove(999);
+    EXPECT_EQ(index->size(), 1u);
+}
+
+TEST_P(IndexBehaviour, ReinsertSameIdReplacesKey)
+{
+    auto index = make();
+    index->insert(7, FeatureVector({0.0f, 0.0f}));
+    index->insert(7, FeatureVector({9.0f, 9.0f}));
+    // KD-tree rebuilds lazily; either way id 7 must only exist once
+    // and the *new* key must be findable.
+    auto found = index->nearest(FeatureVector({9.0f, 9.0f}), 1);
+    ASSERT_FALSE(found.empty());
+    EXPECT_EQ(found[0].id, 7u);
+    EXPECT_LE(found[0].dist, 1e-6);
+}
+
+TEST_P(IndexBehaviour, ManyInsertsAndRemovesStayConsistent)
+{
+    auto index = make();
+    Rng rng(11);
+    std::set<EntryId> live;
+    for (int round = 0; round < 300; ++round) {
+        EntryId id = static_cast<EntryId>(rng.uniformInt(1, 60));
+        if (live.count(id) && rng.bernoulli(0.5)) {
+            index->remove(id);
+            live.erase(id);
+        } else {
+            index->insert(id, randomKey(rng, 4));
+            live.insert(id);
+        }
+        ASSERT_EQ(index->size(), live.size()) << "round " << round;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, IndexBehaviour,
+                         ::testing::Values(IndexKind::Linear,
+                                           IndexKind::Hash, IndexKind::Tree,
+                                           IndexKind::KdTree,
+                                           IndexKind::Lsh),
+                         [](const auto &info) {
+                             return indexKindName(info.param);
+                         });
+
+// ---------- Exact indices must match brute force ----------
+
+class ExactIndexAgreement : public ::testing::TestWithParam<IndexKind>
+{
+};
+
+TEST_P(ExactIndexAgreement, NearestMatchesBruteForce)
+{
+    Rng rng(23);
+    auto index = makeIndex(GetParam(), Metric::L2, 3);
+    LinearIndex reference(Metric::L2);
+    for (EntryId id = 1; id <= 200; ++id) {
+        FeatureVector key = randomKey(rng, 8);
+        index->insert(id, key);
+        reference.insert(id, key);
+    }
+    for (int q = 0; q < 50; ++q) {
+        FeatureVector query = randomKey(rng, 8);
+        auto got = index->nearest(query, 1);
+        auto want = reference.nearest(query, 1);
+        ASSERT_EQ(got.size(), 1u);
+        ASSERT_EQ(want.size(), 1u);
+        EXPECT_NEAR(got[0].dist, want[0].dist, 1e-6)
+            << "query " << q << ": got id " << got[0].id << ", want "
+            << want[0].id;
+    }
+}
+
+TEST_P(ExactIndexAgreement, KnnIsSortedAscending)
+{
+    Rng rng(29);
+    auto index = makeIndex(GetParam(), Metric::L2, 3);
+    for (EntryId id = 1; id <= 100; ++id)
+        index->insert(id, randomKey(rng, 5));
+    auto result = index->nearest(randomKey(rng, 5), 10);
+    ASSERT_EQ(result.size(), 10u);
+    for (size_t i = 1; i < result.size(); ++i)
+        EXPECT_GE(result[i].dist, result[i - 1].dist);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exact, ExactIndexAgreement,
+                         ::testing::Values(IndexKind::Linear,
+                                           IndexKind::KdTree),
+                         [](const auto &info) {
+                             return indexKindName(info.param);
+                         });
+
+// ---------- Structure-specific behaviour ----------
+
+TEST(HashIndexSpecific, OnlyExactMatches)
+{
+    auto index = makeIndex(IndexKind::Hash, Metric::L2);
+    index->insert(1, FeatureVector({1.0f, 2.0f}));
+    // A nearby-but-not-identical key must NOT match.
+    EXPECT_TRUE(index->nearest(FeatureVector({1.0f, 2.0001f}), 1).empty());
+    EXPECT_EQ(index->nearest(FeatureVector({1.0f, 2.0f}), 1).size(), 1u);
+}
+
+TEST(TreeIndexSpecific, ScalarNearestIsExact)
+{
+    auto index = makeIndex(IndexKind::Tree, Metric::L2);
+    for (EntryId id = 0; id < 100; ++id)
+        index->insert(id + 1, FeatureVector({static_cast<float>(id)}));
+    auto found = index->nearest(FeatureVector({41.4f}), 1);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].id, 42u); // key 41.0 is nearest to 41.4
+}
+
+TEST(KdTreeSpecific, HighDimStillExact)
+{
+    Rng rng(31);
+    auto kd = makeIndex(IndexKind::KdTree, Metric::L2);
+    LinearIndex reference(Metric::L2);
+    for (EntryId id = 1; id <= 150; ++id) {
+        FeatureVector key = randomKey(rng, 64);
+        kd->insert(id, key);
+        reference.insert(id, key);
+    }
+    for (int q = 0; q < 20; ++q) {
+        FeatureVector query = randomKey(rng, 64);
+        EXPECT_NEAR(kd->nearest(query, 1)[0].dist,
+                    reference.nearest(query, 1)[0].dist, 1e-6);
+    }
+}
+
+TEST(LshSpecific, FindsNeighbourInClusteredData)
+{
+    // LSH is approximate for arbitrary queries, but for Potluck's use
+    // case the query is near a stored key; the recall there must be
+    // high. Clusters are far apart relative to the bucket width.
+    Rng rng(37);
+    LshIndex lsh(Metric::L2, /*seed=*/5);
+    std::vector<FeatureVector> centres;
+    for (EntryId id = 1; id <= 50; ++id) {
+        FeatureVector c = randomKey(rng, 16, 100.0);
+        centres.push_back(c);
+        lsh.insert(id, c);
+    }
+    int recalled = 0;
+    for (size_t i = 0; i < centres.size(); ++i) {
+        FeatureVector query = centres[i];
+        query.values()[0] += 0.01f; // tiny perturbation
+        auto found = lsh.nearest(query, 1);
+        if (!found.empty() && found[0].id == i + 1)
+            ++recalled;
+    }
+    EXPECT_GE(recalled, 45) << "LSH recall too low for near-duplicates";
+}
+
+TEST(LshSpecific, GrowsWithDimensionLazily)
+{
+    LshIndex lsh(Metric::L2, 5);
+    lsh.insert(1, FeatureVector({1.0f, 2.0f}));
+    // Different key length coexists (segregation is the caller's job,
+    // but the structure must not crash).
+    lsh.insert(2, FeatureVector(std::vector<float>(128, 0.5f)));
+    EXPECT_EQ(lsh.size(), 2u);
+    auto found = lsh.nearest(FeatureVector(std::vector<float>(128, 0.5f)), 1);
+    ASSERT_FALSE(found.empty());
+    EXPECT_EQ(found[0].id, 2u);
+}
+
+TEST(IndexFactory, KindNamesRoundTrip)
+{
+    for (IndexKind kind : {IndexKind::Linear, IndexKind::Hash,
+                           IndexKind::Tree, IndexKind::KdTree,
+                           IndexKind::Lsh}) {
+        auto index = makeIndex(kind, Metric::L2);
+        EXPECT_EQ(index->kind(), kind);
+        EXPECT_STRNE(indexKindName(kind), "unknown");
+    }
+}
+
+TEST(IndexMetric, CosineMetricIsUsed)
+{
+    auto index = makeIndex(IndexKind::Linear, Metric::Cosine);
+    index->insert(1, FeatureVector({1.0f, 0.0f}));
+    index->insert(2, FeatureVector({0.0f, 1.0f}));
+    // Query along (2, 0): cosine distance to id 1 is 0 despite the
+    // different magnitude.
+    auto found = index->nearest(FeatureVector({2.0f, 0.0f}), 1);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].id, 1u);
+    EXPECT_NEAR(found[0].dist, 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace potluck

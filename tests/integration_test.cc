@@ -1,0 +1,205 @@
+/**
+ * @file
+ * End-to-end integration tests: the full multi-application scenario of
+ * Section 5.6 run over the real IPC boundary and in-process, checking
+ * that cross-application deduplication actually reduces computation
+ * and that the adaptive threshold converges on realistic input.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "ipc/client.h"
+#include "ipc/server.h"
+#include "workload/apps.h"
+#include "workload/dataset.h"
+#include "workload/video.h"
+
+namespace potluck {
+namespace {
+
+TEST(Integration, ThresholdConvergesOnDatasetStream)
+{
+    // Feed a stream of same-class images through the miss-then-put
+    // flow; after warm-up the threshold must grow enough that most
+    // later same-class frames are hits.
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.1;
+    cfg.warmup_entries = 30;
+    cfg.seed = 3;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    KeyTypeConfig kt{"downsamp", Metric::L2, IndexKind::KdTree};
+    service.registerKeyType("recognize", kt);
+
+    Rng rng(21);
+    DownsampleExtractor extractor(16, 16, false);
+    CifarLikeOptions opt;
+
+    int late_hits = 0, late_total = 0;
+    for (int i = 0; i < 300; ++i) {
+        int label = static_cast<int>(rng.uniformInt(0, 2)); // 3 classes
+        Image frame = drawCifarLikeImage(rng, label, opt);
+        FeatureVector key = extractor.extract(frame);
+        LookupResult r = service.lookup("app", "recognize", "downsamp", key);
+        if (!r.hit) {
+            clock.advanceMs(30.0);
+            PutOptions options;
+            options.app = "app";
+            service.put("recognize", "downsamp", key, encodeInt(label),
+                        options);
+        }
+        if (i >= 200) {
+            ++late_total;
+            if (r.hit)
+                ++late_hits;
+        }
+        clock.advanceMs(5.0);
+    }
+    EXPECT_GT(service.threshold("recognize", "downsamp"), 0.0);
+    // Most late lookups must be deduplicated.
+    EXPECT_GT(static_cast<double>(late_hits) / late_total, 0.5);
+
+    // And accuracy must hold: served labels match ground truth.
+    int correct = 0, checked = 0;
+    for (int i = 0; i < 60; ++i) {
+        int label = static_cast<int>(rng.uniformInt(0, 2));
+        Image frame = drawCifarLikeImage(rng, label, opt);
+        LookupResult r = service.lookup("app", "recognize", "downsamp",
+                                        extractor.extract(frame));
+        if (r.hit) {
+            ++checked;
+            if (decodeInt(r.value) == label)
+                ++correct;
+        }
+    }
+    ASSERT_GT(checked, 10);
+    EXPECT_GT(static_cast<double>(correct) / checked, 0.85);
+}
+
+TEST(Integration, ThreeAppsShareOneServiceInProcess)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+
+    Rng rng(22);
+    auto recognizer = std::make_shared<TrainedRecognizer>(rng, 10);
+    auto train = makeCifarLike(rng, 5);
+    std::vector<Image> images;
+    std::vector<int> labels;
+    for (auto &s : train) {
+        images.push_back(s.image);
+        labels.push_back(s.label);
+    }
+    recognizer->train(images, labels, rng, 10);
+
+    Camera camera(48, 36);
+    ImageRecognitionApp lens(service, recognizer, "lens");
+    ArLocationApp ar_loc(service, {makeCube(1.0)}, camera, "ar_loc");
+    ArCvApp ar_cv(service, recognizer, camera, "ar_cv");
+
+    // Interleaved invocations in a shared spatio-temporal context.
+    service.setThreshold(functions::kObjectRecognition, keytypes::kDownsamp,
+                         1.5);
+    service.setThreshold(functions::kRenderScene, keytypes::kPose, 0.15);
+    service.setThreshold(functions::kRenderOverlay, keytypes::kLabelPose,
+                         0.15);
+
+    Image frame = drawCifarLikeImage(rng, 4, CifarLikeOptions{});
+    Pose pose;
+
+    lens.process(frame);          // cold: computes recognition
+    ar_loc.process(pose);         // cold: renders
+    AppOutcome cv = ar_cv.process(frame, pose); // recognition shared
+    (void)cv;
+
+    ServiceStats stats = service.stats();
+    EXPECT_GE(stats.hits, 1u) << "cross-app sharing produced no hits";
+
+    // Nearby follow-up frames should now be mostly cache work.
+    uint64_t misses_before = service.stats().misses;
+    Pose near = pose;
+    near.yaw += 0.01;
+    ar_loc.process(near);
+    ar_cv.process(frame, near);
+    lens.process(frame);
+    EXPECT_LE(service.stats().misses - misses_before, 1u);
+}
+
+TEST(Integration, MultiAppOverRealIpc)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("potluck_integ_" + std::to_string(::getpid()) + ".sock"))
+            .string();
+    PotluckServer server(service, path);
+
+    DownsampleExtractor extractor(8, 8, true);
+    Rng rng(23);
+    Image frame = drawCifarLikeImage(rng, 1, CifarLikeOptions{});
+    FeatureVector key = extractor.extract(frame);
+
+    PotluckClient lens("lens", path);
+    lens.registerFunction("recognize", "down8");
+    EXPECT_FALSE(lens.lookup("recognize", "down8", key).hit);
+    lens.put("recognize", "down8", key, encodeInt(1));
+
+    PotluckClient nav("nav", path);
+    nav.registerFunction("recognize", "down8");
+    LookupResult r = nav.lookup("recognize", "down8", key);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(decodeInt(r.value), 1);
+}
+
+TEST(Integration, VideoStreamDeduplicationSavesComputation)
+{
+    // Replay a temporally correlated video through the recognition
+    // flow and verify substantial dedup once the threshold adapts.
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.1;
+    cfg.warmup_entries = 10;
+    cfg.seed = 5;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType(
+        "recognize", KeyTypeConfig{"downsamp", Metric::L2, IndexKind::KdTree});
+
+    VideoOptions vopt;
+    vopt.frame_width = 64;
+    vopt.frame_height = 48;
+    VideoFeed feed(31, vopt);
+    DownsampleExtractor extractor(16, 16, false);
+
+    int computations = 0;
+    const int frames = 150;
+    for (int i = 0; i < frames; ++i) {
+        Image frame = feed.nextFrame();
+        FeatureVector key = extractor.extract(frame);
+        LookupResult r = service.lookup("cam", "recognize", "downsamp", key);
+        if (!r.hit) {
+            ++computations;
+            clock.advanceMs(25.0);
+            PutOptions options;
+            options.app = "cam";
+            // One scene, one recognized object: the recognizer would
+            // return the same label for every frame of this feed.
+            service.put("recognize", "downsamp", key, encodeInt(7), options);
+        }
+        clock.advanceMs(16.0); // ~60 fps
+    }
+    // Well over half the frames must be deduplicated.
+    EXPECT_LT(computations, frames / 2)
+        << "only " << frames - computations << " hits on correlated video";
+}
+
+} // namespace
+} // namespace potluck

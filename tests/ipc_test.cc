@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the IPC layer: wire-format round trips, transport framing,
+ * and end-to-end client/server operation over a Unix socket.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+
+#include "ipc/client.h"
+#include "ipc/message.h"
+#include "ipc/server.h"
+#include "ipc/transport.h"
+
+namespace potluck {
+namespace {
+
+std::string
+tempSocketPath(const char *tag)
+{
+    static std::atomic<int> counter{0};
+    return (std::filesystem::temp_directory_path() /
+            ("potluck_" + std::string(tag) + "_" +
+             std::to_string(::getpid()) + "_" +
+             std::to_string(counter++) + ".sock"))
+        .string();
+}
+
+TEST(Message, RequestRoundTripAllFields)
+{
+    Request request;
+    request.type = RequestType::Put;
+    request.app = "my_app";
+    request.function = "recognize";
+    request.key_type = "downsamp";
+    request.metric = Metric::Cosine;
+    request.index_kind = IndexKind::Lsh;
+    request.key = FeatureVector({1.5f, -2.0f, 3.25f});
+    request.value = encodeString("result");
+    request.ttl_us = 123456;
+    request.compute_overhead_us = 78.5;
+
+    Request decoded = decodeRequest(encodeRequest(request));
+    EXPECT_EQ(decoded.type, request.type);
+    EXPECT_EQ(decoded.app, request.app);
+    EXPECT_EQ(decoded.function, request.function);
+    EXPECT_EQ(decoded.key_type, request.key_type);
+    EXPECT_EQ(decoded.metric, request.metric);
+    EXPECT_EQ(decoded.index_kind, request.index_kind);
+    EXPECT_EQ(decoded.key, request.key);
+    EXPECT_TRUE(valueEquals(decoded.value, request.value));
+    EXPECT_EQ(decoded.ttl_us, request.ttl_us);
+    EXPECT_EQ(decoded.compute_overhead_us, request.compute_overhead_us);
+}
+
+TEST(Message, RequestRoundTripEmptyOptionals)
+{
+    Request request;
+    request.type = RequestType::Lookup;
+    Request decoded = decodeRequest(encodeRequest(request));
+    EXPECT_FALSE(decoded.ttl_us.has_value());
+    EXPECT_FALSE(decoded.compute_overhead_us.has_value());
+    EXPECT_EQ(decoded.value, nullptr);
+    EXPECT_TRUE(decoded.key.empty());
+}
+
+TEST(Message, ReplyRoundTrip)
+{
+    Reply reply;
+    reply.type = RequestType::Lookup;
+    reply.ok = true;
+    reply.error = "";
+    reply.hit = true;
+    reply.dropped = false;
+    reply.value = encodeInt(99);
+    reply.entry_id = 424242;
+    Reply decoded = decodeReply(encodeReply(reply));
+    EXPECT_TRUE(decoded.ok);
+    EXPECT_TRUE(decoded.hit);
+    EXPECT_EQ(decodeInt(decoded.value), 99);
+    EXPECT_EQ(decoded.entry_id, 424242u);
+}
+
+TEST(Message, TruncatedFrameIsFatal)
+{
+    Request request;
+    request.app = "abc";
+    auto bytes = encodeRequest(request);
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW(decodeRequest(bytes), FatalError);
+}
+
+TEST(Message, TrailingBytesAreFatal)
+{
+    auto bytes = encodeReply(Reply{});
+    bytes.push_back(0);
+    EXPECT_THROW(decodeReply(bytes), FatalError);
+}
+
+TEST(Transport, FrameRoundTripOverSocketpair)
+{
+    std::string path = tempSocketPath("frame");
+    ListenSocket listener = listenUnix(path);
+    std::thread server([&listener]() {
+        FrameSocket conn = listener.accept();
+        std::vector<uint8_t> frame;
+        while (conn.recvFrame(frame))
+            conn.sendFrame(frame); // echo
+    });
+    FrameSocket client = connectUnix(path);
+    for (size_t size : {0u, 1u, 100u, 100000u}) {
+        std::vector<uint8_t> out(size);
+        for (size_t i = 0; i < size; ++i)
+            out[i] = static_cast<uint8_t>(i * 31);
+        client.sendFrame(out);
+        std::vector<uint8_t> in;
+        ASSERT_TRUE(client.recvFrame(in));
+        EXPECT_EQ(in, out);
+    }
+    client.close();
+    server.join();
+}
+
+TEST(Transport, ConnectToMissingSocketIsFatal)
+{
+    EXPECT_THROW(connectUnix("/tmp/definitely_not_a_socket_potluck"),
+                 FatalError);
+}
+
+TEST(AppListenerTest, HandlesFullFlow)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    AppListener listener(service, 2);
+
+    Request reg;
+    reg.type = RequestType::RegisterKeyType;
+    reg.function = "f";
+    reg.key_type = "vec";
+    reg.index_kind = IndexKind::Linear;
+    EXPECT_TRUE(listener.handle(reg).ok);
+
+    Request put;
+    put.type = RequestType::Put;
+    put.app = "a";
+    put.function = "f";
+    put.key_type = "vec";
+    put.key = FeatureVector({1.0f});
+    put.value = encodeInt(5);
+    Reply put_reply = listener.handle(put);
+    EXPECT_TRUE(put_reply.ok);
+    EXPECT_GT(put_reply.entry_id, 0u);
+
+    Request lookup;
+    lookup.type = RequestType::Lookup;
+    lookup.app = "a";
+    lookup.function = "f";
+    lookup.key_type = "vec";
+    lookup.key = FeatureVector({1.0f});
+    Reply r = listener.handle(lookup);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(decodeInt(r.value), 5);
+}
+
+TEST(AppListenerTest, ErrorsBecomeReplyNotThrow)
+{
+    PotluckService service;
+    AppListener listener(service, 1);
+    Request lookup;
+    lookup.type = RequestType::Lookup;
+    lookup.function = "unregistered";
+    lookup.key_type = "vec";
+    Reply reply = listener.handle(lookup);
+    EXPECT_FALSE(reply.ok);
+    EXPECT_FALSE(reply.error.empty());
+}
+
+TEST(AppListenerTest, SubmitRunsOnPool)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    PotluckService service(cfg);
+    AppListener listener(service, 4);
+    Request reg;
+    reg.type = RequestType::RegisterKeyType;
+    reg.function = "f";
+    reg.key_type = "vec";
+    reg.index_kind = IndexKind::Linear;
+    listener.handle(reg);
+
+    std::vector<std::future<Reply>> futures;
+    for (int i = 0; i < 50; ++i) {
+        Request put;
+        put.type = RequestType::Put;
+        put.function = "f";
+        put.key_type = "vec";
+        put.key = FeatureVector({static_cast<float>(i)});
+        put.value = encodeInt(i);
+        futures.push_back(listener.submit(std::move(put)));
+    }
+    for (auto &f : futures)
+        EXPECT_TRUE(f.get().ok);
+    EXPECT_EQ(service.numEntries(), 50u);
+}
+
+class ServerClientTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PotluckConfig cfg;
+        cfg.dropout_probability = 0.0;
+        cfg.warmup_entries = 0;
+        service_ = std::make_unique<PotluckService>(cfg);
+        path_ = tempSocketPath("srv");
+        server_ = std::make_unique<PotluckServer>(*service_, path_);
+    }
+
+    std::unique_ptr<PotluckService> service_;
+    std::unique_ptr<PotluckServer> server_;
+    std::string path_;
+};
+
+TEST_F(ServerClientTest, EndToEndLookupPut)
+{
+    PotluckClient client("test_app", path_);
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+
+    LookupResult miss = client.lookup("f", "vec", FeatureVector({1.0f}));
+    EXPECT_FALSE(miss.hit);
+
+    EntryId id = client.put("f", "vec", FeatureVector({1.0f}),
+                            encodeString("cached!"));
+    EXPECT_GT(id, 0u);
+
+    LookupResult hit = client.lookup("f", "vec", FeatureVector({1.0f}));
+    ASSERT_TRUE(hit.hit);
+    EXPECT_EQ(decodeString(hit.value), "cached!");
+}
+
+TEST_F(ServerClientTest, TwoClientsShareEntries)
+{
+    PotluckClient alice("alice", path_);
+    alice.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    alice.put("f", "vec", FeatureVector({3.0f}), encodeInt(30));
+
+    PotluckClient bob("bob", path_);
+    // bob's registration resets thresholds but entries persist.
+    LookupResult r = bob.lookup("f", "vec", FeatureVector({3.0f}));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(decodeInt(r.value), 30);
+    EXPECT_GE(server_->connectionsServed(), 2u);
+}
+
+TEST_F(ServerClientTest, ServerSurvivesClientErrors)
+{
+    {
+        // A client that sends garbage and disconnects.
+        FrameSocket raw = connectUnix(path_);
+        raw.sendFrame({0xde, 0xad, 0xbe, 0xef});
+    } // destructor closes the connection
+    // The server must still accept and serve a well-behaved client.
+    PotluckClient client("ok_app", path_);
+    client.registerFunction("g", "vec", Metric::L2, IndexKind::Linear);
+    client.put("g", "vec", FeatureVector({1.0f}), encodeInt(1));
+    EXPECT_TRUE(client.lookup("g", "vec", FeatureVector({1.0f})).hit);
+}
+
+TEST(LocalClient, InProcessModeWorksWithoutSockets)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    PotluckClient client("local_app", service);
+    EXPECT_FALSE(client.remote());
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    client.put("f", "vec", FeatureVector({2.0f}), encodeInt(20));
+    LookupResult r = client.lookup("f", "vec", FeatureVector({2.0f}));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(decodeInt(r.value), 20);
+}
+
+} // namespace
+} // namespace potluck

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Gap-filling tests across libraries: PNM header comments, statistics
+ * edge cases, drawing/transform corner cases, codec edges, index
+ * fan-out limits and multi-observer delivery.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/potluck_service.h"
+#include "features/brief.h"
+#include "features/mfcc.h"
+#include "img/draw.h"
+#include "img/image_io.h"
+#include "img/transform.h"
+#include "util/stats.h"
+#include "util/stringutil.h"
+#include "workload/trace.h"
+
+namespace potluck {
+namespace {
+
+TEST(PnmFormat, HeaderCommentsAreSkipped)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("potluck_comment_" + std::to_string(::getpid()) + ".pgm"))
+            .string();
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P5\n# a comment line\n2 2\n# another\n255\n";
+        const uint8_t pixels[4] = {1, 2, 3, 4};
+        out.write(reinterpret_cast<const char *>(pixels), 4);
+    }
+    Image img = readPnm(path);
+    EXPECT_EQ(img.width(), 2);
+    EXPECT_EQ(img.at(1, 1), 4);
+    std::remove(path.c_str());
+}
+
+TEST(PnmFormat, NonEightBitRejected)
+{
+    std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("potluck_16bit_" + std::to_string(::getpid()) + ".pgm"))
+            .string();
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P5\n1 1\n65535\n";
+        out.put(0);
+        out.put(0);
+    }
+    EXPECT_THROW(readPnm(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Stats, SingleSamplePercentiles)
+{
+    SampleSet s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.median(), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    EXPECT_EQ(a.count(), 2u);
+
+    RunningStats b;
+    b.merge(a); // empty absorbs non-empty
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Stats, FormatBytesGigabytes)
+{
+    EXPECT_EQ(formatBytes(3ULL * 1024 * 1024 * 1024), "3.0 GB");
+}
+
+TEST(RngMoments, ExponentialMeanMatchesRate)
+{
+    Rng rng(7);
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(rng.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(DrawEdge, DigitPartiallyOutsideImageIsClipped)
+{
+    Image img(10, 10, 1);
+    drawDigit(img, 8, 6, 6, 16, 16, 255, 3); // extends past the border
+    // No crash; some in-bounds pixels painted.
+    int painted = 0;
+    for (uint8_t b : img.data())
+        if (b == 255)
+            ++painted;
+    EXPECT_GT(painted, 0);
+}
+
+TEST(TransformEdge, SameSizeBilinearResizeIsIdentity)
+{
+    Rng rng(3);
+    Image img(13, 9, 3);
+    for (auto &b : img.data())
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    Image out = resizeBilinear(img, 13, 9);
+    EXPECT_LT(meanAbsDiff(img, out), 1.0);
+}
+
+TEST(TransformEdge, WarpFillValueUsedOutsideSource)
+{
+    Image img(8, 8, 1, 200);
+    // Shift far right: the left strip has no preimage.
+    Image out = warpHomography(img, Mat3::translation(6, 0), 8, 8, 42);
+    EXPECT_EQ(out.at(0, 4), 42);
+    EXPECT_EQ(out.at(7, 4), 200);
+}
+
+TEST(FeatureVectorMisc, ToStringTruncates)
+{
+    FeatureVector v(std::vector<float>(20, 1.0f));
+    std::string s = v.toString(4);
+    EXPECT_NE(s.find("(20 total)"), std::string::npos);
+}
+
+TEST(ValueCodecEdge, EmptyFloatVectorRoundTrips)
+{
+    auto decoded = decodeFloats(encodeFloats({}));
+    EXPECT_TRUE(decoded.empty());
+}
+
+TEST(IndexEdge, KLargerThanSizeReturnsAll)
+{
+    auto index = makeIndex(IndexKind::KdTree, Metric::L2);
+    index->insert(1, FeatureVector({1.0f}));
+    index->insert(2, FeatureVector({2.0f}));
+    auto found = index->nearest(FeatureVector({1.5f}), 10);
+    EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(ServiceMisc, MultipleObserversAllDelivered)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType(
+        "f", KeyTypeConfig{"vec", Metric::L2, IndexKind::Linear});
+    int calls_a = 0, calls_b = 0;
+    service.addPutObserver(
+        [&](const PotluckService::PutEvent &) { ++calls_a; });
+    service.addPutObserver(
+        [&](const PotluckService::PutEvent &) { ++calls_b; });
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1), {});
+    service.put("f", "vec", FeatureVector({2.0f}), encodeInt(2), {});
+    EXPECT_EQ(calls_a, 2);
+    EXPECT_EQ(calls_b, 2);
+}
+
+TEST(TraceEdge, MissCostFractionOfEmptyReplayIsZero)
+{
+    ReplayResult r;
+    EXPECT_DOUBLE_EQ(r.missCostFraction(), 0.0);
+}
+
+TEST(MfccEdge, FrameCountMatchesHopArithmetic)
+{
+    MfccExtractor extractor(16000, 512, 26, 13);
+    // n samples with hop 256: floor((n - 512) / 256) + 1 frames.
+    std::vector<float> samples(2048, 0.1f);
+    auto frames = extractor.framesCoefficients(samples);
+    EXPECT_EQ(frames.size(), (2048 - 512) / 256 + 1);
+    EXPECT_EQ(frames[0].size(), 13u);
+}
+
+TEST(BriefEdge, TinyImageYieldsZeroKeyNotCrash)
+{
+    BriefExtractor extractor;
+    FeatureVector key = extractor.extract(Image(20, 20, 1, 100));
+    EXPECT_EQ(key.size(), 256u);
+    for (size_t i = 0; i < key.size(); ++i)
+        EXPECT_FLOAT_EQ(key[i], 0.0f);
+}
+
+TEST(ServiceMisc, ThresholdQueryOfUnknownSlotPanics)
+{
+    PotluckConfig cfg;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    EXPECT_DEATH(service.threshold("nope", "vec"), "unregistered");
+}
+
+TEST(StringEdge, SplitTrailingDelimiterKeepsEmptyField)
+{
+    auto parts = split("a,b,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[2], "");
+}
+
+} // namespace
+} // namespace potluck

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the CNN inference engine: tensor ops, every layer's
+ * forward semantics, network composition, and the trained recognizer
+ * reaching usable accuracy on the synthetic dataset.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/alexnet.h"
+#include "nn/classifier.h"
+#include "nn/layers.h"
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "workload/dataset.h"
+
+namespace potluck {
+namespace {
+
+TEST(Tensor, LayoutAndAccess)
+{
+    Tensor t(2, 3, 4);
+    EXPECT_EQ(t.size(), 24u);
+    t.at(1, 2, 3) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3), 5.0f);
+    EXPECT_FLOAT_EQ(t.data()[23], 5.0f); // last element in CHW order
+}
+
+TEST(Tensor, PaddedReadsZeroOutside)
+{
+    Tensor t(1, 2, 2);
+    t.at(0, 0, 0) = 7.0f;
+    EXPECT_FLOAT_EQ(t.padded(0, -1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(t.padded(0, 0, 2), 0.0f);
+    EXPECT_FLOAT_EQ(t.padded(0, 0, 0), 7.0f);
+}
+
+TEST(Tensor, Argmax)
+{
+    Tensor t(1, 1, 5);
+    t.data() = {0.1f, 0.9f, 0.3f, 0.9f, 0.0f};
+    EXPECT_EQ(t.argmax(), 1u); // first maximum wins
+}
+
+TEST(Tensor, ImageConversionScales)
+{
+    Image img(2, 2, 3);
+    img.setPixel(0, 0, 255, 0, 128);
+    Tensor t = imageToTensor(img);
+    EXPECT_EQ(t.channels(), 3);
+    EXPECT_FLOAT_EQ(t.at(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 0, 0), 0.0f);
+    EXPECT_NEAR(t.at(2, 0, 0), 128.0f / 255.0f, 1e-6);
+}
+
+TEST(Conv, IdentityKernelOutputGeometry)
+{
+    Rng rng(1);
+    ConvLayer conv(1, 4, 3, 1, 1, rng);
+    Tensor in(1, 8, 8);
+    Tensor out = conv.forward(in);
+    EXPECT_EQ(out.channels(), 4);
+    EXPECT_EQ(out.height(), 8); // same padding
+    EXPECT_EQ(out.width(), 8);
+}
+
+TEST(Conv, StrideHalvesOutput)
+{
+    Rng rng(1);
+    ConvLayer conv(1, 1, 3, 2, 1, rng);
+    Tensor out = conv.forward(Tensor(1, 8, 8));
+    EXPECT_EQ(out.height(), 4);
+    EXPECT_EQ(out.width(), 4);
+}
+
+TEST(Conv, ZeroInputGivesBiasOutput)
+{
+    Rng rng(1);
+    ConvLayer conv(2, 3, 3, 1, 1, rng);
+    Tensor out = conv.forward(Tensor(2, 4, 4));
+    for (float v : out.data())
+        EXPECT_FLOAT_EQ(v, 0.0f); // biases start at 0
+}
+
+TEST(Conv, ParamCount)
+{
+    Rng rng(1);
+    ConvLayer conv(3, 8, 5, 1, 2, rng);
+    EXPECT_EQ(conv.paramCount(), 3u * 8 * 5 * 5 + 8);
+}
+
+TEST(Conv, ChannelMismatchPanicsInDebug)
+{
+    Rng rng(1);
+    ConvLayer conv(3, 4, 3, 1, 1, rng);
+    EXPECT_DEATH(conv.forward(Tensor(2, 4, 4)), "conv expects");
+}
+
+TEST(Relu, ClampsNegatives)
+{
+    ReluLayer relu;
+    Tensor t(1, 1, 4);
+    t.data() = {-1.0f, 0.0f, 2.0f, -0.5f};
+    Tensor out = relu.forward(t);
+    EXPECT_FLOAT_EQ(out.data()[0], 0.0f);
+    EXPECT_FLOAT_EQ(out.data()[2], 2.0f);
+    EXPECT_FLOAT_EQ(out.data()[3], 0.0f);
+}
+
+TEST(MaxPool, TakesWindowMaximum)
+{
+    MaxPoolLayer pool(2, 2);
+    Tensor t(1, 4, 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            t.at(0, y, x) = static_cast<float>(y * 4 + x);
+    Tensor out = pool.forward(t);
+    EXPECT_EQ(out.height(), 2);
+    EXPECT_EQ(out.width(), 2);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1), 15.0f);
+}
+
+TEST(Lrn, NormalizesAcrossChannels)
+{
+    LrnLayer lrn(5, 1e-2, 0.75, 2.0);
+    Tensor t(8, 2, 2);
+    for (auto &v : t.data())
+        v = 10.0f;
+    Tensor out = lrn.forward(t);
+    for (float v : out.data()) {
+        EXPECT_LT(v, 10.0f); // response is damped
+        EXPECT_GT(v, 0.0f);
+    }
+}
+
+TEST(Fc, ComputesDotProducts)
+{
+    Rng rng(1);
+    FullyConnectedLayer fc(4, 2, rng);
+    Tensor in(4, 1, 1);
+    in.data() = {1.0f, 2.0f, 3.0f, 4.0f};
+    Tensor out = fc.forward(in);
+    EXPECT_EQ(out.size(), 2u);
+    // Spot-check against direct computation via paramCount wiring:
+    // output must be deterministic for the same seed.
+    Rng rng2(1);
+    FullyConnectedLayer fc2(4, 2, rng2);
+    Tensor out2 = fc2.forward(in);
+    EXPECT_FLOAT_EQ(out.data()[0], out2.data()[0]);
+    EXPECT_FLOAT_EQ(out.data()[1], out2.data()[1]);
+}
+
+TEST(Softmax, OutputsProbabilityDistribution)
+{
+    SoftmaxLayer softmax;
+    Tensor t(1, 1, 4);
+    t.data() = {1.0f, 2.0f, 3.0f, 4.0f};
+    Tensor out = softmax.forward(t);
+    double sum = 0.0;
+    for (float v : out.data()) {
+        EXPECT_GT(v, 0.0f);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    EXPECT_EQ(out.argmax(), 3u);
+}
+
+TEST(Softmax, StableUnderLargeLogits)
+{
+    SoftmaxLayer softmax;
+    Tensor t(1, 1, 2);
+    t.data() = {1000.0f, 1001.0f};
+    Tensor out = softmax.forward(t);
+    EXPECT_FALSE(std::isnan(out.data()[0]));
+    EXPECT_NEAR(out.data()[0] + out.data()[1], 1.0, 1e-5);
+}
+
+TEST(Network, ForwardChainsLayers)
+{
+    Rng rng(2);
+    Network net("tiny");
+    net.add(std::make_unique<ConvLayer>(1, 2, 3, 1, 1, rng));
+    net.add(std::make_unique<ReluLayer>());
+    net.add(std::make_unique<MaxPoolLayer>(2, 2));
+    Tensor out = net.forward(Tensor(1, 8, 8));
+    EXPECT_EQ(out.channels(), 2);
+    EXPECT_EQ(out.height(), 4);
+    EXPECT_EQ(net.numLayers(), 3u);
+    EXPECT_GT(net.paramCount(), 0u);
+}
+
+TEST(Network, CifarNetGeometry)
+{
+    Rng rng(3);
+    Network net = buildCifarNet(rng, 10);
+    Tensor out = net.forward(Tensor(3, 32, 32));
+    EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(Network, CifarTrunkDimMatchesConstant)
+{
+    Rng rng(3);
+    Network trunk = buildCifarTrunk(rng);
+    Tensor out = trunk.forward(Tensor(3, 32, 32));
+    EXPECT_EQ(out.size(), static_cast<size_t>(cifarTrunkOutputDim()));
+}
+
+TEST(Network, AlexNetGeometry)
+{
+    Rng rng(4);
+    Network net = buildAlexNet(rng, 1000);
+    // 227x227x3 must flow through to a 1000-way distribution.
+    Tensor out = net.forward(Tensor(3, 227, 227));
+    EXPECT_EQ(out.size(), 1000u);
+    double sum = 0.0;
+    for (float v : out.data())
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+    // AlexNet is famously ~60M parameters.
+    EXPECT_GT(net.paramCount(), 50'000'000u);
+    EXPECT_LT(net.paramCount(), 70'000'000u);
+}
+
+TEST(Conv, Im2colMatchesDirectImplementation)
+{
+    // The optimized path must be numerically equivalent to the
+    // reference loop across geometries (odd/even kernels, stride,
+    // padding, channel counts).
+    struct Geometry
+    {
+        int in_c, out_c, kernel, stride, pad, h, w;
+    };
+    for (Geometry g : {Geometry{3, 8, 3, 1, 1, 16, 16},
+                       Geometry{1, 4, 5, 2, 2, 13, 17},
+                       Geometry{8, 16, 3, 1, 0, 9, 9},
+                       Geometry{4, 2, 1, 1, 0, 7, 5},
+                       Geometry{2, 6, 7, 3, 3, 21, 19}}) {
+        Rng rng(99);
+        ConvLayer conv(g.in_c, g.out_c, g.kernel, g.stride, g.pad, rng);
+        Tensor in(g.in_c, g.h, g.w);
+        in.fillGaussian(rng, 0.0, 1.0);
+        Tensor direct = conv.forwardDirect(in);
+        Tensor fast = conv.forwardIm2col(in);
+        ASSERT_EQ(direct.size(), fast.size());
+        for (size_t i = 0; i < direct.size(); ++i)
+            ASSERT_NEAR(direct.data()[i], fast.data()[i], 1e-4)
+                << "geometry k=" << g.kernel << " s=" << g.stride;
+    }
+}
+
+TEST(LinearClassifier, LearnsLinearlySeparableData)
+{
+    Rng rng(5);
+    std::vector<std::vector<float>> features;
+    std::vector<int> labels;
+    for (int i = 0; i < 200; ++i) {
+        float x = static_cast<float>(rng.gaussian(0, 1));
+        float y = static_cast<float>(rng.gaussian(0, 1));
+        features.push_back({x, y});
+        labels.push_back(x + y > 0 ? 1 : 0);
+    }
+    LinearClassifier clf(2, 2);
+    double acc = clf.fit(features, labels, rng, 20, 0.5);
+    EXPECT_GT(acc, 0.95);
+    EXPECT_EQ(clf.predict({3.0f, 3.0f}), 1);
+    EXPECT_EQ(clf.predict({-3.0f, -3.0f}), 0);
+}
+
+TEST(LinearClassifier, ProbabilitiesSumToOne)
+{
+    LinearClassifier clf(3, 4);
+    auto probs = clf.probabilities({0.5f, -0.5f, 1.0f});
+    double sum = 0.0;
+    for (double p : probs)
+        sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TrainedRecognizer, LearnsSyntheticClasses)
+{
+    Rng rng(6);
+    CifarLikeOptions opt;
+    auto train = makeCifarLike(rng, 12, opt);
+    std::vector<Image> images;
+    std::vector<int> labels;
+    for (auto &s : train) {
+        images.push_back(s.image);
+        labels.push_back(s.label);
+    }
+    TrainedRecognizer recognizer(rng, opt.num_classes);
+    double train_acc = recognizer.train(images, labels, rng, 25);
+    EXPECT_GT(train_acc, 0.9);
+
+    // Held-out accuracy must beat chance (10%) by a wide margin.
+    auto test = makeCifarLike(rng, 4, opt);
+    int correct = 0;
+    for (auto &s : test)
+        if (recognizer.predict(s.image) == s.label)
+            ++correct;
+    EXPECT_GT(static_cast<double>(correct) / test.size(), 0.6);
+}
+
+} // namespace
+} // namespace potluck

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for snapshot persistence — the "secondary flash storage" layer
+ * of the paper's Fig. 4: save/restore round trips, TTL continuation
+ * across restarts, importance preservation, registration recovery, and
+ * corrupt-file rejection.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/persistence.h"
+#include "core/potluck_service.h"
+#include "features/downsample.h"
+
+namespace potluck {
+namespace {
+
+std::string
+tempSnapshot(const char *tag)
+{
+    static int counter = 0;
+    return (std::filesystem::temp_directory_path() /
+            ("potluck_snap_" + std::string(tag) + "_" +
+             std::to_string(::getpid()) + "_" + std::to_string(counter++)))
+        .string();
+}
+
+PotluckConfig
+cfg()
+{
+    PotluckConfig config;
+    config.dropout_probability = 0.0;
+    config.warmup_entries = 0;
+    return config;
+}
+
+KeyTypeConfig
+kt(const char *name = "vec", IndexKind kind = IndexKind::Linear)
+{
+    return KeyTypeConfig{name, Metric::L2, kind, nullptr, 8, 6, 4.0};
+}
+
+TEST(Persistence, RoundTripRestoresEntriesAndRegistrations)
+{
+    std::string path = tempSnapshot("roundtrip");
+    VirtualClock clock;
+    {
+        PotluckService service(cfg(), &clock);
+        service.registerKeyType("recognize", kt());
+        service.put("recognize", "vec", FeatureVector({1.0f, 2.0f}),
+                    encodeString("label_a"), {});
+        service.put("recognize", "vec", FeatureVector({5.0f, 6.0f}),
+                    encodeString("label_b"), {});
+        EXPECT_EQ(saveSnapshot(service, path), 2u);
+    }
+    {
+        // A cold service: registrations come from the snapshot itself.
+        PotluckService service(cfg(), &clock);
+        EXPECT_EQ(loadSnapshot(service, path), 2u);
+        EXPECT_EQ(service.numEntries(), 2u);
+        LookupResult r = service.lookup("app", "recognize", "vec",
+                                        FeatureVector({1.0f, 2.0f}));
+        ASSERT_TRUE(r.hit);
+        EXPECT_EQ(decodeString(r.value), "label_a");
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, RemainingTtlSurvivesRestart)
+{
+    std::string path = tempSnapshot("ttl");
+    VirtualClock clock;
+    {
+        PotluckService service(cfg(), &clock);
+        service.registerKeyType("f", kt());
+        PutOptions options;
+        options.ttl_us = 1000;
+        service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1),
+                    options);
+        clock.advanceUs(400); // 600 us of validity left
+        saveSnapshot(service, path);
+    }
+    {
+        VirtualClock fresh(50); // a different epoch, as after reboot
+        PotluckService service(cfg(), &fresh);
+        ASSERT_EQ(loadSnapshot(service, path), 1u);
+        EXPECT_TRUE(
+            service.lookup("a", "f", "vec", FeatureVector({1.0f})).hit);
+        fresh.advanceUs(700); // past the remaining 600 us
+        EXPECT_FALSE(
+            service.lookup("a", "f", "vec", FeatureVector({1.0f})).hit);
+        EXPECT_EQ(service.sweepExpired(), 1u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, ExpiredEntriesAreDroppedAtSave)
+{
+    std::string path = tempSnapshot("expired");
+    VirtualClock clock;
+    PotluckService service(cfg(), &clock);
+    service.registerKeyType("f", kt());
+    PutOptions fleeting;
+    fleeting.ttl_us = 10;
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1), fleeting);
+    service.put("f", "vec", FeatureVector({2.0f}), encodeInt(2), {});
+    clock.advanceUs(100);
+    saveSnapshot(service, path);
+
+    PotluckService fresh(cfg(), &clock);
+    EXPECT_EQ(loadSnapshot(fresh, path), 1u); // only the live entry
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, ImportanceInputsSurvive)
+{
+    std::string path = tempSnapshot("importance");
+    VirtualClock clock;
+    {
+        PotluckService service(cfg(), &clock);
+        service.registerKeyType("f", kt());
+        PutOptions costly;
+        costly.compute_overhead_us = 5e6;
+        service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1),
+                    costly);
+        // Raise the access frequency via hits.
+        for (int i = 0; i < 4; ++i)
+            service.lookup("a", "f", "vec", FeatureVector({1.0f}));
+        saveSnapshot(service, path);
+    }
+    {
+        PotluckService service(cfg(), &clock);
+        loadSnapshot(service, path);
+        service.forEachEntry([](const CacheEntry &entry) {
+            EXPECT_DOUBLE_EQ(entry.compute_overhead_us, 5e6);
+            EXPECT_EQ(entry.access_frequency, 5u); // 1 + 4 hits
+        });
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, MultiKeyEntriesRestoreAllIndices)
+{
+    std::string path = tempSnapshot("multikey");
+    VirtualClock clock;
+    auto ex8 = std::make_shared<DownsampleExtractor>(8, 8, true);
+    auto ex4 = std::make_shared<DownsampleExtractor>(4, 4, true);
+    Image img(16, 16, 3, 77);
+    {
+        PotluckService service(cfg(), &clock);
+        service.registerKeyType("f", kt("k8"), ex8);
+        service.registerKeyType("f", kt("k4"), ex4);
+        PutOptions options;
+        options.raw_input = &img;
+        service.put("f", "k8", ex8->extract(img), encodeInt(7), options);
+        saveSnapshot(service, path);
+    }
+    {
+        PotluckService service(cfg(), &clock);
+        ASSERT_EQ(loadSnapshot(service, path), 1u);
+        EXPECT_TRUE(
+            service.lookup("a", "f", "k8", ex8->extract(img)).hit);
+        EXPECT_TRUE(
+            service.lookup("a", "f", "k4", ex4->extract(img)).hit);
+        EXPECT_EQ(service.numEntries(), 1u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, CorruptFilesAreRejected)
+{
+    std::string path = tempSnapshot("corrupt");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a snapshot";
+    }
+    VirtualClock clock;
+    PotluckService service(cfg(), &clock);
+    EXPECT_THROW(loadSnapshot(service, path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, TruncatedSnapshotIsRejected)
+{
+    std::string path = tempSnapshot("trunc");
+    VirtualClock clock;
+    {
+        PotluckService service(cfg(), &clock);
+        service.registerKeyType("f", kt());
+        service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1), {});
+        saveSnapshot(service, path);
+    }
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size / 2);
+    PotluckService service(cfg(), &clock);
+    EXPECT_THROW(loadSnapshot(service, path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, MissingFileIsFatal)
+{
+    VirtualClock clock;
+    PotluckService service(cfg(), &clock);
+    EXPECT_THROW(loadSnapshot(service, "/nonexistent/snapshot.bin"),
+                 FatalError);
+}
+
+TEST(Persistence, EmptyCacheSavesAndLoadsCleanly)
+{
+    std::string path = tempSnapshot("empty");
+    VirtualClock clock;
+    PotluckService a(cfg(), &clock);
+    a.registerKeyType("f", kt());
+    EXPECT_EQ(saveSnapshot(a, path), 0u);
+    PotluckService b(cfg(), &clock);
+    EXPECT_EQ(loadSnapshot(b, path), 0u);
+    // The registration still came across.
+    EXPECT_FALSE(b.lookup("x", "f", "vec", FeatureVector({1.0f})).hit);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace potluck

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Property-style tests: parameterized sweeps over the tuner's
+ * parameter grid, LSH parameter/recall behaviour, codec robustness
+ * against corrupted bytes (failure injection), geometric invariants of
+ * the warp pipeline, and determinism of the workload generators.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/lsh_index.h"
+#include "core/threshold_tuner.h"
+#include "ipc/message.h"
+#include "img/transform.h"
+#include "render/mesh.h"
+#include "render/rasterizer.h"
+#include "render/warp.h"
+#include "workload/trace.h"
+#include "workload/video.h"
+
+namespace potluck {
+namespace {
+
+// ---------- ThresholdTuner parameter-grid properties ----------
+
+struct TunerParams
+{
+    double tighten;
+    double ewma;
+};
+
+class TunerGrid : public ::testing::TestWithParam<TunerParams>
+{
+  protected:
+    PotluckConfig
+    config() const
+    {
+        PotluckConfig cfg;
+        cfg.tighten_factor = GetParam().tighten;
+        cfg.loosen_ewma = GetParam().ewma;
+        cfg.warmup_entries = 0;
+        return cfg;
+    }
+};
+
+TEST_P(TunerGrid, ThresholdNeverNegative)
+{
+    ThresholdTuner tuner(config());
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        tuner.observe(rng.uniformReal(0.0, 10.0), rng.bernoulli(0.5));
+        ASSERT_GE(tuner.threshold(), 0.0);
+    }
+}
+
+TEST_P(TunerGrid, ConsistentFeedbackConverges)
+{
+    // If every observation says "keys at distance <= 2 share results,
+    // keys beyond do not", the threshold must converge into a band
+    // around 2 and stay there.
+    ThresholdTuner tuner(config());
+    Rng rng(7);
+    for (int i = 0; i < 400; ++i) {
+        double d = rng.uniformReal(0.0, 4.0);
+        bool same = d <= 2.0;
+        tuner.observe(d, same);
+    }
+    // Steady state: at most one tighten away from the true boundary,
+    // and never stuck at zero.
+    EXPECT_GT(tuner.threshold(), 2.0 / (GetParam().tighten * 4.0));
+    EXPECT_LE(tuner.threshold(), 4.0);
+}
+
+TEST_P(TunerGrid, TightenIsMultiplicative)
+{
+    ThresholdTuner tuner(config());
+    tuner.setThreshold(8.0);
+    tuner.observe(1.0, false);
+    EXPECT_NEAR(tuner.threshold(), 8.0 / GetParam().tighten, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TunerGrid,
+    ::testing::Values(TunerParams{2.0, 0.5}, TunerParams{4.0, 0.8},
+                      TunerParams{8.0, 0.8}, TunerParams{4.0, 0.95},
+                      TunerParams{1.5, 0.0}),
+    [](const auto &info) {
+        return "k" + std::to_string(static_cast<int>(info.param.tighten * 10)) +
+               "_a" + std::to_string(static_cast<int>(info.param.ewma * 100));
+    });
+
+// ---------- LSH parameter sweep: recall / candidate tradeoff ----------
+
+struct LshParams
+{
+    int tables;
+    int projections;
+    double width;
+    int min_recall_pct; ///< required recall for near-duplicate queries
+};
+
+class LshGrid : public ::testing::TestWithParam<LshParams>
+{
+};
+
+TEST_P(LshGrid, NearDuplicateRecall)
+{
+    const LshParams &p = GetParam();
+    LshIndex lsh(Metric::L2, 11, p.tables, p.projections, p.width);
+    Rng rng(13);
+    std::vector<FeatureVector> keys;
+    for (EntryId id = 1; id <= 200; ++id) {
+        std::vector<float> v(32);
+        for (auto &x : v)
+            x = static_cast<float>(rng.uniformReal(-50, 50));
+        keys.emplace_back(std::move(v));
+        lsh.insert(id, keys.back());
+    }
+    int recalled = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+        FeatureVector q = keys[i];
+        q.values()[0] += 0.05f;
+        auto found = lsh.nearest(q, 1);
+        if (!found.empty() && found[0].id == i + 1)
+            ++recalled;
+    }
+    EXPECT_GE(recalled * 100 / 200, p.min_recall_pct)
+        << "tables=" << p.tables << " proj=" << p.projections
+        << " width=" << p.width;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LshGrid,
+    ::testing::Values(LshParams{8, 6, 4.0, 90},   // default
+                      LshParams{12, 4, 12.0, 95}, // recall-tuned
+                      LshParams{4, 8, 4.0, 50},   // few tables: weaker
+                      LshParams{16, 2, 8.0, 95}), // many shallow tables
+    [](const auto &info) {
+        return "t" + std::to_string(info.param.tables) + "_p" +
+               std::to_string(info.param.projections) + "_w" +
+               std::to_string(static_cast<int>(info.param.width));
+    });
+
+// ---------- Failure injection: corrupted wire bytes ----------
+
+TEST(CodecRobustness, TruncationsAlwaysThrowNeverCrash)
+{
+    Request request;
+    request.type = RequestType::Put;
+    request.app = "app";
+    request.function = "fn";
+    request.key_type = "kt";
+    request.key = FeatureVector({1.0f, 2.0f, 3.0f});
+    request.value = encodeString("some value");
+    request.ttl_us = 12345;
+    auto bytes = encodeRequest(request);
+
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+        std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+        EXPECT_THROW(decodeRequest(truncated), FatalError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(CodecRobustness, RandomByteFlipsEitherDecodeOrThrow)
+{
+    Request request;
+    request.type = RequestType::Lookup;
+    request.app = "application_name";
+    request.function = "object_recognition";
+    request.key_type = "downsamp";
+    request.key = FeatureVector(std::vector<float>(64, 0.25f));
+    auto bytes = encodeRequest(request);
+
+    Rng rng(17);
+    for (int trial = 0; trial < 300; ++trial) {
+        auto corrupted = bytes;
+        size_t pos = static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+        corrupted[pos] ^= static_cast<uint8_t>(rng.uniformInt(1, 255));
+        // Length-prefixed strings can explode into absurd sizes; the
+        // decoder must catch every such case via bounds checks.
+        try {
+            Request out = decodeRequest(corrupted);
+            (void)out; // harmless flips (e.g. in float payload) are fine
+        } catch (const FatalError &) {
+            // expected for structural corruption
+        } catch (const std::bad_alloc &) {
+            FAIL() << "decoder allocated unbounded memory at byte " << pos;
+        }
+    }
+}
+
+TEST(CodecRobustness, RandomGarbageNeverCrashes)
+{
+    Rng rng(23);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<uint8_t> garbage(
+            static_cast<size_t>(rng.uniformInt(0, 200)));
+        for (auto &b : garbage)
+            b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+        try {
+            decodeRequest(garbage);
+        } catch (const FatalError &) {
+        }
+        try {
+            decodeReply(garbage);
+        } catch (const FatalError &) {
+        }
+    }
+    SUCCEED();
+}
+
+// ---------- Warp geometric invariants ----------
+
+TEST(WarpProperty, InverseWarpRoundTripsContent)
+{
+    // Warp A->B then B->A: interior content must return near its
+    // original place (borders are lost to the viewport).
+    Camera camera(96, 72);
+    Rasterizer rasterizer(1);
+    Mesh cube = makeCube(1.3);
+    Pose a;
+    Pose b = a;
+    b.position.x += 0.05;
+    b.yaw += 0.01;
+    Image frame = rasterizer.render(camera, a, {cube});
+    Image there = warpToPose(frame, camera, a, b);
+    Image back = warpToPose(there, camera, b, a);
+    // Compare only the central region (border pixels fall outside).
+    Image centre_orig = crop(frame, 16, 12, 64, 48);
+    Image centre_back = crop(back, 16, 12, 64, 48);
+    EXPECT_LT(meanAbsDiff(centre_orig, centre_back), 12.0);
+}
+
+TEST(WarpProperty, HomographyCompositionConsistent)
+{
+    // warp(A->C) ~ warp(A->B) then warp(B->C) for small steps.
+    Camera camera(96, 72);
+    Pose a, b = a, c = a;
+    b.yaw += 0.01;
+    c.yaw += 0.02;
+    Rasterizer rasterizer(1);
+    Image frame = rasterizer.render(camera, a, {makeCube(1.3)});
+    Image direct = warpToPose(frame, camera, a, c);
+    Image stepped = warpToPose(warpToPose(frame, camera, a, b), camera, b, c);
+    Image centre_direct = crop(direct, 16, 12, 64, 48);
+    Image centre_stepped = crop(stepped, 16, 12, 64, 48);
+    EXPECT_LT(meanAbsDiff(centre_direct, centre_stepped), 8.0);
+}
+
+// ---------- Workload determinism ----------
+
+TEST(Determinism, TraceReplayIsBitStable)
+{
+    Rng rng_a(3), rng_b(3);
+    auto workloads_a = makeWorkloads(rng_a, 50);
+    auto workloads_b = makeWorkloads(rng_b, 50);
+    auto trace_a =
+        makeTrace(rng_a, workloads_a, PopularityModel::Exponential, 2000);
+    auto trace_b =
+        makeTrace(rng_b, workloads_b, PopularityModel::Exponential, 2000);
+    ASSERT_EQ(trace_a, trace_b);
+
+    ReplayResult r1 = replayTrace(workloads_a, trace_a, 0.3,
+                                  EvictionKind::Importance, 9);
+    ReplayResult r2 = replayTrace(workloads_b, trace_b, 0.3,
+                                  EvictionKind::Importance, 9);
+    EXPECT_EQ(r1.hits, r2.hits);
+    EXPECT_DOUBLE_EQ(r1.paid_compute_ms, r2.paid_compute_ms);
+}
+
+TEST(Determinism, RandomEvictionVariesWithSeedOnly)
+{
+    Rng rng(3);
+    auto workloads = makeWorkloads(rng, 50);
+    auto trace = makeTrace(rng, workloads, PopularityModel::Uniform, 2000);
+    ReplayResult a = replayTrace(workloads, trace, 0.2, EvictionKind::Random,
+                                 1);
+    ReplayResult b = replayTrace(workloads, trace, 0.2, EvictionKind::Random,
+                                 1);
+    EXPECT_EQ(a.hits, b.hits); // same seed, same evictions
+}
+
+TEST(Determinism, VideoFeedSceneCutsAreReproducible)
+{
+    VideoOptions opt;
+    opt.scene_cut_every = 7;
+    VideoFeed f1(99, opt), f2(99, opt);
+    for (int i = 0; i < 20; ++i)
+        ASSERT_EQ(f1.nextFrame(), f2.nextFrame()) << "frame " << i;
+    EXPECT_EQ(f1.sceneIndex(), f2.sceneIndex());
+}
+
+} // namespace
+} // namespace potluck

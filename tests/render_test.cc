@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for the 3-D rendering substrate: vector math, meshes,
+ * camera, rasterizer, and the homography warp fast path whose output
+ * must approximate a true re-render for nearby poses.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "render/camera.h"
+#include "render/mesh.h"
+#include "render/rasterizer.h"
+#include "render/vec.h"
+#include "render/warp.h"
+
+namespace potluck {
+namespace {
+
+TEST(Vec3, BasicAlgebra)
+{
+    Vec3 a{1, 2, 3};
+    Vec3 b{4, 5, 6};
+    Vec3 sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.x, 5);
+    EXPECT_DOUBLE_EQ(a.dot(b), 32);
+    Vec3 c = a.cross(b);
+    EXPECT_DOUBLE_EQ(c.x, -3);
+    EXPECT_DOUBLE_EQ(c.y, 6);
+    EXPECT_DOUBLE_EQ(c.z, -3);
+    EXPECT_NEAR((Vec3{3, 4, 0}.norm()), 5.0, 1e-12);
+    EXPECT_NEAR((Vec3{3, 4, 0}.normalized().norm()), 1.0, 1e-12);
+}
+
+TEST(Vec3, NormalizedZeroIsZero)
+{
+    Vec3 z = Vec3{}.normalized();
+    EXPECT_DOUBLE_EQ(z.norm(), 0.0);
+}
+
+TEST(Mat4, TranslationMovesPoints)
+{
+    Mat4 t = Mat4::translation({1, 2, 3});
+    Vec3 p = t.transformPoint({0, 0, 0}).project();
+    EXPECT_DOUBLE_EQ(p.x, 1);
+    EXPECT_DOUBLE_EQ(p.y, 2);
+    EXPECT_DOUBLE_EQ(p.z, 3);
+}
+
+TEST(Mat4, RotationYQuarterTurn)
+{
+    Mat4 r = Mat4::rotationY(M_PI / 2);
+    Vec3 p = r.transformPoint({1, 0, 0}).project();
+    EXPECT_NEAR(p.x, 0, 1e-12);
+    EXPECT_NEAR(p.z, -1, 1e-12);
+}
+
+TEST(Mat4, CompositionOrder)
+{
+    // Translate-then-scale differs from scale-then-translate.
+    Mat4 ts = Mat4::scaling(2, 2, 2) * Mat4::translation({1, 0, 0});
+    Vec3 p = ts.transformPoint({0, 0, 0}).project();
+    EXPECT_DOUBLE_EQ(p.x, 2);
+    Mat4 st = Mat4::translation({1, 0, 0}) * Mat4::scaling(2, 2, 2);
+    p = st.transformPoint({0, 0, 0}).project();
+    EXPECT_DOUBLE_EQ(p.x, 1);
+}
+
+TEST(Mat4, LookAtCentresTarget)
+{
+    Mat4 view = Mat4::lookAt({0, 0, 5}, {0, 0, 0}, {0, 1, 0});
+    Vec3 p = view.transformPoint({0, 0, 0}).project();
+    EXPECT_NEAR(p.x, 0, 1e-12);
+    EXPECT_NEAR(p.y, 0, 1e-12);
+    EXPECT_NEAR(p.z, -5, 1e-12); // 5 units along -Z in view space
+}
+
+TEST(Mat4, PerspectiveDepthOrdering)
+{
+    Mat4 proj = Mat4::perspective(1.0, 1.0, 0.1, 100.0);
+    Vec3 near = proj.transformPoint({0, 0, -1}).project();
+    Vec3 far = proj.transformPoint({0, 0, -50}).project();
+    EXPECT_LT(near.z, far.z); // NDC depth increases with distance
+}
+
+TEST(Mesh, CubeGeometry)
+{
+    Mesh cube = makeCube(2.0);
+    EXPECT_EQ(cube.vertices.size(), 8u);
+    EXPECT_EQ(cube.triangleCount(), 12u);
+    for (const Vec3 &v : cube.vertices) {
+        EXPECT_DOUBLE_EQ(std::abs(v.x), 1.0);
+        EXPECT_DOUBLE_EQ(std::abs(v.y), 1.0);
+        EXPECT_DOUBLE_EQ(std::abs(v.z), 1.0);
+    }
+}
+
+TEST(Mesh, IcosphereSubdivisionGrowth)
+{
+    EXPECT_EQ(makeIcosphere(0).triangleCount(), 20u);
+    EXPECT_EQ(makeIcosphere(1).triangleCount(), 80u);
+    EXPECT_EQ(makeIcosphere(2).triangleCount(), 320u);
+}
+
+TEST(Mesh, IcosphereVerticesOnSphere)
+{
+    Mesh sphere = makeIcosphere(2, 0.75);
+    for (const Vec3 &v : sphere.vertices)
+        EXPECT_NEAR(v.norm(), 0.75, 1e-9);
+}
+
+TEST(Mesh, FurnitureDetailScalesTriangles)
+{
+    EXPECT_LT(makeFurniture(0).triangleCount(),
+              makeFurniture(3).triangleCount());
+}
+
+TEST(Mesh, AppendFixesIndices)
+{
+    Mesh a = makeCube(1.0);
+    size_t verts = a.vertices.size();
+    Mesh b = makeCube(1.0);
+    a.append(b);
+    EXPECT_EQ(a.vertices.size(), 2 * verts);
+    for (const Triangle &t : a.triangles) {
+        EXPECT_LT(t.a, a.vertices.size());
+        EXPECT_LT(t.b, a.vertices.size());
+        EXPECT_LT(t.c, a.vertices.size());
+    }
+}
+
+TEST(Pose, DistanceCombinesPositionAndAngle)
+{
+    Pose a;
+    Pose b = a;
+    EXPECT_DOUBLE_EQ(a.distance(b), 0.0);
+    b.position.x += 3.0;
+    EXPECT_NEAR(a.distance(b), 3.0, 1e-12);
+    b.yaw += 4.0;
+    EXPECT_NEAR(a.distance(b), 5.0, 1e-12);
+}
+
+TEST(Pose, VectorRoundTrip)
+{
+    Pose p;
+    p.position = {1, 2, 3};
+    p.yaw = 0.4;
+    p.pitch = -0.2;
+    auto v = p.toVector();
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_FLOAT_EQ(v[0], 1.0f);
+    EXPECT_FLOAT_EQ(v[3], 0.4f);
+    EXPECT_FLOAT_EQ(v[4], -0.2f);
+}
+
+class RasterizerTest : public ::testing::Test
+{
+  protected:
+    Camera camera_{96, 72};
+    Rasterizer rasterizer_{1};
+    Pose pose_{}; // default: at (0,0,3) looking down -Z... see below
+};
+
+TEST_F(RasterizerTest, RendersCubeInView)
+{
+    // Camera at +Z looking towards origin (yaw pi points at -Z from
+    // +Z... default pose position (0,0,3), yaw 0 looks down -Z, so the
+    // origin cube is dead ahead).
+    Mesh cube = makeCube(1.0);
+    cube.r = 255;
+    cube.g = 0;
+    cube.b = 0;
+    Image frame = rasterizer_.render(camera_, pose_, {cube}, 10);
+    // Centre pixel shows the cube, corner shows background.
+    int cx = camera_.width() / 2;
+    int cy = camera_.height() / 2;
+    EXPECT_GT(frame.at(cx, cy, 0), 60);
+    EXPECT_EQ(frame.at(0, 0, 0), 10);
+}
+
+TEST_F(RasterizerTest, EmptySceneIsBackground)
+{
+    Image frame = rasterizer_.render(camera_, pose_, {}, 33);
+    for (uint8_t b : frame.data())
+        EXPECT_EQ(b, 33);
+}
+
+TEST_F(RasterizerTest, BehindCameraCulled)
+{
+    Mesh cube = makeCube(1.0);
+    cube.transform(Mat4::translation({0, 0, 10})); // behind the camera
+    Image frame = rasterizer_.render(camera_, pose_, {cube}, 10);
+    for (uint8_t b : frame.data())
+        EXPECT_EQ(b, 10);
+}
+
+TEST_F(RasterizerTest, DepthOrderingNearWins)
+{
+    Mesh near = makeCube(0.8);
+    near.r = 200;
+    near.g = 0;
+    near.b = 0;
+    near.transform(Mat4::translation({0, 0, 1.0}));
+    Mesh far = makeCube(1.6);
+    far.r = 0;
+    far.g = 200;
+    far.b = 0;
+    far.transform(Mat4::translation({0, 0, -1.0}));
+    Image frame = rasterizer_.render(camera_, pose_, {far, near}, 10);
+    int cx = camera_.width() / 2;
+    int cy = camera_.height() / 2;
+    EXPECT_GT(frame.at(cx, cy, 0), frame.at(cx, cy, 1)); // red in front
+}
+
+TEST_F(RasterizerTest, SupersamplingKeepsOutputSize)
+{
+    Rasterizer ss(2);
+    Image frame = ss.render(camera_, pose_, {makeCube(1.0)});
+    EXPECT_EQ(frame.width(), camera_.width());
+    EXPECT_EQ(frame.height(), camera_.height());
+}
+
+TEST_F(RasterizerTest, PartiallyOffscreenTriangleIsClipped)
+{
+    // A mesh positioned half outside the view must not crash and must
+    // paint only in-bounds pixels.
+    Mesh cube = makeCube(1.0);
+    cube.transform(Mat4::translation({2.5, 0, 0})); // mostly off right
+    Image frame = rasterizer_.render(camera_, pose_, {cube}, 10);
+    EXPECT_EQ(frame.width(), camera_.width());
+    // The left half stays background.
+    EXPECT_EQ(frame.at(2, camera_.height() / 2, 0), 10);
+}
+
+TEST_F(RasterizerTest, DegenerateTriangleIgnored)
+{
+    Mesh degenerate;
+    degenerate.vertices = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    degenerate.triangles = {{0, 1, 2}};
+    Image frame = rasterizer_.render(camera_, pose_, {degenerate}, 10);
+    for (uint8_t b : frame.data())
+        EXPECT_EQ(b, 10);
+}
+
+TEST(Warp, IdentityPoseIsIdentityHomography)
+{
+    Camera camera(96, 72);
+    Pose pose;
+    Mat3 h = estimatePoseWarp(camera, pose, pose);
+    double x, y;
+    h.apply(48, 36, x, y);
+    EXPECT_NEAR(x, 48, 1e-6);
+    EXPECT_NEAR(y, 36, 1e-6);
+}
+
+TEST(Warp, ApproximatesRerenderForNearbyPose)
+{
+    // Render a scene from pose A; warp to nearby pose B; compare with
+    // a true render at B. The warp is the AR fast path, so the
+    // approximation error must be small.
+    Camera camera(96, 72);
+    Rasterizer rasterizer(1);
+    Mesh cube = makeCube(1.2);
+    cube.r = 220;
+    cube.g = 80;
+    cube.b = 40;
+    std::vector<Mesh> scene = {cube};
+
+    Pose a;
+    Pose b = a;
+    b.position.x += 0.06;
+    b.yaw += 0.015;
+
+    Image frame_a = rasterizer.render(camera, a, scene);
+    Image true_b = rasterizer.render(camera, b, scene);
+    Image warped_b = warpToPose(frame_a, camera, a, b);
+
+    double err_warp = meanAbsDiff(true_b, warped_b);
+    double err_stale = meanAbsDiff(true_b, frame_a);
+    // Warping must be strictly better than just reusing the old frame.
+    EXPECT_LT(err_warp, err_stale);
+}
+
+TEST(Warp, LargePoseChangeDegrades)
+{
+    Camera camera(96, 72);
+    Pose a;
+    Pose far = a;
+    far.yaw += 0.6;
+    Pose close = a;
+    close.yaw += 0.02;
+    Rasterizer rasterizer(1);
+    std::vector<Mesh> scene = {makeCube(1.2)};
+    Image frame_a = rasterizer.render(camera, a, scene);
+    double err_far = meanAbsDiff(rasterizer.render(camera, far, scene),
+                                 warpToPose(frame_a, camera, a, far));
+    double err_close = meanAbsDiff(rasterizer.render(camera, close, scene),
+                                   warpToPose(frame_a, camera, a, close));
+    EXPECT_LT(err_close, err_far);
+}
+
+} // namespace
+} // namespace potluck

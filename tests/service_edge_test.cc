@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Edge-case tests for the service: exact matches at threshold zero,
+ * kNN fan-out recovering from expired nearest entries, immediate TTLs,
+ * byte accounting under multi-key propagation, interleaved expiry and
+ * eviction, and large-key handling.
+ */
+#include <gtest/gtest.h>
+
+#include "core/potluck_service.h"
+#include "features/downsample.h"
+
+namespace potluck {
+namespace {
+
+PotluckConfig
+baseConfig()
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    cfg.max_entries = 1000;
+    cfg.max_bytes = 0;
+    return cfg;
+}
+
+KeyTypeConfig
+kt(const char *name = "vec", IndexKind kind = IndexKind::Linear)
+{
+    return KeyTypeConfig{name, Metric::L2, kind, nullptr, 8, 6, 4.0};
+}
+
+TEST(ServiceEdge, ExactDuplicateHitsAtZeroThreshold)
+{
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("f", kt());
+    service.put("f", "vec", FeatureVector({1.0f, 2.0f}), encodeInt(1), {});
+    ASSERT_DOUBLE_EQ(service.threshold("f", "vec"), 0.0);
+    // dist == 0 <= threshold 0: must hit.
+    EXPECT_TRUE(
+        service.lookup("a", "f", "vec", FeatureVector({1.0f, 2.0f})).hit);
+}
+
+TEST(ServiceEdge, KnnFanOutServesSecondCandidateWhenNearestExpired)
+{
+    PotluckConfig cfg = baseConfig();
+    cfg.knn = 3;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType("f", kt());
+    service.setThreshold("f", "vec", 2.0);
+
+    // Nearest entry expires quickly; the slightly farther one lives.
+    PutOptions short_ttl;
+    short_ttl.ttl_us = 10;
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(111),
+                short_ttl);
+    service.put("f", "vec", FeatureVector({1.5f}), encodeInt(222), {});
+    clock.advanceUs(100); // first entry now expired (but unswept)
+
+    LookupResult r = service.lookup("a", "f", "vec", FeatureVector({1.0f}));
+    ASSERT_TRUE(r.hit) << "fan-out should fall through to the live entry";
+    EXPECT_EQ(decodeInt(r.value), 222);
+}
+
+TEST(ServiceEdge, KnnOneStopsAtExpiredNearest)
+{
+    PotluckConfig cfg = baseConfig(); // knn = 1 default
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType("f", kt());
+    service.setThreshold("f", "vec", 2.0);
+    PutOptions short_ttl;
+    short_ttl.ttl_us = 10;
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(111),
+                short_ttl);
+    service.put("f", "vec", FeatureVector({1.5f}), encodeInt(222), {});
+    clock.advanceUs(100);
+    // With k = 1 only the (expired) nearest is considered: a miss.
+    EXPECT_FALSE(
+        service.lookup("a", "f", "vec", FeatureVector({1.0f})).hit);
+}
+
+TEST(ServiceEdge, ZeroTtlEntryNeverServes)
+{
+    VirtualClock clock;
+    clock.advanceUs(1000);
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("f", kt());
+    PutOptions opt;
+    opt.ttl_us = 0;
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1), opt);
+    EXPECT_FALSE(service.lookup("a", "f", "vec", FeatureVector({1.0f})).hit);
+    EXPECT_EQ(service.sweepExpired(), 1u);
+}
+
+TEST(ServiceEdge, MultiKeyEntryAccountsAllKeys)
+{
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    auto ex8 = std::make_shared<DownsampleExtractor>(8, 8, true);   // 64 f
+    auto ex4 = std::make_shared<DownsampleExtractor>(4, 4, true);   // 16 f
+    service.registerKeyType("f", kt("k8", IndexKind::Linear), ex8);
+    service.registerKeyType("f", kt("k4", IndexKind::Linear), ex4);
+
+    Image img(16, 16, 3, 50);
+    PutOptions options;
+    options.raw_input = &img;
+    service.put("f", "k8", ex8->extract(img), encodeInt(1), options);
+
+    // value 8 bytes + keys (64 + 16 floats) * 4 bytes.
+    EXPECT_EQ(service.totalBytes(), 8u + (64 + 16) * 4);
+}
+
+TEST(ServiceEdge, ExpiryOfMultiKeyEntryClearsAllIndices)
+{
+    PotluckConfig cfg = baseConfig();
+    cfg.default_ttl_us = 100;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    auto ex8 = std::make_shared<DownsampleExtractor>(8, 8, true);
+    auto ex4 = std::make_shared<DownsampleExtractor>(4, 4, true);
+    service.registerKeyType("f", kt("k8", IndexKind::Linear), ex8);
+    service.registerKeyType("f", kt("k4", IndexKind::Linear), ex4);
+
+    Image img(16, 16, 3, 50);
+    PutOptions options;
+    options.raw_input = &img;
+    service.put("f", "k8", ex8->extract(img), encodeInt(1), options);
+    clock.advanceUs(200);
+    EXPECT_EQ(service.sweepExpired(), 1u);
+    EXPECT_EQ(service.totalBytes(), 0u);
+    EXPECT_FALSE(
+        service.lookup("a", "f", "k8", ex8->extract(img)).hit);
+    EXPECT_FALSE(
+        service.lookup("a", "f", "k4", ex4->extract(img)).hit);
+}
+
+TEST(ServiceEdge, LargeKeysWorkEndToEnd)
+{
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("f", kt("big", IndexKind::KdTree));
+    FeatureVector big(std::vector<float>(4096, 0.5f));
+    service.put("f", "big", big, encodeInt(9), {});
+    LookupResult r = service.lookup("a", "f", "big", big);
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(decodeInt(r.value), 9);
+}
+
+TEST(ServiceEdge, SameFunctionDifferentKeyTypesAreIsolated)
+{
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("f", kt("a", IndexKind::Linear));
+    service.registerKeyType("f", kt("b", IndexKind::Linear));
+    // No extractor attached: a put via type "a" only indexes type "a".
+    service.put("f", "a", FeatureVector({1.0f}), encodeInt(1), {});
+    EXPECT_TRUE(service.lookup("x", "f", "a", FeatureVector({1.0f})).hit);
+    EXPECT_FALSE(service.lookup("x", "f", "b", FeatureVector({1.0f})).hit);
+}
+
+TEST(ServiceEdge, DifferentFunctionsNeverShare)
+{
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("resize", kt());
+    service.registerKeyType("rotate", kt());
+    service.put("resize", "vec", FeatureVector({1.0f}), encodeInt(1), {});
+    // Same key under a different function: a miss by design ("only
+    // applications using exactly the same function can share").
+    EXPECT_FALSE(
+        service.lookup("a", "rotate", "vec", FeatureVector({1.0f})).hit);
+}
+
+TEST(ServiceEdge, EvictionAndExpiryStatsAreSeparate)
+{
+    PotluckConfig cfg = baseConfig();
+    cfg.max_entries = 2;
+    cfg.default_ttl_us = 1000;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType("f", kt());
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1), {});
+    service.put("f", "vec", FeatureVector({2.0f}), encodeInt(2), {});
+    service.put("f", "vec", FeatureVector({3.0f}), encodeInt(3), {});
+    EXPECT_EQ(service.stats().evictions, 1u);
+    clock.advanceUs(2000);
+    EXPECT_EQ(service.sweepExpired(), 2u);
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.expirations, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(ServiceEdge, NextExpiryTracksEarliestEntry)
+{
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("f", kt());
+    EXPECT_EQ(service.nextExpiryUs(), 0u);
+    PutOptions late;
+    late.ttl_us = 5000;
+    PutOptions soon;
+    soon.ttl_us = 100;
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1), late);
+    service.put("f", "vec", FeatureVector({2.0f}), encodeInt(2), soon);
+    EXPECT_EQ(service.nextExpiryUs(), clock.nowUs() + 100);
+}
+
+TEST(ServiceEdge, PutEmptyKeyPanics)
+{
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("f", kt());
+    EXPECT_DEATH(service.put("f", "vec", FeatureVector{}, encodeInt(1), {}),
+                 "empty key");
+}
+
+TEST(ServiceEdge, PerSlotStatsTrackIndependently)
+{
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("recognize", kt());
+    service.registerKeyType("render", kt());
+
+    service.put("recognize", "vec", FeatureVector({1.0f}), encodeInt(1), {});
+    service.lookup("a", "recognize", "vec", FeatureVector({1.0f})); // hit
+    service.lookup("a", "recognize", "vec", FeatureVector({5.0f})); // miss
+    service.lookup("a", "render", "vec", FeatureVector({1.0f}));    // miss
+
+    SlotStats recog = service.slotStats("recognize", "vec");
+    EXPECT_EQ(recog.lookups, 2u);
+    EXPECT_EQ(recog.hits, 1u);
+    EXPECT_EQ(recog.misses, 1u);
+    EXPECT_EQ(recog.puts, 1u);
+    EXPECT_DOUBLE_EQ(recog.hitRate(), 0.5);
+
+    SlotStats render = service.slotStats("render", "vec");
+    EXPECT_EQ(render.lookups, 1u);
+    EXPECT_EQ(render.misses, 1u);
+    EXPECT_EQ(render.puts, 0u);
+
+    // Unregistered slots report zeros rather than failing.
+    EXPECT_EQ(service.slotStats("nope", "vec").lookups, 0u);
+}
+
+TEST(ServiceEdge, NullValueIsStorable)
+{
+    // A function may legitimately produce "no result"; the cache must
+    // round-trip that as a null value rather than crash.
+    VirtualClock clock;
+    PotluckService service(baseConfig(), &clock);
+    service.registerKeyType("f", kt());
+    service.put("f", "vec", FeatureVector({1.0f}), nullptr, {});
+    LookupResult r = service.lookup("a", "f", "vec", FeatureVector({1.0f}));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(r.value, nullptr);
+}
+
+} // namespace
+} // namespace potluck

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Tests for the workload layer: synthetic datasets, the video feed,
+ * the trace replay harness, the device model, the benchmark apps and
+ * the FlashBack emulation.
+ */
+#include <gtest/gtest.h>
+
+#include "features/downsample.h"
+#include "workload/apps.h"
+#include "workload/dataset.h"
+#include "workload/device.h"
+#include "workload/flashback.h"
+#include "workload/trace.h"
+#include "workload/video.h"
+
+namespace potluck {
+namespace {
+
+// ---------- Datasets ----------
+
+TEST(CifarLike, ShapeAndLabels)
+{
+    Rng rng(1);
+    auto set = makeCifarLike(rng, 3);
+    EXPECT_EQ(set.size(), 30u);
+    for (const auto &s : set) {
+        EXPECT_EQ(s.image.width(), 32);
+        EXPECT_EQ(s.image.height(), 32);
+        EXPECT_EQ(s.image.channels(), 3);
+        EXPECT_GE(s.label, 0);
+        EXPECT_LT(s.label, 10);
+    }
+}
+
+TEST(CifarLike, IntraClassCloserThanInterClassInKeySpace)
+{
+    // The property Potluck relies on: same-class images have closer
+    // Downsamp keys than different-class images, on average.
+    Rng rng(2);
+    CifarLikeOptions opt;
+    DownsampleExtractor extractor(16, 16, true);
+    double intra = 0.0, inter = 0.0;
+    int n = 10;
+    for (int i = 0; i < n; ++i) {
+        Image a0 = drawCifarLikeImage(rng, 3, opt);
+        Image a1 = drawCifarLikeImage(rng, 3, opt);
+        Image b = drawCifarLikeImage(rng, 7, opt);
+        intra += distance(extractor.extract(a0), extractor.extract(a1));
+        inter += distance(extractor.extract(a0), extractor.extract(b));
+    }
+    EXPECT_LT(intra, inter);
+}
+
+TEST(CifarLike, DeterministicGivenSeed)
+{
+    Rng r1(42), r2(42);
+    CifarLikeOptions opt;
+    EXPECT_EQ(drawCifarLikeImage(r1, 5, opt), drawCifarLikeImage(r2, 5, opt));
+}
+
+TEST(MnistLike, ShapeAndGreyscale)
+{
+    Rng rng(3);
+    auto set = makeMnistLike(rng, 2);
+    EXPECT_EQ(set.size(), 20u);
+    for (const auto &s : set) {
+        EXPECT_EQ(s.image.width(), 28);
+        EXPECT_EQ(s.image.channels(), 1);
+    }
+}
+
+TEST(MnistLike, DigitsDistinguishableByKey)
+{
+    Rng rng(4);
+    MnistLikeOptions opt;
+    DownsampleExtractor extractor(14, 14, true);
+    // Two 1s are closer than a 1 and an 8 (maximally different
+    // glyphs; adjacent digits like 3 vs 8 legitimately overlap under
+    // heavy jitter, as they do in real MNIST).
+    double intra = 0.0, inter = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        Image a0 = drawMnistLikeImage(rng, 1, opt);
+        Image a1 = drawMnistLikeImage(rng, 1, opt);
+        Image b = drawMnistLikeImage(rng, 8, opt);
+        intra += distance(extractor.extract(a0), extractor.extract(a1));
+        inter += distance(extractor.extract(a0), extractor.extract(b));
+    }
+    EXPECT_LT(intra, inter);
+}
+
+// ---------- Video feed ----------
+
+TEST(Video, FramesHaveRequestedGeometry)
+{
+    VideoOptions opt;
+    opt.frame_width = 80;
+    opt.frame_height = 60;
+    VideoFeed feed(1, opt);
+    Image frame = feed.nextFrame();
+    EXPECT_EQ(frame.width(), 80);
+    EXPECT_EQ(frame.height(), 60);
+    EXPECT_EQ(frame.channels(), 3);
+}
+
+TEST(Video, ConsecutiveFramesAreCorrelated)
+{
+    // Adjacent frames differ less than distant frames: the temporal
+    // correlation of Section 2.2.
+    auto frames = captureFrames(7, 30);
+    double adjacent = meanAbsDiff(frames[10], frames[11]);
+    double distant = meanAbsDiff(frames[10], frames[29]);
+    EXPECT_LT(adjacent, distant);
+}
+
+TEST(Video, SceneCutBreaksCorrelation)
+{
+    VideoOptions opt;
+    opt.scene_cut_every = 10;
+    VideoFeed feed(9, opt);
+    std::vector<Image> frames;
+    for (int i = 0; i < 12; ++i)
+        frames.push_back(feed.nextFrame());
+    EXPECT_EQ(feed.sceneIndex(), 1);
+    double within = meanAbsDiff(frames[7], frames[8]);
+    double across = meanAbsDiff(frames[9], frames[10]); // cut at 10
+    EXPECT_LT(within, across);
+}
+
+TEST(Video, DeterministicGivenSeed)
+{
+    auto a = captureFrames(33, 5);
+    auto b = captureFrames(33, 5);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+// ---------- Trace harness ----------
+
+TEST(Trace, WorkloadCostsSpanRange)
+{
+    Rng rng(5);
+    auto workloads = makeWorkloads(rng);
+    EXPECT_EQ(workloads.size(), 100u);
+    EXPECT_LT(workloads.front().compute_ms, 2.0);
+    EXPECT_GT(workloads.back().compute_ms, 8000.0);
+}
+
+TEST(Trace, UniformTraceCoversWorkloads)
+{
+    Rng rng(6);
+    auto workloads = makeWorkloads(rng, 20);
+    auto trace = makeTrace(rng, workloads, PopularityModel::Uniform, 2000);
+    EXPECT_EQ(trace.size(), 2000u);
+    std::vector<int> counts(20, 0);
+    for (int id : trace)
+        ++counts[id];
+    for (int c : counts)
+        EXPECT_GT(c, 50); // each of 20 workloads ~100 expected
+}
+
+TEST(Trace, ExponentialTraceIsSkewed)
+{
+    Rng rng(7);
+    auto workloads = makeWorkloads(rng, 50);
+    auto trace = makeTrace(rng, workloads, PopularityModel::Exponential,
+                           5000);
+    std::vector<int> counts(50, 0);
+    for (int id : trace)
+        ++counts[id];
+    std::sort(counts.begin(), counts.end(), std::greater<int>());
+    // The head workload dominates the tail.
+    EXPECT_GT(counts[0], counts[25] * 3);
+}
+
+TEST(Trace, FullCacheEliminatesRepeatCost)
+{
+    Rng rng(8);
+    auto workloads = makeWorkloads(rng, 10, 1.0, 10.0);
+    auto trace = makeTrace(rng, workloads, PopularityModel::Uniform, 500);
+    ReplayResult r = replayTrace(workloads, trace, 1.0,
+                                 EvictionKind::Importance);
+    // With capacity for the whole working set, only first-touch
+    // misses remain: 10 of 500 requests.
+    EXPECT_EQ(r.misses, 10u);
+    EXPECT_LT(r.missCostFraction(), 0.2);
+}
+
+TEST(Trace, ImportanceBeatsRandomOnExponential)
+{
+    Rng rng(9);
+    auto workloads = makeWorkloads(rng, 50);
+    auto trace = makeTrace(rng, workloads, PopularityModel::Exponential,
+                           3000);
+    double importance =
+        replayTrace(workloads, trace, 0.2, EvictionKind::Importance)
+            .missCostFraction();
+    double random = replayTrace(workloads, trace, 0.2, EvictionKind::Random)
+                        .missCostFraction();
+    EXPECT_LT(importance, random);
+}
+
+// ---------- Device model ----------
+
+TEST(Device, ScalesAreCalibrated)
+{
+    EXPECT_DOUBLE_EQ(deviceScale(Device::Pc), 1.0);
+    EXPECT_DOUBLE_EQ(deviceScale(Device::Mobile), 10.0);
+    EXPECT_DOUBLE_EQ(scaleToDevice(5.0, Device::Mobile), 50.0);
+    EXPECT_STREQ(deviceName(Device::Mobile), "mobile");
+}
+
+// ---------- Apps ----------
+
+class AppsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PotluckConfig cfg;
+        cfg.dropout_probability = 0.0;
+        cfg.warmup_entries = 0;
+        service_ = std::make_unique<PotluckService>(cfg, &clock_);
+
+        Rng rng(11);
+        recognizer_ = std::make_shared<TrainedRecognizer>(rng, 10);
+        auto train = makeCifarLike(rng, 6);
+        std::vector<Image> images;
+        std::vector<int> labels;
+        for (auto &s : train) {
+            images.push_back(s.image);
+            labels.push_back(s.label);
+        }
+        recognizer_->train(images, labels, rng, 15);
+    }
+
+    VirtualClock clock_;
+    std::unique_ptr<PotluckService> service_;
+    std::shared_ptr<TrainedRecognizer> recognizer_;
+};
+
+TEST_F(AppsTest, PoseFrameCodecRoundTrip)
+{
+    Pose pose;
+    pose.position = {1, 2, 3};
+    pose.yaw = 0.5;
+    Image frame(8, 6, 3, 99);
+    Value v = encodePoseFrame(pose, frame);
+    Pose out_pose;
+    Image out_frame;
+    decodePoseFrame(v, out_pose, out_frame);
+    EXPECT_EQ(out_frame, frame);
+    EXPECT_NEAR(out_pose.position.x, 1, 1e-6);
+    EXPECT_NEAR(out_pose.yaw, 0.5, 1e-6);
+}
+
+TEST_F(AppsTest, RecognitionAppCachesRepeatFrames)
+{
+    ImageRecognitionApp app(*service_, recognizer_);
+    Rng rng(12);
+    Image frame = drawCifarLikeImage(rng, 4, CifarLikeOptions{});
+
+    AppOutcome first = app.process(frame);
+    EXPECT_FALSE(first.cache_hit);
+    AppOutcome second = app.process(frame);
+    EXPECT_TRUE(second.cache_hit);
+    EXPECT_EQ(second.label, first.label);
+    EXPECT_EQ(first.label, app.processNative(frame));
+}
+
+TEST_F(AppsTest, ArLocationAppWarpsFromCache)
+{
+    Camera camera(64, 48);
+    ArLocationApp app(*service_, {makeCube(1.0)}, camera);
+    Pose pose;
+    AppOutcome first = app.process(pose);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_EQ(first.frame.width(), 64);
+
+    // Loosen the threshold (as the tuner would after warm-up) so the
+    // nearby pose hits.
+    service_->setThreshold(functions::kRenderScene, keytypes::kPose, 0.1);
+    Pose near = pose;
+    near.position.x += 0.02;
+    AppOutcome second = app.process(near);
+    EXPECT_TRUE(second.cache_hit);
+    // The warped frame approximates a native render at the new pose.
+    Image native = app.processNative(near);
+    EXPECT_LT(meanAbsDiff(second.frame, native), 25.0);
+}
+
+TEST_F(AppsTest, CrossAppSharingRecognitionResults)
+{
+    ImageRecognitionApp lens(*service_, recognizer_, "lens");
+    Camera camera(64, 48);
+    ArCvApp ar(*service_, recognizer_, camera, "ar_nav");
+
+    Rng rng(13);
+    Image frame = drawCifarLikeImage(rng, 2, CifarLikeOptions{});
+
+    // The lens app computes recognition; the AR app's recognition
+    // stage must then hit the shared cache entry.
+    lens.process(frame);
+    uint64_t hits_before = service_->stats().hits;
+    ar.process(frame, Pose{});
+    EXPECT_GT(service_->stats().hits, hits_before);
+}
+
+TEST_F(AppsTest, ArCvNativeMatchesPotluckLabels)
+{
+    Camera camera(64, 48);
+    ArCvApp ar(*service_, recognizer_, camera);
+    Rng rng(14);
+    Image frame = drawCifarLikeImage(rng, 6, CifarLikeOptions{});
+    AppOutcome cached = ar.process(frame, Pose{});
+    AppOutcome native = ar.processNative(frame, Pose{});
+    EXPECT_EQ(cached.label, native.label);
+    EXPECT_EQ(cached.frame.width(), camera.width());
+}
+
+// ---------- FlashBack emulation ----------
+
+TEST(FlashBack, MemoizesWithinThreshold)
+{
+    Camera camera(64, 48);
+    FlashBackRenderer fb(camera, 0.25);
+    Rasterizer rasterizer(1);
+    std::vector<Mesh> scene = {makeCube(1.0)};
+    auto render = [&](const Pose &p) {
+        return rasterizer.render(camera, p, scene);
+    };
+
+    Pose pose;
+    auto first = fb.render(pose, render);
+    EXPECT_FALSE(first.memo_hit);
+    Pose near = pose;
+    near.position.x += 0.05;
+    auto second = fb.render(near, render);
+    EXPECT_TRUE(second.memo_hit);
+    EXPECT_EQ(fb.memoSize(), 1u);
+
+    Pose far = pose;
+    far.position.x += 5.0;
+    auto third = fb.render(far, render);
+    EXPECT_FALSE(third.memo_hit);
+    EXPECT_EQ(fb.memoSize(), 2u);
+}
+
+TEST(FlashBack, ExactThresholdBoundaryIsAHit)
+{
+    Camera camera(32, 24);
+    FlashBackRenderer fb(camera, 0.25);
+    Rasterizer rasterizer(1);
+    std::vector<Mesh> scene = {makeCube(1.0)};
+    auto render = [&](const Pose &p) {
+        return rasterizer.render(camera, p, scene);
+    };
+    Pose pose;
+    fb.render(pose, render);
+    Pose boundary = pose;
+    boundary.position.x += 0.25; // exactly the threshold
+    EXPECT_TRUE(fb.render(boundary, render).memo_hit);
+    Pose beyond = pose;
+    beyond.position.x += 0.2501;
+    EXPECT_FALSE(fb.render(beyond, render).memo_hit);
+}
+
+TEST(FlashBack, NoCrossInstanceSharing)
+{
+    Camera camera(32, 24);
+    FlashBackRenderer fb_a(camera), fb_b(camera);
+    Rasterizer rasterizer(1);
+    std::vector<Mesh> scene = {makeCube(1.0)};
+    auto render = [&](const Pose &p) {
+        return rasterizer.render(camera, p, scene);
+    };
+    fb_a.render(Pose{}, render);
+    // A different app instance must start cold (unlike Potluck).
+    auto r = fb_b.render(Pose{}, render);
+    EXPECT_FALSE(r.memo_hit);
+}
+
+} // namespace
+} // namespace potluck

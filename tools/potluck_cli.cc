@@ -1,0 +1,152 @@
+/**
+ * @file
+ * potluck_cli: poke a running potluckd from the shell.
+ *
+ * Usage:
+ *   potluck_cli [--socket PATH] register FUNCTION KEYTYPE [metric] [index]
+ *   potluck_cli [--socket PATH] put FUNCTION KEYTYPE K1,K2,... VALUE
+ *   potluck_cli [--socket PATH] get FUNCTION KEYTYPE K1,K2,...
+ *   potluck_cli [--socket PATH] stats
+ *
+ * Keys are comma-separated floats; values are stored/printed as
+ * strings. Exit status: 0 on hit/success, 2 on miss.
+ *
+ * Note: each invocation registers as a fresh application, which (per
+ * Section 4.3) resets the similarity thresholds — so CLI lookups are
+ * exact-match unless the daemon's tuner has re-loosened since. This is
+ * a debugging tool, not a performance path.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ipc/client.h"
+#include "util/stringutil.h"
+
+using namespace potluck;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage:\n"
+                 "  potluck_cli [--socket PATH] register FN KEYTYPE "
+                 "[l2|l1|cosine|hamming] [kdtree|lsh|linear|hash|tree]\n"
+                 "  potluck_cli [--socket PATH] put FN KEYTYPE K1,K2,.. "
+                 "VALUE\n"
+                 "  potluck_cli [--socket PATH] get FN KEYTYPE K1,K2,..\n"
+                 "  potluck_cli [--socket PATH] stats\n";
+    std::exit(1);
+}
+
+FeatureVector
+parseKey(const std::string &csv)
+{
+    std::vector<float> values;
+    for (const std::string &field : split(csv, ','))
+        values.push_back(std::stof(field));
+    if (values.empty())
+        usage();
+    return FeatureVector(std::move(values));
+}
+
+Metric
+parseMetric(const std::string &s)
+{
+    if (s == "l2")
+        return Metric::L2;
+    if (s == "l1")
+        return Metric::L1;
+    if (s == "cosine")
+        return Metric::Cosine;
+    if (s == "hamming")
+        return Metric::Hamming;
+    usage();
+}
+
+IndexKind
+parseIndexKind(const std::string &s)
+{
+    if (s == "kdtree")
+        return IndexKind::KdTree;
+    if (s == "lsh")
+        return IndexKind::Lsh;
+    if (s == "linear")
+        return IndexKind::Linear;
+    if (s == "hash")
+        return IndexKind::Hash;
+    if (s == "tree")
+        return IndexKind::Tree;
+    usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = "/tmp/potluck.sock";
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() >= 2 && args[0] == "--socket") {
+        socket_path = args[1];
+        args.erase(args.begin(), args.begin() + 2);
+    }
+    if (args.empty())
+        usage();
+
+    try {
+        PotluckClient client("potluck_cli", socket_path);
+        const std::string &cmd = args[0];
+        if (cmd == "register" && args.size() >= 3) {
+            Metric metric =
+                args.size() >= 4 ? parseMetric(args[3]) : Metric::L2;
+            IndexKind kind = args.size() >= 5 ? parseIndexKind(args[4])
+                                              : IndexKind::KdTree;
+            client.registerFunction(args[1], args[2], metric, kind);
+            std::cout << "registered " << args[1] << "/" << args[2] << "\n";
+            return 0;
+        }
+        if (cmd == "put" && args.size() == 5) {
+            client.registerFunction(args[1], args[2]);
+            EntryId id = client.put(args[1], args[2], parseKey(args[3]),
+                                    encodeString(args[4]));
+            std::cout << "stored entry " << id << "\n";
+            return 0;
+        }
+        if (cmd == "get" && args.size() == 4) {
+            client.registerFunction(args[1], args[2]);
+            LookupResult r =
+                client.lookup(args[1], args[2], parseKey(args[3]));
+            if (r.dropped) {
+                std::cout << "DROPPED (forced recomputation)\n";
+                return 2;
+            }
+            if (!r.hit) {
+                std::cout << "MISS\n";
+                return 2;
+            }
+            std::cout << "HIT: " << decodeString(r.value) << "\n";
+            return 0;
+        }
+        if (cmd == "stats" && args.size() == 1) {
+            auto remote = client.fetchStats();
+            std::cout << "entries:     " << remote.num_entries << "\n"
+                      << "bytes:       " << formatBytes(remote.total_bytes)
+                      << "\n"
+                      << "lookups:     " << remote.stats.lookups << "\n"
+                      << "hits:        " << remote.stats.hits << "\n"
+                      << "misses:      " << remote.stats.misses << "\n"
+                      << "dropouts:    " << remote.stats.dropouts << "\n"
+                      << "puts:        " << remote.stats.puts << "\n"
+                      << "evictions:   " << remote.stats.evictions << "\n"
+                      << "expirations: " << remote.stats.expirations << "\n";
+            return 0;
+        }
+        usage();
+    } catch (const FatalError &e) {
+        std::cerr << "potluck_cli: " << e.what() << std::endl;
+        return 1;
+    }
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * potluckd: the Potluck deduplication service as a standalone daemon —
+ * what the paper's Android background service becomes on a desktop.
+ * Serves the Request/Reply protocol on a Unix socket, runs the expiry
+ * manager thread, and prints periodic stats until interrupted.
+ *
+ * Usage:
+ *   potluckd [--socket PATH] [--max-entries N] [--max-mb N]
+ *            [--dropout P] [--ttl-sec N] [--eviction importance|lru|random]
+ *            [--reputation] [--stats-sec N] [--snapshot PATH]
+ *
+ * With --snapshot, the cache is restored from PATH at startup (if the
+ * file exists) and saved back on clean shutdown — the "secondary flash
+ * storage" layer of the paper's architecture figure.
+ */
+#include <csignal>
+#include <fstream>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/cache_manager.h"
+#include "core/persistence.h"
+#include "core/potluck_service.h"
+#include "ipc/server.h"
+#include "util/stringutil.h"
+
+using namespace potluck;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: potluckd [--socket PATH] [--max-entries N] [--max-mb N]\n"
+           "                [--dropout P] [--ttl-sec N]\n"
+           "                [--eviction importance|lru|random]\n"
+           "                [--reputation] [--stats-sec N]\n"
+           "                [--snapshot PATH]\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = "/tmp/potluck.sock";
+    std::string snapshot_path;
+    int stats_sec = 30;
+    PotluckConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socket_path = next();
+        } else if (arg == "--max-entries") {
+            config.max_entries = std::stoull(next());
+        } else if (arg == "--max-mb") {
+            config.max_bytes = std::stoull(next()) * 1024 * 1024;
+        } else if (arg == "--dropout") {
+            config.dropout_probability = std::stod(next());
+        } else if (arg == "--ttl-sec") {
+            config.default_ttl_us = std::stoull(next()) * 1000000ULL;
+        } else if (arg == "--eviction") {
+            std::string kind = next();
+            if (kind == "importance")
+                config.eviction = EvictionKind::Importance;
+            else if (kind == "lru")
+                config.eviction = EvictionKind::Lru;
+            else if (kind == "random")
+                config.eviction = EvictionKind::Random;
+            else
+                usage();
+        } else if (arg == "--reputation") {
+            config.enable_reputation = true;
+        } else if (arg == "--stats-sec") {
+            stats_sec = std::stoi(next());
+        } else if (arg == "--snapshot") {
+            snapshot_path = next();
+        } else {
+            usage();
+        }
+    }
+
+    try {
+        PotluckService service(config);
+        if (!snapshot_path.empty()) {
+            std::ifstream probe(snapshot_path);
+            if (probe.good()) {
+                size_t restored = loadSnapshot(service, snapshot_path);
+                std::cout << "potluckd: restored " << restored
+                          << " entries from " << snapshot_path << std::endl;
+            }
+        }
+        CacheManager manager(service);
+        PotluckServer server(service, socket_path);
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::cout << "potluckd: serving on " << socket_path << " ("
+                  << (config.max_bytes
+                          ? formatBytes(config.max_bytes)
+                          : std::string("unbounded"))
+                  << " cache, dropout " << config.dropout_probability
+                  << ")" << std::endl;
+
+        int elapsed = 0;
+        while (!g_stop) {
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+            if (stats_sec > 0 && ++elapsed >= stats_sec) {
+                elapsed = 0;
+                ServiceStats stats = service.stats();
+                std::cout << "potluckd: " << service.numEntries()
+                          << " entries / " << formatBytes(service.totalBytes())
+                          << "; lookups=" << stats.lookups
+                          << " hits=" << stats.hits
+                          << " puts=" << stats.puts
+                          << " evictions=" << stats.evictions
+                          << " expirations=" << stats.expirations
+                          << std::endl;
+            }
+        }
+        if (!snapshot_path.empty()) {
+            size_t written = saveSnapshot(service, snapshot_path);
+            std::cout << "potluckd: saved " << written << " entries to "
+                      << snapshot_path << std::endl;
+        }
+        std::cout << "potluckd: shutting down" << std::endl;
+        return 0;
+    } catch (const FatalError &e) {
+        std::cerr << "potluckd: " << e.what() << std::endl;
+        return 1;
+    }
+}
