@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_ar_render.dir/bench_fig10b_ar_render.cc.o"
+  "CMakeFiles/bench_fig10b_ar_render.dir/bench_fig10b_ar_render.cc.o.d"
+  "bench_fig10b_ar_render"
+  "bench_fig10b_ar_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_ar_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_threshold_decay.
+# This may be replaced when dependencies are built.

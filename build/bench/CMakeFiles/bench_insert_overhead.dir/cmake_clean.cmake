@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_insert_overhead.dir/bench_insert_overhead.cc.o"
+  "CMakeFiles/bench_insert_overhead.dir/bench_insert_overhead.cc.o.d"
+  "bench_insert_overhead"
+  "bench_insert_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_insert_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_keygen.dir/bench_table1_keygen.cc.o"
+  "CMakeFiles/bench_table1_keygen.dir/bench_table1_keygen.cc.o.d"
+  "bench_table1_keygen"
+  "bench_table1_keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_navigation.dir/ar_navigation.cpp.o"
+  "CMakeFiles/ar_navigation.dir/ar_navigation.cpp.o.d"
+  "ar_navigation"
+  "ar_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

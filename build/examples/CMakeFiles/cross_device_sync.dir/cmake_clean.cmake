@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_device_sync.dir/cross_device_sync.cpp.o"
+  "CMakeFiles/cross_device_sync.dir/cross_device_sync.cpp.o.d"
+  "cross_device_sync"
+  "cross_device_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_device_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

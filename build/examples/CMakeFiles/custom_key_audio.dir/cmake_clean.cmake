@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_key_audio.dir/custom_key_audio.cpp.o"
+  "CMakeFiles/custom_key_audio.dir/custom_key_audio.cpp.o.d"
+  "custom_key_audio"
+  "custom_key_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_key_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

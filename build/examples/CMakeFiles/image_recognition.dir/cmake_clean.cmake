@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_recognition.dir/image_recognition.cpp.o"
+  "CMakeFiles/image_recognition.dir/image_recognition.cpp.o.d"
+  "image_recognition"
+  "image_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_sharing.dir/location_sharing.cpp.o"
+  "CMakeFiles/location_sharing.dir/location_sharing.cpp.o.d"
+  "location_sharing"
+  "location_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

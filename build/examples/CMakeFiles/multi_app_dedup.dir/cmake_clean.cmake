@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_app_dedup.dir/multi_app_dedup.cpp.o"
+  "CMakeFiles/multi_app_dedup.dir/multi_app_dedup.cpp.o.d"
+  "multi_app_dedup"
+  "multi_app_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_app_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_listener.cc" "src/core/CMakeFiles/potluck_core.dir/app_listener.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/app_listener.cc.o.d"
+  "/root/repo/src/core/cache_entry.cc" "src/core/CMakeFiles/potluck_core.dir/cache_entry.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/cache_entry.cc.o.d"
+  "/root/repo/src/core/cache_manager.cc" "src/core/CMakeFiles/potluck_core.dir/cache_manager.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/cache_manager.cc.o.d"
+  "/root/repo/src/core/data_storage.cc" "src/core/CMakeFiles/potluck_core.dir/data_storage.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/data_storage.cc.o.d"
+  "/root/repo/src/core/eviction.cc" "src/core/CMakeFiles/potluck_core.dir/eviction.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/eviction.cc.o.d"
+  "/root/repo/src/core/function_table.cc" "src/core/CMakeFiles/potluck_core.dir/function_table.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/function_table.cc.o.d"
+  "/root/repo/src/core/hash_index.cc" "src/core/CMakeFiles/potluck_core.dir/hash_index.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/hash_index.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/core/CMakeFiles/potluck_core.dir/index.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/index.cc.o.d"
+  "/root/repo/src/core/kd_tree_index.cc" "src/core/CMakeFiles/potluck_core.dir/kd_tree_index.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/kd_tree_index.cc.o.d"
+  "/root/repo/src/core/linear_index.cc" "src/core/CMakeFiles/potluck_core.dir/linear_index.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/linear_index.cc.o.d"
+  "/root/repo/src/core/lsh_index.cc" "src/core/CMakeFiles/potluck_core.dir/lsh_index.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/lsh_index.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/potluck_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/potluck_service.cc" "src/core/CMakeFiles/potluck_core.dir/potluck_service.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/potluck_service.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/core/CMakeFiles/potluck_core.dir/replication.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/replication.cc.o.d"
+  "/root/repo/src/core/reputation.cc" "src/core/CMakeFiles/potluck_core.dir/reputation.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/reputation.cc.o.d"
+  "/root/repo/src/core/threshold_tuner.cc" "src/core/CMakeFiles/potluck_core.dir/threshold_tuner.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/threshold_tuner.cc.o.d"
+  "/root/repo/src/core/tree_index.cc" "src/core/CMakeFiles/potluck_core.dir/tree_index.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/tree_index.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/core/CMakeFiles/potluck_core.dir/value.cc.o" "gcc" "src/core/CMakeFiles/potluck_core.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/potluck_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/potluck_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/potluck_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

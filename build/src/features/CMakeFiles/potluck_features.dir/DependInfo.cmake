@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/brief.cc" "src/features/CMakeFiles/potluck_features.dir/brief.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/brief.cc.o.d"
+  "/root/repo/src/features/colorhist.cc" "src/features/CMakeFiles/potluck_features.dir/colorhist.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/colorhist.cc.o.d"
+  "/root/repo/src/features/downsample.cc" "src/features/CMakeFiles/potluck_features.dir/downsample.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/downsample.cc.o.d"
+  "/root/repo/src/features/extractor.cc" "src/features/CMakeFiles/potluck_features.dir/extractor.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/extractor.cc.o.d"
+  "/root/repo/src/features/fast.cc" "src/features/CMakeFiles/potluck_features.dir/fast.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/fast.cc.o.d"
+  "/root/repo/src/features/feature_vector.cc" "src/features/CMakeFiles/potluck_features.dir/feature_vector.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/feature_vector.cc.o.d"
+  "/root/repo/src/features/harris.cc" "src/features/CMakeFiles/potluck_features.dir/harris.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/harris.cc.o.d"
+  "/root/repo/src/features/hog.cc" "src/features/CMakeFiles/potluck_features.dir/hog.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/hog.cc.o.d"
+  "/root/repo/src/features/mfcc.cc" "src/features/CMakeFiles/potluck_features.dir/mfcc.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/mfcc.cc.o.d"
+  "/root/repo/src/features/pca.cc" "src/features/CMakeFiles/potluck_features.dir/pca.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/pca.cc.o.d"
+  "/root/repo/src/features/phash.cc" "src/features/CMakeFiles/potluck_features.dir/phash.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/phash.cc.o.d"
+  "/root/repo/src/features/sift.cc" "src/features/CMakeFiles/potluck_features.dir/sift.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/sift.cc.o.d"
+  "/root/repo/src/features/surf.cc" "src/features/CMakeFiles/potluck_features.dir/surf.cc.o" "gcc" "src/features/CMakeFiles/potluck_features.dir/surf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/potluck_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/potluck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

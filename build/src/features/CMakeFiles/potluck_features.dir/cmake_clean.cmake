@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluck_features.dir/brief.cc.o"
+  "CMakeFiles/potluck_features.dir/brief.cc.o.d"
+  "CMakeFiles/potluck_features.dir/colorhist.cc.o"
+  "CMakeFiles/potluck_features.dir/colorhist.cc.o.d"
+  "CMakeFiles/potluck_features.dir/downsample.cc.o"
+  "CMakeFiles/potluck_features.dir/downsample.cc.o.d"
+  "CMakeFiles/potluck_features.dir/extractor.cc.o"
+  "CMakeFiles/potluck_features.dir/extractor.cc.o.d"
+  "CMakeFiles/potluck_features.dir/fast.cc.o"
+  "CMakeFiles/potluck_features.dir/fast.cc.o.d"
+  "CMakeFiles/potluck_features.dir/feature_vector.cc.o"
+  "CMakeFiles/potluck_features.dir/feature_vector.cc.o.d"
+  "CMakeFiles/potluck_features.dir/harris.cc.o"
+  "CMakeFiles/potluck_features.dir/harris.cc.o.d"
+  "CMakeFiles/potluck_features.dir/hog.cc.o"
+  "CMakeFiles/potluck_features.dir/hog.cc.o.d"
+  "CMakeFiles/potluck_features.dir/mfcc.cc.o"
+  "CMakeFiles/potluck_features.dir/mfcc.cc.o.d"
+  "CMakeFiles/potluck_features.dir/pca.cc.o"
+  "CMakeFiles/potluck_features.dir/pca.cc.o.d"
+  "CMakeFiles/potluck_features.dir/phash.cc.o"
+  "CMakeFiles/potluck_features.dir/phash.cc.o.d"
+  "CMakeFiles/potluck_features.dir/sift.cc.o"
+  "CMakeFiles/potluck_features.dir/sift.cc.o.d"
+  "CMakeFiles/potluck_features.dir/surf.cc.o"
+  "CMakeFiles/potluck_features.dir/surf.cc.o.d"
+  "libpotluck_features.a"
+  "libpotluck_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluck_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpotluck_features.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/img/draw.cc" "src/img/CMakeFiles/potluck_img.dir/draw.cc.o" "gcc" "src/img/CMakeFiles/potluck_img.dir/draw.cc.o.d"
+  "/root/repo/src/img/image.cc" "src/img/CMakeFiles/potluck_img.dir/image.cc.o" "gcc" "src/img/CMakeFiles/potluck_img.dir/image.cc.o.d"
+  "/root/repo/src/img/image_io.cc" "src/img/CMakeFiles/potluck_img.dir/image_io.cc.o" "gcc" "src/img/CMakeFiles/potluck_img.dir/image_io.cc.o.d"
+  "/root/repo/src/img/integral.cc" "src/img/CMakeFiles/potluck_img.dir/integral.cc.o" "gcc" "src/img/CMakeFiles/potluck_img.dir/integral.cc.o.d"
+  "/root/repo/src/img/transform.cc" "src/img/CMakeFiles/potluck_img.dir/transform.cc.o" "gcc" "src/img/CMakeFiles/potluck_img.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/potluck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

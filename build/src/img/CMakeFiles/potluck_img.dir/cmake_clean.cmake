@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluck_img.dir/draw.cc.o"
+  "CMakeFiles/potluck_img.dir/draw.cc.o.d"
+  "CMakeFiles/potluck_img.dir/image.cc.o"
+  "CMakeFiles/potluck_img.dir/image.cc.o.d"
+  "CMakeFiles/potluck_img.dir/image_io.cc.o"
+  "CMakeFiles/potluck_img.dir/image_io.cc.o.d"
+  "CMakeFiles/potluck_img.dir/integral.cc.o"
+  "CMakeFiles/potluck_img.dir/integral.cc.o.d"
+  "CMakeFiles/potluck_img.dir/transform.cc.o"
+  "CMakeFiles/potluck_img.dir/transform.cc.o.d"
+  "libpotluck_img.a"
+  "libpotluck_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluck_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluck_ipc.dir/client.cc.o"
+  "CMakeFiles/potluck_ipc.dir/client.cc.o.d"
+  "CMakeFiles/potluck_ipc.dir/message.cc.o"
+  "CMakeFiles/potluck_ipc.dir/message.cc.o.d"
+  "CMakeFiles/potluck_ipc.dir/server.cc.o"
+  "CMakeFiles/potluck_ipc.dir/server.cc.o.d"
+  "CMakeFiles/potluck_ipc.dir/transport.cc.o"
+  "CMakeFiles/potluck_ipc.dir/transport.cc.o.d"
+  "libpotluck_ipc.a"
+  "libpotluck_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluck_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

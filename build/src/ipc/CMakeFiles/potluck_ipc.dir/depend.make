@@ -1,0 +1,2 @@
+# Empty dependencies file for potluck_ipc.
+# This may be replaced when dependencies are built.

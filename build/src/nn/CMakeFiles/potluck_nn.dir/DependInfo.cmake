@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/alexnet.cc" "src/nn/CMakeFiles/potluck_nn.dir/alexnet.cc.o" "gcc" "src/nn/CMakeFiles/potluck_nn.dir/alexnet.cc.o.d"
+  "/root/repo/src/nn/classifier.cc" "src/nn/CMakeFiles/potluck_nn.dir/classifier.cc.o" "gcc" "src/nn/CMakeFiles/potluck_nn.dir/classifier.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/potluck_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/potluck_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/potluck_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/potluck_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/potluck_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/potluck_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/potluck_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/potluck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

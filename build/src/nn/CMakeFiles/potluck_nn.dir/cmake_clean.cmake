@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluck_nn.dir/alexnet.cc.o"
+  "CMakeFiles/potluck_nn.dir/alexnet.cc.o.d"
+  "CMakeFiles/potluck_nn.dir/classifier.cc.o"
+  "CMakeFiles/potluck_nn.dir/classifier.cc.o.d"
+  "CMakeFiles/potluck_nn.dir/layers.cc.o"
+  "CMakeFiles/potluck_nn.dir/layers.cc.o.d"
+  "CMakeFiles/potluck_nn.dir/network.cc.o"
+  "CMakeFiles/potluck_nn.dir/network.cc.o.d"
+  "CMakeFiles/potluck_nn.dir/tensor.cc.o"
+  "CMakeFiles/potluck_nn.dir/tensor.cc.o.d"
+  "libpotluck_nn.a"
+  "libpotluck_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluck_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

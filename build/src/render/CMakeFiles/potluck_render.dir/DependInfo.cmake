@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/camera.cc" "src/render/CMakeFiles/potluck_render.dir/camera.cc.o" "gcc" "src/render/CMakeFiles/potluck_render.dir/camera.cc.o.d"
+  "/root/repo/src/render/mesh.cc" "src/render/CMakeFiles/potluck_render.dir/mesh.cc.o" "gcc" "src/render/CMakeFiles/potluck_render.dir/mesh.cc.o.d"
+  "/root/repo/src/render/rasterizer.cc" "src/render/CMakeFiles/potluck_render.dir/rasterizer.cc.o" "gcc" "src/render/CMakeFiles/potluck_render.dir/rasterizer.cc.o.d"
+  "/root/repo/src/render/vec.cc" "src/render/CMakeFiles/potluck_render.dir/vec.cc.o" "gcc" "src/render/CMakeFiles/potluck_render.dir/vec.cc.o.d"
+  "/root/repo/src/render/warp.cc" "src/render/CMakeFiles/potluck_render.dir/warp.cc.o" "gcc" "src/render/CMakeFiles/potluck_render.dir/warp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/potluck_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/potluck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluck_render.dir/camera.cc.o"
+  "CMakeFiles/potluck_render.dir/camera.cc.o.d"
+  "CMakeFiles/potluck_render.dir/mesh.cc.o"
+  "CMakeFiles/potluck_render.dir/mesh.cc.o.d"
+  "CMakeFiles/potluck_render.dir/rasterizer.cc.o"
+  "CMakeFiles/potluck_render.dir/rasterizer.cc.o.d"
+  "CMakeFiles/potluck_render.dir/vec.cc.o"
+  "CMakeFiles/potluck_render.dir/vec.cc.o.d"
+  "CMakeFiles/potluck_render.dir/warp.cc.o"
+  "CMakeFiles/potluck_render.dir/warp.cc.o.d"
+  "libpotluck_render.a"
+  "libpotluck_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluck_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluck_util.dir/clock.cc.o"
+  "CMakeFiles/potluck_util.dir/clock.cc.o.d"
+  "CMakeFiles/potluck_util.dir/logging.cc.o"
+  "CMakeFiles/potluck_util.dir/logging.cc.o.d"
+  "CMakeFiles/potluck_util.dir/rng.cc.o"
+  "CMakeFiles/potluck_util.dir/rng.cc.o.d"
+  "CMakeFiles/potluck_util.dir/stats.cc.o"
+  "CMakeFiles/potluck_util.dir/stats.cc.o.d"
+  "CMakeFiles/potluck_util.dir/stringutil.cc.o"
+  "CMakeFiles/potluck_util.dir/stringutil.cc.o.d"
+  "CMakeFiles/potluck_util.dir/thread_pool.cc.o"
+  "CMakeFiles/potluck_util.dir/thread_pool.cc.o.d"
+  "libpotluck_util.a"
+  "libpotluck_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluck_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cc" "src/workload/CMakeFiles/potluck_workload.dir/apps.cc.o" "gcc" "src/workload/CMakeFiles/potluck_workload.dir/apps.cc.o.d"
+  "/root/repo/src/workload/context.cc" "src/workload/CMakeFiles/potluck_workload.dir/context.cc.o" "gcc" "src/workload/CMakeFiles/potluck_workload.dir/context.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/workload/CMakeFiles/potluck_workload.dir/dataset.cc.o" "gcc" "src/workload/CMakeFiles/potluck_workload.dir/dataset.cc.o.d"
+  "/root/repo/src/workload/device.cc" "src/workload/CMakeFiles/potluck_workload.dir/device.cc.o" "gcc" "src/workload/CMakeFiles/potluck_workload.dir/device.cc.o.d"
+  "/root/repo/src/workload/flashback.cc" "src/workload/CMakeFiles/potluck_workload.dir/flashback.cc.o" "gcc" "src/workload/CMakeFiles/potluck_workload.dir/flashback.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/potluck_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/potluck_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/video.cc" "src/workload/CMakeFiles/potluck_workload.dir/video.cc.o" "gcc" "src/workload/CMakeFiles/potluck_workload.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/potluck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/potluck_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/potluck_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/potluck_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/potluck_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/potluck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluck_workload.dir/apps.cc.o"
+  "CMakeFiles/potluck_workload.dir/apps.cc.o.d"
+  "CMakeFiles/potluck_workload.dir/context.cc.o"
+  "CMakeFiles/potluck_workload.dir/context.cc.o.d"
+  "CMakeFiles/potluck_workload.dir/dataset.cc.o"
+  "CMakeFiles/potluck_workload.dir/dataset.cc.o.d"
+  "CMakeFiles/potluck_workload.dir/device.cc.o"
+  "CMakeFiles/potluck_workload.dir/device.cc.o.d"
+  "CMakeFiles/potluck_workload.dir/flashback.cc.o"
+  "CMakeFiles/potluck_workload.dir/flashback.cc.o.d"
+  "CMakeFiles/potluck_workload.dir/trace.cc.o"
+  "CMakeFiles/potluck_workload.dir/trace.cc.o.d"
+  "CMakeFiles/potluck_workload.dir/video.cc.o"
+  "CMakeFiles/potluck_workload.dir/video.cc.o.d"
+  "libpotluck_workload.a"
+  "libpotluck_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluck_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

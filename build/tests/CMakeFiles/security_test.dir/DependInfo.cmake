@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/security_test.cc" "tests/CMakeFiles/security_test.dir/security_test.cc.o" "gcc" "tests/CMakeFiles/security_test.dir/security_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/potluck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/potluck_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/potluck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/potluck_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/potluck_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/potluck_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/potluck_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/potluck_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

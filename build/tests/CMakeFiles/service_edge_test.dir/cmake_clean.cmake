@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_edge_test.dir/service_edge_test.cc.o"
+  "CMakeFiles/service_edge_test.dir/service_edge_test.cc.o.d"
+  "service_edge_test"
+  "service_edge_test.pdb"
+  "service_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

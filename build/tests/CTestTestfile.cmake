@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/img_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/render_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/service_test[1]_include.cmake")
+include("/root/repo/build/tests/ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/context_test[1]_include.cmake")
+include("/root/repo/build/tests/service_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")

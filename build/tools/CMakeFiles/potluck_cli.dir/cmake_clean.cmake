@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluck_cli.dir/potluck_cli.cc.o"
+  "CMakeFiles/potluck_cli.dir/potluck_cli.cc.o.d"
+  "potluck_cli"
+  "potluck_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluck_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/potluckd.dir/potluckd.cc.o"
+  "CMakeFiles/potluckd.dir/potluckd.cc.o.d"
+  "potluckd"
+  "potluckd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/potluckd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
