@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Observability overhead: lookup throughput with hot-path tracing
+ * enabled vs. disabled.
+ *
+ * The obs counters (service.*, fn.*) are always on — they replaced
+ * equally-priced plain increments — so the only optional cost is the
+ * latency spans: two TSC reads per traced section plus a wait-free
+ * histogram record. This bench populates a service with a few thousand
+ * entries and hammers lookup() in both configurations, interleaving
+ * rounds and keeping the best round of each to shave scheduler noise.
+ *
+ * Two workloads:
+ *  - 100 B keys (25 floats): the smallest key size in the paper's
+ *    Table 2 — the representative case the < 5% acceptance bound
+ *    applies to;
+ *  - 8 B keys (2 floats): an adversarial floor where the lookup itself
+ *    is only ~1 us, reported for transparency.
+ *
+ * (With -DPOTLUCK_OBS_TRACING=OFF the spans compile away entirely and
+ * the two columns measure the same code.)
+ */
+#include "bench_common.h"
+
+#include "core/potluck_service.h"
+#include "obs/export.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+using namespace potluck;
+
+namespace {
+
+constexpr size_t kEntries = 4000;
+constexpr size_t kLookups = 100000;
+constexpr int kRounds = 5;
+
+PotluckConfig
+benchConfig(bool tracing)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0; // identical work in both services
+    cfg.warmup_entries = 0;
+    cfg.max_entries = kEntries * 2;
+    cfg.enable_tracing = tracing;
+    return cfg;
+}
+
+FeatureVector
+key(size_t i, size_t dim)
+{
+    std::vector<float> v(dim, 0.0f);
+    v[0] = static_cast<float>(i % 64);
+    v[1 % dim] = static_cast<float>(i / 64);
+    // Fill the tail so distance computations touch every dimension.
+    for (size_t d = 2; d < dim; ++d)
+        v[d] = static_cast<float>((i * (d + 1)) % 17);
+    return FeatureVector(std::move(v));
+}
+
+void
+populate(PotluckService &service, size_t dim)
+{
+    service.registerKeyType(
+        "recognize", KeyTypeConfig{"vec", Metric::L2, IndexKind::KdTree, {}});
+    for (size_t i = 0; i < kEntries; ++i)
+        service.put("recognize", "vec", key(i, dim),
+                    encodeInt(static_cast<int64_t>(i)));
+}
+
+/** One timed round; returns lookups per second. */
+double
+measureRound(PotluckService &service, size_t dim, Rng &rng)
+{
+    uint64_t sink = 0;
+    Stopwatch sw;
+    for (size_t i = 0; i < kLookups; ++i) {
+        size_t target = static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(kEntries) - 1));
+        LookupResult r = service.lookup("bench_app", "recognize", "vec",
+                                        key(target, dim));
+        sink += r.hit;
+    }
+    POTLUCK_ASSERT(sink == kLookups, "expected all exact-key hits");
+    return kLookups / (sw.elapsedUs() / 1e6);
+}
+
+/** Best-of-rounds overhead for one key size; returns overhead %. */
+double
+runWorkload(size_t dim, bench::Table &table)
+{
+    PotluckService traced(benchConfig(true));
+    PotluckService untraced(benchConfig(false));
+    populate(traced, dim);
+    populate(untraced, dim);
+
+    // Interleave rounds and keep each service's best, so a noisy
+    // neighbour or frequency ramp hits both configurations alike; both
+    // configurations replay the identical query sequence each round.
+    double best_on = 0, best_off = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        Rng rng_off(17 + dim + round), rng_on(17 + dim + round);
+        best_off = std::max(best_off, measureRound(untraced, dim, rng_off));
+        best_on = std::max(best_on, measureRound(traced, dim, rng_on));
+    }
+    double overhead = 100.0 * (best_off - best_on) / best_off;
+
+    obs::RegistrySnapshot snap = traced.metrics().snapshot();
+    const obs::HistogramSnapshot *spans =
+        snap.findHistogram("lookup.total_ns");
+    std::string p50 = spans && spans->count
+                          ? obs::formatNs(spans->percentile(50))
+                          : std::string("-");
+    table.cell(static_cast<uint64_t>(dim * sizeof(float)))
+        .cell(best_off, 0)
+        .cell(best_on, 0)
+        .cell(overhead, 2)
+        .cell(p50)
+        .endRow();
+    return overhead;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    bench::banner("obs overhead",
+                  "lookup throughput: tracing spans on vs off",
+                  "< 5% overhead at the paper's 100 B key size "
+                  "(counters always on; spans add two TSC reads per "
+                  "stage)");
+
+    bench::Table table({"key size (B)", "off (lkps/s)", "on (lkps/s)",
+                        "overhead (%)", "traced p50"}, 15);
+    double adversarial = runWorkload(2, table);
+    double representative = runWorkload(25, table);
+
+    std::cout << "\n(8 B keys are an adversarial floor — the whole "
+                 "lookup is ~1 us; the paper's\n Table 2 keys are "
+                 "100-5000 B, where the bound applies)\n";
+    std::cout << "adversarial overhead:    "
+              << formatFixed(adversarial, 2) << "%\n";
+    std::cout << "representative overhead: "
+              << formatFixed(representative, 2) << "%\n";
+    bool pass = representative < 5.0;
+    std::cout << "shape check (overhead < 5% at 100 B keys): "
+              << (pass ? "PASS" : "FAIL") << "\n";
+    return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+#
+# Sanitized build + test gate: configures a separate build tree with
+# POTLUCK_SANITIZE (address by default, pass "thread" for TSan — useful
+# for the lock-free obs counters/histograms), builds everything, and
+# runs the full test suite under the sanitizer.
+#
+# Usage: scripts/check.sh [address|thread|undefined]
+set -euo pipefail
+
+SANITIZER="${1:-address}"
+case "$SANITIZER" in
+address | thread | undefined) ;;
+*)
+    echo "usage: $0 [address|thread|undefined]" >&2
+    exit 1
+    ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-$SANITIZER"
+
+cmake -S "$ROOT" -B "$BUILD" -DPOTLUCK_SANITIZE="$SANITIZER" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: all tests passed under ${SANITIZER} sanitizer"

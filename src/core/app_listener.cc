@@ -77,6 +77,14 @@ AppListener::execute(const Request &request)
         reply.ok = true;
         break;
       }
+      case RequestType::Metrics: {
+        reply.snapshot = service_.metrics().snapshot();
+        reply.stats = service_.stats();
+        reply.num_entries = service_.numEntries();
+        reply.total_bytes = service_.totalBytes();
+        reply.ok = true;
+        break;
+      }
       default:
         reply.ok = false;
         reply.error = "unknown request type";

@@ -31,6 +31,9 @@ enum class RequestType : uint8_t
     Lookup = 3,
     Put = 4,
     Stats = 5,
+    /** kStats: full metrics-registry snapshot (counters, gauges,
+     * latency histograms) for `potluck_cli stats` and dashboards. */
+    Metrics = 6,
 };
 
 /** One application request to the deduplication service. */
@@ -73,6 +76,9 @@ struct Reply
     ServiceStats stats;
     uint64_t num_entries = 0;
     uint64_t total_bytes = 0;
+
+    /** Metrics result: registry snapshot (empty for other verbs). */
+    obs::RegistrySnapshot snapshot;
 };
 
 /** Request executor backed by a thread pool. */

@@ -50,6 +50,17 @@ struct PotluckConfig
     /** Seed for the service's internal randomness (dropout etc.). */
     uint64_t seed = 42;
 
+    /**
+     * Record hot-path latency histograms (POTLUCK_SPAN timings for
+     * lookup/put stages). Counters and gauges are always maintained —
+     * they cost one relaxed atomic increment — but spans read the
+     * clock twice per stage, so latency-critical deployments can turn
+     * them off here (or compile them out with
+     * -DPOTLUCK_OBS_TRACING=OFF). bench_obs_overhead measures the
+     * difference.
+     */
+    bool enable_tracing = true;
+
     /// @name Reputation defense (Section 3.5's Credence-style extension).
     /// @{
     bool enable_reputation = false;

@@ -15,6 +15,8 @@
 
 #include "core/index.h"
 #include "core/threshold_tuner.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 
 namespace potluck {
 
@@ -70,6 +72,18 @@ struct KeyIndex
     std::unique_ptr<Index> index;
     ThresholdTuner tuner;
     SlotStats stats;
+
+    /// @name Per-FUNCTION observability hooks (src/obs).
+    /// Slots of the same function share these registry objects, so a
+    /// lookup bumps its function's counters without a map probe. The
+    /// service wires them in registerKeyType(); the histogram stays
+    /// null when tracing is disabled (null = span no-op).
+    /// @{
+    obs::Counter *fn_lookups = nullptr;
+    obs::Counter *fn_hits = nullptr;
+    obs::Counter *fn_misses = nullptr;
+    obs::LatencyHistogram *fn_lookup_ns = nullptr;
+    /// @}
 
     KeyIndex(KeyTypeConfig cfg, std::unique_ptr<Index> idx,
              const PotluckConfig &svc_cfg)

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace potluck {
 
 PotluckService::PotluckService(PotluckConfig config, Clock *clock)
-    : config_(config), clock_(clock), table_(config),
+    : config_(config), clock_(clock),
+      metrics_(std::make_unique<obs::MetricsRegistry>()), table_(config),
       eviction_(makeEvictionPolicy(config.eviction, config.seed)),
       rng_(config.seed),
       reputation_(config.reputation_ban_score,
@@ -22,6 +24,31 @@ PotluckService::PotluckService(PotluckConfig config, Clock *clock)
     }
     if (config_.knn < 1)
         POTLUCK_FATAL("knn must be >= 1");
+
+    // Resolve every hot-path metric once; lookup()/put() only touch
+    // the lock-free objects through these cached pointers.
+    obs::MetricsRegistry &reg = *metrics_;
+    obs_.lookups = &reg.counter("service.lookups");
+    obs_.hits = &reg.counter("service.hits");
+    obs_.misses = &reg.counter("service.misses");
+    obs_.dropouts = &reg.counter("service.dropouts");
+    obs_.puts = &reg.counter("service.puts");
+    obs_.evictions = &reg.counter("service.evictions");
+    obs_.expirations = &reg.counter("service.expirations");
+    obs_.tighten_events = &reg.counter("tuner.tighten");
+    obs_.loosen_events = &reg.counter("tuner.loosen");
+    obs_.rejected_puts = &reg.counter("service.rejected_puts");
+    obs_.banned_hits_suppressed =
+        &reg.counter("service.banned_hits_suppressed");
+    obs_.entries = &reg.gauge("cache.entries");
+    obs_.bytes = &reg.gauge("cache.bytes");
+    if (config_.enable_tracing) {
+        obs_.lookup_total_ns = &reg.histogram("lookup.total_ns");
+        obs_.lookup_probe_ns = &reg.histogram("lookup.index_probe_ns");
+        obs_.put_total_ns = &reg.histogram("put.total_ns");
+        obs_.put_probe_ns = &reg.histogram("put.tuner_probe_ns");
+        obs_.evict_ns = &reg.histogram("put.eviction_ns");
+    }
 }
 
 void
@@ -30,7 +57,16 @@ PotluckService::registerKeyType(const std::string &function,
                                 std::shared_ptr<FeatureExtractor> extractor)
 {
     std::unique_lock lock(mutex_);
-    table_.ensure(function, cfg);
+    KeyIndex &slot = table_.ensure(function, cfg);
+    // Share one set of per-function metrics across the function's
+    // slots (the registry returns the same object for the same name).
+    slot.fn_lookups = &metrics_->counter("fn." + function + ".lookups");
+    slot.fn_hits = &metrics_->counter("fn." + function + ".hits");
+    slot.fn_misses = &metrics_->counter("fn." + function + ".misses");
+    if (config_.enable_tracing) {
+        slot.fn_lookup_ns =
+            &metrics_->histogram("fn." + function + ".lookup_ns");
+    }
     if (extractor)
         extractors_[{function, cfg.name}] = std::move(extractor);
     // A newly added key type covers entries inserted from now on;
@@ -43,6 +79,7 @@ void
 PotluckService::registerApp(const std::string &app)
 {
     POTLUCK_ASSERT(!app.empty(), "empty app name");
+    metrics_->counter("service.app_registrations").inc();
     std::unique_lock lock(mutex_);
     // Section 4.3: registration "resets the input similarity
     // threshold". Reset every tuner; a fresh app changes the input
@@ -56,15 +93,21 @@ LookupResult
 PotluckService::lookup(const std::string &app, const std::string &function,
                        const std::string &key_type, const FeatureVector &key)
 {
+    // One pair of clock reads feeds both the global and the
+    // per-function lookup histogram (the second sink is attached once
+    // the slot is resolved).
+    POTLUCK_NAMED_SPAN(lookup_span, obs_.lookup_total_ns);
     std::unique_lock lock(mutex_);
-    ++stats_.lookups;
+    obs_.lookups->inc();
 
     KeyIndex *slot = table_.find(function, key_type);
     if (!slot) {
         POTLUCK_FATAL("lookup on unregistered (function='"
                       << function << "', key type='" << key_type << "')");
     }
+    POTLUCK_SPAN_ATTACH(lookup_span, slot->fn_lookup_ns);
     ++slot->stats.lookups;
+    slot->fn_lookups->inc();
 
     uint64_t now = clock_->nowUs();
 
@@ -72,7 +115,7 @@ PotluckService::lookup(const std::string &app, const std::string &function,
     // force a put() that recalibrates the threshold.
     if (config_.dropout_probability > 0.0 &&
         rng_.bernoulli(config_.dropout_probability)) {
-        ++stats_.dropouts;
+        obs_.dropouts->inc();
         pending_miss_us_[{app, function}] = now;
         LookupResult result;
         result.dropped = true;
@@ -80,7 +123,11 @@ PotluckService::lookup(const std::string &app, const std::string &function,
     }
 
     // Threshold-restricted nearest-neighbour query (Section 3.4).
-    auto neighbors = slot->index->nearest(key, config_.knn);
+    std::vector<Neighbor> neighbors;
+    {
+        POTLUCK_SPAN(obs_.lookup_probe_ns);
+        neighbors = slot->index->nearest(key, config_.knn);
+    }
     double threshold = slot->tuner.threshold();
     for (const Neighbor &n : neighbors) {
         if (n.dist > threshold)
@@ -92,14 +139,15 @@ PotluckService::lookup(const std::string &app, const std::string &function,
             continue; // expired but not yet swept
         if (config_.enable_reputation && reputation_.banned(entry->app)) {
             // Quarantined source: never serve its results.
-            ++stats_.banned_hits_suppressed;
+            obs_.banned_hits_suppressed->inc();
             continue;
         }
         // Hit: bump the access frequency, which feeds importance.
         ++entry->access_frequency;
         entry->last_access_us = now;
-        ++stats_.hits;
+        obs_.hits->inc();
         ++slot->stats.hits;
+        slot->fn_hits->inc();
         LookupResult result;
         result.hit = true;
         result.value = entry->value;
@@ -108,8 +156,9 @@ PotluckService::lookup(const std::string &app, const std::string &function,
         return result;
     }
 
-    ++stats_.misses;
+    obs_.misses->inc();
     ++slot->stats.misses;
+    slot->fn_misses->inc();
     pending_miss_us_[{app, function}] = now;
     LookupResult result;
     if (!neighbors.empty())
@@ -123,8 +172,9 @@ PotluckService::put(const std::string &function, const std::string &key_type,
                     const PutOptions &options)
 {
     POTLUCK_ASSERT(!key.empty(), "put with empty key");
+    POTLUCK_SPAN(obs_.put_total_ns);
     std::unique_lock lock(mutex_);
-    ++stats_.puts;
+    obs_.puts->inc();
 
     KeyIndex *slot = table_.find(function, key_type);
     if (!slot) {
@@ -134,7 +184,7 @@ PotluckService::put(const std::string &function, const std::string &key_type,
 
     if (config_.enable_reputation && reputation_.banned(options.app)) {
         // Barred apps can no longer pollute the cache (Section 3.5).
-        ++stats_.rejected_puts;
+        obs_.rejected_puts->inc();
         return 0;
     }
     ++slot->stats.puts;
@@ -160,8 +210,10 @@ PotluckService::put(const std::string &function, const std::string &key_type,
     // entries (Section 3.5), and skipping the kNN probe keeps bulk
     // preloading cheap.
     std::vector<Neighbor> neighbors;
-    if (slot->tuner.active())
+    if (slot->tuner.active()) {
+        POTLUCK_SPAN(obs_.put_probe_ns);
         neighbors = slot->index->nearest(key, 1);
+    }
     if (!neighbors.empty()) {
         const CacheEntry *nn = storage_.find(neighbors.front().id);
         if (nn) {
@@ -173,9 +225,9 @@ PotluckService::put(const std::string &function, const std::string &key_type,
             slot->tuner.observe(neighbors.front().dist, values_equal);
             double after = slot->tuner.threshold();
             if (after < before)
-                ++stats_.tighten_events;
+                obs_.tighten_events->inc();
             else if (after > before)
-                ++stats_.loosen_events;
+                obs_.loosen_events->inc();
 
             // Each observation is a vote on the neighbour's source app
             // (Section 3.5's reputation extension): an in-threshold
@@ -242,6 +294,7 @@ PotluckService::put(const std::string &function, const std::string &key_type,
     EntryId stored_id = stored.id;
     Value stored_value = stored.value;
     enforceCapacityLocked();
+    updateOccupancyGaugesLocked();
 
     // Deliver put events outside the lock so observers may call back
     // into this or another service (the replication bridge does).
@@ -299,9 +352,16 @@ PotluckService::removeEntryLocked(EntryId id, bool expired)
     table_.removeEntry(*entry);
     storage_.remove(id);
     if (expired)
-        ++stats_.expirations;
+        obs_.expirations->inc();
     else
-        ++stats_.evictions;
+        obs_.evictions->inc();
+}
+
+void
+PotluckService::updateOccupancyGaugesLocked()
+{
+    obs_.entries->set(static_cast<int64_t>(storage_.numEntries()));
+    obs_.bytes->set(static_cast<int64_t>(storage_.totalBytes()));
 }
 
 void
@@ -314,6 +374,9 @@ PotluckService::enforceCapacityLocked()
             return true;
         return false;
     };
+    if (!over())
+        return;
+    POTLUCK_SPAN(obs_.evict_ns);
     while (over() && storage_.numEntries() > 0) {
         EntryId victim = eviction_->selectVictim(storage_.entries());
         removeEntryLocked(victim, /*expired=*/false);
@@ -327,6 +390,7 @@ PotluckService::sweepExpired()
     auto expired = storage_.expiredAt(clock_->nowUs());
     for (EntryId id : expired)
         removeEntryLocked(id, /*expired=*/true);
+    updateOccupancyGaugesLocked();
     return expired.size();
 }
 
@@ -354,8 +418,30 @@ PotluckService::forEachKeyType(
 ServiceStats
 PotluckService::stats() const
 {
-    std::shared_lock lock(mutex_);
-    return stats_;
+    // Counters are lock-free atomics; no service lock needed. The
+    // struct is a snapshot view over the registry (see core/stats.h).
+    ServiceStats s;
+    s.lookups = obs_.lookups->value();
+    s.hits = obs_.hits->value();
+    s.misses = obs_.misses->value();
+    s.dropouts = obs_.dropouts->value();
+    s.puts = obs_.puts->value();
+    s.evictions = obs_.evictions->value();
+    s.expirations = obs_.expirations->value();
+    s.tighten_events = obs_.tighten_events->value();
+    s.loosen_events = obs_.loosen_events->value();
+    s.rejected_puts = obs_.rejected_puts->value();
+    s.banned_hits_suppressed = obs_.banned_hits_suppressed->value();
+    return s;
+}
+
+double
+PotluckService::functionHitRate(const std::string &function) const
+{
+    uint64_t hits = metrics_->counter("fn." + function + ".hits").value();
+    uint64_t misses = metrics_->counter("fn." + function + ".misses").value();
+    uint64_t answered = hits + misses;
+    return answered ? static_cast<double>(hits) / answered : 0.0;
 }
 
 SlotStats

@@ -33,6 +33,7 @@
 #include "core/stats.h"
 #include "core/value.h"
 #include "features/extractor.h"
+#include "obs/registry.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -171,11 +172,32 @@ class PotluckService
         const std::function<void(const std::string &,
                                  const KeyTypeConfig &)> &fn) const;
 
+    /**
+     * Flat counter snapshot, materialized from the metrics registry
+     * (the struct is a view; the registry owns the live counters).
+     */
     ServiceStats stats() const;
 
     /** Per-(function, key type) counters; zeros if unregistered. */
     SlotStats slotStats(const std::string &function,
                         const std::string &key_type) const;
+
+    /**
+     * The observability registry: service counters/gauges under
+     * `service.*` / `cache.*`, per-function counters under
+     * `fn.<function>.*`, hot-path latency histograms (`lookup.*_ns`,
+     * `put.*_ns`) when tracing is enabled. The IPC server adds its
+     * `ipc.*` metrics here too. Internally synchronized.
+     */
+    obs::MetricsRegistry &metrics() const { return *metrics_; }
+
+    /**
+     * Hit rate over answered lookups of one function (all key types),
+     * from the registry's `fn.<function>.*` counters; 0 if unknown.
+     * Same denominator policy as ServiceStats::hitRate() — dropouts
+     * are excluded.
+     */
+    double functionHitRate(const std::string &function) const;
 
     double threshold(const std::string &function,
                      const std::string &key_type) const;
@@ -197,8 +219,41 @@ class PotluckService
     /** Enforce capacity limits after an insertion (lock held). */
     void enforceCapacityLocked();
 
+    /** Refresh the cache.entries / cache.bytes gauges (lock held). */
+    void updateOccupancyGaugesLocked();
+
+    /**
+     * Cached registry pointers for the hot paths: resolved once at
+     * construction so lookup()/put() never touch the registry map.
+     * Histogram pointers are null when config.enable_tracing is off.
+     */
+    struct ServiceObs
+    {
+        obs::Counter *lookups;
+        obs::Counter *hits;
+        obs::Counter *misses;
+        obs::Counter *dropouts;
+        obs::Counter *puts;
+        obs::Counter *evictions;
+        obs::Counter *expirations;
+        obs::Counter *tighten_events;
+        obs::Counter *loosen_events;
+        obs::Counter *rejected_puts;
+        obs::Counter *banned_hits_suppressed;
+        obs::Gauge *entries;
+        obs::Gauge *bytes;
+        obs::LatencyHistogram *lookup_total_ns = nullptr;
+        obs::LatencyHistogram *lookup_probe_ns = nullptr;
+        obs::LatencyHistogram *put_total_ns = nullptr;
+        obs::LatencyHistogram *put_probe_ns = nullptr;
+        obs::LatencyHistogram *evict_ns = nullptr;
+    };
+
     PotluckConfig config_;
     Clock *clock_;
+    /** Heap-allocated so cached pointers survive service moves. */
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    ServiceObs obs_;
     mutable std::shared_mutex mutex_;
 
     FunctionTable table_;
@@ -206,7 +261,6 @@ class PotluckService
     std::unique_ptr<EvictionPolicy> eviction_;
     Rng rng_;
     EntryId next_id_ = 1;
-    ServiceStats stats_;
 
     /** Extractors for cross-type key propagation: function -> type. */
     std::map<std::pair<std::string, std::string>,

@@ -2,6 +2,12 @@
  * @file
  * Operational counters exposed by the service, used by the evaluation
  * harness to compute hit rates, dropout counts, tuner activity, etc.
+ *
+ * ServiceStats is a point-in-time SNAPSHOT VIEW: the live counters are
+ * lock-free obs::Counter objects in the service's MetricsRegistry
+ * (src/obs), and PotluckService::stats() materializes this struct from
+ * them. Benches and tests keep the familiar flat struct; dashboards
+ * and the IPC kStats verb read the registry directly.
  */
 #ifndef POTLUCK_CORE_STATS_H
 #define POTLUCK_CORE_STATS_H
@@ -25,11 +31,41 @@ struct ServiceStats
     uint64_t rejected_puts = 0;  ///< puts refused from banned apps
     uint64_t banned_hits_suppressed = 0; ///< hits withheld (banned source)
 
+    /**
+     * Lookups that actually queried the index. Every lookup() is
+     * exactly one of hit, miss, or dropout, so
+     * `lookups == hits + misses + dropouts` always holds.
+     */
+    uint64_t answered() const { return hits + misses; }
+
+    /**
+     * Cache effectiveness over ANSWERED lookups: hits / (hits +
+     * misses). Random dropouts (Section 3.4) are deliberately NOT in
+     * the denominator — a dropout forces a recomputation for threshold
+     * recalibration regardless of cache contents, so counting it as a
+     * miss would charge the cache for a policy decision. Use
+     * effectiveHitRate() for the end-to-end fraction of lookup() calls
+     * that returned a value.
+     */
     double
     hitRate() const
     {
-        uint64_t answered = hits + misses;
-        return answered ? static_cast<double>(hits) / answered : 0.0;
+        uint64_t denom = answered();
+        return denom ? static_cast<double>(hits) / denom : 0.0;
+    }
+
+    /** hits / lookups: includes dropouts in the denominator. */
+    double
+    effectiveHitRate() const
+    {
+        return lookups ? static_cast<double>(hits) / lookups : 0.0;
+    }
+
+    /** Fraction of lookup() calls short-circuited by random dropout. */
+    double
+    dropoutRate() const
+    {
+        return lookups ? static_cast<double>(dropouts) / lookups : 0.0;
     }
 };
 

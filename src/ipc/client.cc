@@ -1,6 +1,7 @@
 #include "ipc/client.h"
 
 #include "ipc/message.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace potluck {
@@ -9,6 +10,8 @@ PotluckClient::PotluckClient(std::string app_name,
                              const std::string &socket_path)
     : app_(std::move(app_name)), socket_(connectUnix(socket_path))
 {
+    round_trip_ns_ = &metrics_.histogram("ipc.round_trip_ns");
+    request_bytes_ = &metrics_.histogram("ipc.request_bytes");
     Request request;
     request.type = RequestType::RegisterApp;
     request.app = app_;
@@ -35,7 +38,10 @@ PotluckClient::roundTrip(const Request &request)
     if (local_)
         return local_->handle(request);
     std::lock_guard<std::mutex> lock(mutex_);
-    socket_.sendFrame(encodeRequest(request));
+    POTLUCK_SPAN(round_trip_ns_);
+    std::vector<uint8_t> out = encodeRequest(request);
+    request_bytes_->record(out.size());
+    socket_.sendFrame(out);
     std::vector<uint8_t> frame;
     if (!socket_.recvFrame(frame))
         POTLUCK_FATAL("service closed the connection");
@@ -111,6 +117,23 @@ PotluckClient::fetchStats()
     if (!reply.ok)
         POTLUCK_FATAL("stats failed: " << reply.error);
     RemoteStats out;
+    out.stats = reply.stats;
+    out.num_entries = reply.num_entries;
+    out.total_bytes = reply.total_bytes;
+    return out;
+}
+
+PotluckClient::RemoteMetrics
+PotluckClient::fetchMetrics()
+{
+    Request request;
+    request.type = RequestType::Metrics;
+    request.app = app_;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("metrics fetch failed: " << reply.error);
+    RemoteMetrics out;
+    out.snapshot = std::move(reply.snapshot);
     out.stats = reply.stats;
     out.num_entries = reply.num_entries;
     out.total_bytes = reply.total_bytes;

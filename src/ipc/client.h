@@ -58,6 +58,26 @@ class PotluckClient
     /** Fetch the service's counters. */
     RemoteStats fetchStats();
 
+    /** Metrics fetched via the kStats registry-snapshot verb. */
+    struct RemoteMetrics
+    {
+        obs::RegistrySnapshot snapshot;
+        ServiceStats stats;
+        uint64_t num_entries = 0;
+        uint64_t total_bytes = 0;
+    };
+
+    /** Fetch the service's full metrics-registry snapshot. */
+    RemoteMetrics fetchMetrics();
+
+    /**
+     * This client's own observability registry: `ipc.round_trip_ns`
+     * latency histogram and `ipc.request_bytes` size histogram, one
+     * sample per round trip (remote mode only; the in-process path
+     * records nothing here).
+     */
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
     const std::string &appName() const { return app_; }
     bool remote() const { return socket_.valid(); }
 
@@ -68,6 +88,9 @@ class PotluckClient
     FrameSocket socket_;                 // remote mode
     std::unique_ptr<AppListener> local_; // in-process mode
     std::mutex mutex_;                   // serializes socket round-trips
+    obs::MetricsRegistry metrics_;       // client-side ipc.* metrics
+    obs::LatencyHistogram *round_trip_ns_ = nullptr;
+    obs::LatencyHistogram *request_bytes_ = nullptr;
 };
 
 } // namespace potluck

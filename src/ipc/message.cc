@@ -152,6 +152,89 @@ class Reader
 constexpr uint8_t kOptAbsent = 0;
 constexpr uint8_t kOptPresent = 1;
 
+/**
+ * Registry snapshot encoding (the kStats/Metrics verb). Histogram
+ * buckets travel sparsely as (index, count) pairs — the bucket layout
+ * is a compile-time constant shared by both ends (obs/histogram.h),
+ * so percentiles reconstruct exactly.
+ */
+void
+writeSnapshot(Writer &w, const obs::RegistrySnapshot &snapshot)
+{
+    w.u64(snapshot.counters.size());
+    for (const auto &c : snapshot.counters) {
+        w.str(c.name);
+        w.u64(c.value);
+    }
+    w.u64(snapshot.gauges.size());
+    for (const auto &g : snapshot.gauges) {
+        w.str(g.name);
+        w.u64(static_cast<uint64_t>(g.value));
+    }
+    w.u64(snapshot.histograms.size());
+    for (const auto &h : snapshot.histograms) {
+        w.str(h.name);
+        w.u64(h.hist.count);
+        w.u64(h.hist.sum);
+        w.u64(h.hist.min);
+        w.u64(h.hist.max);
+        uint64_t nonzero = 0;
+        for (uint64_t b : h.hist.buckets)
+            nonzero += b != 0;
+        w.u64(nonzero);
+        for (size_t i = 0; i < h.hist.buckets.size(); ++i) {
+            if (h.hist.buckets[i] != 0) {
+                w.u64(i);
+                w.u64(h.hist.buckets[i]);
+            }
+        }
+    }
+}
+
+obs::RegistrySnapshot
+readSnapshot(Reader &r)
+{
+    obs::RegistrySnapshot snapshot;
+    uint64_t n_counters = r.u64();
+    snapshot.counters.reserve(n_counters);
+    for (uint64_t i = 0; i < n_counters; ++i) {
+        obs::RegistrySnapshot::CounterSample c;
+        c.name = r.str();
+        c.value = r.u64();
+        snapshot.counters.push_back(std::move(c));
+    }
+    uint64_t n_gauges = r.u64();
+    snapshot.gauges.reserve(n_gauges);
+    for (uint64_t i = 0; i < n_gauges; ++i) {
+        obs::RegistrySnapshot::GaugeSample g;
+        g.name = r.str();
+        g.value = static_cast<int64_t>(r.u64());
+        snapshot.gauges.push_back(std::move(g));
+    }
+    uint64_t n_hists = r.u64();
+    snapshot.histograms.reserve(n_hists);
+    for (uint64_t i = 0; i < n_hists; ++i) {
+        obs::RegistrySnapshot::HistogramSample h;
+        h.name = r.str();
+        h.hist.count = r.u64();
+        h.hist.sum = r.u64();
+        h.hist.min = r.u64();
+        h.hist.max = r.u64();
+        h.hist.buckets.assign(obs::LatencyHistogram::kNumBuckets, 0);
+        uint64_t nonzero = r.u64();
+        for (uint64_t j = 0; j < nonzero; ++j) {
+            uint64_t index = r.u64();
+            uint64_t count = r.u64();
+            if (index >= h.hist.buckets.size())
+                POTLUCK_FATAL("histogram bucket index out of range: "
+                              << index);
+            h.hist.buckets[index] = count;
+        }
+        snapshot.histograms.push_back(std::move(h));
+    }
+    return snapshot;
+}
+
 } // namespace
 
 std::vector<uint8_t>
@@ -227,6 +310,7 @@ encodeReply(const Reply &reply)
     w.u64(reply.stats.banned_hits_suppressed);
     w.u64(reply.num_entries);
     w.u64(reply.total_bytes);
+    writeSnapshot(w, reply.snapshot);
     return w.take();
 }
 
@@ -255,6 +339,7 @@ decodeReply(const std::vector<uint8_t> &bytes)
     reply.stats.banned_hits_suppressed = r.u64();
     reply.num_entries = r.u64();
     reply.total_bytes = r.u64();
+    reply.snapshot = readSnapshot(r);
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in reply frame");
     return reply;

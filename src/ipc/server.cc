@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include "ipc/message.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace potluck {
@@ -12,6 +13,14 @@ PotluckServer::PotluckServer(PotluckService &service,
     : listener_(service, /*threads=*/2), socket_path_(socket_path),
       listen_socket_(listenUnix(socket_path))
 {
+    obs::MetricsRegistry &reg = service.metrics();
+    requests_ = &reg.counter("ipc.requests");
+    bad_frames_ = &reg.counter("ipc.bad_frame");
+    connections_total_ = &reg.counter("ipc.connections");
+    request_bytes_ = &reg.histogram("ipc.request_bytes");
+    reply_bytes_ = &reg.histogram("ipc.reply_bytes");
+    if (service.config().enable_tracing)
+        handle_ns_ = &reg.histogram("ipc.handle_ns");
     accept_thread_ = std::thread([this]() { acceptLoop(); });
 }
 
@@ -30,6 +39,12 @@ PotluckServer::~PotluckServer()
             t.join();
 }
 
+uint64_t
+PotluckServer::badFrames() const
+{
+    return bad_frames_->value();
+}
+
 void
 PotluckServer::acceptLoop()
 {
@@ -44,6 +59,7 @@ PotluckServer::acceptLoop()
             continue;
         }
         ++connections_;
+        connections_total_->inc();
         std::lock_guard<std::mutex> lock(threads_mutex_);
         client_threads_.emplace_back(
             [this, c = std::move(client)]() mutable {
@@ -55,19 +71,60 @@ PotluckServer::acceptLoop()
 void
 PotluckServer::serveClient(FrameSocket client)
 {
+    // A misbehaving client (disconnect mid-frame, oversized length
+    // prefix, bytes that don't decode) must cost exactly its own
+    // connection: count it, log it, close this socket, keep serving
+    // everyone else. Nothing may escape into the std::thread trampoline
+    // (that would std::terminate the whole daemon).
     std::vector<uint8_t> frame;
-    for (;;) {
-        try {
-            if (!client.recvFrame(frame))
-                return; // orderly disconnect
-            Request request = decodeRequest(frame);
-            Reply reply = listener_.handle(request);
-            client.sendFrame(encodeReply(reply));
-        } catch (const FatalError &e) {
-            if (!stopping_)
-                POTLUCK_WARN("client connection error: " << e.what());
-            return;
+    try {
+        for (;;) {
+            try {
+                if (!client.recvFrame(frame))
+                    return; // orderly disconnect
+            } catch (const std::exception &e) {
+                // Disconnect mid-frame or an oversized length prefix.
+                bad_frames_->inc();
+                if (!stopping_)
+                    POTLUCK_WARN("client connection error: " << e.what());
+                return;
+            }
+
+            Request request;
+            try {
+                request = decodeRequest(frame);
+            } catch (const std::exception &e) {
+                bad_frames_->inc();
+                if (!stopping_)
+                    POTLUCK_WARN("malformed request frame ("
+                                 << frame.size() << " bytes): " << e.what());
+                return;
+            }
+            request_bytes_->record(frame.size());
+            requests_->inc();
+
+            std::vector<uint8_t> out;
+            {
+                POTLUCK_SPAN(handle_ns_);
+                // handle() never throws; service errors ride in
+                // Reply::error.
+                out = encodeReply(listener_.handle(request));
+            }
+            reply_bytes_->record(out.size());
+            try {
+                client.sendFrame(out);
+            } catch (const std::exception &e) {
+                if (!stopping_)
+                    POTLUCK_WARN("client send failed: " << e.what());
+                return;
+            }
         }
+    } catch (...) {
+        // Last-ditch: drop the connection rather than the daemon.
+        bad_frames_->inc();
+        if (!stopping_)
+            POTLUCK_WARN("unexpected error in client handler; closing "
+                         "connection");
     }
 }
 

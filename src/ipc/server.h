@@ -41,6 +41,10 @@ class PotluckServer
     /** Number of connections served so far. */
     uint64_t connectionsServed() const { return connections_; }
 
+    /** Malformed/oversized/truncated frames seen so far (also the
+     * `ipc.bad_frame` counter in the service's metrics registry). */
+    uint64_t badFrames() const;
+
   private:
     void acceptLoop();
     void serveClient(FrameSocket client);
@@ -53,6 +57,16 @@ class PotluckServer
     std::mutex threads_mutex_;
     std::vector<std::thread> client_threads_;
     std::thread accept_thread_;
+
+    /// @name Cached `ipc.*` metrics from the service registry.
+    /// @{
+    obs::Counter *requests_ = nullptr;
+    obs::Counter *bad_frames_ = nullptr;
+    obs::Counter *connections_total_ = nullptr;
+    obs::LatencyHistogram *request_bytes_ = nullptr;
+    obs::LatencyHistogram *reply_bytes_ = nullptr;
+    obs::LatencyHistogram *handle_ns_ = nullptr; ///< null = tracing off
+    /// @}
 };
 
 } // namespace potluck

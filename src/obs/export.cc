@@ -1,0 +1,143 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace potluck::obs {
+
+namespace {
+
+/** JSON string escaping for metric names (control chars, quote, \). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+toJson(const RegistrySnapshot &snapshot)
+{
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+        const auto &c = snapshot.counters[i];
+        out << (i ? "," : "") << '"' << jsonEscape(c.name) << "\":"
+            << c.value;
+    }
+    out << "},\"gauges\":{";
+    for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+        const auto &g = snapshot.gauges[i];
+        out << (i ? "," : "") << '"' << jsonEscape(g.name) << "\":"
+            << g.value;
+    }
+    out << "},\"histograms\":{";
+    for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+        const auto &h = snapshot.histograms[i];
+        out << (i ? "," : "") << '"' << jsonEscape(h.name) << "\":{"
+            << "\"count\":" << h.hist.count << ",\"sum\":" << h.hist.sum
+            << ",\"mean\":" << formatDouble(h.hist.mean())
+            << ",\"min\":" << h.hist.min << ",\"max\":" << h.hist.max
+            << ",\"p50\":" << formatDouble(h.hist.percentile(50))
+            << ",\"p90\":" << formatDouble(h.hist.percentile(90))
+            << ",\"p99\":" << formatDouble(h.hist.percentile(99)) << '}';
+    }
+    out << "}}";
+    return out.str();
+}
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (size_t i = 0; i < name.size(); ++i) {
+        char c = name[i];
+        bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == ':';
+        // Leading digits are invalid in Prometheus names.
+        if (ok && i == 0 && std::isdigit(static_cast<unsigned char>(c)))
+            ok = false;
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+toPrometheus(const RegistrySnapshot &snapshot)
+{
+    std::ostringstream out;
+    for (const auto &c : snapshot.counters) {
+        std::string name = prometheusName(c.name);
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << c.value << "\n";
+    }
+    for (const auto &g : snapshot.gauges) {
+        std::string name = prometheusName(g.name);
+        out << "# TYPE " << name << " gauge\n"
+            << name << " " << g.value << "\n";
+    }
+    for (const auto &h : snapshot.histograms) {
+        std::string name = prometheusName(h.name);
+        out << "# TYPE " << name << " summary\n";
+        for (double q : {0.5, 0.9, 0.99}) {
+            out << name << "{quantile=\"" << q << "\"} "
+                << formatDouble(h.hist.percentile(q * 100.0)) << "\n";
+        }
+        out << name << "_sum " << h.hist.sum << "\n"
+            << name << "_count " << h.hist.count << "\n";
+    }
+    return out.str();
+}
+
+std::string
+formatNs(double ns)
+{
+    const char *unit = "ns";
+    double v = ns;
+    if (v >= 1e9) {
+        v /= 1e9;
+        unit = "s";
+    } else if (v >= 1e6) {
+        v /= 1e6;
+        unit = "ms";
+    } else if (v >= 1e3) {
+        v /= 1e3;
+        unit = "us";
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, unit);
+    return buf;
+}
+
+} // namespace potluck::obs

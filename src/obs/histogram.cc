@@ -1,0 +1,115 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace potluck::obs {
+
+size_t
+LatencyHistogram::bucketIndex(uint64_t value)
+{
+    if (value < kExactBuckets)
+        return static_cast<size_t>(value);
+    // Highest set bit e >= 4; the 3 bits below it pick the sub-bucket.
+    int e = 63 - std::countl_zero(value);
+    uint64_t sub = (value >> (e - 3)) & (kSubBuckets - 1);
+    return kExactBuckets + static_cast<size_t>(e - 4) * kSubBuckets +
+           static_cast<size_t>(sub);
+}
+
+uint64_t
+LatencyHistogram::bucketLowerBound(size_t index)
+{
+    POTLUCK_ASSERT(index < kNumBuckets, "bucket index out of range");
+    if (index < kExactBuckets)
+        return index;
+    size_t b = index - kExactBuckets;
+    int e = 4 + static_cast<int>(b / kSubBuckets);
+    uint64_t sub = b % kSubBuckets;
+    return (kSubBuckets + sub) << (e - 3);
+}
+
+void
+LatencyHistogram::record(uint64_t value)
+{
+    buckets_[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.buckets.resize(kNumBuckets);
+    for (size_t i = 0; i < kNumBuckets; ++i)
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    uint64_t mn = min_.load(std::memory_order_relaxed);
+    s.min = mn == UINT64_MAX ? 0 : mn;
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+}
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0 || buckets.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank: 1-based ceil(p/100 * n), so p=100 -> last sample.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
+    rank = std::min<uint64_t>(std::max<uint64_t>(rank, 1), count);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (cum + buckets[i] >= rank) {
+            double lo =
+                static_cast<double>(LatencyHistogram::bucketLowerBound(i));
+            double hi = i + 1 < LatencyHistogram::kNumBuckets
+                            ? static_cast<double>(
+                                  LatencyHistogram::bucketLowerBound(i + 1))
+                            : lo * 2.0;
+            double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(buckets[i]);
+            double v = lo + frac * (hi - lo);
+            return std::clamp(v, static_cast<double>(min),
+                              static_cast<double>(max));
+        }
+        cum += buckets[i];
+    }
+    return static_cast<double>(max);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (other.count == 0)
+        return;
+    if (buckets.empty())
+        buckets.resize(LatencyHistogram::kNumBuckets);
+    POTLUCK_ASSERT(buckets.size() == other.buckets.size(),
+                   "merging histograms with different bucket layouts");
+    for (size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = std::max(max, other.max);
+    count += other.count;
+    sum += other.sum;
+}
+
+} // namespace potluck::obs

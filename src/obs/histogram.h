@@ -1,0 +1,94 @@
+/**
+ * @file
+ * LatencyHistogram: a fixed-size log-linear histogram (HdrHistogram
+ * style) for latency and size distributions on hot paths.
+ *
+ * Values 0..15 land in exact buckets; above that, each power of two is
+ * split into 8 sub-buckets, bounding the relative quantization error
+ * at 12.5%. The bucket layout is static, so histograms recorded in
+ * different threads/processes can be merged bucket-by-bucket and
+ * snapshots can be shipped over the wire as (index, count) pairs.
+ *
+ * record() is wait-free: one relaxed fetch_add on the bucket plus
+ * relaxed updates of count/sum and CAS loops for min/max. Percentiles
+ * are computed from a snapshot by rank-walking the cumulative counts
+ * and interpolating linearly inside the containing bucket.
+ *
+ * The unit is whatever the caller records — the service's span tracer
+ * records nanoseconds (metric names carry a `_ns` suffix), the IPC
+ * layer also records frame sizes in bytes.
+ */
+#ifndef POTLUCK_OBS_HISTOGRAM_H
+#define POTLUCK_OBS_HISTOGRAM_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace potluck::obs {
+
+/** Point-in-time copy of a histogram, safe to aggregate and serialize. */
+struct HistogramSnapshot
+{
+    uint64_t count = 0; ///< total recorded values
+    uint64_t sum = 0;   ///< sum of recorded values
+    uint64_t min = 0;   ///< smallest recorded value (0 when empty)
+    uint64_t max = 0;   ///< largest recorded value (0 when empty)
+    std::vector<uint64_t> buckets; ///< dense per-bucket counts
+
+    double mean() const { return count ? static_cast<double>(sum) / count : 0.0; }
+
+    /**
+     * Value at percentile p in [0, 100], linearly interpolated inside
+     * the containing bucket and clamped to [min, max]. 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Accumulate another snapshot (same static bucket layout). */
+    void merge(const HistogramSnapshot &other);
+};
+
+/** Concurrent fixed-bucket log-linear histogram. */
+class LatencyHistogram
+{
+  public:
+    /// @name Static bucket layout.
+    /// @{
+    static constexpr size_t kSubBuckets = 8;  ///< per power of two
+    static constexpr size_t kExactBuckets = 16; ///< values 0..15 exact
+    /** Buckets: 16 exact + 8 per octave for exponents 4..63. */
+    static constexpr size_t kNumBuckets = kExactBuckets + 60 * kSubBuckets;
+
+    /** Bucket index a value lands in. */
+    static size_t bucketIndex(uint64_t value);
+
+    /** Smallest value mapping to bucket `index`. */
+    static uint64_t bucketLowerBound(size_t index);
+    /// @}
+
+    LatencyHistogram() = default;
+    LatencyHistogram(const LatencyHistogram &) = delete;
+    LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+    /** Record one value (wait-free, relaxed ordering). */
+    void record(uint64_t value);
+
+    /** Copy out the current state. */
+    HistogramSnapshot snapshot() const;
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+    alignas(kCacheLineBytes) std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> min_{UINT64_MAX};
+    std::atomic<uint64_t> max_{0};
+};
+
+} // namespace potluck::obs
+
+#endif // POTLUCK_OBS_HISTOGRAM_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lock-free scalar metrics: Counter and Gauge. Both are single
+ * cache-line objects updated with relaxed atomics, so hot paths pay
+ * one uncontended RMW per event and concurrent writers on different
+ * metrics never false-share.
+ *
+ * Counters are monotonically increasing event counts ("how many
+ * lookups"); gauges are instantaneous levels that can move both ways
+ * ("how many entries are resident"). Reads are racy-but-atomic
+ * snapshots — exact once all writers have quiesced (e.g. after a
+ * thread join), monotonic within one writer otherwise.
+ */
+#ifndef POTLUCK_OBS_METRICS_H
+#define POTLUCK_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace potluck::obs {
+
+/** One cache line; keeps adjacent registry metrics from false sharing. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** Monotonic event counter (relaxed atomic increments). */
+class alignas(kCacheLineBytes) Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous level; set() overwrites, add() adjusts (may go down). */
+class alignas(kCacheLineBytes) Gauge
+{
+  public:
+    void
+    set(int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+} // namespace potluck::obs
+
+#endif // POTLUCK_OBS_METRICS_H

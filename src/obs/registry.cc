@@ -1,0 +1,89 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace potluck::obs {
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+RegistrySnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RegistrySnapshot s;
+    s.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        s.counters.push_back({name, c->value()});
+    s.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        s.gauges.push_back({name, g->value()});
+    s.histograms.reserve(histograms_.size());
+    for (const auto &[name, h] : histograms_)
+        s.histograms.push_back({name, h->snapshot()});
+    return s;
+}
+
+namespace {
+
+template <typename Vec>
+auto *
+findByName(Vec &vec, const std::string &name)
+{
+    auto it = std::find_if(vec.begin(), vec.end(), [&](const auto &s) {
+        return s.name == name;
+    });
+    return it == vec.end() ? nullptr : &*it;
+}
+
+} // namespace
+
+uint64_t
+RegistrySnapshot::counterValue(const std::string &name) const
+{
+    const auto *s = findByName(counters, name);
+    return s ? s->value : 0;
+}
+
+int64_t
+RegistrySnapshot::gaugeValue(const std::string &name) const
+{
+    const auto *s = findByName(gauges, name);
+    return s ? s->value : 0;
+}
+
+const HistogramSnapshot *
+RegistrySnapshot::findHistogram(const std::string &name) const
+{
+    const auto *s = findByName(histograms, name);
+    return s ? &s->hist : nullptr;
+}
+
+} // namespace potluck::obs

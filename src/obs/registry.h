@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MetricsRegistry: the named-metric directory of the observability
+ * subsystem. Components resolve a metric by name ONCE (at registration
+ * or construction, under the registry mutex) and cache the returned
+ * pointer; hot paths then touch only the lock-free metric itself.
+ * Metric objects are heap-allocated and never move or disappear for
+ * the registry's lifetime, so cached pointers stay valid.
+ *
+ * Naming convention: dot-separated lowercase paths, unit suffix where
+ * one applies — `service.lookups`, `fn.<function>.hits`,
+ * `lookup.total_ns`, `ipc.request_bytes`. The Prometheus exporter
+ * rewrites dots to underscores.
+ *
+ * snapshot() produces a RegistrySnapshot: a plain-data, name-sorted
+ * copy that the exporters (obs/export.h) render and the IPC layer
+ * ships over the wire for `potluck_cli stats`.
+ */
+#ifndef POTLUCK_OBS_REGISTRY_H
+#define POTLUCK_OBS_REGISTRY_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace potluck::obs {
+
+/** Name-sorted point-in-time copy of every metric in a registry. */
+struct RegistrySnapshot
+{
+    struct CounterSample
+    {
+        std::string name;
+        uint64_t value = 0;
+    };
+
+    struct GaugeSample
+    {
+        std::string name;
+        int64_t value = 0;
+    };
+
+    struct HistogramSample
+    {
+        std::string name;
+        HistogramSnapshot hist;
+    };
+
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+
+    /** Counter value by exact name; 0 when absent. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** Gauge value by exact name; 0 when absent. */
+    int64_t gaugeValue(const std::string &name) const;
+
+    /** Histogram by exact name; nullptr when absent. */
+    const HistogramSnapshot *findHistogram(const std::string &name) const;
+};
+
+/** Thread-safe directory of named counters, gauges and histograms. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Find-or-create by name. The same name always returns the same
+     * object; a name may be registered as only one metric kind.
+     * The returned reference is valid for the registry's lifetime.
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    LatencyHistogram &histogram(const std::string &name);
+
+    RegistrySnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+} // namespace potluck::obs
+
+#endif // POTLUCK_OBS_REGISTRY_H

@@ -5,9 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 
@@ -83,6 +85,50 @@ TEST(Message, ReplyRoundTrip)
     EXPECT_TRUE(decoded.hit);
     EXPECT_EQ(decodeInt(decoded.value), 99);
     EXPECT_EQ(decoded.entry_id, 424242u);
+}
+
+TEST(Message, ReplySnapshotRoundTrip)
+{
+    // The kStats verb ships a full registry snapshot in the Reply;
+    // histogram buckets travel as sparse (index, count) pairs and must
+    // reinflate to the dense layout.
+    obs::MetricsRegistry registry;
+    registry.counter("service.lookups").inc(12);
+    registry.counter("fn.recognize.hits").inc(7);
+    registry.gauge("cache.entries").set(-3); // gauges are signed
+    obs::LatencyHistogram &hist = registry.histogram("lookup.total_ns");
+    for (uint64_t v : {0ull, 5ull, 900ull, 123456ull, 1ull << 40})
+        hist.record(v);
+
+    Reply reply;
+    reply.type = RequestType::Metrics;
+    reply.ok = true;
+    reply.snapshot = registry.snapshot();
+    Reply decoded = decodeReply(encodeReply(reply));
+
+    EXPECT_EQ(decoded.snapshot.counterValue("service.lookups"), 12u);
+    EXPECT_EQ(decoded.snapshot.counterValue("fn.recognize.hits"), 7u);
+    EXPECT_EQ(decoded.snapshot.gaugeValue("cache.entries"), -3);
+    const obs::HistogramSnapshot *h =
+        decoded.snapshot.findHistogram("lookup.total_ns");
+    ASSERT_NE(h, nullptr);
+    const obs::HistogramSnapshot *orig =
+        reply.snapshot.findHistogram("lookup.total_ns");
+    EXPECT_EQ(h->count, orig->count);
+    EXPECT_EQ(h->sum, orig->sum);
+    EXPECT_EQ(h->min, orig->min);
+    EXPECT_EQ(h->max, orig->max);
+    EXPECT_EQ(h->buckets, orig->buckets);
+}
+
+TEST(Message, EmptySnapshotRoundTrip)
+{
+    // Replies to non-Metrics verbs carry an empty snapshot — it must
+    // cost little on the wire and decode back to empty.
+    Reply decoded = decodeReply(encodeReply(Reply{}));
+    EXPECT_TRUE(decoded.snapshot.counters.empty());
+    EXPECT_TRUE(decoded.snapshot.gauges.empty());
+    EXPECT_TRUE(decoded.snapshot.histograms.empty());
 }
 
 TEST(Message, TruncatedFrameIsFatal)
@@ -268,6 +314,79 @@ TEST_F(ServerClientTest, ServerSurvivesClientErrors)
         raw.sendFrame({0xde, 0xad, 0xbe, 0xef});
     } // destructor closes the connection
     // The server must still accept and serve a well-behaved client.
+    PotluckClient client("ok_app", path_);
+    client.registerFunction("g", "vec", Metric::L2, IndexKind::Linear);
+    client.put("g", "vec", FeatureVector({1.0f}), encodeInt(1));
+    EXPECT_TRUE(client.lookup("g", "vec", FeatureVector({1.0f})).hit);
+}
+
+TEST_F(ServerClientTest, MetricsVerbEndToEnd)
+{
+    PotluckClient client("metrics_app", path_);
+    client.registerFunction("recognize", "vec", Metric::L2,
+                            IndexKind::Linear);
+    client.put("recognize", "vec", FeatureVector({1.0f}), encodeInt(1));
+    client.lookup("recognize", "vec", FeatureVector({1.0f}));  // hit
+    client.lookup("recognize", "vec", FeatureVector({50.0f})); // miss
+
+    PotluckClient::RemoteMetrics remote = client.fetchMetrics();
+
+    // Flat stats and occupancy arrive alongside the snapshot.
+    EXPECT_EQ(remote.num_entries, 1u);
+    EXPECT_GT(remote.total_bytes, 0u);
+    EXPECT_EQ(remote.stats.hits, 1u);
+    EXPECT_EQ(remote.stats.misses, 1u);
+
+    // Per-function counters registered by the daemon cross the wire.
+    const obs::RegistrySnapshot &snap = remote.snapshot;
+    EXPECT_EQ(snap.counterValue("fn.recognize.lookups"), 2u);
+    EXPECT_EQ(snap.counterValue("fn.recognize.hits"), 1u);
+    EXPECT_EQ(snap.counterValue("fn.recognize.misses"), 1u);
+    EXPECT_EQ(snap.gaugeValue("cache.entries"), 1);
+    // The server's own ipc.* counters cover this connection.
+    EXPECT_GE(snap.counterValue("ipc.requests"), 5u);
+    EXPECT_GE(snap.counterValue("ipc.connections"), 1u);
+    // Tracing defaults on: the lookup histogram has our two samples.
+    const obs::HistogramSnapshot *lookup_ns =
+        snap.findHistogram("lookup.total_ns");
+    ASSERT_NE(lookup_ns, nullptr);
+    // The client kept its own round-trip latency histogram.
+    obs::RegistrySnapshot mine = client.metrics().snapshot();
+    const obs::HistogramSnapshot *rtt =
+        mine.findHistogram("ipc.round_trip_ns");
+    ASSERT_NE(rtt, nullptr);
+#ifndef POTLUCK_OBS_NO_TRACE
+    EXPECT_EQ(lookup_ns->count, 2u);
+    EXPECT_GT(lookup_ns->percentile(99), 0.0);
+    EXPECT_GE(rtt->count, 5u);
+#endif
+}
+
+TEST_F(ServerClientTest, BadFramesAreCountedNotFatal)
+{
+    EXPECT_EQ(server_->badFrames(), 0u);
+    {
+        // Garbage body: framing succeeds, decodeRequest throws.
+        FrameSocket raw = connectUnix(path_);
+        raw.sendFrame({0xde, 0xad, 0xbe, 0xef});
+    }
+    {
+        // Mid-frame disconnect: a length prefix promising 1 KiB,
+        // then only 2 body bytes before close.
+        FrameSocket raw = connectUnix(path_);
+        const uint8_t partial[] = {0x00, 0x04, 0x00, 0x00, 0xaa, 0xbb};
+        ASSERT_EQ(::send(raw.fd(), partial, sizeof(partial), 0),
+                  static_cast<ssize_t>(sizeof(partial)));
+    }
+    // The handler threads count the bad frames asynchronously.
+    for (int i = 0; i < 200 && server_->badFrames() < 2; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(server_->badFrames(), 2u);
+    EXPECT_EQ(service_->metrics().snapshot().counterValue("ipc.bad_frame"),
+              2u);
+
+    // Both offending connections are closed; a well-behaved client is
+    // still served.
     PotluckClient client("ok_app", path_);
     client.registerFunction("g", "vec", Metric::L2, IndexKind::Linear);
     client.put("g", "vec", FeatureVector({1.0f}), encodeInt(1));

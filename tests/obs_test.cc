@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs): histogram bucket
+ * layout and percentile accuracy, lock-free counters under threads,
+ * registry behavior, exporters, and the ServiceStats snapshot view
+ * derived from the registry (including the hit-rate denominator
+ * contract).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/potluck_service.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "util/rng.h"
+
+namespace potluck {
+namespace {
+
+using obs::HistogramSnapshot;
+using obs::LatencyHistogram;
+using obs::MetricsRegistry;
+
+// --- Histogram bucket layout ---------------------------------------------
+
+TEST(HistogramBuckets, SmallValuesAreExact)
+{
+    for (uint64_t v = 0; v < LatencyHistogram::kExactBuckets; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketIndex(v), v);
+        EXPECT_EQ(LatencyHistogram::bucketLowerBound(v), v);
+    }
+}
+
+TEST(HistogramBuckets, IndexIsMonotoneAndConsistentWithBounds)
+{
+    size_t prev = 0;
+    const std::vector<uint64_t> probes = {
+        0,      1,          15,         16,         17,        31, 32, 100,
+        1000,   123456,     1ull << 20, 1ull << 33, 1ull << 62,
+        UINT64_MAX};
+    for (uint64_t v : probes) {
+        size_t idx = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+        EXPECT_GE(idx, prev) << "index not monotone at " << v;
+        prev = idx;
+        // The bucket's own range must contain the value.
+        EXPECT_LE(LatencyHistogram::bucketLowerBound(idx), v);
+        if (idx + 1 < LatencyHistogram::kNumBuckets) {
+            EXPECT_GT(LatencyHistogram::bucketLowerBound(idx + 1), v);
+        }
+    }
+}
+
+TEST(HistogramBuckets, BoundsCoverEveryBucketBoundary)
+{
+    // bucketIndex(bucketLowerBound(i)) == i for every bucket: the
+    // lower bound is the first value mapping into the bucket.
+    for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+        uint64_t lo = LatencyHistogram::bucketLowerBound(i);
+        EXPECT_EQ(LatencyHistogram::bucketIndex(lo), i) << "bucket " << i;
+        if (lo > 0) {
+            EXPECT_EQ(LatencyHistogram::bucketIndex(lo - 1), i - 1)
+                << "bucket " << i;
+        }
+    }
+}
+
+TEST(HistogramBuckets, RelativeErrorBounded)
+{
+    // Log-linear with 8 sub-buckets per octave: bucket width is at
+    // most 12.5% of the bucket's lower bound.
+    for (size_t i = LatencyHistogram::kExactBuckets;
+         i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+        double lo = static_cast<double>(LatencyHistogram::bucketLowerBound(i));
+        double hi =
+            static_cast<double>(LatencyHistogram::bucketLowerBound(i + 1));
+        EXPECT_LE((hi - lo) / lo, 0.125 + 1e-12) << "bucket " << i;
+    }
+}
+
+// --- Percentiles ----------------------------------------------------------
+
+TEST(HistogramPercentiles, MatchSortedReferenceWithinBucketError)
+{
+    Rng rng(7);
+    LatencyHistogram hist;
+    std::vector<double> reference;
+    for (int i = 0; i < 20000; ++i) {
+        // Log-uniform over [1, 1e8): exercises many octaves.
+        double v = std::exp(rng.uniformReal(0.0, std::log(1e8)));
+        uint64_t u = static_cast<uint64_t>(v);
+        hist.record(u);
+        reference.push_back(static_cast<double>(u));
+    }
+    std::sort(reference.begin(), reference.end());
+    HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 20000u);
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+        double exact =
+            reference[static_cast<size_t>(std::ceil(p / 100.0 * 20000)) - 1];
+        double approx = snap.percentile(p);
+        // Within one bucket width (12.5%) of the exact sample value.
+        EXPECT_NEAR(approx, exact, exact * 0.13 + 1.0)
+            << "p" << p << " exact=" << exact << " approx=" << approx;
+    }
+    EXPECT_EQ(snap.percentile(100.0), reference.back());
+    EXPECT_EQ(static_cast<double>(snap.min), reference.front());
+    EXPECT_EQ(static_cast<double>(snap.max), reference.back());
+}
+
+TEST(HistogramPercentiles, EmptyHistogramIsZero)
+{
+    LatencyHistogram hist;
+    HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.percentile(50), 0.0);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 0u);
+}
+
+TEST(HistogramPercentiles, SingleValue)
+{
+    LatencyHistogram hist;
+    hist.record(42);
+    HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.percentile(0), 42.0);
+    EXPECT_EQ(snap.percentile(50), 42.0);
+    EXPECT_EQ(snap.percentile(100), 42.0);
+    EXPECT_EQ(snap.mean(), 42.0);
+}
+
+// --- Merge ----------------------------------------------------------------
+
+TEST(HistogramMerge, EqualsCombinedStream)
+{
+    Rng rng(11);
+    LatencyHistogram a, b, combined;
+    for (int i = 0; i < 5000; ++i) {
+        uint64_t v = static_cast<uint64_t>(rng.uniformReal(0, 1e6));
+        if (i % 2) {
+            a.record(v);
+        } else {
+            b.record(v);
+        }
+        combined.record(v);
+    }
+    HistogramSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    HistogramSnapshot expect = combined.snapshot();
+    EXPECT_EQ(merged.count, expect.count);
+    EXPECT_EQ(merged.sum, expect.sum);
+    EXPECT_EQ(merged.min, expect.min);
+    EXPECT_EQ(merged.max, expect.max);
+    EXPECT_EQ(merged.buckets, expect.buckets);
+    for (double p : {50.0, 90.0, 99.0})
+        EXPECT_EQ(merged.percentile(p), expect.percentile(p));
+}
+
+TEST(HistogramMerge, MergeIntoEmpty)
+{
+    LatencyHistogram a;
+    a.record(10);
+    a.record(20);
+    HistogramSnapshot empty;
+    empty.merge(a.snapshot());
+    EXPECT_EQ(empty.count, 2u);
+    EXPECT_EQ(empty.min, 10u);
+    EXPECT_EQ(empty.max, 20u);
+}
+
+// --- Concurrency ----------------------------------------------------------
+
+TEST(CounterConcurrency, ParallelIncrementsAreExact)
+{
+    obs::Counter counter;
+    obs::Gauge gauge;
+    LatencyHistogram hist;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 100000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&]() {
+            for (int i = 0; i < kPerThread; ++i) {
+                counter.inc();
+                gauge.add(1);
+                hist.record(static_cast<uint64_t>(i));
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(counter.value(), uint64_t{kThreads} * kPerThread);
+    EXPECT_EQ(gauge.value(), int64_t{kThreads} * kPerThread);
+    HistogramSnapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, uint64_t{kThreads} * kPerThread);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, uint64_t{kPerThread} - 1);
+}
+
+// --- Registry -------------------------------------------------------------
+
+TEST(Registry, SameNameSameObject)
+{
+    MetricsRegistry reg;
+    obs::Counter &a = reg.counter("x");
+    obs::Counter &b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &reg.counter("y"));
+    // Kinds live in separate namespaces.
+    reg.gauge("x").set(5);
+    reg.histogram("x").record(1);
+    a.inc(3);
+    obs::RegistrySnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counterValue("x"), 3u);
+    EXPECT_EQ(snap.gaugeValue("x"), 5);
+    ASSERT_NE(snap.findHistogram("x"), nullptr);
+    EXPECT_EQ(snap.findHistogram("x")->count, 1u);
+    EXPECT_EQ(snap.findHistogram("missing"), nullptr);
+    EXPECT_EQ(snap.counterValue("missing"), 0u);
+}
+
+TEST(Registry, SnapshotIsNameSorted)
+{
+    MetricsRegistry reg;
+    reg.counter("zeta");
+    reg.counter("alpha");
+    reg.counter("mid");
+    obs::RegistrySnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 3u);
+    EXPECT_EQ(snap.counters[0].name, "alpha");
+    EXPECT_EQ(snap.counters[2].name, "zeta");
+}
+
+// --- Span -----------------------------------------------------------------
+
+TEST(Span, RecordsIntoHistogramAndIgnoresNull)
+{
+    LatencyHistogram hist;
+    {
+        POTLUCK_SPAN(&hist);
+    }
+    {
+        LatencyHistogram *off = nullptr;
+        POTLUCK_SPAN(off); // must not crash
+    }
+#ifndef POTLUCK_OBS_NO_TRACE
+    EXPECT_EQ(hist.count(), 1u);
+#else
+    EXPECT_EQ(hist.count(), 0u);
+#endif
+}
+
+// --- Exporters ------------------------------------------------------------
+
+TEST(Export, JsonContainsAllSections)
+{
+    MetricsRegistry reg;
+    reg.counter("service.lookups").inc(7);
+    reg.gauge("cache.entries").set(3);
+    reg.histogram("lookup.total_ns").record(1000);
+    std::string json = obs::toJson(reg.snapshot());
+    EXPECT_NE(json.find("\"service.lookups\":7"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"cache.entries\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"lookup.total_ns\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(Export, PrometheusRewritesNamesAndEmitsTypes)
+{
+    MetricsRegistry reg;
+    reg.counter("service.lookups").inc(7);
+    reg.histogram("lookup.total_ns").record(1000);
+    std::string prom = obs::toPrometheus(reg.snapshot());
+    EXPECT_NE(prom.find("# TYPE service_lookups counter"), std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("service_lookups 7"), std::string::npos);
+    EXPECT_NE(prom.find("# TYPE lookup_total_ns summary"), std::string::npos);
+    EXPECT_NE(prom.find("lookup_total_ns{quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("lookup_total_ns_count 1"), std::string::npos);
+    EXPECT_EQ(obs::prometheusName("fn.recognize.hits"), "fn_recognize_hits");
+}
+
+// --- ServiceStats as a registry view --------------------------------------
+
+PotluckConfig
+quietConfig()
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    return cfg;
+}
+
+TEST(ServiceMetrics, StatsAreDerivedFromRegistry)
+{
+    PotluckService service(quietConfig());
+    KeyTypeConfig key_cfg;
+    key_cfg.name = "vec";
+    key_cfg.index_kind = IndexKind::Linear;
+    service.registerKeyType("recognize", key_cfg);
+
+    service.put("recognize", "vec", FeatureVector({1.0f}), encodeInt(1));
+    service.lookup("app", "recognize", "vec", FeatureVector({1.0f}));
+    service.lookup("app", "recognize", "vec", FeatureVector({100.0f}));
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.puts, 1u);
+    EXPECT_EQ(stats.lookups, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+
+    // The same numbers must be visible through the registry...
+    obs::RegistrySnapshot snap = service.metrics().snapshot();
+    EXPECT_EQ(snap.counterValue("service.lookups"), 2u);
+    EXPECT_EQ(snap.counterValue("service.hits"), 1u);
+    EXPECT_EQ(snap.counterValue("service.puts"), 1u);
+    // ...including per-function counters and the occupancy gauges.
+    EXPECT_EQ(snap.counterValue("fn.recognize.lookups"), 2u);
+    EXPECT_EQ(snap.counterValue("fn.recognize.hits"), 1u);
+    EXPECT_EQ(snap.counterValue("fn.recognize.misses"), 1u);
+    EXPECT_EQ(snap.gaugeValue("cache.entries"), 1);
+    EXPECT_GT(snap.gaugeValue("cache.bytes"), 0);
+    EXPECT_DOUBLE_EQ(service.functionHitRate("recognize"), 0.5);
+    EXPECT_DOUBLE_EQ(service.functionHitRate("unknown_fn"), 0.0);
+}
+
+TEST(ServiceMetrics, TracingRecordsHotPathHistograms)
+{
+    PotluckService service(quietConfig());
+    KeyTypeConfig key_cfg;
+    key_cfg.name = "vec";
+    key_cfg.index_kind = IndexKind::Linear;
+    service.registerKeyType("f", key_cfg);
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1));
+    service.lookup("a", "f", "vec", FeatureVector({1.0f}));
+
+    obs::RegistrySnapshot snap = service.metrics().snapshot();
+    const obs::HistogramSnapshot *lookup_ns =
+        snap.findHistogram("lookup.total_ns");
+    const obs::HistogramSnapshot *put_ns = snap.findHistogram("put.total_ns");
+    ASSERT_NE(lookup_ns, nullptr);
+    ASSERT_NE(put_ns, nullptr);
+#ifndef POTLUCK_OBS_NO_TRACE
+    EXPECT_EQ(lookup_ns->count, 1u);
+    EXPECT_EQ(put_ns->count, 1u);
+    EXPECT_GT(lookup_ns->max, 0u);
+#endif
+}
+
+TEST(ServiceMetrics, TracingDisabledRecordsNoHistograms)
+{
+    PotluckConfig cfg = quietConfig();
+    cfg.enable_tracing = false;
+    PotluckService service(cfg);
+    KeyTypeConfig key_cfg;
+    key_cfg.name = "vec";
+    key_cfg.index_kind = IndexKind::Linear;
+    service.registerKeyType("f", key_cfg);
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1));
+    service.lookup("a", "f", "vec", FeatureVector({1.0f}));
+
+    obs::RegistrySnapshot snap = service.metrics().snapshot();
+    EXPECT_EQ(snap.findHistogram("lookup.total_ns"), nullptr);
+    EXPECT_EQ(snap.findHistogram("put.total_ns"), nullptr);
+    // Counters stay on regardless.
+    EXPECT_EQ(snap.counterValue("service.lookups"), 1u);
+    EXPECT_EQ(service.stats().hits, 1u);
+}
+
+TEST(ServiceStatsView, HitRateExcludesDropoutsFromDenominator)
+{
+    // Synthetic snapshot: the denominator contract in one place.
+    ServiceStats stats;
+    stats.lookups = 100;
+    stats.hits = 40;
+    stats.misses = 40;
+    stats.dropouts = 20;
+    EXPECT_EQ(stats.answered(), 80u);
+    // hitRate = hits / (hits + misses): dropouts are NOT misses.
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+    // effectiveHitRate includes them: hits / lookups.
+    EXPECT_DOUBLE_EQ(stats.effectiveHitRate(), 0.4);
+    EXPECT_DOUBLE_EQ(stats.dropoutRate(), 0.2);
+
+    ServiceStats empty;
+    EXPECT_DOUBLE_EQ(empty.hitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.effectiveHitRate(), 0.0);
+}
+
+TEST(ServiceStatsView, EveryLookupIsHitMissOrDropout)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.5; // plenty of dropouts
+    cfg.warmup_entries = 0;
+    cfg.seed = 9; // deterministic dropout sequence
+    PotluckService service(cfg);
+    KeyTypeConfig key_cfg;
+    key_cfg.name = "vec";
+    key_cfg.index_kind = IndexKind::Linear;
+    service.registerKeyType("f", key_cfg);
+    service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1));
+    for (int i = 0; i < 200; ++i)
+        service.lookup("a", "f", "vec", FeatureVector({1.0f}));
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.lookups, 200u);
+    EXPECT_EQ(stats.hits + stats.misses + stats.dropouts, stats.lookups);
+    EXPECT_GT(stats.dropouts, 0u);
+    EXPECT_GT(stats.hits, 0u);
+    // Dropouts must not drag hitRate down: every answered lookup of an
+    // identical key is a hit, so the rate over answered lookups is 1.
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 1.0);
+    EXPECT_LT(stats.effectiveHitRate(), 1.0);
+}
+
+} // namespace
+} // namespace potluck

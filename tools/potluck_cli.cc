@@ -6,22 +6,29 @@
  *   potluck_cli [--socket PATH] register FUNCTION KEYTYPE [metric] [index]
  *   potluck_cli [--socket PATH] put FUNCTION KEYTYPE K1,K2,... VALUE
  *   potluck_cli [--socket PATH] get FUNCTION KEYTYPE K1,K2,...
- *   potluck_cli [--socket PATH] stats
+ *   potluck_cli [--socket PATH] stats [--json|--prom]
  *
  * Keys are comma-separated floats; values are stored/printed as
  * strings. Exit status: 0 on hit/success, 2 on miss.
+ *
+ * `stats` fetches the daemon's metrics-registry snapshot over the
+ * kStats verb and pretty-prints occupancy, global counters, per-
+ * function hit rates and hot-path latency percentiles; --json and
+ * --prom dump the same snapshot in JSON / Prometheus text format.
  *
  * Note: each invocation registers as a fresh application, which (per
  * Section 4.3) resets the similarity thresholds — so CLI lookups are
  * exact-match unless the daemon's tuner has re-loosened since. This is
  * a debugging tool, not a performance path.
  */
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "ipc/client.h"
+#include "obs/export.h"
 #include "util/stringutil.h"
 
 using namespace potluck;
@@ -37,8 +44,133 @@ usage()
                  "  potluck_cli [--socket PATH] put FN KEYTYPE K1,K2,.. "
                  "VALUE\n"
                  "  potluck_cli [--socket PATH] get FN KEYTYPE K1,K2,..\n"
-                 "  potluck_cli [--socket PATH] stats\n";
+                 "  potluck_cli [--socket PATH] stats [--json|--prom]\n";
     std::exit(1);
+}
+
+/** Names of functions with registered `fn.<name>.lookups` counters. */
+std::vector<std::string>
+functionNames(const obs::RegistrySnapshot &snapshot)
+{
+    std::vector<std::string> names;
+    const std::string prefix = "fn.";
+    const std::string suffix = ".lookups";
+    for (const auto &c : snapshot.counters) {
+        if (c.name.size() > prefix.size() + suffix.size() &&
+            c.name.compare(0, prefix.size(), prefix) == 0 &&
+            c.name.compare(c.name.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+            names.push_back(c.name.substr(
+                prefix.size(),
+                c.name.size() - prefix.size() - suffix.size()));
+        }
+    }
+    return names;
+}
+
+void
+printHistogramLine(const obs::RegistrySnapshot &snapshot,
+                   const std::string &metric, const std::string &label)
+{
+    const obs::HistogramSnapshot *h = snapshot.findHistogram(metric);
+    if (!h || h->count == 0)
+        return;
+    std::printf("  %-22s p50 %-9s p90 %-9s p99 %-9s max %-9s (%llu samples)\n",
+                label.c_str(), obs::formatNs(h->percentile(50)).c_str(),
+                obs::formatNs(h->percentile(90)).c_str(),
+                obs::formatNs(h->percentile(99)).c_str(),
+                obs::formatNs(static_cast<double>(h->max)).c_str(),
+                static_cast<unsigned long long>(h->count));
+}
+
+int
+runStats(PotluckClient &client, const std::string &format)
+{
+    auto remote = client.fetchMetrics();
+    if (format == "json") {
+        std::cout << obs::toJson(remote.snapshot) << "\n";
+        return 0;
+    }
+    if (format == "prom") {
+        std::cout << obs::toPrometheus(remote.snapshot);
+        return 0;
+    }
+
+    const obs::RegistrySnapshot &snap = remote.snapshot;
+    const ServiceStats &stats = remote.stats;
+    std::cout << "cache\n"
+              << "  entries:     " << remote.num_entries << "\n"
+              << "  bytes:       " << formatBytes(remote.total_bytes)
+              << "\n";
+    std::printf("service\n"
+                "  lookups:     %llu (hits %llu, misses %llu, dropouts "
+                "%llu)\n"
+                "  hit rate:    %.1f%% of answered lookups (%.1f%% incl. "
+                "dropouts)\n"
+                "  puts:        %llu\n"
+                "  evictions:   %llu capacity, %llu expired\n"
+                "  tuner:       %llu tighten, %llu loosen\n",
+                static_cast<unsigned long long>(stats.lookups),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.dropouts),
+                100.0 * stats.hitRate(), 100.0 * stats.effectiveHitRate(),
+                static_cast<unsigned long long>(stats.puts),
+                static_cast<unsigned long long>(stats.evictions),
+                static_cast<unsigned long long>(stats.expirations),
+                static_cast<unsigned long long>(stats.tighten_events),
+                static_cast<unsigned long long>(stats.loosen_events));
+    uint64_t bad_frames = snap.counterValue("ipc.bad_frame");
+    std::printf("ipc\n"
+                "  requests:    %llu over %llu connections (%llu bad "
+                "frames)\n",
+                static_cast<unsigned long long>(
+                    snap.counterValue("ipc.requests")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("ipc.connections")),
+                static_cast<unsigned long long>(bad_frames));
+
+    std::vector<std::string> functions = functionNames(snap);
+    if (!functions.empty()) {
+        std::cout << "functions\n";
+        for (const auto &fn : functions) {
+            uint64_t lookups = snap.counterValue("fn." + fn + ".lookups");
+            uint64_t hits = snap.counterValue("fn." + fn + ".hits");
+            uint64_t misses = snap.counterValue("fn." + fn + ".misses");
+            uint64_t answered = hits + misses;
+            double rate = answered ? 100.0 * hits / answered : 0.0;
+            std::printf("  %-22s %8llu lookups  %5.1f%% hit rate",
+                        fn.c_str(),
+                        static_cast<unsigned long long>(lookups), rate);
+            const obs::HistogramSnapshot *h =
+                snap.findHistogram("fn." + fn + ".lookup_ns");
+            if (h && h->count) {
+                std::printf("  p50 %s  p99 %s",
+                            obs::formatNs(h->percentile(50)).c_str(),
+                            obs::formatNs(h->percentile(99)).c_str());
+            }
+            std::printf("\n");
+        }
+    }
+
+    bool any_latency = false;
+    for (const char *metric :
+         {"lookup.total_ns", "put.total_ns", "ipc.handle_ns"}) {
+        const obs::HistogramSnapshot *h = snap.findHistogram(metric);
+        any_latency = any_latency || (h && h->count);
+    }
+    if (any_latency) {
+        std::cout << "latency\n";
+        printHistogramLine(snap, "lookup.total_ns", "lookup");
+        printHistogramLine(snap, "lookup.index_probe_ns",
+                           "lookup.index_probe");
+        printHistogramLine(snap, "put.total_ns", "put");
+        printHistogramLine(snap, "put.tuner_probe_ns", "put.tuner_probe");
+        printHistogramLine(snap, "ipc.handle_ns", "ipc.handle");
+    } else {
+        std::cout << "latency\n  (tracing disabled or no samples yet)\n";
+    }
+    return 0;
 }
 
 FeatureVector
@@ -130,19 +262,17 @@ main(int argc, char **argv)
             std::cout << "HIT: " << decodeString(r.value) << "\n";
             return 0;
         }
-        if (cmd == "stats" && args.size() == 1) {
-            auto remote = client.fetchStats();
-            std::cout << "entries:     " << remote.num_entries << "\n"
-                      << "bytes:       " << formatBytes(remote.total_bytes)
-                      << "\n"
-                      << "lookups:     " << remote.stats.lookups << "\n"
-                      << "hits:        " << remote.stats.hits << "\n"
-                      << "misses:      " << remote.stats.misses << "\n"
-                      << "dropouts:    " << remote.stats.dropouts << "\n"
-                      << "puts:        " << remote.stats.puts << "\n"
-                      << "evictions:   " << remote.stats.evictions << "\n"
-                      << "expirations: " << remote.stats.expirations << "\n";
-            return 0;
+        if (cmd == "stats" && args.size() <= 2) {
+            std::string format = "plain";
+            if (args.size() == 2) {
+                if (args[1] == "--json")
+                    format = "json";
+                else if (args[1] == "--prom")
+                    format = "prom";
+                else
+                    usage();
+            }
+            return runStats(client, format);
         }
         usage();
     } catch (const FatalError &e) {

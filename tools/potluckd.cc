@@ -8,11 +8,17 @@
  * Usage:
  *   potluckd [--socket PATH] [--max-entries N] [--max-mb N]
  *            [--dropout P] [--ttl-sec N] [--eviction importance|lru|random]
- *            [--reputation] [--stats-sec N] [--snapshot PATH]
+ *            [--reputation] [--stats-sec N] [--stats-format plain|json|prom]
+ *            [--no-tracing] [--snapshot PATH]
  *
  * With --snapshot, the cache is restored from PATH at startup (if the
  * file exists) and saved back on clean shutdown — the "secondary flash
  * storage" layer of the paper's architecture figure.
+ *
+ * Every --stats-sec seconds the daemon dumps its metrics registry to
+ * stdout: a one-line summary with hit rate and lookup p50/p99
+ * (plain), or the full JSON / Prometheus export. --no-tracing turns
+ * off the hot-path latency spans (counters stay on).
  */
 #include <csignal>
 #include <fstream>
@@ -24,6 +30,8 @@
 #include "core/persistence.h"
 #include "core/potluck_service.h"
 #include "ipc/server.h"
+#include "obs/export.h"
+#include "util/stats.h"
 #include "util/stringutil.h"
 
 using namespace potluck;
@@ -46,8 +54,44 @@ usage()
            "                [--dropout P] [--ttl-sec N]\n"
            "                [--eviction importance|lru|random]\n"
            "                [--reputation] [--stats-sec N]\n"
-           "                [--snapshot PATH]\n";
+           "                [--stats-format plain|json|prom]\n"
+           "                [--no-tracing] [--snapshot PATH]\n";
     std::exit(1);
+}
+
+/** The periodic stats dump, in the configured format. */
+void
+dumpStats(const PotluckService &service, const std::string &format)
+{
+    if (format == "json") {
+        std::cout << potluck::obs::toJson(service.metrics().snapshot())
+                  << std::endl;
+        return;
+    }
+    if (format == "prom") {
+        std::cout << potluck::obs::toPrometheus(service.metrics().snapshot())
+                  << std::flush;
+        return;
+    }
+    ServiceStats stats = service.stats();
+    std::cout << "potluckd: " << service.numEntries() << " entries / "
+              << formatBytes(service.totalBytes())
+              << "; lookups=" << stats.lookups << " hits=" << stats.hits
+              << " puts=" << stats.puts << " evictions=" << stats.evictions
+              << " expirations=" << stats.expirations;
+    if (stats.answered()) {
+        std::cout << " hit_rate="
+                  << formatFixed(100.0 * stats.hitRate(), 1) << "%";
+    }
+    obs::RegistrySnapshot snapshot = service.metrics().snapshot();
+    const obs::HistogramSnapshot *lookup_ns =
+        snapshot.findHistogram("lookup.total_ns");
+    if (lookup_ns && lookup_ns->count) {
+        std::cout << " lookup_p50=" << obs::formatNs(lookup_ns->percentile(50))
+                  << " lookup_p99="
+                  << obs::formatNs(lookup_ns->percentile(99));
+    }
+    std::cout << std::endl;
 }
 
 } // namespace
@@ -57,6 +101,7 @@ main(int argc, char **argv)
 {
     std::string socket_path = "/tmp/potluck.sock";
     std::string snapshot_path;
+    std::string stats_format = "plain";
     int stats_sec = 30;
     PotluckConfig config;
 
@@ -91,6 +136,14 @@ main(int argc, char **argv)
             config.enable_reputation = true;
         } else if (arg == "--stats-sec") {
             stats_sec = std::stoi(next());
+        } else if (arg == "--stats-format") {
+            stats_format = next();
+            if (stats_format != "plain" && stats_format != "json" &&
+                stats_format != "prom") {
+                usage();
+            }
+        } else if (arg == "--no-tracing") {
+            config.enable_tracing = false;
         } else if (arg == "--snapshot") {
             snapshot_path = next();
         } else {
@@ -124,15 +177,7 @@ main(int argc, char **argv)
             std::this_thread::sleep_for(std::chrono::seconds(1));
             if (stats_sec > 0 && ++elapsed >= stats_sec) {
                 elapsed = 0;
-                ServiceStats stats = service.stats();
-                std::cout << "potluckd: " << service.numEntries()
-                          << " entries / " << formatBytes(service.totalBytes())
-                          << "; lookups=" << stats.lookups
-                          << " hits=" << stats.hits
-                          << " puts=" << stats.puts
-                          << " evictions=" << stats.evictions
-                          << " expirations=" << stats.expirations
-                          << std::endl;
+                dumpStats(service, stats_format);
             }
         }
         if (!snapshot_path.empty()) {
