@@ -5,6 +5,11 @@
 # for the lock-free obs counters/histograms), builds everything, and
 # runs the full test suite under the sanitizer.
 #
+# A second pass rebuilds with -DPOTLUCK_FAULT_INJECTION=ON (still under
+# the sanitizer) and reruns the suite: this compiles the transport
+# fault hooks in and exercises the FaultInjection.* torture tests that
+# are preprocessed away from release builds.
+#
 # Usage: scripts/check.sh [address|thread|undefined]
 set -euo pipefail
 
@@ -26,3 +31,11 @@ cmake --build "$BUILD" -j "$(nproc)"
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
 echo "check.sh: all tests passed under ${SANITIZER} sanitizer"
+
+FAULT_BUILD="$ROOT/build-$SANITIZER-fault"
+cmake -S "$ROOT" -B "$FAULT_BUILD" -DPOTLUCK_SANITIZE="$SANITIZER" \
+    -DPOTLUCK_FAULT_INJECTION=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$FAULT_BUILD" -j "$(nproc)"
+ctest --test-dir "$FAULT_BUILD" --output-on-failure -j "$(nproc)"
+
+echo "check.sh: all tests passed with fault injection under ${SANITIZER}"

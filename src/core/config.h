@@ -61,6 +61,32 @@ struct PotluckConfig
      */
     bool enable_tracing = true;
 
+    /// @name IPC fault tolerance (server side; client knobs live in
+    /// RetryPolicy, ipc/retry.h).
+    /// @{
+    /**
+     * Per-frame deadline for replies the server sends (ms, 0 = block
+     * forever). A client that stops reading cannot wedge a handler
+     * thread past this budget; the connection is dropped instead.
+     */
+    uint64_t ipc_send_deadline_ms = 5000;
+
+    /**
+     * Idle timeout for client connections (ms, 0 = off). Applications
+     * hold persistent connections like bound Binder proxies, so this
+     * defaults to off; deployments with connection churn can reap
+     * silent clients here.
+     */
+    uint64_t ipc_idle_timeout_ms = 0;
+
+    /**
+     * Graceful-shutdown drain budget (ms): how long
+     * PotluckServer::shutdown() waits for in-flight requests to
+     * finish before severing the remaining connections.
+     */
+    uint64_t ipc_drain_deadline_ms = 2000;
+    /// @}
+
     /// @name Reputation defense (Section 3.5's Credence-style extension).
     /// @{
     bool enable_reputation = false;

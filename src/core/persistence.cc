@@ -1,8 +1,16 @@
 #include "core/persistence.h"
 
-#include <cstring>
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace potluck {
@@ -10,7 +18,10 @@ namespace potluck {
 namespace {
 
 constexpr uint32_t kMagic = 0x504c434bu; // "PLCK"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+
+/** Largest plausible serialized block (registrations or one record). */
+constexpr uint64_t kMaxBlockBytes = 2ULL << 30;
 
 void
 writeU32(std::ostream &out, uint32_t v)
@@ -102,80 +113,174 @@ readFloats(std::istream &in)
     return v;
 }
 
+/** Write `payload` as [u64 length][bytes][u32 crc32]. */
+void
+writeBlock(std::ostream &out, const std::string &payload)
+{
+    writeU64(out, payload.size());
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    writeU32(out, crc32(payload.data(), payload.size()));
+}
+
+/**
+ * Read one length/payload/CRC block.
+ * @return false on truncation or checksum mismatch (payload invalid)
+ */
+bool
+readBlock(std::istream &in, std::string &payload)
+{
+    uint64_t len = 0;
+    in.read(reinterpret_cast<char *>(&len), sizeof(len));
+    if (!in || len > kMaxBlockBytes)
+        return false;
+    payload.resize(len);
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (!in)
+        return false;
+    uint32_t stored_crc = 0;
+    in.read(reinterpret_cast<char *>(&stored_crc), sizeof(stored_crc));
+    if (!in)
+        return false;
+    return crc32(payload.data(), payload.size()) == stored_crc;
+}
+
+/** fsync an open file by path; throws FatalError on failure. */
+void
+syncFile(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        POTLUCK_FATAL("cannot reopen " << path
+                                       << " for fsync: "
+                                       << std::strerror(errno));
+    int rc = ::fsync(fd);
+    int err = errno;
+    ::close(fd);
+    if (rc < 0)
+        POTLUCK_FATAL("fsync(" << path << ") failed: " << std::strerror(err));
+}
+
+/** Best-effort fsync of the directory containing `path` (persists the
+ * rename itself). */
+void
+syncParentDir(const std::string &path)
+{
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
 } // namespace
 
 size_t
 saveSnapshot(const PotluckService &service, const std::string &path)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        POTLUCK_FATAL("cannot open snapshot file " << path);
+    // Write-to-temp + fsync + atomic rename: a crash at any point
+    // leaves either the old snapshot or the new one, never a torn mix.
+    const std::string tmp = path + ".tmp";
+    size_t written = 0;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            POTLUCK_FATAL("cannot open snapshot temp file " << tmp);
 
-    writeU32(out, kMagic);
-    writeU32(out, kVersion);
+        writeU32(out, kMagic);
+        writeU32(out, kVersion);
 
-    // Registration section: the (function, key type) slots, so a cold
-    // restart can rebuild its indices before applications reconnect.
-    // Code-valued settings (extractors, value-equivalence predicates)
-    // cannot be persisted; apps re-attach them at registration, which
-    // is idempotent.
-    uint64_t num_slots = 0;
-    service.forEachKeyType(
-        [&](const std::string &, const KeyTypeConfig &) { ++num_slots; });
-    writeU64(out, num_slots);
-    service.forEachKeyType([&](const std::string &function,
-                               const KeyTypeConfig &cfg) {
-        writeString(out, function);
-        writeString(out, cfg.name);
-        writeU32(out, static_cast<uint32_t>(cfg.metric));
-        writeU32(out, static_cast<uint32_t>(cfg.index_kind));
-        writeU32(out, static_cast<uint32_t>(cfg.lsh_tables));
-        writeU32(out, static_cast<uint32_t>(cfg.lsh_projections));
-        writeF64(out, cfg.lsh_bucket_width);
-    });
+        // Registration section: the (function, key type) slots, so a
+        // cold restart can rebuild its indices before applications
+        // reconnect. Code-valued settings (extractors, value-
+        // equivalence predicates) cannot be persisted; apps re-attach
+        // them at registration, which is idempotent.
+        std::ostringstream reg;
+        uint64_t num_slots = 0;
+        service.forEachKeyType(
+            [&](const std::string &, const KeyTypeConfig &) { ++num_slots; });
+        writeU64(reg, num_slots);
+        service.forEachKeyType([&](const std::string &function,
+                                   const KeyTypeConfig &cfg) {
+            writeString(reg, function);
+            writeString(reg, cfg.name);
+            writeU32(reg, static_cast<uint32_t>(cfg.metric));
+            writeU32(reg, static_cast<uint32_t>(cfg.index_kind));
+            writeU32(reg, static_cast<uint32_t>(cfg.lsh_tables));
+            writeU32(reg, static_cast<uint32_t>(cfg.lsh_projections));
+            writeF64(reg, cfg.lsh_bucket_width);
+        });
+        writeBlock(out, reg.str());
 
-    // Count first, then records. forEachEntry holds the service lock,
-    // so the two passes see a consistent view only if the cache is
-    // quiescent; the count is validated at load anyway.
-    uint64_t count = 0;
-    service.forEachEntry([&](const CacheEntry &) { ++count; });
-    writeU64(out, count);
+        // Count first, then records. forEachEntry holds the service
+        // lock, so the two passes see a consistent view only if the
+        // cache is quiescent; the tolerant loader treats the count as
+        // an upper bound anyway.
+        uint64_t count = 0;
+        service.forEachEntry([&](const CacheEntry &) { ++count; });
+        writeU64(out, count);
 
-    uint64_t written = 0;
-    // Expiry is stored as remaining TTL relative to "now", because the
-    // steady-clock epoch does not survive a process restart.
-    uint64_t now_us = service.nowUs();
-    service.forEachEntry([&](const CacheEntry &entry) {
-        writeString(out, entry.function);
-        writeString(out, entry.app);
-        writeF64(out, entry.compute_overhead_us);
-        writeU64(out, entry.access_frequency);
-        // Remaining validity period at save time.
-        writeU64(out, entry.expiry_us > now_us
-                          ? entry.expiry_us - now_us
-                          : 0);
-        writeU64(out, entry.keys.size());
-        for (const auto &[type, key] : entry.keys) {
-            writeString(out, type);
-            writeFloats(out, key.values());
+        // Expiry is stored as remaining TTL relative to "now", because
+        // the steady-clock epoch does not survive a process restart.
+        uint64_t now_us = service.nowUs();
+        service.forEachEntry([&](const CacheEntry &entry) {
+            std::ostringstream rec;
+            writeString(rec, entry.function);
+            writeString(rec, entry.app);
+            writeF64(rec, entry.compute_overhead_us);
+            writeU64(rec, entry.access_frequency);
+            // Remaining validity period at save time.
+            writeU64(rec, entry.expiry_us > now_us
+                              ? entry.expiry_us - now_us
+                              : 0);
+            writeU64(rec, entry.keys.size());
+            for (const auto &[type, key] : entry.keys) {
+                writeString(rec, type);
+                writeFloats(rec, key.values());
+            }
+            uint64_t value_bytes = valueSize(entry.value);
+            writeU64(rec, value_bytes);
+            if (value_bytes) {
+                rec.write(
+                    reinterpret_cast<const char *>(entry.value->data()),
+                    static_cast<std::streamsize>(value_bytes));
+            }
+            writeBlock(out, rec.str());
+            ++written;
+        });
+        out.flush();
+        if (!out) {
+            out.close();
+            ::unlink(tmp.c_str());
+            POTLUCK_FATAL("short write to snapshot temp " << tmp);
         }
-        uint64_t value_bytes = valueSize(entry.value);
-        writeU64(out, value_bytes);
-        if (value_bytes) {
-            out.write(reinterpret_cast<const char *>(entry.value->data()),
-                      static_cast<std::streamsize>(value_bytes));
-        }
-        ++written;
-    });
-    out.flush();
-    if (!out)
-        POTLUCK_FATAL("short write to snapshot " << path);
+    }
+    try {
+        syncFile(tmp);
+    } catch (const FatalError &) {
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        POTLUCK_FATAL("rename(" << tmp << ", " << path
+                                << ") failed: " << std::strerror(err));
+    }
+    syncParentDir(path);
     return written;
 }
 
 size_t
-loadSnapshot(PotluckService &service, const std::string &path)
+loadSnapshot(PotluckService &service, const std::string &path,
+             SnapshotLoadReport *report)
 {
+    SnapshotLoadReport local;
+    SnapshotLoadReport &rep = report ? *report : local;
+    rep = SnapshotLoadReport{};
+
     std::ifstream in(path, std::ios::binary);
     if (!in)
         POTLUCK_FATAL("cannot open snapshot file " << path);
@@ -185,87 +290,126 @@ loadSnapshot(PotluckService &service, const std::string &path)
     if (version != kVersion)
         POTLUCK_FATAL("unsupported snapshot version " << version);
 
-    uint64_t num_slots = readU64(in);
-    if (num_slots > 4096)
-        POTLUCK_FATAL("implausible slot count in snapshot");
-    for (uint64_t i = 0; i < num_slots; ++i) {
-        KeyTypeConfig cfg;
-        std::string function = readString(in);
-        cfg.name = readString(in);
-        cfg.metric = static_cast<Metric>(readU32(in));
-        cfg.index_kind = static_cast<IndexKind>(readU32(in));
-        cfg.lsh_tables = static_cast<int>(readU32(in));
-        cfg.lsh_projections = static_cast<int>(readU32(in));
-        cfg.lsh_bucket_width = readF64(in);
-        try {
-            service.registerKeyType(function, cfg);
-        } catch (const FatalError &) {
-            // Already registered with different settings: keep the
-            // live registration.
+    // Without the registration block nothing else can be interpreted,
+    // so corruption here still fails the load.
+    std::string reg_payload;
+    if (!readBlock(in, reg_payload))
+        POTLUCK_FATAL("corrupt registration block in snapshot " << path);
+    {
+        std::istringstream reg(reg_payload);
+        uint64_t num_slots = readU64(reg);
+        if (num_slots > 4096)
+            POTLUCK_FATAL("implausible slot count in snapshot");
+        for (uint64_t i = 0; i < num_slots; ++i) {
+            KeyTypeConfig cfg;
+            std::string function = readString(reg);
+            cfg.name = readString(reg);
+            cfg.metric = static_cast<Metric>(readU32(reg));
+            cfg.index_kind = static_cast<IndexKind>(readU32(reg));
+            cfg.lsh_tables = static_cast<int>(readU32(reg));
+            cfg.lsh_projections = static_cast<int>(readU32(reg));
+            cfg.lsh_bucket_width = readF64(reg);
+            try {
+                service.registerKeyType(function, cfg);
+            } catch (const FatalError &) {
+                // Already registered with different settings: keep the
+                // live registration.
+            }
         }
     }
 
     uint64_t count = readU64(in);
-    size_t restored = 0;
+    uint64_t processed = 0;
+    std::string payload;
     for (uint64_t i = 0; i < count; ++i) {
-        std::string function = readString(in);
-        std::string app = readString(in);
-        double overhead_us = readF64(in);
-        uint64_t access_frequency = readU64(in);
-        uint64_t remaining_ttl_us = readU64(in);
-
-        uint64_t num_keys = readU64(in);
-        if (num_keys == 0 || num_keys > 64)
-            POTLUCK_FATAL("implausible key count in snapshot: " << num_keys);
-        std::map<std::string, FeatureVector> keys;
-        for (uint64_t k = 0; k < num_keys; ++k) {
-            std::string type = readString(in);
-            keys.emplace(type, FeatureVector(readFloats(in)));
+        if (!readBlock(in, payload)) {
+            // Truncated tail or checksum mismatch: keep everything
+            // restored so far, drop the rest.
+            rep.corrupt_tail = true;
+            break;
         }
-
-        uint64_t value_bytes = readU64(in);
-        if (value_bytes > (1ULL << 30))
-            POTLUCK_FATAL("implausible value size in snapshot");
-        Value value;
-        if (value_bytes) {
-            std::vector<uint8_t> bytes(value_bytes);
-            in.read(reinterpret_cast<char *>(bytes.data()),
-                    static_cast<std::streamsize>(value_bytes));
-            if (!in)
-                POTLUCK_FATAL("truncated snapshot value");
-            value = makeValue(std::move(bytes));
-        }
-
-        if (remaining_ttl_us == 0)
-            continue; // already expired at save time
-
-        // Replay through the normal put() path under the first key
-        // type that is still registered; the remaining keys ride along
-        // as extra_keys.
-        PutOptions options;
-        options.app = app;
-        options.compute_overhead_us = overhead_us;
-        options.access_frequency = access_frequency;
-        options.ttl_us = remaining_ttl_us;
-        const std::string *primary_type = nullptr;
-        const FeatureVector *primary_key = nullptr;
-        for (const auto &[type, key] : keys) {
-            if (!primary_type) {
-                primary_type = &type;
-                primary_key = &key;
-            } else {
-                options.extra_keys.emplace(type, key);
-            }
-        }
+        std::istringstream rec(payload);
         try {
-            service.put(function, *primary_type, *primary_key, value,
-                        options);
+            std::string function = readString(rec);
+            std::string app = readString(rec);
+            double overhead_us = readF64(rec);
+            uint64_t access_frequency = readU64(rec);
+            uint64_t remaining_ttl_us = readU64(rec);
+
+            uint64_t num_keys = readU64(rec);
+            if (num_keys == 0 || num_keys > 64)
+                POTLUCK_FATAL("implausible key count in snapshot: "
+                              << num_keys);
+            std::map<std::string, FeatureVector> keys;
+            for (uint64_t k = 0; k < num_keys; ++k) {
+                std::string type = readString(rec);
+                keys.emplace(type, FeatureVector(readFloats(rec)));
+            }
+
+            uint64_t value_bytes = readU64(rec);
+            if (value_bytes > (1ULL << 30))
+                POTLUCK_FATAL("implausible value size in snapshot");
+            Value value;
+            if (value_bytes) {
+                std::vector<uint8_t> bytes(value_bytes);
+                rec.read(reinterpret_cast<char *>(bytes.data()),
+                         static_cast<std::streamsize>(value_bytes));
+                if (!rec)
+                    POTLUCK_FATAL("truncated snapshot value");
+                value = makeValue(std::move(bytes));
+            }
+            ++processed;
+
+            if (remaining_ttl_us == 0) {
+                ++rep.skipped; // already expired at save time
+                continue;
+            }
+
+            // Replay through the normal put() path under the first key
+            // type that is still registered; the remaining keys ride
+            // along as extra_keys.
+            PutOptions options;
+            options.app = app;
+            options.compute_overhead_us = overhead_us;
+            options.access_frequency = access_frequency;
+            options.ttl_us = remaining_ttl_us;
+            const std::string *primary_type = nullptr;
+            const FeatureVector *primary_key = nullptr;
+            for (const auto &[type, key] : keys) {
+                if (!primary_type) {
+                    primary_type = &type;
+                    primary_key = &key;
+                } else {
+                    options.extra_keys.emplace(type, key);
+                }
+            }
+            try {
+                service.put(function, *primary_type, *primary_key, value,
+                            options);
+            } catch (const FatalError &) {
+                ++rep.skipped; // slot no longer registered: skip
+                continue;
+            }
+            ++rep.restored;
         } catch (const FatalError &) {
-            continue; // function/key type no longer registered: skip
+            // A record that passed its CRC but does not parse means
+            // the writer and reader disagree — treat as corrupt tail.
+            rep.corrupt_tail = true;
+            break;
         }
-        ++restored;
     }
-    return restored;
+
+    if (rep.corrupt_tail) {
+        rep.lost = static_cast<size_t>(count - processed);
+        service.metrics()
+            .counter("persist.records_salvaged")
+            .inc(rep.restored);
+        service.metrics().counter("persist.records_lost").inc(rep.lost);
+        POTLUCK_WARN("snapshot " << path << " has a corrupt tail: salvaged "
+                                 << rep.restored << " entries, lost "
+                                 << rep.lost << " of " << count);
+    }
+    return rep.restored;
 }
 
 } // namespace potluck

@@ -6,12 +6,21 @@
  * survives restarts — essential for the paper's claim that sharing
  * works across invocations "days or longer" apart.
  *
- * Format: a magic/version header, then one record per entry with its
- * function, keys (per key type), value blob, importance inputs and
- * expiry. Restoring replays the entries through the normal put() path
- * (with explicit overhead/TTL), so indices, accounting and capacity
- * limits are enforced identically to live operation. Expired entries
- * are skipped at load.
+ * Format (version 2): a magic/version header, a CRC32-protected
+ * registration block (the (function, key type) slots), then one
+ * length-prefixed, CRC32-protected record per entry with its
+ * function, keys, value blob, importance inputs and expiry. Restoring
+ * replays the entries through the normal put() path, so indices,
+ * accounting and capacity limits are enforced identically to live
+ * operation. Expired entries are skipped at load.
+ *
+ * Crash safety: saveSnapshot() writes to a temporary file, fsyncs it,
+ * and atomically renames over the target — a crash mid-save leaves
+ * the previous snapshot intact. loadSnapshot() is tolerant of a
+ * corrupt or truncated tail: every complete, checksum-valid record
+ * before the first bad one is restored (counted in
+ * `persist.records_salvaged`) instead of the whole file being thrown
+ * away.
  */
 #ifndef POTLUCK_CORE_PERSISTENCE_H
 #define POTLUCK_CORE_PERSISTENCE_H
@@ -22,23 +31,53 @@
 
 namespace potluck {
 
+/** What loadSnapshot() found, for logging and tests. */
+struct SnapshotLoadReport
+{
+    /** Entries replayed into the cache. */
+    size_t restored = 0;
+
+    /** Records read but not inserted (expired at save, or their
+     * function/key type is no longer registered). */
+    size_t skipped = 0;
+
+    /** Records the snapshot claimed but that were lost to the
+     * corrupt/truncated tail. */
+    size_t lost = 0;
+
+    /** True when the record stream ended early (truncation, CRC
+     * mismatch, or an undecodable record). */
+    bool corrupt_tail = false;
+};
+
 /**
- * Write every live entry of the service to `path`.
+ * Write every live entry of the service to `path`, atomically:
+ * temp file + fsync + rename, so a concurrent crash never corrupts an
+ * existing snapshot.
  * @return the number of entries written
- * @throws FatalError on I/O failure
+ * @throws FatalError on I/O failure (the previous snapshot, if any,
+ *         is left untouched)
  */
 size_t saveSnapshot(const PotluckService &service, const std::string &path);
 
 /**
- * Load a snapshot into the service. Key-type slots must already be
- * registered for entries to load into; records for unregistered
+ * Load a snapshot into the service. Key-type slots are restored from
+ * the snapshot's registration block; records for unregistered
  * (function, key type) pairs are counted as skipped, as are entries
  * already expired at load time.
  *
+ * A corrupt or truncated record tail does NOT fail the load: all
+ * complete records before it are restored and counted in the
+ * service's `persist.records_salvaged` metric (the lost remainder in
+ * `persist.records_lost`).
+ *
+ * @param report  optional; filled with restored/skipped/lost counts
  * @return the number of entries restored
- * @throws FatalError on I/O failure or a corrupt snapshot
+ * @throws FatalError when the file is missing, not a snapshot, an
+ *         unsupported version, or its registration block is corrupt
  */
-size_t loadSnapshot(PotluckService &service, const std::string &path);
+size_t loadSnapshot(PotluckService &service, const std::string &path,
+                    SnapshotLoadReport *report = nullptr);
 
 } // namespace potluck
 

@@ -1,17 +1,69 @@
 #include "ipc/client.h"
 
+#include <chrono>
+#include <thread>
+
 #include "ipc/message.h"
 #include "obs/span.h"
 #include "util/logging.h"
 
 namespace potluck {
 
+namespace {
+
+uint64_t
+nowMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
 PotluckClient::PotluckClient(std::string app_name,
-                             const std::string &socket_path)
-    : app_(std::move(app_name)), socket_(connectUnix(socket_path))
+                             const std::string &socket_path,
+                             RetryPolicy policy)
+    : app_(std::move(app_name)), socket_path_(socket_path),
+      policy_(policy),
+      breaker_(policy.breaker_failure_threshold, policy.breaker_open_ms),
+      backoff_(policy)
 {
     round_trip_ns_ = &metrics_.histogram("ipc.round_trip_ns");
     request_bytes_ = &metrics_.histogram("ipc.request_bytes");
+    retries_ = &metrics_.counter("ipc.retry");
+    reconnects_ = &metrics_.counter("ipc.reconnect");
+    deadline_exceeded_ = &metrics_.counter("ipc.deadline_exceeded");
+    degraded_lookups_ = &metrics_.counter("ipc.degraded_lookups");
+    degraded_puts_ = &metrics_.counter("ipc.degraded_puts");
+    breaker_state_ = &metrics_.gauge("ipc.breaker_state");
+
+    // ensureConnectedLocked() performs the app registration on every
+    // (re)connect; this explicit round trip forces the first
+    // connection and surfaces a refusal (Reply::ok == false) as the
+    // same FatalError it always was.
+    Request request;
+    request.type = RequestType::RegisterApp;
+    request.app = app_;
+    try {
+        Reply reply = tryRoundTrip(request);
+        if (!reply.ok)
+            POTLUCK_FATAL("app registration failed: " << reply.error);
+    } catch (const TransportError &e) {
+        if (!policy_.degraded_mode)
+            throw;
+        POTLUCK_WARN("potluck service unreachable ("
+                     << e.what() << "); client starts in degraded mode");
+    }
+}
+
+PotluckClient::PotluckClient(std::string app_name, PotluckService &service)
+    : app_(std::move(app_name)),
+      local_(std::make_unique<AppListener>(service, 1)),
+      breaker_(policy_.breaker_failure_threshold, policy_.breaker_open_ms),
+      backoff_(policy_)
+{
     Request request;
     request.type = RequestType::RegisterApp;
     request.app = app_;
@@ -20,16 +72,123 @@ PotluckClient::PotluckClient(std::string app_name,
         POTLUCK_FATAL("app registration failed: " << reply.error);
 }
 
-PotluckClient::PotluckClient(std::string app_name, PotluckService &service)
-    : app_(std::move(app_name)),
-      local_(std::make_unique<AppListener>(service, 1))
+CircuitBreaker::State
+PotluckClient::breakerState() const
 {
-    Request request;
-    request.type = RequestType::RegisterApp;
-    request.app = app_;
-    Reply reply = roundTrip(request);
-    if (!reply.ok)
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breaker_.state();
+}
+
+bool
+PotluckClient::degraded() const
+{
+    return breakerState() == CircuitBreaker::State::Open;
+}
+
+void
+PotluckClient::noteBreakerState()
+{
+    if (breaker_state_)
+        breaker_state_->set(static_cast<int64_t>(breaker_.state()));
+}
+
+void
+PotluckClient::ensureConnectedLocked()
+{
+    if (socket_.valid())
+        return;
+    socket_ = connectUnix(socket_path_);
+    socket_.setDeadline(policy_.request_deadline_ms);
+    if (connected_once_)
+        reconnects_->inc();
+
+    // A fresh connection is a fresh application to the service:
+    // re-register the app, then replay every function registration so
+    // lookups and puts resume without the application's involvement.
+    Request reg;
+    reg.type = RequestType::RegisterApp;
+    reg.app = app_;
+    Reply reply = sendRecv(reg);
+    if (!reply.ok) {
+        socket_.close();
         POTLUCK_FATAL("app registration failed: " << reply.error);
+    }
+    for (const Registration &r : registrations_) {
+        Request request;
+        request.type = RequestType::RegisterKeyType;
+        request.app = app_;
+        request.function = r.function;
+        request.key_type = r.key_type;
+        request.metric = r.metric;
+        request.index_kind = r.index_kind;
+        Reply rr = sendRecv(request);
+        if (!rr.ok)
+            POTLUCK_WARN("replaying registration " << r.function << "/"
+                                                   << r.key_type
+                                                   << " failed: " << rr.error);
+    }
+    connected_once_ = true;
+}
+
+Reply
+PotluckClient::sendRecv(const Request &request)
+{
+    POTLUCK_SPAN(round_trip_ns_);
+    std::vector<uint8_t> out = encodeRequest(request);
+    request_bytes_->record(out.size());
+    socket_.sendFrame(out);
+    std::vector<uint8_t> frame;
+    if (!socket_.recvFrame(frame))
+        throw TransportError(TransportErrc::ConnectionClosed,
+                             "service closed the connection");
+    try {
+        return decodeReply(frame);
+    } catch (const TransportError &) {
+        throw;
+    } catch (const FatalError &e) {
+        // A reply that does not decode is a transport-level failure
+        // (corrupt bytes on the wire), not a service error: retryable.
+        throw TransportError(TransportErrc::ProtocolError,
+                             std::string("bad reply frame: ") + e.what());
+    }
+}
+
+Reply
+PotluckClient::tryRoundTrip(const Request &request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TransportError last(TransportErrc::Unavailable, "request not attempted");
+    for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+        if (!breaker_.allowRequest(nowMs())) {
+            noteBreakerState();
+            throw TransportError(TransportErrc::Unavailable,
+                                 "circuit breaker open: service marked "
+                                 "unavailable");
+        }
+        try {
+            ensureConnectedLocked();
+            Reply reply = sendRecv(request);
+            breaker_.onSuccess();
+            noteBreakerState();
+            return reply;
+        } catch (const TransportError &e) {
+            last = e;
+            if (e.code() == TransportErrc::Timeout)
+                deadline_exceeded_->inc();
+            breaker_.onFailure(nowMs());
+            noteBreakerState();
+            // The connection state is unknown (half-written frame,
+            // stale reply in flight): always reconnect before retry.
+            socket_.close();
+            if (attempt + 1 < policy_.max_attempts &&
+                breaker_.state() == CircuitBreaker::State::Closed) {
+                retries_->inc();
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    backoff_.delayMs(attempt + 1)));
+            }
+        }
+    }
+    throw last;
 }
 
 Reply
@@ -37,15 +196,7 @@ PotluckClient::roundTrip(const Request &request)
 {
     if (local_)
         return local_->handle(request);
-    std::lock_guard<std::mutex> lock(mutex_);
-    POTLUCK_SPAN(round_trip_ns_);
-    std::vector<uint8_t> out = encodeRequest(request);
-    request_bytes_->record(out.size());
-    socket_.sendFrame(out);
-    std::vector<uint8_t> frame;
-    if (!socket_.recvFrame(frame))
-        POTLUCK_FATAL("service closed the connection");
-    return decodeReply(frame);
+    return tryRoundTrip(request);
 }
 
 void
@@ -53,6 +204,24 @@ PotluckClient::registerFunction(const std::string &function,
                                 const std::string &key_type, Metric metric,
                                 IndexKind index_kind)
 {
+    if (remote()) {
+        // Remember the registration first so a reconnect replays it
+        // even when this very attempt fails.
+        std::lock_guard<std::mutex> lock(mutex_);
+        bool found = false;
+        for (Registration &r : registrations_) {
+            if (r.function == function && r.key_type == key_type) {
+                r.metric = metric;
+                r.index_kind = index_kind;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            registrations_.push_back(
+                {function, key_type, metric, index_kind});
+    }
+
     Request request;
     request.type = RequestType::RegisterKeyType;
     request.app = app_;
@@ -60,9 +229,15 @@ PotluckClient::registerFunction(const std::string &function,
     request.key_type = key_type;
     request.metric = metric;
     request.index_kind = index_kind;
-    Reply reply = roundTrip(request);
-    if (!reply.ok)
-        POTLUCK_FATAL("registerFunction failed: " << reply.error);
+    try {
+        Reply reply = roundTrip(request);
+        if (!reply.ok)
+            POTLUCK_FATAL("registerFunction failed: " << reply.error);
+    } catch (const TransportError &) {
+        if (!policy_.degraded_mode)
+            throw;
+        // Degraded: the recorded registration replays on reconnect.
+    }
 }
 
 LookupResult
@@ -75,7 +250,17 @@ PotluckClient::lookup(const std::string &function,
     request.function = function;
     request.key_type = key_type;
     request.key = key;
-    Reply reply = roundTrip(request);
+    Reply reply;
+    try {
+        reply = roundTrip(request);
+    } catch (const TransportError &) {
+        if (!policy_.degraded_mode)
+            throw;
+        // Best-effort cache: an unreachable service is a miss, and the
+        // application computes locally exactly as on a normal miss.
+        degraded_lookups_->inc();
+        return LookupResult{};
+    }
     if (!reply.ok)
         POTLUCK_FATAL("lookup failed: " << reply.error);
     LookupResult result;
@@ -101,7 +286,15 @@ PotluckClient::put(const std::string &function, const std::string &key_type,
     request.value = std::move(value);
     request.ttl_us = ttl_us;
     request.compute_overhead_us = compute_overhead_us;
-    Reply reply = roundTrip(request);
+    Reply reply;
+    try {
+        reply = roundTrip(request);
+    } catch (const TransportError &) {
+        if (!policy_.degraded_mode)
+            throw;
+        degraded_puts_->inc();
+        return 0;
+    }
     if (!reply.ok)
         POTLUCK_FATAL("put failed: " << reply.error);
     return reply.entry_id;

@@ -4,6 +4,22 @@
  * lookup() and put() — over either the socket transport or a direct
  * in-process service (the "loopback" used when an app links the
  * service into its own process, and by most tests).
+ *
+ * Remote-mode fault tolerance: every request runs under a RetryPolicy
+ * (ipc/retry.h) — per-frame deadlines, bounded retries with
+ * exponential backoff + jitter, automatic reconnect (replaying app and
+ * function registrations), and a circuit breaker. Once the breaker
+ * opens, the client is in *degraded mode*: lookup() instantly reports
+ * a miss, put() becomes a counted no-op, and periodic half-open
+ * probes reconnect when the service returns — the application thread
+ * never blocks on, and never dies with, the cache service.
+ *
+ * Threading: one mutex serializes all socket round-trips (a remote
+ * client is a single persistent connection, like a bound Binder
+ * proxy). Concurrent callers queue on that mutex — including
+ * fetchStats()/fetchMetrics(), which follow the same retry policy and
+ * deadlines, so a stats poller can be delayed by at most one in-flight
+ * request plus its own bounded round trip, never wedged.
  */
 #ifndef POTLUCK_IPC_CLIENT_H
 #define POTLUCK_IPC_CLIENT_H
@@ -11,8 +27,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/app_listener.h"
+#include "ipc/retry.h"
 #include "ipc/transport.h"
 
 namespace potluck {
@@ -21,27 +39,37 @@ namespace potluck {
 class PotluckClient
 {
   public:
-    /** Connect to a service over its Unix socket. */
-    PotluckClient(std::string app_name, const std::string &socket_path);
+    /**
+     * Connect to a service over its Unix socket.
+     *
+     * With the default policy (degraded_mode = true) an unreachable
+     * service does not throw: the client starts degraded and recovers
+     * via half-open probes once the service appears. Pass a policy
+     * with degraded_mode = false to make failures throw
+     * TransportError instead.
+     */
+    PotluckClient(std::string app_name, const std::string &socket_path,
+                  RetryPolicy policy = {});
 
     /** Bind directly to an in-process service (no IPC cost). */
     PotluckClient(std::string app_name, PotluckService &service);
 
     /**
      * Register this app and a key type for a function
-     * (idempotent; call once per (function, key type)).
+     * (idempotent; call once per (function, key type)). Registrations
+     * are remembered and replayed after every reconnect.
      */
     void registerFunction(const std::string &function,
                           const std::string &key_type,
                           Metric metric = Metric::L2,
                           IndexKind index_kind = IndexKind::KdTree);
 
-    /** Query the cache. */
+    /** Query the cache. Degrades to a miss when the service is down. */
     LookupResult lookup(const std::string &function,
                         const std::string &key_type,
                         const FeatureVector &key);
 
-    /** Store a computed result. */
+    /** Store a computed result. Degrades to a no-op (returns 0). */
     EntryId put(const std::string &function, const std::string &key_type,
                 const FeatureVector &key, Value value,
                 std::optional<uint64_t> ttl_us = std::nullopt,
@@ -55,7 +83,8 @@ class PotluckClient
         uint64_t total_bytes = 0;
     };
 
-    /** Fetch the service's counters. */
+    /** Fetch the service's counters. Throws TransportError when the
+     * service stays unreachable past the retry budget. */
     RemoteStats fetchStats();
 
     /** Metrics fetched via the kStats registry-snapshot verb. */
@@ -67,30 +96,75 @@ class PotluckClient
         uint64_t total_bytes = 0;
     };
 
-    /** Fetch the service's full metrics-registry snapshot. */
+    /** Fetch the service's full metrics-registry snapshot. Throws
+     * TransportError when unreachable past the retry budget. */
     RemoteMetrics fetchMetrics();
 
     /**
-     * This client's own observability registry: `ipc.round_trip_ns`
-     * latency histogram and `ipc.request_bytes` size histogram, one
-     * sample per round trip (remote mode only; the in-process path
-     * records nothing here).
+     * This client's own observability registry (remote mode only):
+     * `ipc.round_trip_ns` / `ipc.request_bytes` histograms per round
+     * trip, plus the fault-tolerance counters `ipc.retry`,
+     * `ipc.reconnect`, `ipc.deadline_exceeded`,
+     * `ipc.degraded_lookups`, `ipc.degraded_puts` and the
+     * `ipc.breaker_state` gauge (0 closed / 1 half-open / 2 open).
      */
     const obs::MetricsRegistry &metrics() const { return metrics_; }
 
+    /** Current circuit-breaker state (always Closed in-process). */
+    CircuitBreaker::State breakerState() const;
+
+    /** True while the breaker is open: lookups short-circuit to
+     * misses and puts are dropped. */
+    bool degraded() const;
+
     const std::string &appName() const { return app_; }
-    bool remote() const { return socket_.valid(); }
+    bool remote() const { return !local_; }
 
   private:
     Reply roundTrip(const Request &request);
 
+    /** Retry/reconnect/breaker wrapper; throws TransportError once
+     * the budget is exhausted or the circuit is open. */
+    Reply tryRoundTrip(const Request &request);
+
+    /** One encode/send/recv/decode on the live socket (caller holds
+     * the mutex). */
+    Reply sendRecv(const Request &request);
+
+    /** (Re)connect, register the app, replay function registrations. */
+    void ensureConnectedLocked();
+
+    void noteBreakerState();
+
     std::string app_;
+    std::string socket_path_;            // remote mode
     FrameSocket socket_;                 // remote mode
     std::unique_ptr<AppListener> local_; // in-process mode
-    std::mutex mutex_;                   // serializes socket round-trips
+    mutable std::mutex mutex_;           // serializes socket round-trips
+    RetryPolicy policy_;
+    CircuitBreaker breaker_;
+    BackoffSchedule backoff_;
+    bool connected_once_ = false;        // distinguishes re-connects
+
+    /** Function registrations to replay after reconnect. */
+    struct Registration
+    {
+        std::string function;
+        std::string key_type;
+        Metric metric;
+        IndexKind index_kind;
+    };
+    std::vector<Registration> registrations_;
+
     obs::MetricsRegistry metrics_;       // client-side ipc.* metrics
     obs::LatencyHistogram *round_trip_ns_ = nullptr;
     obs::LatencyHistogram *request_bytes_ = nullptr;
+    obs::Counter *retries_ = nullptr;
+    obs::Counter *reconnects_ = nullptr;
+    obs::Counter *deadline_exceeded_ = nullptr;
+    obs::Counter *degraded_lookups_ = nullptr;
+    obs::Counter *degraded_puts_ = nullptr;
+    obs::Gauge *breaker_state_ = nullptr;
 };
 
 } // namespace potluck

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * TransportError: the typed failure vocabulary of the IPC layer.
+ *
+ * Potluck is a best-effort cache — the paper's applications fall back
+ * to computing locally on a miss — so a dead or slow service must be a
+ * *recoverable* condition for the client, never process-fatal. Every
+ * socket-level failure in src/ipc therefore throws TransportError with
+ * a machine-readable code that the retry policy (ipc/retry.h) keys on.
+ *
+ * TransportError derives from FatalError so existing `catch
+ * (FatalError&)` sites (tools, tests, the server accept loop) keep
+ * working; code that cares about *which* failure catches the derived
+ * type and inspects `code()`.
+ */
+#ifndef POTLUCK_IPC_ERRORS_H
+#define POTLUCK_IPC_ERRORS_H
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace potluck {
+
+/** Machine-readable transport failure class. */
+enum class TransportErrc
+{
+    ConnectFailed,    ///< connect() refused / socket file missing
+    ConnectionClosed, ///< orderly or mid-frame peer close
+    Timeout,          ///< send/recv deadline expired
+    ProtocolError,    ///< oversized or otherwise invalid frame
+    IoError,          ///< any other errno from the socket syscalls
+    Unavailable,      ///< circuit breaker open: not even attempted
+};
+
+/** Name of a TransportErrc, for log lines ("timeout", "io_error"...). */
+const char *transportErrcName(TransportErrc code);
+
+/** Recoverable IPC failure; carries the failure class in code(). */
+class TransportError : public FatalError
+{
+  public:
+    TransportError(TransportErrc code, const std::string &msg)
+        : FatalError(msg), code_(code)
+    {
+    }
+
+    TransportErrc code() const { return code_; }
+
+  private:
+    TransportErrc code_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_IPC_ERRORS_H

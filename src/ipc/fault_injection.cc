@@ -1,0 +1,93 @@
+#ifdef POTLUCK_FAULT_INJECTION
+
+#include "ipc/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace potluck {
+
+namespace {
+
+std::atomic<FaultInjector *> g_injector{nullptr};
+
+} // namespace
+
+bool
+FaultInjector::shouldRefuseConnect()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!rng_.bernoulli(cfg_.refuse_connect))
+        return false;
+    ++counts_.refused;
+    return true;
+}
+
+FaultInjector::SendAction
+FaultInjector::onSend()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rng_.bernoulli(cfg_.drop_frame)) {
+        ++counts_.dropped;
+        return SendAction::Drop;
+    }
+    if (rng_.bernoulli(cfg_.truncate_frame)) {
+        ++counts_.truncated;
+        return SendAction::Truncate;
+    }
+    return SendAction::Pass;
+}
+
+void
+FaultInjector::onRecv(std::vector<uint8_t> &body)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (body.empty() || !rng_.bernoulli(cfg_.garble_frame))
+        return;
+    ++counts_.garbled;
+    // Flip one bit in each of a few positions spread over the body;
+    // any single flip must already defeat the decoder.
+    for (int i = 0; i < 3; ++i) {
+        size_t pos = static_cast<size_t>(
+            rng_.uniformInt(0, static_cast<int64_t>(body.size()) - 1));
+        body[pos] ^= static_cast<uint8_t>(1u << rng_.uniformInt(0, 7));
+    }
+}
+
+void
+FaultInjector::maybeDelay()
+{
+    uint64_t delay_ms = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (cfg_.delay_ms == 0 || !rng_.bernoulli(cfg_.delay_probability))
+            return;
+        ++counts_.delayed;
+        delay_ms = cfg_.delay_ms;
+    }
+    // Sleep outside the lock so concurrent sockets don't serialize.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
+FaultInjector::Counts
+FaultInjector::counts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counts_;
+}
+
+void
+FaultInjector::install(FaultInjector *injector)
+{
+    g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector *
+FaultInjector::active()
+{
+    return g_injector.load(std::memory_order_acquire);
+}
+
+} // namespace potluck
+
+#endif // POTLUCK_FAULT_INJECTION

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * FaultInjector: deterministic transport-level fault injection for
+ * torture tests and the fault-recovery bench.
+ *
+ * Compiled only when the build defines POTLUCK_FAULT_INJECTION (the
+ * `-DPOTLUCK_FAULT_INJECTION=ON` CMake option; scripts/check.sh runs a
+ * pass with it enabled under ASan). In a regular build every hook in
+ * the transport compiles away to nothing, so release binaries pay zero
+ * cost — no branch, no atomic load.
+ *
+ * All randomness flows from the seeded Rng in the injector's Config,
+ * so a failing torture run reproduces bit-identically.
+ *
+ * Fault modes (probabilities are evaluated independently per event):
+ *  - refuse_connect: connectUnix() throws ConnectFailed.
+ *  - drop_frame:     sendFrame() claims success but writes nothing —
+ *                    the peer never sees the frame (deadline food).
+ *  - truncate_frame: sendFrame() writes the header plus a partial
+ *                    body, then fails — the peer sees a mid-frame
+ *                    close.
+ *  - garble_frame:   recvFrame() flips bits in the received body —
+ *                    the decoder upstream must reject it.
+ *  - delay:          send and recv sleep delay_ms first (with
+ *                    probability delay_probability).
+ */
+#ifndef POTLUCK_IPC_FAULT_INJECTION_H
+#define POTLUCK_IPC_FAULT_INJECTION_H
+
+#ifdef POTLUCK_FAULT_INJECTION
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace potluck {
+
+/** Seeded, probabilistic transport fault source. */
+class FaultInjector
+{
+  public:
+    struct Config
+    {
+        uint64_t seed = 1;
+        double refuse_connect = 0.0;
+        double drop_frame = 0.0;
+        double truncate_frame = 0.0;
+        double garble_frame = 0.0;
+        double delay_probability = 0.0;
+        uint64_t delay_ms = 0;
+    };
+
+    /** Injected-fault tallies, for test assertions. */
+    struct Counts
+    {
+        uint64_t refused = 0;
+        uint64_t dropped = 0;
+        uint64_t truncated = 0;
+        uint64_t garbled = 0;
+        uint64_t delayed = 0;
+    };
+
+    explicit FaultInjector(const Config &config) : cfg_(config),
+                                                   rng_(config.seed)
+    {
+    }
+
+    /** What sendFrame() should do with the next frame. */
+    enum class SendAction
+    {
+        Pass,
+        Drop,
+        Truncate,
+    };
+
+    /** @return true if this connect attempt must be refused. */
+    bool shouldRefuseConnect();
+
+    SendAction onSend();
+
+    /** Possibly flip bits in a received frame body (in place). */
+    void onRecv(std::vector<uint8_t> &body);
+
+    /** Sleep delay_ms with probability delay_probability. */
+    void maybeDelay();
+
+    Counts counts() const;
+
+    /**
+     * Install (or, with nullptr, clear) the process-wide injector the
+     * transport hooks consult. The injector must outlive all transport
+     * activity while installed.
+     */
+    static void install(FaultInjector *injector);
+
+    /** The installed injector, or nullptr. */
+    static FaultInjector *active();
+
+  private:
+    mutable std::mutex mutex_;
+    Config cfg_;
+    Rng rng_;
+    Counts counts_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_FAULT_INJECTION
+#endif // POTLUCK_IPC_FAULT_INJECTION_H

@@ -1,0 +1,60 @@
+#include "ipc/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace potluck {
+
+bool
+CircuitBreaker::allowRequest(uint64_t now_ms)
+{
+    switch (state_) {
+    case State::Closed:
+        return true;
+    case State::HalfOpen:
+        // One probe is already in flight; refuse piled-on requests
+        // until its outcome arrives.
+        return false;
+    case State::Open:
+        if (now_ms - opened_at_ms_ >= open_ms_) {
+            state_ = State::HalfOpen;
+            return true;
+        }
+        return false;
+    }
+    return true;
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    state_ = State::Closed;
+    consecutive_failures_ = 0;
+}
+
+void
+CircuitBreaker::onFailure(uint64_t now_ms)
+{
+    ++consecutive_failures_;
+    if (state_ == State::HalfOpen ||
+        consecutive_failures_ >= failure_threshold_) {
+        state_ = State::Open;
+        opened_at_ms_ = now_ms;
+    }
+}
+
+uint64_t
+BackoffSchedule::delayMs(int attempt)
+{
+    double base = static_cast<double>(policy_.initial_backoff_ms) *
+                  std::pow(policy_.backoff_multiplier,
+                           std::max(0, attempt - 1));
+    base = std::min(base, static_cast<double>(policy_.max_backoff_ms));
+    double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+    double factor = 1.0;
+    if (jitter > 0.0)
+        factor = rng_.uniformReal(1.0 - jitter, 1.0 + jitter);
+    return static_cast<uint64_t>(std::llround(base * factor));
+}
+
+} // namespace potluck

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Client-side fault-tolerance policy: bounded retries with
+ * exponential backoff + jitter, and a circuit breaker that converts
+ * repeated failures into *degraded mode* — Potluck is a best-effort
+ * cache, so when the service is unreachable a lookup should cost one
+ * branch and report a miss, not block the application.
+ *
+ * Circuit-breaker state machine (see DESIGN.md §8):
+ *
+ *               failures >= threshold
+ *     CLOSED ------------------------> OPEN
+ *        ^                              |
+ *        | success                      | open_ms elapsed
+ *        |                              v
+ *     HALF-OPEN <-----------------------+
+ *        |
+ *        | failure
+ *        +----------------------------> OPEN (cooldown restarts)
+ *
+ * While OPEN, requests are refused instantly (TransportErrc::
+ * Unavailable); after `breaker_open_ms` one probe request is let
+ * through (HALF-OPEN). Its success closes the circuit, its failure
+ * reopens it. The breaker itself is transport-agnostic and clocked by
+ * caller-provided millisecond timestamps, so it unit-tests without
+ * sockets or sleeps.
+ */
+#ifndef POTLUCK_IPC_RETRY_H
+#define POTLUCK_IPC_RETRY_H
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace potluck {
+
+/** Knobs for PotluckClient's failure handling. */
+struct RetryPolicy
+{
+    /** Attempts per request, including the first (>= 1). */
+    int max_attempts = 3;
+
+    /** Backoff before retry k is `initial * multiplier^(k-1)`, capped. */
+    uint64_t initial_backoff_ms = 5;
+    double backoff_multiplier = 2.0;
+    uint64_t max_backoff_ms = 500;
+
+    /** Uniform jitter fraction applied to each backoff (0..1): the
+     * actual sleep is drawn from `[b*(1-jitter), b*(1+jitter)]`. */
+    double jitter = 0.2;
+
+    /** Per-frame socket deadline for send/recv (0 = block forever). */
+    uint64_t request_deadline_ms = 1000;
+
+    /** Consecutive transport failures that open the circuit. */
+    int breaker_failure_threshold = 5;
+
+    /** Cooldown before a half-open probe is allowed. */
+    uint64_t breaker_open_ms = 2000;
+
+    /**
+     * When true (the default), an open circuit or exhausted retries
+     * degrade lookup() to a miss and put() to a counted no-op instead
+     * of throwing; when false, the TransportError propagates to the
+     * caller (potluck_cli uses this to exit non-zero).
+     */
+    bool degraded_mode = true;
+
+    /** Seed for backoff jitter (deterministic tests). */
+    uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/** Consecutive-failure circuit breaker (caller supplies timestamps). */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        Closed = 0,
+        HalfOpen = 1,
+        Open = 2,
+    };
+
+    CircuitBreaker(int failure_threshold, uint64_t open_ms)
+        : failure_threshold_(failure_threshold), open_ms_(open_ms)
+    {
+    }
+
+    /**
+     * May a request be attempted at `now_ms`? While Open, returns
+     * false until the cooldown elapses, then lets exactly one probe
+     * through (transitioning to HalfOpen).
+     */
+    bool allowRequest(uint64_t now_ms);
+
+    /** Record the outcome of an attempted request. */
+    void onSuccess();
+    void onFailure(uint64_t now_ms);
+
+    State state() const { return state_; }
+    int consecutiveFailures() const { return consecutive_failures_; }
+
+  private:
+    int failure_threshold_;
+    uint64_t open_ms_;
+    State state_ = State::Closed;
+    int consecutive_failures_ = 0;
+    uint64_t opened_at_ms_ = 0;
+};
+
+/** Backoff schedule derived from a RetryPolicy (jitter from its seed). */
+class BackoffSchedule
+{
+  public:
+    explicit BackoffSchedule(const RetryPolicy &policy)
+        : policy_(policy), rng_(policy.seed)
+    {
+    }
+
+    /**
+     * Sleep duration before retry `attempt` (1-based: the delay after
+     * the attempt-th failure), jittered.
+     */
+    uint64_t delayMs(int attempt);
+
+  private:
+    RetryPolicy policy_;
+    Rng rng_;
+};
+
+} // namespace potluck
+
+#endif // POTLUCK_IPC_RETRY_H

@@ -2,21 +2,60 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
+#include <thread>
+
 #include "ipc/message.h"
 #include "obs/span.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace potluck {
 
+namespace {
+
+/** Removes a client fd from the active set when a handler exits. */
+class ConnectionGuard
+{
+  public:
+    ConnectionGuard(std::mutex &mutex, std::set<int> &fds, obs::Gauge *gauge,
+                    int fd)
+        : mutex_(mutex), fds_(fds), gauge_(gauge), fd_(fd)
+    {
+    }
+
+    ~ConnectionGuard()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fds_.erase(fd_);
+        gauge_->add(-1);
+    }
+
+  private:
+    std::mutex &mutex_;
+    std::set<int> &fds_;
+    obs::Gauge *gauge_;
+    int fd_;
+};
+
+} // namespace
+
 PotluckServer::PotluckServer(PotluckService &service,
                              const std::string &socket_path)
     : listener_(service, /*threads=*/2), socket_path_(socket_path),
-      listen_socket_(listenUnix(socket_path))
+      listen_socket_(listenUnix(socket_path)),
+      send_deadline_ms_(service.config().ipc_send_deadline_ms),
+      idle_timeout_ms_(service.config().ipc_idle_timeout_ms),
+      drain_deadline_ms_(service.config().ipc_drain_deadline_ms)
 {
     obs::MetricsRegistry &reg = service.metrics();
     requests_ = &reg.counter("ipc.requests");
     bad_frames_ = &reg.counter("ipc.bad_frame");
     connections_total_ = &reg.counter("ipc.connections");
+    accept_errors_ = &reg.counter("ipc.accept_error");
+    idle_timeouts_ = &reg.counter("ipc.idle_timeout");
+    deadline_exceeded_ = &reg.counter("ipc.deadline_exceeded");
+    active_connections_ = &reg.gauge("ipc.active_connections");
     request_bytes_ = &reg.histogram("ipc.request_bytes");
     reply_bytes_ = &reg.histogram("ipc.reply_bytes");
     if (service.config().enable_tracing)
@@ -26,13 +65,45 @@ PotluckServer::PotluckServer(PotluckService &service,
 
 PotluckServer::~PotluckServer()
 {
+    shutdown();
+}
+
+void
+PotluckServer::shutdown()
+{
+    std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+    if (shutdown_done_)
+        return;
+    shutdown_done_ = true;
+
+    // 1. Stop accepting. Closing the listening socket unblocks
+    // accept() with an error; we also shut it down for portability.
     stopping_ = true;
-    // Closing the listening socket unblocks accept() with an error;
-    // we also shut it down for portability.
     ::shutdown(listen_socket_.fd(), SHUT_RDWR);
     listen_socket_.close();
     if (accept_thread_.joinable())
         accept_thread_.join();
+
+    // 2. Drain: half-close every client connection (SHUT_RD). The
+    // handler finishes its in-flight request, sends the reply — the
+    // write side is still open — then sees EOF and exits.
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (int fd : active_fds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    Stopwatch sw;
+    while (activeConnections() > 0 &&
+           sw.elapsedMs() < static_cast<double>(drain_deadline_ms_)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
+    // 3. Sever stragglers past the drain deadline.
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (int fd : active_fds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
     std::lock_guard<std::mutex> lock(threads_mutex_);
     for (auto &t : client_threads_)
         if (t.joinable())
@@ -45,6 +116,19 @@ PotluckServer::badFrames() const
     return bad_frames_->value();
 }
 
+uint64_t
+PotluckServer::acceptErrors() const
+{
+    return accept_errors_->value();
+}
+
+size_t
+PotluckServer::activeConnections() const
+{
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    return active_fds_.size();
+}
+
 void
 PotluckServer::acceptLoop()
 {
@@ -52,6 +136,23 @@ PotluckServer::acceptLoop()
         FrameSocket client;
         try {
             client = listen_socket_.accept();
+        } catch (const TransportError &e) {
+            if (stopping_)
+                return;
+            if (e.code() == TransportErrc::ConnectionClosed) {
+                // The listening socket itself is gone outside an
+                // orderly shutdown; nothing left to accept on.
+                POTLUCK_WARN("listening socket failed: " << e.what());
+                return;
+            }
+            // Transient (ECONNABORTED, fd/memory exhaustion): count,
+            // back off briefly, keep accepting. One bad moment must
+            // not take the daemon's front door down forever.
+            accept_errors_->inc();
+            POTLUCK_WARN("transient accept failure (retrying): "
+                         << e.what());
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            continue;
         } catch (const FatalError &) {
             // Socket closed during shutdown (or transient error).
             if (stopping_)
@@ -60,6 +161,17 @@ PotluckServer::acceptLoop()
         }
         ++connections_;
         connections_total_->inc();
+        try {
+            client.setDeadlines(send_deadline_ms_, idle_timeout_ms_);
+        } catch (const FatalError &) {
+            continue; // connection died between accept and fcntl
+        }
+        int fd = client.fd();
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            active_fds_.insert(fd);
+            active_connections_->add(1);
+        }
         std::lock_guard<std::mutex> lock(threads_mutex_);
         client_threads_.emplace_back(
             [this, c = std::move(client)]() mutable {
@@ -76,14 +188,26 @@ PotluckServer::serveClient(FrameSocket client)
     // connection: count it, log it, close this socket, keep serving
     // everyone else. Nothing may escape into the std::thread trampoline
     // (that would std::terminate the whole daemon).
+    ConnectionGuard guard(conns_mutex_, active_fds_, active_connections_,
+                          client.fd());
     std::vector<uint8_t> frame;
     try {
-        for (;;) {
+        for (;;) { // the drain path exits via EOF after SHUT_RD
             try {
                 if (!client.recvFrame(frame))
-                    return; // orderly disconnect
-            } catch (const std::exception &e) {
+                    return; // orderly disconnect (or drained shutdown)
+            } catch (const TransportError &e) {
+                if (e.code() == TransportErrc::Timeout) {
+                    // Idle timeout: reap the silent connection.
+                    idle_timeouts_->inc();
+                    return;
+                }
                 // Disconnect mid-frame or an oversized length prefix.
+                bad_frames_->inc();
+                if (!stopping_)
+                    POTLUCK_WARN("client connection error: " << e.what());
+                return;
+            } catch (const std::exception &e) {
                 bad_frames_->inc();
                 if (!stopping_)
                     POTLUCK_WARN("client connection error: " << e.what());
@@ -113,6 +237,12 @@ PotluckServer::serveClient(FrameSocket client)
             reply_bytes_->record(out.size());
             try {
                 client.sendFrame(out);
+            } catch (const TransportError &e) {
+                if (e.code() == TransportErrc::Timeout)
+                    deadline_exceeded_->inc();
+                if (!stopping_)
+                    POTLUCK_WARN("client send failed: " << e.what());
+                return;
             } catch (const std::exception &e) {
                 if (!stopping_)
                     POTLUCK_WARN("client send failed: " << e.what());

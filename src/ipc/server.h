@@ -4,6 +4,14 @@
  * transport. One acceptor thread; one handler thread per connected
  * client (an application keeps a persistent connection, like a bound
  * Binder proxy).
+ *
+ * Fault tolerance: transient accept() failures (fd exhaustion,
+ * aborted connections) are counted (`ipc.accept_error`) and retried
+ * after a brief sleep instead of killing the accept loop. Client
+ * sockets get the config's send deadline (a non-reading client cannot
+ * wedge its handler) and optional idle timeout. shutdown() drains
+ * gracefully: stop accepting, let in-flight requests finish within
+ * `ipc_drain_deadline_ms`, then sever the stragglers.
  */
 #ifndef POTLUCK_IPC_SERVER_H
 #define POTLUCK_IPC_SERVER_H
@@ -11,6 +19,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -30,11 +39,18 @@ class PotluckServer
      */
     PotluckServer(PotluckService &service, const std::string &socket_path);
 
-    /** Stops accepting, closes client connections, joins threads. */
+    /** Graceful shutdown (see shutdown()), then joins all threads. */
     ~PotluckServer();
 
     PotluckServer(const PotluckServer &) = delete;
     PotluckServer &operator=(const PotluckServer &) = delete;
+
+    /**
+     * Stop accepting, drain in-flight requests within the config's
+     * `ipc_drain_deadline_ms`, sever remaining connections, join all
+     * threads. Idempotent; called by the destructor.
+     */
+    void shutdown();
 
     const std::string &socketPath() const { return socket_path_; }
 
@@ -45,24 +61,41 @@ class PotluckServer
      * `ipc.bad_frame` counter in the service's metrics registry). */
     uint64_t badFrames() const;
 
+    /** Transient accept() failures survived (`ipc.accept_error`). */
+    uint64_t acceptErrors() const;
+
   private:
     void acceptLoop();
     void serveClient(FrameSocket client);
+
+    /** Currently-connected client fds (for drain/sever). */
+    size_t activeConnections() const;
 
     AppListener listener_;
     std::string socket_path_;
     ListenSocket listen_socket_;
     std::atomic<bool> stopping_{false};
+    bool shutdown_done_ = false; ///< guarded by shutdown_mutex_
+    std::mutex shutdown_mutex_;
     std::atomic<uint64_t> connections_{0};
+    uint64_t send_deadline_ms_ = 0;
+    uint64_t idle_timeout_ms_ = 0;
+    uint64_t drain_deadline_ms_ = 0;
     std::mutex threads_mutex_;
     std::vector<std::thread> client_threads_;
     std::thread accept_thread_;
+    mutable std::mutex conns_mutex_;
+    std::set<int> active_fds_;
 
     /// @name Cached `ipc.*` metrics from the service registry.
     /// @{
     obs::Counter *requests_ = nullptr;
     obs::Counter *bad_frames_ = nullptr;
     obs::Counter *connections_total_ = nullptr;
+    obs::Counter *accept_errors_ = nullptr;
+    obs::Counter *idle_timeouts_ = nullptr;
+    obs::Counter *deadline_exceeded_ = nullptr;
+    obs::Gauge *active_connections_ = nullptr;
     obs::LatencyHistogram *request_bytes_ = nullptr;
     obs::LatencyHistogram *reply_bytes_ = nullptr;
     obs::LatencyHistogram *handle_ns_ = nullptr; ///< null = tracing off

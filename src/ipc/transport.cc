@@ -1,21 +1,69 @@
 #include "ipc/transport.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
+#include "ipc/fault_injection.h"
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace potluck {
 
 namespace {
 
+[[noreturn]] void
+throwErrno(TransportErrc code, const char *what)
+{
+    throw TransportError(code,
+                         std::string(what) + ": " + std::strerror(errno));
+}
+
+/**
+ * Wait until fd is ready for `events` or the frame deadline expires
+ * (deadline_ms 0 = wait forever).
+ * @param sw  stopwatch started at the beginning of the frame op
+ */
 void
-writeAll(int fd, const uint8_t *data, size_t n)
+waitReady(int fd, short events, uint64_t deadline_ms, const Stopwatch &sw)
+{
+    for (;;) {
+        int poll_ms = -1; // infinite
+        if (deadline_ms) {
+            double remaining_ms =
+                static_cast<double>(deadline_ms) - sw.elapsedMs();
+            if (remaining_ms <= 0)
+                throw TransportError(TransportErrc::Timeout,
+                                     "socket deadline expired after " +
+                                         std::to_string(deadline_ms) +
+                                         " ms");
+            poll_ms = static_cast<int>(std::ceil(remaining_ms));
+        }
+        pollfd p{};
+        p.fd = fd;
+        p.events = events;
+        int rc = ::poll(&p, 1, poll_ms);
+        if (rc > 0)
+            return; // readable/writable — or POLLERR/POLLHUP, which the
+                    // following send/recv surfaces with a proper errno
+        if (rc == 0)
+            throw TransportError(TransportErrc::Timeout,
+                                 "socket deadline expired after " +
+                                     std::to_string(deadline_ms) + " ms");
+        if (errno != EINTR)
+            throwErrno(TransportErrc::IoError, "poll failed");
+    }
+}
+
+void
+writeAll(int fd, const uint8_t *data, size_t n, uint64_t deadline_ms,
+         const Stopwatch &sw)
 {
     size_t sent = 0;
     while (sent < n) {
@@ -23,7 +71,17 @@ writeAll(int fd, const uint8_t *data, size_t n)
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
-            POTLUCK_FATAL("socket send failed: " << std::strerror(errno));
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_SNDTIMEO fired: check the per-frame budget and
+                // wait out any remainder (partial frames restart the
+                // kernel timer, so the stopwatch is authoritative).
+                waitReady(fd, POLLOUT, deadline_ms, sw);
+                continue;
+            }
+            if (errno == EPIPE || errno == ECONNRESET)
+                throwErrno(TransportErrc::ConnectionClosed,
+                           "peer closed during send");
+            throwErrno(TransportErrc::IoError, "socket send failed");
         }
         sent += static_cast<size_t>(rc);
     }
@@ -31,7 +89,8 @@ writeAll(int fd, const uint8_t *data, size_t n)
 
 /** @return bytes read; 0 only on orderly EOF at the frame start. */
 size_t
-readAll(int fd, uint8_t *data, size_t n, bool eof_ok)
+readAll(int fd, uint8_t *data, size_t n, bool eof_ok, uint64_t deadline_ms,
+        const Stopwatch &sw)
 {
     size_t got = 0;
     while (got < n) {
@@ -39,19 +98,59 @@ readAll(int fd, uint8_t *data, size_t n, bool eof_ok)
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
-            POTLUCK_FATAL("socket recv failed: " << std::strerror(errno));
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_RCVTIMEO fired; see writeAll.
+                waitReady(fd, POLLIN, deadline_ms, sw);
+                continue;
+            }
+            if (errno == ECONNRESET)
+                throwErrno(TransportErrc::ConnectionClosed,
+                           "peer reset during recv");
+            throwErrno(TransportErrc::IoError, "socket recv failed");
         }
         if (rc == 0) {
             if (eof_ok && got == 0)
                 return 0;
-            POTLUCK_FATAL("peer closed mid-frame");
+            throw TransportError(TransportErrc::ConnectionClosed,
+                                 "peer closed mid-frame");
         }
         got += static_cast<size_t>(rc);
     }
     return got;
 }
 
+/** Set a per-syscall socket timeout (0 = block forever). */
+void
+setSocketTimeout(int fd, int option, uint64_t timeout_ms)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) < 0)
+        throwErrno(TransportErrc::IoError, "setsockopt(SO_*TIMEO) failed");
+}
+
 } // namespace
+
+const char *
+transportErrcName(TransportErrc code)
+{
+    switch (code) {
+    case TransportErrc::ConnectFailed:
+        return "connect_failed";
+    case TransportErrc::ConnectionClosed:
+        return "connection_closed";
+    case TransportErrc::Timeout:
+        return "timeout";
+    case TransportErrc::ProtocolError:
+        return "protocol_error";
+    case TransportErrc::IoError:
+        return "io_error";
+    case TransportErrc::Unavailable:
+        return "unavailable";
+    }
+    return "unknown";
+}
 
 FrameSocket::~FrameSocket()
 {
@@ -59,7 +158,9 @@ FrameSocket::~FrameSocket()
 }
 
 FrameSocket::FrameSocket(FrameSocket &&other) noexcept
-    : fd_(std::exchange(other.fd_, -1))
+    : fd_(std::exchange(other.fd_, -1)),
+      send_deadline_ms_(std::exchange(other.send_deadline_ms_, 0)),
+      recv_deadline_ms_(std::exchange(other.recv_deadline_ms_, 0))
 {
 }
 
@@ -69,6 +170,8 @@ FrameSocket::operator=(FrameSocket &&other) noexcept
     if (this != &other) {
         close();
         fd_ = std::exchange(other.fd_, -1);
+        send_deadline_ms_ = std::exchange(other.send_deadline_ms_, 0);
+        recv_deadline_ms_ = std::exchange(other.recv_deadline_ms_, 0);
     }
     return *this;
 }
@@ -83,6 +186,22 @@ FrameSocket::close()
 }
 
 void
+FrameSocket::setDeadlines(uint64_t send_deadline_ms,
+                          uint64_t recv_deadline_ms)
+{
+    POTLUCK_ASSERT(valid(), "setDeadlines on closed socket");
+    // SO_SNDTIMEO/SO_RCVTIMEO keep the socket blocking, so the happy
+    // path stays a single syscall (O_NONBLOCK would turn every recv
+    // into recv+poll+recv). The kernel timer is per syscall; the
+    // per-frame budget is enforced against a stopwatch when a timed
+    // syscall returns EAGAIN mid-frame.
+    setSocketTimeout(fd_, SO_SNDTIMEO, send_deadline_ms);
+    setSocketTimeout(fd_, SO_RCVTIMEO, recv_deadline_ms);
+    send_deadline_ms_ = send_deadline_ms;
+    recv_deadline_ms_ = recv_deadline_ms;
+}
+
+void
 FrameSocket::sendFrame(const std::vector<uint8_t> &body) const
 {
     POTLUCK_ASSERT(valid(), "send on closed socket");
@@ -90,28 +209,61 @@ FrameSocket::sendFrame(const std::vector<uint8_t> &body) const
     uint8_t header[4] = {
         static_cast<uint8_t>(len), static_cast<uint8_t>(len >> 8),
         static_cast<uint8_t>(len >> 16), static_cast<uint8_t>(len >> 24)};
-    writeAll(fd_, header, sizeof(header));
+    Stopwatch sw;
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FaultInjector *fi = FaultInjector::active()) {
+        fi->maybeDelay();
+        switch (fi->onSend()) {
+        case FaultInjector::SendAction::Pass:
+            break;
+        case FaultInjector::SendAction::Drop:
+            return; // frame vanishes; the peer waits on its deadline
+        case FaultInjector::SendAction::Truncate:
+            writeAll(fd_, header, sizeof(header), send_deadline_ms_, sw);
+            if (!body.empty())
+                writeAll(fd_, body.data(), body.size() / 2,
+                         send_deadline_ms_, sw);
+            throw TransportError(TransportErrc::IoError,
+                                 "fault injection: frame truncated");
+        }
+    }
+#endif
+    writeAll(fd_, header, sizeof(header), send_deadline_ms_, sw);
     if (!body.empty())
-        writeAll(fd_, body.data(), body.size());
+        writeAll(fd_, body.data(), body.size(), send_deadline_ms_, sw);
 }
 
 bool
 FrameSocket::recvFrame(std::vector<uint8_t> &body) const
 {
     POTLUCK_ASSERT(valid(), "recv on closed socket");
+    Stopwatch sw;
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FaultInjector *fi = FaultInjector::active())
+        fi->maybeDelay();
+#endif
     uint8_t header[4];
-    if (readAll(fd_, header, sizeof(header), /*eof_ok=*/true) == 0)
+    if (readAll(fd_, header, sizeof(header), /*eof_ok=*/true,
+                recv_deadline_ms_, sw) == 0) {
         return false;
+    }
     uint32_t len = static_cast<uint32_t>(header[0]) |
                    (static_cast<uint32_t>(header[1]) << 8) |
                    (static_cast<uint32_t>(header[2]) << 16) |
                    (static_cast<uint32_t>(header[3]) << 24);
     // 64 MB sanity cap protects against corrupted frames.
     if (len > 64u * 1024 * 1024)
-        POTLUCK_FATAL("oversized frame: " << len << " bytes");
+        throw TransportError(TransportErrc::ProtocolError,
+                             "oversized frame: " + std::to_string(len) +
+                                 " bytes");
     body.resize(len);
     if (len > 0)
-        readAll(fd_, body.data(), len, /*eof_ok=*/false);
+        readAll(fd_, body.data(), len, /*eof_ok=*/false, recv_deadline_ms_,
+                sw);
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FaultInjector *fi = FaultInjector::active())
+        fi->onRecv(body);
+#endif
     return true;
 }
 
@@ -153,10 +305,29 @@ FrameSocket
 ListenSocket::accept() const
 {
     POTLUCK_ASSERT(valid(), "accept on closed socket");
-    int fd = ::accept(fd_, nullptr, nullptr);
-    if (fd < 0)
-        POTLUCK_FATAL("accept failed: " << std::strerror(errno));
-    return FrameSocket(fd);
+    for (;;) {
+        int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0)
+            return FrameSocket(fd);
+        switch (errno) {
+        case EINTR:
+            continue;
+        // Transient conditions: the connection died in the backlog, or
+        // the process is briefly out of fds/buffers. The caller's
+        // accept loop must survive these — count, back off, retry.
+        case ECONNABORTED:
+        case EMFILE:
+        case ENFILE:
+        case ENOBUFS:
+        case ENOMEM:
+        case EPERM:
+            throwErrno(TransportErrc::IoError, "accept failed");
+        default:
+            // EBADF/EINVAL etc: the listening socket itself is gone
+            // (typically closed during shutdown).
+            throwErrno(TransportErrc::ConnectionClosed, "accept failed");
+        }
+    }
 }
 
 ListenSocket
@@ -198,15 +369,23 @@ connectUnix(const std::string &path)
         POTLUCK_FATAL("socket path too long: " << path);
     std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
 
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FaultInjector *fi = FaultInjector::active()) {
+        if (fi->shouldRefuseConnect())
+            throw TransportError(TransportErrc::ConnectFailed,
+                                 "fault injection: connect refused");
+    }
+#endif
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0)
-        POTLUCK_FATAL("socket() failed: " << std::strerror(errno));
+        throwErrno(TransportErrc::IoError, "socket() failed");
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
         0) {
         int err = errno;
         ::close(fd);
-        POTLUCK_FATAL("connect(" << path
-                                 << ") failed: " << std::strerror(err));
+        errno = err;
+        throwErrno(TransportErrc::ConnectFailed,
+                   ("connect(" + path + ") failed").c_str());
     }
     return FrameSocket(fd);
 }

@@ -4,6 +4,14 @@
  * Android's Binder kernel path. Frames are a 4-byte little-endian
  * length followed by the body. FrameSocket wraps a connected fd with
  * RAII; listenUnix()/connectUnix() create the endpoints.
+ *
+ * Failure model: every socket-level failure throws TransportError
+ * (ipc/errors.h) with a machine-readable code — never process-fatal,
+ * so clients can retry, reconnect, or degrade (ipc/retry.h). An
+ * optional per-frame deadline turns unbounded blocking I/O into a
+ * Timeout error: setDeadline() arms SO_SNDTIMEO/SO_RCVTIMEO, so the
+ * fast path stays a single blocking syscall; only a frame that
+ * actually stalls pays for a budget check and a poll().
  */
 #ifndef POTLUCK_IPC_TRANSPORT_H
 #define POTLUCK_IPC_TRANSPORT_H
@@ -11,6 +19,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "ipc/errors.h"
 
 namespace potluck {
 
@@ -33,11 +43,35 @@ class FrameSocket
     bool valid() const { return fd_ >= 0; }
     int fd() const { return fd_; }
 
-    /** Send one length-prefixed frame. Throws FatalError on error. */
+    /**
+     * Bound the time a single sendFrame()/recvFrame() call may block
+     * (milliseconds; 0 restores unbounded blocking I/O). On expiry
+     * the call throws TransportError{Timeout}. The budget covers one
+     * whole frame (header + body), measured from the start of the
+     * call.
+     */
+    void setDeadline(uint64_t deadline_ms)
+    {
+        setDeadlines(deadline_ms, deadline_ms);
+    }
+
+    /**
+     * Separate budgets for the two directions: a server bounds sends
+     * (a non-reading client must not wedge a handler) while leaving
+     * recv unbounded (an idle client connection is normal) — or sets
+     * a recv budget as an idle timeout.
+     */
+    void setDeadlines(uint64_t send_deadline_ms, uint64_t recv_deadline_ms);
+
+    uint64_t sendDeadlineMs() const { return send_deadline_ms_; }
+    uint64_t recvDeadlineMs() const { return recv_deadline_ms_; }
+
+    /** Send one length-prefixed frame. Throws TransportError. */
     void sendFrame(const std::vector<uint8_t> &body) const;
 
     /**
-     * Receive one frame.
+     * Receive one frame. Throws TransportError on timeout, mid-frame
+     * close, or an oversized length prefix.
      * @return false on orderly peer shutdown before a frame started.
      */
     bool recvFrame(std::vector<uint8_t> &body) const;
@@ -46,6 +80,8 @@ class FrameSocket
 
   private:
     int fd_ = -1;
+    uint64_t send_deadline_ms_ = 0; ///< 0 = block forever
+    uint64_t recv_deadline_ms_ = 0; ///< 0 = block forever
 };
 
 /** Bound, listening Unix socket with RAII unlink-on-close. */
@@ -64,7 +100,13 @@ class ListenSocket
     int fd() const { return fd_; }
     const std::string &path() const { return path_; }
 
-    /** Accept one connection (blocking). */
+    /**
+     * Accept one connection (blocking). EINTR is retried internally.
+     * Transient failures (ECONNABORTED, fd exhaustion, memory
+     * pressure) throw TransportError{IoError} — the accept loop
+     * should count them and keep going; a dead listening socket
+     * (closed during shutdown) throws TransportError{ConnectionClosed}.
+     */
     FrameSocket accept() const;
 
     void close();
@@ -79,7 +121,7 @@ class ListenSocket
 /** Create a listening Unix socket at path (unlinks stale files). */
 ListenSocket listenUnix(const std::string &path, int backlog = 16);
 
-/** Connect to a Unix socket at path. */
+/** Connect to a Unix socket at path. Throws TransportError{ConnectFailed}. */
 FrameSocket connectUnix(const std::string &path);
 
 } // namespace potluck

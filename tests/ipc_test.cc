@@ -14,7 +14,10 @@
 #include <thread>
 
 #include "ipc/client.h"
+#include "ipc/errors.h"
+#include "ipc/fault_injection.h"
 #include "ipc/message.h"
+#include "ipc/retry.h"
 #include "ipc/server.h"
 #include "ipc/transport.h"
 
@@ -392,6 +395,386 @@ TEST_F(ServerClientTest, BadFramesAreCountedNotFatal)
     client.put("g", "vec", FeatureVector({1.0f}), encodeInt(1));
     EXPECT_TRUE(client.lookup("g", "vec", FeatureVector({1.0f})).hit);
 }
+
+TEST(CircuitBreakerTest, OpensAfterThresholdAndRecovers)
+{
+    CircuitBreaker breaker(3, 100);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(breaker.allowRequest(1000));
+        breaker.onFailure(1000);
+    }
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    // Refused until the cooldown elapses.
+    EXPECT_FALSE(breaker.allowRequest(1050));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    // Exactly one half-open probe is let through.
+    EXPECT_TRUE(breaker.allowRequest(1101));
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+    EXPECT_FALSE(breaker.allowRequest(1102));
+    // The probe's success closes the circuit.
+    breaker.onSuccess();
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+    EXPECT_EQ(breaker.consecutiveFailures(), 0);
+    EXPECT_TRUE(breaker.allowRequest(1103));
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeFailureReopens)
+{
+    CircuitBreaker breaker(2, 50);
+    breaker.onFailure(0);
+    breaker.onFailure(1);
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    EXPECT_TRUE(breaker.allowRequest(52)); // half-open probe
+    breaker.onFailure(52);                 // probe fails
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+    // The cooldown restarts from the reopen, not the original open.
+    EXPECT_FALSE(breaker.allowRequest(101));
+    EXPECT_TRUE(breaker.allowRequest(103));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak)
+{
+    CircuitBreaker breaker(3, 100);
+    breaker.onFailure(0);
+    breaker.onFailure(1);
+    breaker.onSuccess();
+    breaker.onFailure(2);
+    breaker.onFailure(3);
+    // Never three *consecutive* failures, so still closed.
+    EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+}
+
+TEST(BackoffScheduleTest, GrowsGeometricallyAndCaps)
+{
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 10;
+    policy.backoff_multiplier = 2.0;
+    policy.max_backoff_ms = 55;
+    policy.jitter = 0.0;
+    BackoffSchedule schedule(policy);
+    EXPECT_EQ(schedule.delayMs(1), 10u);
+    EXPECT_EQ(schedule.delayMs(2), 20u);
+    EXPECT_EQ(schedule.delayMs(3), 40u);
+    EXPECT_EQ(schedule.delayMs(4), 55u); // capped
+    EXPECT_EQ(schedule.delayMs(5), 55u);
+}
+
+TEST(BackoffScheduleTest, JitterStaysWithinBounds)
+{
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 100;
+    policy.backoff_multiplier = 1.0;
+    policy.max_backoff_ms = 1000;
+    policy.jitter = 0.25;
+    BackoffSchedule schedule(policy);
+    for (int i = 0; i < 200; ++i) {
+        uint64_t d = schedule.delayMs(1);
+        EXPECT_GE(d, 75u);
+        EXPECT_LE(d, 125u);
+    }
+}
+
+/** Small budgets so failure-path tests finish in milliseconds. */
+RetryPolicy
+fastPolicy()
+{
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.initial_backoff_ms = 1;
+    policy.max_backoff_ms = 4;
+    policy.request_deadline_ms = 200;
+    policy.breaker_failure_threshold = 2;
+    policy.breaker_open_ms = 30;
+    return policy;
+}
+
+TEST(Transport, RecvDeadlineThrowsTimeout)
+{
+    std::string path = tempSocketPath("deadline");
+    ListenSocket listener = listenUnix(path);
+    std::thread silent([&listener]() {
+        // Accept, then hold the connection open without ever replying.
+        FrameSocket conn = listener.accept();
+        std::vector<uint8_t> frame;
+        try {
+            while (conn.recvFrame(frame)) {
+            }
+        } catch (const FatalError &) {
+        }
+    });
+    FrameSocket client = connectUnix(path);
+    client.setDeadlines(/*send_ms=*/0, /*recv_ms=*/50);
+    client.sendFrame({1, 2, 3});
+    std::vector<uint8_t> in;
+    try {
+        client.recvFrame(in);
+        FAIL() << "recvFrame should have timed out";
+    } catch (const TransportError &e) {
+        EXPECT_EQ(e.code(), TransportErrc::Timeout);
+    }
+    client.close();
+    silent.join();
+}
+
+TEST(RetryTest, ClientStartsDegradedWhenServiceMissing)
+{
+    // No server ever listens here: the constructor must not throw, and
+    // lookups/puts degrade instead of blocking or killing the app.
+    PotluckClient client("lonely_app", tempSocketPath("nosrv"),
+                         fastPolicy());
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    LookupResult r = client.lookup("f", "vec", FeatureVector({1.0f}));
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(client.put("f", "vec", FeatureVector({1.0f}), encodeInt(1)),
+              0u);
+    EXPECT_TRUE(client.degraded());
+    EXPECT_EQ(client.breakerState(), CircuitBreaker::State::Open);
+
+    obs::RegistrySnapshot snap = client.metrics().snapshot();
+    EXPECT_GE(snap.counterValue("ipc.degraded_lookups"), 1u);
+    EXPECT_GE(snap.counterValue("ipc.degraded_puts"), 1u);
+    EXPECT_EQ(snap.gaugeValue("ipc.breaker_state"), 2); // Open
+}
+
+TEST(RetryTest, StrictPolicyThrowsInsteadOfDegrading)
+{
+    RetryPolicy policy = fastPolicy();
+    policy.degraded_mode = false;
+    EXPECT_THROW(
+        PotluckClient("strict_app", tempSocketPath("strict"), policy),
+        TransportError);
+}
+
+TEST(RetryTest, FetchStatsPropagatesTransportError)
+{
+    // Even in degraded mode, stats/metrics fetches throw: returning a
+    // fabricated zero snapshot would silently lie to dashboards.
+    PotluckClient client("stats_app", tempSocketPath("nostats"),
+                         fastPolicy());
+    EXPECT_THROW(client.fetchStats(), TransportError);
+    EXPECT_THROW(client.fetchMetrics(), TransportError);
+}
+
+TEST(RetryTest, DeadlineExpiryDegradesAndCounts)
+{
+    std::string path = tempSocketPath("slowsrv");
+    ListenSocket listener = listenUnix(path);
+    std::atomic<bool> stop{false};
+    std::thread black_hole([&listener, &stop]() {
+        // Accept every connection, read requests, never reply.
+        std::vector<std::unique_ptr<FrameSocket>> conns;
+        while (!stop) {
+            try {
+                conns.push_back(
+                    std::make_unique<FrameSocket>(listener.accept()));
+            } catch (const FatalError &) {
+                break;
+            }
+        }
+    });
+
+    RetryPolicy policy = fastPolicy();
+    policy.request_deadline_ms = 60;
+    PotluckClient client("patient_app", path, policy);
+    LookupResult r = client.lookup("f", "vec", FeatureVector({1.0f}));
+    EXPECT_FALSE(r.hit);
+    EXPECT_GE(client.metrics().snapshot().counterValue(
+                  "ipc.deadline_exceeded"),
+              1u);
+
+    stop = true;
+    try {
+        // close() alone does not wake a thread blocked in accept();
+        // poke it with one throwaway connection.
+        FrameSocket poke = connectUnix(path);
+    } catch (const FatalError &) {
+    }
+    black_hole.join();
+    listener.close();
+}
+
+TEST(RetryTest, KillServerMidSessionClientDegradesAndRecovers)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("killsrv");
+    auto server = std::make_unique<PotluckServer>(service, path);
+
+    PotluckClient client("survivor", path, fastPolicy());
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    client.put("f", "vec", FeatureVector({1.0f}), encodeInt(11));
+    ASSERT_TRUE(client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+
+    // Kill the service out from under the connected client.
+    server.reset();
+    LookupResult r = client.lookup("f", "vec", FeatureVector({1.0f}));
+    EXPECT_FALSE(r.hit); // degraded to a miss, not an exception
+    EXPECT_TRUE(client.degraded());
+
+    // Restart on the same path: the same client object recovers via a
+    // half-open probe, replaying its registrations on reconnect.
+    server = std::make_unique<PotluckServer>(service, path);
+    bool recovered = false;
+    for (int i = 0; i < 500 && !recovered; ++i) {
+        recovered =
+            client.lookup("f", "vec", FeatureVector({1.0f})).hit;
+        if (!recovered)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(recovered);
+    EXPECT_FALSE(client.degraded());
+
+    obs::RegistrySnapshot snap = client.metrics().snapshot();
+    EXPECT_GE(snap.counterValue("ipc.reconnect"), 1u);
+    EXPECT_GE(snap.counterValue("ipc.degraded_lookups"), 1u);
+}
+
+#ifdef POTLUCK_FAULT_INJECTION
+
+/** RAII install/uninstall so a failing test cannot leak the injector
+ * into later tests. */
+class InjectorScope
+{
+  public:
+    explicit InjectorScope(const FaultInjector::Config &config)
+        : injector_(config)
+    {
+        FaultInjector::install(&injector_);
+    }
+    ~InjectorScope() { FaultInjector::install(nullptr); }
+    FaultInjector &operator*() { return injector_; }
+    FaultInjector *operator->() { return &injector_; }
+
+  private:
+    FaultInjector injector_;
+};
+
+TEST(FaultInjectionTest, RefusedConnectsDegradeTheClient)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("refuse");
+    PotluckServer server(service, path);
+
+    FaultInjector::Config fic;
+    fic.refuse_connect = 1.0;
+    InjectorScope scope(fic);
+
+    PotluckClient client("refused_app", path, fastPolicy());
+    EXPECT_FALSE(
+        client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+    EXPECT_GE(scope->counts().refused, 1u);
+    EXPECT_TRUE(client.degraded());
+}
+
+TEST(FaultInjectionTest, DroppedFramesHitTheDeadline)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("drop");
+    PotluckServer server(service, path);
+
+    RetryPolicy policy = fastPolicy();
+    policy.request_deadline_ms = 50;
+    PotluckClient client("drop_app", path, policy);
+    {
+        FaultInjector::Config fic;
+        fic.drop_frame = 1.0;
+        InjectorScope scope(fic);
+        // Every frame vanishes: requests starve until the deadline.
+        EXPECT_FALSE(
+            client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+        EXPECT_GE(scope->counts().dropped, 1u);
+        EXPECT_GE(client.metrics().snapshot().counterValue(
+                      "ipc.deadline_exceeded"),
+                  1u);
+    }
+}
+
+TEST(FaultInjectionTest, TruncatedFramesAreSurvived)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("truncate");
+    PotluckServer server(service, path);
+
+    PotluckClient client("trunc_app", path, fastPolicy());
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    {
+        FaultInjector::Config fic;
+        fic.truncate_frame = 1.0;
+        InjectorScope scope(fic);
+        EXPECT_FALSE(
+            client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+        EXPECT_GE(scope->counts().truncated, 1u);
+    }
+    // Injector gone: the same client and server recover fully. The
+    // put must repeat inside the loop — while the breaker is still
+    // open it is a counted no-op.
+    bool recovered = false;
+    for (int i = 0; i < 500 && !recovered; ++i) {
+        client.put("f", "vec", FeatureVector({1.0f}), encodeInt(5));
+        recovered =
+            client.lookup("f", "vec", FeatureVector({1.0f})).hit;
+        if (!recovered)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(recovered);
+}
+
+TEST(FaultInjectionTest, GarbledFramesAreRejectedNotTrusted)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("garble");
+    PotluckServer server(service, path);
+
+    PotluckClient client("garble_app", path, fastPolicy());
+    {
+        FaultInjector::Config fic;
+        fic.garble_frame = 1.0;
+        InjectorScope scope(fic);
+        // Bit-flipped frames must never decode into a bogus hit.
+        LookupResult r =
+            client.lookup("f", "vec", FeatureVector({1.0f}));
+        EXPECT_FALSE(r.hit);
+        EXPECT_GE(scope->counts().garbled, 1u);
+    }
+}
+
+TEST(FaultInjectionTest, DelaysSlowButDoNotBreakRequests)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("delay");
+    PotluckServer server(service, path);
+
+    PotluckClient client("delay_app", path, fastPolicy());
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    client.put("f", "vec", FeatureVector({1.0f}), encodeInt(3));
+    {
+        FaultInjector::Config fic;
+        fic.delay_probability = 1.0;
+        fic.delay_ms = 5;
+        InjectorScope scope(fic);
+        LookupResult r =
+            client.lookup("f", "vec", FeatureVector({1.0f}));
+        ASSERT_TRUE(r.hit);
+        EXPECT_EQ(decodeInt(r.value), 3);
+        EXPECT_GE(scope->counts().delayed, 1u);
+    }
+}
+
+#endif // POTLUCK_FAULT_INJECTION
 
 TEST(LocalClient, InProcessModeWorksWithoutSockets)
 {

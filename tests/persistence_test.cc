@@ -185,20 +185,116 @@ TEST(Persistence, CorruptFilesAreRejected)
     std::remove(path.c_str());
 }
 
-TEST(Persistence, TruncatedSnapshotIsRejected)
+/** Save kRecords entries, each with a fat key so record blocks dominate
+ * the file and byte offsets near the end are inside the last record. */
+std::string
+saveManyRecords(VirtualClock &clock, const char *tag, int records)
 {
-    std::string path = tempSnapshot("trunc");
+    std::string path = tempSnapshot(tag);
+    PotluckService service(cfg(), &clock);
+    service.registerKeyType("f", kt());
+    for (int i = 0; i < records; ++i) {
+        std::vector<float> v(64, static_cast<float>(100 * i));
+        v[0] = static_cast<float>(i);
+        service.put("f", "vec", FeatureVector(v), encodeInt(i), {});
+    }
+    EXPECT_EQ(saveSnapshot(service, path),
+              static_cast<size_t>(records));
+    return path;
+}
+
+TEST(Persistence, TruncatedTailIsSalvaged)
+{
     VirtualClock clock;
+    std::string path = saveManyRecords(clock, "trunc", 5);
+    // Chop into the last record's CRC: every earlier record is intact.
+    auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 2);
+
+    PotluckService service(cfg(), &clock);
+    SnapshotLoadReport report;
+    EXPECT_EQ(loadSnapshot(service, path, &report), 4u);
+    EXPECT_TRUE(report.corrupt_tail);
+    EXPECT_EQ(report.restored, 4u);
+    EXPECT_EQ(report.lost, 1u);
+    EXPECT_EQ(service.numEntries(), 4u);
+    EXPECT_EQ(service.metrics().counter("persist.records_salvaged").value(),
+              4u);
+    EXPECT_EQ(service.metrics().counter("persist.records_lost").value(),
+              1u);
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, BitFlipLosesOnlyTheTail)
+{
+    VirtualClock clock;
+    std::string path = saveManyRecords(clock, "bitflip", 6);
+    // Flip one bit inside the penultimate record's payload: the CRC
+    // catches it, and everything before that record is salvaged.
+    auto size = std::filesystem::file_size(path);
+    {
+        std::fstream f(path, std::ios::binary | std::ios::in |
+                                 std::ios::out);
+        // Record blocks are ~350 bytes each here; one-and-a-half
+        // records back from EOF lands mid-payload of record 5 of 6.
+        auto offset = static_cast<std::streamoff>(size - 500);
+        f.seekg(offset);
+        char byte = 0;
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x10);
+        f.seekp(offset);
+        f.write(&byte, 1);
+    }
+
+    PotluckService service(cfg(), &clock);
+    SnapshotLoadReport report;
+    size_t restored = loadSnapshot(service, path, &report);
+    EXPECT_TRUE(report.corrupt_tail);
+    EXPECT_LT(restored, 6u); // at least the flipped record is gone
+    EXPECT_EQ(report.restored, restored);
+    EXPECT_EQ(report.restored + report.lost, 6u);
+    EXPECT_EQ(service.metrics().counter("persist.records_salvaged").value(),
+              restored);
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, TruncationInsideHeaderStillFatal)
+{
+    VirtualClock clock;
+    std::string path = saveManyRecords(clock, "header", 2);
+    // Without an intact registration block nothing is interpretable.
+    std::filesystem::resize_file(path, 12);
+    PotluckService service(cfg(), &clock);
+    EXPECT_THROW(loadSnapshot(service, path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(Persistence, SaveIsAtomicAndClearsStaleTemp)
+{
+    VirtualClock clock;
+    std::string path = tempSnapshot("atomic");
+    {
+        // A stale temp file from a crashed previous save must not
+        // confuse or survive the next successful save.
+        std::ofstream stale(path + ".tmp", std::ios::binary);
+        stale << "garbage from a torn previous save";
+    }
     {
         PotluckService service(cfg(), &clock);
         service.registerKeyType("f", kt());
-        service.put("f", "vec", FeatureVector({1.0f}), encodeInt(1), {});
-        saveSnapshot(service, path);
+        service.put("f", "vec", FeatureVector({1.0f}), encodeInt(7), {});
+        EXPECT_EQ(saveSnapshot(service, path), 1u);
     }
-    auto size = std::filesystem::file_size(path);
-    std::filesystem::resize_file(path, size / 2);
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
     PotluckService service(cfg(), &clock);
-    EXPECT_THROW(loadSnapshot(service, path), FatalError);
+    SnapshotLoadReport report;
+    EXPECT_EQ(loadSnapshot(service, path, &report), 1u);
+    EXPECT_FALSE(report.corrupt_tail);
+    LookupResult r =
+        service.lookup("a", "f", "vec", FeatureVector({1.0f}));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(decodeInt(r.value), 7);
     std::remove(path.c_str());
 }
 

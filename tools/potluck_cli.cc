@@ -3,13 +3,17 @@
  * potluck_cli: poke a running potluckd from the shell.
  *
  * Usage:
- *   potluck_cli [--socket PATH] register FUNCTION KEYTYPE [metric] [index]
- *   potluck_cli [--socket PATH] put FUNCTION KEYTYPE K1,K2,... VALUE
- *   potluck_cli [--socket PATH] get FUNCTION KEYTYPE K1,K2,...
- *   potluck_cli [--socket PATH] stats [--json|--prom]
+ *   potluck_cli [--socket PATH] [--timeout-ms N]
+ *               register FUNCTION KEYTYPE [metric] [index]
+ *   potluck_cli [...] put FUNCTION KEYTYPE K1,K2,... VALUE
+ *   potluck_cli [...] get FUNCTION KEYTYPE K1,K2,...
+ *   potluck_cli [...] stats [--json|--prom]
  *
  * Keys are comma-separated floats; values are stored/printed as
- * strings. Exit status: 0 on hit/success, 2 on miss.
+ * strings. Exit status: 0 on hit/success, 2 on miss, 1 when the daemon
+ * is unreachable or times out — the CLI runs with degraded mode off,
+ * so an absent daemon is an error here, never a silent miss.
+ * --timeout-ms bounds each request round trip (default 1000).
  *
  * `stats` fetches the daemon's metrics-registry snapshot over the
  * kStats verb and pretty-prints occupancy, global counters, per-
@@ -39,12 +43,12 @@ namespace {
 usage()
 {
     std::cerr << "usage:\n"
-                 "  potluck_cli [--socket PATH] register FN KEYTYPE "
-                 "[l2|l1|cosine|hamming] [kdtree|lsh|linear|hash|tree]\n"
-                 "  potluck_cli [--socket PATH] put FN KEYTYPE K1,K2,.. "
-                 "VALUE\n"
-                 "  potluck_cli [--socket PATH] get FN KEYTYPE K1,K2,..\n"
-                 "  potluck_cli [--socket PATH] stats [--json|--prom]\n";
+                 "  potluck_cli [--socket PATH] [--timeout-ms N] register "
+                 "FN KEYTYPE [l2|l1|cosine|hamming] "
+                 "[kdtree|lsh|linear|hash|tree]\n"
+                 "  potluck_cli [...] put FN KEYTYPE K1,K2,.. VALUE\n"
+                 "  potluck_cli [...] get FN KEYTYPE K1,K2,..\n"
+                 "  potluck_cli [...] stats [--json|--prom]\n";
     std::exit(1);
 }
 
@@ -220,16 +224,27 @@ int
 main(int argc, char **argv)
 {
     std::string socket_path = "/tmp/potluck.sock";
+    uint64_t timeout_ms = 1000;
     std::vector<std::string> args(argv + 1, argv + argc);
-    if (args.size() >= 2 && args[0] == "--socket") {
-        socket_path = args[1];
+    while (args.size() >= 2 &&
+           (args[0] == "--socket" || args[0] == "--timeout-ms")) {
+        if (args[0] == "--socket")
+            socket_path = args[1];
+        else
+            timeout_ms = std::stoull(args[1]);
         args.erase(args.begin(), args.begin() + 2);
     }
     if (args.empty())
         usage();
 
+    // A shell invocation wants a definite answer: no degraded mode, so
+    // an unreachable or wedged daemon exits 1 instead of faking a MISS.
+    RetryPolicy policy;
+    policy.degraded_mode = false;
+    policy.request_deadline_ms = timeout_ms;
+
     try {
-        PotluckClient client("potluck_cli", socket_path);
+        PotluckClient client("potluck_cli", socket_path, policy);
         const std::string &cmd = args[0];
         if (cmd == "register" && args.size() >= 3) {
             Metric metric =

@@ -156,9 +156,17 @@ main(int argc, char **argv)
         if (!snapshot_path.empty()) {
             std::ifstream probe(snapshot_path);
             if (probe.good()) {
-                size_t restored = loadSnapshot(service, snapshot_path);
+                SnapshotLoadReport report;
+                size_t restored =
+                    loadSnapshot(service, snapshot_path, &report);
                 std::cout << "potluckd: restored " << restored
-                          << " entries from " << snapshot_path << std::endl;
+                          << " entries from " << snapshot_path;
+                if (report.corrupt_tail) {
+                    std::cout << " (corrupt tail: salvaged "
+                              << report.restored << ", lost " << report.lost
+                              << ")";
+                }
+                std::cout << std::endl;
             }
         }
         CacheManager manager(service);
@@ -180,6 +188,12 @@ main(int argc, char **argv)
                 dumpStats(service, stats_format);
             }
         }
+        // Graceful shutdown: stop accepting, drain in-flight requests
+        // (bounded by ipc_drain_deadline_ms), then snapshot the final
+        // cache state — so a SIGTERM never loses a half-served reply
+        // or an entry added moments before the signal.
+        std::cout << "potluckd: draining connections" << std::endl;
+        server.shutdown();
         if (!snapshot_path.empty()) {
             size_t written = saveSnapshot(service, snapshot_path);
             std::cout << "potluckd: saved " << written << " entries to "
