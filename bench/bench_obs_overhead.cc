@@ -17,12 +17,22 @@
  *  - 8 B keys (2 floats): an adversarial floor where the lookup itself
  *    is only ~1 us, reported for transparency.
  *
+ * A second experiment measures the flight recorder (PR 3): the same
+ * lookup workload driven through a loopback PotluckClient — the only
+ * path that opens request traces — with the recorder on vs off. The
+ * recorder adds a root TraceScope per request (trace-id mint, span
+ * buffering, a tail-sampling decision) and, for kept traces, seqlock
+ * publishes into the ring; with the default 1 ms SLO and 1% sampling
+ * almost every microsecond-scale lookup is sampled out, which is the
+ * configuration the < 5% bound applies to.
+ *
  * (With -DPOTLUCK_OBS_TRACING=OFF the spans compile away entirely and
  * the two columns measure the same code.)
  */
 #include "bench_common.h"
 
 #include "core/potluck_service.h"
+#include "ipc/client.h"
 #include "obs/export.h"
 #include "util/clock.h"
 #include "util/rng.h"
@@ -120,6 +130,66 @@ runWorkload(size_t dim, bench::Table &table)
     return overhead;
 }
 
+/** One timed client round (loopback IPC path); lookups per second. */
+double
+measureClientRound(PotluckClient &client, size_t dim, Rng &rng)
+{
+    uint64_t sink = 0;
+    Stopwatch sw;
+    for (size_t i = 0; i < kLookups; ++i) {
+        size_t target = static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int64_t>(kEntries) - 1));
+        LookupResult r = client.lookup("recognize", "vec", key(target, dim));
+        sink += r.hit;
+    }
+    POTLUCK_ASSERT(sink == kLookups, "expected all exact-key hits");
+    return kLookups / (sw.elapsedUs() / 1e6);
+}
+
+/**
+ * Flight-recorder overhead at one key size: loopback-client lookups
+ * with the recorder enabled (default SLO + sampling) vs disabled.
+ * Tracing spans stay ON in both services so the delta isolates the
+ * recorder itself. Returns overhead %.
+ */
+double
+runRecorderWorkload(size_t dim, bench::Table &table)
+{
+    PotluckConfig cfg_on = benchConfig(true);
+    PotluckConfig cfg_off = benchConfig(true);
+    cfg_off.enable_recorder = false;
+    PotluckService with_recorder(cfg_on);
+    PotluckService without_recorder(cfg_off);
+    populate(with_recorder, dim);
+    populate(without_recorder, dim);
+    PotluckClient client_on("bench_app", with_recorder);
+    PotluckClient client_off("bench_app", without_recorder);
+
+    double best_on = 0, best_off = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        Rng rng_off(23 + dim + round), rng_on(23 + dim + round);
+        best_off =
+            std::max(best_off, measureClientRound(client_off, dim, rng_off));
+        best_on =
+            std::max(best_on, measureClientRound(client_on, dim, rng_on));
+    }
+    double overhead = 100.0 * (best_off - best_on) / best_off;
+
+    std::string kept = "-";
+    if (obs::FlightRecorder *recorder = with_recorder.recorder()) {
+        kept = std::to_string(recorder->tracesKept()) + "/" +
+               std::to_string(recorder->tracesKept() +
+                              recorder->tracesSampledOut());
+    }
+    table.cell(static_cast<uint64_t>(dim * sizeof(float)))
+        .cell(best_off, 0)
+        .cell(best_on, 0)
+        .cell(overhead, 2)
+        .cell(kept)
+        .endRow();
+    return overhead;
+}
+
 } // namespace
 
 int
@@ -147,5 +217,19 @@ main()
     bool pass = representative < 5.0;
     std::cout << "shape check (overhead < 5% at 100 B keys): "
               << (pass ? "PASS" : "FAIL") << "\n";
+
+    bench::banner("flight recorder overhead",
+                  "loopback-client lookup throughput: recorder on vs off",
+                  "tracing spans on in both; the delta is the recorder "
+                  "(trace mint + tail-sampling decision per request)");
+    bench::Table rec_table({"key size (B)", "off (lkps/s)", "on (lkps/s)",
+                            "overhead (%)", "traces kept"}, 15);
+    runRecorderWorkload(2, rec_table);
+    double rec_representative = runRecorderWorkload(25, rec_table);
+    std::cout << "\nrecorder overhead at 100 B keys: "
+              << formatFixed(rec_representative, 2) << "%\n";
+    bool rec_pass = rec_representative < 5.0;
+    std::cout << "shape check (recorder overhead < 5% at 100 B keys): "
+              << (rec_pass ? "PASS" : "FAIL") << "\n";
     return 0;
 }

@@ -10,6 +10,13 @@
 # fault hooks in and exercises the FaultInjection.* torture tests that
 # are preprocessed away from release builds.
 #
+# A final smoke test starts the sanitized potluckd, drives a small
+# multi-app workload through potluck_cli, and validates the exported
+# flight-recorder trace: `potluck_cli trace --json` must parse with
+# `python3 -m json.tool` and contain the minimal Chrome trace_event
+# shape (a traceEvents array with complete spans). Skipped when python3
+# is unavailable.
+#
 # Usage: scripts/check.sh [address|thread|undefined]
 set -euo pipefail
 
@@ -39,3 +46,82 @@ cmake --build "$FAULT_BUILD" -j "$(nproc)"
 ctest --test-dir "$FAULT_BUILD" --output-on-failure -j "$(nproc)"
 
 echo "check.sh: all tests passed with fault injection under ${SANITIZER}"
+
+# ---- trace-export smoke test ------------------------------------------
+# Run the daemon with slo 0 so every request trace is kept: the check
+# is deterministic, not at the mercy of the tail sampler.
+SOCK="$(mktemp -u /tmp/potluck_check_XXXXXX.sock)"
+TRACE_JSON="$SOCK.trace.json"
+DAEMON="$BUILD/tools/potluckd"
+CLI="$BUILD/tools/potluck_cli"
+
+# --dropout 0: a probabilistic dropout would turn `get` into exit 2
+# and fail the script at random.
+"$DAEMON" --socket "$SOCK" --stats-sec 0 --dropout 0 --trace-slo-us 0 \
+    --trace-dump "$TRACE_JSON" &
+DAEMON_PID=$!
+cleanup() {
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$TRACE_JSON"
+}
+trap cleanup EXIT
+
+for _ in $(seq 1 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "check.sh: potluckd did not start" >&2; exit 1; }
+
+# A small cross-application workload: two "apps" (each CLI invocation
+# registers as one) sharing a function, so the trace shows lookups from
+# more than one client.
+"$CLI" --socket "$SOCK" register recognize vec
+"$CLI" --socket "$SOCK" put recognize vec 1,2,3 hello
+"$CLI" --socket "$SOCK" get recognize vec 1,2,3
+"$CLI" --socket "$SOCK" put recognize vec 4,5,6 world
+"$CLI" --socket "$SOCK" get recognize vec 4,5,6
+"$CLI" --socket "$SOCK" trace > /dev/null # human dump must not crash
+
+if command -v python3 > /dev/null 2>&1; then
+    "$CLI" --socket "$SOCK" trace --json > "$TRACE_JSON.cli"
+    python3 -m json.tool < "$TRACE_JSON.cli" > /dev/null
+    python3 - "$TRACE_JSON.cli" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "no trace events exported"
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no complete spans in trace"
+for e in spans:
+    for field in ("name", "pid", "tid", "ts", "dur"):
+        assert field in e, f"span missing {field}: {e}"
+names = {e["name"] for e in spans}
+# The acceptance shape: one lookup spanning client -> transport ->
+# service (the client half rides in on the piggyback channel).
+for required in ("client.lookup", "ipc.round_trip", "ipc.handle",
+                 "service.lookup"):
+    assert required in names, f"missing {required} span: {sorted(names)}"
+print(f"check.sh: trace export OK ({len(spans)} spans, "
+      f"{len(events) - len(spans)} other events)")
+EOF
+    rm -f "$TRACE_JSON.cli"
+
+    # SIGUSR1 must produce the same well-formed document from the
+    # daemon side.
+    kill -USR1 "$DAEMON_PID"
+    for _ in $(seq 1 50); do
+        [ -s "$TRACE_JSON" ] && break
+        sleep 0.1
+    done
+    [ -s "$TRACE_JSON" ] || {
+        echo "check.sh: SIGUSR1 produced no trace dump" >&2
+        exit 1
+    }
+    python3 -m json.tool < "$TRACE_JSON" > /dev/null
+    echo "check.sh: SIGUSR1 trace dump OK"
+else
+    echo "check.sh: python3 unavailable; skipping trace JSON validation"
+fi
+
+echo "check.sh: trace smoke test passed"

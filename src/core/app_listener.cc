@@ -85,6 +85,13 @@ AppListener::execute(const Request &request)
         reply.ok = true;
         break;
       }
+      case RequestType::Trace: {
+        // An absent recorder is not an error: the dump is just empty.
+        if (obs::FlightRecorder *recorder = service_.recorder())
+            reply.trace_records = recorder->snapshot();
+        reply.ok = true;
+        break;
+      }
       default:
         reply.ok = false;
         reply.error = "unknown request type";

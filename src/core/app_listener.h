@@ -34,6 +34,9 @@ enum class RequestType : uint8_t
     /** kStats: full metrics-registry snapshot (counters, gauges,
      * latency histograms) for `potluck_cli stats` and dashboards. */
     Metrics = 6,
+    /** kTrace: flight-recorder snapshot (request traces + decision
+     * events) for `potluck_cli trace`. */
+    Trace = 7,
 };
 
 /** One application request to the deduplication service. */
@@ -55,6 +58,17 @@ struct Request
     Value value;
     std::optional<uint64_t> ttl_us;
     std::optional<double> compute_overhead_us;
+
+    /** Trace context minted by the client: the server-side spans of
+     * this request join the client's trace (zeros = untraced). */
+    obs::TraceContext trace;
+
+    /**
+     * Client-side trace records piggybacked onto the request, drained
+     * from the client's own flight recorder so one server-side dump
+     * shows both halves of a trace. Bounded by the wire codec.
+     */
+    std::vector<obs::TraceRecord> uploaded;
 };
 
 /** Service response to a Request. */
@@ -79,6 +93,9 @@ struct Reply
 
     /** Metrics result: registry snapshot (empty for other verbs). */
     obs::RegistrySnapshot snapshot;
+
+    /** Trace result: flight-recorder snapshot (kTrace only). */
+    std::vector<obs::TraceRecord> trace_records;
 };
 
 /** Request executor backed by a thread pool. */

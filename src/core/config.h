@@ -61,6 +61,27 @@ struct PotluckConfig
      */
     bool enable_tracing = true;
 
+    /// @name Flight recorder (request traces + decision events).
+    /// @{
+    /**
+     * Keep a flight recorder of request traces and decision events
+     * (requires enable_tracing). Off = no recorder is allocated and
+     * every trace hook is a single null-pointer branch.
+     */
+    bool enable_recorder = true;
+
+    /** Ring capacity in records, rounded up to a power of two. The
+     * memory bound is capacity * ~160 B (~640 KB at the default). */
+    size_t recorder_capacity = 4096;
+
+    /** Tail-sampling SLO: traces whose root span lasted at least this
+     * long are always kept (ns). */
+    uint64_t trace_slo_ns = 1000 * 1000;
+
+    /** Probability of keeping a trace that met the SLO. */
+    double trace_sample_prob = 0.01;
+    /// @}
+
     /// @name IPC fault tolerance (server side; client knobs live in
     /// RetryPolicy, ipc/retry.h).
     /// @{

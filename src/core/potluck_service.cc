@@ -49,6 +49,13 @@ PotluckService::PotluckService(PotluckConfig config, Clock *clock)
         obs_.put_probe_ns = &reg.histogram("put.tuner_probe_ns");
         obs_.evict_ns = &reg.histogram("put.eviction_ns");
     }
+    if (config_.enable_tracing && config_.enable_recorder) {
+        obs::TraceConfig tc;
+        tc.capacity = config_.recorder_capacity;
+        tc.slo_ns = config_.trace_slo_ns;
+        tc.sample_prob = config_.trace_sample_prob;
+        recorder_ = std::make_unique<obs::FlightRecorder>(tc);
+    }
 }
 
 void
@@ -95,8 +102,10 @@ PotluckService::lookup(const std::string &app, const std::string &function,
 {
     // One pair of clock reads feeds both the global and the
     // per-function lookup histogram (the second sink is attached once
-    // the slot is resolved).
-    POTLUCK_NAMED_SPAN(lookup_span, obs_.lookup_total_ns);
+    // the slot is resolved) plus, when a trace is active on this
+    // thread, a "service.lookup" span in the trace tree.
+    POTLUCK_TRACE_NAMED_SPAN(lookup_span, "service.lookup",
+                             obs_.lookup_total_ns, function.c_str());
     std::unique_lock lock(mutex_);
     obs_.lookups->inc();
 
@@ -125,7 +134,7 @@ PotluckService::lookup(const std::string &app, const std::string &function,
     // Threshold-restricted nearest-neighbour query (Section 3.4).
     std::vector<Neighbor> neighbors;
     {
-        POTLUCK_SPAN(obs_.lookup_probe_ns);
+        POTLUCK_TRACE_SPAN("lookup.index_probe", obs_.lookup_probe_ns);
         neighbors = slot->index->nearest(key, config_.knn);
     }
     double threshold = slot->tuner.threshold();
@@ -172,7 +181,8 @@ PotluckService::put(const std::string &function, const std::string &key_type,
                     const PutOptions &options)
 {
     POTLUCK_ASSERT(!key.empty(), "put with empty key");
-    POTLUCK_SPAN(obs_.put_total_ns);
+    POTLUCK_TRACE_NAMED_SPAN(put_span, "service.put", obs_.put_total_ns,
+                             function.c_str());
     std::unique_lock lock(mutex_);
     obs_.puts->inc();
 
@@ -211,7 +221,7 @@ PotluckService::put(const std::string &function, const std::string &key_type,
     // preloading cheap.
     std::vector<Neighbor> neighbors;
     if (slot->tuner.active()) {
-        POTLUCK_SPAN(obs_.put_probe_ns);
+        POTLUCK_TRACE_SPAN("put.tuner_probe", obs_.put_probe_ns);
         neighbors = slot->index->nearest(key, 1);
     }
     if (!neighbors.empty()) {
@@ -224,10 +234,25 @@ PotluckService::put(const std::string &function, const std::string &key_type,
             double before = slot->tuner.threshold();
             slot->tuner.observe(neighbors.front().dist, values_equal);
             double after = slot->tuner.threshold();
-            if (after < before)
+            if (after < before) {
                 obs_.tighten_events->inc();
-            else if (after > before)
+                if (recorder_) {
+                    obs::recordDecision(recorder_.get(),
+                                        obs::DecisionKind::ThresholdTighten,
+                                        "tuner.tighten",
+                                        function + "/" + key_type, before,
+                                        after, neighbors.front().dist, 0);
+                }
+            } else if (after > before) {
                 obs_.loosen_events->inc();
+                if (recorder_) {
+                    obs::recordDecision(recorder_.get(),
+                                        obs::DecisionKind::ThresholdLoosen,
+                                        "tuner.loosen",
+                                        function + "/" + key_type, before,
+                                        after, neighbors.front().dist, 0);
+                }
+            }
 
             // Each observation is a vote on the neighbour's source app
             // (Section 3.5's reputation extension): an in-threshold
@@ -376,9 +401,20 @@ PotluckService::enforceCapacityLocked()
     };
     if (!over())
         return;
-    POTLUCK_SPAN(obs_.evict_ns);
+    POTLUCK_TRACE_SPAN("put.evict", obs_.evict_ns);
     while (over() && storage_.numEntries() > 0) {
         EntryId victim = eviction_->selectVictim(storage_.entries());
+        if (recorder_) {
+            // Document WHY this entry lost: the importance-score
+            // inputs (Section 3.3) at the moment of the decision.
+            if (const CacheEntry *e = storage_.find(victim)) {
+                obs::recordDecision(
+                    recorder_.get(), obs::DecisionKind::Eviction, "evict",
+                    e->function + "/" + e->app, e->compute_overhead_us,
+                    static_cast<double>(e->access_frequency),
+                    static_cast<double>(e->sizeBytes()), victim);
+            }
+        }
         removeEntryLocked(victim, /*expired=*/false);
     }
 }
@@ -387,10 +423,18 @@ size_t
 PotluckService::sweepExpired()
 {
     std::unique_lock lock(mutex_);
+    uint64_t scan_start_ns = obs::spanNowNs();
     auto expired = storage_.expiredAt(clock_->nowUs());
     for (EntryId id : expired)
         removeEntryLocked(id, /*expired=*/true);
     updateOccupancyGaugesLocked();
+    if (recorder_ && !expired.empty()) {
+        double scan_ns =
+            static_cast<double>(obs::spanNowNs() - scan_start_ns);
+        obs::recordDecision(recorder_.get(), obs::DecisionKind::ExpirySweep,
+                            "expiry.sweep", "", scan_ns, 0.0, 0.0,
+                            expired.size());
+    }
     return expired.size();
 }
 

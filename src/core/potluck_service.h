@@ -34,6 +34,7 @@
 #include "core/value.h"
 #include "features/extractor.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -192,6 +193,15 @@ class PotluckService
     obs::MetricsRegistry &metrics() const { return *metrics_; }
 
     /**
+     * The flight recorder holding sampled request traces and decision
+     * events (evictions with importance breakdowns, threshold-tuner
+     * moves, expiry sweeps). Null when config.enable_recorder or
+     * config.enable_tracing is off — callers treat null as "tracing
+     * disabled" and skip their trace hooks.
+     */
+    obs::FlightRecorder *recorder() const { return recorder_.get(); }
+
+    /**
      * Hit rate over answered lookups of one function (all key types),
      * from the registry's `fn.<function>.*` counters; 0 if unknown.
      * Same denominator policy as ServiceStats::hitRate() — dropouts
@@ -253,6 +263,8 @@ class PotluckService
     Clock *clock_;
     /** Heap-allocated so cached pointers survive service moves. */
     std::unique_ptr<obs::MetricsRegistry> metrics_;
+    /** Flight recorder; null when tracing or the recorder is off. */
+    std::unique_ptr<obs::FlightRecorder> recorder_;
     ServiceObs obs_;
     mutable std::shared_mutex mutex_;
 

@@ -20,16 +20,21 @@ nowMs()
             .count());
 }
 
+/** Uploaded-record budget per request frame (codec caps at 256). */
+constexpr size_t kMaxUploadedPerRequest = 128;
+
 } // namespace
 
 PotluckClient::PotluckClient(std::string app_name,
                              const std::string &socket_path,
-                             RetryPolicy policy)
+                             RetryPolicy policy, obs::TraceConfig trace_config)
     : app_(std::move(app_name)), socket_path_(socket_path),
       policy_(policy),
       breaker_(policy.breaker_failure_threshold, policy.breaker_open_ms),
       backoff_(policy)
 {
+    if (trace_config.capacity > 0)
+        recorder_ = std::make_unique<obs::FlightRecorder>(trace_config);
     round_trip_ns_ = &metrics_.histogram("ipc.round_trip_ns");
     request_bytes_ = &metrics_.histogram("ipc.request_bytes");
     retries_ = &metrics_.counter("ipc.retry");
@@ -72,6 +77,30 @@ PotluckClient::PotluckClient(std::string app_name, PotluckService &service)
         POTLUCK_FATAL("app registration failed: " << reply.error);
 }
 
+PotluckClient::~PotluckClient()
+{
+    // Piggybacked records normally ride on the NEXT request; a process
+    // about to exit has no next request, so push the leftovers with
+    // one final small round trip. Strictly best-effort: a dead socket
+    // or service just means those records are lost with the process.
+    if (local_ || !recorder_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!socket_.valid())
+        return;
+    Request request;
+    request.type = RequestType::Stats;
+    request.app = app_;
+    recorder_->drain(request.uploaded, kMaxUploadedPerRequest);
+    if (request.uploaded.empty())
+        return;
+    try {
+        sendRecv(request);
+    } catch (...) {
+        // Shutting down anyway; nothing to recover.
+    }
+}
+
 CircuitBreaker::State
 PotluckClient::breakerState() const
 {
@@ -85,11 +114,30 @@ PotluckClient::degraded() const
     return breakerState() == CircuitBreaker::State::Open;
 }
 
+obs::FlightRecorder *
+PotluckClient::traceSink() const
+{
+    if (local_)
+        return local_->service().recorder();
+    return recorder_.get();
+}
+
 void
 PotluckClient::noteBreakerState()
 {
     if (breaker_state_)
         breaker_state_->set(static_cast<int64_t>(breaker_.state()));
+    int state = static_cast<int>(breaker_.state());
+    if (state != last_breaker_state_) {
+        if (recorder_) {
+            obs::recordDecision(recorder_.get(),
+                                obs::DecisionKind::BreakerTransition,
+                                "breaker", app_,
+                                static_cast<double>(last_breaker_state_),
+                                static_cast<double>(state), 0.0, 0);
+        }
+        last_breaker_state_ = state;
+    }
 }
 
 void
@@ -131,9 +179,28 @@ PotluckClient::ensureConnectedLocked()
 }
 
 Reply
-PotluckClient::sendRecv(const Request &request)
+PotluckClient::sendRecv(Request &request)
 {
+#ifndef POTLUCK_OBS_NO_TRACE
+    // The round-trip span doubles as the wire trace context: its id
+    // becomes the parent of the server-side handler span, so the two
+    // processes' spans stitch into one tree. Re-stamped per attempt —
+    // each retry is its own round trip.
+    obs::TracedSpan rt_span("ipc.round_trip", round_trip_ns_);
+    if (obs::activeTrace().recorder) {
+        request.trace.trace_id = obs::activeTrace().trace_id;
+        request.trace.span_id = rt_span.spanId();
+    }
+    if (recorder_ && request.uploaded.size() < kMaxUploadedPerRequest) {
+        // Piggyback this client's finished records onto the frame
+        // (kept across retries: drained records would otherwise be
+        // lost with the failed attempt).
+        recorder_->drain(request.uploaded,
+                         kMaxUploadedPerRequest - request.uploaded.size());
+    }
+#else
     POTLUCK_SPAN(round_trip_ns_);
+#endif
     std::vector<uint8_t> out = encodeRequest(request);
     request_bytes_->record(out.size());
     socket_.sendFrame(out);
@@ -154,7 +221,7 @@ PotluckClient::sendRecv(const Request &request)
 }
 
 Reply
-PotluckClient::tryRoundTrip(const Request &request)
+PotluckClient::tryRoundTrip(Request &request)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     TransportError last(TransportErrc::Unavailable, "request not attempted");
@@ -192,7 +259,7 @@ PotluckClient::tryRoundTrip(const Request &request)
 }
 
 Reply
-PotluckClient::roundTrip(const Request &request)
+PotluckClient::roundTrip(Request &request)
 {
     if (local_)
         return local_->handle(request);
@@ -244,6 +311,12 @@ LookupResult
 PotluckClient::lookup(const std::string &function,
                       const std::string &key_type, const FeatureVector &key)
 {
+    // Root span of this request's trace. In remote mode the buffered
+    // spans flush to the client recorder and ride to the daemon on a
+    // later request; in loopback mode they flush straight into the
+    // service recorder.
+    obs::TraceScope trace_scope(traceSink(), "client.lookup", {},
+                                obs::kProcClient, function.c_str());
     Request request;
     request.type = RequestType::Lookup;
     request.app = app_;
@@ -277,6 +350,8 @@ PotluckClient::put(const std::string &function, const std::string &key_type,
                    std::optional<uint64_t> ttl_us,
                    std::optional<double> compute_overhead_us)
 {
+    obs::TraceScope trace_scope(traceSink(), "client.put", {},
+                                obs::kProcClient, function.c_str());
     Request request;
     request.type = RequestType::Put;
     request.app = app_;
@@ -314,6 +389,18 @@ PotluckClient::fetchStats()
     out.num_entries = reply.num_entries;
     out.total_bytes = reply.total_bytes;
     return out;
+}
+
+std::vector<obs::TraceRecord>
+PotluckClient::fetchTrace()
+{
+    Request request;
+    request.type = RequestType::Trace;
+    request.app = app_;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("trace fetch failed: " << reply.error);
+    return std::move(reply.trace_records);
 }
 
 PotluckClient::RemoteMetrics

@@ -47,12 +47,23 @@ class PotluckClient
      * via half-open probes once the service appears. Pass a policy
      * with degraded_mode = false to make failures throw
      * TransportError instead.
+     *
+     * `trace_config` sizes the client's own flight recorder, whose
+     * records (client.lookup / ipc.round_trip spans, breaker
+     * transitions) piggyback onto outgoing requests so the daemon's
+     * dump shows both halves of each trace. capacity = 0 disables the
+     * client recorder entirely.
      */
     PotluckClient(std::string app_name, const std::string &socket_path,
-                  RetryPolicy policy = {});
+                  RetryPolicy policy = {}, obs::TraceConfig trace_config = {});
 
     /** Bind directly to an in-process service (no IPC cost). */
     PotluckClient(std::string app_name, PotluckService &service);
+
+    /** Best-effort flush of the client flight recorder to the service
+     * (short-lived processes like potluck_cli would otherwise exit
+     * with their half of every trace still in the local ring). */
+    ~PotluckClient();
 
     /**
      * Register this app and a key type for a function
@@ -101,6 +112,19 @@ class PotluckClient
     RemoteMetrics fetchMetrics();
 
     /**
+     * Fetch the service's flight-recorder snapshot (the kTrace verb):
+     * request traces and decision events, renderable with
+     * obs::toChromeTrace()/toHumanTrace(). Empty when the service runs
+     * with the recorder disabled. Throws TransportError when
+     * unreachable past the retry budget.
+     */
+    std::vector<obs::TraceRecord> fetchTrace();
+
+    /** This client's own flight recorder (null in loopback mode or
+     * when constructed with trace_config.capacity = 0). */
+    obs::FlightRecorder *recorder() const { return recorder_.get(); }
+
+    /**
      * This client's own observability registry (remote mode only):
      * `ipc.round_trip_ns` / `ipc.request_bytes` histograms per round
      * trip, plus the fault-tolerance counters `ipc.retry`,
@@ -121,18 +145,24 @@ class PotluckClient
     bool remote() const { return !local_; }
 
   private:
-    Reply roundTrip(const Request &request);
+    /** Mutable request: sendRecv stamps the per-attempt trace context
+     * and piggybacked trace records into it before encoding. */
+    Reply roundTrip(Request &request);
 
     /** Retry/reconnect/breaker wrapper; throws TransportError once
      * the budget is exhausted or the circuit is open. */
-    Reply tryRoundTrip(const Request &request);
+    Reply tryRoundTrip(Request &request);
 
     /** One encode/send/recv/decode on the live socket (caller holds
      * the mutex). */
-    Reply sendRecv(const Request &request);
+    Reply sendRecv(Request &request);
 
     /** (Re)connect, register the app, replay function registrations. */
     void ensureConnectedLocked();
+
+    /** The ring this client's root spans flush to: the in-process
+     * service's recorder in loopback mode, else the client's own. */
+    obs::FlightRecorder *traceSink() const;
 
     void noteBreakerState();
 
@@ -157,6 +187,10 @@ class PotluckClient
     std::vector<Registration> registrations_;
 
     obs::MetricsRegistry metrics_;       // client-side ipc.* metrics
+    /** Client-side flight recorder (remote mode; null = disabled). */
+    std::unique_ptr<obs::FlightRecorder> recorder_;
+    /** Last observed breaker state, for transition decision events. */
+    int last_breaker_state_ = 0;
     obs::LatencyHistogram *round_trip_ns_ = nullptr;
     obs::LatencyHistogram *request_bytes_ = nullptr;
     obs::Counter *retries_ = nullptr;

@@ -1,5 +1,6 @@
 #include "ipc/message.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.h"
@@ -235,6 +236,66 @@ readSnapshot(Reader &r)
     return snapshot;
 }
 
+/** Hard bound on client records piggybacked per request frame. */
+constexpr uint64_t kMaxUploadedRecords = 256;
+/** Hard bound on records in a kTrace reply (a hostile peer cannot
+ * force an unbounded allocation; real recorders are far smaller). */
+constexpr uint64_t kMaxTraceRecords = 1 << 20;
+
+void
+writeTraceRecord(Writer &w, const obs::TraceRecord &record)
+{
+    w.u8(static_cast<uint8_t>(record.kind));
+    w.u8(static_cast<uint8_t>(record.decision));
+    w.u8(record.proc);
+    w.str(record.name);
+    w.str(record.detail);
+    w.u64(record.trace_id);
+    w.u64(record.span_id);
+    w.u64(record.parent_span_id);
+    w.u64(record.start_ns);
+    w.u64(record.dur_ns);
+    w.f64(record.a);
+    w.f64(record.b);
+    w.f64(record.c);
+    w.u64(record.u);
+}
+
+obs::TraceRecord
+readTraceRecord(Reader &r)
+{
+    obs::TraceRecord record;
+    uint8_t kind = r.u8();
+    if (kind > static_cast<uint8_t>(obs::RecordKind::Decision))
+        POTLUCK_FATAL("bad trace record kind: " << int(kind));
+    record.kind = static_cast<obs::RecordKind>(kind);
+    uint8_t decision = r.u8();
+    if (decision > static_cast<uint8_t>(obs::DecisionKind::BreakerTransition))
+        POTLUCK_FATAL("bad trace decision kind: " << int(decision));
+    record.decision = static_cast<obs::DecisionKind>(decision);
+    record.proc = r.u8();
+    if (record.proc != obs::kProcService && record.proc != obs::kProcClient)
+        POTLUCK_FATAL("bad trace record proc tag: " << int(record.proc));
+    std::string name = r.str();
+    if (name.size() >= sizeof(record.name))
+        POTLUCK_FATAL("trace record name too long: " << name.size());
+    std::string detail = r.str();
+    if (detail.size() >= sizeof(record.detail))
+        POTLUCK_FATAL("trace record detail too long: " << detail.size());
+    record.setName(name.c_str());
+    record.setDetail(detail.c_str());
+    record.trace_id = r.u64();
+    record.span_id = r.u64();
+    record.parent_span_id = r.u64();
+    record.start_ns = r.u64();
+    record.dur_ns = r.u64();
+    record.a = r.f64();
+    record.b = r.f64();
+    record.c = r.f64();
+    record.u = r.u64();
+    return record;
+}
+
 } // namespace
 
 std::vector<uint8_t>
@@ -261,6 +322,13 @@ encodeRequest(const Request &request)
     } else {
         w.u8(kOptAbsent);
     }
+    w.u64(request.trace.trace_id);
+    w.u64(request.trace.span_id);
+    size_t n_uploaded =
+        std::min<size_t>(request.uploaded.size(), kMaxUploadedRecords);
+    w.u64(n_uploaded);
+    for (size_t i = 0; i < n_uploaded; ++i)
+        writeTraceRecord(w, request.uploaded[i]);
     return w.take();
 }
 
@@ -281,6 +349,14 @@ decodeRequest(const std::vector<uint8_t> &bytes)
         request.ttl_us = r.u64();
     if (r.u8() == kOptPresent)
         request.compute_overhead_us = r.f64();
+    request.trace.trace_id = r.u64();
+    request.trace.span_id = r.u64();
+    uint64_t n_uploaded = r.u64();
+    if (n_uploaded > kMaxUploadedRecords)
+        POTLUCK_FATAL("too many uploaded trace records: " << n_uploaded);
+    request.uploaded.reserve(n_uploaded);
+    for (uint64_t i = 0; i < n_uploaded; ++i)
+        request.uploaded.push_back(readTraceRecord(r));
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in request frame");
     return request;
@@ -311,6 +387,9 @@ encodeReply(const Reply &reply)
     w.u64(reply.num_entries);
     w.u64(reply.total_bytes);
     writeSnapshot(w, reply.snapshot);
+    w.u64(reply.trace_records.size());
+    for (const obs::TraceRecord &record : reply.trace_records)
+        writeTraceRecord(w, record);
     return w.take();
 }
 
@@ -340,6 +419,12 @@ decodeReply(const std::vector<uint8_t> &bytes)
     reply.num_entries = r.u64();
     reply.total_bytes = r.u64();
     reply.snapshot = readSnapshot(r);
+    uint64_t n_trace = r.u64();
+    if (n_trace > kMaxTraceRecords)
+        POTLUCK_FATAL("too many trace records in reply: " << n_trace);
+    reply.trace_records.reserve(n_trace);
+    for (uint64_t i = 0; i < n_trace; ++i)
+        reply.trace_records.push_back(readTraceRecord(r));
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in reply frame");
     return reply;

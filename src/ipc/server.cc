@@ -42,7 +42,8 @@ class ConnectionGuard
 
 PotluckServer::PotluckServer(PotluckService &service,
                              const std::string &socket_path)
-    : listener_(service, /*threads=*/2), socket_path_(socket_path),
+    : listener_(service, /*threads=*/2), recorder_(service.recorder()),
+      socket_path_(socket_path),
       listen_socket_(listenUnix(socket_path)),
       send_deadline_ms_(service.config().ipc_send_deadline_ms),
       idle_timeout_ms_(service.config().ipc_idle_timeout_ms),
@@ -227,8 +228,25 @@ PotluckServer::serveClient(FrameSocket client)
             request_bytes_->record(frame.size());
             requests_->inc();
 
+            // Client-side records piggybacked onto the request land in
+            // the shared recorder, so one dump shows both halves of a
+            // trace. They passed the client's own sampling already.
+            if (recorder_) {
+                for (const obs::TraceRecord &record : request.uploaded)
+                    recorder_->publish(record);
+            }
+
             std::vector<uint8_t> out;
             {
+                // Adopt the client's trace context (when present) so
+                // the handler + service spans join the client's trace.
+                // Data-path verbs only: control verbs are not worth a
+                // trace slot each.
+                bool traced = request.type == RequestType::Lookup ||
+                              request.type == RequestType::Put;
+                obs::TraceScope trace_scope(traced ? recorder_ : nullptr,
+                                            "ipc.handle", request.trace,
+                                            obs::kProcService);
                 POTLUCK_SPAN(handle_ns_);
                 // handle() never throws; service errors ride in
                 // Reply::error.

@@ -72,6 +72,8 @@ class PotluckServer
     size_t activeConnections() const;
 
     AppListener listener_;
+    /** The service's flight recorder (null = tracing/recorder off). */
+    obs::FlightRecorder *recorder_ = nullptr;
     std::string socket_path_;
     ListenSocket listen_socket_;
     std::atomic<bool> stopping_{false};

@@ -8,32 +8,83 @@ namespace potluck::obs {
 
 namespace {
 
-/** JSON string escaping for metric names (control chars, quote, \). */
+/**
+ * Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+ * bytes there are not well-formed (overlong encodings, surrogates, and
+ * out-of-range code points all count as malformed).
+ */
+size_t
+utf8SequenceLength(const std::string &s, size_t i)
+{
+    unsigned char b0 = static_cast<unsigned char>(s[i]);
+    size_t len;
+    uint32_t cp;
+    if (b0 < 0x80)
+        return 1;
+    if ((b0 & 0xe0) == 0xc0) {
+        len = 2;
+        cp = b0 & 0x1f;
+    } else if ((b0 & 0xf0) == 0xe0) {
+        len = 3;
+        cp = b0 & 0x0f;
+    } else if ((b0 & 0xf8) == 0xf0) {
+        len = 4;
+        cp = b0 & 0x07;
+    } else {
+        return 0; // continuation or invalid lead byte
+    }
+    if (i + len > s.size())
+        return 0;
+    for (size_t k = 1; k < len; ++k) {
+        unsigned char b = static_cast<unsigned char>(s[i + k]);
+        if ((b & 0xc0) != 0x80)
+            return 0;
+        cp = (cp << 6) | (b & 0x3f);
+    }
+    static const uint32_t kMinCp[5] = {0, 0, 0x80, 0x800, 0x10000};
+    if (cp < kMinCp[len])
+        return 0; // overlong encoding
+    if (cp > 0x10ffff || (cp >= 0xd800 && cp <= 0xdfff))
+        return 0; // out of range / surrogate half
+    return len;
+}
+
+} // namespace
+
 std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"':
+    for (size_t i = 0; i < s.size();) {
+        char c = s[i];
+        unsigned char uc = static_cast<unsigned char>(c);
+        if (c == '"') {
             out += "\\\"";
-            break;
-          case '\\':
+            ++i;
+        } else if (c == '\\') {
             out += "\\\\";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
+            ++i;
+        } else if (uc < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
+            out += buf;
+            ++i;
+        } else if (uc < 0x80) {
+            out += c;
+            ++i;
+        } else if (size_t len = utf8SequenceLength(s, i)) {
+            out.append(s, i, len);
+            i += len;
+        } else {
+            out += "\\ufffd"; // malformed byte: replacement character
+            ++i;
         }
     }
     return out;
 }
+
+namespace {
 
 std::string
 formatDouble(double v)

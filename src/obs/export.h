@@ -35,6 +35,14 @@ std::string toPrometheus(const RegistrySnapshot &snapshot);
 /** `a.b-c` -> `a_b_c`: a valid Prometheus metric name. */
 std::string prometheusName(const std::string &name);
 
+/**
+ * Escape an arbitrary byte string for embedding in a JSON string
+ * literal: quote/backslash/control characters are \-escaped and bytes
+ * that do not form valid UTF-8 become U+FFFD, so app-supplied
+ * function/app names can never break the document out of its string.
+ */
+std::string jsonEscape(const std::string &s);
+
 /** Human-friendly duration from nanoseconds, e.g. "13.4us", "2.1ms". */
 std::string formatNs(double ns);
 

@@ -33,6 +33,29 @@ calibrateNsPerTick()
 
 const double g_tsc_ns_per_tick = calibrateNsPerTick();
 
+namespace {
+
+/**
+ * One-shot offset mapping scaled-TSC time onto the steady_clock epoch
+ * (depends on g_tsc_ns_per_tick; same-TU initialization order
+ * guarantees the scale is computed first).
+ */
+int64_t
+calibrateEpochOffsetNs()
+{
+    const int64_t steady_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    const int64_t tsc_ns = static_cast<int64_t>(
+        static_cast<double>(__builtin_ia32_rdtsc()) * g_tsc_ns_per_tick);
+    return steady_ns - tsc_ns;
+}
+
+} // namespace
+
+const int64_t g_tsc_epoch_offset_ns = calibrateEpochOffsetNs();
+
 #endif // POTLUCK_OBS_HAVE_TSC
 
 } // namespace potluck::obs

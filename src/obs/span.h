@@ -31,21 +31,27 @@ namespace potluck::obs {
 #define POTLUCK_OBS_HAVE_TSC 1
 /** Nanoseconds per TSC tick, calibrated once at startup (span.cc). */
 extern const double g_tsc_ns_per_tick;
+/** Offset aligning scaled-TSC time to the steady_clock epoch, so span
+ * timestamps and the `[seconds.micros]` log prefix correlate. */
+extern const int64_t g_tsc_epoch_offset_ns;
 #endif
 
 /**
- * Monotonic wall time in nanoseconds (span timestamps). On x86 this is
- * a raw rdtsc scaled by a startup-calibrated factor — roughly 3x
- * cheaper than the clock_gettime vDSO path behind steady_clock, which
- * matters when two reads bracket a microsecond-scale lookup. Only
- * differences of these timestamps are meaningful.
+ * Monotonic wall time in nanoseconds on the steady_clock epoch (span
+ * timestamps — directly comparable to log-line timestamps). On x86
+ * this is a raw rdtsc scaled by a startup-calibrated factor and
+ * shifted onto the steady_clock epoch — roughly 3x cheaper than the
+ * clock_gettime vDSO path behind steady_clock, which matters when two
+ * reads bracket a microsecond-scale lookup.
  */
 inline uint64_t
 spanNowNs()
 {
 #ifdef POTLUCK_OBS_HAVE_TSC
     return static_cast<uint64_t>(
-        static_cast<double>(__builtin_ia32_rdtsc()) * g_tsc_ns_per_tick);
+        static_cast<int64_t>(static_cast<double>(__builtin_ia32_rdtsc()) *
+                             g_tsc_ns_per_tick) +
+        g_tsc_epoch_offset_ns);
 #else
     return static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -1,0 +1,298 @@
+#include "obs/trace_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/export.h"
+
+namespace potluck::obs {
+
+namespace {
+
+std::string
+hexId(uint64_t id)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, id);
+    return buf;
+}
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream oss;
+    oss << v;
+    return oss.str();
+}
+
+const char *
+breakerStateName(int state)
+{
+    switch (state) {
+      case 0:
+        return "closed";
+      case 1:
+        return "half_open";
+      case 2:
+        return "open";
+      default:
+        return "unknown";
+    }
+}
+
+const char *
+procName(uint8_t proc)
+{
+    return proc == kProcClient ? "client" : "service";
+}
+
+/** Decode the a/b/c/u payload into JSON object members (no braces). */
+std::string
+decisionArgsJson(const TraceRecord &r)
+{
+    std::ostringstream out;
+    switch (r.decision) {
+      case DecisionKind::Eviction: {
+        double importance = r.c > 0.0 ? r.a * r.b / r.c : 0.0;
+        out << "\"entry\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"computation_overhead_us\":" << formatDouble(r.a)
+            << ",\"access_frequency\":" << formatDouble(r.b)
+            << ",\"size_bytes\":" << formatDouble(r.c)
+            << ",\"importance\":" << formatDouble(importance)
+            << ",\"entry_id\":" << r.u;
+        break;
+      }
+      case DecisionKind::ThresholdTighten:
+      case DecisionKind::ThresholdLoosen:
+        out << "\"site\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"before\":" << formatDouble(r.a)
+            << ",\"after\":" << formatDouble(r.b)
+            << ",\"neighbor_dist\":" << formatDouble(r.c);
+        break;
+      case DecisionKind::ExpirySweep:
+        out << "\"entries_cleared\":" << r.u
+            << ",\"scan_ns\":" << formatDouble(r.a);
+        break;
+      case DecisionKind::BreakerTransition:
+        out << "\"app\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"from\":\"" << breakerStateName(static_cast<int>(r.a))
+            << "\",\"to\":\"" << breakerStateName(static_cast<int>(r.b))
+            << "\"";
+        break;
+      case DecisionKind::None:
+        out << "\"detail\":\"" << jsonEscape(r.detail) << "\"";
+        break;
+    }
+    return out.str();
+}
+
+/** Human-readable one-line payload for a decision record. */
+std::string
+decisionArgsHuman(const TraceRecord &r)
+{
+    char buf[256];
+    switch (r.decision) {
+      case DecisionKind::Eviction: {
+        double importance = r.c > 0.0 ? r.a * r.b / r.c : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "entry=%s overhead=%.0fus freq=%.0f size=%.0fB "
+                      "importance=%.3f id=%" PRIu64,
+                      r.detail, r.a, r.b, r.c, importance, r.u);
+        break;
+      }
+      case DecisionKind::ThresholdTighten:
+      case DecisionKind::ThresholdLoosen:
+        std::snprintf(buf, sizeof(buf),
+                      "site=%s threshold %.4f -> %.4f (neighbor_dist=%.4f)",
+                      r.detail, r.a, r.b, r.c);
+        break;
+      case DecisionKind::ExpirySweep:
+        std::snprintf(buf, sizeof(buf), "cleared=%" PRIu64 " entries", r.u);
+        break;
+      case DecisionKind::BreakerTransition:
+        std::snprintf(buf, sizeof(buf), "app=%s %s -> %s", r.detail,
+                      breakerStateName(static_cast<int>(r.a)),
+                      breakerStateName(static_cast<int>(r.b)));
+        break;
+      case DecisionKind::None:
+        std::snprintf(buf, sizeof(buf), "%s", r.detail);
+        break;
+    }
+    return buf;
+}
+
+} // namespace
+
+const char *
+decisionName(DecisionKind kind)
+{
+    switch (kind) {
+      case DecisionKind::Eviction:
+        return "eviction";
+      case DecisionKind::ThresholdTighten:
+        return "tuner.tighten";
+      case DecisionKind::ThresholdLoosen:
+        return "tuner.loosen";
+      case DecisionKind::ExpirySweep:
+        return "expiry.sweep";
+      case DecisionKind::BreakerTransition:
+        return "breaker.transition";
+      case DecisionKind::None:
+        return "decision";
+    }
+    return "decision";
+}
+
+std::string
+toChromeTrace(const std::vector<TraceRecord> &records)
+{
+    std::ostringstream out;
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            out << ",";
+        first = false;
+    };
+
+    // One pid lane per process tag, named for the viewer.
+    bool seen_proc[3] = {false, false, false};
+    for (const TraceRecord &r : records) {
+        if (r.proc == kProcService)
+            seen_proc[kProcService] = true;
+        else if (r.proc == kProcClient)
+            seen_proc[kProcClient] = true;
+    }
+    for (uint8_t proc : {kProcService, kProcClient}) {
+        if (!seen_proc[proc])
+            continue;
+        comma();
+        out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+            << static_cast<int>(proc) << ",\"tid\":0,\"args\":{\"name\":\""
+            << (proc == kProcService ? "potluckd (service)"
+                                     : "potluck client")
+            << "\"}}";
+    }
+
+    // One tid per trace so concurrent traces do not stack on one row.
+    // tid 0 is reserved for untraced decision events.
+    std::unordered_map<uint64_t, int> trace_tid;
+    auto tidFor = [&](uint64_t trace_id) -> int {
+        if (trace_id == 0)
+            return 0;
+        auto [it, inserted] =
+            trace_tid.emplace(trace_id, static_cast<int>(trace_tid.size()) + 1);
+        (void)inserted;
+        return it->second;
+    };
+
+    for (const TraceRecord &r : records) {
+        comma();
+        int pid = r.proc == kProcClient ? kProcClient : kProcService;
+        int tid = tidFor(r.trace_id);
+        double ts_us = static_cast<double>(r.start_ns) / 1000.0;
+        if (r.kind == RecordKind::Span) {
+            double dur_us = static_cast<double>(r.dur_ns) / 1000.0;
+            out << "{\"name\":\"" << jsonEscape(r.name)
+                << "\",\"cat\":\"potluck\",\"ph\":\"X\",\"pid\":" << pid
+                << ",\"tid\":" << tid << ",\"ts\":" << formatDouble(ts_us)
+                << ",\"dur\":" << formatDouble(dur_us) << ",\"args\":{"
+                << "\"trace_id\":\"" << hexId(r.trace_id)
+                << "\",\"span_id\":\"" << hexId(r.span_id)
+                << "\",\"parent_span_id\":\"" << hexId(r.parent_span_id)
+                << "\"";
+            if (r.detail[0])
+                out << ",\"detail\":\"" << jsonEscape(r.detail) << "\"";
+            out << "}}";
+        } else {
+            out << "{\"name\":\"" << decisionName(r.decision)
+                << "\",\"cat\":\"potluck.decision\",\"ph\":\"i\",\"s\":\"p\""
+                << ",\"pid\":" << pid << ",\"tid\":" << tid
+                << ",\"ts\":" << formatDouble(ts_us) << ",\"args\":{"
+                << decisionArgsJson(r);
+            if (r.trace_id)
+                out << ",\"trace_id\":\"" << hexId(r.trace_id) << "\"";
+            out << "}}";
+        }
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+toHumanTrace(const std::vector<TraceRecord> &records)
+{
+    std::ostringstream out;
+    size_t spans = 0, decisions = 0;
+    for (const TraceRecord &r : records)
+        (r.kind == RecordKind::Span ? spans : decisions)++;
+
+    // Group records by trace, keeping the snapshot's time order.
+    std::map<uint64_t, std::vector<const TraceRecord *>> traces;
+    std::vector<const TraceRecord *> untraced;
+    for (const TraceRecord &r : records) {
+        if (r.trace_id)
+            traces[r.trace_id].push_back(&r);
+        else
+            untraced.push_back(&r);
+    }
+
+    out << "flight recorder: " << records.size() << " records (" << spans
+        << " spans, " << decisions << " decisions), " << traces.size()
+        << " traces\n";
+
+    for (const auto &[trace_id, recs] : traces) {
+        out << "trace " << hexId(trace_id) << "\n";
+        // Nesting depth = distance to a span with no local parent.
+        std::unordered_map<uint64_t, const TraceRecord *> by_span;
+        for (const TraceRecord *r : recs)
+            if (r->kind == RecordKind::Span)
+                by_span[r->span_id] = r;
+        auto depthOf = [&](const TraceRecord *r) {
+            int depth = 0;
+            uint64_t parent = r->parent_span_id;
+            while (parent && depth < 16) {
+                auto it = by_span.find(parent);
+                if (it == by_span.end())
+                    break;
+                ++depth;
+                parent = it->second->parent_span_id;
+            }
+            return depth;
+        };
+        for (const TraceRecord *r : recs) {
+            int depth = depthOf(r) + 1;
+            for (int i = 0; i < depth; ++i)
+                out << "  ";
+            if (r->kind == RecordKind::Span) {
+                out << "[" << procName(r->proc) << "] " << r->name;
+                if (r->detail[0])
+                    out << " (" << r->detail << ")";
+                out << "  " << formatNs(static_cast<double>(r->dur_ns))
+                    << "  @" << formatNs(static_cast<double>(r->start_ns))
+                    << "\n";
+            } else {
+                out << "[" << procName(r->proc) << "] !"
+                    << decisionName(r->decision) << "  "
+                    << decisionArgsHuman(*r) << "  @"
+                    << formatNs(static_cast<double>(r->start_ns)) << "\n";
+            }
+        }
+    }
+
+    if (!untraced.empty()) {
+        out << "untraced events\n";
+        for (const TraceRecord *r : untraced) {
+            out << "  [" << procName(r->proc) << "] !"
+                << decisionName(r->decision) << "  " << decisionArgsHuman(*r)
+                << "  @" << formatNs(static_cast<double>(r->start_ns))
+                << "\n";
+        }
+    }
+    return out.str();
+}
+
+} // namespace potluck::obs

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Renderers over a flight-recorder snapshot: Chrome `trace_event` JSON
+ * (loadable in Perfetto / chrome://tracing) and a human-readable tree
+ * dump. Both operate on plain record vectors, so `potluck_cli trace`
+ * renders records it fetched over IPC exactly like the daemon renders
+ * its own SIGUSR1 dump.
+ */
+#ifndef POTLUCK_OBS_TRACE_EXPORT_H
+#define POTLUCK_OBS_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace potluck::obs {
+
+/** Stable label for a decision kind ("eviction", "tuner.tighten", …). */
+const char *decisionName(DecisionKind kind);
+
+/**
+ * Render records as a Chrome trace_event JSON document:
+ * {"traceEvents":[...]}. Spans become ph:"X" complete events (ts/dur
+ * in microseconds), decision events become ph:"i" instants with their
+ * payload decoded into args (eviction importance breakdown, tuner
+ * before/after, breaker from/to). Each process tag gets a pid lane
+ * with a process_name metadata event; each trace gets its own tid so
+ * concurrent traces do not visually interleave.
+ */
+std::string toChromeTrace(const std::vector<TraceRecord> &records);
+
+/**
+ * Render records as an indented per-trace tree for terminals: spans
+ * grouped by trace id and nested by parent span id, decision events
+ * attached to their trace (or listed as standalone when untraced).
+ */
+std::string toHumanTrace(const std::vector<TraceRecord> &records);
+
+} // namespace potluck::obs
+
+#endif // POTLUCK_OBS_TRACE_EXPORT_H

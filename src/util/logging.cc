@@ -1,6 +1,8 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
@@ -8,6 +10,15 @@ namespace potluck {
 
 namespace {
 std::atomic<bool> g_verbose{true};
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+std::atomic<PanicHook> g_panic_hook{nullptr};
+
+bool
+levelEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
 } // namespace
 
 void
@@ -22,13 +33,62 @@ logVerbose()
     return g_verbose.load(std::memory_order_relaxed);
 }
 
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "debug")
+        out = LogLevel::Debug;
+    else if (name == "info")
+        out = LogLevel::Info;
+    else if (name == "warn")
+        out = LogLevel::Warn;
+    else if (name == "error")
+        out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
+std::string
+logTimestampPrefix()
+{
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[%5lld.%06lld] ",
+                  static_cast<long long>(us / 1000000),
+                  static_cast<long long>(us % 1000000));
+    return buf;
+}
+
+PanicHook
+setPanicHook(PanicHook hook)
+{
+    return g_panic_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
 namespace detail {
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    std::cerr << logTimestampPrefix() << "panic: " << msg << " @ " << file
+              << ":" << line << std::endl;
+    if (PanicHook hook = g_panic_hook.load(std::memory_order_acquire))
+        hook();
     std::abort();
 }
 
@@ -43,17 +103,24 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    if (logVerbose()) {
-        std::cerr << "warn: " << msg << " @ " << file << ":" << line
-                  << std::endl;
+    if (logVerbose() && levelEnabled(LogLevel::Warn)) {
+        std::cerr << logTimestampPrefix() << "warn: " << msg << " @ " << file
+                  << ":" << line << std::endl;
     }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (logVerbose())
-        std::cerr << "info: " << msg << std::endl;
+    if (logVerbose() && levelEnabled(LogLevel::Info))
+        std::cerr << logTimestampPrefix() << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logVerbose() && levelEnabled(LogLevel::Debug))
+        std::cerr << logTimestampPrefix() << "debug: " << msg << std::endl;
 }
 
 } // namespace detail

@@ -8,7 +8,12 @@
  * - POTLUCK_FATAL: the caller supplied an unusable configuration or
  *   argument; throws potluck::FatalError so the application can decide
  *   how to terminate.
- * - warn()/inform(): non-fatal status messages on stderr.
+ * - warn()/inform()/debug(): non-fatal status messages on stderr,
+ *   filtered by the global LogLevel (`potluckd --log-level`).
+ *
+ * Every emitted line carries a monotonic `[seconds.micros]` prefix on
+ * the steady_clock epoch — the same time base as flight-recorder span
+ * timestamps, so log lines and trace dumps can be correlated.
  */
 #ifndef POTLUCK_UTIL_LOGGING_H
 #define POTLUCK_UTIL_LOGGING_H
@@ -26,6 +31,15 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
+/** Severity levels for the stderr log (ordered, most verbose first). */
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3, ///< only panics (which always print) reach stderr
+};
+
 namespace detail {
 
 /** Print a panic message and abort. Never returns. */
@@ -40,11 +54,38 @@ void warnImpl(const char *file, int line, const std::string &msg);
 /** Emit an informational line to stderr. */
 void informImpl(const std::string &msg);
 
+/** Emit a debug line to stderr (off unless --log-level=debug). */
+void debugImpl(const std::string &msg);
+
 } // namespace detail
 
 /** Global switch for inform()/warn() output (benchmarks silence it). */
 void setLogVerbose(bool verbose);
 bool logVerbose();
+
+/** Global severity floor; lines below it are suppressed. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/**
+ * Parse "debug"/"info"/"warn"/"error" (case-sensitive) into a level.
+ * Returns false and leaves `out` untouched on unknown names.
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/**
+ * Monotonic `[seconds.micros] ` prefix stamped on every log line, on
+ * the steady_clock epoch shared with obs::spanNowNs().
+ */
+std::string logTimestampPrefix();
+
+/**
+ * Hook invoked by panicImpl after printing the message and before
+ * abort(). potluckd installs one that dumps the flight recorder, so a
+ * crash leaves a post-mortem trace behind. Returns the previous hook.
+ */
+using PanicHook = void (*)();
+PanicHook setPanicHook(PanicHook hook);
 
 } // namespace potluck
 
@@ -74,6 +115,15 @@ bool logVerbose();
         std::ostringstream oss_;                                             \
         oss_ << msg_expr;                                                    \
         ::potluck::detail::informImpl(oss_.str());                           \
+    } while (0)
+
+#define POTLUCK_DEBUG(msg_expr)                                              \
+    do {                                                                     \
+        if (::potluck::logLevel() <= ::potluck::LogLevel::Debug) {           \
+            std::ostringstream oss_;                                         \
+            oss_ << msg_expr;                                                \
+            ::potluck::detail::debugImpl(oss_.str());                        \
+        }                                                                    \
     } while (0)
 
 /** Assert an internal invariant; compiled in all build types. */

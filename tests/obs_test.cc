@@ -289,6 +289,56 @@ TEST(Export, PrometheusRewritesNamesAndEmitsTypes)
     EXPECT_EQ(obs::prometheusName("fn.recognize.hits"), "fn_recognize_hits");
 }
 
+// Metric names embed app-supplied strings (`fn.<function>.lookups`),
+// so the exporters must survive hostile names: a registered function
+// called `evil"}` or one carrying raw control bytes must not let an
+// attacker break out of the JSON string or corrupt the Prometheus
+// exposition format.
+
+TEST(Export, JsonEscapesHostileNames)
+{
+    MetricsRegistry reg;
+    reg.counter("fn.evil\"}{\\.lookups").inc(1);
+    reg.counter(std::string("fn.ctrl\x01\n.hits")).inc(2);
+    std::string json = obs::toJson(reg.snapshot());
+    EXPECT_NE(json.find("fn.evil\\\"}{\\\\.lookups"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("fn.ctrl\\u0001\\u000a.hits"), std::string::npos)
+        << json;
+    // No raw quote or control byte survives inside a name.
+    EXPECT_EQ(json.find('\x01'), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(Export, JsonReplacesInvalidUtf8)
+{
+    // Lone continuation byte, truncated sequence, overlong slash, and
+    // a CESU-8 surrogate half — each must become U+FFFD, never pass
+    // through as raw bytes that would make the document non-UTF-8.
+    EXPECT_EQ(obs::jsonEscape("a\x80z"), "a\\ufffdz");
+    EXPECT_EQ(obs::jsonEscape("a\xc3"), "a\\ufffd");
+    EXPECT_EQ(obs::jsonEscape("a\xc0\xafz"), "a\\ufffd\\ufffdz");
+    EXPECT_EQ(obs::jsonEscape("a\xed\xa0\x80z"),
+              "a\\ufffd\\ufffd\\ufffdz");
+    // Well-formed multi-byte sequences pass through untouched.
+    EXPECT_EQ(obs::jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+    EXPECT_EQ(obs::jsonEscape("\xf0\x9f\x8e\x89"), "\xf0\x9f\x8e\x89");
+}
+
+TEST(Export, PrometheusSanitizesHostileNames)
+{
+    MetricsRegistry reg;
+    reg.counter("fn.evil\" 1\n.lookups").inc(3);
+    reg.counter("0leading").inc(4);
+    std::string prom = obs::toPrometheus(reg.snapshot());
+    // Every non-[a-zA-Z0-9_:] byte becomes '_': no injected newline
+    // can forge an extra sample line, no quote can escape a label.
+    EXPECT_NE(prom.find("fn_evil__1__lookups 3"), std::string::npos) << prom;
+    EXPECT_EQ(obs::prometheusName("0leading"), "_leading");
+    for (const char *line_breaker : {"\" 1", "evil\""})
+        EXPECT_EQ(prom.find(line_breaker), std::string::npos) << prom;
+}
+
 // --- ServiceStats as a registry view --------------------------------------
 
 PotluckConfig

@@ -8,6 +8,7 @@
  *   potluck_cli [...] put FUNCTION KEYTYPE K1,K2,... VALUE
  *   potluck_cli [...] get FUNCTION KEYTYPE K1,K2,...
  *   potluck_cli [...] stats [--json|--prom]
+ *   potluck_cli [...] trace [--json]
  *
  * Keys are comma-separated floats; values are stored/printed as
  * strings. Exit status: 0 on hit/success, 2 on miss, 1 when the daemon
@@ -19,6 +20,13 @@
  * kStats verb and pretty-prints occupancy, global counters, per-
  * function hit rates and hot-path latency percentiles; --json and
  * --prom dump the same snapshot in JSON / Prometheus text format.
+ *
+ * `trace` fetches the daemon's flight-recorder snapshot over the
+ * kTrace verb: sampled request traces (client → transport → service
+ * spans) and decision events (evictions with importance breakdowns,
+ * threshold-tuner moves, expiry sweeps, breaker transitions). The
+ * default output is a human-readable tree; --json emits Chrome
+ * trace_event JSON loadable in Perfetto / chrome://tracing.
  *
  * Note: each invocation registers as a fresh application, which (per
  * Section 4.3) resets the similarity thresholds — so CLI lookups are
@@ -33,6 +41,7 @@
 
 #include "ipc/client.h"
 #include "obs/export.h"
+#include "obs/trace_export.h"
 #include "util/stringutil.h"
 
 using namespace potluck;
@@ -48,7 +57,8 @@ usage()
                  "[kdtree|lsh|linear|hash|tree]\n"
                  "  potluck_cli [...] put FN KEYTYPE K1,K2,.. VALUE\n"
                  "  potluck_cli [...] get FN KEYTYPE K1,K2,..\n"
-                 "  potluck_cli [...] stats [--json|--prom]\n";
+                 "  potluck_cli [...] stats [--json|--prom]\n"
+                 "  potluck_cli [...] trace [--json]\n";
     std::exit(1);
 }
 
@@ -243,8 +253,17 @@ main(int argc, char **argv)
     policy.degraded_mode = false;
     policy.request_deadline_ms = timeout_ms;
 
+    // Keep every CLI trace: a debugging tool should never have its own
+    // request sampled away (the daemon's sampler still applies to its
+    // half unless it runs with --trace-slo-us 0).
+    obs::TraceConfig trace_config;
+    trace_config.capacity = 1024;
+    trace_config.slo_ns = 0;
+    trace_config.sample_prob = 1.0;
+
     try {
-        PotluckClient client("potluck_cli", socket_path, policy);
+        PotluckClient client("potluck_cli", socket_path, policy,
+                             trace_config);
         const std::string &cmd = args[0];
         if (cmd == "register" && args.size() >= 3) {
             Metric metric =
@@ -288,6 +307,21 @@ main(int argc, char **argv)
                     usage();
             }
             return runStats(client, format);
+        }
+        if (cmd == "trace" && args.size() <= 2) {
+            bool json = false;
+            if (args.size() == 2) {
+                if (args[1] == "--json")
+                    json = true;
+                else
+                    usage();
+            }
+            std::vector<obs::TraceRecord> records = client.fetchTrace();
+            if (json)
+                std::cout << obs::toChromeTrace(records) << "\n";
+            else
+                std::cout << obs::toHumanTrace(records);
+            return 0;
         }
         usage();
     } catch (const FatalError &e) {

@@ -10,6 +10,9 @@
  *            [--dropout P] [--ttl-sec N] [--eviction importance|lru|random]
  *            [--reputation] [--stats-sec N] [--stats-format plain|json|prom]
  *            [--no-tracing] [--snapshot PATH]
+ *            [--log-level debug|info|warn|error]
+ *            [--no-recorder] [--trace-dump PATH]
+ *            [--trace-slo-us N] [--trace-sample-prob P]
  *
  * With --snapshot, the cache is restored from PATH at startup (if the
  * file exists) and saved back on clean shutdown — the "secondary flash
@@ -19,6 +22,14 @@
  * stdout: a one-line summary with hit rate and lookup p50/p99
  * (plain), or the full JSON / Prometheus export. --no-tracing turns
  * off the hot-path latency spans (counters stay on).
+ *
+ * Flight recorder: the daemon keeps a ring of sampled request traces
+ * and decision events (see obs/trace.h). SIGUSR1 dumps it as Chrome
+ * trace_event JSON to the --trace-dump path (default
+ * <socket>.trace.json); the same dump is written automatically on
+ * graceful shutdown and from the panic handler, so a crash leaves a
+ * post-mortem trace behind. --trace-slo-us sets the always-keep
+ * latency SLO, --trace-sample-prob the below-SLO sampling rate.
  */
 #include <csignal>
 #include <fstream>
@@ -31,6 +42,8 @@
 #include "core/potluck_service.h"
 #include "ipc/server.h"
 #include "obs/export.h"
+#include "obs/trace_export.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "util/stringutil.h"
 
@@ -39,11 +52,49 @@ using namespace potluck;
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_trace = 0;
 
 void
 onSignal(int)
 {
     g_stop = 1;
+}
+
+void
+onDumpSignal(int)
+{
+    g_dump_trace = 1;
+}
+
+/** Flight-recorder dump targets (set once in main before signals). */
+PotluckService *g_service = nullptr;
+std::string g_trace_dump_path;
+
+/**
+ * Write the recorder snapshot as Chrome trace_event JSON. Called from
+ * the main loop (SIGUSR1), the shutdown path, and the panic hook —
+ * regular file IO, not async-signal-safe, which is fine because the
+ * signal handler itself only sets a flag.
+ */
+bool
+dumpTraceToFile()
+{
+    if (!g_service || g_trace_dump_path.empty())
+        return false;
+    obs::FlightRecorder *recorder = g_service->recorder();
+    if (!recorder)
+        return false;
+    std::ofstream out(g_trace_dump_path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << obs::toChromeTrace(recorder->snapshot()) << "\n";
+    return out.good();
+}
+
+void
+panicTraceDump()
+{
+    dumpTraceToFile();
 }
 
 [[noreturn]] void
@@ -55,7 +106,10 @@ usage()
            "                [--eviction importance|lru|random]\n"
            "                [--reputation] [--stats-sec N]\n"
            "                [--stats-format plain|json|prom]\n"
-           "                [--no-tracing] [--snapshot PATH]\n";
+           "                [--no-tracing] [--snapshot PATH]\n"
+           "                [--log-level debug|info|warn|error]\n"
+           "                [--no-recorder] [--trace-dump PATH]\n"
+           "                [--trace-slo-us N] [--trace-sample-prob P]\n";
     std::exit(1);
 }
 
@@ -102,6 +156,7 @@ main(int argc, char **argv)
     std::string socket_path = "/tmp/potluck.sock";
     std::string snapshot_path;
     std::string stats_format = "plain";
+    std::string trace_dump_path;
     int stats_sec = 30;
     PotluckConfig config;
 
@@ -146,10 +201,25 @@ main(int argc, char **argv)
             config.enable_tracing = false;
         } else if (arg == "--snapshot") {
             snapshot_path = next();
+        } else if (arg == "--log-level") {
+            LogLevel level;
+            if (!parseLogLevel(next(), level))
+                usage();
+            setLogLevel(level);
+        } else if (arg == "--no-recorder") {
+            config.enable_recorder = false;
+        } else if (arg == "--trace-dump") {
+            trace_dump_path = next();
+        } else if (arg == "--trace-slo-us") {
+            config.trace_slo_ns = std::stoull(next()) * 1000ULL;
+        } else if (arg == "--trace-sample-prob") {
+            config.trace_sample_prob = std::stod(next());
         } else {
             usage();
         }
     }
+    if (trace_dump_path.empty())
+        trace_dump_path = socket_path + ".trace.json";
 
     try {
         PotluckService service(config);
@@ -171,8 +241,12 @@ main(int argc, char **argv)
         }
         CacheManager manager(service);
         PotluckServer server(service, socket_path);
+        g_service = &service;
+        g_trace_dump_path = trace_dump_path;
+        setPanicHook(panicTraceDump);
         std::signal(SIGINT, onSignal);
         std::signal(SIGTERM, onSignal);
+        std::signal(SIGUSR1, onDumpSignal);
         std::cout << "potluckd: serving on " << socket_path << " ("
                   << (config.max_bytes
                           ? formatBytes(config.max_bytes)
@@ -183,6 +257,13 @@ main(int argc, char **argv)
         int elapsed = 0;
         while (!g_stop) {
             std::this_thread::sleep_for(std::chrono::seconds(1));
+            if (g_dump_trace) {
+                g_dump_trace = 0;
+                if (dumpTraceToFile()) {
+                    std::cout << "potluckd: trace dumped to "
+                              << g_trace_dump_path << std::endl;
+                }
+            }
             if (stats_sec > 0 && ++elapsed >= stats_sec) {
                 elapsed = 0;
                 dumpStats(service, stats_format);
@@ -194,12 +275,20 @@ main(int argc, char **argv)
         // or an entry added moments before the signal.
         std::cout << "potluckd: draining connections" << std::endl;
         server.shutdown();
+        // The recorder ring is about to die with the service; leave
+        // the last trace window behind as a post-mortem artifact.
+        if (dumpTraceToFile()) {
+            std::cout << "potluckd: trace dumped to " << g_trace_dump_path
+                      << std::endl;
+        }
         if (!snapshot_path.empty()) {
             size_t written = saveSnapshot(service, snapshot_path);
             std::cout << "potluckd: saved " << written << " entries to "
                       << snapshot_path << std::endl;
         }
         std::cout << "potluckd: shutting down" << std::endl;
+        setPanicHook(nullptr); // service (and its recorder) die next
+        g_service = nullptr;
         return 0;
     } catch (const FatalError &e) {
         std::cerr << "potluckd: " << e.what() << std::endl;
