@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Concurrent lookup throughput: the sharded service vs a single-lock
+ * baseline, at 1 and 4 client threads.
+ *
+ * The baseline serializes every lookup behind one std::mutex — the
+ * concurrency model the service had before sharding (one writer lock
+ * around the whole table). The sharded service splits storage and
+ * indices across N shards, each behind its own reader/writer lock, so
+ * lookups from different threads proceed in parallel (readers take
+ * SHARED locks and never exclude each other).
+ *
+ * The index is Linear (the paper's enumeration baseline): its probe
+ * cost is proportional to shard size, so N shards probed sequentially
+ * cost the same total work as one big index and the measurement
+ * isolates the LOCK model. (A kd-tree would not: a shard that does
+ * not hold the query's exact twin prunes poorly in high dimensions,
+ * so fan-out multiplies total probe work — that trade-off is
+ * documented in DESIGN.md §10 and is why parallel_fanout exists.)
+ *
+ * Expected shape: the baseline's 4-thread throughput is at best its
+ * 1-thread throughput (lock handoff usually makes it worse); the
+ * sharded service scales with the thread count. The headline number —
+ * sharded 4-thread vs single-lock 4-thread — should be >= 2.5x on any
+ * multicore machine.
+ */
+#include "bench_common.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "core/potluck_service.h"
+#include "util/clock.h"
+
+using namespace potluck;
+
+namespace {
+
+constexpr size_t kEntries = 2048;
+constexpr size_t kDim = 32;
+constexpr int kLookupsPerThread = 5000;
+
+FeatureVector
+keyOf(size_t i)
+{
+    std::vector<float> v(kDim);
+    for (size_t d = 0; d < kDim; ++d)
+        v[d] = static_cast<float>((i * 131 + d * 31) % 9973);
+    return FeatureVector(std::move(v));
+}
+
+PotluckConfig
+benchConfig(size_t shards)
+{
+    PotluckConfig cfg;
+    cfg.num_shards = shards;
+    cfg.dropout_probability = 0.0; // deterministic hot path
+    cfg.warmup_entries = 0;
+    cfg.max_entries = kEntries * 2;
+    cfg.max_bytes = 0;
+    cfg.enable_tracing = false;    // measure the lock model, not spans
+    cfg.enable_recorder = false;
+    return cfg;
+}
+
+void
+populate(PotluckService &service)
+{
+    service.registerKeyType("f", {"vec", Metric::L2, IndexKind::Linear});
+    for (size_t i = 0; i < kEntries; ++i)
+        service.put("f", "vec", keyOf(i), encodeInt(static_cast<int>(i)),
+                    {});
+}
+
+/**
+ * Run `threads` workers, each doing kLookupsPerThread exact-key
+ * lookups; returns aggregate lookups/second. `serialize` wraps every
+ * lookup in one global mutex (the single-lock baseline).
+ */
+double
+measureThroughput(PotluckService &service, int threads, bool serialize)
+{
+    std::mutex global_lock;
+    std::atomic<uint64_t> misses{0};
+    // One untimed pass per thread warms caches and the kd-tree's lazy
+    // rebuild so the timed region measures steady state.
+    service.lookup("bench", "f", "vec", keyOf(0));
+
+    Stopwatch sw;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t]() {
+            for (int i = 0; i < kLookupsPerThread; ++i) {
+                size_t idx =
+                    (static_cast<size_t>(t) * 7919 + static_cast<size_t>(i)) %
+                    kEntries;
+                LookupResult r;
+                if (serialize) {
+                    std::lock_guard<std::mutex> lock(global_lock);
+                    r = service.lookup("bench", "f", "vec", keyOf(idx));
+                } else {
+                    r = service.lookup("bench", "f", "vec", keyOf(idx));
+                }
+                if (!r.hit)
+                    misses.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    double secs = sw.elapsedUs() / 1e6;
+    POTLUCK_ASSERT(misses.load() == 0, "bench lookups must all hit");
+    return static_cast<double>(threads) * kLookupsPerThread / secs;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogVerbose(false);
+    bench::banner("concurrent throughput",
+                  "sharded vs single-lock lookup scaling",
+                  "sharded >= 2.5x the single-lock baseline at 4 threads");
+
+    const size_t shards = 8;
+    PotluckService single(benchConfig(1));
+    populate(single);
+    PotluckService sharded(benchConfig(shards));
+    populate(sharded);
+
+    double base_1t = measureThroughput(single, 1, /*serialize=*/true);
+    double base_4t = measureThroughput(single, 4, /*serialize=*/true);
+    double shard_1t = measureThroughput(sharded, 1, /*serialize=*/false);
+    double shard_4t = measureThroughput(sharded, 4, /*serialize=*/false);
+
+    bench::Table table(
+        {"config", "threads", "lookups/s", "vs base 1T"});
+    table.cell("single-lock").cell(1.0, 0).cell(base_1t, 0)
+        .cell(1.0).endRow();
+    table.cell("single-lock").cell(4.0, 0).cell(base_4t, 0)
+        .cell(base_4t / base_1t).endRow();
+    table.cell("sharded x8").cell(1.0, 0).cell(shard_1t, 0)
+        .cell(shard_1t / base_1t).endRow();
+    table.cell("sharded x8").cell(4.0, 0).cell(shard_4t, 0)
+        .cell(shard_4t / base_1t).endRow();
+
+    double speedup = shard_4t / base_4t;
+    unsigned hw = std::thread::hardware_concurrency();
+    std::cout << "\n4-thread speedup (sharded / single-lock): "
+              << formatFixed(speedup, 2) << "x on " << hw
+              << " hardware thread" << (hw == 1 ? "" : "s") << "\n";
+    if (hw < 4) {
+        // Reader-lock scaling needs cores to run the readers on; with
+        // fewer than 4 hardware threads the 4 workers time-slice one
+        // another and BOTH configs serialize, so the ratio measures
+        // the scheduler, not the lock model. Report, don't assert.
+        std::cout << "[skipped] < 4 hardware threads: cannot measure "
+                     "parallel scaling on this machine\n";
+        return 0;
+    }
+    std::cout << (speedup >= 2.5 ? "[OK >= 2.5x]" : "[BELOW TARGET]")
+              << "\n";
+    return speedup >= 2.5 ? 0 : 1;
+}

@@ -10,12 +10,18 @@
 # fault hooks in and exercises the FaultInjection.* torture tests that
 # are preprocessed away from release builds.
 #
-# A final smoke test starts the sanitized potluckd, drives a small
-# multi-app workload through potluck_cli, and validates the exported
-# flight-recorder trace: `potluck_cli trace --json` must parse with
-# `python3 -m json.tool` and contain the minimal Chrome trace_event
-# shape (a traceEvents array with complete spans). Skipped when python3
-# is unavailable.
+# A final smoke test starts the sanitized potluckd (sharded, to cover
+# the concurrent hot path), drives a small multi-app workload through
+# potluck_cli — including the batched mput/mget verbs — and validates
+# the exported flight-recorder trace: `potluck_cli trace --json` must
+# parse with `python3 -m json.tool` and contain the minimal Chrome
+# trace_event shape (a traceEvents array with complete spans). Skipped
+# when python3 is unavailable.
+#
+# Unless this run IS the thread-sanitizer run, a last stage builds the
+# concurrency stress test under ThreadSanitizer and runs it: the shard
+# locking, kd-tree lazy rebuild and LSH lazy projections must be
+# TSan-clean on every check, not only when someone asks for TSan.
 #
 # Usage: scripts/check.sh [address|thread|undefined]
 set -euo pipefail
@@ -56,9 +62,10 @@ DAEMON="$BUILD/tools/potluckd"
 CLI="$BUILD/tools/potluck_cli"
 
 # --dropout 0: a probabilistic dropout would turn `get` into exit 2
-# and fail the script at random.
-"$DAEMON" --socket "$SOCK" --stats-sec 0 --dropout 0 --trace-slo-us 0 \
-    --trace-dump "$TRACE_JSON" &
+# and fail the script at random. --shards 4: the smoke test should
+# drive the sharded hot path, not the single-shard special case.
+"$DAEMON" --socket "$SOCK" --stats-sec 0 --dropout 0 --shards 4 \
+    --trace-slo-us 0 --trace-dump "$TRACE_JSON" &
 DAEMON_PID=$!
 cleanup() {
     kill "$DAEMON_PID" 2>/dev/null || true
@@ -81,6 +88,9 @@ done
 "$CLI" --socket "$SOCK" get recognize vec 1,2,3
 "$CLI" --socket "$SOCK" put recognize vec 4,5,6 world
 "$CLI" --socket "$SOCK" get recognize vec 4,5,6
+# Batched verbs: one frame, many keys (kPutBatch / kLookupBatch).
+"$CLI" --socket "$SOCK" mput recognize vec 7,8,9=seven 10,11,12=ten
+"$CLI" --socket "$SOCK" mget recognize vec 7,8,9 10,11,12 1,2,3
 "$CLI" --socket "$SOCK" trace > /dev/null # human dump must not crash
 
 if command -v python3 > /dev/null 2>&1; then
@@ -125,3 +135,16 @@ else
 fi
 
 echo "check.sh: trace smoke test passed"
+
+# ---- ThreadSanitizer concurrency stage --------------------------------
+# The full suite already ran under TSan when that was the requested
+# sanitizer; otherwise build just the stress test under TSan and run
+# it, so every check proves the sharded service race-free.
+if [ "$SANITIZER" != "thread" ]; then
+    TSAN_BUILD="$ROOT/build-thread"
+    cmake -S "$ROOT" -B "$TSAN_BUILD" -DPOTLUCK_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$TSAN_BUILD" -j "$(nproc)" --target stress_test
+    "$TSAN_BUILD/tests/stress_test"
+    echo "check.sh: stress test clean under ThreadSanitizer"
+fi

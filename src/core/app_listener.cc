@@ -60,6 +60,35 @@ AppListener::execute(const Request &request)
         reply.entry_id = result.id;
         break;
       }
+      case RequestType::LookupBatch: {
+        reply.batch_lookups.reserve(request.batch_keys.size());
+        for (const FeatureVector &key : request.batch_keys) {
+            LookupResult result = service_.lookup(
+                request.app, request.function, request.key_type, key);
+            BatchLookupItem item;
+            item.hit = result.hit;
+            item.dropped = result.dropped;
+            item.value = std::move(result.value);
+            item.id = result.id;
+            reply.batch_lookups.push_back(std::move(item));
+        }
+        reply.ok = true;
+        break;
+      }
+      case RequestType::PutBatch: {
+        PutOptions options;
+        options.app = request.app;
+        options.ttl_us = request.ttl_us;
+        options.compute_overhead_us = request.compute_overhead_us;
+        reply.batch_entry_ids.reserve(request.batch_puts.size());
+        for (const BatchPutItem &item : request.batch_puts) {
+            reply.batch_entry_ids.push_back(
+                service_.put(request.function, request.key_type, item.key,
+                             item.value, options));
+        }
+        reply.ok = true;
+        break;
+      }
       case RequestType::Put: {
         PutOptions options;
         options.app = request.app;

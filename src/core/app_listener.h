@@ -37,6 +37,29 @@ enum class RequestType : uint8_t
     /** kTrace: flight-recorder snapshot (request traces + decision
      * events) for `potluck_cli trace`. */
     Trace = 7,
+    /** kLookupBatch: many lookups of one (function, key type) in a
+     * single frame — one round trip instead of N (Section 4.2's
+     * "multiple requests can be packed into one message"). */
+    LookupBatch = 8,
+    /** kPutBatch: many puts of one (function, key type), sharing the
+     * same ttl/overhead options, in a single frame. */
+    PutBatch = 9,
+};
+
+/** One (key, value) element of a kPutBatch request. */
+struct BatchPutItem
+{
+    FeatureVector key;
+    Value value;
+};
+
+/** Per-key result of a kLookupBatch reply. */
+struct BatchLookupItem
+{
+    bool hit = false;
+    bool dropped = false;
+    Value value;
+    EntryId id = 0;
 };
 
 /** One application request to the deduplication service. */
@@ -58,6 +81,14 @@ struct Request
     Value value;
     std::optional<uint64_t> ttl_us;
     std::optional<double> compute_overhead_us;
+
+    /** kLookupBatch keys (all against this request's function/key
+     * type; the batch shares one frame and one server dispatch). */
+    std::vector<FeatureVector> batch_keys;
+
+    /** kPutBatch payloads (ttl_us / compute_overhead_us above apply
+     * to every item). */
+    std::vector<BatchPutItem> batch_puts;
 
     /** Trace context minted by the client: the server-side spans of
      * this request join the client's trace (zeros = untraced). */
@@ -85,6 +116,13 @@ struct Reply
 
     /** Put result. */
     EntryId entry_id = 0;
+
+    /** kLookupBatch results, one per request key, in order. */
+    std::vector<BatchLookupItem> batch_lookups;
+
+    /** kPutBatch results: the stored (or deduplicated) entry id per
+     * item, in order. */
+    std::vector<EntryId> batch_entry_ids;
 
     /** Stats results. */
     ServiceStats stats;

@@ -13,6 +13,7 @@
 #ifndef POTLUCK_CORE_CACHE_ENTRY_H
 #define POTLUCK_CORE_CACHE_ENTRY_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -45,7 +46,14 @@ struct CacheEntry
     /// @name Importance inputs (Section 3.3).
     /// @{
     double compute_overhead_us = 0.0;
-    uint64_t access_frequency = 1;
+
+    /**
+     * Hit count. Atomic because lookup() bumps it under the shard's
+     * SHARED lock (concurrent hits on the same entry must not race);
+     * everything else about the entry is immutable after insertion or
+     * mutated only under the shard's exclusive lock.
+     */
+    std::atomic<uint64_t> access_frequency{1};
     /// @}
 
     /** Absolute expiry time (Clock::nowUs() domain). */
@@ -54,8 +62,59 @@ struct CacheEntry
     /** Insertion time; doubles as the LRU baseline's initial stamp. */
     uint64_t inserted_us = 0;
 
-    /** Last access time (for the LRU baseline). */
-    uint64_t last_access_us = 0;
+    /** Last access time (for the LRU baseline); atomic like
+     * access_frequency — hits stamp it under the shared lock. */
+    std::atomic<uint64_t> last_access_us{0};
+
+    CacheEntry() = default;
+    CacheEntry(const CacheEntry &other) { *this = other; }
+    CacheEntry(CacheEntry &&other) noexcept { *this = other; }
+
+    /** Copy (atomics transfer by value; relaxed is enough — copies
+     * happen while the source is lock-protected or thread-local). */
+    CacheEntry &
+    operator=(const CacheEntry &other)
+    {
+        if (this == &other)
+            return *this;
+        id = other.id;
+        function = other.function;
+        keys = other.keys;
+        value = other.value;
+        app = other.app;
+        compute_overhead_us = other.compute_overhead_us;
+        access_frequency.store(
+            other.access_frequency.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        expiry_us = other.expiry_us;
+        inserted_us = other.inserted_us;
+        last_access_us.store(
+            other.last_access_us.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        return *this;
+    }
+
+    CacheEntry &
+    operator=(CacheEntry &&other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        id = other.id;
+        function = std::move(other.function);
+        keys = std::move(other.keys);
+        value = std::move(other.value);
+        app = std::move(other.app);
+        compute_overhead_us = other.compute_overhead_us;
+        access_frequency.store(
+            other.access_frequency.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        expiry_us = other.expiry_us;
+        inserted_us = other.inserted_us;
+        last_access_us.store(
+            other.last_access_us.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        return *this;
+    }
 
     /** Total byte footprint: value plus every key vector. */
     size_t sizeBytes() const;

@@ -30,6 +30,21 @@ class EvictionPolicy
      * @param entries  the live entry table
      */
     virtual EntryId selectVictim(const std::map<EntryId, CacheEntry> &entries) = 0;
+
+    /**
+     * Total-order score for cross-shard victim selection: the sharded
+     * service picks each shard's selectVictim() candidate, then evicts
+     * the one with the LOWEST score, so per-shard winners compare on
+     * the same scale the policy ranked them by. Random eviction is the
+     * exception — it has no score, and the service picks the shard by
+     * entry-count weighting instead (kind() == Random).
+     */
+    virtual double
+    victimScore(const CacheEntry &entry) const
+    {
+        (void)entry;
+        return 0.0;
+    }
 };
 
 /** Evict the entry with the lowest importance (Section 3.3). */
@@ -39,6 +54,12 @@ class ImportanceEviction : public EvictionPolicy
     EvictionKind kind() const override { return EvictionKind::Importance; }
     EntryId
     selectVictim(const std::map<EntryId, CacheEntry> &entries) override;
+
+    double
+    victimScore(const CacheEntry &entry) const override
+    {
+        return entry.importance();
+    }
 };
 
 /** Evict the least recently accessed entry. */
@@ -48,6 +69,13 @@ class LruEviction : public EvictionPolicy
     EvictionKind kind() const override { return EvictionKind::Lru; }
     EntryId
     selectVictim(const std::map<EntryId, CacheEntry> &entries) override;
+
+    double
+    victimScore(const CacheEntry &entry) const override
+    {
+        return static_cast<double>(
+            entry.last_access_us.load(std::memory_order_relaxed));
+    }
 };
 
 /** Evict a uniformly random entry. */

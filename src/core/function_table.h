@@ -7,6 +7,7 @@
 #ifndef POTLUCK_CORE_FUNCTION_TABLE_H
 #define POTLUCK_CORE_FUNCTION_TABLE_H
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -49,19 +50,48 @@ struct KeyTypeConfig
     /// @}
 };
 
-/** Per-slot operation counters (a function's own hit profile). */
+/**
+ * Per-slot operation counters (a function's own hit profile).
+ * The counters are atomic because the service bumps lookups/hits/
+ * misses under a SHARED shard lock (concurrent lookups on the same
+ * slot must not race); copies (the slotStats() snapshot) transfer the
+ * values relaxed.
+ */
 struct SlotStats
 {
-    uint64_t lookups = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t puts = 0;
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> puts{0};
+
+    SlotStats() = default;
+    SlotStats(const SlotStats &other) { *this = other; }
+
+    SlotStats &
+    operator=(const SlotStats &other)
+    {
+        if (this == &other)
+            return *this;
+        lookups.store(other.lookups.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+        hits.store(other.hits.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+        misses.store(other.misses.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        puts.store(other.puts.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+        return *this;
+    }
 
     double
     hitRate() const
     {
-        uint64_t answered = hits + misses;
-        return answered ? static_cast<double>(hits) / answered : 0.0;
+        uint64_t answered = hits.load(std::memory_order_relaxed) +
+                            misses.load(std::memory_order_relaxed);
+        return answered ? static_cast<double>(hits.load(
+                              std::memory_order_relaxed)) /
+                              answered
+                        : 0.0;
     }
 };
 

@@ -4,24 +4,47 @@
 
 namespace potluck {
 
+namespace {
+
+/**
+ * Coordinate of a key along an axis, 0 for axes past its dimension.
+ * Keys of mixed dimensionality can share one index (the service
+ * segregates key TYPES, not dimensions — a "fast" keypoint vector's
+ * length depends on the frame), so every axis read must be clamped:
+ * unclamped, build() and search() read out of bounds the moment a
+ * shorter key meets an axis chosen from a longer one.
+ */
+inline float
+coord(const FeatureVector &v, int axis)
+{
+    return static_cast<size_t>(axis) < v.size() ? v[axis] : 0.0f;
+}
+
+} // namespace
+
 void
 KdTreeIndex::insert(EntryId id, const FeatureVector &key)
 {
     keys_[id] = key;
-    stale_ = true;
+    stale_.store(true, std::memory_order_release);
 }
 
 void
 KdTreeIndex::remove(EntryId id)
 {
     if (keys_.erase(id))
-        stale_ = true;
+        stale_.store(true, std::memory_order_release);
 }
 
 void
 KdTreeIndex::rebuildIfStale() const
 {
-    if (!stale_)
+    if (!stale_.load(std::memory_order_acquire))
+        return;
+    // Multiple shared-lock readers can reach here at once; only one
+    // rebuilds, the rest wait and re-check.
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    if (!stale_.load(std::memory_order_relaxed))
         return;
     nodes_.clear();
     root_ = -1;
@@ -33,7 +56,7 @@ KdTreeIndex::rebuildIfStale() const
         nodes_.reserve(ids.size());
         root_ = build(ids, 0, ids.size(), 0);
     }
-    stale_ = false;
+    stale_.store(false, std::memory_order_release);
 }
 
 int
@@ -42,12 +65,18 @@ KdTreeIndex::build(std::vector<EntryId> &ids, size_t begin, size_t end,
 {
     if (begin >= end)
         return -1;
-    size_t dim = keys_.at(ids[begin]).size();
+    // Cycle the axis over the LARGEST dimension in the range, so long
+    // keys split on all of their coordinates; shorter keys read as 0
+    // past their end (coord()).
+    size_t dim = 0;
+    for (size_t i = begin; i < end; ++i)
+        dim = std::max(dim, keys_.at(ids[i]).size());
     int axis = dim ? depth % static_cast<int>(dim) : 0;
     size_t mid = (begin + end) / 2;
     std::nth_element(ids.begin() + begin, ids.begin() + mid,
                      ids.begin() + end, [&](EntryId a, EntryId b) {
-                         return keys_.at(a)[axis] < keys_.at(b)[axis];
+                         return coord(keys_.at(a), axis) <
+                                coord(keys_.at(b), axis);
                      });
     int node_idx = static_cast<int>(nodes_.size());
     nodes_.push_back(Node{ids[mid], axis, -1, -1});
@@ -89,9 +118,8 @@ KdTreeIndex::search(int node, const FeatureVector &key, size_t k,
     }
 
     int axis = n.axis;
-    double delta = axis < static_cast<int>(key.size())
-                       ? static_cast<double>(key[axis]) - stored[axis]
-                       : 0.0;
+    double delta = static_cast<double>(coord(key, axis)) -
+                   static_cast<double>(coord(stored, axis));
     int near = delta < 0 ? n.left : n.right;
     int far = delta < 0 ? n.right : n.left;
     search(near, key, k, best);

@@ -8,6 +8,8 @@
 #ifndef POTLUCK_CORE_KD_TREE_INDEX_H
 #define POTLUCK_CORE_KD_TREE_INDEX_H
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -45,10 +47,16 @@ class KdTreeIndex : public Index
 
     std::unordered_map<EntryId, FeatureVector> keys_;
 
-    // The tree is a cached view over keys_, rebuilt on demand.
+    // The tree is a cached view over keys_, rebuilt on demand. The
+    // service calls nearest() under a SHARED lock, so concurrent
+    // readers may both find the tree stale: the rebuild is internally
+    // serialized by rebuild_mutex_ with a double-checked atomic flag
+    // (insert/remove run under the exclusive lock and only set the
+    // flag; they never race with readers).
+    mutable std::mutex rebuild_mutex_;
     mutable std::vector<Node> nodes_;
     mutable int root_ = -1;
-    mutable bool stale_ = true;
+    mutable std::atomic<bool> stale_{true};
 };
 
 } // namespace potluck

@@ -21,7 +21,7 @@ LshIndex::LshIndex(Metric metric, uint64_t seed, int num_tables,
 }
 
 void
-LshIndex::ensureProjections(size_t d) const
+LshIndex::ensureProjections(size_t d)
 {
     if (d <= proj_dim_)
         return;
@@ -47,12 +47,18 @@ LshIndex::ensureProjections(size_t d) const
 uint64_t
 LshIndex::signature(const FeatureVector &key, int table) const
 {
-    ensureProjections(key.size());
+    // Never grows state: called under the service's SHARED lock from
+    // nearest(). The dot product is truncated to the materialized
+    // projection dimension; that is lossless for every stored key
+    // (insert grew projections to cover it), and a wider query key
+    // can only hash into buckets whose candidates are then discarded
+    // by the exact-dimension filter in nearest().
     uint64_t sig = 1469598103934665603ULL;
     for (int p = 0; p < num_projections_; ++p) {
         const auto &dir = projections_[table][p];
         double dot = 0.0;
-        for (size_t i = 0; i < key.size(); ++i)
+        size_t n = std::min(key.size(), dir.size());
+        for (size_t i = 0; i < n; ++i)
             dot += static_cast<double>(dir[i]) * key[i];
         int64_t bucket = static_cast<int64_t>(
             std::floor((dot + offsets_[table][p]) / bucket_width_));
@@ -69,6 +75,9 @@ void
 LshIndex::insert(EntryId id, const FeatureVector &key)
 {
     remove(id);
+    // max(1, d): even a zero-dim key must materialize the per-table
+    // projection arrays that signature() indexes unconditionally.
+    ensureProjections(std::max<size_t>(1, key.size()));
     for (int t = 0; t < num_tables_; ++t)
         tables_[t].emplace(signature(key, t), id);
     keys_.emplace(id, key);
@@ -95,6 +104,10 @@ LshIndex::remove(EntryId id)
 std::vector<Neighbor>
 LshIndex::nearest(const FeatureVector &key, size_t k) const
 {
+    // Empty index ⇒ projections may be unmaterialized; bail before
+    // signature() touches them.
+    if (keys_.empty())
+        return {};
     std::unordered_set<EntryId> candidates;
     for (int t = 0; t < num_tables_; ++t) {
         auto range = tables_[t].equal_range(signature(key, t));

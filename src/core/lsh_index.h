@@ -40,11 +40,15 @@ class LshIndex : public Index
     size_t size() const override { return keys_.size(); }
 
   private:
-    /** Bucket signature of a key in one table. */
+    /** Bucket signature of a key in one table. Read-only: truncates
+     * the dot product to the currently materialized dimension. */
     uint64_t signature(const FeatureVector &key, int table) const;
 
-    /** Lazily extend projections to cover dimension d. */
-    void ensureProjections(size_t d) const;
+    /** Extend projections to cover dimension d. Only called from the
+     * mutating path (insert), which the service runs under an
+     * exclusive lock — nearest() must never grow state, since it runs
+     * under a SHARED lock with concurrent readers. */
+    void ensureProjections(size_t d);
 
     int num_tables_;
     int num_projections_;
@@ -53,9 +57,9 @@ class LshIndex : public Index
 
     // projections_[table][proj] is a direction vector grown on demand;
     // offsets_[table][proj] is the b term in floor((a.v + b)/w).
-    mutable std::vector<std::vector<std::vector<float>>> projections_;
-    mutable std::vector<std::vector<double>> offsets_;
-    mutable size_t proj_dim_ = 0;
+    std::vector<std::vector<std::vector<float>>> projections_;
+    std::vector<std::vector<double>> offsets_;
+    size_t proj_dim_ = 0;
 
     std::vector<std::unordered_multimap<uint64_t, EntryId>> tables_;
     std::unordered_map<EntryId, FeatureVector> keys_;

@@ -1,6 +1,7 @@
 #include "core/potluck_service.h"
 
 #include <algorithm>
+#include <future>
 #include <mutex>
 
 #include "obs/span.h"
@@ -10,7 +11,7 @@ namespace potluck {
 
 PotluckService::PotluckService(PotluckConfig config, Clock *clock)
     : config_(config), clock_(clock),
-      metrics_(std::make_unique<obs::MetricsRegistry>()), table_(config),
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
       eviction_(makeEvictionPolicy(config.eviction, config.seed)),
       rng_(config.seed),
       reputation_(config.reputation_ban_score,
@@ -56,6 +57,65 @@ PotluckService::PotluckService(PotluckConfig config, Clock *clock)
         tc.sample_prob = config_.trace_sample_prob;
         recorder_ = std::make_unique<obs::FlightRecorder>(tc);
     }
+
+    size_t n = std::max<size_t>(1, config_.num_shards);
+    shards_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        auto shard = std::make_unique<Shard>(config_);
+        if (n > 1) {
+            std::string prefix = "cache.shard." + std::to_string(i);
+            shard->entries_gauge = &reg.gauge(prefix + ".entries");
+            shard->bytes_gauge = &reg.gauge(prefix + ".bytes");
+        }
+        shards_.push_back(std::move(shard));
+    }
+    if (n > 1 && config_.enable_tracing)
+        obs_.fanout_ns = &reg.histogram("service.shard_fanout_ns");
+    if (n > 1 && config_.parallel_fanout)
+        fanout_pool_ = std::make_unique<ThreadPool>(std::min<size_t>(n, 8));
+}
+
+size_t
+PotluckService::shardOf(const std::string &function,
+                        const FeatureVector &key) const
+{
+    if (shards_.size() == 1)
+        return 0;
+    // FNV-1a over the function name and the key's float bytes. Similar
+    // keys hash to unrelated shards — which is why lookups probe every
+    // shard — but placement is deterministic, so a snapshot reload
+    // under the same shard count reproduces the same layout.
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](const void *data, size_t len) {
+        const auto *bytes = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            h ^= bytes[i];
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(function.data(), function.size());
+    if (!key.empty())
+        mix(key.values().data(), key.size() * sizeof(float));
+    return static_cast<size_t>(h % shards_.size());
+}
+
+KeyIndex *
+PotluckService::canonicalSlot(const std::string &function,
+                              const std::string &key_type, const char *verb)
+{
+    // Shard 0 is the canonical registration check: registerKeyType()
+    // replicates to it LAST, so a slot visible here exists everywhere.
+    // The returned pointer is stable (slots are heap-allocated and
+    // never removed); its SlotStats and fn_* counters are atomic, so
+    // they are bumped without holding the lock.
+    Shard &s0 = *shards_[0];
+    std::shared_lock lock(s0.mutex);
+    KeyIndex *slot = s0.table.find(function, key_type);
+    if (!slot) {
+        POTLUCK_FATAL(verb << " on unregistered (function='" << function
+                           << "', key type='" << key_type << "')");
+    }
+    return slot;
 }
 
 void
@@ -63,19 +123,29 @@ PotluckService::registerKeyType(const std::string &function,
                                 const KeyTypeConfig &cfg,
                                 std::shared_ptr<FeatureExtractor> extractor)
 {
-    std::unique_lock lock(mutex_);
-    KeyIndex &slot = table_.ensure(function, cfg);
-    // Share one set of per-function metrics across the function's
-    // slots (the registry returns the same object for the same name).
-    slot.fn_lookups = &metrics_->counter("fn." + function + ".lookups");
-    slot.fn_hits = &metrics_->counter("fn." + function + ".hits");
-    slot.fn_misses = &metrics_->counter("fn." + function + ".misses");
-    if (config_.enable_tracing) {
-        slot.fn_lookup_ns =
-            &metrics_->histogram("fn." + function + ".lookup_ns");
+    // Replicate the registration to every shard, shard 0 LAST: the
+    // data path treats shard 0 as the canonical existence check, so by
+    // the time a slot appears there, every other shard already has it
+    // (probes of a not-yet-registered shard just skip it).
+    for (size_t i = shards_.size(); i-- > 0;) {
+        Shard &shard = *shards_[i];
+        std::unique_lock lock(shard.mutex);
+        KeyIndex &slot = shard.table.ensure(function, cfg);
+        // Share one set of per-function metrics across the function's
+        // slots AND across shards (the registry returns the same
+        // object for the same name).
+        slot.fn_lookups = &metrics_->counter("fn." + function + ".lookups");
+        slot.fn_hits = &metrics_->counter("fn." + function + ".hits");
+        slot.fn_misses = &metrics_->counter("fn." + function + ".misses");
+        if (config_.enable_tracing) {
+            slot.fn_lookup_ns =
+                &metrics_->histogram("fn." + function + ".lookup_ns");
+        }
     }
-    if (extractor)
+    if (extractor) {
+        std::lock_guard<std::mutex> meta(meta_mutex_);
         extractors_[{function, cfg.name}] = std::move(extractor);
+    }
     // A newly added key type covers entries inserted from now on;
     // retroactive back-fill would need the raw inputs, which the cache
     // deliberately does not retain (only keys and values are stored).
@@ -87,13 +157,72 @@ PotluckService::registerApp(const std::string &app)
 {
     POTLUCK_ASSERT(!app.empty(), "empty app name");
     metrics_->counter("service.app_registrations").inc();
-    std::unique_lock lock(mutex_);
     // Section 4.3: registration "resets the input similarity
     // threshold". Reset every tuner; a fresh app changes the input
     // distribution, so previously learned diameters are suspect.
-    table_.forEachSlot([](const std::string &, KeyIndex &slot) {
-        slot.tuner.reset();
-    });
+    for (auto &shard : shards_) {
+        std::unique_lock lock(shard->mutex);
+        shard->table.forEachSlot([](const std::string &, KeyIndex &slot) {
+            slot.tuner.reset();
+        });
+    }
+}
+
+PotluckService::ProbeOutcome
+PotluckService::probeLookupShard(Shard &shard, const std::string &function,
+                                 const std::string &key_type,
+                                 const FeatureVector &key, uint64_t now)
+{
+    ProbeOutcome out;
+    std::shared_lock lock(shard.mutex);
+    KeyIndex *slot = shard.table.find(function, key_type);
+    if (!slot)
+        return out; // registration still replicating to this shard
+
+    // Threshold-restricted nearest-neighbour query (Section 3.4),
+    // filtered by THIS shard's tuner.
+    std::vector<Neighbor> neighbors;
+    {
+        POTLUCK_TRACE_SPAN("lookup.index_probe", obs_.lookup_probe_ns);
+        neighbors = slot->index->nearest(key, config_.knn);
+    }
+    if (!neighbors.empty())
+        out.nearest_dist = neighbors.front().dist;
+    double threshold = slot->tuner.threshold();
+    for (const Neighbor &n : neighbors) {
+        if (n.dist > threshold)
+            continue;
+        CacheEntry *entry = shard.storage.find(n.id);
+        if (!entry)
+            continue;
+        if (entry->expiry_us <= now)
+            continue; // expired but not yet swept
+        if (config_.enable_reputation) {
+            bool banned;
+            {
+                std::lock_guard<std::mutex> meta(meta_mutex_);
+                banned = reputation_.banned(entry->app);
+            }
+            if (banned) {
+                // Quarantined source: never serve its results.
+                obs_.banned_hits_suppressed->inc();
+                continue;
+            }
+        }
+        // Hit on this shard: bump the importance inputs under the
+        // SHARED lock (both fields are atomic). If another shard wins
+        // the cross-shard merge, this candidate keeps a spurious +1 —
+        // benign for the importance ranking and impossible with one
+        // shard (DESIGN.md §10).
+        entry->access_frequency.fetch_add(1, std::memory_order_relaxed);
+        entry->last_access_us.store(now, std::memory_order_relaxed);
+        out.hit.valid = true;
+        out.hit.value = entry->value;
+        out.hit.id = n.id;
+        out.hit.dist = n.dist;
+        break;
+    }
+    return out;
 }
 
 LookupResult
@@ -106,73 +235,118 @@ PotluckService::lookup(const std::string &app, const std::string &function,
     // thread, a "service.lookup" span in the trace tree.
     POTLUCK_TRACE_NAMED_SPAN(lookup_span, "service.lookup",
                              obs_.lookup_total_ns, function.c_str());
-    std::unique_lock lock(mutex_);
     obs_.lookups->inc();
 
-    KeyIndex *slot = table_.find(function, key_type);
-    if (!slot) {
-        POTLUCK_FATAL("lookup on unregistered (function='"
-                      << function << "', key type='" << key_type << "')");
-    }
-    POTLUCK_SPAN_ATTACH(lookup_span, slot->fn_lookup_ns);
-    ++slot->stats.lookups;
-    slot->fn_lookups->inc();
+    KeyIndex *slot0 = canonicalSlot(function, key_type, "lookup");
+    POTLUCK_SPAN_ATTACH(lookup_span, slot0->fn_lookup_ns);
+    slot0->stats.lookups.fetch_add(1, std::memory_order_relaxed);
+    slot0->fn_lookups->inc();
 
     uint64_t now = clock_->nowUs();
 
     // Random dropout (Section 3.4): return a miss without querying, to
     // force a put() that recalibrates the threshold.
-    if (config_.dropout_probability > 0.0 &&
-        rng_.bernoulli(config_.dropout_probability)) {
-        obs_.dropouts->inc();
-        pending_miss_us_[{app, function}] = now;
-        LookupResult result;
-        result.dropped = true;
-        return result;
+    if (config_.dropout_probability > 0.0) {
+        bool drop;
+        {
+            std::lock_guard<std::mutex> meta(meta_mutex_);
+            drop = rng_.bernoulli(config_.dropout_probability);
+            if (drop)
+                pending_miss_us_[{app, function}] = now;
+        }
+        if (drop) {
+            obs_.dropouts->inc();
+            LookupResult result;
+            result.dropped = true;
+            return result;
+        }
     }
 
-    // Threshold-restricted nearest-neighbour query (Section 3.4).
-    std::vector<Neighbor> neighbors;
-    {
-        POTLUCK_TRACE_SPAN("lookup.index_probe", obs_.lookup_probe_ns);
-        neighbors = slot->index->nearest(key, config_.knn);
-    }
-    double threshold = slot->tuner.threshold();
-    for (const Neighbor &n : neighbors) {
-        if (n.dist > threshold)
-            continue;
-        CacheEntry *entry = storage_.find(n.id);
-        if (!entry)
-            continue;
-        if (entry->expiry_us <= now)
-            continue; // expired but not yet swept
-        if (config_.enable_reputation && reputation_.banned(entry->app)) {
-            // Quarantined source: never serve its results.
-            obs_.banned_hits_suppressed->inc();
-            continue;
+    // Fan the probe out across shards (each under its SHARED lock) and
+    // merge the per-shard winners by distance.
+    std::vector<ProbeOutcome> outcomes(shards_.size());
+    auto probeOne = [&](size_t i) {
+        outcomes[i] =
+            probeLookupShard(*shards_[i], function, key_type, key, now);
+    };
+    if (shards_.size() == 1) {
+        probeOne(0);
+    } else {
+        POTLUCK_TRACE_SPAN("service.shard_fanout", obs_.fanout_ns);
+        if (fanout_pool_) {
+            std::vector<std::future<void>> futures;
+            futures.reserve(shards_.size() - 1);
+            for (size_t i = 1; i < shards_.size(); ++i)
+                futures.push_back(
+                    fanout_pool_->submit([&probeOne, i] { probeOne(i); }));
+            probeOne(0);
+            for (auto &f : futures)
+                f.get();
+        } else {
+            for (size_t i = 0; i < shards_.size(); ++i)
+                probeOne(i);
         }
-        // Hit: bump the access frequency, which feeds importance.
-        ++entry->access_frequency;
-        entry->last_access_us = now;
+    }
+
+    int best = -1;
+    double nearest = -1.0;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const ProbeOutcome &o = outcomes[i];
+        if (o.nearest_dist >= 0.0 &&
+            (nearest < 0.0 || o.nearest_dist < nearest)) {
+            nearest = o.nearest_dist;
+        }
+        if (o.hit.valid &&
+            (best < 0 || o.hit.dist < outcomes[best].hit.dist)) {
+            best = static_cast<int>(i);
+        }
+    }
+
+    if (best >= 0) {
         obs_.hits->inc();
-        ++slot->stats.hits;
-        slot->fn_hits->inc();
+        slot0->stats.hits.fetch_add(1, std::memory_order_relaxed);
+        slot0->fn_hits->inc();
         LookupResult result;
         result.hit = true;
-        result.value = entry->value;
-        result.id = n.id;
-        result.nn_dist = n.dist;
+        result.value = std::move(outcomes[best].hit.value);
+        result.id = outcomes[best].hit.id;
+        result.nn_dist = outcomes[best].hit.dist;
         return result;
     }
 
     obs_.misses->inc();
-    ++slot->stats.misses;
-    slot->fn_misses->inc();
-    pending_miss_us_[{app, function}] = now;
+    slot0->stats.misses.fetch_add(1, std::memory_order_relaxed);
+    slot0->fn_misses->inc();
+    {
+        std::lock_guard<std::mutex> meta(meta_mutex_);
+        pending_miss_us_[{app, function}] = now;
+    }
     LookupResult result;
-    if (!neighbors.empty())
-        result.nn_dist = neighbors.front().dist;
+    result.nn_dist = nearest;
     return result;
+}
+
+PotluckService::PutProbe
+PotluckService::probePutShard(Shard &shard, const std::string &function,
+                              const std::string &key_type,
+                              const FeatureVector &key)
+{
+    PutProbe out;
+    std::shared_lock lock(shard.mutex);
+    KeyIndex *slot = shard.table.find(function, key_type);
+    if (!slot)
+        return out;
+    auto neighbors = slot->index->nearest(key, 1);
+    if (neighbors.empty())
+        return out;
+    const CacheEntry *nn = shard.storage.find(neighbors.front().id);
+    if (!nn)
+        return out;
+    out.valid = true;
+    out.dist = neighbors.front().dist;
+    out.value = nn->value;
+    out.app = nn->app;
+    return out;
 }
 
 EntryId
@@ -183,21 +357,19 @@ PotluckService::put(const std::string &function, const std::string &key_type,
     POTLUCK_ASSERT(!key.empty(), "put with empty key");
     POTLUCK_TRACE_NAMED_SPAN(put_span, "service.put", obs_.put_total_ns,
                              function.c_str());
-    std::unique_lock lock(mutex_);
     obs_.puts->inc();
 
-    KeyIndex *slot = table_.find(function, key_type);
-    if (!slot) {
-        POTLUCK_FATAL("put on unregistered (function='"
-                      << function << "', key type='" << key_type << "')");
-    }
+    KeyIndex *slot0 = canonicalSlot(function, key_type, "put");
 
-    if (config_.enable_reputation && reputation_.banned(options.app)) {
-        // Barred apps can no longer pollute the cache (Section 3.5).
-        obs_.rejected_puts->inc();
-        return 0;
+    if (config_.enable_reputation) {
+        std::lock_guard<std::mutex> meta(meta_mutex_);
+        if (reputation_.banned(options.app)) {
+            // Barred apps can no longer pollute the cache (Section 3.5).
+            obs_.rejected_puts->inc();
+            return 0;
+        }
     }
-    ++slot->stats.puts;
+    slot0->stats.puts.fetch_add(1, std::memory_order_relaxed);
 
     uint64_t now = clock_->nowUs();
 
@@ -207,6 +379,7 @@ PotluckService::put(const std::string &function, const std::string &key_type,
     if (options.compute_overhead_us) {
         overhead_us = *options.compute_overhead_us;
     } else {
+        std::lock_guard<std::mutex> meta(meta_mutex_);
         auto pit = pending_miss_us_.find({options.app, function});
         if (pit != pending_miss_us_.end()) {
             overhead_us = static_cast<double>(now - pit->second);
@@ -214,63 +387,43 @@ PotluckService::put(const std::string &function, const std::string &key_type,
         }
     }
 
+    Shard &home = *shards_[shardOf(function, key)];
+
     // Threshold tuning (Algorithm 1): observe the nearest existing
-    // neighbour of the new key before inserting it. Skipped during
+    // neighbour of the new key before inserting it. The probe spans
+    // ALL shards — the observation is the paper's global NN distance —
+    // but the observation is recorded into the HOME shard's tuner
+    // (each shard's tuner sees 1/N of the same distance distribution
+    // and converges on the same value; DESIGN.md §10). Skipped during
     // warm-up — the algorithm only "kicks into action" after z
     // entries (Section 3.5), and skipping the kNN probe keeps bulk
     // preloading cheap.
-    std::vector<Neighbor> neighbors;
-    if (slot->tuner.active()) {
-        POTLUCK_TRACE_SPAN("put.tuner_probe", obs_.put_probe_ns);
-        neighbors = slot->index->nearest(key, 1);
+    bool tuner_active;
+    {
+        std::shared_lock lock(home.mutex);
+        KeyIndex *hs = home.table.find(function, key_type);
+        tuner_active = hs && hs->tuner.active();
     }
-    if (!neighbors.empty()) {
-        const CacheEntry *nn = storage_.find(neighbors.front().id);
-        if (nn) {
-            bool values_equal =
-                slot->config.value_equals
-                    ? slot->config.value_equals(nn->value, value)
-                    : valueEquals(nn->value, value);
-            double before = slot->tuner.threshold();
-            slot->tuner.observe(neighbors.front().dist, values_equal);
-            double after = slot->tuner.threshold();
-            if (after < before) {
-                obs_.tighten_events->inc();
-                if (recorder_) {
-                    obs::recordDecision(recorder_.get(),
-                                        obs::DecisionKind::ThresholdTighten,
-                                        "tuner.tighten",
-                                        function + "/" + key_type, before,
-                                        after, neighbors.front().dist, 0);
-                }
-            } else if (after > before) {
-                obs_.loosen_events->inc();
-                if (recorder_) {
-                    obs::recordDecision(recorder_.get(),
-                                        obs::DecisionKind::ThresholdLoosen,
-                                        "tuner.loosen",
-                                        function + "/" + key_type, before,
-                                        after, neighbors.front().dist, 0);
-                }
-            }
-
-            // Each observation is a vote on the neighbour's source app
-            // (Section 3.5's reputation extension): an in-threshold
-            // disagreement suggests a polluted entry; any confirmed
-            // equivalence vouches for the source.
-            if (config_.enable_reputation && nn->app != options.app) {
-                if (values_equal)
-                    reputation_.recordPositive(nn->app);
-                else if (neighbors.front().dist <= before)
-                    reputation_.recordNegative(nn->app);
-            }
+    PutProbe nn;
+    if (tuner_active) {
+        POTLUCK_TRACE_SPAN("put.tuner_probe", obs_.put_probe_ns);
+        for (auto &shard : shards_) {
+            PutProbe p = probePutShard(*shard, function, key_type, key);
+            if (p.valid && (!nn.valid || p.dist < nn.dist))
+                nn = std::move(p);
         }
+    }
+    bool values_equal = false;
+    if (nn.valid) {
+        values_equal = slot0->config.value_equals
+                           ? slot0->config.value_equals(nn.value, value)
+                           : valueEquals(nn.value, value);
     }
 
     // Assemble the entry with a key for every registered type of this
     // function that we can derive (Section 3.7 propagation).
     CacheEntry entry;
-    entry.id = next_id_++;
+    entry.id = next_id_.fetch_add(1, std::memory_order_relaxed);
     entry.function = function;
     entry.keys[key_type] = key;
     entry.value = std::move(value);
@@ -285,45 +438,107 @@ PotluckService::put(const std::string &function, const std::string &key_type,
         entry.access_frequency = std::max<uint64_t>(1,
                                                     *options.access_frequency);
 
-    for (const auto &[type_name, extra_key] : options.extra_keys) {
-        if (type_name != key_type && table_.find(function, type_name))
-            entry.keys[type_name] = extra_key;
-    }
-    if (options.raw_input) {
-        for (KeyIndex *other : table_.slotsFor(function)) {
-            if (other->config.name == key_type ||
-                entry.keys.count(other->config.name)) {
-                continue;
+    EntryId stored_id = 0;
+    Value stored_value;
+    {
+        std::unique_lock lock(home.mutex);
+        KeyIndex *slot = home.table.find(function, key_type);
+        POTLUCK_ASSERT(slot, "home shard missing registration for '"
+                                 << function << "/" << key_type << "'");
+
+        if (nn.valid) {
+            double before = slot->tuner.threshold();
+            slot->tuner.observe(nn.dist, values_equal);
+            double after = slot->tuner.threshold();
+            if (after < before) {
+                obs_.tighten_events->inc();
+                if (recorder_) {
+                    obs::recordDecision(recorder_.get(),
+                                        obs::DecisionKind::ThresholdTighten,
+                                        "tuner.tighten",
+                                        function + "/" + key_type, before,
+                                        after, nn.dist, 0);
+                }
+            } else if (after > before) {
+                obs_.loosen_events->inc();
+                if (recorder_) {
+                    obs::recordDecision(recorder_.get(),
+                                        obs::DecisionKind::ThresholdLoosen,
+                                        "tuner.loosen",
+                                        function + "/" + key_type, before,
+                                        after, nn.dist, 0);
+                }
             }
-            auto eit = extractors_.find({function, other->config.name});
-            if (eit == extractors_.end())
-                continue;
-            entry.keys[other->config.name] =
-                eit->second->extract(*options.raw_input);
+
+            // Each observation is a vote on the neighbour's source app
+            // (Section 3.5's reputation extension): an in-threshold
+            // disagreement suggests a polluted entry; any confirmed
+            // equivalence vouches for the source.
+            if (config_.enable_reputation && nn.app != options.app) {
+                std::lock_guard<std::mutex> meta(meta_mutex_);
+                if (values_equal)
+                    reputation_.recordPositive(nn.app);
+                else if (nn.dist <= before)
+                    reputation_.recordNegative(nn.app);
+            }
         }
+
+        for (const auto &[type_name, extra_key] : options.extra_keys) {
+            if (type_name != key_type && home.table.find(function, type_name))
+                entry.keys[type_name] = extra_key;
+        }
+        if (options.raw_input) {
+            for (KeyIndex *other : home.table.slotsFor(function)) {
+                if (other->config.name == key_type ||
+                    entry.keys.count(other->config.name)) {
+                    continue;
+                }
+                std::shared_ptr<FeatureExtractor> extractor;
+                {
+                    std::lock_guard<std::mutex> meta(meta_mutex_);
+                    auto eit =
+                        extractors_.find({function, other->config.name});
+                    if (eit != extractors_.end())
+                        extractor = eit->second;
+                }
+                if (extractor) {
+                    entry.keys[other->config.name] =
+                        extractor->extract(*options.raw_input);
+                }
+            }
+        }
+
+        // Index the entry under every key it carries, running each
+        // index's own tuner warm-up accounting.
+        CacheEntry &stored = home.storage.add(std::move(entry));
+        entries_total_.fetch_add(1, std::memory_order_relaxed);
+        bytes_total_.fetch_add(stored.sizeBytes(), std::memory_order_relaxed);
+        for (KeyIndex *target : home.table.slotsFor(function)) {
+            auto kit = stored.keys.find(target->config.name);
+            if (kit == stored.keys.end())
+                continue;
+            target->index->insert(stored.id, kit->second);
+            target->tuner.noteInsert();
+        }
+
+        // Capture the id and value before capacity enforcement may
+        // evict the entry (and invalidate the reference).
+        stored_id = stored.id;
+        stored_value = stored.value;
+        updateShardGauges(home);
     }
 
-    // Index the entry under every key it carries, running each
-    // index's own tuner warm-up accounting.
-    CacheEntry &stored = storage_.add(std::move(entry));
-    for (KeyIndex *target : table_.slotsFor(function)) {
-        auto kit = stored.keys.find(target->config.name);
-        if (kit == stored.keys.end())
-            continue;
-        target->index->insert(stored.id, kit->second);
-        target->tuner.noteInsert();
-    }
+    enforceCapacity();
+    updateGlobalGauges();
 
-    // Capture the id and value before capacity enforcement may evict
-    // the entry (and invalidate the reference).
-    EntryId stored_id = stored.id;
-    Value stored_value = stored.value;
-    enforceCapacityLocked();
-    updateOccupancyGaugesLocked();
-
-    // Deliver put events outside the lock so observers may call back
+    // Deliver put events outside every lock so observers may call back
     // into this or another service (the replication bridge does).
-    if (!put_observers_.empty()) {
+    std::vector<PutObserver> observers;
+    {
+        std::lock_guard<std::mutex> meta(meta_mutex_);
+        observers = put_observers_;
+    }
+    if (!observers.empty()) {
         PutEvent event;
         event.function = function;
         event.key_type = key_type;
@@ -331,8 +546,6 @@ PotluckService::put(const std::string &function, const std::string &key_type,
         event.value = std::move(stored_value);
         event.app = options.app;
         event.compute_overhead_us = overhead_us;
-        auto observers = put_observers_;
-        lock.unlock();
         for (const auto &observer : observers)
             observer(event);
     }
@@ -343,108 +556,232 @@ void
 PotluckService::addPutObserver(PutObserver observer)
 {
     POTLUCK_ASSERT(observer != nullptr, "null put observer");
-    std::unique_lock lock(mutex_);
+    std::lock_guard<std::mutex> meta(meta_mutex_);
     put_observers_.push_back(std::move(observer));
 }
 
 double
 PotluckService::reputationScore(const std::string &app) const
 {
-    std::shared_lock lock(mutex_);
+    std::lock_guard<std::mutex> meta(meta_mutex_);
     return reputation_.score(app);
 }
 
 bool
 PotluckService::appBanned(const std::string &app) const
 {
-    std::shared_lock lock(mutex_);
+    std::lock_guard<std::mutex> meta(meta_mutex_);
     return reputation_.banned(app);
 }
 
 std::vector<std::string>
 PotluckService::bannedApps() const
 {
-    std::shared_lock lock(mutex_);
+    std::lock_guard<std::mutex> meta(meta_mutex_);
     return reputation_.bannedApps();
 }
 
 void
-PotluckService::removeEntryLocked(EntryId id, bool expired)
+PotluckService::removeEntryInShard(Shard &shard, EntryId id, bool expired)
 {
-    CacheEntry *entry = storage_.find(id);
+    CacheEntry *entry = shard.storage.find(id);
     if (!entry)
         return;
-    table_.removeEntry(*entry);
-    storage_.remove(id);
+    size_t bytes = entry->sizeBytes();
+    shard.table.removeEntry(*entry);
+    shard.storage.remove(id);
+    entries_total_.fetch_sub(1, std::memory_order_relaxed);
+    bytes_total_.fetch_sub(bytes, std::memory_order_relaxed);
     if (expired)
         obs_.expirations->inc();
     else
         obs_.evictions->inc();
+    updateShardGauges(shard);
 }
 
 void
-PotluckService::updateOccupancyGaugesLocked()
+PotluckService::updateGlobalGauges()
 {
-    obs_.entries->set(static_cast<int64_t>(storage_.numEntries()));
-    obs_.bytes->set(static_cast<int64_t>(storage_.totalBytes()));
+    obs_.entries->set(
+        static_cast<int64_t>(entries_total_.load(std::memory_order_relaxed)));
+    obs_.bytes->set(
+        static_cast<int64_t>(bytes_total_.load(std::memory_order_relaxed)));
 }
 
 void
-PotluckService::enforceCapacityLocked()
+PotluckService::updateShardGauges(Shard &shard)
+{
+    if (!shard.entries_gauge)
+        return;
+    shard.entries_gauge->set(static_cast<int64_t>(shard.storage.numEntries()));
+    shard.bytes_gauge->set(static_cast<int64_t>(shard.storage.totalBytes()));
+}
+
+void
+PotluckService::recordEviction(const Shard &shard, EntryId victim)
+{
+    if (!recorder_)
+        return;
+    // Document WHY this entry lost: the importance-score inputs
+    // (Section 3.3) at the moment of the decision.
+    if (const CacheEntry *e = shard.storage.find(victim)) {
+        obs::recordDecision(
+            recorder_.get(), obs::DecisionKind::Eviction, "evict",
+            e->function + "/" + e->app, e->compute_overhead_us,
+            static_cast<double>(
+                e->access_frequency.load(std::memory_order_relaxed)),
+            static_cast<double>(e->sizeBytes()), victim);
+    }
+}
+
+void
+PotluckService::enforceCapacity()
 {
     auto over = [&]() {
-        if (config_.max_entries && storage_.numEntries() > config_.max_entries)
+        if (config_.max_entries &&
+            entries_total_.load(std::memory_order_relaxed) >
+                config_.max_entries) {
             return true;
-        if (config_.max_bytes && storage_.totalBytes() > config_.max_bytes)
+        }
+        if (config_.max_bytes &&
+            bytes_total_.load(std::memory_order_relaxed) > config_.max_bytes)
             return true;
         return false;
     };
     if (!over())
         return;
+    // Serialize global eviction: concurrent puts would otherwise both
+    // scan all shards and overshoot. No shard lock is held here; shard
+    // locks are taken one at a time below.
+    std::lock_guard<std::mutex> cap(capacity_mutex_);
+    if (!over())
+        return;
     POTLUCK_TRACE_SPAN("put.evict", obs_.evict_ns);
-    while (over() && storage_.numEntries() > 0) {
-        EntryId victim = eviction_->selectVictim(storage_.entries());
-        if (recorder_) {
-            // Document WHY this entry lost: the importance-score
-            // inputs (Section 3.3) at the moment of the decision.
-            if (const CacheEntry *e = storage_.find(victim)) {
-                obs::recordDecision(
-                    recorder_.get(), obs::DecisionKind::Eviction, "evict",
-                    e->function + "/" + e->app, e->compute_overhead_us,
-                    static_cast<double>(e->access_frequency),
-                    static_cast<double>(e->sizeBytes()), victim);
+    while (over()) {
+        if (shards_.size() == 1) {
+            // Degenerate case: identical to the pre-shard behaviour
+            // (including the Random policy's RNG sequence).
+            Shard &shard = *shards_[0];
+            std::unique_lock lock(shard.mutex);
+            if (shard.storage.numEntries() == 0)
+                break;
+            EntryId victim = eviction_->selectVictim(shard.storage.entries());
+            recordEviction(shard, victim);
+            removeEntryInShard(shard, victim, /*expired=*/false);
+            continue;
+        }
+
+        if (eviction_->kind() == EvictionKind::Random) {
+            // Uniform over all entries: pick the shard weighted by its
+            // entry count, then let the policy draw within it.
+            size_t total = entries_total_.load(std::memory_order_relaxed);
+            if (total == 0)
+                break;
+            size_t r;
+            {
+                std::lock_guard<std::mutex> meta(meta_mutex_);
+                r = static_cast<size_t>(rng_.uniformInt(
+                    0, static_cast<int64_t>(total) - 1));
+            }
+            bool removed = false;
+            for (auto &shard : shards_) {
+                std::unique_lock lock(shard->mutex);
+                size_t n = shard->storage.numEntries();
+                if (r < n) {
+                    EntryId victim =
+                        eviction_->selectVictim(shard->storage.entries());
+                    recordEviction(*shard, victim);
+                    removeEntryInShard(*shard, victim, /*expired=*/false);
+                    removed = true;
+                    break;
+                }
+                r -= n;
+            }
+            if (!removed) {
+                // Counts moved under us; evict from any non-empty shard.
+                for (auto &shard : shards_) {
+                    std::unique_lock lock(shard->mutex);
+                    if (shard->storage.numEntries() == 0)
+                        continue;
+                    EntryId victim =
+                        eviction_->selectVictim(shard->storage.entries());
+                    recordEviction(*shard, victim);
+                    removeEntryInShard(*shard, victim, /*expired=*/false);
+                    removed = true;
+                    break;
+                }
+            }
+            if (!removed)
+                break;
+            continue;
+        }
+
+        // Scored policies (importance, LRU): each shard nominates its
+        // own victim under a SHARED lock; the global victim is the one
+        // with the lowest policy score.
+        int best_shard = -1;
+        EntryId best_victim = 0;
+        double best_score = 0.0;
+        for (size_t i = 0; i < shards_.size(); ++i) {
+            Shard &shard = *shards_[i];
+            std::shared_lock lock(shard.mutex);
+            if (shard.storage.numEntries() == 0)
+                continue;
+            EntryId candidate =
+                eviction_->selectVictim(shard.storage.entries());
+            const CacheEntry *e = shard.storage.find(candidate);
+            if (!e)
+                continue;
+            double score = eviction_->victimScore(*e);
+            if (best_shard < 0 || score < best_score) {
+                best_shard = static_cast<int>(i);
+                best_victim = candidate;
+                best_score = score;
             }
         }
-        removeEntryLocked(victim, /*expired=*/false);
+        if (best_shard < 0)
+            break;
+        Shard &shard = *shards_[best_shard];
+        std::unique_lock lock(shard.mutex);
+        if (!shard.storage.find(best_victim))
+            continue; // raced away between the scan and the removal
+        recordEviction(shard, best_victim);
+        removeEntryInShard(shard, best_victim, /*expired=*/false);
     }
 }
 
 size_t
 PotluckService::sweepExpired()
 {
-    std::unique_lock lock(mutex_);
     uint64_t scan_start_ns = obs::spanNowNs();
-    auto expired = storage_.expiredAt(clock_->nowUs());
-    for (EntryId id : expired)
-        removeEntryLocked(id, /*expired=*/true);
-    updateOccupancyGaugesLocked();
-    if (recorder_ && !expired.empty()) {
+    uint64_t now = clock_->nowUs();
+    size_t total = 0;
+    for (auto &shard : shards_) {
+        std::unique_lock lock(shard->mutex);
+        auto expired = shard->storage.expiredAt(now);
+        for (EntryId id : expired)
+            removeEntryInShard(*shard, id, /*expired=*/true);
+        total += expired.size();
+    }
+    updateGlobalGauges();
+    if (recorder_ && total > 0) {
         double scan_ns =
             static_cast<double>(obs::spanNowNs() - scan_start_ns);
         obs::recordDecision(recorder_.get(), obs::DecisionKind::ExpirySweep,
-                            "expiry.sweep", "", scan_ns, 0.0, 0.0,
-                            expired.size());
+                            "expiry.sweep", "", scan_ns, 0.0, 0.0, total);
     }
-    return expired.size();
+    return total;
 }
 
 void
 PotluckService::forEachEntry(
     const std::function<void(const CacheEntry &)> &fn) const
 {
-    std::shared_lock lock(mutex_);
-    for (const auto &[id, entry] : storage_.entries())
-        fn(entry);
+    for (const auto &shard : shards_) {
+        std::shared_lock lock(shard->mutex);
+        for (const auto &[id, entry] : shard->storage.entries())
+            fn(entry);
+    }
 }
 
 void
@@ -452,8 +789,10 @@ PotluckService::forEachKeyType(
     const std::function<void(const std::string &, const KeyTypeConfig &)>
         &fn) const
 {
-    std::shared_lock lock(mutex_);
-    const_cast<FunctionTable &>(table_).forEachSlot(
+    // Registrations are replicated; shard 0 is the canonical copy.
+    const Shard &s0 = *shards_[0];
+    std::shared_lock lock(s0.mutex);
+    const_cast<FunctionTable &>(s0.table).forEachSlot(
         [&fn](const std::string &function, KeyIndex &slot) {
             fn(function, slot.config);
         });
@@ -492,8 +831,11 @@ SlotStats
 PotluckService::slotStats(const std::string &function,
                           const std::string &key_type) const
 {
-    std::shared_lock lock(mutex_);
-    const KeyIndex *slot = table_.find(function, key_type);
+    // The canonical per-slot counters live in shard 0's slot (every
+    // shard's traffic feeds them; they are atomic).
+    const Shard &s0 = *shards_[0];
+    std::shared_lock lock(s0.mutex);
+    const KeyIndex *slot = s0.table.find(function, key_type);
     return slot ? slot->stats : SlotStats{};
 }
 
@@ -501,41 +843,59 @@ double
 PotluckService::threshold(const std::string &function,
                           const std::string &key_type) const
 {
-    std::shared_lock lock(mutex_);
-    const KeyIndex *slot = table_.find(function, key_type);
-    POTLUCK_ASSERT(slot, "threshold of unregistered slot");
-    return slot->tuner.threshold();
+    double sum = 0.0;
+    size_t found = 0;
+    for (const auto &shard : shards_) {
+        std::shared_lock lock(shard->mutex);
+        const KeyIndex *slot = shard->table.find(function, key_type);
+        if (slot) {
+            sum += slot->tuner.threshold();
+            ++found;
+        }
+    }
+    POTLUCK_ASSERT(found > 0, "threshold of unregistered slot");
+    return sum / static_cast<double>(found);
 }
 
 void
 PotluckService::setThreshold(const std::string &function,
                              const std::string &key_type, double value)
 {
-    std::unique_lock lock(mutex_);
-    KeyIndex *slot = table_.find(function, key_type);
-    POTLUCK_ASSERT(slot, "setThreshold of unregistered slot");
-    slot->tuner.setThreshold(value);
+    size_t found = 0;
+    for (auto &shard : shards_) {
+        std::unique_lock lock(shard->mutex);
+        KeyIndex *slot = shard->table.find(function, key_type);
+        if (slot) {
+            slot->tuner.setThreshold(value);
+            ++found;
+        }
+    }
+    POTLUCK_ASSERT(found > 0, "setThreshold of unregistered slot");
 }
 
 size_t
 PotluckService::numEntries() const
 {
-    std::shared_lock lock(mutex_);
-    return storage_.numEntries();
+    return entries_total_.load(std::memory_order_relaxed);
 }
 
 size_t
 PotluckService::totalBytes() const
 {
-    std::shared_lock lock(mutex_);
-    return storage_.totalBytes();
+    return bytes_total_.load(std::memory_order_relaxed);
 }
 
 uint64_t
 PotluckService::nextExpiryUs() const
 {
-    std::shared_lock lock(mutex_);
-    return storage_.nextExpiryUs();
+    uint64_t next = 0;
+    for (const auto &shard : shards_) {
+        std::shared_lock lock(shard->mutex);
+        uint64_t e = shard->storage.nextExpiryUs();
+        if (e != 0 && (next == 0 || e < next))
+            next = e;
+    }
+    return next;
 }
 
 } // namespace potluck

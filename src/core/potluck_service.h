@@ -14,12 +14,25 @@
  *     (a) computes the importance inputs, (b) feeds the threshold
  *     tuner, and (c) indexes the entry under every key type of the
  *     function (Section 3.7).
+ *
+ * Concurrency model (see DESIGN.md §10): the service is split into
+ * config.num_shards independent shards, each owning a slice of the
+ * entries (placed by hash of function + key bytes) with its own
+ * reader/writer lock, index set, and threshold-tuner observation
+ * stream. Queries probe every shard under SHARED locks and merge the
+ * per-shard nearest neighbours, so lookups from different connections
+ * run fully in parallel; puts take only their home shard's exclusive
+ * lock. Lock hierarchy: at most one shard lock is held at a time;
+ * meta_mutex_ is a leaf that may be taken under a shard lock; the
+ * capacity mutex is taken with no shard lock held.
  */
 #ifndef POTLUCK_CORE_POTLUCK_SERVICE_H
 #define POTLUCK_CORE_POTLUCK_SERVICE_H
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -37,6 +50,7 @@
 #include "obs/trace.h"
 #include "util/clock.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace potluck {
 
@@ -164,7 +178,9 @@ class PotluckService
 
     /// @name Introspection.
     /// @{
-    /** Visit every live entry under a shared lock (do not re-enter). */
+    /** Visit every live entry under shared locks (do not re-enter).
+     * Shards are visited one at a time, so the view is per-shard
+     * consistent, not a global snapshot. */
     void forEachEntry(
         const std::function<void(const CacheEntry &)> &fn) const;
 
@@ -186,9 +202,11 @@ class PotluckService
     /**
      * The observability registry: service counters/gauges under
      * `service.*` / `cache.*`, per-function counters under
-     * `fn.<function>.*`, hot-path latency histograms (`lookup.*_ns`,
-     * `put.*_ns`) when tracing is enabled. The IPC server adds its
-     * `ipc.*` metrics here too. Internally synchronized.
+     * `fn.<function>.*`, per-shard occupancy under `cache.shard.<i>.*`
+     * (only when num_shards > 1), hot-path latency histograms
+     * (`lookup.*_ns`, `put.*_ns`) when tracing is enabled. The IPC
+     * server adds its `ipc.*` metrics here too. Internally
+     * synchronized.
      */
     obs::MetricsRegistry &metrics() const { return *metrics_; }
 
@@ -209,28 +227,109 @@ class PotluckService
      */
     double functionHitRate(const std::string &function) const;
 
+    /**
+     * The (function, key type) similarity threshold. With one shard
+     * this is the exact tuned value; with several it is the mean of
+     * the per-shard tuners (each converges on the same observation
+     * distribution — DESIGN.md §10).
+     */
     double threshold(const std::string &function,
                      const std::string &key_type) const;
-    /** Force a threshold (fixed-threshold experiments, Fig. 9). */
+    /** Force a threshold (fixed-threshold experiments, Fig. 9);
+     * applied to every shard's tuner. */
     void setThreshold(const std::string &function,
                       const std::string &key_type, double value);
     size_t numEntries() const;
     size_t totalBytes() const;
     const PotluckConfig &config() const { return config_; }
+    /** Number of shards the service was configured with. */
+    size_t numShards() const { return shards_.size(); }
     /** Current time from the service's clock. */
     uint64_t nowUs() const { return clock_->nowUs(); }
     uint64_t nextExpiryUs() const;
     /// @}
 
   private:
-    /** Remove an entry from indices + storage (lock held). */
-    void removeEntryLocked(EntryId id, bool expired);
+    /**
+     * One independent slice of the cache: its own lock, its own
+     * (function, key type) indices + tuners, its own entry storage.
+     * Registrations are replicated to every shard; entries live in
+     * exactly one shard, chosen by shardOf().
+     */
+    struct Shard
+    {
+        mutable std::shared_mutex mutex;
+        FunctionTable table;
+        DataStorage storage;
+        /// Per-shard occupancy gauges; null when num_shards == 1.
+        obs::Gauge *entries_gauge = nullptr;
+        obs::Gauge *bytes_gauge = nullptr;
 
-    /** Enforce capacity limits after an insertion (lock held). */
-    void enforceCapacityLocked();
+        explicit Shard(const PotluckConfig &config) : table(config) {}
+    };
 
-    /** Refresh the cache.entries / cache.bytes gauges (lock held). */
-    void updateOccupancyGaugesLocked();
+    /** Best in-threshold hit a single shard produced for a lookup. */
+    struct ShardHit
+    {
+        bool valid = false;
+        Value value;
+        EntryId id = 0;
+        double dist = 0.0;
+    };
+
+    /** Outcome of probing one shard during lookup(). */
+    struct ProbeOutcome
+    {
+        ShardHit hit;
+        double nearest_dist = -1.0; ///< unfiltered NN distance; -1 = none
+    };
+
+    /** Nearest stored neighbour of a put key within one shard. */
+    struct PutProbe
+    {
+        bool valid = false;
+        double dist = 0.0;
+        Value value;
+        std::string app;
+    };
+
+    /** Home shard of (function, key): FNV-1a over both byte streams. */
+    size_t shardOf(const std::string &function,
+                   const FeatureVector &key) const;
+
+    /** Canonical slot (shard 0's); FATALs when unregistered. Its
+     * atomic SlotStats and registry pointers are the per-slot counters
+     * every shard's traffic feeds. */
+    KeyIndex *canonicalSlot(const std::string &function,
+                            const std::string &key_type,
+                            const char *verb);
+
+    /** Probe one shard for a lookup, under its shared lock. */
+    ProbeOutcome probeLookupShard(Shard &shard, const std::string &function,
+                                  const std::string &key_type,
+                                  const FeatureVector &key, uint64_t now);
+
+    /** Probe one shard for a put's tuner observation (shared lock). */
+    PutProbe probePutShard(Shard &shard, const std::string &function,
+                           const std::string &key_type,
+                           const FeatureVector &key);
+
+    /** Remove an entry from one shard's indices + storage. Caller
+     * holds the shard's EXCLUSIVE lock. */
+    void removeEntryInShard(Shard &shard, EntryId id, bool expired);
+
+    /** Evict until within capacity. Takes capacity_mutex_, then shard
+     * locks one at a time; call with NO shard lock held. */
+    void enforceCapacity();
+
+    /** Refresh cache.entries / cache.bytes from the atomic totals. */
+    void updateGlobalGauges();
+
+    /** Refresh a shard's gauges (its lock held; no-op when N == 1). */
+    void updateShardGauges(Shard &shard);
+
+    /** Log an eviction decision (the victim's importance inputs). */
+    void recordEviction(const Shard &shard, EntryId victim);
 
     /**
      * Cached registry pointers for the hot paths: resolved once at
@@ -257,6 +356,7 @@ class PotluckService
         obs::LatencyHistogram *put_total_ns = nullptr;
         obs::LatencyHistogram *put_probe_ns = nullptr;
         obs::LatencyHistogram *evict_ns = nullptr;
+        obs::LatencyHistogram *fanout_ns = nullptr;
     };
 
     PotluckConfig config_;
@@ -266,13 +366,34 @@ class PotluckService
     /** Flight recorder; null when tracing or the recorder is off. */
     std::unique_ptr<obs::FlightRecorder> recorder_;
     ServiceObs obs_;
-    mutable std::shared_mutex mutex_;
 
-    FunctionTable table_;
-    DataStorage storage_;
-    std::unique_ptr<EvictionPolicy> eviction_;
-    Rng rng_;
-    EntryId next_id_ = 1;
+    /** The shards. Sized once in the constructor, never resized, so
+     * the vector itself needs no lock. */
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Pool for parallel_fanout kNN probes; null when sequential. */
+    std::unique_ptr<ThreadPool> fanout_pool_;
+
+    /**
+     * Leaf lock for cross-shard scalar state: rng_, pending_miss_us_,
+     * reputation_, extractors_, put_observers_. May be taken while
+     * holding a shard lock; never the reverse.
+     */
+    mutable std::mutex meta_mutex_;
+
+    /** Serializes global eviction so concurrent puts don't both scan
+     * all shards. Taken with no shard lock held. */
+    std::mutex capacity_mutex_;
+
+    std::unique_ptr<EvictionPolicy> eviction_; ///< under capacity_mutex_
+    Rng rng_;                                  ///< under meta_mutex_
+    std::atomic<EntryId> next_id_{1};
+
+    /// @name Global occupancy, maintained by shard mutations.
+    /// @{
+    std::atomic<size_t> entries_total_{0};
+    std::atomic<size_t> bytes_total_{0};
+    /// @}
 
     /** Extractors for cross-type key propagation: function -> type. */
     std::map<std::pair<std::string, std::string>,

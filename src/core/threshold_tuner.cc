@@ -20,20 +20,26 @@ ThresholdTuner::observe(double nn_dist, bool values_equal)
     if (!active())
         return;
     ++observations_;
-    if (nn_dist <= threshold_ && !values_equal) {
+    // observe() always runs under the owning shard's exclusive lock, so
+    // this read-modify-write is single-writer; the atomic store only
+    // protects concurrent threshold() readers under shared locks.
+    double current = threshold_.load(std::memory_order_relaxed);
+    if (nn_dist <= current && !values_equal) {
         // False positive: too loose; tighten aggressively (line 7-8).
-        threshold_ /= tighten_factor_;
-    } else if (nn_dist > threshold_ && values_equal) {
+        threshold_.store(current / tighten_factor_,
+                         std::memory_order_relaxed);
+    } else if (nn_dist > current && values_equal) {
         // Missed dedup: too tight; loosen conservatively (line 9-10).
-        threshold_ =
-            (1.0 - loosen_ewma_) * nn_dist + loosen_ewma_ * threshold_;
+        threshold_.store((1.0 - loosen_ewma_) * nn_dist +
+                             loosen_ewma_ * current,
+                         std::memory_order_relaxed);
     }
 }
 
 void
 ThresholdTuner::reset()
 {
-    threshold_ = 0.0;
+    threshold_.store(0.0, std::memory_order_relaxed);
     inserts_ = 0;
     observations_ = 0;
 }

@@ -18,6 +18,7 @@
 #ifndef POTLUCK_CORE_THRESHOLD_TUNER_H
 #define POTLUCK_CORE_THRESHOLD_TUNER_H
 
+#include <atomic>
 #include <cstddef>
 
 #include "core/config.h"
@@ -47,20 +48,31 @@ class ThresholdTuner
     /**
      * Current threshold. 0 until warm-up completes, so the cache
      * degenerates to exact matching early on — matching the paper's
-     * "initialize threshold <- 0".
+     * "initialize threshold <- 0". Safe to read concurrently with
+     * observe(): lookups read this under a SHARED shard lock while a
+     * put on the same shard may be tuning under the exclusive lock of
+     * a different moment — the value is a single atomic double.
      */
-    double threshold() const { return threshold_; }
+    double
+    threshold() const
+    {
+        return threshold_.load(std::memory_order_relaxed);
+    }
 
     /** Manually reset (register() does this per the paper). */
     void reset();
 
     /** Override the threshold (used by fixed-threshold experiments). */
-    void setThreshold(double value) { threshold_ = value; }
+    void
+    setThreshold(double value)
+    {
+        threshold_.store(value, std::memory_order_relaxed);
+    }
 
     size_t observations() const { return observations_; }
 
   private:
-    double threshold_ = 0.0;
+    std::atomic<double> threshold_{0.0};
     double tighten_factor_;
     double loosen_ewma_;
     size_t warmup_;

@@ -375,6 +375,67 @@ PotluckClient::put(const std::string &function, const std::string &key_type,
     return reply.entry_id;
 }
 
+std::vector<BatchLookupItem>
+PotluckClient::lookupBatch(const std::string &function,
+                           const std::string &key_type,
+                           const std::vector<FeatureVector> &keys)
+{
+    obs::TraceScope trace_scope(traceSink(), "client.lookup_batch", {},
+                                obs::kProcClient, function.c_str());
+    Request request;
+    request.type = RequestType::LookupBatch;
+    request.app = app_;
+    request.function = function;
+    request.key_type = key_type;
+    request.batch_keys = keys;
+    Reply reply;
+    try {
+        reply = roundTrip(request);
+    } catch (const TransportError &) {
+        if (!policy_.degraded_mode)
+            throw;
+        // Same contract as N single lookups: every key misses and the
+        // application computes locally.
+        degraded_lookups_->inc();
+        return std::vector<BatchLookupItem>(keys.size());
+    }
+    if (!reply.ok)
+        POTLUCK_FATAL("batch lookup failed: " << reply.error);
+    return std::move(reply.batch_lookups);
+}
+
+std::vector<EntryId>
+PotluckClient::putBatch(const std::string &function,
+                        const std::string &key_type,
+                        std::vector<BatchPutItem> items,
+                        std::optional<uint64_t> ttl_us,
+                        std::optional<double> compute_overhead_us)
+{
+    obs::TraceScope trace_scope(traceSink(), "client.put_batch", {},
+                                obs::kProcClient, function.c_str());
+    size_t n = items.size();
+    Request request;
+    request.type = RequestType::PutBatch;
+    request.app = app_;
+    request.function = function;
+    request.key_type = key_type;
+    request.batch_puts = std::move(items);
+    request.ttl_us = ttl_us;
+    request.compute_overhead_us = compute_overhead_us;
+    Reply reply;
+    try {
+        reply = roundTrip(request);
+    } catch (const TransportError &) {
+        if (!policy_.degraded_mode)
+            throw;
+        degraded_puts_->inc();
+        return std::vector<EntryId>(n, 0);
+    }
+    if (!reply.ok)
+        POTLUCK_FATAL("batch put failed: " << reply.error);
+    return std::move(reply.batch_entry_ids);
+}
+
 PotluckClient::RemoteStats
 PotluckClient::fetchStats()
 {

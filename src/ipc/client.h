@@ -86,6 +86,28 @@ class PotluckClient
                 std::optional<uint64_t> ttl_us = std::nullopt,
                 std::optional<double> compute_overhead_us = std::nullopt);
 
+    /**
+     * Query many keys of one (function, key type) in a single round
+     * trip (the kLookupBatch verb). Results come back in key order.
+     * Degrades to an all-miss vector when the service is down. Batches
+     * larger than the wire cap (4096 items) are a caller error.
+     */
+    std::vector<BatchLookupItem> lookupBatch(
+        const std::string &function, const std::string &key_type,
+        const std::vector<FeatureVector> &keys);
+
+    /**
+     * Store many results of one (function, key type) in a single round
+     * trip (the kPutBatch verb); ttl/overhead apply to every item.
+     * Returns the entry ids in item order; degrades to all-zeros when
+     * the service is down.
+     */
+    std::vector<EntryId> putBatch(
+        const std::string &function, const std::string &key_type,
+        std::vector<BatchPutItem> items,
+        std::optional<uint64_t> ttl_us = std::nullopt,
+        std::optional<double> compute_overhead_us = std::nullopt);
+
     /** Service-wide counters and cache occupancy. */
     struct RemoteStats
     {

@@ -238,6 +238,10 @@ readSnapshot(Reader &r)
 
 /** Hard bound on client records piggybacked per request frame. */
 constexpr uint64_t kMaxUploadedRecords = 256;
+/** Hard bound on items per batch verb (kLookupBatch / kPutBatch): a
+ * hostile frame cannot force an unbounded allocation, and well-behaved
+ * clients chunk larger batches into multiple frames. */
+constexpr uint64_t kMaxBatchItems = 4096;
 /** Hard bound on records in a kTrace reply (a hostile peer cannot
  * force an unbounded allocation; real recorders are far smaller). */
 constexpr uint64_t kMaxTraceRecords = 1 << 20;
@@ -329,6 +333,16 @@ encodeRequest(const Request &request)
     w.u64(n_uploaded);
     for (size_t i = 0; i < n_uploaded; ++i)
         writeTraceRecord(w, request.uploaded[i]);
+    // Batch verbs (appended last so the fields stay in one place for
+    // both ends; empty vectors cost two u64 zeros on non-batch verbs).
+    w.u64(request.batch_keys.size());
+    for (const FeatureVector &key : request.batch_keys)
+        w.floats(key.values());
+    w.u64(request.batch_puts.size());
+    for (const BatchPutItem &item : request.batch_puts) {
+        w.floats(item.key.values());
+        w.blob(item.value);
+    }
     return w.take();
 }
 
@@ -357,6 +371,22 @@ decodeRequest(const std::vector<uint8_t> &bytes)
     request.uploaded.reserve(n_uploaded);
     for (uint64_t i = 0; i < n_uploaded; ++i)
         request.uploaded.push_back(readTraceRecord(r));
+    uint64_t n_batch_keys = r.u64();
+    if (n_batch_keys > kMaxBatchItems)
+        POTLUCK_FATAL("too many batch lookup keys: " << n_batch_keys);
+    request.batch_keys.reserve(n_batch_keys);
+    for (uint64_t i = 0; i < n_batch_keys; ++i)
+        request.batch_keys.emplace_back(r.floats());
+    uint64_t n_batch_puts = r.u64();
+    if (n_batch_puts > kMaxBatchItems)
+        POTLUCK_FATAL("too many batch put items: " << n_batch_puts);
+    request.batch_puts.reserve(n_batch_puts);
+    for (uint64_t i = 0; i < n_batch_puts; ++i) {
+        BatchPutItem item;
+        item.key = FeatureVector(r.floats());
+        item.value = r.blob();
+        request.batch_puts.push_back(std::move(item));
+    }
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in request frame");
     return request;
@@ -390,6 +420,16 @@ encodeReply(const Reply &reply)
     w.u64(reply.trace_records.size());
     for (const obs::TraceRecord &record : reply.trace_records)
         writeTraceRecord(w, record);
+    w.u64(reply.batch_lookups.size());
+    for (const BatchLookupItem &item : reply.batch_lookups) {
+        w.u8(item.hit ? 1 : 0);
+        w.u8(item.dropped ? 1 : 0);
+        w.blob(item.value);
+        w.u64(item.id);
+    }
+    w.u64(reply.batch_entry_ids.size());
+    for (EntryId id : reply.batch_entry_ids)
+        w.u64(id);
     return w.take();
 }
 
@@ -425,6 +465,24 @@ decodeReply(const std::vector<uint8_t> &bytes)
     reply.trace_records.reserve(n_trace);
     for (uint64_t i = 0; i < n_trace; ++i)
         reply.trace_records.push_back(readTraceRecord(r));
+    uint64_t n_batch_lookups = r.u64();
+    if (n_batch_lookups > kMaxBatchItems)
+        POTLUCK_FATAL("too many batch lookup results: " << n_batch_lookups);
+    reply.batch_lookups.reserve(n_batch_lookups);
+    for (uint64_t i = 0; i < n_batch_lookups; ++i) {
+        BatchLookupItem item;
+        item.hit = r.u8() != 0;
+        item.dropped = r.u8() != 0;
+        item.value = r.blob();
+        item.id = r.u64();
+        reply.batch_lookups.push_back(std::move(item));
+    }
+    uint64_t n_batch_ids = r.u64();
+    if (n_batch_ids > kMaxBatchItems)
+        POTLUCK_FATAL("too many batch entry ids: " << n_batch_ids);
+    reply.batch_entry_ids.reserve(n_batch_ids);
+    for (uint64_t i = 0; i < n_batch_ids; ++i)
+        reply.batch_entry_ids.push_back(r.u64());
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in reply frame");
     return reply;

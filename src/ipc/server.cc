@@ -14,25 +14,34 @@ namespace potluck {
 
 namespace {
 
-/** Removes a client fd from the active set when a handler exits. */
+/** Removes a client fd from the active set when a handler exits and
+ * wakes the drain wait in shutdown(). */
 class ConnectionGuard
 {
   public:
-    ConnectionGuard(std::mutex &mutex, std::set<int> &fds, obs::Gauge *gauge,
-                    int fd)
-        : mutex_(mutex), fds_(fds), gauge_(gauge), fd_(fd)
+    ConnectionGuard(std::mutex &mutex, std::condition_variable &cv,
+                    std::set<int> &fds, obs::Gauge *gauge, int fd)
+        : mutex_(mutex), cv_(cv), fds_(fds), gauge_(gauge), fd_(fd)
     {
     }
 
     ~ConnectionGuard()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        fds_.erase(fd_);
-        gauge_->add(-1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            fds_.erase(fd_);
+            gauge_->add(-1);
+        }
+        // notify_all outside the lock: shutdown() re-checks the
+        // predicate under conns_mutex_, so there is no lost wakeup,
+        // and the waiter does not immediately block on the mutex we
+        // still hold.
+        cv_.notify_all();
     }
 
   private:
     std::mutex &mutex_;
+    std::condition_variable &cv_;
     std::set<int> &fds_;
     obs::Gauge *gauge_;
     int fd_;
@@ -93,10 +102,15 @@ PotluckServer::shutdown()
         for (int fd : active_fds_)
             ::shutdown(fd, SHUT_RD);
     }
-    Stopwatch sw;
-    while (activeConnections() > 0 &&
-           sw.elapsedMs() < static_cast<double>(drain_deadline_ms_)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+        // Wait (bounded by the drain deadline) for the handlers to
+        // finish their in-flight requests; ConnectionGuard signals
+        // conns_cv_ as each one exits. No sleep-polling: the wait ends
+        // the moment the last handler leaves or the deadline fires.
+        std::unique_lock<std::mutex> lock(conns_mutex_);
+        conns_cv_.wait_for(lock,
+                           std::chrono::milliseconds(drain_deadline_ms_),
+                           [this]() { return active_fds_.empty(); });
     }
 
     // 3. Sever stragglers past the drain deadline.
@@ -189,8 +203,8 @@ PotluckServer::serveClient(FrameSocket client)
     // connection: count it, log it, close this socket, keep serving
     // everyone else. Nothing may escape into the std::thread trampoline
     // (that would std::terminate the whole daemon).
-    ConnectionGuard guard(conns_mutex_, active_fds_, active_connections_,
-                          client.fd());
+    ConnectionGuard guard(conns_mutex_, conns_cv_, active_fds_,
+                          active_connections_, client.fd());
     std::vector<uint8_t> frame;
     try {
         for (;;) { // the drain path exits via EOF after SHUT_RD
@@ -243,7 +257,9 @@ PotluckServer::serveClient(FrameSocket client)
                 // Data-path verbs only: control verbs are not worth a
                 // trace slot each.
                 bool traced = request.type == RequestType::Lookup ||
-                              request.type == RequestType::Put;
+                              request.type == RequestType::Put ||
+                              request.type == RequestType::LookupBatch ||
+                              request.type == RequestType::PutBatch;
                 obs::TraceScope trace_scope(traced ? recorder_ : nullptr,
                                             "ipc.handle", request.trace,
                                             obs::kProcService);

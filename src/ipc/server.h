@@ -17,6 +17,7 @@
 #define POTLUCK_IPC_SERVER_H
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -87,6 +88,10 @@ class PotluckServer
     std::vector<std::thread> client_threads_;
     std::thread accept_thread_;
     mutable std::mutex conns_mutex_;
+    /** Signalled whenever a handler removes its fd from active_fds_,
+     * so shutdown()'s drain wait wakes exactly when the last in-flight
+     * connection finishes instead of sleep-polling. */
+    std::condition_variable conns_cv_;
     std::set<int> active_fds_;
 
     /// @name Cached `ipc.*` metrics from the service registry.

@@ -238,6 +238,79 @@ TEST(LshSpecific, GrowsWithDimensionLazily)
     EXPECT_EQ(found[0].id, 2u);
 }
 
+// Regression: mixed-dimension keys in one kd-tree used to read past
+// the end of the shorter vectors — build() cycled the split axis over
+// the first key's dimension and search() indexed stored[axis]
+// unconditionally, so a 2-d key in a tree whose depth walked past axis
+// 1 was undefined behaviour. Both now clamp: out-of-range coordinates
+// read as 0 and only same-dimension keys are scored.
+TEST(KdTreeSpecific, MixedDimensionKeysDoNotReadOutOfBounds)
+{
+    auto index = makeIndex(IndexKind::KdTree, Metric::L2, /*seed=*/3);
+    FeatureVector small({1.0f, 2.0f});
+    FeatureVector big(std::vector<float>(128, 0.25f));
+    index->insert(1, small);
+    index->insert(2, big);
+    // More high-dimension keys force tree depth past axis 1, the case
+    // that used to index small[axis] out of range during descent.
+    Rng rng(17);
+    for (EntryId id = 3; id <= 40; ++id)
+        index->insert(id, randomKey(rng, 128));
+
+    auto found_small = index->nearest(small, 1);
+    ASSERT_EQ(found_small.size(), 1u);
+    EXPECT_EQ(found_small[0].id, 1u);
+    EXPECT_DOUBLE_EQ(found_small[0].dist, 0.0);
+
+    auto found_big = index->nearest(big, 1);
+    ASSERT_EQ(found_big.size(), 1u);
+    EXPECT_EQ(found_big[0].id, 2u);
+    EXPECT_DOUBLE_EQ(found_big[0].dist, 0.0);
+
+    // A dimension with no stored keys at all: nothing to score, no
+    // out-of-bounds reads while descending the 128-d dominated tree.
+    EXPECT_TRUE(index->nearest(FeatureVector({1.0f, 2.0f, 3.0f}), 2)
+                    .empty());
+}
+
+TEST(KdTreeSpecific, MixedDimensionNeighborsStayExact)
+{
+    // The kd-tree must agree with brute force even when the tree
+    // interleaves 2-d and 128-d keys (pruning uses clamped
+    // coordinates, which may only make the search less aggressive,
+    // never wrong).
+    auto kd = makeIndex(IndexKind::KdTree, Metric::L2, /*seed=*/9);
+    auto brute = makeIndex(IndexKind::Linear, Metric::L2, /*seed=*/9);
+    Rng rng(23);
+    for (EntryId id = 1; id <= 60; ++id) {
+        FeatureVector key = randomKey(rng, id % 2 ? 2 : 128);
+        kd->insert(id, key);
+        brute->insert(id, key);
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+        FeatureVector q = randomKey(rng, probe % 2 ? 2 : 128);
+        auto got = kd->nearest(q, 3);
+        auto want = brute->nearest(q, 3);
+        ASSERT_EQ(got.size(), want.size()) << "probe " << probe;
+        for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].id, want[i].id) << "probe " << probe;
+            EXPECT_NEAR(got[i].dist, want[i].dist, 1e-6);
+        }
+    }
+}
+
+TEST(LshSpecific, ZeroDimensionalKeyIsSafe)
+{
+    // Degenerate but must not crash: a zero-dim key still materializes
+    // the projection arrays signature() indexes unconditionally.
+    LshIndex lsh(Metric::L2, 5);
+    lsh.insert(1, FeatureVector(std::vector<float>{}));
+    EXPECT_EQ(lsh.size(), 1u);
+    auto found = lsh.nearest(FeatureVector(std::vector<float>{}), 1);
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].id, 1u);
+}
+
 TEST(IndexFactory, KindNamesRoundTrip)
 {
     for (IndexKind kind : {IndexKind::Linear, IndexKind::Hash,

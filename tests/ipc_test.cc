@@ -791,5 +791,185 @@ TEST(LocalClient, InProcessModeWorksWithoutSockets)
     EXPECT_EQ(decodeInt(r.value), 20);
 }
 
+// ---------- Batched verbs (kLookupBatch / kPutBatch) ----------
+
+TEST(Message, BatchRequestRoundTrip)
+{
+    Request request;
+    request.type = RequestType::PutBatch;
+    request.function = "f";
+    request.key_type = "vec";
+    request.batch_keys = {FeatureVector({1.0f, 2.0f}),
+                          FeatureVector({3.0f})};
+    request.batch_puts.push_back({FeatureVector({4.0f}), encodeInt(4)});
+    request.batch_puts.push_back({FeatureVector({5.0f, 6.0f}), nullptr});
+
+    Request decoded = decodeRequest(encodeRequest(request));
+    ASSERT_EQ(decoded.batch_keys.size(), 2u);
+    EXPECT_EQ(decoded.batch_keys[0], request.batch_keys[0]);
+    EXPECT_EQ(decoded.batch_keys[1], request.batch_keys[1]);
+    ASSERT_EQ(decoded.batch_puts.size(), 2u);
+    EXPECT_EQ(decoded.batch_puts[0].key, request.batch_puts[0].key);
+    EXPECT_TRUE(valueEquals(decoded.batch_puts[0].value,
+                            request.batch_puts[0].value));
+    EXPECT_EQ(decoded.batch_puts[1].key, request.batch_puts[1].key);
+    EXPECT_EQ(decoded.batch_puts[1].value, nullptr);
+}
+
+TEST(Message, BatchReplyRoundTrip)
+{
+    Reply reply;
+    reply.type = RequestType::LookupBatch;
+    reply.ok = true;
+    BatchLookupItem hit;
+    hit.hit = true;
+    hit.value = encodeInt(7);
+    hit.id = 9;
+    BatchLookupItem dropped;
+    dropped.dropped = true;
+    reply.batch_lookups = {hit, dropped, BatchLookupItem{}};
+    reply.batch_entry_ids = {11, 0, 13};
+
+    Reply decoded = decodeReply(encodeReply(reply));
+    ASSERT_EQ(decoded.batch_lookups.size(), 3u);
+    EXPECT_TRUE(decoded.batch_lookups[0].hit);
+    EXPECT_EQ(decodeInt(decoded.batch_lookups[0].value), 7);
+    EXPECT_EQ(decoded.batch_lookups[0].id, 9u);
+    EXPECT_TRUE(decoded.batch_lookups[1].dropped);
+    EXPECT_FALSE(decoded.batch_lookups[1].hit);
+    EXPECT_FALSE(decoded.batch_lookups[2].hit);
+    EXPECT_EQ(decoded.batch_entry_ids,
+              (std::vector<EntryId>{11, 0, 13}));
+}
+
+TEST(Message, OversizedBatchIsRejectedOnDecode)
+{
+    // The decoder bounds batch sizes (4096): a hostile frame cannot
+    // force an unbounded allocation.
+    Request request;
+    request.type = RequestType::LookupBatch;
+    request.batch_keys.assign(4097, FeatureVector({1.0f}));
+    std::vector<uint8_t> frame = encodeRequest(request);
+    EXPECT_THROW(decodeRequest(frame), FatalError);
+}
+
+TEST(AppListenerTest, BatchPutThenBatchLookup)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    AppListener listener(service, 2);
+
+    Request reg;
+    reg.type = RequestType::RegisterKeyType;
+    reg.function = "f";
+    reg.key_type = "vec";
+    reg.index_kind = IndexKind::Linear;
+    ASSERT_TRUE(listener.handle(reg).ok);
+
+    Request put;
+    put.type = RequestType::PutBatch;
+    put.app = "a";
+    put.function = "f";
+    put.key_type = "vec";
+    for (int i = 0; i < 8; ++i)
+        put.batch_puts.push_back(
+            {FeatureVector({static_cast<float>(10 * i)}), encodeInt(i)});
+    Reply put_reply = listener.handle(put);
+    ASSERT_TRUE(put_reply.ok);
+    ASSERT_EQ(put_reply.batch_entry_ids.size(), 8u);
+    for (EntryId id : put_reply.batch_entry_ids)
+        EXPECT_GT(id, 0u);
+    EXPECT_EQ(service.numEntries(), 8u);
+
+    Request lookup;
+    lookup.type = RequestType::LookupBatch;
+    lookup.app = "a";
+    lookup.function = "f";
+    lookup.key_type = "vec";
+    for (int i = 0; i < 8; ++i)
+        lookup.batch_keys.push_back(
+            FeatureVector({static_cast<float>(10 * i)}));
+    lookup.batch_keys.push_back(FeatureVector({5000.0f})); // a miss
+    Reply r = listener.handle(lookup);
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.batch_lookups.size(), 9u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_TRUE(r.batch_lookups[i].hit) << "item " << i;
+        EXPECT_EQ(decodeInt(r.batch_lookups[i].value), i);
+    }
+    EXPECT_FALSE(r.batch_lookups[8].hit);
+}
+
+TEST(AppListenerTest, BatchErrorsBecomeReplyNotThrow)
+{
+    PotluckService service;
+    AppListener listener(service, 1);
+    Request lookup;
+    lookup.type = RequestType::LookupBatch;
+    lookup.function = "unregistered";
+    lookup.key_type = "vec";
+    lookup.batch_keys = {FeatureVector({1.0f})};
+    Reply reply = listener.handle(lookup);
+    EXPECT_FALSE(reply.ok);
+    EXPECT_FALSE(reply.error.empty());
+}
+
+TEST(EndToEnd, BatchVerbsOverSocket)
+{
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    cfg.num_shards = 4; // exercise the sharded hot path over IPC
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("batch");
+    PotluckServer server(service, path);
+    RetryPolicy policy;
+    policy.degraded_mode = false;
+    PotluckClient client("batch_app", path, policy);
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+
+    std::vector<BatchPutItem> items;
+    for (int i = 0; i < 32; ++i)
+        items.push_back(
+            {FeatureVector({static_cast<float>(i), static_cast<float>(-i)}),
+             encodeInt(i)});
+    std::vector<EntryId> ids = client.putBatch("f", "vec", items);
+    ASSERT_EQ(ids.size(), 32u);
+    EXPECT_EQ(service.numEntries(), 32u);
+
+    std::vector<FeatureVector> keys;
+    for (int i = 0; i < 32; ++i)
+        keys.push_back(
+            FeatureVector({static_cast<float>(i), static_cast<float>(-i)}));
+    std::vector<BatchLookupItem> results =
+        client.lookupBatch("f", "vec", keys);
+    ASSERT_EQ(results.size(), 32u);
+    for (int i = 0; i < 32; ++i) {
+        ASSERT_TRUE(results[i].hit) << "key " << i;
+        EXPECT_EQ(decodeInt(results[i].value), i);
+        EXPECT_EQ(results[i].id, ids[static_cast<size_t>(i)]);
+    }
+    server.shutdown();
+}
+
+TEST(EndToEnd, DegradedBatchLookupIsAllMisses)
+{
+    // No server behind the socket: with degraded mode on, the batch
+    // verbs degrade exactly like their single-shot counterparts.
+    PotluckClient client("ghost", tempSocketPath("ghost_batch"),
+                         fastPolicy());
+    std::vector<BatchLookupItem> results = client.lookupBatch(
+        "f", "vec", {FeatureVector({1.0f}), FeatureVector({2.0f})});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_FALSE(results[0].hit);
+    EXPECT_FALSE(results[1].hit);
+    std::vector<EntryId> ids = client.putBatch(
+        "f", "vec", {{FeatureVector({1.0f}), encodeInt(1)}});
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], 0u);
+}
+
 } // namespace
 } // namespace potluck

@@ -433,5 +433,163 @@ TEST(Service, ConcurrentLookupsAndPutsAreSafe)
     EXPECT_LE(service.numEntries(), 64u);
 }
 
+// ---------- Sharded service ----------
+
+TEST(ShardedService, DefaultIsSingleShard)
+{
+    PotluckService service(quietConfig());
+    EXPECT_EQ(service.numShards(), 1u);
+}
+
+TEST(ShardedService, BasicHitMissAcrossShards)
+{
+    PotluckConfig cfg = quietConfig();
+    cfg.num_shards = 4;
+    PotluckService service(cfg);
+    EXPECT_EQ(service.numShards(), 4u);
+    service.registerKeyType("f", kt());
+
+    // Entries land in different shards by key hash; every one must be
+    // findable because lookups fan out across all shards.
+    for (int i = 0; i < 64; ++i)
+        service.put("f", "vec", key1d(static_cast<float>(10 * i)),
+                    encodeInt(i), {});
+    EXPECT_EQ(service.numEntries(), 64u);
+    for (int i = 0; i < 64; ++i) {
+        LookupResult r = service.lookup("app", "f", "vec",
+                                        key1d(static_cast<float>(10 * i)));
+        ASSERT_TRUE(r.hit) << "key " << i;
+        EXPECT_EQ(decodeInt(r.value), i);
+    }
+    LookupResult miss = service.lookup("app", "f", "vec", key1d(-777.0f));
+    EXPECT_FALSE(miss.hit);
+}
+
+TEST(ShardedService, ParallelFanoutMatchesSequential)
+{
+    PotluckConfig cfg = quietConfig();
+    cfg.num_shards = 4;
+    cfg.parallel_fanout = true;
+    PotluckService service(cfg);
+    service.registerKeyType("f", kt());
+    for (int i = 0; i < 32; ++i)
+        service.put("f", "vec", key1d(static_cast<float>(5 * i)),
+                    encodeInt(i), {});
+    for (int i = 0; i < 32; ++i) {
+        LookupResult r = service.lookup("app", "f", "vec",
+                                        key1d(static_cast<float>(5 * i)));
+        ASSERT_TRUE(r.hit) << "key " << i;
+        EXPECT_EQ(decodeInt(r.value), i);
+    }
+}
+
+TEST(ShardedService, NearestNeighborIsGlobalAcrossShards)
+{
+    // The true nearest neighbour of a query may live in any shard:
+    // the fan-out merge must return the global best, not a per-shard
+    // local one.
+    PotluckConfig cfg = quietConfig();
+    cfg.num_shards = 8;
+    PotluckService service(cfg);
+    service.registerKeyType("f", kt());
+    for (int i = 0; i < 40; ++i)
+        service.put("f", "vec", key1d(static_cast<float>(100 * i)),
+                    encodeInt(i), {});
+    service.setThreshold("f", "vec", 6.0);
+    // 205 is within threshold only of the entry at 200.
+    LookupResult r = service.lookup("app", "f", "vec", key1d(205.0f));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(decodeInt(r.value), 2);
+    EXPECT_DOUBLE_EQ(r.nn_dist, 5.0);
+}
+
+TEST(ShardedService, CapacityEvictionSpansShards)
+{
+    PotluckConfig cfg = quietConfig();
+    cfg.num_shards = 4;
+    cfg.max_entries = 16;
+    PotluckService service(cfg);
+    service.registerKeyType("f", kt());
+    for (int i = 0; i < 100; ++i)
+        service.put("f", "vec", key1d(static_cast<float>(3 * i)),
+                    encodeInt(i), {});
+    EXPECT_LE(service.numEntries(), 16u);
+    EXPECT_GE(service.stats().evictions, 84u);
+}
+
+TEST(ShardedService, LruEvictionEvictsColdestAcrossShards)
+{
+    PotluckConfig cfg = quietConfig();
+    cfg.num_shards = 4;
+    cfg.max_entries = 8;
+    cfg.eviction = EvictionKind::Lru;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType("f", kt());
+    for (int i = 0; i < 8; ++i) {
+        clock.advanceUs(1000);
+        service.put("f", "vec", key1d(static_cast<float>(10 * i)),
+                    encodeInt(i), {});
+    }
+    // Touch every entry except #0, so #0 is globally the coldest no
+    // matter which shard holds it.
+    for (int i = 1; i < 8; ++i) {
+        clock.advanceUs(1000);
+        ASSERT_TRUE(service
+                        .lookup("app", "f", "vec",
+                                key1d(static_cast<float>(10 * i)))
+                        .hit);
+    }
+    clock.advanceUs(1000);
+    service.put("f", "vec", key1d(999.0f), encodeInt(99), {});
+    EXPECT_LE(service.numEntries(), 8u);
+    EXPECT_FALSE(service.lookup("app", "f", "vec", key1d(0.0f)).hit);
+    EXPECT_TRUE(service.lookup("app", "f", "vec", key1d(70.0f)).hit);
+}
+
+TEST(ShardedService, TtlExpirySweepsEveryShard)
+{
+    PotluckConfig cfg = quietConfig();
+    cfg.num_shards = 4;
+    VirtualClock clock;
+    PotluckService service(cfg, &clock);
+    service.registerKeyType("f", kt());
+    PutOptions short_ttl;
+    short_ttl.ttl_us = 100;
+    for (int i = 0; i < 20; ++i)
+        service.put("f", "vec", key1d(static_cast<float>(i)), encodeInt(i),
+                    short_ttl);
+    clock.advanceUs(1000);
+    EXPECT_EQ(service.sweepExpired(), 20u);
+    EXPECT_EQ(service.numEntries(), 0u);
+}
+
+TEST(ShardedService, ThresholdIsSetAndReadAcrossShards)
+{
+    PotluckConfig cfg = quietConfig();
+    cfg.num_shards = 4;
+    PotluckService service(cfg);
+    service.registerKeyType("f", kt());
+    service.setThreshold("f", "vec", 2.5);
+    EXPECT_DOUBLE_EQ(service.threshold("f", "vec"), 2.5);
+}
+
+TEST(ShardedService, ShardGaugesTrackOccupancy)
+{
+    PotluckConfig cfg = quietConfig();
+    cfg.num_shards = 2;
+    PotluckService service(cfg);
+    service.registerKeyType("f", kt());
+    for (int i = 0; i < 10; ++i)
+        service.put("f", "vec", key1d(static_cast<float>(i)), encodeInt(i),
+                    {});
+    obs::RegistrySnapshot snap = service.metrics().snapshot();
+    int64_t total = 0;
+    for (size_t s = 0; s < 2; ++s)
+        total += snap.gaugeValue("cache.shard." + std::to_string(s) +
+                                 ".entries");
+    EXPECT_EQ(total, 10);
+}
+
 } // namespace
 } // namespace potluck

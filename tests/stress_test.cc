@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Multi-threaded stress tests for the sharded service: concurrent
+ * lookups, puts, expiry sweeps and capacity eviction across shard
+ * counts and index backends. These tests assert invariants (no
+ * exceptions, capacity respected, exact keys findable) rather than
+ * exact counts — interleavings vary — and are the workload the
+ * ThreadSanitizer stage of scripts/check.sh runs to prove the shard
+ * locking, the kd-tree lazy rebuild and the LSH lazy projections are
+ * race-free.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/potluck_service.h"
+#include "util/rng.h"
+
+namespace potluck {
+namespace {
+
+PotluckConfig
+stressConfig(size_t shards)
+{
+    PotluckConfig cfg;
+    cfg.num_shards = shards;
+    cfg.warmup_entries = 0;     // tuner active: exercises put probes
+    cfg.dropout_probability = 0.1;
+    cfg.max_entries = 256;      // small: eviction runs constantly
+    cfg.max_bytes = 0;
+    cfg.default_ttl_us = 50 * 1000; // entries expire under the sweeper
+    return cfg;
+}
+
+FeatureVector
+keyOf(uint64_t x, size_t dim)
+{
+    std::vector<float> v(dim);
+    for (size_t i = 0; i < dim; ++i)
+        v[i] = static_cast<float>((x + i * 31) % 97);
+    return FeatureVector(std::move(v));
+}
+
+/**
+ * The core mixed workload: T worker threads hammer lookup/put on two
+ * functions while a sweeper thread expires entries, all against a
+ * capacity small enough that eviction interleaves with everything.
+ */
+void
+runMixedWorkload(PotluckConfig cfg, IndexKind kind, int threads,
+                 int iterations)
+{
+    PotluckService service(cfg);
+    service.registerKeyType("fa", {"vec", Metric::L2, kind});
+    service.registerKeyType("fb", {"vec", Metric::L2, kind});
+
+    std::atomic<int> errors{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t]() {
+            try {
+                Rng rng(1000 + static_cast<uint64_t>(t));
+                std::string app = "app" + std::to_string(t % 3);
+                for (int i = 0; i < iterations; ++i) {
+                    uint64_t x = static_cast<uint64_t>(
+                        rng.uniformInt(0, 499));
+                    const char *fn = (x % 2) ? "fa" : "fb";
+                    // Mixed dimensions on one index: the kd-tree /
+                    // LSH mixed-dim handling under contention.
+                    size_t dim = (x % 3) ? 4 : 16;
+                    FeatureVector key = keyOf(x, dim);
+                    service.lookup(app, fn, "vec", key);
+                    if (i % 2 == 0) {
+                        PutOptions opts;
+                        opts.app = app;
+                        opts.compute_overhead_us = 100.0;
+                        service.put(fn, "vec", key,
+                                    encodeInt(static_cast<int>(x)), opts);
+                    }
+                    if (i % 64 == 0)
+                        service.numEntries();
+                }
+            } catch (...) {
+                ++errors;
+            }
+        });
+    }
+    std::thread sweeper([&]() {
+        try {
+            while (!stop.load(std::memory_order_acquire)) {
+                service.sweepExpired();
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+        } catch (...) {
+            ++errors;
+        }
+    });
+    for (auto &w : workers)
+        w.join();
+    stop.store(true, std::memory_order_release);
+    sweeper.join();
+
+    EXPECT_EQ(errors.load(), 0);
+    EXPECT_LE(service.numEntries(), cfg.max_entries);
+    // The totals must balance: everything added was either evicted,
+    // expired, or is still resident.
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.puts - stats.rejected_puts,
+              stats.evictions + stats.expirations + service.numEntries());
+}
+
+class StressAllIndexes : public ::testing::TestWithParam<IndexKind>
+{
+};
+
+TEST_P(StressAllIndexes, MixedWorkloadSingleShard)
+{
+    runMixedWorkload(stressConfig(1), GetParam(), 4, 300);
+}
+
+TEST_P(StressAllIndexes, MixedWorkloadFourShards)
+{
+    runMixedWorkload(stressConfig(4), GetParam(), 4, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, StressAllIndexes,
+                         ::testing::Values(IndexKind::Linear,
+                                           IndexKind::Hash, IndexKind::Tree,
+                                           IndexKind::KdTree,
+                                           IndexKind::Lsh),
+                         [](const auto &info) {
+                             return indexKindName(info.param);
+                         });
+
+TEST(Stress, ParallelFanoutUnderContention)
+{
+    PotluckConfig cfg = stressConfig(8);
+    cfg.parallel_fanout = true;
+    runMixedWorkload(cfg, IndexKind::KdTree, 4, 200);
+}
+
+TEST(Stress, ConcurrentRegistrationAndTraffic)
+{
+    // Registrations racing lookups/puts: a slot visible in shard 0
+    // must already exist in every shard (registration replicates
+    // shard 0 last), so traffic never sees a half-registered slot.
+    PotluckConfig cfg = stressConfig(4);
+    PotluckService service(cfg);
+    std::atomic<int> errors{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t]() {
+            try {
+                for (int i = 0; i < 50; ++i) {
+                    std::string fn =
+                        "f" + std::to_string(t) + "_" + std::to_string(i);
+                    service.registerKeyType(
+                        fn, {"vec", Metric::L2, IndexKind::Linear});
+                    service.put(fn, "vec", keyOf(1, 4), encodeInt(i), {});
+                    service.lookup("app", fn, "vec", keyOf(1, 4));
+                }
+            } catch (...) {
+                ++errors;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(Stress, ConcurrentExactLookupsAlwaysHitResidentEntries)
+{
+    // Read-mostly correctness: with eviction and expiry out of the
+    // picture, a resident exact key must hit from every thread, every
+    // time, while writers keep inserting into other shards.
+    PotluckConfig cfg = stressConfig(4);
+    cfg.max_entries = 100000;
+    cfg.default_ttl_us = 3600ULL * 1000 * 1000;
+    cfg.dropout_probability = 0.0;
+    PotluckService service(cfg);
+    service.registerKeyType("f", {"vec", Metric::L2, IndexKind::KdTree});
+    service.registerKeyType("g", {"vec", Metric::L2, IndexKind::KdTree});
+    for (int i = 0; i < 32; ++i)
+        service.put("f", "vec", keyOf(static_cast<uint64_t>(i), 8),
+                    encodeInt(i), {});
+
+    std::atomic<int> errors{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+        threads.emplace_back([&, t]() {
+            try {
+                for (int i = 0; i < 400; ++i) {
+                    int x = (t * 400 + i) % 32;
+                    LookupResult r = service.lookup(
+                        "app", "f", "vec",
+                        keyOf(static_cast<uint64_t>(x), 8));
+                    if (!r.hit || decodeInt(r.value) != x)
+                        ++errors;
+                }
+            } catch (...) {
+                ++errors;
+            }
+        });
+    }
+    // A writer hammering a sibling function must not perturb the
+    // readers (separate slots, shared shards and locks).
+    threads.emplace_back([&]() {
+        try {
+            for (int i = 0; i < 400; ++i)
+                service.put("g", "vec",
+                            keyOf(static_cast<uint64_t>(1000 + i), 8),
+                            encodeInt(1000 + i), {});
+        } catch (...) {
+            ++errors;
+        }
+    });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(errors.load(), 0);
+}
+
+} // namespace
+} // namespace potluck

@@ -7,11 +7,15 @@
  *               register FUNCTION KEYTYPE [metric] [index]
  *   potluck_cli [...] put FUNCTION KEYTYPE K1,K2,... VALUE
  *   potluck_cli [...] get FUNCTION KEYTYPE K1,K2,...
+ *   potluck_cli [...] mput FUNCTION KEYTYPE K1,K2,..=VALUE [K..=V ...]
+ *   potluck_cli [...] mget FUNCTION KEYTYPE K1,K2,.. [K1,K2,.. ...]
  *   potluck_cli [...] stats [--json|--prom]
  *   potluck_cli [...] trace [--json]
  *
  * Keys are comma-separated floats; values are stored/printed as
- * strings. Exit status: 0 on hit/success, 2 on miss, 1 when the daemon
+ * strings. `mget`/`mput` send all keys in ONE frame over the batched
+ * kLookupBatch/kPutBatch verbs — one round trip instead of N — and
+ * print one line per key; mget exits 0 only when every key hits. Exit status: 0 on hit/success, 2 on miss, 1 when the daemon
  * is unreachable or times out — the CLI runs with degraded mode off,
  * so an absent daemon is an error here, never a silent miss.
  * --timeout-ms bounds each request round trip (default 1000).
@@ -57,6 +61,8 @@ usage()
                  "[kdtree|lsh|linear|hash|tree]\n"
                  "  potluck_cli [...] put FN KEYTYPE K1,K2,.. VALUE\n"
                  "  potluck_cli [...] get FN KEYTYPE K1,K2,..\n"
+                 "  potluck_cli [...] mput FN KEYTYPE K1,K2,..=VALUE [..]\n"
+                 "  potluck_cli [...] mget FN KEYTYPE K1,K2,.. [..]\n"
                  "  potluck_cli [...] stats [--json|--prom]\n"
                  "  potluck_cli [...] trace [--json]\n";
     std::exit(1);
@@ -295,6 +301,47 @@ main(int argc, char **argv)
             }
             std::cout << "HIT: " << decodeString(r.value) << "\n";
             return 0;
+        }
+        if (cmd == "mput" && args.size() >= 4) {
+            client.registerFunction(args[1], args[2]);
+            std::vector<BatchPutItem> items;
+            for (size_t i = 3; i < args.size(); ++i) {
+                size_t eq = args[i].find('=');
+                if (eq == std::string::npos || eq == 0)
+                    usage();
+                BatchPutItem item;
+                item.key = parseKey(args[i].substr(0, eq));
+                item.value = encodeString(args[i].substr(eq + 1));
+                items.push_back(std::move(item));
+            }
+            std::vector<EntryId> ids =
+                client.putBatch(args[1], args[2], std::move(items));
+            for (EntryId id : ids)
+                std::cout << "stored entry " << id << "\n";
+            return 0;
+        }
+        if (cmd == "mget" && args.size() >= 4) {
+            client.registerFunction(args[1], args[2]);
+            std::vector<FeatureVector> keys;
+            for (size_t i = 3; i < args.size(); ++i)
+                keys.push_back(parseKey(args[i]));
+            std::vector<BatchLookupItem> results =
+                client.lookupBatch(args[1], args[2], keys);
+            bool all_hit = true;
+            for (size_t i = 0; i < results.size(); ++i) {
+                std::cout << args[3 + i] << ": ";
+                if (results[i].dropped) {
+                    std::cout << "DROPPED (forced recomputation)\n";
+                    all_hit = false;
+                } else if (!results[i].hit) {
+                    std::cout << "MISS\n";
+                    all_hit = false;
+                } else {
+                    std::cout << "HIT: " << decodeString(results[i].value)
+                              << "\n";
+                }
+            }
+            return all_hit ? 0 : 2;
         }
         if (cmd == "stats" && args.size() <= 2) {
             std::string format = "plain";
