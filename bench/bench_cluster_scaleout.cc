@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Federation scale-out shape check (DESIGN.md §11): 1 node vs a
+ * 3-daemon full mesh. Reports the latency of a local hit, a remote
+ * hit (miss forwarded to the owning peer over the socket transport),
+ * and a degraded lookup (owner dead, breaker open), against a
+ * simulated recompute cost — the paper's economics (Table 2: real
+ * recomputation runs tens to hundreds of ms) are what make an extra
+ * sub-millisecond IPC hop worthwhile.
+ */
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "bench_common.h"
+#include "cluster/coordinator.h"
+#include "cluster/peer_ring.h"
+#include "ipc/client.h"
+#include "ipc/server.h"
+#include "util/clock.h"
+
+using namespace potluck;
+
+namespace {
+
+std::string
+sockPath(const std::string &tag)
+{
+    return (std::filesystem::temp_directory_path() /
+            ("potluck_cluster_bench_" + tag + "_" +
+             std::to_string(::getpid()) + ".sock"))
+        .string();
+}
+
+/** One federated daemon: service + coordinator + socket server.
+ * Member order matters: the server must die before the coordinator
+ * (it feeds it), the coordinator before the service. */
+struct Node
+{
+    std::unique_ptr<PotluckService> service;
+    std::unique_ptr<cluster::ClusterCoordinator> coordinator;
+    std::unique_ptr<PotluckServer> server;
+
+    Node(const std::string &sock, const std::vector<std::string> &peers,
+         const std::string &tag, bool seed_remote_hits)
+    {
+        PotluckConfig cfg;
+        cfg.dropout_probability = 0.0;
+        cfg.warmup_entries = 0;
+        service = std::make_unique<PotluckService>(cfg);
+        cluster::ClusterConfig ccfg;
+        ccfg.self_tag = tag;
+        ccfg.self_endpoint = sock;
+        ccfg.peer_sockets = peers;
+        ccfg.seed_remote_hits = seed_remote_hits;
+        coordinator =
+            std::make_unique<cluster::ClusterCoordinator>(*service, ccfg);
+        coordinator->install();
+        server = std::make_unique<PotluckServer>(*service, sock);
+        server->listener().setClusterStatusProvider(
+            [c = coordinator.get()] { return c->status(); });
+    }
+};
+
+void
+BM_RingOwner(benchmark::State &state)
+{
+    cluster::PeerRing ring({"/tmp/a.sock", "/tmp/b.sock", "/tmp/c.sock"});
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ring.ownerOf("recognize_" + std::to_string(i++ % 64), "vec"));
+    }
+}
+BENCHMARK(BM_RingOwner);
+
+/** Spin for roughly `ms` to stand in for recomputing the result. */
+double
+simulatedRecomputeMs(double ms)
+{
+    Stopwatch sw;
+    while (sw.elapsedMs() < ms) {
+    }
+    return sw.elapsedMs();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogVerbose(false);
+    bench::banner("DESIGN.md §11 (cluster)",
+                  "1 vs 3 nodes: remote-hit latency vs recompute cost",
+                  "remote hit ~ one extra sub-ms IPC hop, far below "
+                  "recompute");
+
+    const std::string kt = "vec";
+    const FeatureVector key(std::vector<float>(64, 0.5f));
+    const int kRequests = 500;
+
+    double local_ms, remote_ms, degraded_ms;
+
+    {
+        // Single node: the intra-daemon baseline.
+        std::string sock = sockPath("solo");
+        PotluckConfig cfg;
+        cfg.dropout_probability = 0.0;
+        cfg.warmup_entries = 0;
+        PotluckService service(cfg);
+        PotluckServer server(service, sock);
+        PotluckClient client("bench_app", sock);
+        client.registerFunction("recognize_0", kt);
+        client.put("recognize_0", kt, key, encodeInt(1));
+        Stopwatch sw;
+        for (int i = 0; i < kRequests; ++i)
+            client.lookup("recognize_0", kt, key);
+        local_ms = sw.elapsedMs() / kRequests;
+    }
+
+    {
+        // 3-node full mesh. seed_remote_hits is OFF so every lookup
+        // at the non-owner pays the full forwarded round trip.
+        std::vector<std::string> socks = {sockPath("n1"), sockPath("n2"),
+                                          sockPath("n3")};
+        auto n1 = std::make_unique<Node>(
+            socks[0], std::vector<std::string>{socks[1], socks[2]}, "n1",
+            false);
+        auto n2 = std::make_unique<Node>(
+            socks[1], std::vector<std::string>{socks[0], socks[2]}, "n2",
+            false);
+        auto n3 = std::make_unique<Node>(
+            socks[2], std::vector<std::string>{socks[0], socks[1]}, "n3",
+            false);
+
+        // A slot that node 1 does NOT own, so its lookups forward.
+        std::string fn;
+        for (int i = 0; i < 64; ++i) {
+            std::string candidate = "recognize_" + std::to_string(i);
+            if (n1->coordinator->ownerEndpoint(candidate, kt) != socks[0]) {
+                fn = candidate;
+                break;
+            }
+        }
+
+        PotluckClient client("bench_app", socks[0]);
+        client.registerFunction(fn, kt);
+        client.put(fn, kt, key, encodeInt(1));
+        n1->coordinator->drain(); // replica reaches the owner
+
+        Stopwatch sw;
+        int hits = 0;
+        for (int i = 0; i < kRequests; ++i)
+            hits += client.lookup(fn, kt, key).hit;
+        remote_ms = sw.elapsedMs() / kRequests;
+        std::cout << "remote hits: " << hits << "/" << kRequests << " via "
+                  << n1->coordinator->ownerEndpoint(fn, kt) << "\n";
+
+        // Kill both peers: node 1 degrades to local-only service.
+        n2.reset();
+        n3.reset();
+        for (int i = 0; i < 20; ++i)
+            client.lookup(fn, kt, key); // let the breaker open
+        Stopwatch swd;
+        for (int i = 0; i < kRequests; ++i)
+            client.lookup(fn, kt, key);
+        degraded_ms = swd.elapsedMs() / kRequests;
+    }
+
+    double recompute_ms = simulatedRecomputeMs(5.0);
+
+    bench::Table table({"path", "avg latency (ms)", "vs 5 ms recompute"},
+                       28);
+    table.cell("local hit (1 node)").cell(local_ms, 4);
+    table.cell(recompute_ms / local_ms, 1);
+    table.endRow();
+    table.cell("remote hit (3 nodes)").cell(remote_ms, 4);
+    table.cell(recompute_ms / remote_ms, 1);
+    table.endRow();
+    table.cell("degraded miss (peers dead)").cell(degraded_ms, 4);
+    table.cell(recompute_ms / degraded_ms, 1);
+    table.endRow();
+
+    std::cout << "\nshape check (remote hit cheaper than 5 ms recompute): "
+              << (remote_ms < 5.0 ? "PASS" : "FAIL") << "\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -18,6 +18,11 @@
 # trace_event shape (a traceEvents array with complete spans). Skipped
 # when python3 is unavailable.
 #
+# A cluster stage then boots a 3-daemon full mesh (--peers), drives a
+# cross-node mput/mget through it, asserts the mesh recorded remote
+# hits (cluster_remote_hit in the Prometheus export), and verifies the
+# survivors keep serving after one daemon is killed.
+#
 # Unless this run IS the thread-sanitizer run, a last stage builds the
 # concurrency stress test under ThreadSanitizer and runs it: the shard
 # locking, kd-tree lazy rebuild and LSH lazy projections must be
@@ -135,6 +140,71 @@ else
 fi
 
 echo "check.sh: trace smoke test passed"
+
+# ---- cluster federation smoke test ------------------------------------
+# Boot a 3-daemon full mesh (DESIGN.md §11), write a batch through one
+# node, and read it back through the other two: every key's slot owner
+# holds the replica, so the cross-node mgets must fully hit, and the
+# summed cluster_remote_hit across the mesh must be positive (which
+# node forwards is hash-determined, so only the SUM is deterministic).
+CSOCK1="$(mktemp -u /tmp/potluck_cluster1_XXXXXX.sock)"
+CSOCK2="$(mktemp -u /tmp/potluck_cluster2_XXXXXX.sock)"
+CSOCK3="$(mktemp -u /tmp/potluck_cluster3_XXXXXX.sock)"
+
+"$DAEMON" --socket "$CSOCK1" --peers "$CSOCK2,$CSOCK3" --cluster-tag c1 \
+    --stats-sec 0 --dropout 0 &
+CPID1=$!
+"$DAEMON" --socket "$CSOCK2" --peers "$CSOCK1,$CSOCK3" --cluster-tag c2 \
+    --stats-sec 0 --dropout 0 &
+CPID2=$!
+"$DAEMON" --socket "$CSOCK3" --peers "$CSOCK1,$CSOCK2" --cluster-tag c3 \
+    --stats-sec 0 --dropout 0 &
+CPID3=$!
+cleanup_cluster() {
+    kill "$CPID1" "$CPID2" "$CPID3" 2>/dev/null || true
+    wait "$CPID1" "$CPID2" "$CPID3" 2>/dev/null || true
+    rm -f "$CSOCK1" "$CSOCK2" "$CSOCK3" \
+        "$CSOCK1.trace.json" "$CSOCK2.trace.json" "$CSOCK3.trace.json"
+    cleanup
+}
+trap cleanup_cluster EXIT
+
+for s in "$CSOCK1" "$CSOCK2" "$CSOCK3"; do
+    for _ in $(seq 1 50); do
+        [ -S "$s" ] && break
+        sleep 0.1
+    done
+    [ -S "$s" ] || { echo "check.sh: cluster daemon did not start" >&2; exit 1; }
+done
+# Links to daemons that came up later start with a failed connect;
+# wait out the breaker cooldown so first use is a clean half-open probe.
+sleep 1.2
+
+"$CLI" --socket "$CSOCK1" mput fed_demo vec 1,2,3=alpha 4,5,6=beta 7,8,9=gamma
+sleep 1 # async replication fan-out reaches the slot owners
+"$CLI" --socket "$CSOCK2" mget fed_demo vec 1,2,3 4,5,6 7,8,9
+"$CLI" --socket "$CSOCK3" mget fed_demo vec 1,2,3 4,5,6 7,8,9
+"$CLI" --socket "$CSOCK1" peers # must render without crashing
+"$CLI" --socket "$CSOCK2" peers --json > /dev/null
+
+REMOTE_HITS=0
+for s in "$CSOCK1" "$CSOCK2" "$CSOCK3"; do
+    v="$("$CLI" --socket "$s" stats --prom |
+        awk '$1 == "cluster_remote_hit" { print $2 }')"
+    REMOTE_HITS=$((REMOTE_HITS + ${v:-0}))
+done
+[ "$REMOTE_HITS" -gt 0 ] || {
+    echo "check.sh: no cross-node remote hits recorded" >&2
+    exit 1
+}
+echo "check.sh: cluster smoke OK ($REMOTE_HITS remote hits across mesh)"
+
+# Kill one node: the survivors must keep serving (exit 0 hit or 2
+# miss — never 1, which would mean the dead peer broke the hot path).
+kill "$CPID2" && wait "$CPID2" 2>/dev/null || true
+"$CLI" --socket "$CSOCK1" get fed_demo vec 1,2,3 || [ $? -eq 2 ]
+"$CLI" --socket "$CSOCK3" get fed_demo vec 4,5,6 || [ $? -eq 2 ]
+echo "check.sh: cluster degrades to local-only with a dead peer"
 
 # ---- ThreadSanitizer concurrency stage --------------------------------
 # The full suite already ran under TSan when that was the requested

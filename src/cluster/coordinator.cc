@@ -1,0 +1,425 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+
+#include "core/replication.h"
+#include "obs/span.h"
+#include "util/logging.h"
+#include "util/stringutil.h"
+
+namespace potluck::cluster {
+
+RetryPolicy
+defaultLinkPolicy()
+{
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.initial_backoff_ms = 2;
+    policy.max_backoff_ms = 50;
+    policy.request_deadline_ms = 500;
+    policy.breaker_failure_threshold = 3;
+    policy.breaker_open_ms = 1000;
+    policy.degraded_mode = true;
+    return policy;
+}
+
+// ---------------------------------------------------------------- links
+
+SocketPeerLink::SocketPeerLink(const std::string &socket_path,
+                               const std::string &origin, RetryPolicy policy)
+    : PeerLink(socket_path, socket_path),
+      client_("cluster:" + origin, socket_path,
+              [&policy] {
+                  // A peer link must never throw into the service hot
+                  // path, whatever policy the caller supplied.
+                  policy.degraded_mode = true;
+                  return policy;
+              }(),
+              // No client-side recorder: link spans land in the local
+              // service's recorder via the thread's active trace, and
+              // breaker transitions are recorded by the coordinator.
+              [] {
+                  obs::TraceConfig tc;
+                  tc.capacity = 0;
+                  return tc;
+              }())
+{
+}
+
+LookupResult
+SocketPeerLink::lookup(const std::string &function,
+                       const std::string &key_type, const FeatureVector &key,
+                       const std::string &origin)
+{
+    return client_.peerLookup(function, key_type, key, origin);
+}
+
+bool
+SocketPeerLink::put(const PotluckService::PutEvent &event,
+                    const std::string &origin)
+{
+    return client_.peerPut(event.function, event.key_type, event.key,
+                           event.value, origin, event.compute_overhead_us);
+}
+
+int
+SocketPeerLink::state() const
+{
+    return static_cast<int>(client_.breakerState());
+}
+
+LocalPeerLink::LocalPeerLink(std::string tag, PotluckService &target)
+    : PeerLink(std::move(tag), ""), target_(target)
+{
+}
+
+LookupResult
+LocalPeerLink::lookup(const std::string &function,
+                      const std::string &key_type, const FeatureVector &key,
+                      const std::string &origin)
+{
+    try {
+        return target_.lookup(std::string(kReplicaAppPrefix) + origin,
+                              function, key_type, key);
+    } catch (const FatalError &) {
+        // Slot not registered on the peer: a federated miss.
+        return LookupResult{};
+    }
+}
+
+bool
+LocalPeerLink::put(const PotluckService::PutEvent &event,
+                   const std::string &origin)
+{
+    // Create the target slot on demand; a conflicting existing
+    // registration wins (the peer knows its own index needs).
+    KeyTypeConfig cfg;
+    cfg.name = event.key_type;
+    try {
+        target_.registerKeyType(event.function, cfg);
+    } catch (const FatalError &) {
+    }
+    PutOptions options;
+    options.app = std::string(kReplicaAppPrefix) + origin;
+    options.compute_overhead_us = event.compute_overhead_us;
+    try {
+        target_.put(event.function, event.key_type, event.key, event.value,
+                    options);
+    } catch (const FatalError &) {
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------- coordinator
+
+ClusterCoordinator::ClusterCoordinator(PotluckService &local,
+                                       ClusterConfig config)
+    : local_(local), cfg_(std::move(config)),
+      alive_(std::make_shared<std::atomic<bool>>(true))
+{
+    if (cfg_.self_endpoint.empty())
+        cfg_.self_endpoint = cfg_.self_tag;
+    POTLUCK_ASSERT(!cfg_.self_endpoint.empty(), "empty cluster identity");
+
+    obs::MetricsRegistry &reg = local_.metrics();
+    remote_hit_ = &reg.counter("cluster.remote_hit");
+    remote_miss_ = &reg.counter("cluster.remote_miss");
+    forwarded_puts_ = &reg.counter("cluster.forwarded_puts");
+    replica_dropped_ = &reg.counter("cluster.replica_dropped");
+    peer_errors_ = &reg.counter("cluster.peer_errors");
+    queue_depth_ = &reg.gauge("cluster.replica_queue_depth");
+    if (local_.config().enable_tracing)
+        remote_lookup_ns_ = &reg.histogram("cluster.remote_lookup_ns");
+
+    for (const std::string &sock : cfg_.peer_sockets) {
+        addLink(std::make_unique<SocketPeerLink>(sock, cfg_.self_tag,
+                                                 cfg_.link_policy));
+    }
+
+    if (!cfg_.synchronous) {
+        size_t n = std::max<size_t>(1, cfg_.worker_threads);
+        workers_.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+ClusterCoordinator::~ClusterCoordinator()
+{
+    alive_->store(false, std::memory_order_release);
+    if (installed_ && cfg_.forward_misses)
+        local_.setMissHandler(nullptr);
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ClusterCoordinator::addLink(std::unique_ptr<PeerLink> link)
+{
+    POTLUCK_ASSERT(!ring_, "cluster membership is frozen once traffic "
+                           "starts; add peers before install()");
+    size_t i = links_.size();
+    std::string prefix = "cluster.peer." + std::to_string(i);
+    obs::MetricsRegistry &reg = local_.metrics();
+    auto lo = std::make_unique<LinkObs>();
+    lo->state_gauge = &reg.gauge(prefix + ".state");
+    lo->forwarded_puts = &reg.counter(prefix + ".forwarded_puts");
+    lo->remote_hits = &reg.counter(prefix + ".remote_hits");
+    lo->errors = &reg.counter(prefix + ".errors");
+    link_obs_.push_back(std::move(lo));
+    links_.push_back(std::move(link));
+}
+
+void
+ClusterCoordinator::addLocalPeer(const std::string &tag,
+                                 PotluckService &target)
+{
+    addLink(std::make_unique<LocalPeerLink>(tag, target));
+}
+
+void
+ClusterCoordinator::ensureRing()
+{
+    std::call_once(ring_once_, [this] {
+        std::vector<std::string> members;
+        members.reserve(links_.size() + 1);
+        members.push_back(cfg_.self_endpoint);
+        for (const auto &link : links_) {
+            // Socket links carry their ring identity in endpoint();
+            // local links fall back to their tag.
+            members.push_back(link->endpoint().empty() ? link->tag()
+                                                       : link->endpoint());
+        }
+        ring_ = std::make_unique<PeerRing>(std::move(members),
+                                           cfg_.virtual_nodes);
+    });
+}
+
+void
+ClusterCoordinator::install()
+{
+    POTLUCK_ASSERT(!installed_, "cluster coordinator installed twice");
+    ensureRing();
+    installed_ = true;
+    auto alive = alive_;
+    if (cfg_.forward_misses && !links_.empty()) {
+        local_.setMissHandler(
+            [this, alive](const PotluckService::MissContext &ctx,
+                          LookupResult &out) {
+                if (!alive->load(std::memory_order_acquire))
+                    return false;
+                return onLocalMiss(ctx, out);
+            });
+    }
+    local_.addPutObserver([this, alive](const PotluckService::PutEvent &e) {
+        if (!alive->load(std::memory_order_acquire))
+            return;
+        onLocalPut(e);
+    });
+}
+
+bool
+ClusterCoordinator::onLocalMiss(const PotluckService::MissContext &ctx,
+                                LookupResult &out)
+{
+    // Peer-originated lookups stop here: a forwarded miss that misses
+    // again is final (hop limit 1).
+    if (startsWith(ctx.app, kReplicaAppPrefix))
+        return false;
+    if (links_.empty())
+        return false;
+    ensureRing();
+    size_t owner = ring_->ownerOf(ctx.function, ctx.key_type);
+    if (owner == 0)
+        return false; // we own the slot: the local miss is authoritative
+    size_t li = owner - 1;
+    PeerLink &link = *links_[li];
+
+    LookupResult remote;
+    {
+        // Stitched into the in-flight request trace (the server handler
+        // opened one on this thread), so the dump shows
+        // ipc.handle -> service.lookup -> cluster.remote_lookup ->
+        // ipc.round_trip with the peer's spans joining via the wire
+        // TraceContext.
+        POTLUCK_TRACE_NAMED_SPAN(span, "cluster.remote_lookup",
+                                 remote_lookup_ns_, link.tag().c_str());
+        remote = link.lookup(ctx.function, ctx.key_type, ctx.key,
+                             cfg_.self_tag);
+    }
+    noteLinkState(li);
+    if (!remote.hit) {
+        remote_miss_->inc();
+        return false;
+    }
+    remote_hit_->inc();
+    link_obs_[li]->remote_hits->inc();
+
+    if (cfg_.seed_remote_hits) {
+        // Seed the local cache so the next nearby lookup hits without
+        // a network hop. Tagged as replica traffic: our own put
+        // observer skips it, so it is never replicated back out.
+        PutOptions options;
+        options.app = std::string(kReplicaAppPrefix) + link.tag();
+        options.compute_overhead_us = 0.0;
+        local_.put(ctx.function, ctx.key_type, ctx.key, remote.value,
+                   options);
+    }
+    out = std::move(remote);
+    return true;
+}
+
+void
+ClusterCoordinator::onLocalPut(const PotluckService::PutEvent &event)
+{
+    // Replica-tagged events arrived FROM the federation (or from a
+    // remote-hit seed): forwarding them again would loop.
+    if (isReplicatedEvent(event))
+        return;
+    if (links_.empty() || cfg_.replicas == 0)
+        return;
+    ensureRing();
+
+    std::vector<size_t> targets;
+    for (size_t m : ring_->ringOrder(event.function, event.key_type)) {
+        if (m == 0)
+            continue; // this node already stores the entry
+        targets.push_back(m - 1);
+        if (targets.size() >= cfg_.replicas)
+            break;
+    }
+    if (targets.empty())
+        return;
+    forwarded_puts_->inc();
+
+    if (cfg_.synchronous) {
+        deliver(event, targets);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (queue_.size() >= cfg_.replica_queue_capacity) {
+            // Drop-oldest backpressure: under sustained overload the
+            // newest results are the ones worth replicating.
+            queue_.pop_front();
+            replica_dropped_->inc();
+            dropped_total_.fetch_add(1, std::memory_order_relaxed);
+        }
+        queue_.push_back(Job{event, std::move(targets)});
+        queue_depth_->set(static_cast<int64_t>(queue_.size()));
+    }
+    queue_cv_.notify_one();
+}
+
+void
+ClusterCoordinator::deliver(const PotluckService::PutEvent &event,
+                            const std::vector<size_t> &targets)
+{
+    for (size_t li : targets) {
+        // Always attempt: with the breaker open the link refuses
+        // instantly (degraded), and the attempt is what lets the
+        // half-open probe through once the cooldown elapses.
+        bool ok = links_[li]->put(event, cfg_.self_tag);
+        noteLinkState(li);
+        if (ok) {
+            link_obs_[li]->forwarded_puts->inc();
+        } else {
+            link_obs_[li]->errors->inc();
+            peer_errors_->inc();
+        }
+    }
+}
+
+void
+ClusterCoordinator::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_)
+                return; // pending jobs are shed; the cache is best-effort
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++in_flight_;
+            queue_depth_->set(static_cast<int64_t>(queue_.size()));
+        }
+        deliver(job.event, job.targets);
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            --in_flight_;
+        }
+        drain_cv_.notify_all();
+    }
+}
+
+void
+ClusterCoordinator::noteLinkState(size_t li)
+{
+    LinkObs &lo = *link_obs_[li];
+    int state = links_[li]->state();
+    int prev = lo.last_state.exchange(state, std::memory_order_relaxed);
+    if (prev == state)
+        return;
+    lo.state_gauge->set(state);
+    if (obs::FlightRecorder *rec = local_.recorder()) {
+        obs::recordDecision(rec, obs::DecisionKind::PeerStateChange,
+                            "cluster.peer", links_[li]->tag(),
+                            static_cast<double>(prev),
+                            static_cast<double>(state), 0.0, li);
+    }
+    POTLUCK_WARN("cluster peer '" << links_[li]->tag() << "' "
+                                  << (state == 2 ? "degraded (breaker open)"
+                                      : state == 1 ? "probing (half-open)"
+                                                   : "recovered"));
+}
+
+ClusterStatus
+ClusterCoordinator::status()
+{
+    ClusterStatus st;
+    st.enabled = true;
+    st.self_tag = cfg_.self_tag;
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        st.replica_queue_depth = queue_.size() + in_flight_;
+    }
+    st.replica_dropped = dropped_total_.load(std::memory_order_relaxed);
+    st.peers.reserve(links_.size());
+    for (size_t i = 0; i < links_.size(); ++i) {
+        PeerStatus p;
+        p.tag = links_[i]->tag();
+        p.endpoint = links_[i]->endpoint();
+        p.state = static_cast<uint8_t>(links_[i]->state());
+        p.forwarded_puts = link_obs_[i]->forwarded_puts->value();
+        p.remote_hits = link_obs_[i]->remote_hits->value();
+        p.errors = link_obs_[i]->errors->value();
+        st.peers.push_back(std::move(p));
+    }
+    return st;
+}
+
+const std::string &
+ClusterCoordinator::ownerEndpoint(const std::string &function,
+                                  const std::string &key_type)
+{
+    ensureRing();
+    return ring_->member(ring_->ownerOf(function, key_type));
+}
+
+void
+ClusterCoordinator::drain()
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    drain_cv_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+} // namespace potluck::cluster

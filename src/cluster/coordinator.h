@@ -1,0 +1,301 @@
+/**
+ * @file
+ * ClusterCoordinator: federates a local PotluckService with remote
+ * potluckd peers (DESIGN.md §11) — the paper's Section 7 cross-device
+ * deduplication, grown from the in-process replication bridge into a
+ * multi-daemon tier.
+ *
+ * Routing: a PeerRing (consistent hashing with virtual nodes over
+ * function + key type) assigns every cache slot an owning node. Two
+ * hooks wire the coordinator into the local service:
+ *
+ *  - MISS FORWARDING (synchronous, on the looking-up thread): a local
+ *    lookup miss on a slot owned by a peer is forwarded to that peer
+ *    via kPeerLookup. A remote hit is returned to the application and
+ *    seeded into the local cache (tagged "replica:<peer>") so the next
+ *    nearby lookup is local.
+ *
+ *  - PUT REPLICATION (asynchronous): every local put fans out via
+ *    kPeerPut to the slot's first `replicas` ring successors
+ *    (excluding this node) from a bounded queue drained by dedicated
+ *    worker threads. When the queue is full the OLDEST job is dropped
+ *    (drop-oldest backpressure): replicating a newer result is worth
+ *    more than an older one, and the cache is best-effort anyway.
+ *
+ * Loop prevention is two-layer: peer-originated traffic executes as
+ * app "replica:<origin>", which both hooks skip, and the wire verbs
+ * carry a hop count that the receiving listener rejects past 1.
+ *
+ * Failure semantics: each socket link is a PotluckClient with its own
+ * RetryPolicy + circuit breaker in degraded mode, so a dead peer costs
+ * one refused round trip (then a breaker branch) and the node falls
+ * back to exactly the single-daemon behaviour; half-open probes
+ * re-attach the peer when it returns. The coordinator never throws
+ * into the service hot path.
+ *
+ * Threading/lifetime: hooks are installed with install() BEFORE the
+ * daemon serves traffic, and the coordinator must outlive all traffic
+ * (the daemon destroys the server first). Worker threads only touch
+ * the queue and the links, never the local service's locks.
+ */
+#ifndef POTLUCK_CLUSTER_COORDINATOR_H
+#define POTLUCK_CLUSTER_COORDINATOR_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/peer_ring.h"
+#include "core/potluck_service.h"
+#include "ipc/client.h"
+#include "ipc/retry.h"
+
+namespace potluck::cluster {
+
+/**
+ * Link policy tuned for peer forwarding: a peer is an optimization,
+ * not a dependency, so give up fast (2 attempts, 500 ms frame
+ * deadline), open the breaker after 3 consecutive failures, and probe
+ * again after 1 s. Always degraded mode — a dead peer must read as a
+ * miss, never as an exception on the service hot path.
+ */
+RetryPolicy defaultLinkPolicy();
+
+/** Tunables for a ClusterCoordinator. */
+struct ClusterConfig
+{
+    /** This node's display/origin tag ("replica:<self_tag>" marks the
+     * entries it replicates out). */
+    std::string self_tag = "node";
+
+    /**
+     * This node's RING identity. Every node must place every member at
+     * the same ring points, so identities must be strings the whole
+     * cluster agrees on: the daemon uses socket paths (its own
+     * --socket value, and each --peers entry). Defaults to self_tag.
+     */
+    std::string self_endpoint;
+
+    /** Peer daemon socket paths (each becomes a SocketPeerLink). */
+    std::vector<std::string> peer_sockets;
+
+    /** Ring successors (excluding self) each put is replicated to. */
+    size_t replicas = 1;
+
+    /** Ring points per member. */
+    size_t virtual_nodes = 64;
+
+    /** Bounded replication queue; beyond it the oldest job is shed. */
+    size_t replica_queue_capacity = 1024;
+
+    /** Dedicated replication worker threads (async mode). */
+    size_t worker_threads = 2;
+
+    /** Forward local lookup misses to the owning peer. */
+    bool forward_misses = true;
+
+    /**
+     * Deliver replica puts inline on the putting thread instead of
+     * queueing (no worker threads). Used by the loopback
+     * connectReplication bridge, whose callers expect put-then-lookup
+     * on the peer to hit immediately.
+     */
+    bool synchronous = false;
+
+    /** Seed the local cache when a forwarded miss hits remotely. */
+    bool seed_remote_hits = true;
+
+    /** Per-peer-link failure handling (degraded_mode is forced on). */
+    RetryPolicy link_policy = defaultLinkPolicy();
+};
+
+/** One directed link to a peer node. */
+class PeerLink
+{
+  public:
+    PeerLink(std::string tag, std::string endpoint)
+        : tag_(std::move(tag)), endpoint_(std::move(endpoint))
+    {
+    }
+    virtual ~PeerLink() = default;
+
+    /** Display name (socket path for socket links). */
+    const std::string &tag() const { return tag_; }
+    /** Ring identity; must match what peers use for this node. */
+    const std::string &endpoint() const { return endpoint_; }
+
+    /** Forward a miss; returns a miss when the peer is unreachable. */
+    virtual LookupResult lookup(const std::string &function,
+                                const std::string &key_type,
+                                const FeatureVector &key,
+                                const std::string &origin) = 0;
+
+    /** Replicate a put; false when dropped (down or refused). */
+    virtual bool put(const PotluckService::PutEvent &event,
+                     const std::string &origin) = 0;
+
+    /** CircuitBreaker::State as int (0 up / 1 half-open / 2 open);
+     * in-process links are always 0. */
+    virtual int state() const = 0;
+
+  private:
+    std::string tag_;
+    std::string endpoint_;
+};
+
+/** Socket link: wraps a PotluckClient (retry + breaker + reconnect). */
+class SocketPeerLink : public PeerLink
+{
+  public:
+    SocketPeerLink(const std::string &socket_path, const std::string &origin,
+                   RetryPolicy policy);
+
+    LookupResult lookup(const std::string &function,
+                        const std::string &key_type, const FeatureVector &key,
+                        const std::string &origin) override;
+    bool put(const PotluckService::PutEvent &event,
+             const std::string &origin) override;
+    int state() const override;
+
+  private:
+    PotluckClient client_;
+};
+
+/** In-process link to another PotluckService (tests, loopback
+ * replication bridge). */
+class LocalPeerLink : public PeerLink
+{
+  public:
+    LocalPeerLink(std::string tag, PotluckService &target);
+
+    LookupResult lookup(const std::string &function,
+                        const std::string &key_type, const FeatureVector &key,
+                        const std::string &origin) override;
+    bool put(const PotluckService::PutEvent &event,
+             const std::string &origin) override;
+    int state() const override { return 0; }
+
+  private:
+    PotluckService &target_;
+};
+
+/** Federation coordinator for one local service. */
+class ClusterCoordinator
+{
+  public:
+    /**
+     * Creates a SocketPeerLink per config.peer_sockets entry (an
+     * unreachable peer starts degraded and recovers via half-open
+     * probes) and, in async mode, starts the replication workers.
+     */
+    ClusterCoordinator(PotluckService &local, ClusterConfig config);
+
+    /** Stops workers (pending replica jobs are dropped) and clears
+     * the miss handler. Destroy only after traffic has stopped. */
+    ~ClusterCoordinator();
+
+    ClusterCoordinator(const ClusterCoordinator &) = delete;
+    ClusterCoordinator &operator=(const ClusterCoordinator &) = delete;
+
+    /** Add an in-process peer (before install()/first traffic). */
+    void addLocalPeer(const std::string &tag, PotluckService &target);
+
+    /** Install the miss handler and put observer into the local
+     * service. Call once, before serving traffic. */
+    void install();
+
+    /// @name Hooks (public so the replication bridge can wire its own
+    /// observer with a shared_ptr lifetime).
+    /// @{
+    bool onLocalMiss(const PotluckService::MissContext &ctx,
+                     LookupResult &out);
+    void onLocalPut(const PotluckService::PutEvent &event);
+    /// @}
+
+    /** Cluster status for the kPeers verb / `potluck_cli peers`. */
+    ClusterStatus status();
+
+    /** Ring identity of the member owning a slot (tests, benches). */
+    const std::string &ownerEndpoint(const std::string &function,
+                                     const std::string &key_type);
+
+    /** Block until the replication queue is fully delivered. */
+    void drain();
+
+    size_t queueDepth();
+    size_t numPeers() const { return links_.size(); }
+    const ClusterConfig &config() const { return cfg_; }
+
+  private:
+    /** Per-link observability + breaker-transition memory. */
+    struct LinkObs
+    {
+        obs::Gauge *state_gauge = nullptr;
+        obs::Counter *forwarded_puts = nullptr;
+        obs::Counter *remote_hits = nullptr;
+        obs::Counter *errors = nullptr;
+        std::atomic<int> last_state{0};
+    };
+
+    /** One queued replication job: the event plus its target links. */
+    struct Job
+    {
+        PotluckService::PutEvent event;
+        std::vector<size_t> targets; ///< indices into links_
+    };
+
+    void addLink(std::unique_ptr<PeerLink> link);
+    /** Build the ring on first use (members frozen from then on). */
+    void ensureRing();
+    void workerLoop();
+    void deliver(const PotluckService::PutEvent &event,
+                 const std::vector<size_t> &targets);
+    /** Publish a link's breaker state; records a PeerStateChange
+     * decision event on transitions. */
+    void noteLinkState(size_t li);
+
+    PotluckService &local_;
+    ClusterConfig cfg_;
+
+    std::vector<std::unique_ptr<PeerLink>> links_;
+    std::vector<std::unique_ptr<LinkObs>> link_obs_;
+
+    std::once_flag ring_once_;
+    std::unique_ptr<PeerRing> ring_; ///< built by ensureRing()
+
+    /** Guards the hooks against firing into a destroyed coordinator
+     * (shared with the installed lambdas). */
+    std::shared_ptr<std::atomic<bool>> alive_;
+    bool installed_ = false;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::condition_variable drain_cv_;
+    std::deque<Job> queue_;     ///< under queue_mutex_
+    size_t in_flight_ = 0;      ///< jobs taken but not yet delivered
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+
+    std::atomic<uint64_t> dropped_total_{0};
+
+    /// @name Cached registry pointers (cluster.* in local_.metrics()).
+    /// @{
+    obs::Counter *remote_hit_;
+    obs::Counter *remote_miss_;
+    obs::Counter *forwarded_puts_;
+    obs::Counter *replica_dropped_;
+    obs::Counter *peer_errors_;
+    obs::Gauge *queue_depth_;
+    obs::LatencyHistogram *remote_lookup_ns_ = nullptr;
+    /// @}
+};
+
+} // namespace potluck::cluster
+
+#endif // POTLUCK_CLUSTER_COORDINATOR_H

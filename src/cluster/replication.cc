@@ -1,0 +1,57 @@
+/**
+ * The in-process replication bridge of core/replication.h, now
+ * implemented on the cluster tier: connectReplication is a loopback
+ * ClusterCoordinator with one LocalPeerLink, synchronous delivery and
+ * miss forwarding off — one code path for "replicate my puts to that
+ * service", whether the target is in-process or a federated daemon.
+ */
+#include "core/replication.h"
+
+#include "cluster/coordinator.h"
+#include "util/stringutil.h"
+
+namespace potluck {
+
+bool
+isReplicatedEvent(const PotluckService::PutEvent &event)
+{
+    return startsWith(event.app, kReplicaAppPrefix);
+}
+
+void
+connectReplication(PotluckService &from, PotluckService &to,
+                   const std::string &origin_tag)
+{
+    cluster::ClusterConfig cfg;
+    cfg.self_tag = origin_tag;
+    // Private two-member ring; the identities only need to be unique
+    // within this bridge.
+    cfg.self_endpoint = "loopback:" + origin_tag + ":self";
+    cfg.replicas = 1;
+    cfg.forward_misses = false;
+    // The bridge contract is synchronous: put on `from`, then lookup
+    // on `to` immediately — so deliver inline, no queue, no workers.
+    cfg.synchronous = true;
+    auto coordinator =
+        std::make_shared<cluster::ClusterCoordinator>(from, cfg);
+    coordinator->addLocalPeer("loopback:" + origin_tag + ":peer", to);
+    // The observer owns the coordinator: it lives exactly as long as
+    // the service that fires it (observers are never removed).
+    from.addPutObserver(
+        [coordinator](const PotluckService::PutEvent &event) {
+            coordinator->onLocalPut(event);
+        });
+}
+
+void
+connectReplicationSink(PotluckService &from,
+                       PotluckService::PutObserver sink)
+{
+    from.addPutObserver(
+        [sink = std::move(sink)](const PotluckService::PutEvent &event) {
+            if (!startsWith(event.app, kReplicaAppPrefix))
+                sink(event);
+        });
+}
+
+} // namespace potluck

@@ -1,8 +1,23 @@
 #include "core/app_listener.h"
 
+#include "core/replication.h"
 #include "util/logging.h"
 
 namespace potluck {
+
+namespace {
+
+/** Executing app for a peer-originated request: the replica prefix
+ * marks the entry/lookup as federation traffic, so the receiving
+ * node's own coordinator never forwards it again. */
+std::string
+peerApp(const Request &request)
+{
+    return std::string(kReplicaAppPrefix) +
+           (request.origin.empty() ? "peer" : request.origin);
+}
+
+} // namespace
 
 AppListener::AppListener(PotluckService &service, size_t threads)
     : service_(service), pool_(threads)
@@ -21,6 +36,12 @@ AppListener::handle(const Request &request)
         reply.error = e.what();
         return reply;
     }
+}
+
+void
+AppListener::setClusterStatusProvider(std::function<ClusterStatus()> provider)
+{
+    cluster_provider_ = std::move(provider);
 }
 
 std::future<Reply>
@@ -111,6 +132,49 @@ AppListener::execute(const Request &request)
         reply.stats = service_.stats();
         reply.num_entries = service_.numEntries();
         reply.total_bytes = service_.totalBytes();
+        reply.ok = true;
+        break;
+      }
+      case RequestType::PeerLookup: {
+        if (request.hops > 1) {
+            reply.error = "peer hop limit exceeded";
+            break;
+        }
+        LookupResult result = service_.lookup(
+            peerApp(request), request.function, request.key_type,
+            request.key);
+        reply.ok = true;
+        reply.hit = result.hit;
+        reply.dropped = result.dropped;
+        reply.value = result.value;
+        reply.entry_id = result.id;
+        break;
+      }
+      case RequestType::PeerPut: {
+        if (request.hops > 1) {
+            reply.error = "peer hop limit exceeded";
+            break;
+        }
+        // Create the slot on demand; a conflicting existing
+        // registration wins (this node knows its own index needs).
+        KeyTypeConfig cfg;
+        cfg.name = request.key_type;
+        try {
+            service_.registerKeyType(request.function, cfg);
+        } catch (const FatalError &) {
+        }
+        PutOptions options;
+        options.app = peerApp(request);
+        options.ttl_us = request.ttl_us;
+        options.compute_overhead_us = request.compute_overhead_us;
+        reply.entry_id = service_.put(request.function, request.key_type,
+                                      request.key, request.value, options);
+        reply.ok = true;
+        break;
+      }
+      case RequestType::Peers: {
+        if (cluster_provider_)
+            reply.cluster = cluster_provider_();
         reply.ok = true;
         break;
       }

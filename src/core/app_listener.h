@@ -44,6 +44,40 @@ enum class RequestType : uint8_t
     /** kPutBatch: many puts of one (function, key type), sharing the
      * same ttl/overhead options, in a single frame. */
     PutBatch = 9,
+    /** kPeerLookup: a federated daemon forwarding a local miss to the
+     * slot's owning peer (DESIGN.md §11). Carries an origin tag and a
+     * hop count; executed as app "replica:<origin>" so the answer is
+     * never re-forwarded. */
+    PeerLookup = 10,
+    /** kPeerPut: asynchronous cross-node replication of a local put,
+     * same origin/hop envelope as kPeerLookup. The target slot is
+     * created on demand with default settings. */
+    PeerPut = 11,
+    /** kPeers: cluster status — peer table, link states, replication
+     * queue depth — for `potluck_cli peers`. */
+    Peers = 12,
+};
+
+/** One peer link's health, as reported by the kPeers verb. */
+struct PeerStatus
+{
+    std::string tag;      ///< peer's cluster tag (falls back to endpoint)
+    std::string endpoint; ///< socket path ("" for in-process links)
+    /** CircuitBreaker::State: 0 up, 1 half-open probe, 2 degraded. */
+    uint8_t state = 0;
+    uint64_t forwarded_puts = 0; ///< replica puts delivered to this peer
+    uint64_t remote_hits = 0;    ///< misses this peer answered
+    uint64_t errors = 0;         ///< failed round trips to this peer
+};
+
+/** Cluster-wide coordinator status (the kPeers reply payload). */
+struct ClusterStatus
+{
+    bool enabled = false; ///< false: daemon runs without a coordinator
+    std::string self_tag;
+    uint64_t replica_queue_depth = 0;
+    uint64_t replica_dropped = 0; ///< puts shed by backpressure
+    std::vector<PeerStatus> peers;
 };
 
 /** One (key, value) element of a kPutBatch request. */
@@ -100,6 +134,13 @@ struct Request
      * shows both halves of a trace. Bounded by the wire codec.
      */
     std::vector<obs::TraceRecord> uploaded;
+
+    /** Originating node's cluster tag (kPeerLookup / kPeerPut). */
+    std::string origin;
+
+    /** Federation hops this request already made; requests with
+     * hops > 1 are rejected (loop prevention, DESIGN.md §11). */
+    uint8_t hops = 0;
 };
 
 /** Service response to a Request. */
@@ -134,6 +175,9 @@ struct Reply
 
     /** Trace result: flight-recorder snapshot (kTrace only). */
     std::vector<obs::TraceRecord> trace_records;
+
+    /** Cluster status (kPeers only). */
+    ClusterStatus cluster;
 };
 
 /** Request executor backed by a thread pool. */
@@ -155,11 +199,19 @@ class AppListener
 
     PotluckService &service() { return service_; }
 
+    /**
+     * Source of the kPeers reply (the daemon wires the cluster
+     * coordinator's status() in here). Set once before serving
+     * traffic; without one, kPeers reports a disabled cluster.
+     */
+    void setClusterStatusProvider(std::function<ClusterStatus()> provider);
+
   private:
     Reply execute(const Request &request);
 
     PotluckService &service_;
     ThreadPool pool_;
+    std::function<ClusterStatus()> cluster_provider_;
 };
 
 } // namespace potluck

@@ -133,11 +133,18 @@ PotluckService::registerKeyType(const std::string &function,
         KeyIndex &slot = shard.table.ensure(function, cfg);
         // Share one set of per-function metrics across the function's
         // slots AND across shards (the registry returns the same
-        // object for the same name).
-        slot.fn_lookups = &metrics_->counter("fn." + function + ".lookups");
-        slot.fn_hits = &metrics_->counter("fn." + function + ".hits");
-        slot.fn_misses = &metrics_->counter("fn." + function + ".misses");
-        if (config_.enable_tracing) {
+        // object for the same name). Assign them only when the slot is
+        // new: lookup() reads these pointers through its cached slot
+        // with no shard lock held, so a re-registration (an app
+        // reconnecting, a replica delivery) must never write them —
+        // the registry would hand back the same objects anyway.
+        if (!slot.fn_lookups) {
+            slot.fn_lookups =
+                &metrics_->counter("fn." + function + ".lookups");
+            slot.fn_hits = &metrics_->counter("fn." + function + ".hits");
+            slot.fn_misses = &metrics_->counter("fn." + function + ".misses");
+        }
+        if (config_.enable_tracing && !slot.fn_lookup_ns) {
             slot.fn_lookup_ns =
                 &metrics_->histogram("fn." + function + ".lookup_ns");
         }
@@ -317,12 +324,26 @@ PotluckService::lookup(const std::string &app, const std::string &function,
     obs_.misses->inc();
     slot0->stats.misses.fetch_add(1, std::memory_order_relaxed);
     slot0->fn_misses->inc();
+    MissHandler handler;
     {
         std::lock_guard<std::mutex> meta(meta_mutex_);
         pending_miss_us_[{app, function}] = now;
+        handler = miss_handler_;
     }
     LookupResult result;
     result.nn_dist = nearest;
+    // Offer the miss to the handler with no locks held: it may
+    // re-enter this service (to seed a remotely fetched value) or call
+    // out to a peer. The local miss counters above stay bumped either
+    // way — a remote hit is still a local miss (DESIGN.md §11).
+    if (handler) {
+        LookupResult remote;
+        MissContext ctx{app, function, key_type, key};
+        if (handler(ctx, remote)) {
+            remote.nn_dist = remote.nn_dist < 0.0 ? nearest : remote.nn_dist;
+            return remote;
+        }
+    }
     return result;
 }
 
@@ -558,6 +579,13 @@ PotluckService::addPutObserver(PutObserver observer)
     POTLUCK_ASSERT(observer != nullptr, "null put observer");
     std::lock_guard<std::mutex> meta(meta_mutex_);
     put_observers_.push_back(std::move(observer));
+}
+
+void
+PotluckService::setMissHandler(MissHandler handler)
+{
+    std::lock_guard<std::mutex> meta(meta_mutex_);
+    miss_handler_ = std::move(handler);
 }
 
 double

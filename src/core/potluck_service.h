@@ -169,6 +169,31 @@ class PotluckService
      */
     void addPutObserver(PutObserver observer);
 
+    /**
+     * A lookup that missed locally, offered to the miss handler before
+     * the miss is returned to the caller (the cluster coordinator's
+     * remote-forwarding hook).
+     */
+    struct MissContext
+    {
+        const std::string &app;
+        const std::string &function;
+        const std::string &key_type;
+        const FeatureVector &key;
+    };
+
+    /**
+     * Handler consulted on every local lookup miss; returning true
+     * (after filling `result`) converts the miss into a hit. Invoked
+     * on the looking-up thread with NO service locks held, so it may
+     * re-enter lookup()/put() on this or another service. At most one
+     * handler; pass nullptr to clear. Not synchronized against
+     * in-flight lookups — install before serving traffic.
+     */
+    using MissHandler =
+        std::function<bool(const MissContext &, LookupResult &)>;
+    void setMissHandler(MissHandler handler);
+
     /// @name Reputation defense (enabled via config.enable_reputation).
     /// @{
     double reputationScore(const std::string &app) const;
@@ -405,6 +430,7 @@ class PotluckService
 
     ReputationTracker reputation_;
     std::vector<PutObserver> put_observers_;
+    MissHandler miss_handler_; ///< under meta_mutex_; invoked lock-free
 };
 
 } // namespace potluck

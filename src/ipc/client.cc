@@ -436,6 +436,87 @@ PotluckClient::putBatch(const std::string &function,
     return std::move(reply.batch_entry_ids);
 }
 
+LookupResult
+PotluckClient::peerLookup(const std::string &function,
+                          const std::string &key_type,
+                          const FeatureVector &key, const std::string &origin)
+{
+    // No TraceScope here: the coordinator calls this from inside the
+    // local service's lookup, so a trace is usually already active on
+    // this thread and the round-trip span nests under it (and carries
+    // the trace context to the peer).
+    Request request;
+    request.type = RequestType::PeerLookup;
+    request.app = app_;
+    request.function = function;
+    request.key_type = key_type;
+    request.key = key;
+    request.origin = origin;
+    request.hops = 1;
+    Reply reply;
+    try {
+        reply = roundTrip(request);
+    } catch (const TransportError &) {
+        if (!policy_.degraded_mode)
+            throw;
+        degraded_lookups_->inc();
+        return LookupResult{};
+    }
+    if (!reply.ok) {
+        // The peer executed but refused (hop limit, unregistered slot):
+        // a federated miss, not a failure worth killing the caller for.
+        return LookupResult{};
+    }
+    LookupResult result;
+    result.hit = reply.hit;
+    result.dropped = reply.dropped;
+    result.value = reply.value;
+    result.id = reply.entry_id;
+    return result;
+}
+
+bool
+PotluckClient::peerPut(const std::string &function,
+                       const std::string &key_type, const FeatureVector &key,
+                       Value value, const std::string &origin,
+                       std::optional<double> compute_overhead_us,
+                       std::optional<uint64_t> ttl_us)
+{
+    Request request;
+    request.type = RequestType::PeerPut;
+    request.app = app_;
+    request.function = function;
+    request.key_type = key_type;
+    request.key = key;
+    request.value = std::move(value);
+    request.origin = origin;
+    request.hops = 1;
+    request.compute_overhead_us = compute_overhead_us;
+    request.ttl_us = ttl_us;
+    Reply reply;
+    try {
+        reply = roundTrip(request);
+    } catch (const TransportError &) {
+        if (!policy_.degraded_mode)
+            throw;
+        degraded_puts_->inc();
+        return false;
+    }
+    return reply.ok;
+}
+
+ClusterStatus
+PotluckClient::fetchPeers()
+{
+    Request request;
+    request.type = RequestType::Peers;
+    request.app = app_;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("peers fetch failed: " << reply.error);
+    return std::move(reply.cluster);
+}
+
 PotluckClient::RemoteStats
 PotluckClient::fetchStats()
 {

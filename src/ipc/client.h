@@ -108,6 +108,39 @@ class PotluckClient
         std::optional<uint64_t> ttl_us = std::nullopt,
         std::optional<double> compute_overhead_us = std::nullopt);
 
+    /// @name Federation verbs (used by the cluster coordinator).
+    /// @{
+
+    /**
+     * Forward a local lookup miss to this (owning) peer — the
+     * kPeerLookup verb. `origin` is the forwarding node's cluster tag;
+     * the peer executes the lookup as app "replica:<origin>" with a
+     * hop count of 1, so the answer is never forwarded again. Degrades
+     * to a miss when the peer is down; a peer-side error (e.g. slot
+     * not registered there) is also just a miss, never fatal.
+     */
+    LookupResult peerLookup(const std::string &function,
+                            const std::string &key_type,
+                            const FeatureVector &key,
+                            const std::string &origin);
+
+    /**
+     * Replicate a local put to this peer — the kPeerPut verb. The
+     * peer creates the slot on demand and stores the entry under app
+     * "replica:<origin>". Returns false when the put was dropped
+     * (degraded link or peer-side error).
+     */
+    bool peerPut(const std::string &function, const std::string &key_type,
+                 const FeatureVector &key, Value value,
+                 const std::string &origin,
+                 std::optional<double> compute_overhead_us = std::nullopt,
+                 std::optional<uint64_t> ttl_us = std::nullopt);
+
+    /** Fetch the daemon's cluster status (the kPeers verb). Throws
+     * TransportError when unreachable past the retry budget. */
+    ClusterStatus fetchPeers();
+    /// @}
+
     /** Service-wide counters and cache occupancy. */
     struct RemoteStats
     {

@@ -245,6 +245,8 @@ constexpr uint64_t kMaxBatchItems = 4096;
 /** Hard bound on records in a kTrace reply (a hostile peer cannot
  * force an unbounded allocation; real recorders are far smaller). */
 constexpr uint64_t kMaxTraceRecords = 1 << 20;
+/** Hard bound on peer rows in a kPeers reply. */
+constexpr uint64_t kMaxPeerEntries = 1024;
 
 void
 writeTraceRecord(Writer &w, const obs::TraceRecord &record)
@@ -274,7 +276,7 @@ readTraceRecord(Reader &r)
         POTLUCK_FATAL("bad trace record kind: " << int(kind));
     record.kind = static_cast<obs::RecordKind>(kind);
     uint8_t decision = r.u8();
-    if (decision > static_cast<uint8_t>(obs::DecisionKind::BreakerTransition))
+    if (decision > static_cast<uint8_t>(obs::DecisionKind::PeerStateChange))
         POTLUCK_FATAL("bad trace decision kind: " << int(decision));
     record.decision = static_cast<obs::DecisionKind>(decision);
     record.proc = r.u8();
@@ -343,6 +345,10 @@ encodeRequest(const Request &request)
         w.floats(item.key.values());
         w.blob(item.value);
     }
+    // Federation envelope (appended last, same evolution rule as the
+    // batch fields; two cheap fields on non-peer verbs).
+    w.str(request.origin);
+    w.u8(request.hops);
     return w.take();
 }
 
@@ -387,6 +393,8 @@ decodeRequest(const std::vector<uint8_t> &bytes)
         item.value = r.blob();
         request.batch_puts.push_back(std::move(item));
     }
+    request.origin = r.str();
+    request.hops = r.u8();
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in request frame");
     return request;
@@ -430,6 +438,21 @@ encodeReply(const Reply &reply)
     w.u64(reply.batch_entry_ids.size());
     for (EntryId id : reply.batch_entry_ids)
         w.u64(id);
+    // Cluster status (appended last; a handful of bytes on non-kPeers
+    // verbs).
+    w.u8(reply.cluster.enabled ? 1 : 0);
+    w.str(reply.cluster.self_tag);
+    w.u64(reply.cluster.replica_queue_depth);
+    w.u64(reply.cluster.replica_dropped);
+    w.u64(reply.cluster.peers.size());
+    for (const PeerStatus &p : reply.cluster.peers) {
+        w.str(p.tag);
+        w.str(p.endpoint);
+        w.u8(p.state);
+        w.u64(p.forwarded_puts);
+        w.u64(p.remote_hits);
+        w.u64(p.errors);
+    }
     return w.take();
 }
 
@@ -483,6 +506,24 @@ decodeReply(const std::vector<uint8_t> &bytes)
     reply.batch_entry_ids.reserve(n_batch_ids);
     for (uint64_t i = 0; i < n_batch_ids; ++i)
         reply.batch_entry_ids.push_back(r.u64());
+    reply.cluster.enabled = r.u8() != 0;
+    reply.cluster.self_tag = r.str();
+    reply.cluster.replica_queue_depth = r.u64();
+    reply.cluster.replica_dropped = r.u64();
+    uint64_t n_peers = r.u64();
+    if (n_peers > kMaxPeerEntries)
+        POTLUCK_FATAL("too many peer entries in reply: " << n_peers);
+    reply.cluster.peers.reserve(n_peers);
+    for (uint64_t i = 0; i < n_peers; ++i) {
+        PeerStatus p;
+        p.tag = r.str();
+        p.endpoint = r.str();
+        p.state = r.u8();
+        p.forwarded_puts = r.u64();
+        p.remote_hits = r.u64();
+        p.errors = r.u64();
+        reply.cluster.peers.push_back(std::move(p));
+    }
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in reply frame");
     return reply;

@@ -259,7 +259,9 @@ PotluckServer::serveClient(FrameSocket client)
                 bool traced = request.type == RequestType::Lookup ||
                               request.type == RequestType::Put ||
                               request.type == RequestType::LookupBatch ||
-                              request.type == RequestType::PutBatch;
+                              request.type == RequestType::PutBatch ||
+                              request.type == RequestType::PeerLookup ||
+                              request.type == RequestType::PeerPut;
                 obs::TraceScope trace_scope(traced ? recorder_ : nullptr,
                                             "ipc.handle", request.trace,
                                             obs::kProcService);

@@ -55,6 +55,10 @@ class PotluckServer
 
     const std::string &socketPath() const { return socket_path_; }
 
+    /** The request executor (the daemon wires the cluster status
+     * provider through here). */
+    AppListener &listener() { return listener_; }
+
     /** Number of connections served so far. */
     uint64_t connectionsServed() const { return connections_; }
 

@@ -77,8 +77,9 @@ enum class DecisionKind : uint8_t
     Eviction = 1,         ///< a/b/c = overhead_us/access_freq/size_bytes
     ThresholdTighten = 2, ///< a/b/c = before/after/nn_dist
     ThresholdLoosen = 3,  ///< a/b/c = before/after/nn_dist
-    ExpirySweep = 4,      ///< u = entries cleared
-    BreakerTransition = 5 ///< a/b = from/to CircuitBreaker::State
+    ExpirySweep = 4,       ///< u = entries cleared
+    BreakerTransition = 5, ///< a/b = from/to CircuitBreaker::State
+    PeerStateChange = 6    ///< a/b = from/to peer-link state, u = peer idx
 };
 
 /**

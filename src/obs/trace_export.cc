@@ -82,6 +82,12 @@ decisionArgsJson(const TraceRecord &r)
             << "\",\"to\":\"" << breakerStateName(static_cast<int>(r.b))
             << "\"";
         break;
+      case DecisionKind::PeerStateChange:
+        out << "\"peer\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"from\":\"" << breakerStateName(static_cast<int>(r.a))
+            << "\",\"to\":\"" << breakerStateName(static_cast<int>(r.b))
+            << "\",\"peer_index\":" << r.u;
+        break;
       case DecisionKind::None:
         out << "\"detail\":\"" << jsonEscape(r.detail) << "\"";
         break;
@@ -117,6 +123,11 @@ decisionArgsHuman(const TraceRecord &r)
                       breakerStateName(static_cast<int>(r.a)),
                       breakerStateName(static_cast<int>(r.b)));
         break;
+      case DecisionKind::PeerStateChange:
+        std::snprintf(buf, sizeof(buf), "peer=%s %s -> %s", r.detail,
+                      breakerStateName(static_cast<int>(r.a)),
+                      breakerStateName(static_cast<int>(r.b)));
+        break;
       case DecisionKind::None:
         std::snprintf(buf, sizeof(buf), "%s", r.detail);
         break;
@@ -140,6 +151,8 @@ decisionName(DecisionKind kind)
         return "expiry.sweep";
       case DecisionKind::BreakerTransition:
         return "breaker.transition";
+      case DecisionKind::PeerStateChange:
+        return "peer.state_change";
       case DecisionKind::None:
         return "decision";
     }

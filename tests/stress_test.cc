@@ -12,10 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cluster/coordinator.h"
 #include "core/potluck_service.h"
 #include "util/rng.h"
 
@@ -222,6 +224,83 @@ TEST(Stress, ConcurrentExactLookupsAlwaysHitResidentEntries)
     for (auto &th : threads)
         th.join();
     EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(Stress, FederatedMeshUnderConcurrentTraffic)
+{
+    // The cluster tier under TSan: three sharded services in a
+    // full mesh of in-process links, each with an async coordinator
+    // (miss forwarding + replication workers), hammered from two
+    // threads per node. Exercises the miss handler re-entering a
+    // PEER service's lookup/put while that peer's own threads hold
+    // its shard locks, and the drop-oldest queue under overflow.
+    constexpr int kNodes = 3;
+    std::vector<std::unique_ptr<PotluckService>> services;
+    for (int n = 0; n < kNodes; ++n) {
+        PotluckConfig cfg = stressConfig(4);
+        cfg.dropout_probability = 0.0;
+        services.push_back(std::make_unique<PotluckService>(cfg));
+        services.back()->registerKeyType(
+            "fa", {"vec", Metric::L2, IndexKind::KdTree});
+        services.back()->registerKeyType(
+            "fb", {"vec", Metric::L2, IndexKind::KdTree});
+    }
+    std::vector<std::unique_ptr<cluster::ClusterCoordinator>> coordinators;
+    for (int n = 0; n < kNodes; ++n) {
+        cluster::ClusterConfig ccfg;
+        ccfg.self_tag = "s" + std::to_string(n);
+        ccfg.self_endpoint = "stress_node_" + std::to_string(n);
+        ccfg.replica_queue_capacity = 16; // small: shedding interleaves
+        ccfg.worker_threads = 2;
+        auto coordinator = std::make_unique<cluster::ClusterCoordinator>(
+            *services[n], ccfg);
+        for (int p = 0; p < kNodes; ++p)
+            if (p != n)
+                coordinator->addLocalPeer(
+                    "stress_node_" + std::to_string(p), *services[p]);
+        coordinator->install();
+        coordinators.push_back(std::move(coordinator));
+    }
+
+    std::atomic<int> errors{0};
+    std::vector<std::thread> threads;
+    for (int n = 0; n < kNodes; ++n) {
+        for (int t = 0; t < 2; ++t) {
+            threads.emplace_back([&, n, t]() {
+                try {
+                    Rng rng(5000 + static_cast<uint64_t>(n * 8 + t));
+                    PotluckService &svc = *services[n];
+                    std::string app = "app" + std::to_string(n);
+                    for (int i = 0; i < 150; ++i) {
+                        uint64_t x = static_cast<uint64_t>(
+                            rng.uniformInt(0, 99));
+                        const char *fn = (x % 2) ? "fa" : "fb";
+                        FeatureVector key = keyOf(x, 8);
+                        svc.lookup(app, fn, "vec", key);
+                        if (i % 2 == 0) {
+                            PutOptions opts;
+                            opts.app = app;
+                            opts.compute_overhead_us = 100.0;
+                            svc.put(fn, "vec", key, encodeInt(
+                                static_cast<int64_t>(x)), opts);
+                        }
+                        if (i % 50 == 0)
+                            svc.sweepExpired();
+                    }
+                } catch (...) {
+                    ++errors;
+                }
+            });
+        }
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(errors.load(), 0);
+    for (auto &coordinator : coordinators)
+        coordinator->drain();
+    // Coordinators must go before the services their links point at.
+    coordinators.clear();
+    services.clear();
 }
 
 } // namespace

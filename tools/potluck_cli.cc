@@ -11,6 +11,13 @@
  *   potluck_cli [...] mget FUNCTION KEYTYPE K1,K2,.. [K1,K2,.. ...]
  *   potluck_cli [...] stats [--json|--prom]
  *   potluck_cli [...] trace [--json]
+ *   potluck_cli [...] peers [--json]
+ *
+ * `peers` fetches the daemon's cluster status over the kPeers verb:
+ * one row per federated peer with its link state (up / half-open /
+ * degraded) and forwarding tallies, plus the replication-queue depth.
+ * Against a daemon started without --peers it reports that clustering
+ * is disabled (exit 0 — not an error).
  *
  * Keys are comma-separated floats; values are stored/printed as
  * strings. `mget`/`mput` send all keys in ONE frame over the batched
@@ -64,7 +71,8 @@ usage()
                  "  potluck_cli [...] mput FN KEYTYPE K1,K2,..=VALUE [..]\n"
                  "  potluck_cli [...] mget FN KEYTYPE K1,K2,.. [..]\n"
                  "  potluck_cli [...] stats [--json|--prom]\n"
-                 "  potluck_cli [...] trace [--json]\n";
+                 "  potluck_cli [...] trace [--json]\n"
+                 "  potluck_cli [...] peers [--json]\n";
     std::exit(1);
 }
 
@@ -189,6 +197,79 @@ runStats(PotluckClient &client, const std::string &format)
         printHistogramLine(snap, "ipc.handle_ns", "ipc.handle");
     } else {
         std::cout << "latency\n  (tracing disabled or no samples yet)\n";
+    }
+    return 0;
+}
+
+const char *
+peerStateName(uint8_t state)
+{
+    switch (state) {
+    case 0:
+        return "up";
+    case 1:
+        return "half-open";
+    case 2:
+        return "degraded";
+    default:
+        return "?";
+    }
+}
+
+/** Minimal JSON string escaping for socket paths and tags. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+int
+runPeers(PotluckClient &client, bool json)
+{
+    ClusterStatus st = client.fetchPeers();
+    if (json) {
+        std::cout << "{\"enabled\":" << (st.enabled ? "true" : "false")
+                  << ",\"self_tag\":\"" << jsonEscape(st.self_tag) << "\""
+                  << ",\"replica_queue_depth\":" << st.replica_queue_depth
+                  << ",\"replica_dropped\":" << st.replica_dropped
+                  << ",\"peers\":[";
+        for (size_t i = 0; i < st.peers.size(); ++i) {
+            const PeerStatus &p = st.peers[i];
+            std::cout << (i ? "," : "") << "{\"tag\":\""
+                      << jsonEscape(p.tag) << "\",\"endpoint\":\""
+                      << jsonEscape(p.endpoint) << "\",\"state\":\""
+                      << peerStateName(p.state)
+                      << "\",\"forwarded_puts\":" << p.forwarded_puts
+                      << ",\"remote_hits\":" << p.remote_hits
+                      << ",\"errors\":" << p.errors << "}";
+        }
+        std::cout << "]}\n";
+        return 0;
+    }
+    if (!st.enabled) {
+        std::cout << "clustering disabled (daemon started without "
+                     "--peers)\n";
+        return 0;
+    }
+    std::cout << "cluster '" << st.self_tag << "': " << st.peers.size()
+              << " peer" << (st.peers.size() == 1 ? "" : "s")
+              << ", replica queue depth " << st.replica_queue_depth
+              << ", dropped " << st.replica_dropped << "\n";
+    std::printf("%-32s %-10s %14s %12s %8s\n", "PEER", "STATE", "FWD_PUTS",
+                "REMOTE_HITS", "ERRORS");
+    for (const PeerStatus &p : st.peers) {
+        std::printf("%-32s %-10s %14llu %12llu %8llu\n", p.tag.c_str(),
+                    peerStateName(p.state),
+                    static_cast<unsigned long long>(p.forwarded_puts),
+                    static_cast<unsigned long long>(p.remote_hits),
+                    static_cast<unsigned long long>(p.errors));
     }
     return 0;
 }
@@ -354,6 +435,16 @@ main(int argc, char **argv)
                     usage();
             }
             return runStats(client, format);
+        }
+        if (cmd == "peers" && args.size() <= 2) {
+            bool json = false;
+            if (args.size() == 2) {
+                if (args[1] == "--json")
+                    json = true;
+                else
+                    usage();
+            }
+            return runPeers(client, json);
         }
         if (cmd == "trace" && args.size() <= 2) {
             bool json = false;

@@ -14,10 +14,18 @@
  *            [--log-level debug|info|warn|error]
  *            [--no-recorder] [--trace-dump PATH]
  *            [--trace-slo-us N] [--trace-sample-prob P]
+ *            [--peers SOCK,SOCK,...] [--replicas N] [--cluster-tag NAME]
  *
  * With --snapshot, the cache is restored from PATH at startup (if the
  * file exists) and saved back on clean shutdown — the "secondary flash
  * storage" layer of the paper's architecture figure.
+ *
+ * With --peers, the daemon federates with other potluckd instances
+ * (DESIGN.md §11): every daemon in the mesh is started with the same
+ * set of socket paths (minus its own), local lookup misses on slots a
+ * peer owns are forwarded there, and local puts are replicated to
+ * --replicas ring successors asynchronously. A dead peer degrades to
+ * local-only service and is re-attached automatically when it returns.
  *
  * Every --stats-sec seconds the daemon dumps its metrics registry to
  * stdout: a one-line summary with hit rate and lookup p50/p99
@@ -36,8 +44,11 @@
 #include <fstream>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "cluster/coordinator.h"
 #include "core/cache_manager.h"
 #include "core/persistence.h"
 #include "core/potluck_service.h"
@@ -111,7 +122,9 @@ usage()
            "                [--no-tracing] [--snapshot PATH]\n"
            "                [--log-level debug|info|warn|error]\n"
            "                [--no-recorder] [--trace-dump PATH]\n"
-           "                [--trace-slo-us N] [--trace-sample-prob P]\n";
+           "                [--trace-slo-us N] [--trace-sample-prob P]\n"
+           "                [--peers SOCK,SOCK,...] [--replicas N]\n"
+           "                [--cluster-tag NAME]\n";
     std::exit(1);
 }
 
@@ -161,6 +174,9 @@ main(int argc, char **argv)
     std::string trace_dump_path;
     int stats_sec = 30;
     PotluckConfig config;
+    std::vector<std::string> peer_sockets;
+    size_t replicas = 1;
+    std::string cluster_tag;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -222,6 +238,16 @@ main(int argc, char **argv)
             config.trace_slo_ns = std::stoull(next()) * 1000ULL;
         } else if (arg == "--trace-sample-prob") {
             config.trace_sample_prob = std::stod(next());
+        } else if (arg == "--peers") {
+            for (const std::string &part : split(next(), ',')) {
+                std::string sock = trim(part);
+                if (!sock.empty())
+                    peer_sockets.push_back(sock);
+            }
+        } else if (arg == "--replicas") {
+            replicas = std::stoull(next());
+        } else if (arg == "--cluster-tag") {
+            cluster_tag = next();
         } else {
             usage();
         }
@@ -247,8 +273,36 @@ main(int argc, char **argv)
                 std::cout << std::endl;
             }
         }
+        // The coordinator hooks into the service before the socket
+        // opens, and outlives the server (which feeds it traffic):
+        // service -> coordinator -> manager -> server, destroyed in
+        // reverse.
+        std::unique_ptr<cluster::ClusterCoordinator> coordinator;
+        if (!peer_sockets.empty()) {
+            cluster::ClusterConfig ccfg;
+            ccfg.self_tag = cluster_tag.empty()
+                                ? std::string("potluckd:") + socket_path
+                                : cluster_tag;
+            // Ring identity is the socket path: the one string every
+            // node in the mesh already agrees on.
+            ccfg.self_endpoint = socket_path;
+            ccfg.peer_sockets = peer_sockets;
+            ccfg.replicas = replicas;
+            coordinator = std::make_unique<cluster::ClusterCoordinator>(
+                service, ccfg);
+            coordinator->install();
+        }
         CacheManager manager(service);
         PotluckServer server(service, socket_path);
+        if (coordinator) {
+            server.listener().setClusterStatusProvider(
+                [c = coordinator.get()] { return c->status(); });
+            std::cout << "potluckd: cluster '"
+                      << coordinator->config().self_tag << "' with "
+                      << coordinator->numPeers() << " peer"
+                      << (coordinator->numPeers() == 1 ? "" : "s")
+                      << ", replicas=" << replicas << std::endl;
+        }
         g_service = &service;
         g_trace_dump_path = trace_dump_path;
         setPanicHook(panicTraceDump);
