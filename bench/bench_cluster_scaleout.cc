@@ -26,15 +26,6 @@ using namespace potluck;
 
 namespace {
 
-std::string
-sockPath(const std::string &tag)
-{
-    return (std::filesystem::temp_directory_path() /
-            ("potluck_cluster_bench_" + tag + "_" +
-             std::to_string(::getpid()) + ".sock"))
-        .string();
-}
-
 /** One federated daemon: service + coordinator + socket server.
  * Member order matters: the server must die before the coordinator
  * (it feeds it), the coordinator before the service. */
@@ -106,13 +97,13 @@ main(int argc, char **argv)
 
     {
         // Single node: the intra-daemon baseline.
-        std::string sock = sockPath("solo");
+        bench::TempPath sock("cluster_solo", ".sock");
         PotluckConfig cfg;
         cfg.dropout_probability = 0.0;
         cfg.warmup_entries = 0;
         PotluckService service(cfg);
-        PotluckServer server(service, sock);
-        PotluckClient client("bench_app", sock);
+        PotluckServer server(service, sock.str());
+        PotluckClient client("bench_app", sock.str());
         client.registerFunction("recognize_0", kt);
         client.put("recognize_0", kt, key, encodeInt(1));
         Stopwatch sw;
@@ -124,8 +115,10 @@ main(int argc, char **argv)
     {
         // 3-node full mesh. seed_remote_hits is OFF so every lookup
         // at the non-owner pays the full forwarded round trip.
-        std::vector<std::string> socks = {sockPath("n1"), sockPath("n2"),
-                                          sockPath("n3")};
+        bench::TempPath s1("cluster_n1", ".sock");
+        bench::TempPath s2("cluster_n2", ".sock");
+        bench::TempPath s3("cluster_n3", ".sock");
+        std::vector<std::string> socks = {s1.str(), s2.str(), s3.str()};
         auto n1 = std::make_unique<Node>(
             socks[0], std::vector<std::string>{socks[1], socks[2]}, "n1",
             false);

@@ -7,6 +7,11 @@
 #ifndef POTLUCK_BENCH_COMMON_H
 #define POTLUCK_BENCH_COMMON_H
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -18,6 +23,62 @@
 #include "util/stringutil.h"
 
 namespace potluck::bench {
+
+/**
+ * RAII temporary path under the system temp directory: unique per
+ * (tag, pid, instance), recursively removed on destruction. Benches
+ * use this for sockets, snapshots and store directories so runs stop
+ * leaking files into /tmp or the build tree.
+ */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &tag,
+                      const std::string &suffix = "")
+    {
+        static std::atomic<int> counter{0};
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("potluck_bench_" + tag + "_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(counter++) + suffix))
+                    .string();
+    }
+
+    ~TempPath()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    TempPath(const TempPath &) = delete;
+    TempPath &operator=(const TempPath &) = delete;
+
+    const std::string &str() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/**
+ * Emit one machine-readable result line, greppable as `^BENCH `:
+ *   BENCH {"bench":"store_tiering","metric":"cold_hit_p50","value":...}
+ * Tooling (check.sh, CI dashboards) parses these; the human tables
+ * stay as-is alongside.
+ */
+inline void
+benchJson(const std::string &bench, const std::string &metric,
+          double value, const std::string &unit, uint64_t n = 0)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(3);
+    oss << "BENCH {\"bench\":\"" << bench << "\",\"metric\":\"" << metric
+        << "\",\"value\":" << value << ",\"unit\":\"" << unit << "\"";
+    if (n)
+        oss << ",\"n\":" << n;
+    oss << "}";
+    std::cout << oss.str() << "\n";
+}
 
 /** Print the experiment banner. */
 inline void

@@ -31,15 +31,6 @@ using namespace potluck;
 
 namespace {
 
-std::string
-benchSocketPath(const char *tag)
-{
-    return (std::filesystem::temp_directory_path() /
-            ("potluck_fault_bench_" + std::string(tag) + "_" +
-             std::to_string(::getpid()) + ".sock"))
-        .string();
-}
-
 RetryPolicy
 fastPolicy()
 {
@@ -59,8 +50,8 @@ BM_DegradedLookup(benchmark::State &state)
     // No server ever listens on this path: the client starts degraded
     // and the breaker opens after the first few refused attempts, so
     // the steady state below is pure in-process bookkeeping.
-    std::string path = benchSocketPath("degraded");
-    PotluckClient client("bench_app", path, fastPolicy());
+    bench::TempPath path("fault_degraded", ".sock");
+    PotluckClient client("bench_app", path.str(), fastPolicy());
     client.registerFunction("object_recognition", "downsamp");
     FeatureVector key(std::vector<float>(256, 0.5f));
     for (auto _ : state)
@@ -81,14 +72,14 @@ main(int argc, char **argv)
     PotluckConfig cfg;
     cfg.dropout_probability = 0.0;
     cfg.warmup_entries = 0;
-    std::string path = benchSocketPath("reconnect");
+    bench::TempPath path("fault_reconnect", ".sock");
     FeatureVector key(std::vector<float>(256, 0.5f));
 
     // Measure: server dies mid-session, a new one comes up on the same
     // path, and we time how long until a lookup round-trips again.
     PotluckService service(cfg);
-    auto server = std::make_unique<PotluckServer>(service, path);
-    PotluckClient client("bench_app", path, fastPolicy());
+    auto server = std::make_unique<PotluckServer>(service, path.str());
+    PotluckClient client("bench_app", path.str(), fastPolicy());
     client.registerFunction("object_recognition", "downsamp");
     client.put("object_recognition", "downsamp", key, encodeInt(1));
 
@@ -97,7 +88,7 @@ main(int argc, char **argv)
     for (int i = 0; i < kRounds; ++i) {
         server.reset();            // kill the service
         client.lookup("object_recognition", "downsamp", key); // degrade
-        server = std::make_unique<PotluckServer>(service, path);
+        server = std::make_unique<PotluckServer>(service, path.str());
         Stopwatch sw;
         // Keep issuing lookups until one round-trips again: only an
         // actual request can fire the breaker's half-open probe, so

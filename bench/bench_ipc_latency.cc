@@ -83,13 +83,10 @@ main(int argc, char **argv)
     cfg.dropout_probability = 0.0;
     cfg.warmup_entries = 0;
     PotluckService service(cfg);
-    std::string path =
-        (std::filesystem::temp_directory_path() /
-         ("potluck_ipc_bench_" + std::to_string(::getpid()) + ".sock"))
-            .string();
+    bench::TempPath path("ipc", ".sock");
     {
-        PotluckServer server(service, path);
-        PotluckClient client("bench_app", path);
+        PotluckServer server(service, path.str());
+        PotluckClient client("bench_app", path.str());
         client.registerFunction("object_recognition", "downsamp");
         FeatureVector key(std::vector<float>(256, 0.5f));
         client.put("object_recognition", "downsamp", key, encodeInt(1));

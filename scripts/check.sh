@@ -23,6 +23,13 @@
 # hits (cluster_remote_hit in the Prometheus export), and verifies the
 # survivors keep serving after one daemon is killed.
 #
+# A tiered-store stage starts a sanitized daemon with --store-dir,
+# writes entries, SIGKILLs it (no snapshot, no sidecar rewrite), and
+# restarts it on the same directory: every pre-kill entry must hit
+# again, served by promotion from the mmap'd cold tier (store_promotions
+# in the Prometheus export), with the function registration recovered
+# from the segment log rather than re-registered.
+#
 # Unless this run IS the thread-sanitizer run, a last stage builds the
 # concurrency stress test under ThreadSanitizer and runs it: the shard
 # locking, kd-tree lazy rebuild and LSH lazy projections must be
@@ -205,6 +212,63 @@ kill "$CPID2" && wait "$CPID2" 2>/dev/null || true
 "$CLI" --socket "$CSOCK1" get fed_demo vec 1,2,3 || [ $? -eq 2 ]
 "$CLI" --socket "$CSOCK3" get fed_demo vec 4,5,6 || [ $? -eq 2 ]
 echo "check.sh: cluster degrades to local-only with a dead peer"
+
+# ---- tiered-store warm-restart smoke test ------------------------------
+# Start a daemon on a fresh --store-dir, write a batch, SIGKILL it (no
+# clean shutdown: the segment log and page cache are all that survive),
+# restart on the same directory, and require every pre-kill entry to
+# hit — served by promotion from the cold tier, not recomputed
+# (DESIGN.md §12). The restarted daemon is never sent `register`, so a
+# hit also proves Registration records replay from the log.
+STORE_DIR="$(mktemp -d /tmp/potluck_store_XXXXXX)"
+SSOCK="$(mktemp -u /tmp/potluck_store_XXXXXX.sock)"
+
+"$DAEMON" --socket "$SSOCK" --store-dir "$STORE_DIR" --stats-sec 0 \
+    --dropout 0 &
+SPID=$!
+cleanup_store() {
+    kill -9 "$SPID" 2>/dev/null || true
+    wait "$SPID" 2>/dev/null || true
+    rm -rf "$STORE_DIR" "$SSOCK"
+    cleanup_cluster
+}
+trap cleanup_store EXIT
+
+for _ in $(seq 1 50); do
+    [ -S "$SSOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SSOCK" ] || { echo "check.sh: store daemon did not start" >&2; exit 1; }
+
+"$CLI" --socket "$SSOCK" register warmres vec
+"$CLI" --socket "$SSOCK" mput warmres vec 1,1,1=one 2,2,2=two 3,3,3=three
+"$CLI" --socket "$SSOCK" store             # must render without crashing
+"$CLI" --socket "$SSOCK" store --json | python3 -m json.tool > /dev/null \
+    || [ "$(command -v python3)" = "" ]
+
+# SIGKILL: no snapshot, no sidecar rewrite, no msync.
+kill -9 "$SPID"
+wait "$SPID" 2>/dev/null || true
+rm -f "$SSOCK"
+
+"$DAEMON" --socket "$SSOCK" --store-dir "$STORE_DIR" --stats-sec 0 \
+    --dropout 0 &
+SPID=$!
+for _ in $(seq 1 50); do
+    [ -S "$SSOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SSOCK" ] || { echo "check.sh: store daemon did not restart" >&2; exit 1; }
+
+# mget exits non-zero if any key misses: all three must hit.
+"$CLI" --socket "$SSOCK" mget warmres vec 1,1,1 2,2,2 3,3,3
+PROMOTED="$("$CLI" --socket "$SSOCK" stats --prom |
+    awk '$1 == "store_promotions" { print $2 }')"
+[ "${PROMOTED:-0}" -ge 3 ] || {
+    echo "check.sh: restarted daemon did not serve from the cold tier" >&2
+    exit 1
+}
+echo "check.sh: store warm-restart smoke OK ($PROMOTED promotions after SIGKILL)"
 
 # ---- ThreadSanitizer concurrency stage --------------------------------
 # The full suite already ran under TSan when that was the requested

@@ -281,6 +281,19 @@ loadSnapshot(PotluckService &service, const std::string &path,
     SnapshotLoadReport &rep = report ? *report : local;
     rep = SnapshotLoadReport{};
 
+    // Register the salvage counters up front (not just when a dirty
+    // restart actually salvages something): `potluck_cli stats` then
+    // always shows the persist.* family, so a zero reads as "clean
+    // load" rather than "metric missing".
+    obs::Counter &restored_counter =
+        service.metrics().counter("persist.records_restored");
+    obs::Counter &skipped_counter =
+        service.metrics().counter("persist.records_skipped");
+    obs::Counter &salvaged_counter =
+        service.metrics().counter("persist.records_salvaged");
+    obs::Counter &lost_counter =
+        service.metrics().counter("persist.records_lost");
+
     std::ifstream in(path, std::ios::binary);
     if (!in)
         POTLUCK_FATAL("cannot open snapshot file " << path);
@@ -399,12 +412,12 @@ loadSnapshot(PotluckService &service, const std::string &path,
         }
     }
 
+    restored_counter.inc(rep.restored);
+    skipped_counter.inc(rep.skipped);
     if (rep.corrupt_tail) {
         rep.lost = static_cast<size_t>(count - processed);
-        service.metrics()
-            .counter("persist.records_salvaged")
-            .inc(rep.restored);
-        service.metrics().counter("persist.records_lost").inc(rep.lost);
+        salvaged_counter.inc(rep.restored);
+        lost_counter.inc(rep.lost);
         POTLUCK_WARN("snapshot " << path << " has a corrupt tail: salvaged "
                                  << rep.restored << " entries, lost "
                                  << rep.lost << " of " << count);

@@ -13,7 +13,7 @@ PotluckService::PotluckService(PotluckConfig config, Clock *clock)
     : config_(config), clock_(clock),
       metrics_(std::make_unique<obs::MetricsRegistry>()),
       eviction_(makeEvictionPolicy(config.eviction, config.seed)),
-      rng_(config.seed),
+      demotion_policy_(config.demotion_min_ttl_us), rng_(config.seed),
       reputation_(config.reputation_ban_score,
                   config.reputation_min_observations)
 {
@@ -153,6 +153,10 @@ PotluckService::registerKeyType(const std::string &function,
         std::lock_guard<std::mutex> meta(meta_mutex_);
         extractors_[{function, cfg.name}] = std::move(extractor);
     }
+    // Persist the registration so a warm restart rebuilds the slot
+    // before any application reconnects (no shard lock held here).
+    if (ColdTier *tier = cold_tier_.load(std::memory_order_acquire))
+        tier->noteRegistration(function, cfg);
     // A newly added key type covers entries inserted from now on;
     // retroactive back-fill would need the raw inputs, which the cache
     // deliberately does not retain (only keys and values are stored).
@@ -321,6 +325,35 @@ PotluckService::lookup(const std::string &app, const std::string &function,
         return result;
     }
 
+    // Cold-tier probe (DESIGN.md §12), with no locks held: a match is
+    // faulted in from disk, promoted back into RAM and served — a cold
+    // hit is still a local HIT, so it lands before the miss counters
+    // and before the cluster's miss handler gets a say.
+    if (ColdTier *tier = cold_tier_.load(std::memory_order_acquire)) {
+        double cold_threshold = 0.0;
+        {
+            std::shared_lock lock(shards_[0]->mutex);
+            if (KeyIndex *s0 = shards_[0]->table.find(function, key_type))
+                cold_threshold = s0->tuner.threshold();
+        }
+        ColdPromotion promo;
+        if (tier->promote(function, key_type, key, cold_threshold, promo)) {
+            promo.entry.access_frequency.fetch_add(
+                1, std::memory_order_relaxed);
+            Value value = promo.entry.value;
+            EntryId id = insertPromoted(std::move(promo.entry), now);
+            obs_.hits->inc();
+            slot0->stats.hits.fetch_add(1, std::memory_order_relaxed);
+            slot0->fn_hits->inc();
+            LookupResult result;
+            result.hit = true;
+            result.value = std::move(value);
+            result.id = id;
+            result.nn_dist = promo.dist;
+            return result;
+        }
+    }
+
     obs_.misses->inc();
     slot0->stats.misses.fetch_add(1, std::memory_order_relaxed);
     slot0->fn_misses->inc();
@@ -459,8 +492,10 @@ PotluckService::put(const std::string &function, const std::string &key_type,
         entry.access_frequency = std::max<uint64_t>(1,
                                                     *options.access_frequency);
 
+    ColdTier *tier = cold_tier_.load(std::memory_order_acquire);
     EntryId stored_id = 0;
     Value stored_value;
+    CacheEntry write_through; ///< copy for the cold tier (id != 0 = valid)
     {
         std::unique_lock lock(home.mutex);
         KeyIndex *slot = home.table.find(function, key_type);
@@ -546,8 +581,17 @@ PotluckService::put(const std::string &function, const std::string &key_type,
         // evict the entry (and invalidate the reference).
         stored_id = stored.id;
         stored_value = stored.value;
+        if (tier)
+            write_through = stored; // value is a shared_ptr: cheap copy
         updateShardGauges(home);
     }
+
+    // Durable write-through (DESIGN.md §12), outside every lock and
+    // BEFORE capacity enforcement, so even an entry evicted by its own
+    // put survives a crash. The segment log doubles as a WAL: a
+    // SIGKILL'd daemon restarts warm from it, snapshot or no snapshot.
+    if (tier && write_through.id != 0)
+        tier->admit(write_through);
 
     enforceCapacity();
     updateGlobalGauges();
@@ -609,15 +653,19 @@ PotluckService::bannedApps() const
     return reputation_.bannedApps();
 }
 
-void
+CacheEntry
 PotluckService::removeEntryInShard(Shard &shard, EntryId id, bool expired)
 {
     CacheEntry *entry = shard.storage.find(id);
     if (!entry)
-        return;
+        return {};
     size_t bytes = entry->sizeBytes();
     shard.table.removeEntry(*entry);
-    shard.storage.remove(id);
+    // Unindexing and destruction are separate steps: the entry is
+    // moved OUT of storage so the caller can hand its keys and value
+    // to the cold tier (or to the eviction log) without re-cloning
+    // them, then let it drop when no tier wants it.
+    CacheEntry removed = shard.storage.remove(id);
     entries_total_.fetch_sub(1, std::memory_order_relaxed);
     bytes_total_.fetch_sub(bytes, std::memory_order_relaxed);
     if (expired)
@@ -625,6 +673,47 @@ PotluckService::removeEntryInShard(Shard &shard, EntryId id, bool expired)
     else
         obs_.evictions->inc();
     updateShardGauges(shard);
+    return removed;
+}
+
+void
+PotluckService::setColdTier(ColdTier *tier)
+{
+    cold_tier_.store(tier, std::memory_order_release);
+}
+
+EntryId
+PotluckService::insertPromoted(CacheEntry entry, uint64_t now)
+{
+    POTLUCK_ASSERT(!entry.keys.empty(), "promoted entry without keys");
+    entry.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    entry.inserted_us = now;
+    entry.last_access_us.store(now, std::memory_order_relaxed);
+    // Home placement keys off the entry's first key type (map order is
+    // deterministic); it need not match the pre-demotion placement —
+    // lookups probe every shard anyway.
+    Shard &home =
+        *shards_[shardOf(entry.function, entry.keys.begin()->second)];
+    EntryId stored_id = 0;
+    {
+        std::unique_lock lock(home.mutex);
+        CacheEntry &stored = home.storage.add(std::move(entry));
+        entries_total_.fetch_add(1, std::memory_order_relaxed);
+        bytes_total_.fetch_add(stored.sizeBytes(),
+                               std::memory_order_relaxed);
+        for (KeyIndex *target : home.table.slotsFor(stored.function)) {
+            auto kit = stored.keys.find(target->config.name);
+            if (kit == stored.keys.end())
+                continue;
+            target->index->insert(stored.id, kit->second);
+            target->tuner.noteInsert();
+        }
+        stored_id = stored.id;
+        updateShardGauges(home);
+    }
+    enforceCapacity();
+    updateGlobalGauges();
+    return stored_id;
 }
 
 void
@@ -646,20 +735,19 @@ PotluckService::updateShardGauges(Shard &shard)
 }
 
 void
-PotluckService::recordEviction(const Shard &shard, EntryId victim)
+PotluckService::recordEviction(const CacheEntry &victim)
 {
     if (!recorder_)
         return;
     // Document WHY this entry lost: the importance-score inputs
-    // (Section 3.3) at the moment of the decision.
-    if (const CacheEntry *e = shard.storage.find(victim)) {
-        obs::recordDecision(
-            recorder_.get(), obs::DecisionKind::Eviction, "evict",
-            e->function + "/" + e->app, e->compute_overhead_us,
-            static_cast<double>(
-                e->access_frequency.load(std::memory_order_relaxed)),
-            static_cast<double>(e->sizeBytes()), victim);
-    }
+    // (Section 3.3) at the moment of the decision. Reads the
+    // moved-out victim, so no extra storage lookup under the lock.
+    obs::recordDecision(
+        recorder_.get(), obs::DecisionKind::Eviction, "evict",
+        victim.function + "/" + victim.app, victim.compute_overhead_us,
+        static_cast<double>(
+            victim.access_frequency.load(std::memory_order_relaxed)),
+        static_cast<double>(victim.sizeBytes()), victim.id);
 }
 
 void
@@ -685,17 +773,42 @@ PotluckService::enforceCapacity()
     if (!over())
         return;
     POTLUCK_TRACE_SPAN("put.evict", obs_.evict_ns);
+    ColdTier *tier = cold_tier_.load(std::memory_order_acquire);
+    uint64_t now = tier ? clock_->nowUs() : 0;
+
+    // Finish one eviction: log the decision, then hand the moved-out
+    // victim to the cold tier (demotion instead of drop, DESIGN.md
+    // §12). Runs with NO shard lock held — only capacity_mutex_, which
+    // the store never takes.
+    auto finish = [&](CacheEntry &&victim) {
+        recordEviction(victim);
+        if (!tier)
+            return;
+        if (demotion_policy_.shouldDemote(victim, now))
+            tier->demote(std::move(victim));
+        else
+            // A victim not worth demoting (expired, or below the TTL
+            // floor) is gone from both tiers: drop its write-through
+            // record too, or the log accumulates dead entries.
+            tier->forget(victim);
+    };
+
     while (over()) {
         if (shards_.size() == 1) {
             // Degenerate case: identical to the pre-shard behaviour
             // (including the Random policy's RNG sequence).
             Shard &shard = *shards_[0];
-            std::unique_lock lock(shard.mutex);
-            if (shard.storage.numEntries() == 0)
-                break;
-            EntryId victim = eviction_->selectVictim(shard.storage.entries());
-            recordEviction(shard, victim);
-            removeEntryInShard(shard, victim, /*expired=*/false);
+            CacheEntry victim;
+            {
+                std::unique_lock lock(shard.mutex);
+                if (shard.storage.numEntries() == 0)
+                    break;
+                EntryId id =
+                    eviction_->selectVictim(shard.storage.entries());
+                victim = removeEntryInShard(shard, id, /*expired=*/false);
+            }
+            if (victim.id != 0)
+                finish(std::move(victim));
             continue;
         }
 
@@ -711,36 +824,35 @@ PotluckService::enforceCapacity()
                 r = static_cast<size_t>(rng_.uniformInt(
                     0, static_cast<int64_t>(total) - 1));
             }
-            bool removed = false;
+            CacheEntry victim;
             for (auto &shard : shards_) {
                 std::unique_lock lock(shard->mutex);
                 size_t n = shard->storage.numEntries();
                 if (r < n) {
-                    EntryId victim =
+                    EntryId id =
                         eviction_->selectVictim(shard->storage.entries());
-                    recordEviction(*shard, victim);
-                    removeEntryInShard(*shard, victim, /*expired=*/false);
-                    removed = true;
+                    victim =
+                        removeEntryInShard(*shard, id, /*expired=*/false);
                     break;
                 }
                 r -= n;
             }
-            if (!removed) {
+            if (victim.id == 0) {
                 // Counts moved under us; evict from any non-empty shard.
                 for (auto &shard : shards_) {
                     std::unique_lock lock(shard->mutex);
                     if (shard->storage.numEntries() == 0)
                         continue;
-                    EntryId victim =
+                    EntryId id =
                         eviction_->selectVictim(shard->storage.entries());
-                    recordEviction(*shard, victim);
-                    removeEntryInShard(*shard, victim, /*expired=*/false);
-                    removed = true;
+                    victim =
+                        removeEntryInShard(*shard, id, /*expired=*/false);
                     break;
                 }
             }
-            if (!removed)
+            if (victim.id == 0)
                 break;
+            finish(std::move(victim));
             continue;
         }
 
@@ -770,11 +882,16 @@ PotluckService::enforceCapacity()
         if (best_shard < 0)
             break;
         Shard &shard = *shards_[best_shard];
-        std::unique_lock lock(shard.mutex);
-        if (!shard.storage.find(best_victim))
-            continue; // raced away between the scan and the removal
-        recordEviction(shard, best_victim);
-        removeEntryInShard(shard, best_victim, /*expired=*/false);
+        CacheEntry victim;
+        {
+            std::unique_lock lock(shard.mutex);
+            if (!shard.storage.find(best_victim))
+                continue; // raced away between the scan and the removal
+            victim =
+                removeEntryInShard(shard, best_victim, /*expired=*/false);
+        }
+        if (victim.id != 0)
+            finish(std::move(victim));
     }
 }
 
@@ -783,13 +900,25 @@ PotluckService::sweepExpired()
 {
     uint64_t scan_start_ns = obs::spanNowNs();
     uint64_t now = clock_->nowUs();
+    ColdTier *tier = cold_tier_.load(std::memory_order_acquire);
     size_t total = 0;
+    // Swept entries are collected (moved, not copied) and their
+    // durable records dropped only after every shard lock is released:
+    // an expired entry must not resurrect on the next warm restart.
+    std::vector<CacheEntry> forgotten;
     for (auto &shard : shards_) {
         std::unique_lock lock(shard->mutex);
         auto expired = shard->storage.expiredAt(now);
-        for (EntryId id : expired)
-            removeEntryInShard(*shard, id, /*expired=*/true);
+        for (EntryId id : expired) {
+            CacheEntry gone = removeEntryInShard(*shard, id, /*expired=*/true);
+            if (tier && gone.id != 0)
+                forgotten.push_back(std::move(gone));
+        }
         total += expired.size();
+    }
+    if (tier) {
+        for (const CacheEntry &gone : forgotten)
+            tier->forget(gone);
     }
     updateGlobalGauges();
     if (recorder_ && total > 0) {

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cold_tier.h"
 #include "core/config.h"
 #include "core/data_storage.h"
 #include "core/eviction.h"
@@ -194,6 +195,22 @@ class PotluckService
         std::function<bool(const MissContext &, LookupResult &)>;
     void setMissHandler(MissHandler handler);
 
+    /**
+     * Install (or clear, with nullptr) the persistent cold tier
+     * (DESIGN.md §12). With a tier installed: puts are written through
+     * to it, capacity evictions demote their victims instead of
+     * dropping them, lookup misses probe it (a cold hit is promoted
+     * back into RAM and served as a hit), and expiry sweeps forget the
+     * swept entries' durable records. With none — the default — every
+     * hook is a single null-pointer branch and behavior is identical
+     * to a store-less build.
+     *
+     * Install before serving traffic. The tier must stay valid while
+     * installed; TieredStore::close() clears the pointer itself and
+     * then ignores any hook that was already past the null check.
+     */
+    void setColdTier(ColdTier *tier);
+
     /// @name Reputation defense (enabled via config.enable_reputation).
     /// @{
     double reputationScore(const std::string &app) const;
@@ -339,9 +356,23 @@ class PotluckService
                            const std::string &key_type,
                            const FeatureVector &key);
 
-    /** Remove an entry from one shard's indices + storage. Caller
-     * holds the shard's EXCLUSIVE lock. */
-    void removeEntryInShard(Shard &shard, EntryId id, bool expired);
+    /**
+     * Remove an entry from one shard's indices + storage and hand it
+     * back by move — teardown is split from destruction so the
+     * eviction path can pass the victim (keys + value) to the cold
+     * tier without cloning it. Returns a default entry (id == 0) when
+     * the id raced away. Caller holds the shard's EXCLUSIVE lock.
+     */
+    CacheEntry removeEntryInShard(Shard &shard, EntryId id, bool expired);
+
+    /**
+     * Re-insert a cold-tier hit into RAM: assign a fresh id, index it
+     * under every registered key type it carries, and enforce
+     * capacity. Unlike put(), promotion feeds no tuner observation,
+     * casts no reputation vote and fires no put observers — it is an
+     * internal tier move, not new data. Call with NO locks held.
+     */
+    EntryId insertPromoted(CacheEntry entry, uint64_t now);
 
     /** Evict until within capacity. Takes capacity_mutex_, then shard
      * locks one at a time; call with NO shard lock held. */
@@ -354,7 +385,7 @@ class PotluckService
     void updateShardGauges(Shard &shard);
 
     /** Log an eviction decision (the victim's importance inputs). */
-    void recordEviction(const Shard &shard, EntryId victim);
+    void recordEviction(const CacheEntry &victim);
 
     /**
      * Cached registry pointers for the hot paths: resolved once at
@@ -411,7 +442,17 @@ class PotluckService
     std::mutex capacity_mutex_;
 
     std::unique_ptr<EvictionPolicy> eviction_; ///< under capacity_mutex_
-    Rng rng_;                                  ///< under meta_mutex_
+
+    /**
+     * The persistent cold tier; null (the default) = no disk tier.
+     * Atomic so TieredStore::close() can clear it while traffic runs;
+     * every hook loads it once per call and never re-reads.
+     */
+    std::atomic<ColdTier *> cold_tier_{nullptr};
+    /** Filters which eviction victims are worth demoting. */
+    DemotionPolicy demotion_policy_;
+
+    Rng rng_; ///< under meta_mutex_
     std::atomic<EntryId> next_id_{1};
 
     /// @name Global occupancy, maintained by shard mutations.

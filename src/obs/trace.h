@@ -79,7 +79,10 @@ enum class DecisionKind : uint8_t
     ThresholdLoosen = 3,  ///< a/b/c = before/after/nn_dist
     ExpirySweep = 4,       ///< u = entries cleared
     BreakerTransition = 5, ///< a/b = from/to CircuitBreaker::State
-    PeerStateChange = 6    ///< a/b = from/to peer-link state, u = peer idx
+    PeerStateChange = 6,   ///< a/b = from/to peer-link state, u = peer idx
+    Demotion = 7,          ///< a/b/c = overhead_us/access_freq/size_bytes
+    Promotion = 8,         ///< a/b/c = dist/threshold/value_bytes
+    Compaction = 9         ///< a/b/c = garbage_ratio/moved/segments_left
 };
 
 /**

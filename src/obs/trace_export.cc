@@ -88,6 +88,30 @@ decisionArgsJson(const TraceRecord &r)
             << "\",\"to\":\"" << breakerStateName(static_cast<int>(r.b))
             << "\",\"peer_index\":" << r.u;
         break;
+      case DecisionKind::Demotion: {
+        double importance = r.c > 0.0 ? r.a * r.b / r.c : 0.0;
+        out << "\"entry\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"computation_overhead_us\":" << formatDouble(r.a)
+            << ",\"access_frequency\":" << formatDouble(r.b)
+            << ",\"size_bytes\":" << formatDouble(r.c)
+            << ",\"importance\":" << formatDouble(importance)
+            << ",\"key_hash\":" << r.u;
+        break;
+      }
+      case DecisionKind::Promotion:
+        out << "\"entry\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"dist\":" << formatDouble(r.a)
+            << ",\"threshold\":" << formatDouble(r.b)
+            << ",\"value_bytes\":" << formatDouble(r.c)
+            << ",\"key_hash\":" << r.u;
+        break;
+      case DecisionKind::Compaction:
+        out << "\"dir\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"garbage_ratio\":" << formatDouble(r.a)
+            << ",\"records_moved\":" << formatDouble(r.b)
+            << ",\"segments_left\":" << formatDouble(r.c)
+            << ",\"generation\":" << r.u;
+        break;
       case DecisionKind::None:
         out << "\"detail\":\"" << jsonEscape(r.detail) << "\"";
         break;
@@ -128,6 +152,26 @@ decisionArgsHuman(const TraceRecord &r)
                       breakerStateName(static_cast<int>(r.a)),
                       breakerStateName(static_cast<int>(r.b)));
         break;
+      case DecisionKind::Demotion: {
+        double importance = r.c > 0.0 ? r.a * r.b / r.c : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "entry=%s overhead=%.0fus freq=%.0f size=%.0fB "
+                      "importance=%.3f hash=%" PRIu64,
+                      r.detail, r.a, r.b, r.c, importance, r.u);
+        break;
+      }
+      case DecisionKind::Promotion:
+        std::snprintf(buf, sizeof(buf),
+                      "entry=%s dist=%.4f threshold=%.4f value=%.0fB "
+                      "hash=%" PRIu64,
+                      r.detail, r.a, r.b, r.c, r.u);
+        break;
+      case DecisionKind::Compaction:
+        std::snprintf(buf, sizeof(buf),
+                      "dir=%s garbage_ratio=%.2f moved=%.0f "
+                      "segments_left=%.0f gen=%" PRIu64,
+                      r.detail, r.a, r.b, r.c, r.u);
+        break;
       case DecisionKind::None:
         std::snprintf(buf, sizeof(buf), "%s", r.detail);
         break;
@@ -153,6 +197,12 @@ decisionName(DecisionKind kind)
         return "breaker.transition";
       case DecisionKind::PeerStateChange:
         return "peer.state_change";
+      case DecisionKind::Demotion:
+        return "store.demotion";
+      case DecisionKind::Promotion:
+        return "store.promotion";
+      case DecisionKind::Compaction:
+        return "store.compaction";
       case DecisionKind::None:
         return "decision";
     }

@@ -1,0 +1,240 @@
+#include "store/cold_index.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace potluck::store {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x504c5349u; // "PLSI"
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kMaxPayload = 1ULL << 30;
+
+void
+putU32(std::ostream &out, uint32_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putU64(std::ostream &out, uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putF64(std::ostream &out, double v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putString(std::ostream &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+getU32(std::istream &in, uint32_t &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(in);
+}
+
+bool
+getU64(std::istream &in, uint64_t &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(in);
+}
+
+bool
+getF64(std::istream &in, double &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(in);
+}
+
+bool
+getString(std::istream &in, std::string &s)
+{
+    uint64_t n = 0;
+    if (!getU64(in, n) || n > (1ULL << 20))
+        return false;
+    s.resize(n);
+    in.read(s.data(), static_cast<std::streamsize>(n));
+    return static_cast<bool>(in);
+}
+
+/** fsync an open path; throws on failure (the save must not lie). */
+void
+syncFile(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        POTLUCK_FATAL("cannot reopen " << path << " for fsync: "
+                                       << std::strerror(errno));
+    }
+    int rc = ::fsync(fd);
+    int err = errno;
+    ::close(fd);
+    if (rc < 0)
+        POTLUCK_FATAL("fsync(" << path << ") failed: " << std::strerror(err));
+}
+
+void
+syncParentDir(const std::string &path)
+{
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+void
+saveSidecar(const SidecarImage &image, const std::string &path)
+{
+    std::ostringstream body;
+    putU64(body, image.registrations.size());
+    for (const SidecarRegistration &reg : image.registrations) {
+        putString(body, reg.function);
+        putString(body, reg.config.name);
+        putU32(body, static_cast<uint32_t>(reg.config.metric));
+        putU32(body, static_cast<uint32_t>(reg.config.index_kind));
+        putU32(body, static_cast<uint32_t>(reg.config.lsh_tables));
+        putU32(body, static_cast<uint32_t>(reg.config.lsh_projections));
+        putF64(body, reg.config.lsh_bucket_width);
+    }
+    putU64(body, image.segments.size());
+    for (const SidecarSegment &seg : image.segments) {
+        putU64(body, seg.generation);
+        putU64(body, seg.indexed_len);
+    }
+    putU64(body, image.entries.size());
+    for (const SidecarEntry &e : image.entries) {
+        putU64(body, e.key_hash);
+        putU64(body, e.generation);
+        putU64(body, e.offset);
+    }
+    const std::string payload = body.str();
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            POTLUCK_FATAL("cannot open sidecar temp file " << tmp);
+        putU32(out, kMagic);
+        putU32(out, kVersion);
+        putU64(out, payload.size());
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        putU32(out, crc32(payload.data(), payload.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            ::unlink(tmp.c_str());
+            POTLUCK_FATAL("short write to sidecar temp " << tmp);
+        }
+    }
+    try {
+        syncFile(tmp);
+    } catch (const FatalError &) {
+        ::unlink(tmp.c_str());
+        throw;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        POTLUCK_FATAL("rename(" << tmp << ", " << path
+                                << ") failed: " << std::strerror(err));
+    }
+    syncParentDir(path);
+}
+
+bool
+loadSidecar(SidecarImage &image, const std::string &path)
+{
+    image = SidecarImage{};
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    uint32_t magic = 0, version = 0;
+    if (!getU32(in, magic) || magic != kMagic)
+        return false;
+    if (!getU32(in, version) || version != kVersion)
+        return false;
+    uint64_t len = 0;
+    if (!getU64(in, len) || len > kMaxPayload)
+        return false;
+    std::string payload(len, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    if (!in)
+        return false;
+    uint32_t stored = 0;
+    if (!getU32(in, stored) ||
+        crc32(payload.data(), payload.size()) != stored) {
+        return false;
+    }
+
+    std::istringstream body(payload);
+    uint64_t nregs = 0;
+    if (!getU64(body, nregs) || nregs > 4096)
+        return false;
+    for (uint64_t i = 0; i < nregs; ++i) {
+        SidecarRegistration reg;
+        uint32_t metric = 0, kind = 0, tables = 0, projections = 0;
+        if (!getString(body, reg.function) ||
+            !getString(body, reg.config.name) || !getU32(body, metric) ||
+            !getU32(body, kind) || !getU32(body, tables) ||
+            !getU32(body, projections) ||
+            !getF64(body, reg.config.lsh_bucket_width)) {
+            return false;
+        }
+        reg.config.metric = static_cast<Metric>(metric);
+        reg.config.index_kind = static_cast<IndexKind>(kind);
+        reg.config.lsh_tables = static_cast<int>(tables);
+        reg.config.lsh_projections = static_cast<int>(projections);
+        image.registrations.push_back(std::move(reg));
+    }
+    uint64_t nsegs = 0;
+    if (!getU64(body, nsegs) || nsegs > (1ULL << 20))
+        return false;
+    for (uint64_t i = 0; i < nsegs; ++i) {
+        SidecarSegment seg;
+        if (!getU64(body, seg.generation) || !getU64(body, seg.indexed_len))
+            return false;
+        image.segments.push_back(seg);
+    }
+    uint64_t nentries = 0;
+    if (!getU64(body, nentries) || nentries > (1ULL << 32))
+        return false;
+    for (uint64_t i = 0; i < nentries; ++i) {
+        SidecarEntry e;
+        if (!getU64(body, e.key_hash) || !getU64(body, e.generation) ||
+            !getU64(body, e.offset)) {
+            return false;
+        }
+        image.entries.push_back(e);
+    }
+    return true;
+}
+
+} // namespace potluck::store

@@ -1,0 +1,181 @@
+#include "store/segment_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace potluck::store {
+
+namespace {
+
+/** Frame overhead: [u64 len] before and [u32 crc] after the payload. */
+constexpr size_t kFrameOverhead = sizeof(uint64_t) + sizeof(uint32_t);
+
+uint64_t
+loadU64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint32_t
+loadU32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+SegmentFile::SegmentFile(std::string path, uint64_t generation,
+                         size_t capacity)
+    : path_(std::move(path)), generation_(generation), capacity_(capacity)
+{
+    POTLUCK_ASSERT(capacity_ > kFrameOverhead, "segment capacity too small");
+    fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) {
+        POTLUCK_FATAL("cannot open segment " << path_ << ": "
+                                             << std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+        int err = errno;
+        ::close(fd_);
+        POTLUCK_FATAL("fstat(" << path_ << "): " << std::strerror(err));
+    }
+    if (static_cast<size_t>(st.st_size) != capacity_ &&
+        ::ftruncate(fd_, static_cast<off_t>(capacity_)) != 0) {
+        int err = errno;
+        ::close(fd_);
+        POTLUCK_FATAL("ftruncate(" << path_
+                                   << "): " << std::strerror(err));
+    }
+    void *map = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED, fd_, 0);
+    if (map == MAP_FAILED) {
+        int err = errno;
+        ::close(fd_);
+        POTLUCK_FATAL("mmap(" << path_ << "): " << std::strerror(err));
+    }
+    map_ = static_cast<uint8_t *>(map);
+}
+
+SegmentFile::~SegmentFile()
+{
+    if (map_)
+        ::munmap(map_, capacity_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+SegmentFile::fits(size_t n) const
+{
+    return tail_ + kFrameOverhead + n <= capacity_;
+}
+
+size_t
+SegmentFile::append(const void *payload, size_t n)
+{
+    POTLUCK_ASSERT(fits(n), "segment append past capacity");
+    size_t offset = tail_;
+    uint8_t *dst = map_ + offset;
+    // Payload and CRC land before the length word: a crash between the
+    // two leaves a zero length (clean end), never a frame whose length
+    // points at garbage that happens to checksum.
+    std::memcpy(dst + sizeof(uint64_t), payload, n);
+    uint32_t crc = crc32(payload, n);
+    std::memcpy(dst + sizeof(uint64_t) + n, &crc, sizeof(crc));
+    uint64_t len = n;
+    std::memcpy(dst, &len, sizeof(len));
+    tail_ = offset + kFrameOverhead + n;
+    // Zero the next length word: appends may be resuming over the
+    // garbage of a torn frame, and the zero restores the "scan stops
+    // cleanly at the tail" invariant without wiping the whole range.
+    if (tail_ + sizeof(uint64_t) <= capacity_)
+        std::memset(map_ + tail_, 0, sizeof(uint64_t));
+    return offset;
+}
+
+const uint8_t *
+SegmentFile::payloadAt(size_t offset, size_t &n) const
+{
+    if (offset + kFrameOverhead > capacity_)
+        return nullptr;
+    uint64_t len = loadU64(map_ + offset);
+    if (len == 0 || offset + kFrameOverhead + len > capacity_)
+        return nullptr;
+    n = static_cast<size_t>(len);
+    return map_ + offset + sizeof(uint64_t);
+}
+
+bool
+SegmentFile::verifyAt(size_t offset) const
+{
+    size_t n = 0;
+    const uint8_t *payload = payloadAt(offset, n);
+    if (!payload)
+        return false;
+    return crc32(payload, n) == loadU32(payload + n);
+}
+
+SegmentScanReport
+SegmentFile::scanFrom(
+    size_t from,
+    const std::function<void(size_t, const uint8_t *, size_t)> &fn)
+{
+    SegmentScanReport report;
+    size_t offset = from;
+    while (offset + kFrameOverhead <= capacity_) {
+        uint64_t len = loadU64(map_ + offset);
+        if (len == 0)
+            break; // clean end: the zero-filled preallocated tail
+        if (offset + kFrameOverhead + len > capacity_) {
+            report.torn_tail = true; // implausible length: torn frame
+            break;
+        }
+        const uint8_t *payload = map_ + offset + sizeof(uint64_t);
+        uint32_t stored = loadU32(payload + len);
+        if (crc32(payload, static_cast<size_t>(len)) != stored) {
+            report.torn_tail = true;
+            break;
+        }
+        fn(offset, payload, static_cast<size_t>(len));
+        ++report.records;
+        offset += kFrameOverhead + static_cast<size_t>(len);
+    }
+    tail_ = offset;
+    return report;
+}
+
+void
+SegmentFile::sync() const
+{
+    if (map_)
+        ::msync(map_, capacity_, MS_SYNC);
+}
+
+void
+SegmentFile::destroy()
+{
+    if (map_) {
+        ::munmap(map_, capacity_);
+        map_ = nullptr;
+    }
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    ::unlink(path_.c_str());
+}
+
+} // namespace potluck::store

@@ -1,0 +1,1198 @@
+#include "store/tiered_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace potluck::store {
+
+namespace {
+
+/** Record types in the segment log. */
+constexpr uint8_t kRecEntry = 1;
+constexpr uint8_t kRecTombstone = 2;
+constexpr uint8_t kRecRegistration = 3;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t
+fnvMix(uint64_t h, const void *data, size_t n)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** Signature of one key's float bytes — the slot-bucket hash that
+ * makes an exact re-probe O(1). */
+uint64_t
+keySignature(const FeatureVector &key)
+{
+    return fnvMix(kFnvOffset, key.values().data(), key.sizeBytes());
+}
+
+/// @name Append-to-string binary encoding (record payloads).
+/// @{
+void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out.append(s);
+}
+/// @}
+
+/** Bounds-checked cursor over a record payload. */
+struct Reader
+{
+    const uint8_t *p;
+    size_t n;
+    size_t pos = 0;
+
+    bool
+    raw(void *dst, size_t k)
+    {
+        if (pos + k > n)
+            return false;
+        std::memcpy(dst, p + pos, k);
+        pos += k;
+        return true;
+    }
+
+    bool u8(uint8_t &v) { return raw(&v, sizeof(v)); }
+    bool u32(uint32_t &v) { return raw(&v, sizeof(v)); }
+    bool u64(uint64_t &v) { return raw(&v, sizeof(v)); }
+    bool f64(double &v) { return raw(&v, sizeof(v)); }
+
+    bool
+    str(std::string &s, size_t max = 1ull << 20)
+    {
+        uint64_t k = 0;
+        if (!u64(k) || k > max || pos + k > n)
+            return false;
+        s.assign(reinterpret_cast<const char *>(p + pos),
+                 static_cast<size_t>(k));
+        pos += static_cast<size_t>(k);
+        return true;
+    }
+};
+
+std::string
+segmentPath(const std::string &dir, uint64_t gen)
+{
+    return dir + "/seg-" + std::to_string(gen) + ".log";
+}
+
+std::string
+sidecarPath(const std::string &dir)
+{
+    return dir + "/index.sidecar";
+}
+
+std::string
+encodeTombstone(uint64_t key_hash)
+{
+    std::string payload;
+    putU8(payload, kRecTombstone);
+    putU64(payload, key_hash);
+    return payload;
+}
+
+std::string
+encodeRegistration(const SidecarRegistration &reg)
+{
+    std::string payload;
+    putU8(payload, kRecRegistration);
+    putString(payload, reg.function);
+    putString(payload, reg.config.name);
+    putU32(payload, static_cast<uint32_t>(reg.config.metric));
+    putU32(payload, static_cast<uint32_t>(reg.config.index_kind));
+    putU32(payload, static_cast<uint32_t>(reg.config.lsh_tables));
+    putU32(payload, static_cast<uint32_t>(reg.config.lsh_projections));
+    putF64(payload, reg.config.lsh_bucket_width);
+    return payload;
+}
+
+bool
+decodeRegistration(Reader &in, SidecarRegistration &reg)
+{
+    uint32_t metric = 0, kind = 0, tables = 0, projections = 0;
+    if (!in.str(reg.function) || !in.str(reg.config.name) ||
+        !in.u32(metric) || !in.u32(kind) || !in.u32(tables) ||
+        !in.u32(projections) || !in.f64(reg.config.lsh_bucket_width)) {
+        return false;
+    }
+    reg.config.metric = static_cast<Metric>(metric);
+    reg.config.index_kind = static_cast<IndexKind>(kind);
+    reg.config.lsh_tables = static_cast<int>(tables);
+    reg.config.lsh_projections = static_cast<int>(projections);
+    return true;
+}
+
+} // namespace
+
+/** Cached store.* registry pointers (resolved once at attach). */
+struct TieredStore::Metrics
+{
+    obs::Counter *admits;
+    obs::Counter *demotions;
+    obs::Counter *promotions;
+    obs::Counter *probes;
+    obs::Counter *probe_misses;
+    obs::Counter *replaced;
+    obs::Counter *tombstones;
+    obs::Counter *cold_evictions;
+    obs::Counter *cold_expired;
+    obs::Counter *compactions;
+    obs::Counter *compacted_records;
+    obs::Counter *segments_created;
+    obs::Counter *segments_deleted;
+    obs::Counter *recovered_records;
+    obs::Counter *recovered_from_scan;
+    obs::Counter *torn_segments;
+    obs::Counter *value_crc_failures;
+    obs::Counter *oversize_drops;
+    obs::Counter *index_rewrites;
+    obs::Gauge *cold_entries;
+    obs::Gauge *cold_bytes;
+    obs::Gauge *segments;
+    obs::Gauge *garbage_bytes;
+    obs::Gauge *disk_bytes;
+
+    explicit Metrics(obs::MetricsRegistry &reg)
+        : admits(&reg.counter("store.admits")),
+          demotions(&reg.counter("store.demotions")),
+          promotions(&reg.counter("store.promotions")),
+          probes(&reg.counter("store.probes")),
+          probe_misses(&reg.counter("store.probe_misses")),
+          replaced(&reg.counter("store.replaced")),
+          tombstones(&reg.counter("store.tombstones")),
+          cold_evictions(&reg.counter("store.cold_evictions")),
+          cold_expired(&reg.counter("store.cold_expired")),
+          compactions(&reg.counter("store.compactions")),
+          compacted_records(&reg.counter("store.compacted_records")),
+          segments_created(&reg.counter("store.segments_created")),
+          segments_deleted(&reg.counter("store.segments_deleted")),
+          recovered_records(&reg.counter("store.recovered_records")),
+          recovered_from_scan(&reg.counter("store.recovered_from_scan")),
+          torn_segments(&reg.counter("store.torn_segments")),
+          value_crc_failures(&reg.counter("store.value_crc_failures")),
+          oversize_drops(&reg.counter("store.oversize_drops")),
+          index_rewrites(&reg.counter("store.index_rewrites")),
+          cold_entries(&reg.gauge("store.cold_entries")),
+          cold_bytes(&reg.gauge("store.cold_bytes")),
+          segments(&reg.gauge("store.segments")),
+          garbage_bytes(&reg.gauge("store.garbage_bytes")),
+          disk_bytes(&reg.gauge("store.disk_bytes"))
+    {}
+};
+
+uint64_t
+TieredStore::contentIdentity(const CacheEntry &entry)
+{
+    uint64_t h = kFnvOffset;
+    h = fnvMix(h, entry.function.data(), entry.function.size());
+    for (const auto &[type, key] : entry.keys) {
+        h = fnvMix(h, type.data(), type.size());
+        h = fnvMix(h, key.values().data(), key.sizeBytes());
+    }
+    return h;
+}
+
+TieredStore::TieredStore(StoreConfig config) : config_(std::move(config))
+{
+    POTLUCK_ASSERT(!config_.dir.empty(), "store directory not set");
+    POTLUCK_ASSERT(config_.segment_bytes >= 4096,
+                   "segment capacity too small");
+    openDir();
+    recover();
+}
+
+TieredStore::~TieredStore()
+{
+    close();
+}
+
+void
+TieredStore::openDir()
+{
+    std::error_code ec;
+    std::filesystem::create_directories(config_.dir, ec);
+    if (ec) {
+        POTLUCK_FATAL("cannot create store directory " << config_.dir << ": "
+                                                       << ec.message());
+    }
+}
+
+void
+TieredStore::recover()
+{
+    // Discover existing segments; existing files keep their original
+    // capacity (config_.segment_bytes may have changed across runs).
+    for (const auto &ent :
+         std::filesystem::directory_iterator(config_.dir)) {
+        const std::string name = ent.path().filename().string();
+        if (name.rfind("seg-", 0) != 0 ||
+            name.size() <= 4 + 4 /* "seg-" + ".log" */ ||
+            name.substr(name.size() - 4) != ".log") {
+            continue;
+        }
+        uint64_t gen = 0;
+        try {
+            gen = std::stoull(name.substr(4, name.size() - 8));
+        } catch (const std::exception &) {
+            continue;
+        }
+        if (gen == 0)
+            continue;
+        size_t capacity = static_cast<size_t>(ent.file_size());
+        if (capacity == 0)
+            capacity = config_.segment_bytes;
+        segments_[gen] = std::make_unique<SegmentFile>(
+            ent.path().string(), gen, capacity);
+    }
+    if (segments_.empty()) {
+        segments_[1] = std::make_unique<SegmentFile>(
+            segmentPath(config_.dir, 1), 1, config_.segment_bytes);
+        active_gen_ = 1;
+        return;
+    }
+    active_gen_ = segments_.rbegin()->first;
+
+    // Sidecar-accelerated path: parse only the headers the index points
+    // at (keys fault in; value pages stay cold).
+    SidecarImage image;
+    std::map<uint64_t, size_t> indexed_len;
+    recovery_.sidecar_valid = loadSidecar(image, sidecarPath(config_.dir));
+    if (recovery_.sidecar_valid) {
+        for (SidecarRegistration &reg : image.registrations) {
+            SlotKey slot{reg.function, reg.config.name};
+            if (slot_metrics_.emplace(slot, reg.config.metric).second)
+                registrations_.push_back(std::move(reg));
+        }
+        for (const SidecarSegment &seg : image.segments) {
+            auto it = segments_.find(seg.generation);
+            if (it == segments_.end())
+                continue;
+            indexed_len[seg.generation] = std::min(
+                static_cast<size_t>(seg.indexed_len),
+                it->second->capacity());
+        }
+        for (const SidecarEntry &e : image.entries) {
+            auto it = segments_.find(e.generation);
+            if (it == segments_.end())
+                continue;
+            size_t n = 0;
+            const uint8_t *payload =
+                it->second->payloadAt(static_cast<size_t>(e.offset), n);
+            if (!payload)
+                continue;
+            RecordMeta meta;
+            uint64_t hash = 0;
+            if (!decodeEntry(payload, n, meta, hash) || hash != e.key_hash)
+                continue;
+            meta.gen = e.generation;
+            meta.offset = e.offset;
+            records_[hash] = std::move(meta);
+            ++recovery_.from_sidecar;
+        }
+    }
+
+    // Replay the raw tails (everything past each segment's indexed
+    // prefix) in generation order: a later record with the same content
+    // identity supersedes, a tombstone erases.
+    for (auto &[gen, seg] : segments_) {
+        size_t start = 0;
+        if (auto it = indexed_len.find(gen); it != indexed_len.end())
+            start = it->second;
+        const uint64_t g = gen;
+        SegmentScanReport report = seg->scanFrom(
+            start, [&](size_t offset, const uint8_t *payload, size_t n) {
+                Reader in{payload, n};
+                uint8_t type = 0;
+                if (!in.u8(type))
+                    return;
+                if (type == kRecEntry) {
+                    RecordMeta meta;
+                    uint64_t hash = 0;
+                    if (!decodeEntry(payload, n, meta, hash))
+                        return;
+                    meta.gen = g;
+                    meta.offset = offset;
+                    records_[hash] = std::move(meta);
+                    ++recovery_.from_scan;
+                } else if (type == kRecTombstone) {
+                    uint64_t hash = 0;
+                    if (in.u64(hash))
+                        records_.erase(hash);
+                } else if (type == kRecRegistration) {
+                    SidecarRegistration reg;
+                    if (!decodeRegistration(in, reg))
+                        return;
+                    SlotKey slot{reg.function, reg.config.name};
+                    if (slot_metrics_.emplace(slot, reg.config.metric)
+                            .second) {
+                        registrations_.push_back(std::move(reg));
+                    }
+                }
+            });
+        if (report.torn_tail)
+            ++recovery_.torn_segments;
+    }
+
+    // Drop records whose TTL had already run out when they were
+    // written; everything else becomes probe-visible cold state once
+    // attach() anchors the remaining TTLs to the service clock.
+    for (auto it = records_.begin(); it != records_.end();) {
+        if (it->second.remaining_ttl_us == 0) {
+            it = records_.erase(it);
+        } else {
+            it->second.resident = false;
+            addToSlots(it->first, it->second);
+            ++it;
+        }
+    }
+
+    // Garbage = every framed byte not owned by a live record
+    // (superseded frames, tombstones, registration records — the
+    // sidecar preserves registrations across compaction).
+    std::map<uint64_t, size_t> live_bytes;
+    for (const auto &[hash, meta] : records_)
+        live_bytes[meta.gen] += meta.frame_bytes;
+    for (const auto &[gen, seg] : segments_) {
+        size_t live = 0;
+        if (auto it = live_bytes.find(gen); it != live_bytes.end())
+            live = it->second;
+        garbage_[gen] = seg->tail() > live ? seg->tail() - live : 0;
+    }
+
+    recovery_.records = records_.size();
+    recovery_.registrations = registrations_.size();
+    POTLUCK_INFORM("store: recovered "
+                   << recovery_.records << " records ("
+                   << recovery_.from_sidecar << " via sidecar, "
+                   << recovery_.from_scan << " from log scan), "
+                   << recovery_.registrations << " registrations, "
+                   << segments_.size() << " segments"
+                   << (recovery_.torn_segments ? ", torn tails salvaged"
+                                               : ""));
+}
+
+void
+TieredStore::attach(PotluckService &service)
+{
+    service_ = &service;
+    recorder_ = service.recorder();
+    obs_ = std::make_unique<Metrics>(service.metrics());
+    obs_->recovered_records->inc(recovery_.records);
+    obs_->recovered_from_scan->inc(recovery_.from_scan);
+    obs_->torn_segments->inc(recovery_.torn_segments);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const uint64_t now = service.nowUs();
+        for (auto &[hash, meta] : records_) {
+            meta.expiry_us = now + meta.remaining_ttl_us;
+            meta.remaining_ttl_us = 0;
+        }
+        refreshGauges();
+    }
+
+    // Rebuild the service's (function, key type) slots from recovered
+    // registrations, then mirror any slots the service already has —
+    // both before the store is installed, so neither direction loops
+    // back through noteRegistration() -> registerKeyType().
+    for (const SidecarRegistration &reg : registrations_) {
+        try {
+            service.registerKeyType(reg.function, reg.config);
+        } catch (const FatalError &e) {
+            POTLUCK_WARN("store: cannot replay registration "
+                         << reg.function << "/" << reg.config.name << ": "
+                         << e.what());
+        }
+    }
+    service.forEachKeyType(
+        [this](const std::string &function, const KeyTypeConfig &cfg) {
+            noteRegistration(function, cfg);
+        });
+
+    service.setColdTier(this);
+    if (config_.maintenance_interval_ms > 0)
+        startThread();
+}
+
+void
+TieredStore::close()
+{
+    closeImpl(false);
+}
+
+void
+TieredStore::closeDirty()
+{
+    closeImpl(true);
+}
+
+void
+TieredStore::closeImpl(bool dirty)
+{
+    stopThread();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return;
+        if (!dirty) {
+            for (auto &[gen, seg] : segments_)
+                seg->sync();
+            SidecarImage image = buildImage();
+            try {
+                saveSidecar(image, sidecarPath(config_.dir));
+            } catch (const FatalError &e) {
+                POTLUCK_WARN("store: sidecar rewrite failed on close: "
+                             << e.what());
+            }
+        }
+        closed_ = true;
+        segments_.clear(); // unmap (page cache keeps the bytes)
+    }
+    if (service_) {
+        service_->setColdTier(nullptr);
+        service_ = nullptr;
+    }
+}
+
+void
+TieredStore::startThread()
+{
+    stop_ = false;
+    maintenance_ = std::thread([this] { maintenanceLoop(); });
+}
+
+void
+TieredStore::stopThread()
+{
+    {
+        std::lock_guard<std::mutex> lock(maintenance_mutex_);
+        stop_ = true;
+    }
+    maintenance_cv_.notify_all();
+    if (maintenance_.joinable())
+        maintenance_.join();
+}
+
+void
+TieredStore::maintenanceLoop()
+{
+    const auto interval =
+        std::chrono::milliseconds(config_.maintenance_interval_ms);
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(maintenance_mutex_);
+            maintenance_cv_.wait_for(lock, interval,
+                                     [this] { return stop_; });
+            if (stop_)
+                return;
+        }
+        sweepExpiredCold();
+        enforceColdCapacity();
+        compactOnce();
+        bool flush;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            flush = mutations_since_flush_ >= config_.sidecar_rewrite_every;
+        }
+        if (flush)
+            flushIndex();
+    }
+}
+
+/// @name Record encoding.
+/// @{
+
+std::string
+TieredStore::encodeEntry(const CacheEntry &entry, uint64_t key_hash,
+                         uint64_t remaining_ttl_us) const
+{
+    std::string payload;
+    putU8(payload, kRecEntry);
+    putU64(payload, key_hash);
+    putString(payload, entry.function);
+    putString(payload, entry.app);
+    putF64(payload, entry.compute_overhead_us);
+    putU64(payload,
+           entry.access_frequency.load(std::memory_order_relaxed));
+    putU64(payload, remaining_ttl_us);
+    putU64(payload, entry.keys.size());
+    for (const auto &[type, key] : entry.keys) {
+        putString(payload, type);
+        putU64(payload, key.size());
+        payload.append(reinterpret_cast<const char *>(key.values().data()),
+                       key.sizeBytes());
+    }
+    const size_t value_len = valueSize(entry.value);
+    putU64(payload, value_len);
+    if (value_len > 0) {
+        payload.append(reinterpret_cast<const char *>(entry.value->data()),
+                       value_len);
+    }
+    return payload;
+}
+
+bool
+TieredStore::decodeEntry(const uint8_t *payload, size_t n, RecordMeta &meta,
+                         uint64_t &key_hash) const
+{
+    Reader in{payload, n};
+    uint8_t type = 0;
+    if (!in.u8(type) || type != kRecEntry)
+        return false;
+    uint64_t nkeys = 0;
+    if (!in.u64(key_hash) || !in.str(meta.function) || !in.str(meta.app) ||
+        !in.f64(meta.overhead_us) || !in.u64(meta.access_frequency) ||
+        !in.u64(meta.remaining_ttl_us) || !in.u64(nkeys) || nkeys > 64) {
+        return false;
+    }
+    for (uint64_t i = 0; i < nkeys; ++i) {
+        std::string type_name;
+        uint64_t dim = 0;
+        if (!in.str(type_name) || !in.u64(dim) || dim > (1ull << 24) ||
+            in.pos + dim * sizeof(float) > in.n) {
+            return false;
+        }
+        std::vector<float> values(static_cast<size_t>(dim));
+        std::memcpy(values.data(), payload + in.pos,
+                    static_cast<size_t>(dim) * sizeof(float));
+        in.pos += static_cast<size_t>(dim) * sizeof(float);
+        meta.keys.emplace(std::move(type_name),
+                          FeatureVector(std::move(values)));
+    }
+    uint64_t value_len = 0;
+    if (!in.u64(value_len) || in.pos + value_len != in.n)
+        return false;
+    meta.value_off = in.pos;
+    meta.value_len = static_cast<size_t>(value_len);
+    meta.frame_bytes = n + sizeof(uint64_t) + sizeof(uint32_t);
+    return true;
+}
+/// @}
+
+/// @name Log appends (mutex_ held).
+/// @{
+
+bool
+TieredStore::appendFrame(const std::string &payload, uint64_t &gen,
+                         uint64_t &offset)
+{
+    SegmentFile *active = segments_[active_gen_].get();
+    if (!active->fits(payload.size())) {
+        rotateSegment();
+        active = segments_[active_gen_].get();
+        if (!active->fits(payload.size()))
+            return false; // oversize payload
+    }
+    offset = active->append(payload.data(), payload.size());
+    gen = active_gen_;
+    return true;
+}
+
+void
+TieredStore::rotateSegment()
+{
+    segments_[active_gen_]->sync();
+    ++active_gen_;
+    segments_[active_gen_] = std::make_unique<SegmentFile>(
+        segmentPath(config_.dir, active_gen_), active_gen_,
+        config_.segment_bytes);
+    if (obs_)
+        obs_->segments_created->inc();
+}
+
+void
+TieredStore::writeEntryRecord(const CacheEntry &entry, uint64_t key_hash,
+                              bool resident)
+{
+    const uint64_t now = service_ ? service_->nowUs() : 0;
+    const uint64_t remaining =
+        entry.expiry_us > now ? entry.expiry_us - now : 0;
+    if (remaining == 0)
+        return; // already expired; nothing worth persisting
+    const std::string payload = encodeEntry(entry, key_hash, remaining);
+    uint64_t gen = 0, offset = 0;
+    if (!appendFrame(payload, gen, offset)) {
+        if (obs_)
+            obs_->oversize_drops->inc();
+        return; // keep any previous record of this identity
+    }
+    auto it = records_.find(key_hash);
+    if (it != records_.end()) {
+        markGarbage(it->second);
+        if (!it->second.resident)
+            removeFromSlots(key_hash, it->second);
+        if (obs_)
+            obs_->replaced->inc();
+        records_.erase(it);
+    }
+    RecordMeta meta;
+    meta.gen = gen;
+    meta.offset = offset;
+    meta.frame_bytes =
+        payload.size() + sizeof(uint64_t) + sizeof(uint32_t);
+    meta.value_len = valueSize(entry.value);
+    meta.value_off = payload.size() - meta.value_len;
+    meta.resident = resident;
+    meta.function = entry.function;
+    meta.app = entry.app;
+    meta.overhead_us = entry.compute_overhead_us;
+    meta.access_frequency =
+        entry.access_frequency.load(std::memory_order_relaxed);
+    meta.expiry_us = entry.expiry_us;
+    meta.keys = entry.keys;
+    auto [pos, inserted] = records_.emplace(key_hash, std::move(meta));
+    (void)inserted;
+    if (!resident)
+        addToSlots(key_hash, pos->second);
+    noteMutation();
+}
+
+void
+TieredStore::dropRecord(uint64_t key_hash, const char *why)
+{
+    auto it = records_.find(key_hash);
+    if (it == records_.end())
+        return;
+    markGarbage(it->second);
+    if (!it->second.resident)
+        removeFromSlots(key_hash, it->second);
+    records_.erase(it);
+    uint64_t gen = 0, offset = 0;
+    const std::string payload = encodeTombstone(key_hash);
+    if (appendFrame(payload, gen, offset)) {
+        // The tombstone frame is garbage the moment it lands; it only
+        // exists to stop the record resurrecting on replay.
+        garbage_[gen] +=
+            payload.size() + sizeof(uint64_t) + sizeof(uint32_t);
+    }
+    if (obs_)
+        obs_->tombstones->inc();
+    (void)why;
+    noteMutation();
+}
+
+void
+TieredStore::markGarbage(const RecordMeta &meta)
+{
+    garbage_[meta.gen] += meta.frame_bytes;
+}
+
+void
+TieredStore::addToSlots(uint64_t key_hash, const RecordMeta &meta)
+{
+    for (const auto &[type, key] : meta.keys)
+        slots_[{meta.function, type}][keySignature(key)].insert(key_hash);
+    cold_bytes_ += meta.frame_bytes;
+    ++cold_count_;
+}
+
+void
+TieredStore::removeFromSlots(uint64_t key_hash, const RecordMeta &meta)
+{
+    for (const auto &[type, key] : meta.keys) {
+        auto it = slots_.find({meta.function, type});
+        if (it == slots_.end())
+            continue;
+        auto bucket = it->second.find(keySignature(key));
+        if (bucket == it->second.end())
+            continue;
+        bucket->second.erase(key_hash);
+        if (bucket->second.empty())
+            it->second.erase(bucket);
+        if (it->second.empty())
+            slots_.erase(it);
+    }
+    cold_bytes_ -= std::min(cold_bytes_, meta.frame_bytes);
+    cold_count_ -= std::min<size_t>(cold_count_, 1);
+}
+
+void
+TieredStore::noteMutation()
+{
+    ++mutations_since_flush_;
+    refreshGauges();
+}
+
+void
+TieredStore::refreshGauges()
+{
+    // Runs on EVERY log mutation: everything here must be O(#segments)
+    // — cold_count_/cold_bytes_ are maintained incrementally by the
+    // slot transitions so there is no per-record walk on the hot path.
+    if (!obs_)
+        return;
+    size_t garbage = 0;
+    for (const auto &[gen, bytes] : garbage_)
+        garbage += bytes;
+    size_t disk = 0;
+    for (const auto &[gen, seg] : segments_)
+        disk += seg->capacity();
+    obs_->cold_entries->set(static_cast<int64_t>(cold_count_));
+    obs_->cold_bytes->set(static_cast<int64_t>(cold_bytes_));
+    obs_->segments->set(static_cast<int64_t>(segments_.size()));
+    obs_->garbage_bytes->set(static_cast<int64_t>(garbage));
+    obs_->disk_bytes->set(static_cast<int64_t>(disk));
+}
+/// @}
+
+/// @name ColdTier hooks.
+/// @{
+
+void
+TieredStore::admit(const CacheEntry &entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    writeEntryRecord(entry, contentIdentity(entry), /*resident=*/true);
+    if (obs_)
+        obs_->admits->inc();
+}
+
+void
+TieredStore::demote(CacheEntry &&entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    const uint64_t hash = contentIdentity(entry);
+    const uint64_t now = service_ ? service_->nowUs() : 0;
+    if (entry.expiry_us <= now) {
+        dropRecord(hash, "expired");
+        return;
+    }
+    const uint64_t freq =
+        entry.access_frequency.load(std::memory_order_relaxed);
+    auto it = records_.find(hash);
+    if (it != records_.end() && it->second.access_frequency == freq) {
+        // The write-through record is current: demotion is just a
+        // residency flip — no bytes move.
+        RecordMeta &meta = it->second;
+        meta.resident = false;
+        meta.expiry_us = entry.expiry_us;
+        meta.keys = std::move(entry.keys); // restore after a promote
+        addToSlots(hash, meta);
+    } else {
+        // Hits since the last record (or no record, e.g. it was
+        // dropped as oversize garbage): refresh so importance survives
+        // the tier crossing.
+        writeEntryRecord(entry, hash, /*resident=*/false);
+    }
+    if (obs_)
+        obs_->demotions->inc();
+    obs::recordDecision(recorder_, obs::DecisionKind::Demotion, "demote",
+                        entry.function, entry.compute_overhead_us,
+                        static_cast<double>(freq),
+                        static_cast<double>(entry.sizeBytes()), hash);
+    if (config_.cold_capacity_bytes > 0 &&
+        cold_bytes_ > config_.cold_capacity_bytes) {
+        enforceColdCapacityLocked();
+    }
+}
+
+bool
+TieredStore::promote(const std::string &function,
+                     const std::string &key_type, const FeatureVector &key,
+                     double threshold, ColdPromotion &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return false;
+    if (obs_)
+        obs_->probes->inc();
+    const uint64_t now = service_ ? service_->nowUs() : 0;
+    Metric metric = Metric::L2;
+    if (auto m = slot_metrics_.find({function, key_type});
+        m != slot_metrics_.end()) {
+        metric = m->second;
+    }
+    while (true) {
+        auto slot = slots_.find({function, key_type});
+        if (slot == slots_.end() || slot->second.empty())
+            break;
+        uint64_t best_hash = 0;
+        double best_dist = -1.0;
+        std::vector<uint64_t> expired;
+        auto consider = [&](uint64_t hash) {
+            const RecordMeta &meta = records_.at(hash);
+            if (meta.expiry_us <= now) {
+                expired.push_back(hash);
+                return;
+            }
+            auto k = meta.keys.find(key_type);
+            if (k == meta.keys.end() || k->second.size() != key.size())
+                return;
+            const double d = distance(key, k->second, metric);
+            if (d <= threshold && (best_dist < 0 || d < best_dist)) {
+                best_dist = d;
+                best_hash = hash;
+            }
+        };
+        // Exact-signature fast path first: the dominant cold probe is a
+        // key the store holds byte-for-byte (warm restart, repeated
+        // request) and its distance is 0, so a live bucket hit cannot
+        // be beaten by the scan.
+        const uint64_t sig = keySignature(key);
+        if (auto bucket = slot->second.find(sig);
+            bucket != slot->second.end()) {
+            for (uint64_t hash : bucket->second)
+                consider(hash);
+        }
+        if (best_dist < 0) {
+            // Only an approximate match pays the full slot scan.
+            for (const auto &[bucket_sig, hashes] : slot->second) {
+                if (bucket_sig == sig)
+                    continue;
+                for (uint64_t hash : hashes)
+                    consider(hash);
+            }
+        }
+        for (uint64_t hash : expired) {
+            dropRecord(hash, "expired");
+            if (obs_)
+                obs_->cold_expired->inc();
+        }
+        if (best_dist < 0)
+            break;
+
+        RecordMeta &meta = records_.at(best_hash);
+        SegmentFile *seg = segments_.at(meta.gen).get();
+        if (!seg->verifyAt(meta.offset)) {
+            // Lazy fault-in found a record the crash tore or the disk
+            // rotted: drop it and rescan — never serve a bad value.
+            if (obs_)
+                obs_->value_crc_failures->inc();
+            dropRecord(best_hash, "corrupt");
+            continue;
+        }
+        size_t n = 0;
+        const uint8_t *payload = seg->payloadAt(meta.offset, n);
+        POTLUCK_ASSERT(payload && meta.value_off + meta.value_len <= n,
+                       "cold record shrank under its meta");
+        std::vector<uint8_t> bytes(payload + meta.value_off,
+                                   payload + meta.value_off +
+                                       meta.value_len);
+        out.entry = CacheEntry{};
+        out.entry.function = meta.function;
+        out.entry.app = meta.app;
+        out.entry.value =
+            meta.value_len > 0 ? makeValue(std::move(bytes)) : Value{};
+        out.entry.compute_overhead_us = meta.overhead_us;
+        out.entry.access_frequency.store(meta.access_frequency,
+                                         std::memory_order_relaxed);
+        out.entry.expiry_us = meta.expiry_us;
+        out.dist = best_dist;
+        removeFromSlots(best_hash, meta);
+        out.entry.keys = std::move(meta.keys);
+        meta.resident = true;
+        if (obs_)
+            obs_->promotions->inc();
+        obs::recordDecision(recorder_, obs::DecisionKind::Promotion,
+                            "promote", meta.function, best_dist, threshold,
+                            static_cast<double>(meta.value_len), best_hash);
+        refreshGauges();
+        return true;
+    }
+    if (obs_)
+        obs_->probe_misses->inc();
+    return false;
+}
+
+void
+TieredStore::forget(const CacheEntry &entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    dropRecord(contentIdentity(entry), "forgotten");
+}
+
+void
+TieredStore::noteRegistration(const std::string &function,
+                              const KeyTypeConfig &cfg)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    SlotKey slot{function, cfg.name};
+    if (!slot_metrics_.emplace(slot, cfg.metric).second)
+        return;
+    SidecarRegistration reg;
+    reg.function = function;
+    reg.config = cfg;
+    uint64_t gen = 0, offset = 0;
+    appendFrame(encodeRegistration(reg), gen, offset);
+    registrations_.push_back(std::move(reg));
+    noteMutation();
+}
+/// @}
+
+/// @name Maintenance.
+/// @{
+
+size_t
+TieredStore::sweepExpiredCold()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || !service_)
+        return 0;
+    const uint64_t now = service_->nowUs();
+    std::vector<uint64_t> expired;
+    for (const auto &[hash, meta] : records_) {
+        if (!meta.resident && meta.expiry_us <= now)
+            expired.push_back(hash);
+    }
+    for (uint64_t hash : expired)
+        dropRecord(hash, "expired");
+    if (!expired.empty()) {
+        if (obs_)
+            obs_->cold_expired->inc(expired.size());
+        obs::recordDecision(recorder_, obs::DecisionKind::ExpirySweep,
+                            "cold-sweep", "cold", 0, 0, 0, expired.size());
+    }
+    return expired.size();
+}
+
+size_t
+TieredStore::enforceColdCapacity()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return 0;
+    return enforceColdCapacityLocked();
+}
+
+size_t
+TieredStore::enforceColdCapacityLocked()
+{
+    if (config_.cold_capacity_bytes == 0 ||
+        cold_bytes_ <= config_.cold_capacity_bytes) {
+        return 0;
+    }
+    // Same ranking the hot tier evicts by (Section 3.3), per byte of
+    // log footprint: cheapest-to-recompute, least-hit, largest go
+    // first.
+    std::vector<std::pair<double, uint64_t>> ranked;
+    for (const auto &[hash, meta] : records_) {
+        if (meta.resident)
+            continue;
+        const double importance =
+            meta.overhead_us * static_cast<double>(meta.access_frequency) /
+            static_cast<double>(std::max<size_t>(meta.frame_bytes, 1));
+        ranked.emplace_back(importance, hash);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    size_t dropped = 0;
+    for (const auto &[importance, hash] : ranked) {
+        if (cold_bytes_ <= config_.cold_capacity_bytes)
+            break;
+        dropRecord(hash, "cold-capacity");
+        ++dropped;
+    }
+    if (dropped && obs_)
+        obs_->cold_evictions->inc(dropped);
+    return dropped;
+}
+
+long
+TieredStore::compactOnce()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_)
+        return -1;
+    uint64_t victim_gen = 0;
+    double victim_ratio = 0.0;
+    for (const auto &[gen, seg] : segments_) {
+        if (gen == active_gen_)
+            continue; // never compact the segment being appended to
+        const size_t tail = seg->tail();
+        size_t garbage = 0;
+        if (auto it = garbage_.find(gen); it != garbage_.end())
+            garbage = it->second;
+        const double ratio =
+            tail == 0 ? 1.0
+                      : static_cast<double>(garbage) /
+                            static_cast<double>(tail);
+        if (ratio >= config_.compact_garbage_ratio &&
+            ratio > victim_ratio) {
+            victim_ratio = ratio;
+            victim_gen = gen;
+        }
+    }
+    if (victim_gen == 0)
+        return -1;
+
+    // Copy the victim's live records forward into the active segment.
+    std::vector<uint64_t> live;
+    for (const auto &[hash, meta] : records_) {
+        if (meta.gen == victim_gen)
+            live.push_back(hash);
+    }
+    SegmentFile *victim = segments_.at(victim_gen).get();
+    long moved = 0;
+    for (uint64_t hash : live) {
+        RecordMeta &meta = records_.at(hash);
+        size_t n = 0;
+        const uint8_t *payload = victim->payloadAt(meta.offset, n);
+        if (!payload) {
+            dropRecord(hash, "compact-unreadable");
+            continue;
+        }
+        const std::string copy(reinterpret_cast<const char *>(payload), n);
+        uint64_t gen = 0, offset = 0;
+        if (!appendFrame(copy, gen, offset)) {
+            // Only possible when segment_bytes shrank across a restart
+            // below this record's size.
+            if (obs_)
+                obs_->oversize_drops->inc();
+            dropRecord(hash, "compact-oversize");
+            continue;
+        }
+        meta.gen = gen;
+        meta.offset = offset;
+        ++moved;
+    }
+
+    // Make the copies durable and re-addressed before the old frames
+    // disappear; a crash in between leaves duplicates that replay
+    // resolves by generation order.
+    segments_.at(active_gen_)->sync();
+    if (!flushIndexLocked()) {
+        // No sidecar made it to disk, so the victim's frames may hold
+        // the only durable Registration records — re-append them so a
+        // scan-only recovery still rebuilds the slots.
+        for (const SidecarRegistration &reg : registrations_) {
+            uint64_t g = 0, off = 0;
+            appendFrame(encodeRegistration(reg), g, off);
+        }
+        segments_.at(active_gen_)->sync();
+    }
+    victim->destroy();
+    segments_.erase(victim_gen);
+    garbage_.erase(victim_gen);
+    if (obs_) {
+        obs_->compactions->inc();
+        obs_->compacted_records->inc(static_cast<uint64_t>(moved));
+        obs_->segments_deleted->inc();
+    }
+    obs::recordDecision(recorder_, obs::DecisionKind::Compaction, "compact",
+                        config_.dir, victim_ratio,
+                        static_cast<double>(moved),
+                        static_cast<double>(segments_.size()), victim_gen);
+    refreshGauges();
+    return moved;
+}
+
+void
+TieredStore::flushIndex()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return;
+    flushIndexLocked();
+}
+
+bool
+TieredStore::flushIndexLocked()
+{
+    // Sync before naming: the sidecar must never reference bytes less
+    // durable than itself.
+    for (auto &[gen, seg] : segments_)
+        seg->sync();
+    SidecarImage image = buildImage();
+    try {
+        saveSidecar(image, sidecarPath(config_.dir));
+        mutations_since_flush_ = 0;
+        if (obs_)
+            obs_->index_rewrites->inc();
+        return true;
+    } catch (const FatalError &e) {
+        POTLUCK_WARN("store: sidecar rewrite failed: " << e.what());
+        return false;
+    }
+}
+
+SidecarImage
+TieredStore::buildImage() const
+{
+    SidecarImage image;
+    image.registrations = registrations_;
+    for (const auto &[gen, seg] : segments_)
+        image.segments.push_back({gen, seg->tail()});
+    image.entries.reserve(records_.size());
+    for (const auto &[hash, meta] : records_)
+        image.entries.push_back({hash, meta.gen, meta.offset});
+    return image;
+}
+/// @}
+
+/// @name Introspection.
+/// @{
+
+size_t
+TieredStore::coldEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cold_count_;
+}
+
+size_t
+TieredStore::coldBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cold_bytes_;
+}
+
+size_t
+TieredStore::trackedRecords() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+size_t
+TieredStore::numSegments() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return segments_.size();
+}
+/// @}
+
+} // namespace potluck::store

@@ -24,6 +24,7 @@
 #include "ipc/message.h"
 #include "ipc/server.h"
 #include "obs/trace_export.h"
+#include "store/tiered_store.h"
 
 namespace potluck {
 namespace {
@@ -347,6 +348,47 @@ TEST(CoordinatorTest, AsyncPutReplicationReachesRingSuccessor)
     EXPECT_TRUE(r.hit);
     EXPECT_EQ(decodeInt(r.value), 9);
     EXPECT_EQ(a.metrics().counter("cluster.forwarded_puts").value(), 1u);
+}
+
+TEST(CoordinatorTest, ReplicaWritesLandInTheReplicasTieredStore)
+{
+    // A replica daemon running with --store-dir must write replicated
+    // puts through to its disk tier like any local put — otherwise a
+    // crashed replica restarts cold exactly when the mesh needs it.
+    std::string store_dir =
+        (std::filesystem::temp_directory_path() /
+         ("potluck_cluster_store_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(store_dir);
+
+    PotluckService a(quietConfig());
+    PotluckService b(quietConfig());
+    store::StoreConfig scfg;
+    scfg.dir = store_dir;
+    scfg.maintenance_interval_ms = 0;
+    store::TieredStore store(scfg);
+    store.attach(b);
+
+    ClusterConfig cfg;
+    cfg.self_tag = "a";
+    cfg.self_endpoint = "node_a";
+    cfg.forward_misses = false;
+    ClusterCoordinator coordinator(a, cfg);
+    coordinator.addLocalPeer("node_b", b);
+    coordinator.install();
+
+    a.registerKeyType("f", {"vec", Metric::L2, IndexKind::Linear});
+    PutOptions opts;
+    opts.app = "producer";
+    a.put("f", "vec", FeatureVector({2.0f}), encodeInt(9), opts);
+    coordinator.drain();
+
+    EXPECT_TRUE(b.lookup("reader", "f", "vec", FeatureVector({2.0f})).hit);
+    EXPECT_EQ(store.trackedRecords(), 1u);
+    EXPECT_EQ(b.metrics().counter("store.admits").value(), 1u);
+
+    store.close();
+    std::filesystem::remove_all(store_dir);
 }
 
 TEST(CoordinatorTest, ReplicaEventsAreNotReplicatedAgain)

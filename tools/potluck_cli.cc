@@ -10,8 +10,15 @@
  *   potluck_cli [...] mput FUNCTION KEYTYPE K1,K2,..=VALUE [K..=V ...]
  *   potluck_cli [...] mget FUNCTION KEYTYPE K1,K2,.. [K1,K2,.. ...]
  *   potluck_cli [...] stats [--json|--prom]
+ *   potluck_cli [...] store [--json]
  *   potluck_cli [...] trace [--json]
  *   potluck_cli [...] peers [--json]
+ *
+ * `store` filters the same kStats snapshot down to the tiered
+ * persistent store (DESIGN.md §12): cold-tier occupancy gauges plus
+ * the demotion / promotion / compaction counters. Against a daemon
+ * started without --store-dir it reports that the store is disabled
+ * (exit 0 — not an error).
  *
  * `peers` fetches the daemon's cluster status over the kPeers verb:
  * one row per federated peer with its link state (up / half-open /
@@ -71,6 +78,7 @@ usage()
                  "  potluck_cli [...] mput FN KEYTYPE K1,K2,..=VALUE [..]\n"
                  "  potluck_cli [...] mget FN KEYTYPE K1,K2,.. [..]\n"
                  "  potluck_cli [...] stats [--json|--prom]\n"
+                 "  potluck_cli [...] store [--json]\n"
                  "  potluck_cli [...] trace [--json]\n"
                  "  potluck_cli [...] peers [--json]\n";
     std::exit(1);
@@ -201,6 +209,131 @@ runStats(PotluckClient &client, const std::string &format)
     return 0;
 }
 
+/** Minimal JSON string escaping for socket paths and tags. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+int
+runStore(PotluckClient &client, bool json)
+{
+    auto remote = client.fetchMetrics();
+    const obs::RegistrySnapshot &snap = remote.snapshot;
+
+    // The store registers its gauges at attach() time, so their mere
+    // presence — values included, even zeros — means a tier is wired.
+    std::vector<obs::RegistrySnapshot::GaugeSample> gauges;
+    std::vector<obs::RegistrySnapshot::CounterSample> counters;
+    for (const auto &g : snap.gauges) {
+        if (g.name.compare(0, 6, "store.") == 0)
+            gauges.push_back(g);
+    }
+    for (const auto &c : snap.counters) {
+        if (c.name.compare(0, 6, "store.") == 0)
+            counters.push_back(c);
+    }
+    bool enabled = !gauges.empty() || !counters.empty();
+
+    if (json) {
+        std::cout << "{\"enabled\":" << (enabled ? "true" : "false");
+        for (const auto &g : gauges)
+            std::cout << ",\"" << jsonEscape(g.name) << "\":" << g.value;
+        for (const auto &c : counters)
+            std::cout << ",\"" << jsonEscape(c.name) << "\":" << c.value;
+        std::cout << "}\n";
+        return 0;
+    }
+    if (!enabled) {
+        std::cout << "tiered store disabled (daemon started without "
+                     "--store-dir)\n";
+        return 0;
+    }
+    std::cout << "cold tier\n"
+              << "  entries:     " << snap.gaugeValue("store.cold_entries")
+              << "\n"
+              << "  cold bytes:  "
+              << formatBytes(static_cast<size_t>(
+                     snap.gaugeValue("store.cold_bytes")))
+              << "\n"
+              << "  disk bytes:  "
+              << formatBytes(static_cast<size_t>(
+                     snap.gaugeValue("store.disk_bytes")))
+              << " across " << snap.gaugeValue("store.segments")
+              << " segment"
+              << (snap.gaugeValue("store.segments") == 1 ? "" : "s")
+              << " ("
+              << formatBytes(static_cast<size_t>(
+                     snap.gaugeValue("store.garbage_bytes")))
+              << " garbage)\n";
+    std::printf("tiering\n"
+                "  admits:      %llu write-through, %llu replaced\n"
+                "  demotions:   %llu\n"
+                "  promotions:  %llu of %llu probes (%llu misses)\n"
+                "  drops:       %llu tombstones, %llu cold evictions, "
+                "%llu expired\n",
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.admits")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.replaced")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.demotions")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.promotions")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.probes")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.probe_misses")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.tombstones")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.cold_evictions")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.cold_expired")));
+    std::printf("maintenance\n"
+                "  compactions: %llu (%llu records moved, %llu segments "
+                "created, %llu deleted)\n"
+                "  index:       %llu sidecar rewrites\n",
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.compactions")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.compacted_records")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.segments_created")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.segments_deleted")),
+                static_cast<unsigned long long>(
+                    snap.counterValue("store.index_rewrites")));
+    uint64_t recovered = snap.counterValue("store.recovered_records");
+    if (recovered) {
+        std::printf("recovery\n"
+                    "  records:     %llu (%llu via raw-log scan)\n",
+                    static_cast<unsigned long long>(recovered),
+                    static_cast<unsigned long long>(
+                        snap.counterValue("store.recovered_from_scan")));
+    }
+    uint64_t crc_failures = snap.counterValue("store.value_crc_failures");
+    uint64_t torn = snap.counterValue("store.torn_segments");
+    uint64_t oversize = snap.counterValue("store.oversize_drops");
+    if (crc_failures || torn || oversize) {
+        std::printf("damage\n"
+                    "  %llu value CRC failures, %llu torn segments, "
+                    "%llu oversize drops\n",
+                    static_cast<unsigned long long>(crc_failures),
+                    static_cast<unsigned long long>(torn),
+                    static_cast<unsigned long long>(oversize));
+    }
+    return 0;
+}
+
 const char *
 peerStateName(uint8_t state)
 {
@@ -214,20 +347,6 @@ peerStateName(uint8_t state)
     default:
         return "?";
     }
-}
-
-/** Minimal JSON string escaping for socket paths and tags. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
 }
 
 int
@@ -435,6 +554,16 @@ main(int argc, char **argv)
                     usage();
             }
             return runStats(client, format);
+        }
+        if (cmd == "store" && args.size() <= 2) {
+            bool json = false;
+            if (args.size() == 2) {
+                if (args[1] == "--json")
+                    json = true;
+                else
+                    usage();
+            }
+            return runStore(client, json);
         }
         if (cmd == "peers" && args.size() <= 2) {
             bool json = false;

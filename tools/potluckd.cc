@@ -15,10 +15,20 @@
  *            [--no-recorder] [--trace-dump PATH]
  *            [--trace-slo-us N] [--trace-sample-prob P]
  *            [--peers SOCK,SOCK,...] [--replicas N] [--cluster-tag NAME]
+ *            [--store-dir DIR] [--cold-capacity-mb N]
  *
  * With --snapshot, the cache is restored from PATH at startup (if the
  * file exists) and saved back on clean shutdown — the "secondary flash
  * storage" layer of the paper's architecture figure.
+ *
+ * With --store-dir, the daemon additionally runs the tiered persistent
+ * store (DESIGN.md §12): every put is written through to an mmap'd
+ * segment log under DIR, capacity evictions demote their victim to
+ * that cold tier instead of dropping it, and cold entries are promoted
+ * back into RAM when a lookup lands within the similarity threshold.
+ * After a crash — even SIGKILL — a restart with the same DIR comes
+ * back warm. --cold-capacity-mb bounds the disk footprint (0 =
+ * unbounded); --snapshot remains independent and optional.
  *
  * With --peers, the daemon federates with other potluckd instances
  * (DESIGN.md §11): every daemon in the mesh is started with the same
@@ -54,6 +64,7 @@
 #include "core/potluck_service.h"
 #include "ipc/server.h"
 #include "obs/export.h"
+#include "store/tiered_store.h"
 #include "obs/trace_export.h"
 #include "util/logging.h"
 #include "util/stats.h"
@@ -124,7 +135,8 @@ usage()
            "                [--no-recorder] [--trace-dump PATH]\n"
            "                [--trace-slo-us N] [--trace-sample-prob P]\n"
            "                [--peers SOCK,SOCK,...] [--replicas N]\n"
-           "                [--cluster-tag NAME]\n";
+           "                [--cluster-tag NAME]\n"
+           "                [--store-dir DIR] [--cold-capacity-mb N]\n";
     std::exit(1);
 }
 
@@ -177,6 +189,8 @@ main(int argc, char **argv)
     std::vector<std::string> peer_sockets;
     size_t replicas = 1;
     std::string cluster_tag;
+    std::string store_dir;
+    uint64_t cold_capacity_mb = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -248,6 +262,10 @@ main(int argc, char **argv)
             replicas = std::stoull(next());
         } else if (arg == "--cluster-tag") {
             cluster_tag = next();
+        } else if (arg == "--store-dir") {
+            store_dir = next();
+        } else if (arg == "--cold-capacity-mb") {
+            cold_capacity_mb = std::stoull(next());
         } else {
             usage();
         }
@@ -272,6 +290,32 @@ main(int argc, char **argv)
                 }
                 std::cout << std::endl;
             }
+        }
+        // The tiered store attaches before the socket opens (its
+        // recovered registrations must be in place when the first
+        // client connects) and is declared after the service so it is
+        // destroyed — and therefore detached — first; the explicit
+        // close() below just makes the final sidecar rewrite visible
+        // in the shutdown log.
+        std::unique_ptr<store::TieredStore> tiered;
+        if (!store_dir.empty()) {
+            store::StoreConfig scfg;
+            scfg.dir = store_dir;
+            scfg.cold_capacity_bytes = cold_capacity_mb << 20;
+            tiered = std::make_unique<store::TieredStore>(std::move(scfg));
+            tiered->attach(service);
+            const store::RecoveryReport &rec = tiered->recovery();
+            std::cout << "potluckd: tiered store at " << store_dir
+                      << ": recovered " << rec.records << " records ("
+                      << rec.from_sidecar << " via sidecar, "
+                      << rec.from_scan << " via scan), "
+                      << rec.registrations << " registrations";
+            if (rec.torn_segments) {
+                std::cout << "; " << rec.torn_segments
+                          << " torn segment tail"
+                          << (rec.torn_segments == 1 ? "" : "s");
+            }
+            std::cout << std::endl;
         }
         // The coordinator hooks into the service before the socket
         // opens, and outlives the server (which feeds it traffic):
@@ -349,6 +393,12 @@ main(int argc, char **argv)
             size_t written = saveSnapshot(service, snapshot_path);
             std::cout << "potluckd: saved " << written << " entries to "
                       << snapshot_path << std::endl;
+        }
+        if (tiered) {
+            tiered->close();
+            std::cout << "potluckd: tiered store closed ("
+                      << tiered->trackedRecords() << " durable records)"
+                      << std::endl;
         }
         std::cout << "potluckd: shutting down" << std::endl;
         setPanicHook(nullptr); // service (and its recorder) die next
