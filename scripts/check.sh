@@ -30,6 +30,21 @@
 # in the Prometheus export), with the function registration recovered
 # from the segment log rather than re-registered.
 #
+# A chaos stage boots a 2-daemon cluster from the fault-injection
+# build with daemon A's disk rotting bits on append
+# (POTLUCK_FS_FAULTS=bit_flip): `potluck_cli scrub` must quarantine the
+# rotten frames, the daemon's anti-entropy tick must re-fetch them from
+# the clean replica (cluster_repair_hits), and every key must be served
+# again afterwards. A second fault stage fills daemon A's "disk"
+# (write_enospc): puts must keep succeeding RAM-only with
+# store_write_degraded counting each refused write-through, and the
+# daemon must stay alive throughout.
+#
+# Unless this run IS the undefined-sanitizer run, the store/scrub test
+# suites are rebuilt under UBSan and rerun: the mmap'd frame arithmetic
+# (offset casts, CRC folds, length words read from raw bytes) must be
+# UB-clean on every check.
+#
 # Unless this run IS the thread-sanitizer run, a last stage builds the
 # concurrency stress test under ThreadSanitizer and runs it: the shard
 # locking, kd-tree lazy rebuild and LSH lazy projections must be
@@ -269,6 +284,132 @@ PROMOTED="$("$CLI" --socket "$SSOCK" stats --prom |
     exit 1
 }
 echo "check.sh: store warm-restart smoke OK ($PROMOTED promotions after SIGKILL)"
+
+# ---- chaos stage: bit-rot -> scrub -> quarantine -> peer repair --------
+# Two fault-build daemons in a mesh. A's store rots one byte of each of
+# the first three appended frames (deterministic under the fixed seed);
+# B holds clean replicas. After an on-demand scrub quarantines the rot,
+# A's once-a-second anti-entropy tick must re-fetch the entries from B
+# and serve them again — the full self-healing loop, end to end.
+FDAEMON="$FAULT_BUILD/tools/potluckd"
+FCLI="$FAULT_BUILD/tools/potluck_cli"
+CHAOS_DIR_A="$(mktemp -d /tmp/potluck_chaos_a_XXXXXX)"
+CHAOS_DIR_B="$(mktemp -d /tmp/potluck_chaos_b_XXXXXX)"
+XSOCK_A="$(mktemp -u /tmp/potluck_chaos_a_XXXXXX.sock)"
+XSOCK_B="$(mktemp -u /tmp/potluck_chaos_b_XXXXXX.sock)"
+
+# --max-entries 1 demotes everything but the newest entry to the cold
+# tier: the scrubber only verifies non-resident frames.
+POTLUCK_FS_FAULTS="bit_flip=1.0,max_bit_flips=3,seed=7" \
+    "$FDAEMON" --socket "$XSOCK_A" --store-dir "$CHAOS_DIR_A" \
+    --max-entries 1 --peers "$XSOCK_B" --cluster-tag xa \
+    --stats-sec 0 --dropout 0 &
+XPID_A=$!
+"$FDAEMON" --socket "$XSOCK_B" --store-dir "$CHAOS_DIR_B" \
+    --peers "$XSOCK_A" --cluster-tag xb --stats-sec 0 --dropout 0 &
+XPID_B=$!
+cleanup_chaos() {
+    kill "$XPID_A" "$XPID_B" 2>/dev/null || true
+    wait "$XPID_A" "$XPID_B" 2>/dev/null || true
+    rm -rf "$CHAOS_DIR_A" "$CHAOS_DIR_B"
+    rm -f "$XSOCK_A" "$XSOCK_B"
+    cleanup_store
+}
+trap cleanup_chaos EXIT
+
+for s in "$XSOCK_A" "$XSOCK_B"; do
+    for _ in $(seq 1 50); do
+        [ -S "$s" ] && break
+        sleep 0.1
+    done
+    [ -S "$s" ] || { echo "check.sh: chaos daemon did not start" >&2; exit 1; }
+done
+sleep 1.2 # breaker cooldown for the link that connected first
+
+"$FCLI" --socket "$XSOCK_A" register chaos vec
+"$FCLI" --socket "$XSOCK_A" mput chaos vec \
+    1,0,0=one 2,0,0=two 3,0,0=three 4,0,0=four 5,0,0=five 6,0,0=six
+sleep 1 # replicas fan out to B
+
+"$FCLI" --socket "$XSOCK_A" scrub # quarantines the rotted frames
+"$FCLI" --socket "$XSOCK_A" scrub --json > /dev/null
+CORRUPT="$("$FCLI" --socket "$XSOCK_A" stats --prom |
+    awk '$1 == "store_scrub_corrupt" { print $2 }')"
+[ "${CORRUPT:-0}" -ge 1 ] || {
+    echo "check.sh: scrub found no injected bit-rot" >&2
+    exit 1
+}
+
+# The anti-entropy tick fires once a second; give it two.
+sleep 2.5
+REPAIRED="$("$FCLI" --socket "$XSOCK_A" stats --prom |
+    awk '$1 == "cluster_repair_hits" { print $2 }')"
+[ "${REPAIRED:-0}" -ge 1 ] || {
+    echo "check.sh: no quarantined entry was repaired from the replica" >&2
+    exit 1
+}
+# The healed entries are served again — mget exits non-zero on any miss.
+"$FCLI" --socket "$XSOCK_A" mget chaos vec 1,0,0 2,0,0 3,0,0 4,0,0 5,0,0 6,0,0
+echo "check.sh: chaos stage OK ($CORRUPT frames rotted, $REPAIRED repaired from peer)"
+
+kill "$XPID_A" "$XPID_B" 2>/dev/null || true
+wait "$XPID_A" "$XPID_B" 2>/dev/null || true
+
+# ---- fault stage: ENOSPC degrades to RAM-only, daemon survives ---------
+ENO_DIR="$(mktemp -d /tmp/potluck_enospc_XXXXXX)"
+ENO_SOCK="$(mktemp -u /tmp/potluck_enospc_XXXXXX.sock)"
+POTLUCK_FS_FAULTS="write_enospc=1.0" \
+    "$FDAEMON" --socket "$ENO_SOCK" --store-dir "$ENO_DIR" \
+    --stats-sec 0 --dropout 0 &
+ENO_PID=$!
+cleanup_enospc() {
+    kill "$ENO_PID" 2>/dev/null || true
+    wait "$ENO_PID" 2>/dev/null || true
+    rm -rf "$ENO_DIR"
+    rm -f "$ENO_SOCK"
+    cleanup_chaos
+}
+trap cleanup_enospc EXIT
+
+for _ in $(seq 1 50); do
+    [ -S "$ENO_SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$ENO_SOCK" ] || { echo "check.sh: enospc daemon did not start" >&2; exit 1; }
+
+# Every write-through fails, but the puts themselves must succeed
+# (exit 0) and the entries must be served from RAM (exit 0 on get).
+"$FCLI" --socket "$ENO_SOCK" register full vec
+"$FCLI" --socket "$ENO_SOCK" mput full vec 1,1,1=a 2,2,2=b 3,3,3=c
+"$FCLI" --socket "$ENO_SOCK" get full vec 1,1,1
+DEGRADED="$("$FCLI" --socket "$ENO_SOCK" stats --prom |
+    awk '$1 == "store_write_degraded" { print $2 }')"
+[ "${DEGRADED:-0}" -ge 1 ] || {
+    echo "check.sh: full disk did not count degraded writes" >&2
+    exit 1
+}
+kill -0 "$ENO_PID" || {
+    echo "check.sh: daemon died on a full disk" >&2
+    exit 1
+}
+echo "check.sh: ENOSPC stage OK (daemon alive, $DEGRADED degraded writes)"
+kill "$ENO_PID" 2>/dev/null || true
+wait "$ENO_PID" 2>/dev/null || true
+
+# ---- UndefinedBehaviorSanitizer store stage ----------------------------
+# The store's frame arithmetic on raw mmap'd bytes is where UB hides;
+# run its suites under UBSan on every check.
+if [ "$SANITIZER" != "undefined" ]; then
+    UBSAN_BUILD="$ROOT/build-undefined"
+    cmake -S "$ROOT" -B "$UBSAN_BUILD" -DPOTLUCK_SANITIZE=undefined \
+        -DPOTLUCK_FAULT_INJECTION=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build "$UBSAN_BUILD" -j "$(nproc)" \
+        --target store_test store_warm_restart_test store_scrub_test
+    "$UBSAN_BUILD/tests/store_test"
+    "$UBSAN_BUILD/tests/store_warm_restart_test"
+    "$UBSAN_BUILD/tests/store_scrub_test"
+    echo "check.sh: store suites clean under UBSan"
+fi
 
 # ---- ThreadSanitizer concurrency stage --------------------------------
 # The full suite already ran under TSan when that was the requested

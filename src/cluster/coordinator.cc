@@ -62,6 +62,14 @@ SocketPeerLink::put(const PotluckService::PutEvent &event,
                            event.value, origin, event.compute_overhead_us);
 }
 
+LookupResult
+SocketPeerLink::fetch(const std::string &function,
+                      const std::string &key_type, const FeatureVector &key,
+                      const std::string &origin)
+{
+    return client_.peerFetch(function, key_type, key, origin);
+}
+
 int
 SocketPeerLink::state() const
 {
@@ -128,6 +136,9 @@ ClusterCoordinator::ClusterCoordinator(PotluckService &local,
     forwarded_puts_ = &reg.counter("cluster.forwarded_puts");
     replica_dropped_ = &reg.counter("cluster.replica_dropped");
     peer_errors_ = &reg.counter("cluster.peer_errors");
+    repair_attempts_ = &reg.counter("cluster.repair.attempts");
+    repair_hits_ = &reg.counter("cluster.repair.hits");
+    repair_misses_ = &reg.counter("cluster.repair.misses");
     queue_depth_ = &reg.gauge("cluster.replica_queue_depth");
     if (local_.config().enable_tracing)
         remote_lookup_ns_ = &reg.histogram("cluster.remote_lookup_ns");
@@ -379,6 +390,66 @@ ClusterCoordinator::noteLinkState(size_t li)
                                   << (state == 2 ? "degraded (breaker open)"
                                       : state == 1 ? "probing (half-open)"
                                                    : "recovered"));
+}
+
+size_t
+ClusterCoordinator::repair(const std::vector<ColdRepairRequest> &requests)
+{
+    if (requests.empty() || links_.empty())
+        return 0;
+    ensureRing();
+    size_t repaired = 0;
+    const uint64_t now = local_.nowUs();
+    for (const ColdRepairRequest &req : requests) {
+        if (req.expiry_us != 0 && req.expiry_us <= now)
+            continue; // already expired: quarantine drop is the repair
+        bool healed = false;
+        for (const auto &kv : req.keys) {
+            const std::string &key_type = kv.first;
+            // Replica holders are the slot's ring successors (they
+            // received the kPeerPut fan-out); try them in ring order,
+            // skipping self. A hop-limited fetch from a dead peer is
+            // one refused round trip once its breaker is open.
+            for (size_t m : ring_->ringOrder(req.function, key_type)) {
+                if (m == 0)
+                    continue;
+                size_t li = m - 1;
+                repair_attempts_->inc();
+                LookupResult remote = links_[li]->fetch(
+                    req.function, key_type, kv.second, cfg_.self_tag);
+                noteLinkState(li);
+                if (!remote.hit) {
+                    repair_misses_->inc();
+                    continue;
+                }
+                repair_hits_->inc();
+                link_obs_[li]->remote_hits->inc();
+                // Re-put under the replica app: the store's append of
+                // this identity clears the quarantine (its Repair
+                // decision event marks the heal), and the replica tag
+                // keeps the put from being forwarded back out.
+                PutOptions options;
+                options.app =
+                    std::string(kReplicaAppPrefix) + links_[li]->tag();
+                options.compute_overhead_us = req.overhead_us;
+                if (req.expiry_us != 0)
+                    options.ttl_us = req.expiry_us - now;
+                try {
+                    local_.put(req.function, key_type, kv.second,
+                               remote.value, options);
+                } catch (const FatalError &) {
+                    break; // slot vanished locally; abandon this entry
+                }
+                healed = true;
+                break;
+            }
+            if (healed)
+                break;
+        }
+        if (healed)
+            ++repaired;
+    }
+    return repaired;
 }
 
 ClusterStatus

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "cluster/peer_ring.h"
+#include "core/cold_tier.h"
 #include "core/potluck_service.h"
 #include "ipc/client.h"
 #include "ipc/retry.h"
@@ -140,6 +141,17 @@ class PeerLink
     virtual bool put(const PotluckService::PutEvent &event,
                      const std::string &origin) = 0;
 
+    /** Anti-entropy repair read (kPeerFetch): re-fetch an entry this
+     * node quarantined. Defaults to an ordinary peer lookup, which is
+     * exactly right for in-process links. */
+    virtual LookupResult fetch(const std::string &function,
+                               const std::string &key_type,
+                               const FeatureVector &key,
+                               const std::string &origin)
+    {
+        return lookup(function, key_type, key, origin);
+    }
+
     /** CircuitBreaker::State as int (0 up / 1 half-open / 2 open);
      * in-process links are always 0. */
     virtual int state() const = 0;
@@ -161,6 +173,9 @@ class SocketPeerLink : public PeerLink
                         const std::string &origin) override;
     bool put(const PotluckService::PutEvent &event,
              const std::string &origin) override;
+    LookupResult fetch(const std::string &function,
+                       const std::string &key_type, const FeatureVector &key,
+                       const std::string &origin) override;
     int state() const override;
 
   private:
@@ -220,6 +235,18 @@ class ClusterCoordinator
 
     /** Cluster status for the kPeers verb / `potluck_cli peers`. */
     ClusterStatus status();
+
+    /**
+     * Anti-entropy repair: for each quarantined entry the local store
+     * reported (TieredStore::takeRepairRequests), re-fetch the value
+     * by content identity from the slot's ring successors via
+     * kPeerFetch and re-put it locally — the put re-appends a clean
+     * frame and clears the quarantine. Expired entries are skipped;
+     * peers are tried in ring order until one answers (each link's
+     * breaker keeps a dead peer to one refused round trip). Returns
+     * the number of entries repaired.
+     */
+    size_t repair(const std::vector<ColdRepairRequest> &requests);
 
     /** Ring identity of the member owning a slot (tests, benches). */
     const std::string &ownerEndpoint(const std::string &function,
@@ -291,6 +318,9 @@ class ClusterCoordinator
     obs::Counter *forwarded_puts_;
     obs::Counter *replica_dropped_;
     obs::Counter *peer_errors_;
+    obs::Counter *repair_attempts_;
+    obs::Counter *repair_hits_;
+    obs::Counter *repair_misses_;
     obs::Gauge *queue_depth_;
     obs::LatencyHistogram *remote_lookup_ns_ = nullptr;
     /// @}

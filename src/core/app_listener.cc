@@ -172,6 +172,29 @@ AppListener::execute(const Request &request)
         reply.ok = true;
         break;
       }
+      case RequestType::PeerFetch: {
+        if (request.hops > 1) {
+            reply.error = "peer hop limit exceeded";
+            break;
+        }
+        // A repair read is just a lookup under the replica app: it may
+        // itself be served from this node's cold tier (promoting the
+        // frame verifies its CRC, so a rotten replica never answers).
+        LookupResult result = service_.lookup(
+            peerApp(request), request.function, request.key_type,
+            request.key);
+        reply.ok = true;
+        reply.hit = result.hit;
+        reply.dropped = result.dropped;
+        reply.value = result.value;
+        reply.entry_id = result.id;
+        break;
+      }
+      case RequestType::Scrub: {
+        reply.num_entries = service_.scrubColdTier();
+        reply.ok = true;
+        break;
+      }
       case RequestType::Peers: {
         if (cluster_provider_)
             reply.cluster = cluster_provider_();

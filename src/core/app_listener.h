@@ -56,6 +56,14 @@ enum class RequestType : uint8_t
     /** kPeers: cluster status — peer table, link states, replication
      * queue depth — for `potluck_cli peers`. */
     Peers = 12,
+    /** kPeerFetch: anti-entropy repair read — a peer re-fetches an
+     * entry it quarantined, by (function, key type, key), with the
+     * same origin/hop envelope as kPeerLookup. Unlike kPeerLookup it
+     * is issued to ring successors (replica holders), not the owner. */
+    PeerFetch = 13,
+    /** kScrub: on-demand cold-tier integrity pass for
+     * `potluck_cli scrub`; replies with frames/bytes verified. */
+    Scrub = 14,
 };
 
 /** One peer link's health, as reported by the kPeers verb. */

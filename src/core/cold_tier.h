@@ -23,6 +23,8 @@
 #ifndef POTLUCK_CORE_COLD_TIER_H
 #define POTLUCK_CORE_COLD_TIER_H
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "core/cache_entry.h"
@@ -37,6 +39,21 @@ struct ColdPromotion
 {
     CacheEntry entry;
     double dist = 0.0;
+};
+
+/**
+ * A quarantined record the tier wants re-fetched from a replica: the
+ * scrubber found its frame corrupt, so only the RAM-side meta (keys,
+ * importance inputs) survives. The cluster layer fetches the value
+ * from ring successors by (function, key type, key) and re-puts it.
+ */
+struct ColdRepairRequest
+{
+    uint64_t identity = 0; ///< content identity of the lost record
+    std::string function;
+    std::map<std::string, FeatureVector> keys;
+    double overhead_us = 0.0;
+    uint64_t expiry_us = 0; ///< absolute, on the service clock
 };
 
 /** Disk tier consulted by the service's put/miss/evict/expiry paths. */
@@ -87,6 +104,14 @@ class ColdTier
      */
     virtual void noteRegistration(const std::string &function,
                                   const KeyTypeConfig &cfg) = 0;
+
+    /**
+     * Integrity check on demand (the `potluck_cli scrub` verb): verify
+     * every cold record's checksum now, ignoring any background rate
+     * budget, and quarantine what fails. Returns frames verified.
+     * Tiers without media to scrub report 0.
+     */
+    virtual size_t scrubNow() { return 0; }
 };
 
 } // namespace potluck

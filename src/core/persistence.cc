@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "util/crc32.h"
+#include "util/fs_faults.h"
 #include "util/logging.h"
 
 namespace potluck {
@@ -182,6 +183,12 @@ saveSnapshot(const PotluckService &service, const std::string &path)
 {
     // Write-to-temp + fsync + atomic rename: a crash at any point
     // leaves either the old snapshot or the new one, never a torn mix.
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FsFaultInjector *fi = FsFaultInjector::active()) {
+        if (fi->shouldFailSnapshot())
+            POTLUCK_FATAL("fault injection: snapshot save refused");
+    }
+#endif
     const std::string tmp = path + ".tmp";
     size_t written = 0;
     {

@@ -682,6 +682,13 @@ PotluckService::setColdTier(ColdTier *tier)
     cold_tier_.store(tier, std::memory_order_release);
 }
 
+size_t
+PotluckService::scrubColdTier()
+{
+    ColdTier *tier = cold_tier_.load(std::memory_order_acquire);
+    return tier ? tier->scrubNow() : 0;
+}
+
 EntryId
 PotluckService::insertPromoted(CacheEntry entry, uint64_t now)
 {

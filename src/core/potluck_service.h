@@ -211,6 +211,10 @@ class PotluckService
      */
     void setColdTier(ColdTier *tier);
 
+    /** On-demand cold-tier integrity scrub (kScrub): verify every
+     * cold record now. Returns frames verified; 0 without a tier. */
+    size_t scrubColdTier();
+
     /// @name Reputation defense (enabled via config.enable_reputation).
     /// @{
     double reputationScore(const std::string &app) const;

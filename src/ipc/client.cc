@@ -505,6 +505,53 @@ PotluckClient::peerPut(const std::string &function,
     return reply.ok;
 }
 
+LookupResult
+PotluckClient::peerFetch(const std::string &function,
+                         const std::string &key_type,
+                         const FeatureVector &key, const std::string &origin)
+{
+    Request request;
+    request.type = RequestType::PeerFetch;
+    request.app = app_;
+    request.function = function;
+    request.key_type = key_type;
+    request.key = key;
+    request.origin = origin;
+    request.hops = 1;
+    Reply reply;
+    try {
+        reply = roundTrip(request);
+    } catch (const TransportError &) {
+        if (!policy_.degraded_mode)
+            throw;
+        degraded_lookups_->inc();
+        return LookupResult{};
+    }
+    if (!reply.ok) {
+        // The peer refused (hop limit, unregistered slot): repair just
+        // moves on to the next successor.
+        return LookupResult{};
+    }
+    LookupResult result;
+    result.hit = reply.hit;
+    result.dropped = reply.dropped;
+    result.value = reply.value;
+    result.id = reply.entry_id;
+    return result;
+}
+
+uint64_t
+PotluckClient::triggerScrub()
+{
+    Request request;
+    request.type = RequestType::Scrub;
+    request.app = app_;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("scrub failed: " << reply.error);
+    return reply.num_entries;
+}
+
 ClusterStatus
 PotluckClient::fetchPeers()
 {

@@ -136,10 +136,26 @@ class PotluckClient
                  std::optional<double> compute_overhead_us = std::nullopt,
                  std::optional<uint64_t> ttl_us = std::nullopt);
 
+    /**
+     * Re-fetch an entry this node quarantined from a replica-holding
+     * peer — the kPeerFetch verb (anti-entropy repair). Same envelope
+     * and degradation rules as peerLookup: a dead or refusing peer is
+     * just a miss, and the coordinator tries the next successor.
+     */
+    LookupResult peerFetch(const std::string &function,
+                           const std::string &key_type,
+                           const FeatureVector &key,
+                           const std::string &origin);
+
     /** Fetch the daemon's cluster status (the kPeers verb). Throws
      * TransportError when unreachable past the retry budget. */
     ClusterStatus fetchPeers();
     /// @}
+
+    /** Trigger a full cold-tier integrity scrub now (the kScrub verb);
+     * returns frames verified. Throws TransportError when unreachable
+     * past the retry budget. */
+    uint64_t triggerScrub();
 
     /** Service-wide counters and cache occupancy. */
     struct RemoteStats

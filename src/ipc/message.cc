@@ -276,7 +276,7 @@ readTraceRecord(Reader &r)
         POTLUCK_FATAL("bad trace record kind: " << int(kind));
     record.kind = static_cast<obs::RecordKind>(kind);
     uint8_t decision = r.u8();
-    if (decision > static_cast<uint8_t>(obs::DecisionKind::PeerStateChange))
+    if (decision > static_cast<uint8_t>(obs::DecisionKind::Repair))
         POTLUCK_FATAL("bad trace decision kind: " << int(decision));
     record.decision = static_cast<obs::DecisionKind>(decision);
     record.proc = r.u8();

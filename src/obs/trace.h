@@ -82,7 +82,10 @@ enum class DecisionKind : uint8_t
     PeerStateChange = 6,   ///< a/b = from/to peer-link state, u = peer idx
     Demotion = 7,          ///< a/b/c = overhead_us/access_freq/size_bytes
     Promotion = 8,         ///< a/b/c = dist/threshold/value_bytes
-    Compaction = 9         ///< a/b/c = garbage_ratio/moved/segments_left
+    Compaction = 9,        ///< a/b/c = garbage_ratio/moved/segments_left
+    ScrubCorruption = 10,  ///< a/b = frame_bytes/offset, u = key hash
+    Quarantine = 11,       ///< a = quarantine set size, u = key hash
+    Repair = 12            ///< a = value_bytes, u = key hash
 };
 
 /**

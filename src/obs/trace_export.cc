@@ -112,6 +112,22 @@ decisionArgsJson(const TraceRecord &r)
             << ",\"segments_left\":" << formatDouble(r.c)
             << ",\"generation\":" << r.u;
         break;
+      case DecisionKind::ScrubCorruption:
+        out << "\"entry\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"frame_bytes\":" << formatDouble(r.a)
+            << ",\"offset\":" << formatDouble(r.b)
+            << ",\"key_hash\":" << r.u;
+        break;
+      case DecisionKind::Quarantine:
+        out << "\"entry\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"quarantined\":" << formatDouble(r.a)
+            << ",\"key_hash\":" << r.u;
+        break;
+      case DecisionKind::Repair:
+        out << "\"entry\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"value_bytes\":" << formatDouble(r.a)
+            << ",\"key_hash\":" << r.u;
+        break;
       case DecisionKind::None:
         out << "\"detail\":\"" << jsonEscape(r.detail) << "\"";
         break;
@@ -172,6 +188,21 @@ decisionArgsHuman(const TraceRecord &r)
                       "segments_left=%.0f gen=%" PRIu64,
                       r.detail, r.a, r.b, r.c, r.u);
         break;
+      case DecisionKind::ScrubCorruption:
+        std::snprintf(buf, sizeof(buf),
+                      "entry=%s frame=%.0fB offset=%.0f hash=%" PRIu64,
+                      r.detail, r.a, r.b, r.u);
+        break;
+      case DecisionKind::Quarantine:
+        std::snprintf(buf, sizeof(buf),
+                      "entry=%s quarantined=%.0f hash=%" PRIu64, r.detail,
+                      r.a, r.u);
+        break;
+      case DecisionKind::Repair:
+        std::snprintf(buf, sizeof(buf),
+                      "entry=%s value=%.0fB hash=%" PRIu64, r.detail, r.a,
+                      r.u);
+        break;
       case DecisionKind::None:
         std::snprintf(buf, sizeof(buf), "%s", r.detail);
         break;
@@ -203,6 +234,12 @@ decisionName(DecisionKind kind)
         return "store.promotion";
       case DecisionKind::Compaction:
         return "store.compaction";
+      case DecisionKind::ScrubCorruption:
+        return "store.scrub_corruption";
+      case DecisionKind::Quarantine:
+        return "store.quarantine";
+      case DecisionKind::Repair:
+        return "store.repair";
       case DecisionKind::None:
         return "decision";
     }

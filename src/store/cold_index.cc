@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "util/crc32.h"
+#include "util/fs_faults.h"
 #include "util/logging.h"
 
 namespace potluck::store {
@@ -112,6 +113,12 @@ syncParentDir(const std::string &path)
 void
 saveSidecar(const SidecarImage &image, const std::string &path)
 {
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FsFaultInjector *fi = FsFaultInjector::active()) {
+        if (fi->shouldFailSidecar())
+            POTLUCK_FATAL("fault injection: sidecar rewrite refused");
+    }
+#endif
     std::ostringstream body;
     putU64(body, image.registrations.size());
     for (const SidecarRegistration &reg : image.registrations) {

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "util/crc32.h"
+#include "util/fs_faults.h"
 #include "util/logging.h"
 
 namespace potluck::store {
@@ -69,6 +70,27 @@ SegmentFile::SegmentFile(std::string path, uint64_t generation,
     map_ = static_cast<uint8_t *>(map);
 }
 
+std::unique_ptr<SegmentFile>
+SegmentFile::tryOpen(std::string path, uint64_t generation, size_t capacity,
+                     std::string &error)
+{
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FsFaultInjector *fi = FsFaultInjector::active()) {
+        if (fi->shouldFailOpen()) {
+            error = "fault injection: segment open failed (" + path + ")";
+            return nullptr;
+        }
+    }
+#endif
+    try {
+        return std::make_unique<SegmentFile>(std::move(path), generation,
+                                             capacity);
+    } catch (const FatalError &e) {
+        error = e.what();
+        return nullptr;
+    }
+}
+
 SegmentFile::~SegmentFile()
 {
     if (map_)
@@ -83,18 +105,45 @@ SegmentFile::fits(size_t n) const
     return tail_ + kFrameOverhead + n <= capacity_;
 }
 
-size_t
-SegmentFile::append(const void *payload, size_t n)
+bool
+SegmentFile::append(const void *payload, size_t n, size_t &offset)
 {
     POTLUCK_ASSERT(fits(n), "segment append past capacity");
-    size_t offset = tail_;
+    offset = tail_;
     uint8_t *dst = map_ + offset;
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FsFaultInjector *fi = FsFaultInjector::active()) {
+        switch (fi->onAppend()) {
+        case FsFaultInjector::WriteAction::Pass:
+            break;
+        case FsFaultInjector::WriteAction::Eio:
+        case FsFaultInjector::WriteAction::Enospc:
+            return false; // nothing written; tail unchanged
+        case FsFaultInjector::WriteAction::Torn:
+            // Payload lands but the length word never does — on disk
+            // this is exactly a crash between the two memcpys. The
+            // zeroed length keeps the bytes invisible to any scan.
+            std::memcpy(dst + sizeof(uint64_t), payload, n);
+            return false;
+        }
+    }
+#endif
     // Payload and CRC land before the length word: a crash between the
     // two leaves a zero length (clean end), never a frame whose length
     // points at garbage that happens to checksum.
     std::memcpy(dst + sizeof(uint64_t), payload, n);
     uint32_t crc = crc32(payload, n);
     std::memcpy(dst + sizeof(uint64_t) + n, &crc, sizeof(crc));
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FsFaultInjector *fi = FsFaultInjector::active()) {
+        size_t index = 0;
+        uint8_t mask = 0;
+        // Rot AFTER the CRC is computed: the frame is durably wrong,
+        // which is what the scrubber exists to find.
+        if (fi->corruptPayload(n, index, mask))
+            dst[sizeof(uint64_t) + index] ^= mask;
+    }
+#endif
     uint64_t len = n;
     std::memcpy(dst, &len, sizeof(len));
     tail_ = offset + kFrameOverhead + n;
@@ -103,7 +152,7 @@ SegmentFile::append(const void *payload, size_t n)
     // cleanly at the tail" invariant without wiping the whole range.
     if (tail_ + sizeof(uint64_t) <= capacity_)
         std::memset(map_ + tail_, 0, sizeof(uint64_t));
-    return offset;
+    return true;
 }
 
 const uint8_t *
@@ -157,11 +206,18 @@ SegmentFile::scanFrom(
     return report;
 }
 
-void
+bool
 SegmentFile::sync() const
 {
-    if (map_)
-        ::msync(map_, capacity_, MS_SYNC);
+    if (!map_)
+        return true;
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FsFaultInjector *fi = FsFaultInjector::active()) {
+        if (fi->shouldFailSync())
+            return false;
+    }
+#endif
+    return ::msync(map_, capacity_, MS_SYNC) == 0;
 }
 
 void

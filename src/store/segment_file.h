@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 namespace potluck::store {
@@ -54,6 +55,17 @@ class SegmentFile
     SegmentFile(std::string path, uint64_t generation, size_t capacity);
     ~SegmentFile();
 
+    /**
+     * Non-throwing open for runtime rotation: a full or failing disk
+     * at rotation time must degrade the store, not abort the daemon.
+     * Returns nullptr with `error` filled on failure (including
+     * injected open faults).
+     */
+    static std::unique_ptr<SegmentFile> tryOpen(std::string path,
+                                                uint64_t generation,
+                                                size_t capacity,
+                                                std::string &error);
+
     SegmentFile(const SegmentFile &) = delete;
     SegmentFile &operator=(const SegmentFile &) = delete;
 
@@ -68,10 +80,15 @@ class SegmentFile
     bool fits(size_t n) const;
 
     /**
-     * Append one framed record; returns the frame's byte offset.
-     * Caller must check fits() first (panics otherwise).
+     * Append one framed record, filling `offset` with the frame's
+     * byte offset. Caller must check fits() first (panics otherwise).
+     * Returns false when the write fails (injected EIO/ENOSPC/torn
+     * write); the segment then holds no visible new frame — a torn
+     * write leaves bytes past the tail that the zeroed length word
+     * keeps invisible — and the caller must degrade gracefully.
+     * Always succeeds in builds without fault injection.
      */
-    size_t append(const void *payload, size_t n);
+    bool append(const void *payload, size_t n, size_t &offset);
 
     /**
      * Read the payload of the frame at `offset` without verifying its
@@ -96,8 +113,10 @@ class SegmentFile
         size_t from,
         const std::function<void(size_t, const uint8_t *, size_t)> &fn);
 
-    /** msync the mapped range (durability checkpoint). */
-    void sync() const;
+    /** msync the mapped range (durability checkpoint). Returns false
+     * when msync fails (real or injected EIO): the data may not be
+     * power-loss durable and callers must not name it in the sidecar. */
+    bool sync() const;
 
     /** Unmap, close and delete the backing file (compaction). */
     void destroy();

@@ -1,8 +1,15 @@
 #include "store/tiered_store.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/logging.h"
@@ -114,6 +121,45 @@ segmentPath(const std::string &dir, uint64_t gen)
 }
 
 std::string
+lockPath(const std::string &dir)
+{
+    return dir + "/LOCK";
+}
+
+/**
+ * Directories locked by stores OPEN in this process. The pidfile alone
+ * cannot tell "a second store in this process" (must refuse) apart
+ * from "this process reopening after closeDirty()" (must reclaim —
+ * the pid in the stale file is our own): both read back getpid().
+ */
+std::mutex g_open_dirs_mutex;
+std::set<std::string> g_open_dirs;
+
+bool
+markDirOpen(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(g_open_dirs_mutex);
+    return g_open_dirs.insert(dir).second;
+}
+
+void
+markDirClosed(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(g_open_dirs_mutex);
+    g_open_dirs.erase(dir);
+}
+
+/** Steady-clock milliseconds (backoff + scrub token arithmetic). */
+uint64_t
+steadyMs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::string
 sidecarPath(const std::string &dir)
 {
     return dir + "/index.sidecar";
@@ -183,11 +229,18 @@ struct TieredStore::Metrics
     obs::Counter *value_crc_failures;
     obs::Counter *oversize_drops;
     obs::Counter *index_rewrites;
+    obs::Counter *write_degraded;
+    obs::Counter *scrub_frames;
+    obs::Counter *scrub_bytes;
+    obs::Counter *scrub_corrupt;
+    obs::Counter *scrub_passes;
+    obs::Counter *scrub_repaired;
     obs::Gauge *cold_entries;
     obs::Gauge *cold_bytes;
     obs::Gauge *segments;
     obs::Gauge *garbage_bytes;
     obs::Gauge *disk_bytes;
+    obs::Gauge *scrub_quarantined;
 
     explicit Metrics(obs::MetricsRegistry &reg)
         : admits(&reg.counter("store.admits")),
@@ -209,11 +262,18 @@ struct TieredStore::Metrics
           value_crc_failures(&reg.counter("store.value_crc_failures")),
           oversize_drops(&reg.counter("store.oversize_drops")),
           index_rewrites(&reg.counter("store.index_rewrites")),
+          write_degraded(&reg.counter("store.write_degraded")),
+          scrub_frames(&reg.counter("store.scrub.frames")),
+          scrub_bytes(&reg.counter("store.scrub.bytes")),
+          scrub_corrupt(&reg.counter("store.scrub.corrupt")),
+          scrub_passes(&reg.counter("store.scrub.passes")),
+          scrub_repaired(&reg.counter("store.scrub.repaired")),
           cold_entries(&reg.gauge("store.cold_entries")),
           cold_bytes(&reg.gauge("store.cold_bytes")),
           segments(&reg.gauge("store.segments")),
           garbage_bytes(&reg.gauge("store.garbage_bytes")),
-          disk_bytes(&reg.gauge("store.disk_bytes"))
+          disk_bytes(&reg.gauge("store.disk_bytes")),
+          scrub_quarantined(&reg.gauge("store.scrub.quarantined"))
     {}
 };
 
@@ -252,6 +312,62 @@ TieredStore::openDir()
         POTLUCK_FATAL("cannot create store directory " << config_.dir << ": "
                                                        << ec.message());
     }
+    acquireLock();
+}
+
+void
+TieredStore::acquireLock()
+{
+    // O_EXCL pidfile: two daemons mmap'ing the same segments would
+    // interleave appends into mutual garbage, so the second attacher
+    // must fail loudly. A lock whose pid is dead (or is us — a dirty
+    // close in this very process) is stale and reclaimed. The
+    // in-process registry closes the hole the pidfile cannot: a SECOND
+    // store in this process also reads back our own pid.
+    if (!markDirOpen(config_.dir)) {
+        POTLUCK_FATAL("store directory "
+                      << config_.dir
+                      << " is already open in this process");
+    }
+    const std::string path = lockPath(config_.dir);
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+        if (fd >= 0) {
+            const std::string pid = std::to_string(::getpid()) + "\n";
+            if (::write(fd, pid.data(), pid.size()) !=
+                static_cast<ssize_t>(pid.size())) {
+                POTLUCK_WARN("store: short write to lockfile " << path);
+            }
+            lock_fd_ = fd;
+            return;
+        }
+        if (errno != EEXIST) {
+            markDirClosed(config_.dir);
+            POTLUCK_FATAL("cannot create store lockfile "
+                          << path << ": " << std::strerror(errno));
+        }
+        long holder = 0;
+        {
+            std::ifstream in(path);
+            in >> holder;
+        }
+        if (holder > 0 && holder != static_cast<long>(::getpid()) &&
+            (::kill(static_cast<pid_t>(holder), 0) == 0 ||
+             errno != ESRCH)) {
+            markDirClosed(config_.dir);
+            POTLUCK_FATAL("store directory "
+                          << config_.dir << " is locked by running pid "
+                          << holder
+                          << " (stop that daemon or use a different "
+                             "--store-dir)");
+        }
+        POTLUCK_WARN("store: reclaiming stale lock "
+                     << path << " (pid " << holder << " is gone)");
+        ::unlink(path.c_str());
+    }
+    markDirClosed(config_.dir);
+    POTLUCK_FATAL("cannot acquire store lockfile " << path
+                                                   << ": reclaim raced");
 }
 
 void
@@ -484,6 +600,15 @@ TieredStore::closeImpl(bool dirty)
         }
         closed_ = true;
         segments_.clear(); // unmap (page cache keeps the bytes)
+        if (lock_fd_ >= 0) {
+            ::close(lock_fd_);
+            lock_fd_ = -1;
+            // A dirty close simulates SIGKILL, which leaves the
+            // pidfile behind; the same-pid reclaim handles reopen.
+            if (!dirty)
+                ::unlink(lockPath(config_.dir).c_str());
+            markDirClosed(config_.dir);
+        }
     }
     if (service_) {
         service_->setColdTier(nullptr);
@@ -523,9 +648,17 @@ TieredStore::maintenanceLoop()
             if (stop_)
                 return;
         }
+        {
+            // A failing disk gets quiet time, not a retry storm: skip
+            // the whole pass while the jittered backoff deadline runs.
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (inBackoff())
+                continue;
+        }
         sweepExpiredCold();
         enforceColdCapacity();
         compactOnce();
+        scrubStep();
         bool flush;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -609,32 +742,46 @@ TieredStore::decodeEntry(const uint8_t *payload, size_t n, RecordMeta &meta,
 /// @name Log appends (mutex_ held).
 /// @{
 
-bool
+TieredStore::AppendResult
 TieredStore::appendFrame(const std::string &payload, uint64_t &gen,
                          uint64_t &offset)
 {
     SegmentFile *active = segments_[active_gen_].get();
     if (!active->fits(payload.size())) {
-        rotateSegment();
+        if (payload.size() + sizeof(uint64_t) + sizeof(uint32_t) >
+            config_.segment_bytes) {
+            return AppendResult::Oversize; // can never fit a segment
+        }
+        if (!rotateSegment())
+            return AppendResult::Faulted; // full disk: stay degraded
         active = segments_[active_gen_].get();
-        if (!active->fits(payload.size()))
-            return false; // oversize payload
     }
-    offset = active->append(payload.data(), payload.size());
+    size_t off = 0;
+    if (!active->append(payload.data(), payload.size(), off))
+        return AppendResult::Faulted;
+    offset = off;
     gen = active_gen_;
-    return true;
+    return AppendResult::Ok;
 }
 
-void
+bool
 TieredStore::rotateSegment()
 {
     segments_[active_gen_]->sync();
+    std::string error;
+    auto next = SegmentFile::tryOpen(segmentPath(config_.dir,
+                                                 active_gen_ + 1),
+                                     active_gen_ + 1,
+                                     config_.segment_bytes, error);
+    if (!next) {
+        POTLUCK_WARN("store: cannot rotate segment: " << error);
+        return false;
+    }
     ++active_gen_;
-    segments_[active_gen_] = std::make_unique<SegmentFile>(
-        segmentPath(config_.dir, active_gen_), active_gen_,
-        config_.segment_bytes);
+    segments_[active_gen_] = std::move(next);
     if (obs_)
         obs_->segments_created->inc();
+    return true;
 }
 
 void
@@ -648,16 +795,38 @@ TieredStore::writeEntryRecord(const CacheEntry &entry, uint64_t key_hash,
         return; // already expired; nothing worth persisting
     const std::string payload = encodeEntry(entry, key_hash, remaining);
     uint64_t gen = 0, offset = 0;
-    if (!appendFrame(payload, gen, offset)) {
+    switch (appendFrame(payload, gen, offset)) {
+    case AppendResult::Ok:
+        break;
+    case AppendResult::Oversize:
         if (obs_)
             obs_->oversize_drops->inc();
         return; // keep any previous record of this identity
+    case AppendResult::Faulted:
+        // The put already succeeded in RAM; losing only durability is
+        // the graceful degradation the daemon promises under EIO or a
+        // full disk.
+        noteWriteFault("entry append");
+        return;
     }
+    backoff_level_ = 0; // the disk is taking writes again
     auto it = records_.find(key_hash);
     if (it != records_.end()) {
         markGarbage(it->second);
-        if (!it->second.resident)
+        if (!it->second.resident && !it->second.quarantined)
             removeFromSlots(key_hash, it->second);
+        if (it->second.quarantined) {
+            // A clean record of this identity just landed (anti-
+            // entropy repair or an ordinary re-put): the quarantine is
+            // healed.
+            quarantine_.erase(key_hash);
+            if (obs_)
+                obs_->scrub_repaired->inc();
+            obs::recordDecision(recorder_, obs::DecisionKind::Repair,
+                                "repair", it->second.function,
+                                static_cast<double>(valueSize(entry.value)),
+                                0, 0, key_hash);
+        }
         if (obs_)
             obs_->replaced->inc();
         records_.erase(it);
@@ -691,16 +860,28 @@ TieredStore::dropRecord(uint64_t key_hash, const char *why)
     if (it == records_.end())
         return;
     markGarbage(it->second);
-    if (!it->second.resident)
+    if (!it->second.resident && !it->second.quarantined)
         removeFromSlots(key_hash, it->second);
     records_.erase(it);
+    // Dropping a quarantined record abandons its repair: the entry is
+    // gone (expired, evicted, compacted away), so there is nothing
+    // left worth re-fetching.
+    if (quarantine_.erase(key_hash) > 0)
+        refreshGauges();
     uint64_t gen = 0, offset = 0;
     const std::string payload = encodeTombstone(key_hash);
-    if (appendFrame(payload, gen, offset)) {
+    switch (appendFrame(payload, gen, offset)) {
+    case AppendResult::Ok:
         // The tombstone frame is garbage the moment it lands; it only
         // exists to stop the record resurrecting on replay.
         garbage_[gen] +=
             payload.size() + sizeof(uint64_t) + sizeof(uint32_t);
+        break;
+    case AppendResult::Faulted:
+        noteWriteFault("tombstone append");
+        break;
+    case AppendResult::Oversize:
+        break; // cannot happen (tombstones are tiny)
     }
     if (obs_)
         obs_->tombstones->inc();
@@ -769,6 +950,7 @@ TieredStore::refreshGauges()
     obs_->segments->set(static_cast<int64_t>(segments_.size()));
     obs_->garbage_bytes->set(static_cast<int64_t>(garbage));
     obs_->disk_bytes->set(static_cast<int64_t>(disk));
+    obs_->scrub_quarantined->set(static_cast<int64_t>(quarantine_.size()));
 }
 /// @}
 
@@ -896,10 +1078,11 @@ TieredStore::promote(const std::string &function,
         SegmentFile *seg = segments_.at(meta.gen).get();
         if (!seg->verifyAt(meta.offset)) {
             // Lazy fault-in found a record the crash tore or the disk
-            // rotted: drop it and rescan — never serve a bad value.
+            // rotted: quarantine it (queueing an anti-entropy repair)
+            // and rescan — never serve a bad value.
             if (obs_)
                 obs_->value_crc_failures->inc();
-            dropRecord(best_hash, "corrupt");
+            quarantineRecord(best_hash, meta);
             continue;
         }
         size_t n = 0;
@@ -958,7 +1141,12 @@ TieredStore::noteRegistration(const std::string &function,
     reg.function = function;
     reg.config = cfg;
     uint64_t gen = 0, offset = 0;
-    appendFrame(encodeRegistration(reg), gen, offset);
+    if (appendFrame(encodeRegistration(reg), gen, offset) ==
+        AppendResult::Faulted) {
+        // Keep the registration in RAM; a later sidecar rewrite (or
+        // the compaction fallback) persists it once the disk recovers.
+        noteWriteFault("registration append");
+    }
     registrations_.push_back(std::move(reg));
     noteMutation();
 }
@@ -1011,7 +1199,7 @@ TieredStore::enforceColdCapacityLocked()
     // first.
     std::vector<std::pair<double, uint64_t>> ranked;
     for (const auto &[hash, meta] : records_) {
-        if (meta.resident)
+        if (meta.resident || meta.quarantined)
             continue;
         const double importance =
             meta.overhead_us * static_cast<double>(meta.access_frequency) /
@@ -1067,8 +1255,16 @@ TieredStore::compactOnce()
     }
     SegmentFile *victim = segments_.at(victim_gen).get();
     long moved = 0;
+    bool aborted = false;
     for (uint64_t hash : live) {
         RecordMeta &meta = records_.at(hash);
+        if (meta.quarantined) {
+            // Corrupt frames are never carried forward: drop the
+            // record (tombstoned so it cannot resurrect) and abandon
+            // its pending repair — the bytes it would heal are gone.
+            dropRecord(hash, "compact-quarantined");
+            continue;
+        }
         size_t n = 0;
         const uint8_t *payload = victim->payloadAt(meta.offset, n);
         if (!payload) {
@@ -1077,23 +1273,41 @@ TieredStore::compactOnce()
         }
         const std::string copy(reinterpret_cast<const char *>(payload), n);
         uint64_t gen = 0, offset = 0;
-        if (!appendFrame(copy, gen, offset)) {
+        switch (appendFrame(copy, gen, offset)) {
+        case AppendResult::Ok:
+            meta.gen = gen;
+            meta.offset = offset;
+            ++moved;
+            continue;
+        case AppendResult::Oversize:
             // Only possible when segment_bytes shrank across a restart
             // below this record's size.
             if (obs_)
                 obs_->oversize_drops->inc();
             dropRecord(hash, "compact-oversize");
             continue;
+        case AppendResult::Faulted:
+            noteWriteFault("compaction copy");
+            aborted = true;
+            break;
         }
-        meta.gen = gen;
-        meta.offset = offset;
-        ++moved;
+        break;
+    }
+    if (aborted) {
+        // The victim still holds the only copy of the un-moved
+        // records; leave it in place and retry a later round.
+        refreshGauges();
+        return moved;
     }
 
     // Make the copies durable and re-addressed before the old frames
     // disappear; a crash in between leaves duplicates that replay
     // resolves by generation order.
-    segments_.at(active_gen_)->sync();
+    if (!segments_.at(active_gen_)->sync()) {
+        noteWriteFault("compaction sync");
+        refreshGauges();
+        return moved;
+    }
     if (!flushIndexLocked()) {
         // No sidecar made it to disk, so the victim's frames may hold
         // the only durable Registration records — re-append them so a
@@ -1102,7 +1316,11 @@ TieredStore::compactOnce()
             uint64_t g = 0, off = 0;
             appendFrame(encodeRegistration(reg), g, off);
         }
-        segments_.at(active_gen_)->sync();
+        if (!segments_.at(active_gen_)->sync()) {
+            noteWriteFault("compaction sync");
+            refreshGauges();
+            return moved;
+        }
     }
     victim->destroy();
     segments_.erase(victim_gen);
@@ -1134,8 +1352,13 @@ TieredStore::flushIndexLocked()
 {
     // Sync before naming: the sidecar must never reference bytes less
     // durable than itself.
+    bool synced = true;
     for (auto &[gen, seg] : segments_)
-        seg->sync();
+        synced = seg->sync() && synced;
+    if (!synced) {
+        noteWriteFault("segment sync");
+        return false;
+    }
     SidecarImage image = buildImage();
     try {
         saveSidecar(image, sidecarPath(config_.dir));
@@ -1145,6 +1368,7 @@ TieredStore::flushIndexLocked()
         return true;
     } catch (const FatalError &e) {
         POTLUCK_WARN("store: sidecar rewrite failed: " << e.what());
+        noteWriteFault("sidecar rewrite");
         return false;
     }
 }
@@ -1157,9 +1381,174 @@ TieredStore::buildImage() const
     for (const auto &[gen, seg] : segments_)
         image.segments.push_back({gen, seg->tail()});
     image.entries.reserve(records_.size());
-    for (const auto &[hash, meta] : records_)
+    for (const auto &[hash, meta] : records_) {
+        if (meta.quarantined)
+            continue; // never name a corrupt frame in the index
         image.entries.push_back({hash, meta.gen, meta.offset});
+    }
     return image;
+}
+/// @}
+
+/// @name Scrub + quarantine + degraded-write backoff.
+/// @{
+
+size_t
+TieredStore::scrubStep()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || config_.scrub_rate_bytes_per_sec == 0)
+        return 0;
+    const double rate =
+        static_cast<double>(config_.scrub_rate_bytes_per_sec);
+    const uint64_t now = steadyMs();
+    if (scrub_refill_ms_ == 0) {
+        scrub_tokens_ = rate; // full first-second allowance at start
+    } else {
+        scrub_tokens_ +=
+            rate * static_cast<double>(now - scrub_refill_ms_) / 1000.0;
+        scrub_tokens_ = std::min(scrub_tokens_, rate); // 1 s burst cap
+    }
+    scrub_refill_ms_ = now;
+    if (scrub_tokens_ <= 0.0)
+        return 0;
+    return scrubLocked(/*respect_budget=*/true);
+}
+
+size_t
+TieredStore::scrubNow()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return 0;
+    // Restart the cursor so the on-demand pass covers every cold
+    // frame, wherever the background scrub happened to be.
+    scrub_batch_.clear();
+    scrub_pos_ = 0;
+    return scrubLocked(/*respect_budget=*/false);
+}
+
+size_t
+TieredStore::scrubLocked(bool respect_budget)
+{
+    size_t verified = 0;
+    while (!respect_budget || scrub_tokens_ > 0.0) {
+        if (scrub_pos_ >= scrub_batch_.size()) {
+            const bool finished_pass = !scrub_batch_.empty();
+            scrub_batch_.clear();
+            scrub_pos_ = 0;
+            if (finished_pass) {
+                if (obs_)
+                    obs_->scrub_passes->inc();
+                break;
+            }
+            // Snapshot the cold population; records that move or die
+            // before their turn are skipped below.
+            scrub_batch_.reserve(records_.size());
+            for (const auto &[hash, meta] : records_) {
+                if (!meta.resident && !meta.quarantined)
+                    scrub_batch_.push_back(hash);
+            }
+            if (scrub_batch_.empty())
+                break;
+            continue;
+        }
+        const uint64_t hash = scrub_batch_[scrub_pos_++];
+        auto it = records_.find(hash);
+        if (it == records_.end() || it->second.resident ||
+            it->second.quarantined) {
+            continue;
+        }
+        RecordMeta &meta = it->second;
+        auto seg = segments_.find(meta.gen);
+        if (seg == segments_.end())
+            continue;
+        scrub_tokens_ -= static_cast<double>(meta.frame_bytes);
+        ++verified;
+        if (obs_) {
+            obs_->scrub_frames->inc();
+            obs_->scrub_bytes->inc(meta.frame_bytes);
+        }
+        if (!seg->second->verifyAt(meta.offset))
+            quarantineRecord(hash, meta);
+    }
+    return verified;
+}
+
+void
+TieredStore::quarantineRecord(uint64_t key_hash, RecordMeta &meta)
+{
+    if (meta.quarantined)
+        return;
+    if (!meta.resident)
+        removeFromSlots(key_hash, meta); // probes now miss it
+    meta.quarantined = true;
+    ColdRepairRequest req;
+    req.identity = key_hash;
+    req.function = meta.function;
+    req.keys = meta.keys;
+    req.overhead_us = meta.overhead_us;
+    req.expiry_us = meta.expiry_us;
+    quarantine_[key_hash] = std::move(req);
+    // Bounded dispatch queue: drop-oldest under a quarantine storm
+    // (the quarantine_ map itself keeps every entry excluded).
+    if (repair_queue_.size() >= 1024)
+        repair_queue_.erase(repair_queue_.begin());
+    repair_queue_.push_back(key_hash);
+    if (obs_)
+        obs_->scrub_corrupt->inc();
+    obs::recordDecision(recorder_, obs::DecisionKind::ScrubCorruption,
+                        "scrub-corrupt", meta.function,
+                        static_cast<double>(meta.frame_bytes),
+                        static_cast<double>(meta.offset), 0, key_hash);
+    obs::recordDecision(recorder_, obs::DecisionKind::Quarantine,
+                        "quarantine", meta.function,
+                        static_cast<double>(quarantine_.size()), 0, 0,
+                        key_hash);
+    POTLUCK_WARN("store: quarantined corrupt record of "
+                 << meta.function << " (hash " << key_hash
+                 << ", gen " << meta.gen << " offset " << meta.offset
+                 << "); repair queued");
+    refreshGauges();
+}
+
+std::vector<ColdRepairRequest>
+TieredStore::takeRepairRequests()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ColdRepairRequest> out;
+    out.reserve(repair_queue_.size());
+    for (uint64_t hash : repair_queue_) {
+        auto it = quarantine_.find(hash);
+        if (it != quarantine_.end())
+            out.push_back(it->second);
+    }
+    repair_queue_.clear();
+    return out;
+}
+
+void
+TieredStore::noteWriteFault(const char *what)
+{
+    if (obs_)
+        obs_->write_degraded->inc();
+    backoff_level_ = std::min<uint32_t>(backoff_level_ + 1, 6);
+    const uint64_t base =
+        std::max<uint64_t>(config_.maintenance_interval_ms, 100);
+    const uint64_t delay =
+        (base << backoff_level_) +
+        static_cast<uint64_t>(
+            backoff_rng_.uniformInt(0, static_cast<int64_t>(base)));
+    backoff_until_ms_ = steadyMs() + delay;
+    POTLUCK_WARN("store: degraded write ("
+                 << what << "); maintenance backing off " << delay
+                 << " ms");
+}
+
+bool
+TieredStore::inBackoff() const
+{
+    return steadyMs() < backoff_until_ms_;
 }
 /// @}
 
@@ -1192,6 +1581,13 @@ TieredStore::numSegments() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return segments_.size();
+}
+
+size_t
+TieredStore::quarantinedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantine_.size();
 }
 /// @}
 

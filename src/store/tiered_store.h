@@ -57,6 +57,7 @@
 #include "core/potluck_service.h"
 #include "store/cold_index.h"
 #include "store/segment_file.h"
+#include "util/rng.h"
 
 namespace potluck::store {
 
@@ -86,6 +87,14 @@ struct StoreConfig
 
     /** Rewrite the sidecar after this many log mutations. */
     size_t sidecar_rewrite_every = 4096;
+
+    /**
+     * Background scrub budget: cold-frame bytes CRC-verified per
+     * second (token bucket, refilled each maintenance tick; bursts up
+     * to one second of budget). 0 disables the background scrubber —
+     * scrubNow() still works.
+     */
+    size_t scrub_rate_bytes_per_sec = 4ull << 20;
 };
 
 /** What open() recovered from the store directory. */
@@ -149,6 +158,9 @@ class TieredStore : public ColdTier
     void forget(const CacheEntry &entry) override;
     void noteRegistration(const std::string &function,
                           const KeyTypeConfig &cfg) override;
+    /** Full-pass scrub ignoring the rate budget; returns frames
+     * verified. Corrupt frames are quarantined. */
+    size_t scrubNow() override;
     /// @}
 
     /// @name Maintenance steps (the thread runs these; tests may call
@@ -165,6 +177,10 @@ class TieredStore : public ColdTier
     long compactOnce();
     /** Atomically rewrite the sidecar index. */
     void flushIndex();
+    /** One budgeted increment of the background scrub: CRC-verify
+     * cold frames until the token bucket runs dry, quarantining what
+     * fails. Returns frames verified this step. */
+    size_t scrubStep();
     /// @}
 
     /// @name Introspection.
@@ -174,7 +190,17 @@ class TieredStore : public ColdTier
     size_t coldBytes() const;
     size_t trackedRecords() const;
     size_t numSegments() const;
+    size_t quarantinedCount() const;
     const StoreConfig &config() const { return config_; }
+
+    /**
+     * Drain the repair queue: one request per freshly quarantined
+     * record, carrying everything the cluster layer needs to re-fetch
+     * it from a ring replica. A successful re-put of the same content
+     * identity (repair or an ordinary local put) clears the
+     * quarantine automatically.
+     */
+    std::vector<ColdRepairRequest> takeRepairRequests();
 
     /** Content identity: FNV-1a over function + each (key type name,
      * key bytes) in type order. Stable across restarts (entry ids are
@@ -192,6 +218,7 @@ class TieredStore : public ColdTier
         size_t value_len = 0;
         size_t value_off = 0;     ///< payload-relative offset of value
         bool resident = true;     ///< RAM holds it; invisible to probes
+        bool quarantined = false; ///< frame failed CRC; served as miss
         std::string function;
         std::string app;
         double overhead_us = 0.0;
@@ -213,18 +240,28 @@ class TieredStore : public ColdTier
     struct Metrics;
 
     void openDir();
+    void acquireLock();
     void recover();
     void startThread();
     void stopThread();
     void maintenanceLoop();
     void closeImpl(bool dirty);
 
+    /** How a log append ended. */
+    enum class AppendResult
+    {
+        Ok,
+        Oversize, ///< payload can never fit a segment (permanent)
+        Faulted,  ///< write or rotation failed (transient; degrade)
+    };
+
     /** Append a framed payload, rotating to a new segment when the
-     * active one is full. Returns false for oversize payloads. */
-    bool appendFrame(const std::string &payload, uint64_t &gen,
-                     uint64_t &offset);
-    /** Seal the active segment and open generation + 1. */
-    void rotateSegment();
+     * active one is full. */
+    AppendResult appendFrame(const std::string &payload, uint64_t &gen,
+                             uint64_t &offset);
+    /** Seal the active segment and open generation + 1. Returns false
+     * when the new segment cannot be created (full/failing disk). */
+    bool rotateSegment();
 
     std::string encodeEntry(const CacheEntry &entry, uint64_t key_hash,
                             uint64_t remaining_ttl_us) const;
@@ -247,6 +284,18 @@ class TieredStore : public ColdTier
     void noteMutation();
     void refreshGauges();
     SidecarImage buildImage() const;
+
+    /** Quarantine a corrupt record and queue it for repair. Caller
+     * holds mutex_. */
+    void quarantineRecord(uint64_t key_hash, RecordMeta &meta);
+    /** Verify cold frames; full pass when `respect_budget` is false.
+     * Caller holds mutex_. Returns frames verified. */
+    size_t scrubLocked(bool respect_budget);
+    /** A store write path failed: count it and push maintenance into
+     * exponential backoff with jitter. Caller holds mutex_. */
+    void noteWriteFault(const char *what);
+    /** True while maintenance should stay off the (failing) disk. */
+    bool inBackoff() const;
 
     StoreConfig config_;
     RecoveryReport recovery_;
@@ -271,6 +320,26 @@ class TieredStore : public ColdTier
     size_t cold_bytes_ = 0; ///< frame bytes of probe-visible records
     size_t cold_count_ = 0; ///< probe-visible record count (gauge)
     size_t mutations_since_flush_ = 0;
+
+    /** Quarantined records by content identity: repair inputs kept
+     * even after the bad frame itself is dropped by compaction. */
+    std::unordered_map<uint64_t, ColdRepairRequest> quarantine_;
+    /** Freshly quarantined identities awaiting repair dispatch. */
+    std::vector<uint64_t> repair_queue_;
+
+    /** Scrub cursor: a snapshot of cold hashes walked incrementally
+     * across steps, plus the byte-rate token bucket. */
+    std::vector<uint64_t> scrub_batch_;
+    size_t scrub_pos_ = 0;
+    double scrub_tokens_ = 0.0;
+    uint64_t scrub_refill_ms_ = 0; ///< steady-clock ms of last refill
+
+    /** Degraded-write backoff (steady-clock ms deadline + level). */
+    uint64_t backoff_until_ms_ = 0;
+    uint32_t backoff_level_ = 0;
+    Rng backoff_rng_{0x5c72b5eedull};
+
+    int lock_fd_ = -1; ///< O_EXCL pidfile guarding the directory
 
     PotluckService *service_ = nullptr;
     obs::FlightRecorder *recorder_ = nullptr;

@@ -1,0 +1,556 @@
+/**
+ * @file
+ * Self-healing integrity tests: the background scrubber finding
+ * injected bit-rot and quarantining it, quarantine semantics (served
+ * as a miss, excluded from compaction carry-forward, healed by any
+ * re-put of the same content identity), anti-entropy repair through
+ * the cluster coordinator, the store-directory lockfile, and — under
+ * POTLUCK_FAULT_INJECTION — graceful RAM-only degradation when the
+ * disk fails every write.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "core/potluck_service.h"
+#include "store/tiered_store.h"
+#include "util/fs_faults.h"
+#include "util/logging.h"
+
+namespace potluck {
+namespace {
+
+using store::StoreConfig;
+using store::TieredStore;
+
+/** Unique per-test store directory, removed on scope exit. */
+struct TempDir
+{
+    std::string path;
+
+    explicit TempDir(const char *tag)
+    {
+        static std::atomic<int> counter{0};
+        path = (std::filesystem::temp_directory_path() /
+                ("potluck_scrub_" + std::string(tag) + "_" +
+                 std::to_string(::getpid()) + "_" +
+                 std::to_string(counter++)))
+                   .string();
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+PotluckConfig
+cfg()
+{
+    PotluckConfig config;
+    config.dropout_probability = 0.0;
+    config.warmup_entries = 0;
+    return config;
+}
+
+KeyTypeConfig
+kt(const char *name = "vec")
+{
+    return KeyTypeConfig{name, Metric::L2, IndexKind::Linear, nullptr,
+                         8,    6,          4.0};
+}
+
+/** Maintenance-thread-free store config (tests drive steps directly). */
+StoreConfig
+storeCfg(const std::string &dir, size_t segment_bytes = 1 << 20)
+{
+    StoreConfig scfg;
+    scfg.dir = dir;
+    scfg.segment_bytes = segment_bytes;
+    scfg.maintenance_interval_ms = 0;
+    return scfg;
+}
+
+/**
+ * Simulated media bit-rot: find `needle` (a value string distinctive
+ * enough to appear exactly once) in a segment file under `dir` and XOR
+ * one of its bytes in place. The store's MAP_SHARED mappings observe
+ * the change immediately — this is the frame the scrubber must catch.
+ * Returns true when the needle was found and rotted.
+ */
+bool
+rotValueOnDisk(const std::string &dir, const std::string &needle)
+{
+    for (const auto &ent : std::filesystem::directory_iterator(dir)) {
+        const std::string name = ent.path().filename().string();
+        if (name.rfind("seg-", 0) != 0)
+            continue;
+        std::fstream f(ent.path(),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        if (!f.good())
+            continue;
+        std::string blob((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+        size_t pos = blob.find(needle);
+        if (pos == std::string::npos)
+            continue;
+        char b = blob[pos];
+        b ^= 0x5a;
+        f.clear();
+        f.seekp(static_cast<std::streamoff>(pos));
+        f.write(&b, 1);
+        return f.good();
+    }
+    return false;
+}
+
+// -------------------------------------------------------------- scrubber
+
+TEST(ScrubTest, ScrubFindsBitRotAndQuarantines)
+{
+    TempDir dir("rot");
+    PotluckConfig config = cfg();
+    config.max_entries = 1;
+    VirtualClock clock;
+    PotluckService service(config, &clock);
+    TieredStore store(storeCfg(dir.path));
+    store.attach(service);
+
+    service.registerKeyType("f", kt());
+    service.put("f", "vec", FeatureVector({1.0f, 0.0f}),
+                encodeString("ROT-TARGET-VALUE"), {});
+    service.put("f", "vec", FeatureVector({2.0f, 0.0f}),
+                encodeString("keeper"), {}); // demotes the first
+    ASSERT_EQ(store.coldEntries(), 1u);
+
+    // Clean pass first: everything verifies, nothing quarantined.
+    EXPECT_EQ(store.scrubNow(), 1u);
+    EXPECT_EQ(store.quarantinedCount(), 0u);
+    EXPECT_EQ(service.metrics().counter("store.scrub.corrupt").value(), 0u);
+
+    ASSERT_TRUE(rotValueOnDisk(dir.path, "ROT-TARGET-VALUE"));
+    store.scrubNow();
+    EXPECT_EQ(store.quarantinedCount(), 1u);
+    EXPECT_EQ(service.metrics().counter("store.scrub.corrupt").value(), 1u);
+    EXPECT_EQ(service.metrics().gauge("store.scrub.quarantined").value(),
+              1);
+
+    // A quarantined record is served as a miss — never the rotten
+    // bytes, and never a crash.
+    LookupResult r =
+        service.lookup("app", "f", "vec", FeatureVector({1.0f, 0.0f}));
+    EXPECT_FALSE(r.hit);
+
+    // Scrubbing again must not double-count the same frame.
+    store.scrubNow();
+    EXPECT_EQ(store.quarantinedCount(), 1u);
+    EXPECT_EQ(service.metrics().counter("store.scrub.corrupt").value(), 1u);
+
+    store.close();
+}
+
+TEST(ScrubTest, LocalRePutHealsQuarantine)
+{
+    TempDir dir("heal");
+    PotluckConfig config = cfg();
+    config.max_entries = 1;
+    VirtualClock clock;
+    PotluckService service(config, &clock);
+    TieredStore store(storeCfg(dir.path));
+    store.attach(service);
+
+    service.registerKeyType("f", kt());
+    service.put("f", "vec", FeatureVector({1.0f, 0.0f}),
+                encodeString("HEAL-TARGET-VALUE"), {});
+    service.put("f", "vec", FeatureVector({2.0f, 0.0f}),
+                encodeString("keeper"), {});
+    ASSERT_TRUE(rotValueOnDisk(dir.path, "HEAL-TARGET-VALUE"));
+    store.scrubNow();
+    ASSERT_EQ(store.quarantinedCount(), 1u);
+
+    // The application recomputes and re-puts: the fresh append of the
+    // same content identity supersedes the rotten frame and clears the
+    // quarantine — no cluster needed.
+    service.put("f", "vec", FeatureVector({1.0f, 0.0f}),
+                encodeString("HEAL-TARGET-VALUE"), {});
+    EXPECT_EQ(store.quarantinedCount(), 0u);
+    EXPECT_EQ(service.metrics().counter("store.scrub.repaired").value(),
+              1u);
+    EXPECT_EQ(service.metrics().gauge("store.scrub.quarantined").value(),
+              0);
+
+    LookupResult r =
+        service.lookup("app", "f", "vec", FeatureVector({1.0f, 0.0f}));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(decodeString(r.value), "HEAL-TARGET-VALUE");
+
+    store.close();
+}
+
+TEST(ScrubTest, ScrubStepRespectsByteBudget)
+{
+    TempDir dir("budget");
+    PotluckConfig config = cfg();
+    config.max_entries = 1;
+    VirtualClock clock;
+    PotluckService service(config, &clock);
+    StoreConfig scfg = storeCfg(dir.path);
+    // Budget of ~2 frames per second: the first step's full-second
+    // burst cannot cover all six cold records.
+    scfg.scrub_rate_bytes_per_sec = 900;
+    TieredStore store(scfg);
+    store.attach(service);
+
+    service.registerKeyType("f", kt());
+    const std::string value(300, 'v');
+    for (int i = 0; i < 7; ++i) {
+        service.put("f", "vec",
+                    FeatureVector({static_cast<float>(i), 0.0f}),
+                    encodeString(value), {});
+    }
+    ASSERT_EQ(store.coldEntries(), 6u);
+
+    size_t first = store.scrubStep();
+    EXPECT_GT(first, 0u);
+    EXPECT_LT(first, 6u); // the bucket ran dry mid-pass
+    // Immediately stepping again earns ~no new tokens.
+    EXPECT_EQ(store.scrubStep(), 0u);
+    // scrubNow ignores the budget entirely.
+    EXPECT_EQ(store.scrubNow(), 6u);
+    EXPECT_GE(service.metrics().counter("store.scrub.frames").value(),
+              6u);
+    EXPECT_GT(service.metrics().counter("store.scrub.bytes").value(), 0u);
+
+    store.close();
+}
+
+TEST(ScrubTest, RepairQueueDrainsOnce)
+{
+    TempDir dir("queue");
+    PotluckConfig config = cfg();
+    config.max_entries = 1;
+    VirtualClock clock;
+    PotluckService service(config, &clock);
+    TieredStore store(storeCfg(dir.path));
+    store.attach(service);
+
+    service.registerKeyType("f", kt());
+    PutOptions opts;
+    opts.compute_overhead_us = 1234.0;
+    service.put("f", "vec", FeatureVector({1.0f, 0.0f}),
+                encodeString("QUEUE-TARGET-VALUE"), opts);
+    // The keeper must out-rank the target so eviction demotes the
+    // target (importance-ordered), leaving it cold for the scrubber.
+    PutOptions keeper_opts;
+    keeper_opts.compute_overhead_us = 999999.0;
+    service.put("f", "vec", FeatureVector({2.0f, 0.0f}),
+                encodeString("keeper"), keeper_opts);
+    ASSERT_TRUE(rotValueOnDisk(dir.path, "QUEUE-TARGET-VALUE"));
+    store.scrubNow();
+
+    std::vector<ColdRepairRequest> reqs = store.takeRepairRequests();
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].function, "f");
+    ASSERT_EQ(reqs[0].keys.count("vec"), 1u);
+    EXPECT_DOUBLE_EQ(reqs[0].overhead_us, 1234.0);
+    // Draining is one-shot; the quarantine itself stays until healed.
+    EXPECT_TRUE(store.takeRepairRequests().empty());
+    EXPECT_EQ(store.quarantinedCount(), 1u);
+
+    store.close();
+}
+
+TEST(ScrubTest, CompactionDropsQuarantinedRecords)
+{
+    TempDir dir("qcompact");
+    PotluckConfig config = cfg();
+    // One resident slot: the rot target is demoted to cold by the first
+    // churn put (the scrubber only verifies non-resident records).
+    config.max_entries = 1;
+    VirtualClock clock;
+    PotluckService service(config, &clock);
+    // Small segments: rewriting one key rolls generations, sealing the
+    // segment that holds the soon-to-be-rotten record.
+    StoreConfig scfg = storeCfg(dir.path, 4096);
+    TieredStore store(scfg);
+    store.attach(service);
+
+    service.registerKeyType("f", kt());
+    service.put("f", "vec", FeatureVector({9.0f, 9.0f}),
+                encodeString("COMPACT-ROT-VALUE"), {});
+    const std::string churn(256, 'z');
+    for (int i = 0; i < 100; ++i) {
+        service.put("f", "vec", FeatureVector({1.0f, 2.0f}),
+                    encodeString(churn + std::to_string(i)), {});
+    }
+    ASSERT_GT(store.numSegments(), 1u);
+
+    ASSERT_TRUE(rotValueOnDisk(dir.path, "COMPACT-ROT-VALUE"));
+    store.scrubNow();
+    ASSERT_EQ(store.quarantinedCount(), 1u);
+    size_t tracked_before = store.trackedRecords();
+
+    // Compaction must NOT carry the rotten frame forward: the record
+    // is tombstoned and its pending repair abandoned.
+    while (store.compactOnce() >= 0) {
+    }
+    EXPECT_EQ(store.quarantinedCount(), 0u);
+    EXPECT_LT(store.trackedRecords(), tracked_before);
+    LookupResult r =
+        service.lookup("app", "f", "vec", FeatureVector({9.0f, 9.0f}));
+    EXPECT_FALSE(r.hit);
+
+    store.close();
+}
+
+// ------------------------------------------------------------ anti-entropy
+
+TEST(ClusterRepairTest, RepairRefetchesFromPeerReplica)
+{
+    TempDir dir_a("repa");
+    TempDir dir_b("repb");
+    PotluckConfig config = cfg();
+    config.max_entries = 1;
+    VirtualClock clock_a, clock_b;
+    PotluckService a(config, &clock_a);
+    PotluckService b(cfg(), &clock_b);
+    TieredStore store_a(storeCfg(dir_a.path));
+    store_a.attach(a);
+
+    cluster::ClusterConfig ccfg;
+    ccfg.self_tag = "a";
+    ccfg.synchronous = true; // puts replicate inline, no worker races
+    ccfg.forward_misses = false;
+    cluster::ClusterCoordinator coord(a, ccfg);
+    coord.addLocalPeer("b", b);
+    coord.install();
+
+    a.registerKeyType("f", kt());
+    b.registerKeyType("f", kt());
+    PutOptions opts;
+    opts.compute_overhead_us = 500.0;
+    a.put("f", "vec", FeatureVector({1.0f, 0.0f}),
+          encodeString("REPAIR-TARGET-VALUE"), opts);
+    PutOptions keeper_opts; // must out-rank the target to demote it
+    keeper_opts.compute_overhead_us = 999999.0;
+    a.put("f", "vec", FeatureVector({2.0f, 0.0f}), encodeString("keeper"),
+          keeper_opts); // demotes the first on A
+    // The replica landed on B synchronously.
+    ASSERT_TRUE(
+        b.lookup("probe", "f", "vec", FeatureVector({1.0f, 0.0f})).hit);
+
+    ASSERT_TRUE(rotValueOnDisk(dir_a.path, "REPAIR-TARGET-VALUE"));
+    store_a.scrubNow();
+    ASSERT_EQ(store_a.quarantinedCount(), 1u);
+    ASSERT_FALSE(
+        a.lookup("app", "f", "vec", FeatureVector({1.0f, 0.0f})).hit);
+
+    // The daemon's anti-entropy tick: drain the quarantine into
+    // kPeerFetch repairs against the ring successors.
+    std::vector<ColdRepairRequest> reqs = store_a.takeRepairRequests();
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(coord.repair(reqs), 1u);
+
+    EXPECT_EQ(store_a.quarantinedCount(), 0u);
+    EXPECT_GE(a.metrics().counter("cluster.repair.attempts").value(), 1u);
+    EXPECT_EQ(a.metrics().counter("cluster.repair.hits").value(), 1u);
+    EXPECT_EQ(a.metrics().counter("store.scrub.repaired").value(), 1u);
+
+    LookupResult r =
+        a.lookup("app", "f", "vec", FeatureVector({1.0f, 0.0f}));
+    ASSERT_TRUE(r.hit);
+    EXPECT_EQ(decodeString(r.value), "REPAIR-TARGET-VALUE");
+
+    store_a.close();
+}
+
+TEST(ClusterRepairTest, RepairMissesWhenNoPeerHoldsTheEntry)
+{
+    TempDir dir_a("repmiss");
+    PotluckConfig config = cfg();
+    config.max_entries = 1;
+    VirtualClock clock_a, clock_b;
+    PotluckService a(config, &clock_a);
+    PotluckService b(cfg(), &clock_b); // never receives the entry
+    TieredStore store_a(storeCfg(dir_a.path));
+    store_a.attach(a);
+
+    cluster::ClusterConfig ccfg;
+    ccfg.self_tag = "a";
+    ccfg.synchronous = true;
+    ccfg.forward_misses = false;
+    ccfg.replicas = 0; // nothing fans out: B stays empty
+    cluster::ClusterCoordinator coord(a, ccfg);
+    coord.addLocalPeer("b", b);
+    coord.install();
+
+    a.registerKeyType("f", kt());
+    a.put("f", "vec", FeatureVector({1.0f, 0.0f}),
+          encodeString("LONELY-TARGET-VALUE"), {});
+    a.put("f", "vec", FeatureVector({2.0f, 0.0f}), encodeString("keeper"),
+          {});
+    ASSERT_TRUE(rotValueOnDisk(dir_a.path, "LONELY-TARGET-VALUE"));
+    store_a.scrubNow();
+    ASSERT_EQ(store_a.quarantinedCount(), 1u);
+
+    std::vector<ColdRepairRequest> reqs = store_a.takeRepairRequests();
+    EXPECT_EQ(coord.repair(reqs), 0u);
+    // Unrepairable — but still quarantined, still a miss, never a
+    // crash; a later local re-put (or compaction) resolves it.
+    EXPECT_EQ(store_a.quarantinedCount(), 1u);
+    EXPECT_GE(a.metrics().counter("cluster.repair.misses").value(), 1u);
+    EXPECT_FALSE(
+        a.lookup("app", "f", "vec", FeatureVector({1.0f, 0.0f})).hit);
+
+    store_a.close();
+}
+
+// --------------------------------------------------------------- lockfile
+
+TEST(LockfileTest, SecondOpenerIsRejected)
+{
+    TempDir dir("lock2");
+    TieredStore first(storeCfg(dir.path));
+    // Same directory, same (live) process holding the lock via an OPEN
+    // store: the second attacher must fail loudly, not interleave.
+    EXPECT_THROW(
+        { TieredStore second(storeCfg(dir.path)); }, FatalError);
+    first.close();
+    // After a clean close the lock is released.
+    TieredStore third(storeCfg(dir.path));
+    third.close();
+}
+
+TEST(LockfileTest, StaleLockFromDeadPidIsReclaimed)
+{
+    TempDir dir("stale");
+    std::filesystem::create_directories(dir.path);
+    {
+        // A pid far beyond pid_max: kill(pid, 0) says ESRCH, so the
+        // lock reads as a crashed daemon's leftovers.
+        std::ofstream lock(dir.path + "/LOCK");
+        lock << 999999999 << "\n";
+    }
+    TieredStore store(storeCfg(dir.path));
+    EXPECT_EQ(store.trackedRecords(), 0u);
+    store.close();
+    // The clean close unlinked the reclaimed lock.
+    EXPECT_FALSE(std::filesystem::exists(dir.path + "/LOCK"));
+}
+
+TEST(LockfileTest, DirtyCloseLeavesLockButSameProcessReopens)
+{
+    TempDir dir("dirty");
+    VirtualClock clock;
+    PotluckService service(cfg(), &clock);
+    {
+        TieredStore store(storeCfg(dir.path));
+        store.attach(service);
+        service.registerKeyType("f", kt());
+        service.put("f", "vec", FeatureVector({1.0f, 0.0f}),
+                    encodeString("v"), {});
+        store.closeDirty(); // SIGKILL simulation: lockfile stays behind
+    }
+    EXPECT_TRUE(std::filesystem::exists(dir.path + "/LOCK"));
+    // Our own pid in the lock = this very process crashed-and-restarted
+    // in-test; reclaim rather than deadlock against ourselves.
+    TieredStore store(storeCfg(dir.path));
+    EXPECT_EQ(store.trackedRecords(), 1u);
+    store.close();
+}
+
+// -------------------------------------------------- degraded writes (ENOSPC)
+
+#ifdef POTLUCK_FAULT_INJECTION
+
+TEST(FsFaultTest, EnospcDegradesToRamOnlyAndRecovers)
+{
+    TempDir dir("enospc");
+    VirtualClock clock;
+    PotluckService service(cfg(), &clock);
+    TieredStore store(storeCfg(dir.path));
+    store.attach(service);
+    service.registerKeyType("f", kt());
+
+    FsFaultInjector::Config fcfg;
+    fcfg.write_enospc = 1.0; // every append fails: the disk is full
+    FsFaultInjector injector(fcfg);
+    FsFaultInjector::install(&injector);
+
+    // Puts keep succeeding — RAM-only — and each failed write-through
+    // is counted, never thrown.
+    for (int i = 0; i < 3; ++i) {
+        service.put("f", "vec",
+                    FeatureVector({static_cast<float>(i), 0.0f}),
+                    encodeString("v" + std::to_string(i)), {});
+    }
+    EXPECT_EQ(store.trackedRecords(), 0u);
+    EXPECT_GE(service.metrics().counter("store.write_degraded").value(),
+              3u);
+    EXPECT_GE(injector.counts().enospc, 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(service
+                        .lookup("app", "f", "vec",
+                                FeatureVector({static_cast<float>(i), 0.0f}))
+                        .hit)
+            << "key " << i;
+    }
+
+    // Space frees up: the next put writes through durably again.
+    FsFaultInjector::install(nullptr);
+    service.put("f", "vec", FeatureVector({7.0f, 0.0f}),
+                encodeString("durable"), {});
+    EXPECT_EQ(store.trackedRecords(), 1u);
+
+    store.close();
+}
+
+TEST(FsFaultTest, TornAppendDegradesAndLogRecovers)
+{
+    TempDir dir("torn");
+    VirtualClock clock;
+    std::string path = dir.path;
+    {
+        PotluckService service(cfg(), &clock);
+        TieredStore store(storeCfg(path));
+        store.attach(service);
+        service.registerKeyType("f", kt());
+        service.put("f", "vec", FeatureVector({1.0f, 0.0f}),
+                    encodeString("before-fault"), {});
+
+        FsFaultInjector::Config fcfg;
+        fcfg.short_write = 1.0; // every append tears mid-frame
+        FsFaultInjector injector(fcfg);
+        FsFaultInjector::install(&injector);
+        service.put("f", "vec", FeatureVector({2.0f, 0.0f}),
+                    encodeString("torn-away"), {});
+        EXPECT_GE(
+            service.metrics().counter("store.write_degraded").value(), 1u);
+        EXPECT_GE(injector.counts().short_writes, 1u);
+        FsFaultInjector::install(nullptr);
+        store.closeDirty(); // crash: the torn tail reaches disk as-is
+    }
+    // Recovery walks the log, parks at the torn frame, and keeps what
+    // was durable before the fault.
+    PotluckService service(cfg(), &clock);
+    TieredStore store(storeCfg(path));
+    EXPECT_EQ(store.recovery().records, 1u);
+    store.attach(service);
+    EXPECT_TRUE(service
+                    .lookup("app", "f", "vec", FeatureVector({1.0f, 0.0f}))
+                    .hit);
+    store.close();
+}
+
+#endif // POTLUCK_FAULT_INJECTION
+
+} // namespace
+} // namespace potluck

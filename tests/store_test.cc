@@ -96,6 +96,15 @@ flipByte(const std::string &path, size_t offset)
     f.write(&b, 1);
 }
 
+/** Append that must succeed (no fault injection installed). */
+size_t
+appendOk(SegmentFile &seg, const void *payload, size_t n)
+{
+    size_t offset = 0;
+    EXPECT_TRUE(seg.append(payload, n, offset));
+    return offset;
+}
+
 // ----------------------------------------------------------- SegmentFile
 
 TEST(SegmentFileTest, AppendScanRoundTrip)
@@ -111,7 +120,7 @@ TEST(SegmentFileTest, AppendScanRoundTrip)
     std::vector<size_t> offsets;
     for (const std::string &p : payloads) {
         ASSERT_TRUE(seg.fits(p.size()));
-        offsets.push_back(seg.append(p.data(), p.size()));
+        offsets.push_back(appendOk(seg, p.data(), p.size()));
     }
     EXPECT_GT(seg.tail(), 0u);
     EXPECT_FALSE(seg.fits(8192)); // larger than the whole segment
@@ -146,9 +155,9 @@ TEST(SegmentFileTest, TornTailStopsScanAndAppendsResume)
     size_t third_offset = 0, tail = 0;
     {
         SegmentFile seg(path, 1, 4096);
-        seg.append("first", 5);
-        seg.append("second", 6);
-        third_offset = seg.append("third", 5);
+        appendOk(seg, "first", 5);
+        appendOk(seg, "second", 6);
+        third_offset = appendOk(seg, "third", 5);
         tail = seg.tail();
         seg.sync();
     }
@@ -168,7 +177,7 @@ TEST(SegmentFileTest, TornTailStopsScanAndAppendsResume)
     // The append cursor parked at the torn frame, so new records
     // overwrite it.
     EXPECT_EQ(seg.tail(), third_offset);
-    seg.append("fourth", 6);
+    appendOk(seg, "fourth", 6);
     SegmentScanReport again = seg.scanFrom(0, [](size_t, const uint8_t *,
                                                  size_t) {});
     EXPECT_EQ(again.records, 3u);
@@ -185,7 +194,7 @@ TEST(SegmentFileTest, VerifyAtCatchesPayloadCorruption)
     {
         SegmentFile seg(path, 1, 4096);
         const std::string payload(64, 'v');
-        offset = seg.append(payload.data(), payload.size());
+        offset = appendOk(seg, payload.data(), payload.size());
         EXPECT_TRUE(seg.verifyAt(offset));
         seg.sync();
     }

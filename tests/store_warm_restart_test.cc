@@ -238,8 +238,14 @@ TEST(WarmRestart, CorruptValueIsRefusedAtPromotionTime)
     EXPECT_FALSE(service.lookup("app", "f", "vec", keyOf(2)).hit);
     EXPECT_EQ(service.metrics().counter("store.value_crc_failures").value(),
               1u);
-    // The bad record was dropped, not retried forever.
-    EXPECT_EQ(store.trackedRecords(), 2u);
+    // The bad record is quarantined — still tracked (awaiting repair
+    // from a replica or a local re-put), but never promoted again, so
+    // the failed probe is not retried forever.
+    EXPECT_EQ(store.trackedRecords(), 3u);
+    EXPECT_EQ(store.quarantinedCount(), 1u);
+    EXPECT_FALSE(service.lookup("app", "f", "vec", keyOf(2)).hit);
+    EXPECT_EQ(service.metrics().counter("store.value_crc_failures").value(),
+              1u); // the quarantined record never reached a second CRC check
     // Undamaged records are unaffected.
     EXPECT_TRUE(service.lookup("app", "f", "vec", keyOf(0)).hit);
     EXPECT_TRUE(service.lookup("app", "f", "vec", keyOf(1)).hit);

@@ -15,7 +15,7 @@
  *            [--no-recorder] [--trace-dump PATH]
  *            [--trace-slo-us N] [--trace-sample-prob P]
  *            [--peers SOCK,SOCK,...] [--replicas N] [--cluster-tag NAME]
- *            [--store-dir DIR] [--cold-capacity-mb N]
+ *            [--store-dir DIR] [--cold-capacity-mb N] [--scrub-rate-mb N]
  *
  * With --snapshot, the cache is restored from PATH at startup (if the
  * file exists) and saved back on clean shutdown — the "secondary flash
@@ -28,7 +28,11 @@
  * back into RAM when a lookup lands within the similarity threshold.
  * After a crash — even SIGKILL — a restart with the same DIR comes
  * back warm. --cold-capacity-mb bounds the disk footprint (0 =
- * unbounded); --snapshot remains independent and optional.
+ * unbounded); --snapshot remains independent and optional. A
+ * background scrub CRC-verifies cold frames at --scrub-rate-mb MB/s
+ * (default 4; 0 disables) and quarantines bit-rotted records: they
+ * stop being served, and when the daemon is clustered they are
+ * re-fetched from replica peers (kPeerFetch) and re-appended clean.
  *
  * With --peers, the daemon federates with other potluckd instances
  * (DESIGN.md §11): every daemon in the mesh is started with the same
@@ -66,9 +70,16 @@
 #include "obs/export.h"
 #include "store/tiered_store.h"
 #include "obs/trace_export.h"
+#include "util/fs_faults.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/stringutil.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <unistd.h>
 
 using namespace potluck;
 
@@ -136,8 +147,51 @@ usage()
            "                [--trace-slo-us N] [--trace-sample-prob P]\n"
            "                [--peers SOCK,SOCK,...] [--replicas N]\n"
            "                [--cluster-tag NAME]\n"
-           "                [--store-dir DIR] [--cold-capacity-mb N]\n";
+           "                [--store-dir DIR] [--cold-capacity-mb N]\n"
+           "                [--scrub-rate-mb N]\n";
     std::exit(1);
+}
+
+/**
+ * Fail fast on a broken --store-dir: create it if absent, then prove a
+ * file can actually be written there NOW — so a read-only mount, a
+ * permissions mistake, or a full disk is one actionable startup error
+ * instead of a daemon that comes up and degrades on its first put.
+ */
+void
+validateStoreDir(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        POTLUCK_FATAL("--store-dir " << dir << " cannot be created: "
+                                     << ec.message()
+                                     << " (check the parent directory "
+                                        "exists and is writable)");
+    }
+    const std::string probe =
+        dir + "/.probe-" + std::to_string(::getpid());
+    int fd = ::open(probe.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        POTLUCK_FATAL("--store-dir " << dir << " is not writable: "
+                                     << std::strerror(errno)
+                                     << " (fix permissions or use a "
+                                        "different directory)");
+    }
+    const char byte = 0;
+    ssize_t wrote = ::write(fd, &byte, 1);
+    int write_errno = errno;
+    ::close(fd);
+    ::unlink(probe.c_str());
+    if (wrote != 1) {
+        POTLUCK_FATAL("--store-dir "
+                      << dir << " cannot store data: "
+                      << std::strerror(write_errno)
+                      << (write_errno == ENOSPC
+                              ? " (free disk space or use a different "
+                                "filesystem)"
+                              : ""));
+    }
 }
 
 /** The periodic stats dump, in the configured format. */
@@ -191,6 +245,7 @@ main(int argc, char **argv)
     std::string cluster_tag;
     std::string store_dir;
     uint64_t cold_capacity_mb = 0;
+    uint64_t scrub_rate_mb = 4;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -266,6 +321,8 @@ main(int argc, char **argv)
             store_dir = next();
         } else if (arg == "--cold-capacity-mb") {
             cold_capacity_mb = std::stoull(next());
+        } else if (arg == "--scrub-rate-mb") {
+            scrub_rate_mb = std::stoull(next());
         } else {
             usage();
         }
@@ -274,6 +331,11 @@ main(int argc, char **argv)
         trace_dump_path = socket_path + ".trace.json";
 
     try {
+#ifdef POTLUCK_FAULT_INJECTION
+        // Chaos harness: POTLUCK_FS_FAULTS="bit_flip=1.0,..." arms the
+        // filesystem fault injector (fault builds only).
+        FsFaultInjector::installFromEnv();
+#endif
         PotluckService service(config);
         if (!snapshot_path.empty()) {
             std::ifstream probe(snapshot_path);
@@ -299,9 +361,11 @@ main(int argc, char **argv)
         // in the shutdown log.
         std::unique_ptr<store::TieredStore> tiered;
         if (!store_dir.empty()) {
+            validateStoreDir(store_dir);
             store::StoreConfig scfg;
             scfg.dir = store_dir;
             scfg.cold_capacity_bytes = cold_capacity_mb << 20;
+            scfg.scrub_rate_bytes_per_sec = scrub_rate_mb << 20;
             tiered = std::make_unique<store::TieredStore>(std::move(scfg));
             tiered->attach(service);
             const store::RecoveryReport &rec = tiered->recovery();
@@ -365,6 +429,20 @@ main(int argc, char **argv)
         int elapsed = 0;
         while (!g_stop) {
             std::this_thread::sleep_for(std::chrono::seconds(1));
+            // Anti-entropy tick: drain the store's quarantine into
+            // kPeerFetch repairs. Without a cluster the queue is left
+            // alone — a later local re-put (or compaction) resolves it.
+            if (tiered && coordinator) {
+                std::vector<ColdRepairRequest> broken =
+                    tiered->takeRepairRequests();
+                if (!broken.empty()) {
+                    size_t healed = coordinator->repair(broken);
+                    std::cout << "potluckd: repaired " << healed << "/"
+                              << broken.size()
+                              << " quarantined entries from peers"
+                              << std::endl;
+                }
+            }
             if (g_dump_trace) {
                 g_dump_trace = 0;
                 if (dumpTraceToFile()) {
