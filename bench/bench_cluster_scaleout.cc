@@ -180,6 +180,13 @@ main(int argc, char **argv)
     std::cout << "\nshape check (remote hit cheaper than 5 ms recompute): "
               << (remote_ms < 5.0 ? "PASS" : "FAIL") << "\n\n";
 
+    bench::benchJson("cluster_scaleout", "local_hit_ms", local_ms, "ms",
+                     kRequests);
+    bench::benchJson("cluster_scaleout", "remote_hit_ms", remote_ms, "ms",
+                     kRequests);
+    bench::benchJson("cluster_scaleout", "degraded_miss_ms", degraded_ms,
+                     "ms", kRequests);
+
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

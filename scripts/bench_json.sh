@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run the machine-readable benchmark subset and collect their
+# `BENCH {...}` result lines into BENCH_obs.json at the repo root —
+# one JSON array a CI dashboard can ingest without scraping the human
+# tables. The human output still streams to the terminal.
+#
+# Usage: scripts/bench_json.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT="BENCH_obs.json"
+BENCHES=(bench_obs_overhead bench_store_tiering bench_fault_recovery
+         bench_cluster_scaleout)
+
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
+    exit 1
+fi
+cmake --build "$BUILD_DIR" --target "${BENCHES[@]}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+for b in "${BENCHES[@]}"; do
+    bin="$BUILD_DIR/bench/$b"
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin missing after build" >&2
+        exit 1
+    fi
+    echo "== $b =="
+    # Google-benchmark-linked binaries accept --benchmark_min_time;
+    # keep the registered microbenchmarks short — the BENCH lines come
+    # from the hand-rolled experiments, not the registered ones.
+    "$bin" --benchmark_min_time=0.01s 2>&1 | tee /dev/stderr |
+        grep '^BENCH ' | sed 's/^BENCH //' >>"$RAW" || true
+done
+
+if [ ! -s "$RAW" ]; then
+    echo "error: no BENCH lines collected" >&2
+    exit 1
+fi
+
+# Join the JSON objects into one array, one result per line.
+{
+    echo '['
+    sed '$!s/$/,/' "$RAW" | sed 's/^/  /'
+    echo ']'
+} >"$OUT"
+
+echo
+echo "wrote $(grep -c '"bench"' "$OUT") results to $OUT"

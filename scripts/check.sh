@@ -23,6 +23,15 @@
 # hits (cluster_remote_hit in the Prometheus export), and verifies the
 # survivors keep serving after one daemon is killed.
 #
+# An HTTP observability stage boots a 2-daemon mesh with --http-port,
+# curls /healthz (must be 200 while the mesh is healthy), SIGSTOPs one
+# peer and drives forwarded lookups until the breaker opens (healthz
+# flips to 503 "degraded"), and lints the /metrics export with a small
+# Python checker: every sample's family must have # HELP/# TYPE
+# headers, and the potluck_build_info, process_uptime_seconds,
+# service_saved_ms_total and heat_tracked_slots families must be
+# present (DESIGN.md §13). Skipped when python3 is unavailable.
+#
 # A tiered-store stage starts a sanitized daemon with --store-dir,
 # writes entries, SIGKILLs it (no snapshot, no sidecar rewrite), and
 # restarts it on the same directory: every pre-kill entry must hit
@@ -228,6 +237,139 @@ kill "$CPID2" && wait "$CPID2" 2>/dev/null || true
 "$CLI" --socket "$CSOCK3" get fed_demo vec 4,5,6 || [ $? -eq 2 ]
 echo "check.sh: cluster degrades to local-only with a dead peer"
 
+# ---- HTTP observability smoke test -------------------------------------
+# 2-daemon mesh with the embedded exporter on kernel-assigned loopback
+# ports (parsed from the startup log line). /healthz must report 200
+# while the mesh is healthy, then 503 once a SIGSTOPped peer trips the
+# breaker; /metrics must pass a strict Prometheus text-format lint.
+HSOCK_A="$(mktemp -u /tmp/potluck_http_a_XXXXXX.sock)"
+HSOCK_B="$(mktemp -u /tmp/potluck_http_b_XXXXXX.sock)"
+HLOG_A="$(mktemp /tmp/potluck_http_a_XXXXXX.log)"
+HLOG_B="$(mktemp /tmp/potluck_http_b_XXXXXX.log)"
+HMETRICS="$(mktemp /tmp/potluck_http_metrics_XXXXXX.txt)"
+
+"$DAEMON" --socket "$HSOCK_A" --peers "$HSOCK_B" --cluster-tag ha \
+    --stats-sec 0 --dropout 0 --http-port 0 > "$HLOG_A" &
+HPID_A=$!
+"$DAEMON" --socket "$HSOCK_B" --peers "$HSOCK_A" --cluster-tag hb \
+    --stats-sec 0 --dropout 0 --http-port 0 > "$HLOG_B" &
+HPID_B=$!
+cleanup_http() {
+    kill -CONT "$HPID_B" 2>/dev/null || true
+    kill "$HPID_A" "$HPID_B" 2>/dev/null || true
+    wait "$HPID_A" "$HPID_B" 2>/dev/null || true
+    rm -f "$HSOCK_A" "$HSOCK_B" "$HLOG_A" "$HLOG_B" "$HMETRICS"
+    cleanup_cluster
+}
+trap cleanup_http EXIT
+
+for s in "$HSOCK_A" "$HSOCK_B"; do
+    for _ in $(seq 1 50); do
+        [ -S "$s" ] && break
+        sleep 0.1
+    done
+    [ -S "$s" ] || { echo "check.sh: http daemon did not start" >&2; exit 1; }
+done
+HPORT_A=""
+for _ in $(seq 1 50); do
+    HPORT_A="$(sed -n 's/.*http exporter on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "$HLOG_A")"
+    [ -n "$HPORT_A" ] && break
+    sleep 0.1
+done
+[ -n "$HPORT_A" ] || {
+    echo "check.sh: daemon never logged its http port" >&2
+    exit 1
+}
+sleep 1.2 # breaker cooldown for the link that connected first
+
+# Seed some traffic so the export carries live lookup/heat samples.
+"$CLI" --socket "$HSOCK_A" register httpfn vec
+"$CLI" --socket "$HSOCK_A" put httpfn vec 1,2,3 hello
+"$CLI" --socket "$HSOCK_A" get httpfn vec 1,2,3
+"$CLI" --socket "$HSOCK_A" get httpfn vec 1,2,3
+
+CODE="$(curl -sf -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$HPORT_A/healthz")"
+[ "$CODE" = "200" ] || {
+    echo "check.sh: healthy mesh returned /healthz $CODE, wanted 200" >&2
+    exit 1
+}
+
+curl -sf "http://127.0.0.1:$HPORT_A/metrics" > "$HMETRICS"
+if command -v python3 > /dev/null 2>&1; then
+    curl -sf "http://127.0.0.1:$HPORT_A/varz" | python3 -m json.tool > /dev/null
+    curl -sf "http://127.0.0.1:$HPORT_A/hot" | python3 -m json.tool > /dev/null
+    python3 - "$HMETRICS" << 'EOF'
+import re, sys
+
+text = open(sys.argv[1]).read()
+helped, typed = set(), {}
+for lineno, line in enumerate(text.splitlines(), 1):
+    if line.startswith("# HELP "):
+        helped.add(line.split()[2])
+    elif line.startswith("# TYPE "):
+        parts = line.split()
+        typed[parts[2]] = parts[3]
+    elif line.startswith("#") or not line.strip():
+        continue
+    else:
+        m = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line)
+        assert m, f"line {lineno}: unparseable sample: {line!r}"
+        name = m.group(0)
+        families = [name] + [
+            name[: -len(suf)]
+            for suf in ("_sum", "_count", "_bucket")
+            if name.endswith(suf)
+        ]
+        assert any(f in typed for f in families), \
+            f"line {lineno}: sample {name} has no preceding # TYPE"
+        assert any(f in helped for f in families), \
+            f"line {lineno}: sample {name} has no preceding # HELP"
+for required in ("potluck_build_info", "process_uptime_seconds",
+                 "service_saved_ms_total", "heat_tracked_slots",
+                 "service_lookups_total"):
+    assert required in typed, f"missing required family: {required}"
+assert re.search(
+    r'potluck_build_info\{[^}]*version="[^"]+"[^}]*\} 1', text), \
+    "potluck_build_info gauge missing labels or value"
+print(f"check.sh: /metrics lint OK ({len(typed)} families)")
+EOF
+else
+    echo "check.sh: python3 unavailable; skipping /metrics lint"
+fi
+
+# Freeze B. Forwarded lookups from A now time out; after 3 consecutive
+# failures A's breaker opens and /healthz must degrade to 503. With 2
+# nodes roughly half the slots hash to B, so a spread of 16 distinct
+# function names guarantees some lookups forward. Register them while
+# the mesh is still healthy — lookups on unregistered functions are
+# request errors and never reach the forwarding path.
+for i in $(seq 1 16); do
+    "$CLI" --socket "$HSOCK_A" register "httptrip_$i" vec > /dev/null
+done
+kill -STOP "$HPID_B"
+CODE=""
+for _ in $(seq 1 30); do
+    for i in $(seq 1 16); do
+        "$CLI" --socket "$HSOCK_A" get "httptrip_$i" vec 9,9,9 \
+            > /dev/null 2>&1 || true
+    done
+    CODE="$(curl -s -o /dev/null -w '%{http_code}' \
+        "http://127.0.0.1:$HPORT_A/healthz")"
+    [ "$CODE" = "503" ] && break
+    sleep 0.2
+done
+[ "$CODE" = "503" ] || {
+    echo "check.sh: breaker never degraded /healthz (last code $CODE)" >&2
+    exit 1
+}
+echo "check.sh: http stage OK (/healthz 200 -> 503 after peer freeze)"
+
+kill -CONT "$HPID_B" 2>/dev/null || true
+kill "$HPID_A" "$HPID_B" 2>/dev/null || true
+wait "$HPID_A" "$HPID_B" 2>/dev/null || true
+
 # ---- tiered-store warm-restart smoke test ------------------------------
 # Start a daemon on a fresh --store-dir, write a batch, SIGKILL it (no
 # clean shutdown: the segment log and page cache are all that survive),
@@ -245,7 +387,7 @@ cleanup_store() {
     kill -9 "$SPID" 2>/dev/null || true
     wait "$SPID" 2>/dev/null || true
     rm -rf "$STORE_DIR" "$SSOCK"
-    cleanup_cluster
+    cleanup_http
 }
 trap cleanup_store EXIT
 

@@ -70,6 +70,30 @@ SocketPeerLink::fetch(const std::string &function,
     return client_.peerFetch(function, key_type, key, origin);
 }
 
+NodeStatsSection
+SocketPeerLink::stats(const std::string &origin)
+{
+    NodeStatsSection section;
+    section.node = tag();
+    try {
+        std::vector<NodeStatsSection> sections =
+            client_.fetchClusterStats(origin, /*hops=*/1);
+        if (!sections.empty()) {
+            section = std::move(sections.front());
+            // Keep OUR name for the peer (its self-view says "local"
+            // or its own tag; the querying side's table is keyed by
+            // link identity so sections line up with `peers` output).
+            section.node = tag();
+        }
+    } catch (const FatalError &) {
+        // Unreachable/refused (TransportError included): report the
+        // section as down and keep going.
+        section.ok = false;
+        section.snapshot = obs::RegistrySnapshot{};
+    }
+    return section;
+}
+
 int
 SocketPeerLink::state() const
 {
@@ -93,6 +117,18 @@ LocalPeerLink::lookup(const std::string &function,
         // Slot not registered on the peer: a federated miss.
         return LookupResult{};
     }
+}
+
+NodeStatsSection
+LocalPeerLink::stats(const std::string &origin)
+{
+    (void)origin;
+    NodeStatsSection section;
+    section.node = tag();
+    target_.publishObservability();
+    section.snapshot = target_.metrics().snapshot();
+    section.ok = true;
+    return section;
 }
 
 bool
@@ -475,6 +511,37 @@ ClusterCoordinator::status()
         st.peers.push_back(std::move(p));
     }
     return st;
+}
+
+std::vector<NodeStatsSection>
+ClusterCoordinator::clusterStats(uint8_t hops)
+{
+    std::vector<NodeStatsSection> sections;
+    sections.reserve(1 + (hops == 0 ? links_.size() : 0));
+
+    NodeStatsSection self;
+    self.node = cfg_.self_tag;
+    self.ok = true;
+    local_.publishObservability();
+    self.snapshot = local_.metrics().snapshot();
+    sections.push_back(std::move(self));
+
+    if (hops > 0)
+        return sections; // peer-originated query: local section only
+
+    for (size_t i = 0; i < links_.size(); ++i) {
+        NodeStatsSection section;
+        if (links_[i]->state() == 2) {
+            // Breaker open: don't burn a probe on a stats poll — the
+            // forwarding path owns recovery. Report the node as down.
+            section.node = links_[i]->tag();
+        } else {
+            section = links_[i]->stats(cfg_.self_tag);
+        }
+        sections.push_back(std::move(section));
+        noteLinkState(i);
+    }
+    return sections;
 }
 
 const std::string &

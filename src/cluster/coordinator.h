@@ -152,6 +152,21 @@ class PeerLink
         return lookup(function, key_type, key, origin);
     }
 
+    /**
+     * Fetch the peer's metrics section for a kClusterStats fan-out
+     * (queried with hops = 1, so the peer answers local-only). The
+     * default is an unreachable section (ok = false) so link types
+     * that predate the verb degrade gracefully instead of failing
+     * the whole federated query.
+     */
+    virtual NodeStatsSection stats(const std::string &origin)
+    {
+        (void)origin;
+        NodeStatsSection section;
+        section.node = tag_;
+        return section;
+    }
+
     /** CircuitBreaker::State as int (0 up / 1 half-open / 2 open);
      * in-process links are always 0. */
     virtual int state() const = 0;
@@ -176,6 +191,7 @@ class SocketPeerLink : public PeerLink
     LookupResult fetch(const std::string &function,
                        const std::string &key_type, const FeatureVector &key,
                        const std::string &origin) override;
+    NodeStatsSection stats(const std::string &origin) override;
     int state() const override;
 
   private:
@@ -194,6 +210,7 @@ class LocalPeerLink : public PeerLink
                         const std::string &origin) override;
     bool put(const PotluckService::PutEvent &event,
              const std::string &origin) override;
+    NodeStatsSection stats(const std::string &origin) override;
     int state() const override { return 0; }
 
   private:
@@ -235,6 +252,17 @@ class ClusterCoordinator
 
     /** Cluster status for the kPeers verb / `potluck_cli peers`. */
     ClusterStatus status();
+
+    /**
+     * Federated metrics for the kClusterStats verb: this node's
+     * section first (derived gauges refreshed, tagged self_tag), then
+     * one section per peer link. With hops = 0 each peer is queried
+     * (hops = 1, so it answers local-only — no fan-out loops); an
+     * unreachable or breaker-open peer yields an ok = false section
+     * instead of an error, so one dead node never hides the rest.
+     * With hops > 0 only the local section is returned.
+     */
+    std::vector<NodeStatsSection> clusterStats(uint8_t hops);
 
     /**
      * Anti-entropy repair: for each quarantined entry the local store

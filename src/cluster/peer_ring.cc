@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/heat.h"
 #include "util/logging.h"
 
 namespace potluck::cluster {
@@ -82,10 +83,10 @@ PeerRing::PeerRing(std::vector<std::string> members, size_t virtual_nodes)
 uint64_t
 PeerRing::slotHash(const std::string &function, const std::string &key_type)
 {
-    uint64_t h = fnv1aStr(function, 1469598103934665603ULL);
-    uint8_t sep = 0; // unambiguous (function, key_type) split
-    h = fnv1a(&sep, 1, h);
-    return mix(fnv1aStr(key_type, h));
+    // Single source of truth: the heat sketch computes the identical
+    // FNV-1a + 0-separator + splitmix64 hash, so heat readings and
+    // ring placement always agree on what a "slot" is.
+    return obs::HeatSketch::slotHash(function, key_type);
 }
 
 size_t

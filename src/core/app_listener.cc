@@ -44,6 +44,13 @@ AppListener::setClusterStatusProvider(std::function<ClusterStatus()> provider)
     cluster_provider_ = std::move(provider);
 }
 
+void
+AppListener::setClusterStatsProvider(
+    std::function<std::vector<NodeStatsSection>(uint8_t)> provider)
+{
+    cluster_stats_provider_ = std::move(provider);
+}
+
 std::future<Reply>
 AppListener::submit(Request request)
 {
@@ -128,6 +135,9 @@ AppListener::execute(const Request &request)
         break;
       }
       case RequestType::Metrics: {
+        // Derived gauges (uptime, heat top-k) refresh lazily, right
+        // before a snapshot leaves the process.
+        service_.publishObservability();
         reply.snapshot = service_.metrics().snapshot();
         reply.stats = service_.stats();
         reply.num_entries = service_.numEntries();
@@ -198,6 +208,26 @@ AppListener::execute(const Request &request)
       case RequestType::Peers: {
         if (cluster_provider_)
             reply.cluster = cluster_provider_();
+        reply.ok = true;
+        break;
+      }
+      case RequestType::ClusterStats: {
+        if (request.hops > 1) {
+            reply.error = "peer hop limit exceeded";
+            break;
+        }
+        if (cluster_stats_provider_) {
+            reply.node_stats = cluster_stats_provider_(request.hops);
+        } else {
+            // No coordinator: answer with this node alone so the verb
+            // works (and merges trivially) on a standalone daemon.
+            service_.publishObservability();
+            NodeStatsSection self;
+            self.node = "local";
+            self.ok = true;
+            self.snapshot = service_.metrics().snapshot();
+            reply.node_stats.push_back(std::move(self));
+        }
         reply.ok = true;
         break;
       }

@@ -64,6 +64,11 @@ enum class RequestType : uint8_t
     /** kScrub: on-demand cold-tier integrity pass for
      * `potluck_cli scrub`; replies with frames/bytes verified. */
     Scrub = 14,
+    /** kClusterStats: federated metrics — the queried daemon fans out
+     * to its ring peers (hop-limited, breaker-protected like
+     * kPeerLookup) and replies with one tagged registry snapshot per
+     * reachable node, for `potluck_cli stats --cluster` and `top`. */
+    ClusterStats = 15,
 };
 
 /** One peer link's health, as reported by the kPeers verb. */
@@ -86,6 +91,14 @@ struct ClusterStatus
     uint64_t replica_queue_depth = 0;
     uint64_t replica_dropped = 0; ///< puts shed by backpressure
     std::vector<PeerStatus> peers;
+};
+
+/** One node's tagged metrics section in a kClusterStats reply. */
+struct NodeStatsSection
+{
+    std::string node;     ///< cluster tag (or endpoint) of the node
+    bool ok = false;      ///< false: the peer was unreachable/degraded
+    obs::RegistrySnapshot snapshot; ///< empty when !ok
 };
 
 /** One (key, value) element of a kPutBatch request. */
@@ -186,6 +199,10 @@ struct Reply
 
     /** Cluster status (kPeers only). */
     ClusterStatus cluster;
+
+    /** Per-node tagged snapshots (kClusterStats only): this node
+     * first, then one section per ring peer. */
+    std::vector<NodeStatsSection> node_stats;
 };
 
 /** Request executor backed by a thread pool. */
@@ -214,12 +231,25 @@ class AppListener
      */
     void setClusterStatusProvider(std::function<ClusterStatus()> provider);
 
+    /**
+     * Source of the kClusterStats fan-out (the daemon wires the
+     * coordinator's clusterStats() in here). The provider receives
+     * the request's hop count: 0 = fan out to peers, >0 = the request
+     * already crossed a link, answer with local sections only.
+     * Without a provider the verb degrades to a single "local"
+     * section, so an un-clustered daemon still answers.
+     */
+    void setClusterStatsProvider(
+        std::function<std::vector<NodeStatsSection>(uint8_t)> provider);
+
   private:
     Reply execute(const Request &request);
 
     PotluckService &service_;
     ThreadPool pool_;
     std::function<ClusterStatus()> cluster_provider_;
+    std::function<std::vector<NodeStatsSection>(uint8_t)>
+        cluster_stats_provider_;
 };
 
 } // namespace potluck

@@ -106,6 +106,40 @@ struct PotluckConfig
     double trace_sample_prob = 0.01;
     /// @}
 
+    /// @name Slot-heat telemetry + savings accounting (DESIGN.md §13).
+    /// @{
+    /**
+     * Maintain the Space-Saving slot-heat sketch (obs/heat.h) from
+     * the lookup/put tails. One try-locked sample per operation; off
+     * = no sketch is allocated and the hook is one null branch.
+     */
+    bool enable_heat = true;
+
+    /** Try-locked sketch stripes (a slot always maps to one). */
+    size_t heat_stripes = 4;
+
+    /** Tracked slots per stripe (Space-Saving capacity). One stripe
+     * costs capacity * ~160 B — ~40 KiB at the defaults, under the
+     * 64 KiB-per-stripe budget. */
+    size_t heat_capacity = 256;
+
+    /** Slot heat halves every this many microseconds. */
+    uint64_t heat_half_life_us = 10ULL * 1000 * 1000;
+
+    /**
+     * Decayed heat at which a HotSlot decision event fires (the
+     * replication/load-balancing signal). 0 = never emit.
+     */
+    double heat_hot_threshold = 0.0;
+
+    /**
+     * Estimated FLOPs represented by one microsecond of saved mobile
+     * compute, for the `service.saved_flops_est` counter (a ~10
+     * GFLOPS application core; purely a reporting scale factor).
+     */
+    double est_flops_per_us = 10000.0;
+    /// @}
+
     /// @name IPC fault tolerance (server side; client knobs live in
     /// RetryPolicy, ipc/retry.h).
     /// @{

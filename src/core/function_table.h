@@ -112,8 +112,16 @@ struct KeyIndex
     obs::Counter *fn_lookups = nullptr;
     obs::Counter *fn_hits = nullptr;
     obs::Counter *fn_misses = nullptr;
+    /** Whole milliseconds of computation this function's hits saved
+     * (`fn.<function>.saved_ms`); fed through this slot's
+     * `saved_us_carry` so sub-millisecond hits still add up. */
+    obs::Counter *fn_saved_ms = nullptr;
     obs::LatencyHistogram *fn_lookup_ns = nullptr;
     /// @}
+
+    /** Microsecond carry feeding fn_saved_ms (relaxed atomic; bumped
+     * through the canonical shard-0 slot like SlotStats). */
+    std::atomic<uint64_t> saved_us_carry{0};
 
     KeyIndex(KeyTypeConfig cfg, std::unique_ptr<Index> idx,
              const PotluckConfig &svc_cfg)

@@ -41,8 +41,13 @@ PotluckService::PotluckService(PotluckConfig config, Clock *clock)
     obs_.rejected_puts = &reg.counter("service.rejected_puts");
     obs_.banned_hits_suppressed =
         &reg.counter("service.banned_hits_suppressed");
+    obs_.saved_ms = &reg.counter("service.saved_ms");
+    obs_.saved_flops_est = &reg.counter("service.saved_flops_est");
     obs_.entries = &reg.gauge("cache.entries");
     obs_.bytes = &reg.gauge("cache.bytes");
+    obs_.uptime_seconds = &reg.gauge("service.uptime_seconds");
+    obs_.heat_tracked = &reg.gauge("heat.tracked_slots");
+    obs_.heat_dropped = &reg.gauge("heat.dropped_samples");
     if (config_.enable_tracing) {
         obs_.lookup_total_ns = &reg.histogram("lookup.total_ns");
         obs_.lookup_probe_ns = &reg.histogram("lookup.index_probe_ns");
@@ -73,6 +78,16 @@ PotluckService::PotluckService(PotluckConfig config, Clock *clock)
         obs_.fanout_ns = &reg.histogram("service.shard_fanout_ns");
     if (n > 1 && config_.parallel_fanout)
         fanout_pool_ = std::make_unique<ThreadPool>(std::min<size_t>(n, 8));
+
+    if (config_.enable_heat) {
+        obs::HeatConfig hc;
+        hc.stripes = std::max<size_t>(1, config_.heat_stripes);
+        hc.capacity = std::max<size_t>(1, config_.heat_capacity);
+        hc.half_life_us = config_.heat_half_life_us;
+        hc.hot_threshold = config_.heat_hot_threshold;
+        heat_ = std::make_unique<obs::HeatSketch>(hc);
+    }
+    start_us_ = clock_->nowUs();
 }
 
 size_t
@@ -143,6 +158,8 @@ PotluckService::registerKeyType(const std::string &function,
                 &metrics_->counter("fn." + function + ".lookups");
             slot.fn_hits = &metrics_->counter("fn." + function + ".hits");
             slot.fn_misses = &metrics_->counter("fn." + function + ".misses");
+            slot.fn_saved_ms =
+                &metrics_->counter("fn." + function + ".saved_ms");
         }
         if (config_.enable_tracing && !slot.fn_lookup_ns) {
             slot.fn_lookup_ns =
@@ -231,6 +248,7 @@ PotluckService::probeLookupShard(Shard &shard, const std::string &function,
         out.hit.value = entry->value;
         out.hit.id = n.id;
         out.hit.dist = n.dist;
+        out.hit.overhead_us = entry->compute_overhead_us;
         break;
     }
     return out;
@@ -317,6 +335,8 @@ PotluckService::lookup(const std::string &app, const std::string &function,
         obs_.hits->inc();
         slot0->stats.hits.fetch_add(1, std::memory_order_relaxed);
         slot0->fn_hits->inc();
+        accountSavings(slot0, app, outcomes[best].hit.overhead_us);
+        feedHeat(function, key_type, obs::HeatKind::Hit, now);
         LookupResult result;
         result.hit = true;
         result.value = std::move(outcomes[best].hit.value);
@@ -341,10 +361,13 @@ PotluckService::lookup(const std::string &app, const std::string &function,
             promo.entry.access_frequency.fetch_add(
                 1, std::memory_order_relaxed);
             Value value = promo.entry.value;
+            double promoted_overhead_us = promo.entry.compute_overhead_us;
             EntryId id = insertPromoted(std::move(promo.entry), now);
             obs_.hits->inc();
             slot0->stats.hits.fetch_add(1, std::memory_order_relaxed);
             slot0->fn_hits->inc();
+            accountSavings(slot0, app, promoted_overhead_us);
+            feedHeat(function, key_type, obs::HeatKind::Hit, now);
             LookupResult result;
             result.hit = true;
             result.value = std::move(value);
@@ -357,6 +380,7 @@ PotluckService::lookup(const std::string &app, const std::string &function,
     obs_.misses->inc();
     slot0->stats.misses.fetch_add(1, std::memory_order_relaxed);
     slot0->fn_misses->inc();
+    feedHeat(function, key_type, obs::HeatKind::Miss, now);
     MissHandler handler;
     {
         std::lock_guard<std::mutex> meta(meta_mutex_);
@@ -426,6 +450,7 @@ PotluckService::put(const std::string &function, const std::string &key_type,
     slot0->stats.puts.fetch_add(1, std::memory_order_relaxed);
 
     uint64_t now = clock_->nowUs();
+    feedHeat(function, key_type, obs::HeatKind::Put, now);
 
     // Computation overhead: explicit override, else elapsed time since
     // this (app, function)'s last lookup miss (Section 3.3).
@@ -755,6 +780,129 @@ PotluckService::recordEviction(const CacheEntry &victim)
         static_cast<double>(
             victim.access_frequency.load(std::memory_order_relaxed)),
         static_cast<double>(victim.sizeBytes()), victim.id);
+}
+
+namespace {
+
+/**
+ * Add `us` microseconds to a carry accumulator and return how many
+ * WHOLE milliseconds the running total just crossed — the exact
+ * increment for a ms-granularity counter (sub-ms amounts accumulate
+ * instead of rounding to zero).
+ */
+uint64_t
+carryWholeMs(std::atomic<uint64_t> &carry_us, uint64_t us)
+{
+    uint64_t before = carry_us.fetch_add(us, std::memory_order_relaxed);
+    return (before + us) / 1000 - before / 1000;
+}
+
+} // namespace
+
+void
+PotluckService::accountSavings(KeyIndex *slot0, const std::string &app,
+                               double overhead_us)
+{
+    if (overhead_us <= 0.0)
+        return; // unknown provenance (e.g. replica-seeded): no claim
+    auto us = static_cast<uint64_t>(overhead_us);
+    obs_.saved_flops_est->inc(
+        static_cast<uint64_t>(overhead_us * config_.est_flops_per_us));
+
+    // service.saved_ms: derive the whole-ms increment from the shared
+    // us total so the counter tracks the exact sum, never the sum of
+    // per-hit roundings.
+    if (uint64_t delta_ms = carryWholeMs(saved_us_total_, us))
+        obs_.saved_ms->inc(delta_ms);
+
+    if (uint64_t fn_ms = carryWholeMs(slot0->saved_us_carry, us))
+        slot0->fn_saved_ms->inc(fn_ms);
+
+    // Per-app: shared-lock probe of the pointer cache; only an app's
+    // FIRST saved hit takes the exclusive lock + registry probe.
+    AppSavings *savings = nullptr;
+    {
+        std::shared_lock lock(app_savings_mutex_);
+        auto it = app_savings_.find(app);
+        if (it != app_savings_.end())
+            savings = it->second.get();
+    }
+    if (!savings) {
+        std::unique_lock lock(app_savings_mutex_);
+        auto &slot = app_savings_[app];
+        if (!slot) {
+            slot = std::make_unique<AppSavings>();
+            slot->saved_ms = &metrics_->counter("app." + app + ".saved_ms");
+        }
+        savings = slot.get();
+    }
+    if (uint64_t app_ms = carryWholeMs(savings->us_carry, us))
+        savings->saved_ms->inc(app_ms);
+}
+
+void
+PotluckService::feedHeat(const std::string &function,
+                         const std::string &key_type, obs::HeatKind kind,
+                         uint64_t now_us)
+{
+    if (!heat_)
+        return;
+    if (heat_->feed(function, key_type, kind, now_us) && recorder_) {
+        obs::recordDecision(recorder_.get(), obs::DecisionKind::HotSlot,
+                            "hot_slot", function + "/" + key_type,
+                            config_.heat_hot_threshold,
+                            config_.heat_hot_threshold, 0.0,
+                            obs::HeatSketch::slotHash(function, key_type));
+    }
+}
+
+std::vector<obs::HotSlot>
+PotluckService::hotSlots(size_t k) const
+{
+    if (!heat_)
+        return {};
+    return heat_->topK(k, clock_->nowUs());
+}
+
+void
+PotluckService::publishObservability()
+{
+    uint64_t now = clock_->nowUs();
+    obs_.uptime_seconds->set(
+        static_cast<int64_t>((now - start_us_) / 1000000));
+    if (!heat_)
+        return;
+    obs_.heat_tracked->set(static_cast<int64_t>(heat_->trackedSlots()));
+    obs_.heat_dropped->set(static_cast<int64_t>(heat_->droppedSamples()));
+
+    // Publish the top-k as gauge families so the hot-slot view rides
+    // every existing snapshot surface (IPC stats, /metrics, cluster
+    // fan-out). Slots that left the top-k zero out rather than
+    // lingering at their last value.
+    auto top = heat_->topK(16, now);
+    std::lock_guard<std::mutex> lock(publish_mutex_);
+    std::vector<std::string> current;
+    current.reserve(top.size());
+    for (const auto &slot : top) {
+        std::string base = "heat.slot." + slot.label;
+        current.push_back(base);
+        metrics_->gauge(base + ".heat")
+            .set(static_cast<int64_t>(slot.heat));
+        metrics_->gauge(base + ".hits").set(static_cast<int64_t>(slot.hits));
+        metrics_->gauge(base + ".misses")
+            .set(static_cast<int64_t>(slot.misses));
+        metrics_->gauge(base + ".puts").set(static_cast<int64_t>(slot.puts));
+    }
+    for (const auto &stale : published_heat_) {
+        if (std::find(current.begin(), current.end(), stale) ==
+            current.end()) {
+            metrics_->gauge(stale + ".heat").set(0);
+            metrics_->gauge(stale + ".hits").set(0);
+            metrics_->gauge(stale + ".misses").set(0);
+            metrics_->gauge(stale + ".puts").set(0);
+        }
+    }
+    published_heat_ = std::move(current);
 }
 
 void

@@ -47,6 +47,7 @@
 #include "core/stats.h"
 #include "core/value.h"
 #include "features/extractor.h"
+#include "obs/heat.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "util/clock.h"
@@ -215,6 +216,34 @@ class PotluckService
      * cold record now. Returns frames verified; 0 without a tier. */
     size_t scrubColdTier();
 
+    /// @name Observability plane (DESIGN.md §13).
+    /// @{
+    /**
+     * The `k` hottest (function, key_type) slots right now, from the
+     * Space-Saving heat sketch (hottest first). Empty when
+     * config.enable_heat is off.
+     */
+    std::vector<obs::HotSlot> hotSlots(size_t k) const;
+
+    /**
+     * Cumulative estimated computation saved by hits, in microseconds
+     * (exact; the `service.saved_ms` counter is this divided down).
+     */
+    uint64_t savedComputeUs() const
+    {
+        return saved_us_total_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Refresh the registry's derived observability gauges: service
+     * uptime, heat-sketch occupancy, and the `heat.slot.<label>.*`
+     * top-k gauge families (stale slots are zeroed). Called by the
+     * daemon tick and before metric snapshots leave the process; not
+     * for the hot path (takes every sketch stripe lock).
+     */
+    void publishObservability();
+    /// @}
+
     /// @name Reputation defense (enabled via config.enable_reputation).
     /// @{
     double reputationScore(const std::string &app) const;
@@ -321,6 +350,9 @@ class PotluckService
         Value value;
         EntryId id = 0;
         double dist = 0.0;
+        /** Winning entry's computation overhead (Section 3.3) — what
+         * this hit saved the caller; feeds savings accounting. */
+        double overhead_us = 0.0;
     };
 
     /** Outcome of probing one shard during lookup(). */
@@ -392,6 +424,23 @@ class PotluckService
     void recordEviction(const CacheEntry &victim);
 
     /**
+     * Account one hit's saved computation (Section 3.3's overhead, in
+     * us) into the service / per-function / per-app saved-ms counters
+     * and the FLOPs estimate. Lock-free except the first hit of a
+     * never-seen app (registers its counter).
+     */
+    void accountSavings(KeyIndex *slot0, const std::string &app,
+                        double overhead_us);
+
+    /**
+     * Feed the heat sketch one lookup/put tail sample and emit the
+     * HotSlot decision event when it reports a threshold crossing.
+     * One null branch when the sketch is disabled.
+     */
+    void feedHeat(const std::string &function, const std::string &key_type,
+                  obs::HeatKind kind, uint64_t now_us);
+
+    /**
      * Cached registry pointers for the hot paths: resolved once at
      * construction so lookup()/put() never touch the registry map.
      * Histogram pointers are null when config.enable_tracing is off.
@@ -409,8 +458,14 @@ class PotluckService
         obs::Counter *loosen_events;
         obs::Counter *rejected_puts;
         obs::Counter *banned_hits_suppressed;
+        /** Whole ms / estimated FLOPs of computation hits saved. */
+        obs::Counter *saved_ms;
+        obs::Counter *saved_flops_est;
         obs::Gauge *entries;
         obs::Gauge *bytes;
+        obs::Gauge *uptime_seconds;
+        obs::Gauge *heat_tracked;
+        obs::Gauge *heat_dropped;
         obs::LatencyHistogram *lookup_total_ns = nullptr;
         obs::LatencyHistogram *lookup_probe_ns = nullptr;
         obs::LatencyHistogram *put_total_ns = nullptr;
@@ -476,6 +531,31 @@ class PotluckService
     ReputationTracker reputation_;
     std::vector<PutObserver> put_observers_;
     MissHandler miss_handler_; ///< under meta_mutex_; invoked lock-free
+
+    /** Slot-heat sketch; null when config.enable_heat is off. */
+    std::unique_ptr<obs::HeatSketch> heat_;
+
+    /** Construction time (service uptime gauge reference point). */
+    uint64_t start_us_ = 0;
+
+    /** Exact cumulative saved computation (us) + ms carry source. */
+    std::atomic<uint64_t> saved_us_total_{0};
+
+    /** Per-app saved-ms accounting: read-mostly pointer cache so the
+     * hit tail pays one shared-lock map probe, not a registry probe.
+     * Values are stable (heap) so the probe result outlives the lock. */
+    struct AppSavings
+    {
+        std::atomic<uint64_t> us_carry{0};
+        obs::Counter *saved_ms = nullptr;
+    };
+    mutable std::shared_mutex app_savings_mutex_;
+    std::map<std::string, std::unique_ptr<AppSavings>> app_savings_;
+
+    /** `heat.slot.*` gauge names published last time (to zero stale
+     * ones); guarded by publish_mutex_. */
+    std::mutex publish_mutex_;
+    std::vector<std::string> published_heat_;
 };
 
 } // namespace potluck

@@ -609,4 +609,18 @@ PotluckClient::fetchMetrics()
     return out;
 }
 
+std::vector<NodeStatsSection>
+PotluckClient::fetchClusterStats(const std::string &origin, uint8_t hops)
+{
+    Request request;
+    request.type = RequestType::ClusterStats;
+    request.app = app_;
+    request.origin = origin;
+    request.hops = hops;
+    Reply reply = roundTrip(request);
+    if (!reply.ok)
+        POTLUCK_FATAL("cluster stats fetch failed: " << reply.error);
+    return std::move(reply.node_stats);
+}
+
 } // namespace potluck

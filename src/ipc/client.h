@@ -150,6 +150,17 @@ class PotluckClient
     /** Fetch the daemon's cluster status (the kPeers verb). Throws
      * TransportError when unreachable past the retry budget. */
     ClusterStatus fetchPeers();
+
+    /**
+     * Fetch per-node metrics snapshots (the kClusterStats verb). With
+     * hops = 0 the queried daemon fans out to its ring peers and the
+     * reply carries one tagged section per node; with hops = 1 (the
+     * coordinator's peer query) the daemon answers with its own
+     * section only. Throws TransportError when unreachable past the
+     * retry budget.
+     */
+    std::vector<NodeStatsSection> fetchClusterStats(
+        const std::string &origin = "", uint8_t hops = 0);
     /// @}
 
     /** Trigger a full cold-tier integrity scrub now (the kScrub verb);

@@ -247,6 +247,8 @@ constexpr uint64_t kMaxBatchItems = 4096;
 constexpr uint64_t kMaxTraceRecords = 1 << 20;
 /** Hard bound on peer rows in a kPeers reply. */
 constexpr uint64_t kMaxPeerEntries = 1024;
+/** Hard bound on tagged node sections in a kClusterStats reply. */
+constexpr uint64_t kMaxNodeSections = 64;
 
 void
 writeTraceRecord(Writer &w, const obs::TraceRecord &record)
@@ -276,7 +278,7 @@ readTraceRecord(Reader &r)
         POTLUCK_FATAL("bad trace record kind: " << int(kind));
     record.kind = static_cast<obs::RecordKind>(kind);
     uint8_t decision = r.u8();
-    if (decision > static_cast<uint8_t>(obs::DecisionKind::Repair))
+    if (decision > static_cast<uint8_t>(obs::DecisionKind::HotSlot))
         POTLUCK_FATAL("bad trace decision kind: " << int(decision));
     record.decision = static_cast<obs::DecisionKind>(decision);
     record.proc = r.u8();
@@ -453,6 +455,17 @@ encodeReply(const Reply &reply)
         w.u64(p.remote_hits);
         w.u64(p.errors);
     }
+    // kClusterStats node sections (appended last, same evolution rule
+    // as the fields above; one u64 zero on other verbs).
+    size_t n_nodes =
+        std::min<size_t>(reply.node_stats.size(), kMaxNodeSections);
+    w.u64(n_nodes);
+    for (size_t i = 0; i < n_nodes; ++i) {
+        const NodeStatsSection &node = reply.node_stats[i];
+        w.str(node.node);
+        w.u8(node.ok ? 1 : 0);
+        writeSnapshot(w, node.snapshot);
+    }
     return w.take();
 }
 
@@ -523,6 +536,17 @@ decodeReply(const std::vector<uint8_t> &bytes)
         p.remote_hits = r.u64();
         p.errors = r.u64();
         reply.cluster.peers.push_back(std::move(p));
+    }
+    uint64_t n_nodes = r.u64();
+    if (n_nodes > kMaxNodeSections)
+        POTLUCK_FATAL("too many node sections in reply: " << n_nodes);
+    reply.node_stats.reserve(n_nodes);
+    for (uint64_t i = 0; i < n_nodes; ++i) {
+        NodeStatsSection node;
+        node.node = r.str();
+        node.ok = r.u8() != 0;
+        node.snapshot = readSnapshot(r);
+        reply.node_stats.push_back(std::move(node));
     }
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in reply frame");

@@ -1,0 +1,91 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/export.h"
+
+#ifndef POTLUCK_VERSION_STR
+#define POTLUCK_VERSION_STR "unknown"
+#endif
+#ifndef POTLUCK_GIT_SHA_STR
+#define POTLUCK_GIT_SHA_STR "unknown"
+#endif
+#ifndef POTLUCK_SANITIZE_STR
+#define POTLUCK_SANITIZE_STR "none"
+#endif
+
+namespace potluck::obs {
+
+namespace {
+
+/** Process start reference, captured at image load. */
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+/** Escape a Prometheus label value: \, ", and newline. */
+std::string
+promLabelEscape(const char *s)
+{
+    std::string out;
+    for (const char *p = s; *p; ++p) {
+        if (*p == '\\')
+            out += "\\\\";
+        else if (*p == '"')
+            out += "\\\"";
+        else if (*p == '\n')
+            out += "\\n";
+        else
+            out += *p;
+    }
+    return out;
+}
+
+} // namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = {POTLUCK_VERSION_STR, POTLUCK_GIT_SHA_STR,
+                                   POTLUCK_SANITIZE_STR};
+    return info;
+}
+
+double
+processUptimeSeconds()
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         kProcessStart)
+        .count();
+}
+
+std::string
+buildInfoPrometheus()
+{
+    const BuildInfo &info = buildInfo();
+    std::string out;
+    out += "# HELP potluck_build_info Build identity of the exporting "
+           "binary (value is always 1).\n";
+    out += "# TYPE potluck_build_info gauge\n";
+    out += "potluck_build_info{version=\"" + promLabelEscape(info.version) +
+           "\",git_sha=\"" + promLabelEscape(info.git_sha) +
+           "\",sanitizer=\"" + promLabelEscape(info.sanitizer) + "\"} 1\n";
+    out += "# HELP process_uptime_seconds Seconds since process start.\n";
+    out += "# TYPE process_uptime_seconds gauge\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "process_uptime_seconds %.3f\n",
+                  processUptimeSeconds());
+    out += buf;
+    return out;
+}
+
+std::string
+buildInfoJson()
+{
+    const BuildInfo &info = buildInfo();
+    return "{\"version\":\"" + jsonEscape(info.version) + "\",\"git_sha\":\"" +
+           jsonEscape(info.git_sha) + "\",\"sanitizer\":\"" +
+           jsonEscape(info.sanitizer) + "\"}";
+}
+
+} // namespace potluck::obs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Build/runtime identity: which binary is this, and how long has the
+ * process been up. Rendered into both exporters so a fleet dashboard
+ * can correlate metrics with the exact build (version + git sha +
+ * sanitizer flavor) that produced them.
+ *
+ * The constants come from compile definitions CMake injects
+ * (POTLUCK_VERSION_STR / POTLUCK_GIT_SHA_STR / POTLUCK_SANITIZE_STR);
+ * missing definitions degrade to "unknown"/"none" so out-of-tree
+ * builds still link.
+ */
+#ifndef POTLUCK_OBS_BUILD_INFO_H
+#define POTLUCK_OBS_BUILD_INFO_H
+
+#include <string>
+
+namespace potluck::obs {
+
+/** Compile-time identity of this binary. */
+struct BuildInfo
+{
+    const char *version;   ///< e.g. "0.8.0"
+    const char *git_sha;   ///< short sha at configure time
+    const char *sanitizer; ///< "none", "address", "thread", "undefined"
+};
+
+/** The identity baked into this binary. */
+const BuildInfo &buildInfo();
+
+/** Seconds since this process first touched the obs library. */
+double processUptimeSeconds();
+
+/**
+ * Prometheus lines for the identity block:
+ *   potluck_build_info{version=...,git_sha=...,sanitizer=...} 1
+ *   process_uptime_seconds <n>
+ * with label values escaped per the text exposition format.
+ */
+std::string buildInfoPrometheus();
+
+/** JSON object body: {"version":...,"git_sha":...,"sanitizer":...}. */
+std::string buildInfoJson();
+
+} // namespace potluck::obs
+
+#endif // POTLUCK_OBS_BUILD_INFO_H

@@ -3,6 +3,9 @@
 #include <cctype>
 #include <cstdio>
 #include <sstream>
+#include <utility>
+
+#include "obs/build_info.h"
 
 namespace potluck::obs {
 
@@ -100,7 +103,9 @@ std::string
 toJson(const RegistrySnapshot &snapshot)
 {
     std::ostringstream out;
-    out << "{\"counters\":{";
+    out << "{\"build_info\":" << buildInfoJson()
+        << ",\"process_uptime_seconds\":"
+        << formatDouble(processUptimeSeconds()) << ",\"counters\":{";
     for (size_t i = 0; i < snapshot.counters.size(); ++i) {
         const auto &c = snapshot.counters[i];
         out << (i ? "," : "") << '"' << jsonEscape(c.name) << "\":"
@@ -144,29 +149,96 @@ prometheusName(const std::string &name)
     return out;
 }
 
+namespace {
+
+/**
+ * Conformant counter name: `_total` suffix unless the raw name
+ * already carries it.
+ */
+std::string
+counterName(const std::string &prom)
+{
+    if (prom.size() >= 6 && prom.compare(prom.size() - 6, 6, "_total") == 0)
+        return prom;
+    return prom + "_total";
+}
+
+/**
+ * Base-unit rename + scale for a latency histogram: `*_ns`/`*_us`/
+ * `*_ms` stems become `*_seconds` with values scaled accordingly.
+ * Names already in base units (e.g. `*_bytes`) pass through at 1x.
+ */
+std::pair<std::string, double>
+baseUnitName(const std::string &prom)
+{
+    auto ends = [&](const char *suffix, size_t n) {
+        return prom.size() > n &&
+               prom.compare(prom.size() - n, n, suffix) == 0;
+    };
+    if (ends("_ns", 3))
+        return {prom.substr(0, prom.size() - 3) + "_seconds", 1e-9};
+    if (ends("_us", 3))
+        return {prom.substr(0, prom.size() - 3) + "_seconds", 1e-6};
+    if (ends("_ms", 3))
+        return {prom.substr(0, prom.size() - 3) + "_seconds", 1e-3};
+    return {prom, 1.0};
+}
+
+void
+emitSummary(std::ostringstream &out, const std::string &name,
+            const HistogramSnapshot &hist, double scale)
+{
+    out << "# TYPE " << name << " summary\n";
+    for (double q : {0.5, 0.9, 0.99}) {
+        out << name << "{quantile=\"" << q << "\"} "
+            << formatDouble(hist.percentile(q * 100.0) * scale) << "\n";
+    }
+    out << name << "_sum " << formatDouble(hist.sum * scale) << "\n"
+        << name << "_count " << hist.count << "\n";
+}
+
+} // namespace
+
 std::string
 toPrometheus(const RegistrySnapshot &snapshot)
 {
     std::ostringstream out;
+    out << buildInfoPrometheus();
     for (const auto &c : snapshot.counters) {
         std::string name = prometheusName(c.name);
-        out << "# TYPE " << name << " counter\n"
-            << name << " " << c.value << "\n";
+        std::string conformant = counterName(name);
+        out << "# HELP " << conformant
+            << " Monotonic Potluck counter (cumulative since process "
+               "start).\n"
+            << "# TYPE " << conformant << " counter\n"
+            << conformant << " " << c.value << "\n";
+        if (conformant != name) {
+            // Deprecated un-suffixed alias, kept for one release so
+            // existing scrapes keep working.
+            out << "# HELP " << name << " Deprecated alias for "
+                << conformant << ".\n"
+                << "# TYPE " << name << " counter\n"
+                << name << " " << c.value << "\n";
+        }
     }
     for (const auto &g : snapshot.gauges) {
         std::string name = prometheusName(g.name);
-        out << "# TYPE " << name << " gauge\n"
+        out << "# HELP " << name << " Potluck gauge (current value).\n"
+            << "# TYPE " << name << " gauge\n"
             << name << " " << g.value << "\n";
     }
     for (const auto &h : snapshot.histograms) {
         std::string name = prometheusName(h.name);
-        out << "# TYPE " << name << " summary\n";
-        for (double q : {0.5, 0.9, 0.99}) {
-            out << name << "{quantile=\"" << q << "\"} "
-                << formatDouble(h.hist.percentile(q * 100.0)) << "\n";
+        auto [conformant, scale] = baseUnitName(name);
+        out << "# HELP " << conformant
+            << " Potluck latency/size distribution (summary).\n";
+        emitSummary(out, conformant, h.hist, scale);
+        if (conformant != name) {
+            // Deprecated raw-unit alias (values unscaled), one release.
+            out << "# HELP " << name << " Deprecated alias for "
+                << conformant << " (pre-base-unit values).\n";
+            emitSummary(out, name, h.hist, 1.0);
         }
-        out << name << "_sum " << h.hist.sum << "\n"
-            << name << "_count " << h.hist.count << "\n";
     }
     return out.str();
 }

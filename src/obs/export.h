@@ -17,7 +17,9 @@ namespace potluck::obs {
 
 /**
  * Render a snapshot as a JSON object:
- *   {"counters": {name: value, ...},
+ *   {"build_info": {"version", "git_sha", "sanitizer"},
+ *    "process_uptime_seconds": n,
+ *    "counters": {name: value, ...},
  *    "gauges": {name: value, ...},
  *    "histograms": {name: {"count", "sum", "mean", "min", "max",
  *                          "p50", "p90", "p99"}, ...}}
@@ -25,10 +27,16 @@ namespace potluck::obs {
 std::string toJson(const RegistrySnapshot &snapshot);
 
 /**
- * Render a snapshot in Prometheus text format. Metric names have dots
- * rewritten to underscores; histograms are emitted as summaries with
+ * Render a snapshot in Prometheus text format (0.0.4). Metric names
+ * have dots rewritten to underscores; every family gets `# HELP` and
+ * `# TYPE` lines. Counters carry the conformant `_total` suffix and
+ * `*_ns`/`*_us`/`*_ms` histograms are exported as `*_seconds`
+ * summaries in base units — each with its pre-PR-8 name kept as a
+ * deprecated alias for one release. Histograms are summaries with
  * p50/p90/p99 quantile labels plus _count and _sum (the full bucket
  * vector stays in the binary wire format, not the scrape output).
+ * The identity block (`potluck_build_info`, `process_uptime_seconds`)
+ * is prepended.
  */
 std::string toPrometheus(const RegistrySnapshot &snapshot);
 

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Slot-heat telemetry: a fixed-memory Space-Saving heavy-hitter
+ * sketch with exponential decay, keyed by the same (function,
+ * key_type) slot hash the cluster's PeerRing uses for placement.
+ *
+ * The service feeds one sample per lookup/put from its hot-path tail;
+ * the sketch answers "which slots are hot RIGHT NOW" with bounded
+ * memory no matter how many distinct slots the workload touches —
+ * exactly the input signal reuse-aware load balancing and hot-slot
+ * replication need.
+ *
+ * Design:
+ *
+ *  - Space-Saving (Metwally et al.): each stripe tracks at most
+ *    `capacity` slots. A sample for an untracked slot when full
+ *    evicts the minimum-heat entry and inherits its heat as the new
+ *    entry's error bound — the classic guarantee that any slot with
+ *    true count > N/capacity is tracked.
+ *
+ *  - Exponential decay: heat halves every `half_life_us`, applied
+ *    lazily in multiplicative ticks, so "hot" means hot *recently*:
+ *    a flash crowd that ended minutes ago decays back out of the
+ *    top-k. Steady-state heat for a slot with rate r events/sec
+ *    converges to r * half_life / ln 2.
+ *
+ *  - Non-blocking feed: the sketch is striped; a feeder try-locks
+ *    its stripe and DROPS the sample on contention (counted) instead
+ *    of ever blocking the service hot path. A slot always maps to
+ *    the same stripe, so reads need no cross-stripe merge.
+ *
+ * Memory bound: one stripe costs capacity * (sizeof(Entry) + map
+ * node) ≈ 256 * (96 + 64) B ≈ 40 KiB at the defaults — under the
+ * 64 KiB budget; memoryBytesPerStripe() reports the exact figure.
+ */
+#ifndef POTLUCK_OBS_HEAT_H
+#define POTLUCK_OBS_HEAT_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace potluck::obs {
+
+/** What kind of hot-path event a heat sample documents. */
+enum class HeatKind : uint8_t
+{
+    Hit = 0,
+    Miss = 1,
+    Put = 2,
+};
+
+/** Sketch sizing and decay policy. */
+struct HeatConfig
+{
+    /** Independent try-locked stripes (a slot hashes to one). */
+    size_t stripes = 4;
+
+    /** Tracked slots per stripe (Space-Saving capacity). */
+    size_t capacity = 256;
+
+    /** Heat halves every this many microseconds. */
+    uint64_t half_life_us = 10ULL * 1000 * 1000;
+
+    /**
+     * Decayed heat at which a slot is declared hot (feed() returns
+     * true once, re-arming when the slot cools below half). 0 = never.
+     */
+    double hot_threshold = 0.0;
+};
+
+/** One exported hot slot (merged view, hottest first). */
+struct HotSlot
+{
+    uint64_t slot = 0;    ///< PeerRing-compatible slot hash
+    std::string label;    ///< "function/key_type", truncated
+    double heat = 0.0;    ///< decayed event count
+    double error = 0.0;   ///< Space-Saving overestimate bound
+    uint64_t hits = 0;    ///< raw counts since the slot was tracked
+    uint64_t misses = 0;
+    uint64_t puts = 0;
+
+    /** Steady-state events/sec implied by `heat` under the decay. */
+    double ratePerSec(uint64_t half_life_us) const;
+};
+
+/** Fixed-memory top-k hot-slot sketch. Thread-safe. */
+class HeatSketch
+{
+  public:
+    /** Truncation bound for the stored "function/key_type" label. */
+    static constexpr size_t kLabelBytes = 40;
+
+    explicit HeatSketch(HeatConfig config = {});
+
+    HeatSketch(const HeatSketch &) = delete;
+    HeatSketch &operator=(const HeatSketch &) = delete;
+
+    /**
+     * Account one hot-path event against (function, key_type).
+     * Never blocks: drops the sample if the stripe is contended.
+     * @return true exactly when this sample pushed the slot's decayed
+     *         heat across config().hot_threshold (edge-triggered; the
+     *         latch re-arms when the slot decays below half the
+     *         threshold) — the caller's cue to emit a HotSlot
+     *         decision event.
+     */
+    bool feed(std::string_view function, std::string_view key_type,
+              HeatKind kind, uint64_t now_us);
+
+    /** The `k` hottest tracked slots, hottest first, decayed to
+     * `now_us`. Takes every stripe lock; not for the hot path. */
+    std::vector<HotSlot> topK(size_t k, uint64_t now_us) const;
+
+    /** Samples dropped because a stripe was contended. */
+    uint64_t droppedSamples() const;
+
+    /** Currently tracked slots across all stripes. */
+    size_t trackedSlots() const;
+
+    /** Exact worst-case bytes one full stripe occupies. */
+    size_t memoryBytesPerStripe() const;
+
+    const HeatConfig &config() const { return config_; }
+
+    /**
+     * The (function, key_type) slot hash — bit-identical to
+     * cluster::PeerRing::slotHash so heat readings line up with ring
+     * placement (PeerRing delegates here; see heat_test).
+     */
+    static uint64_t slotHash(std::string_view function,
+                             std::string_view key_type);
+
+  private:
+    struct Entry
+    {
+        uint64_t slot = 0;
+        double heat = 0.0;
+        double error = 0.0;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t puts = 0;
+        bool hot_latched = false;
+        char label[kLabelBytes] = {};
+    };
+
+    struct Stripe
+    {
+        mutable std::mutex mu; ///< try-locked on feed, locked on read
+        uint64_t last_decay_us = 0;
+        std::vector<Entry> entries;
+        std::unordered_map<uint64_t, size_t> index; ///< slot -> entry
+    };
+
+    /** Apply pending decay ticks to a locked stripe. */
+    void decayLocked(Stripe &stripe, uint64_t now_us) const;
+
+    HeatConfig config_;
+    mutable std::vector<Stripe> stripes_;
+    /** Samples lost to try-lock contention (relaxed; outside mu). */
+    mutable std::atomic<uint64_t> dropped_{0};
+};
+
+} // namespace potluck::obs
+
+#endif // POTLUCK_OBS_HEAT_H

@@ -1,0 +1,208 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace potluck::obs {
+
+namespace {
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 503:
+        return "Service Unavailable";
+      default:
+        return "Error";
+    }
+}
+
+/** Best-effort full write with the socket's SO_SNDTIMEO in force. */
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+HttpExporter::HttpExporter(Config config) : config_(std::move(config)) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void
+HttpExporter::handle(const std::string &path, Handler handler)
+{
+    POTLUCK_ASSERT(!running(), "handlers must be registered before start()");
+    routes_[path] = std::move(handler);
+}
+
+bool
+HttpExporter::start()
+{
+    if (running())
+        return true;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        last_error_ = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+        last_error_ = "bad bind address '" + config_.bind_address + "'";
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+        last_error_ = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        port_ = ntohs(bound.sin_port);
+    else
+        port_ = config_.port;
+
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+HttpExporter::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel)) {
+        if (thread_.joinable())
+            thread_.join();
+        return;
+    }
+    stopping_.store(true, std::memory_order_release);
+    // Break the blocking accept(): shutdown wakes it; close releases.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+HttpExporter::serveLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (stopping_.load(std::memory_order_acquire))
+                break;
+            // EBADF/EINVAL after stop(); anything else is transient
+            // (EMFILE, ECONNABORTED) — brief pause, keep serving.
+            if (errno == EBADF || errno == EINVAL)
+                break;
+            ::usleep(10 * 1000);
+            continue;
+        }
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpExporter::serveConnection(int fd)
+{
+    timeval tv{};
+    tv.tv_sec = config_.io_timeout_ms / 1000;
+    tv.tv_usec = (config_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    std::string request;
+    char buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos) {
+        if (request.size() >= config_.max_request_bytes)
+            return; // oversized: drop without a reply
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return; // timeout/reset mid-request
+        request.append(buf, static_cast<size_t>(n));
+    }
+
+    // Request line: METHOD SP PATH SP VERSION
+    size_t eol = request.find_first_of("\r\n");
+    std::string line = request.substr(0, eol);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
+    HttpResponse response;
+    bool head_only = false;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        response = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else {
+        std::string method = line.substr(0, sp1);
+        std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        if (size_t q = path.find('?'); q != std::string::npos)
+            path.resize(q); // ignore query strings
+        head_only = method == "HEAD";
+        if (method != "GET" && method != "HEAD") {
+            response = {405, "text/plain; charset=utf-8",
+                        "method not allowed\n"};
+        } else if (auto it = routes_.find(path); it != routes_.end()) {
+            response = it->second();
+        } else {
+            response = {404, "text/plain; charset=utf-8", "not found\n"};
+        }
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                      statusText(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    if (!head_only)
+        out += response.body;
+    writeAll(fd, out);
+}
+
+} // namespace potluck::obs

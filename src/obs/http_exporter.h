@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal embedded HTTP exporter so a real Prometheus (or plain curl)
+ * can scrape a daemon without going through the CLI's IPC verbs.
+ *
+ * Deliberately tiny: a single acceptor/handler thread speaking
+ * HTTP/1.0, one connection at a time, GET/HEAD only, exact-path
+ * routing, Connection: close on every response. A scrape endpoint
+ * needs nothing more, and the single thread means a slow or hostile
+ * scraper can delay other scrapers but can never touch the service
+ * hot path or grow unbounded state.
+ *
+ * Security posture: binds 127.0.0.1 by default — metrics names leak
+ * app/function identifiers, so exposure beyond the host is an
+ * explicit operator decision (--http-bind). Requests are capped at
+ * max_request_bytes and both socket directions carry io_timeout_ms
+ * deadlines, so a wedged client costs at most one timeout.
+ *
+ * Handlers are registered before start() and the route table is
+ * immutable afterwards, so the serving thread reads it without locks.
+ */
+#ifndef POTLUCK_OBS_HTTP_EXPORTER_H
+#define POTLUCK_OBS_HTTP_EXPORTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace potluck::obs {
+
+/** What a route handler returns. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/** Loopback-by-default single-threaded scrape endpoint. */
+class HttpExporter
+{
+  public:
+    using Handler = std::function<HttpResponse()>;
+
+    struct Config
+    {
+        std::string bind_address = "127.0.0.1";
+        uint16_t port = 0; ///< 0 = kernel-assigned (see port())
+        int io_timeout_ms = 2000;
+        size_t max_request_bytes = 8192;
+    };
+
+    explicit HttpExporter(Config config);
+
+    /** Stops and joins the serving thread. */
+    ~HttpExporter();
+
+    HttpExporter(const HttpExporter &) = delete;
+    HttpExporter &operator=(const HttpExporter &) = delete;
+
+    /** Register an exact-path GET handler. Must precede start(). */
+    void handle(const std::string &path, Handler handler);
+
+    /**
+     * Bind, listen, and spawn the serving thread.
+     * @return false (with lastError() set) when bind/listen fails —
+     *         the caller decides whether that is fatal.
+     */
+    bool start();
+
+    /** Stop accepting and join the thread. Idempotent. */
+    void stop();
+
+    /** The bound port (resolves kernel-assigned port 0). */
+    uint16_t port() const { return port_; }
+
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &lastError() const { return last_error_; }
+
+  private:
+    void serveLoop();
+    void serveConnection(int fd);
+
+    Config config_;
+    std::map<std::string, Handler> routes_;
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    std::string last_error_;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> requests_{0};
+};
+
+} // namespace potluck::obs
+
+#endif // POTLUCK_OBS_HTTP_EXPORTER_H

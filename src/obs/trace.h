@@ -85,7 +85,8 @@ enum class DecisionKind : uint8_t
     Compaction = 9,        ///< a/b/c = garbage_ratio/moved/segments_left
     ScrubCorruption = 10,  ///< a/b = frame_bytes/offset, u = key hash
     Quarantine = 11,       ///< a = quarantine set size, u = key hash
-    Repair = 12            ///< a = value_bytes, u = key hash
+    Repair = 12,           ///< a = value_bytes, u = key hash
+    HotSlot = 13           ///< a/b = heat/threshold, u = slot hash
 };
 
 /**

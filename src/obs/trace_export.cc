@@ -128,6 +128,12 @@ decisionArgsJson(const TraceRecord &r)
             << ",\"value_bytes\":" << formatDouble(r.a)
             << ",\"key_hash\":" << r.u;
         break;
+      case DecisionKind::HotSlot:
+        out << "\"slot\":\"" << jsonEscape(r.detail) << "\""
+            << ",\"heat\":" << formatDouble(r.a)
+            << ",\"threshold\":" << formatDouble(r.b)
+            << ",\"slot_hash\":" << r.u;
+        break;
       case DecisionKind::None:
         out << "\"detail\":\"" << jsonEscape(r.detail) << "\"";
         break;
@@ -203,6 +209,11 @@ decisionArgsHuman(const TraceRecord &r)
                       "entry=%s value=%.0fB hash=%" PRIu64, r.detail, r.a,
                       r.u);
         break;
+      case DecisionKind::HotSlot:
+        std::snprintf(buf, sizeof(buf),
+                      "slot=%s heat=%.1f threshold=%.1f hash=%" PRIu64,
+                      r.detail, r.a, r.b, r.u);
+        break;
       case DecisionKind::None:
         std::snprintf(buf, sizeof(buf), "%s", r.detail);
         break;
@@ -240,6 +251,8 @@ decisionName(DecisionKind kind)
         return "store.quarantine";
       case DecisionKind::Repair:
         return "store.repair";
+      case DecisionKind::HotSlot:
+        return "heat.hot_slot";
       case DecisionKind::None:
         return "decision";
     }

@@ -325,6 +325,58 @@ TEST(CoordinatorTest, SelfOwnedMissIsAuthoritative)
     EXPECT_EQ(a.metrics().counter("cluster.remote_miss").value(), 0u);
 }
 
+TEST(CoordinatorTest, ClusterStatsFansOutAndTagsSections)
+{
+    PotluckService a(quietConfig());
+    PotluckService b(quietConfig());
+    ClusterConfig cfg;
+    cfg.self_tag = "node_a";
+    cfg.self_endpoint = "node_a";
+    ClusterCoordinator coordinator(a, cfg);
+    coordinator.addLocalPeer("node_b", b);
+    coordinator.install();
+
+    // Distinguishable traffic on each node.
+    a.registerKeyType("fn_a", {"vec", Metric::L2, IndexKind::Linear});
+    b.registerKeyType("fn_b", {"vec", Metric::L2, IndexKind::Linear});
+    PutOptions opts;
+    opts.app = "producer";
+    a.put("fn_a", "vec", FeatureVector({1.0f}), encodeInt(1), opts);
+    b.put("fn_b", "vec", FeatureVector({2.0f}), encodeInt(2), opts);
+    coordinator.drain();
+
+    std::vector<NodeStatsSection> sections = coordinator.clusterStats(0);
+    ASSERT_EQ(sections.size(), 2u);
+    EXPECT_EQ(sections[0].node, "node_a");
+    EXPECT_TRUE(sections[0].ok);
+    EXPECT_EQ(sections[1].node, "node_b");
+    EXPECT_TRUE(sections[1].ok);
+    // Each section carries ITS node's counters, not a blend.
+    EXPECT_GE(sections[0].snapshot.counterValue("fn.fn_a.lookups"), 0u);
+    EXPECT_GE(sections[0].snapshot.counterValue("service.puts"), 1u);
+    EXPECT_GE(sections[1].snapshot.counterValue("service.puts"), 1u);
+    bool b_has_fn_b = false, a_has_fn_b = false;
+    for (const auto &c : sections[1].snapshot.counters)
+        b_has_fn_b = b_has_fn_b || c.name == "fn.fn_b.lookups";
+    for (const auto &c : sections[0].snapshot.counters)
+        a_has_fn_b = a_has_fn_b || c.name == "fn.fn_b.lookups";
+    EXPECT_TRUE(b_has_fn_b);
+    EXPECT_FALSE(a_has_fn_b);
+    // publishObservability ran on both nodes before snapshotting.
+    bool a_uptime = false, b_uptime = false;
+    for (const auto &g : sections[0].snapshot.gauges)
+        a_uptime = a_uptime || g.name == "service.uptime_seconds";
+    for (const auto &g : sections[1].snapshot.gauges)
+        b_uptime = b_uptime || g.name == "service.uptime_seconds";
+    EXPECT_TRUE(a_uptime);
+    EXPECT_TRUE(b_uptime);
+
+    // A peer-originated query (hops = 1) must NOT fan out again.
+    std::vector<NodeStatsSection> local_only = coordinator.clusterStats(1);
+    ASSERT_EQ(local_only.size(), 1u);
+    EXPECT_EQ(local_only[0].node, "node_a");
+}
+
 TEST(CoordinatorTest, AsyncPutReplicationReachesRingSuccessor)
 {
     PotluckService a(quietConfig());

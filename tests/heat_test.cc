@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the slot-heat sketch (src/obs/heat.h): Space-Saving
+ * heavy-hitter accuracy under a Zipf workload, exponential decay of
+ * stale flash crowds, the edge-triggered hot threshold, the fixed
+ * memory bound, and the slot-hash contract shared with the cluster's
+ * PeerRing placement.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/peer_ring.h"
+#include "obs/heat.h"
+#include "util/rng.h"
+
+namespace potluck {
+namespace {
+
+using obs::HeatConfig;
+using obs::HeatKind;
+using obs::HeatSketch;
+using obs::HotSlot;
+
+/** Zipf(s = 1.0) sampler over ranks [0, n) via inverse-CDF lookup. */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(size_t n, uint64_t seed) : rng_(seed)
+    {
+        cdf_.reserve(n);
+        double total = 0.0;
+        for (size_t rank = 0; rank < n; ++rank) {
+            total += 1.0 / static_cast<double>(rank + 1);
+            cdf_.push_back(total);
+        }
+        for (double &c : cdf_)
+            c /= total;
+    }
+
+    size_t draw()
+    {
+        double u = rng_.uniformReal();
+        return static_cast<size_t>(
+            std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    }
+
+  private:
+    Rng rng_;
+    std::vector<double> cdf_;
+};
+
+TEST(HeatSketch, ZipfTopKOverlap)
+{
+    // 10^5 lookups over 2000 distinct slots, Zipf(1.0): the sketch's
+    // top-16 must agree with the true top-16 frequencies on >= 90%
+    // of entries despite tracking only `capacity` slots per stripe.
+    const size_t kSlots = 2000;
+    const size_t kSamples = 100000;
+    HeatConfig cfg;
+    cfg.half_life_us = 1ULL << 62; // effectively no decay in this test
+    HeatSketch sketch(cfg);
+    ZipfSampler zipf(kSlots, 42);
+
+    std::vector<uint64_t> true_counts(kSlots, 0);
+    for (size_t i = 0; i < kSamples; ++i) {
+        size_t rank = zipf.draw();
+        ++true_counts[rank];
+        sketch.feed("fn" + std::to_string(rank), "kt", HeatKind::Hit,
+                    /*now_us=*/1);
+    }
+    // Single-threaded feeding never contends a stripe lock.
+    EXPECT_EQ(sketch.droppedSamples(), 0u);
+
+    std::vector<size_t> ranks(kSlots);
+    for (size_t i = 0; i < kSlots; ++i)
+        ranks[i] = i;
+    std::partial_sort(ranks.begin(), ranks.begin() + 16, ranks.end(),
+                      [&](size_t a, size_t b) {
+                          return true_counts[a] > true_counts[b];
+                      });
+    std::set<std::string> truth;
+    for (size_t i = 0; i < 16; ++i)
+        truth.insert("fn" + std::to_string(ranks[i]) + "/kt");
+
+    std::vector<HotSlot> top = sketch.topK(16, /*now_us=*/1);
+    ASSERT_EQ(top.size(), 16u);
+    size_t overlap = 0;
+    for (const HotSlot &slot : top)
+        overlap += truth.count(slot.label);
+    EXPECT_GE(overlap, 15u) << "top-16 overlap below 90%";
+
+    // Zipf(1.0) rank 0 dominates: the hottest sketch entry must be it.
+    EXPECT_EQ(top[0].label, "fn0/kt");
+    // Space-Saving invariant: heat overestimates by at most `error`.
+    for (const HotSlot &slot : top)
+        EXPECT_GE(slot.heat + 1e-9, slot.error);
+}
+
+TEST(HeatSketch, FlashCrowdDecaysOut)
+{
+    HeatConfig cfg;
+    cfg.half_life_us = 1000000; // 1 s
+    HeatSketch sketch(cfg);
+
+    // A flash crowd hammers "flash" at t=0...
+    for (int i = 0; i < 1000; ++i)
+        sketch.feed("flash", "kt", HeatKind::Hit, /*now_us=*/1);
+    // ...then "steady" trickles along 12 half-lives later.
+    uint64_t later = 12 * cfg.half_life_us;
+    for (int i = 0; i < 10; ++i)
+        sketch.feed("steady", "kt", HeatKind::Hit, later);
+
+    std::vector<HotSlot> top = sketch.topK(2, later);
+    ASSERT_GE(top.size(), 2u);
+    // 1000 / 2^12 < 1 < 10: the stale crowd ranks below the live slot.
+    EXPECT_EQ(top[0].label, "steady/kt");
+    EXPECT_LT(top[1].heat, 1.0);
+    // Raw counts survive decay (they tally events, not heat).
+    EXPECT_EQ(top[1].hits, 1000u);
+}
+
+TEST(HeatSketch, HotThresholdIsEdgeTriggered)
+{
+    HeatConfig cfg;
+    cfg.half_life_us = 1000000;
+    cfg.hot_threshold = 50.0;
+    HeatSketch sketch(cfg);
+
+    int crossings = 0;
+    for (int i = 0; i < 200; ++i)
+        crossings += sketch.feed("hot", "kt", HeatKind::Hit, 1) ? 1 : 0;
+    EXPECT_EQ(crossings, 1) << "threshold crossing must fire exactly once";
+
+    // Still latched: more samples at high heat stay silent.
+    EXPECT_FALSE(sketch.feed("hot", "kt", HeatKind::Hit, 1));
+
+    // Decay below threshold/2 re-arms the latch; crossing fires again.
+    uint64_t later = 4 * cfg.half_life_us; // 200 / 16 = 12.5 < 25
+    crossings = 0;
+    for (int i = 0; i < 200; ++i)
+        crossings += sketch.feed("hot", "kt", HeatKind::Hit, later) ? 1 : 0;
+    EXPECT_EQ(crossings, 1);
+}
+
+TEST(HeatSketch, KindCountsAreSeparated)
+{
+    HeatSketch sketch;
+    sketch.feed("fn", "kt", HeatKind::Hit, 1);
+    sketch.feed("fn", "kt", HeatKind::Hit, 1);
+    sketch.feed("fn", "kt", HeatKind::Miss, 1);
+    sketch.feed("fn", "kt", HeatKind::Put, 1);
+    std::vector<HotSlot> top = sketch.topK(1, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].hits, 2u);
+    EXPECT_EQ(top[0].misses, 1u);
+    EXPECT_EQ(top[0].puts, 1u);
+    EXPECT_DOUBLE_EQ(top[0].heat, 4.0);
+    EXPECT_EQ(sketch.trackedSlots(), 1u);
+}
+
+TEST(HeatSketch, MemoryBoundAtDefaults)
+{
+    HeatSketch sketch;
+    // The ISSUE budget: a full stripe stays under 64 KiB.
+    EXPECT_LE(sketch.memoryBytesPerStripe(), 64u * 1024u);
+    EXPECT_GT(sketch.memoryBytesPerStripe(), 0u);
+}
+
+TEST(HeatSketch, LongLabelsAreTruncatedNotRejected)
+{
+    HeatSketch sketch;
+    std::string fn(100, 'f');
+    sketch.feed(fn, "kt", HeatKind::Hit, 1);
+    std::vector<HotSlot> top = sketch.topK(1, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_LE(top[0].label.size(), HeatSketch::kLabelBytes);
+    EXPECT_EQ(top[0].label.compare(0, 10, "ffffffffff"), 0);
+}
+
+TEST(HeatSketch, SlotHashMatchesPeerRingPlacement)
+{
+    // The whole point of the shared hash: heat readings name the same
+    // slots the consistent-hash ring routes, so "hot on node X" is a
+    // well-formed statement. PeerRing::slotHash delegates here; assert
+    // the contract from both sides.
+    for (const auto &[fn, kt] :
+         std::vector<std::pair<std::string, std::string>>{
+             {"resnet", "frame"}, {"asr", "mfcc"}, {"", ""}, {"a", "b"}}) {
+        EXPECT_EQ(HeatSketch::slotHash(fn, kt),
+                  cluster::PeerRing::slotHash(fn, kt));
+    }
+    // Separator byte matters: ("ab","c") and ("a","bc") are distinct.
+    EXPECT_NE(HeatSketch::slotHash("ab", "c"),
+              HeatSketch::slotHash("a", "bc"));
+}
+
+TEST(HeatSketch, ConcurrentFeedersNeverBlockOrCorrupt)
+{
+    // TSan-facing stress: 8 feeders hammer overlapping slots through
+    // the try-lock path while a reader polls topK. The invariants are
+    // (a) no data race (TSan), (b) fed + dropped accounts for every
+    // sample, (c) the sketch stays within capacity.
+    HeatConfig cfg;
+    cfg.stripes = 2;
+    cfg.capacity = 64;
+    HeatSketch sketch(cfg);
+
+    const int kThreads = 8;
+    const int kPerThread = 20000;
+    std::atomic<uint64_t> accepted{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            uint64_t ok = 0;
+            for (int i = 0; i < kPerThread; ++i) {
+                std::string fn = "fn" + std::to_string((t * 31 + i) % 100);
+                sketch.feed(fn, "kt",
+                            static_cast<HeatKind>(i % 3),
+                            /*now_us=*/1 + i);
+                ++ok;
+            }
+            accepted.fetch_add(ok, std::memory_order_relaxed);
+        });
+    }
+    std::atomic<bool> stop{false};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            std::vector<HotSlot> top = sketch.topK(16, 1000000);
+            EXPECT_LE(top.size(), 16u);
+        }
+    });
+    for (std::thread &t : threads)
+        t.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(accepted.load(), uint64_t(kThreads) * kPerThread);
+    EXPECT_LE(sketch.trackedSlots(), cfg.stripes * cfg.capacity);
+    // Samples either landed or were counted as dropped; total heat
+    // (undecayed here within one tick window) can't exceed the feed
+    // count.
+    std::vector<HotSlot> top = sketch.topK(16, 1000000);
+    for (const HotSlot &slot : top)
+        EXPECT_LE(slot.heat, double(kThreads) * kPerThread);
+}
+
+} // namespace
+} // namespace potluck

@@ -134,6 +134,71 @@ TEST(Message, EmptySnapshotRoundTrip)
     EXPECT_TRUE(decoded.snapshot.histograms.empty());
 }
 
+TEST(Message, ClusterStatsReplyRoundTrip)
+{
+    // The kClusterStats reply carries one tagged snapshot per node;
+    // sections must round-trip in order, ok-flags intact, with
+    // unreachable nodes' empty snapshots costing almost nothing.
+    obs::MetricsRegistry registry;
+    registry.counter("service.hits").inc(4);
+    registry.histogram("lookup.total_ns").record(777);
+
+    Reply reply;
+    reply.type = RequestType::ClusterStats;
+    reply.ok = true;
+    NodeStatsSection up;
+    up.node = "node-a";
+    up.ok = true;
+    up.snapshot = registry.snapshot();
+    reply.node_stats.push_back(std::move(up));
+    NodeStatsSection down;
+    down.node = "node-b";
+    down.ok = false;
+    reply.node_stats.push_back(std::move(down));
+
+    Reply decoded = decodeReply(encodeReply(reply));
+    ASSERT_EQ(decoded.node_stats.size(), 2u);
+    EXPECT_EQ(decoded.node_stats[0].node, "node-a");
+    EXPECT_TRUE(decoded.node_stats[0].ok);
+    EXPECT_EQ(decoded.node_stats[0].snapshot.counterValue("service.hits"),
+              4u);
+    const obs::HistogramSnapshot *h =
+        decoded.node_stats[0].snapshot.findHistogram("lookup.total_ns");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 1u);
+    EXPECT_EQ(decoded.node_stats[1].node, "node-b");
+    EXPECT_FALSE(decoded.node_stats[1].ok);
+    EXPECT_TRUE(decoded.node_stats[1].snapshot.counters.empty());
+}
+
+TEST(AppListenerTest, ClusterStatsFallsBackToLocalSection)
+{
+    // Without a coordinator-wired provider the verb still answers:
+    // one "local" section, so `stats --cluster` works against a
+    // standalone daemon; and hops > 1 is rejected like the peer verbs.
+    PotluckConfig config;
+    PotluckService service(config);
+    AppListener listener(service);
+
+    Request request;
+    request.type = RequestType::ClusterStats;
+    Reply reply = listener.handle(request);
+    ASSERT_TRUE(reply.ok) << reply.error;
+    ASSERT_EQ(reply.node_stats.size(), 1u);
+    EXPECT_EQ(reply.node_stats[0].node, "local");
+    EXPECT_TRUE(reply.node_stats[0].ok);
+    // publishObservability ran: the uptime gauge family exists.
+    bool has_uptime = false;
+    for (const auto &g : reply.node_stats[0].snapshot.gauges)
+        has_uptime = has_uptime || g.name == "service.uptime_seconds";
+    EXPECT_TRUE(has_uptime);
+
+    request.hops = 2;
+    Reply rejected = listener.handle(request);
+    EXPECT_FALSE(rejected.ok);
+    EXPECT_EQ(rejected.error, "peer hop limit exceeded");
+}
+
 TEST(Message, TruncatedFrameIsFatal)
 {
     Request request;

@@ -10,12 +10,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <set>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "core/potluck_service.h"
+#include "obs/build_info.h"
 #include "obs/export.h"
 #include "obs/histogram.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/span.h"
@@ -337,6 +347,227 @@ TEST(Export, PrometheusSanitizesHostileNames)
     EXPECT_EQ(obs::prometheusName("0leading"), "_leading");
     for (const char *line_breaker : {"\" 1", "evil\""})
         EXPECT_EQ(prom.find(line_breaker), std::string::npos) << prom;
+}
+
+// --- Prometheus exposition-format conformance -----------------------------
+//
+// Scraped by real Prometheus, the exporter must follow text format
+// 0.0.4: counters carry a `_total` suffix, durations are exported in
+// base seconds, and every family gets `# HELP` / `# TYPE` headers.
+// The pre-conformance names stay behind as deprecated aliases for one
+// release so existing scrape configs and the check.sh awk assertions
+// keep working.
+
+TEST(Export, PrometheusCountersGetTotalSuffixWithDeprecatedAlias)
+{
+    MetricsRegistry reg;
+    reg.counter("service.hits").inc(9);
+    std::string prom = obs::toPrometheus(reg.snapshot());
+    EXPECT_NE(prom.find("# HELP service_hits_total "), std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("# TYPE service_hits_total counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("\nservice_hits_total 9\n"), std::string::npos);
+    // Deprecated alias: old name, same value, its own HELP/TYPE.
+    EXPECT_NE(prom.find("# TYPE service_hits counter"), std::string::npos);
+    EXPECT_NE(prom.find("\nservice_hits 9\n"), std::string::npos);
+    EXPECT_NE(prom.find("Deprecated alias for service_hits_total"),
+              std::string::npos);
+}
+
+TEST(Export, PrometheusCounterAlreadyTotalIsNotDoubled)
+{
+    MetricsRegistry reg;
+    reg.counter("lookup.total").inc(2);
+    std::string prom = obs::toPrometheus(reg.snapshot());
+    EXPECT_NE(prom.find("\nlookup_total 2\n"), std::string::npos) << prom;
+    EXPECT_EQ(prom.find("lookup_total_total"), std::string::npos);
+    EXPECT_EQ(prom.find("Deprecated"), std::string::npos);
+}
+
+TEST(Export, PrometheusHistogramsScaleToBaseSeconds)
+{
+    MetricsRegistry reg;
+    reg.histogram("lookup.total_ns").record(1000);
+    std::string prom = obs::toPrometheus(reg.snapshot());
+    // 1000 ns = 1e-6 s in the conformant family...
+    EXPECT_NE(prom.find("# TYPE lookup_total_seconds summary"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("lookup_total_seconds_sum 1e-06"),
+              std::string::npos);
+    EXPECT_NE(prom.find("lookup_total_seconds_count 1"), std::string::npos);
+    EXPECT_NE(prom.find("lookup_total_seconds{quantile=\"0.5\"}"),
+              std::string::npos);
+    // ...while the deprecated alias keeps raw nanoseconds.
+    EXPECT_NE(prom.find("lookup_total_ns_sum 1000"), std::string::npos);
+    EXPECT_NE(prom.find("lookup_total_ns_count 1"), std::string::npos);
+}
+
+TEST(Export, PrometheusByteHistogramsPassThroughUnscaled)
+{
+    MetricsRegistry reg;
+    reg.histogram("ipc.request_bytes").record(512);
+    std::string prom = obs::toPrometheus(reg.snapshot());
+    // Bytes are already a base unit: no rename, no alias.
+    EXPECT_NE(prom.find("# TYPE ipc_request_bytes summary"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("ipc_request_bytes_sum 512"), std::string::npos);
+    EXPECT_EQ(prom.find("ipc_request_bytes_seconds"), std::string::npos);
+}
+
+TEST(Export, EveryFamilyHasHelpAndTypeHeaders)
+{
+    MetricsRegistry reg;
+    reg.counter("service.puts").inc(1);
+    reg.gauge("cache.entries").set(5);
+    reg.histogram("put.total_ns").record(10);
+    std::string prom = obs::toPrometheus(reg.snapshot());
+    std::istringstream lines(prom);
+    std::string line, last_family;
+    std::set<std::string> typed;
+    while (std::getline(lines, line)) {
+        if (line.rfind("# TYPE ", 0) == 0) {
+            typed.insert(line.substr(7, line.find(' ', 7) - 7));
+            continue;
+        }
+        if (line.empty() || line[0] == '#')
+            continue;
+        // Sample line: its family (name minus {labels} and summary
+        // suffixes) must have been typed already.
+        std::string name = line.substr(0, line.find_first_of(" {"));
+        for (const char *suffix : {"_sum", "_count"}) {
+            size_t n = std::strlen(suffix);
+            if (name.size() > n &&
+                name.compare(name.size() - n, n, suffix) == 0) {
+                std::string base = name.substr(0, name.size() - n);
+                if (typed.count(base))
+                    name = base;
+            }
+        }
+        EXPECT_TRUE(typed.count(name)) << "untyped sample: " << line;
+    }
+}
+
+TEST(Export, BuildInfoAndUptimeAreExported)
+{
+    MetricsRegistry reg;
+    std::string prom = obs::toPrometheus(reg.snapshot());
+    EXPECT_NE(prom.find("# TYPE potluck_build_info gauge"),
+              std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("potluck_build_info{version=\""),
+              std::string::npos);
+    EXPECT_NE(prom.find("git_sha=\""), std::string::npos);
+    EXPECT_NE(prom.find("sanitizer=\""), std::string::npos);
+    EXPECT_NE(prom.find("} 1\n"), std::string::npos);
+    EXPECT_NE(prom.find("# TYPE process_uptime_seconds gauge"),
+              std::string::npos);
+
+    std::string json = obs::toJson(reg.snapshot());
+    EXPECT_EQ(json.rfind("{\"build_info\":{\"version\":\"", 0), 0u) << json;
+    EXPECT_NE(json.find("\"process_uptime_seconds\":"), std::string::npos);
+
+    obs::BuildInfo info = obs::buildInfo();
+    EXPECT_GT(std::strlen(info.version), 0u);
+    EXPECT_GT(std::strlen(info.git_sha), 0u);
+    EXPECT_GT(std::strlen(info.sanitizer), 0u);
+    EXPECT_GE(obs::processUptimeSeconds(), 0.0);
+}
+
+// --- HTTP exporter --------------------------------------------------------
+
+/** One blocking HTTP exchange against 127.0.0.1:port. */
+std::string
+httpExchange(uint16_t port, const std::string &request)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+TEST(HttpExporter, ServesRegisteredRoutes)
+{
+    obs::HttpExporter::Config cfg; // port 0: kernel-assigned
+    obs::HttpExporter server(cfg);
+    server.handle("/metrics", [] {
+        obs::HttpResponse r;
+        r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = "potluck_build_info 1\n";
+        return r;
+    });
+    server.handle("/healthz", [] {
+        obs::HttpResponse r;
+        r.status = 503;
+        r.body = "{\"status\":\"degraded\"}";
+        return r;
+    });
+    ASSERT_TRUE(server.start()) << server.lastError();
+    ASSERT_NE(server.port(), 0);
+
+    std::string ok = httpExchange(
+        server.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos) << ok;
+    EXPECT_NE(ok.find("version=0.0.4"), std::string::npos);
+    EXPECT_NE(ok.find("potluck_build_info 1"), std::string::npos);
+    EXPECT_NE(ok.find("Content-Length:"), std::string::npos);
+
+    // The handler's status passes through (healthz degradation).
+    std::string degraded = httpExchange(
+        server.port(), "GET /healthz HTTP/1.0\r\n\r\n");
+    EXPECT_NE(degraded.find("HTTP/1.0 503"), std::string::npos) << degraded;
+
+    // Query strings are stripped before routing.
+    std::string with_query = httpExchange(
+        server.port(), "GET /metrics?name=x HTTP/1.0\r\n\r\n");
+    EXPECT_NE(with_query.find("200 OK"), std::string::npos);
+
+    // HEAD gets headers only; unknown paths 404; non-GET 405.
+    std::string head = httpExchange(
+        server.port(), "HEAD /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(head.find("200 OK"), std::string::npos);
+    EXPECT_EQ(head.find("potluck_build_info"), std::string::npos);
+    EXPECT_NE(httpExchange(server.port(), "GET /nope HTTP/1.0\r\n\r\n")
+                  .find("404"),
+              std::string::npos);
+    EXPECT_NE(httpExchange(server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                  .find("405"),
+              std::string::npos);
+
+    EXPECT_GE(server.requestsServed(), 6u);
+    server.stop();
+    EXPECT_FALSE(server.running());
+    server.stop(); // idempotent
+}
+
+TEST(HttpExporter, GarbageRequestIsBadRequestNotCrash)
+{
+    obs::HttpExporter::Config cfg;
+    obs::HttpExporter server(cfg);
+    server.handle("/", [] { return obs::HttpResponse{}; });
+    ASSERT_TRUE(server.start()) << server.lastError();
+    std::string r = httpExchange(server.port(), "\r\n\r\n");
+    EXPECT_NE(r.find("400"), std::string::npos) << r;
+    // The server survives and keeps answering.
+    EXPECT_NE(httpExchange(server.port(), "GET / HTTP/1.0\r\n\r\n")
+                  .find("200 OK"),
+              std::string::npos);
 }
 
 // --- ServiceStats as a registry view --------------------------------------

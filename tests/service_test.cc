@@ -150,6 +150,58 @@ TEST(Service, ComputeOverheadFromMissToPisMeasured)
     (void)tight;
 }
 
+TEST(Service, HitsAccountComputeSavings)
+{
+    // Every hit banks the entry's compute_overhead_us as "time the
+    // cache saved" — service-wide, per-function, and per-app (paper
+    // §3.3: the benefit of a hit is the skipped computation).
+    VirtualClock clock;
+    PotluckService service(quietConfig(), &clock);
+    service.registerKeyType("f", kt());
+
+    PutOptions options;
+    options.app = "producer";
+    options.compute_overhead_us = 2500.0; // 2.5 ms per skipped compute
+    service.put("f", "vec", key1d(1.0f), encodeInt(42), options);
+
+    for (int i = 0; i < 4; ++i) {
+        LookupResult r =
+            service.lookup("consumer", "f", "vec", key1d(1.0f));
+        ASSERT_TRUE(r.hit);
+    }
+    // 4 hits x 2.5 ms = 10 ms, exact under whole-ms carry accounting.
+    EXPECT_EQ(service.metrics().counter("service.saved_ms").value(), 10u);
+    EXPECT_EQ(service.metrics().counter("fn.f.saved_ms").value(), 10u);
+    EXPECT_EQ(service.metrics().counter("app.consumer.saved_ms").value(),
+              10u);
+    EXPECT_EQ(service.savedComputeUs(), 10000u);
+    // FLOPs estimate scales by config.est_flops_per_us (default 1e4).
+    EXPECT_EQ(service.metrics().counter("service.saved_flops_est").value(),
+              4u * 2500u * 10000u);
+
+    // Misses claim nothing.
+    service.lookup("consumer", "f", "vec", key1d(50.0f));
+    EXPECT_EQ(service.metrics().counter("service.saved_ms").value(), 10u);
+}
+
+TEST(Service, SubMillisecondSavingsAccumulateViaCarry)
+{
+    VirtualClock clock;
+    PotluckService service(quietConfig(), &clock);
+    service.registerKeyType("f", kt());
+
+    PutOptions options;
+    options.app = "producer";
+    options.compute_overhead_us = 300.0; // 0.3 ms: rounds to 0 naively
+    service.put("f", "vec", key1d(1.0f), encodeInt(1), options);
+
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(service.lookup("app", "f", "vec", key1d(1.0f)).hit);
+    // 10 x 0.3 ms = 3 ms — lost entirely if each hit truncated alone.
+    EXPECT_EQ(service.metrics().counter("service.saved_ms").value(), 3u);
+    EXPECT_EQ(service.savedComputeUs(), 3000u);
+}
+
 TEST(Service, CapacityEvictionUsesImportance)
 {
     PotluckConfig cfg = quietConfig();

@@ -10,6 +10,8 @@
  *   potluck_cli [...] mput FUNCTION KEYTYPE K1,K2,..=VALUE [K..=V ...]
  *   potluck_cli [...] mget FUNCTION KEYTYPE K1,K2,.. [K1,K2,.. ...]
  *   potluck_cli [...] stats [--json|--prom]
+ *   potluck_cli [...] stats --cluster [--json]
+ *   potluck_cli [...] top [--interval-ms N] [--iterations N]
  *   potluck_cli [...] store [--json]
  *   potluck_cli [...] trace [--json]
  *   potluck_cli [...] peers [--json]
@@ -28,6 +30,16 @@
  * the demotion / promotion / compaction counters. Against a daemon
  * started without --store-dir it reports that the store is disabled
  * (exit 0 — not an error).
+ *
+ * `stats --cluster` fetches federated per-node metrics over the
+ * kClusterStats verb — the queried daemon fans out to its ring peers
+ * and replies with one tagged snapshot per node — then prints a
+ * per-node table plus cluster-merged totals (counters summed,
+ * latency histograms bucket-merged). `top` renders the same feed as
+ * a live dashboard: per-node hit rate, lookup and saved-ms rates
+ * (frame deltas), replication-queue depth, and the cluster-wide
+ * hot-slot table from each daemon's heat sketch. --iterations bounds
+ * the frames (0 = run until ^C) so CI can script it.
  *
  * `peers` fetches the daemon's cluster status over the kPeers verb:
  * one row per federated peer with its link state (up / half-open /
@@ -60,11 +72,17 @@
  * exact-match unless the daemon's tuner has re-loosened since. This is
  * a debugging tool, not a performance path.
  */
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "ipc/client.h"
 #include "obs/export.h"
@@ -87,11 +105,45 @@ usage()
                  "  potluck_cli [...] mput FN KEYTYPE K1,K2,..=VALUE [..]\n"
                  "  potluck_cli [...] mget FN KEYTYPE K1,K2,.. [..]\n"
                  "  potluck_cli [...] stats [--json|--prom]\n"
+                 "  potluck_cli [...] stats --cluster [--json]\n"
+                 "  potluck_cli [...] top [--interval-ms N] "
+                 "[--iterations N]\n"
                  "  potluck_cli [...] store [--json]\n"
                  "  potluck_cli [...] trace [--json]\n"
                  "  potluck_cli [...] peers [--json]\n"
                  "  potluck_cli [...] scrub [--json]\n";
     std::exit(1);
+}
+
+/** "1.2M" / "3.4G" rendering for estimated-FLOPs magnitudes. */
+std::string
+formatSi(double v)
+{
+    static const char *suffixes[] = {"", "k", "M", "G", "T", "P"};
+    size_t s = 0;
+    while (v >= 1000.0 && s + 1 < sizeof(suffixes) / sizeof(suffixes[0])) {
+        v /= 1000.0;
+        ++s;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), s == 0 ? "%.0f%s" : "%.1f%s", v,
+                  suffixes[s]);
+    return buf;
+}
+
+/** Milliseconds as "742 ms" / "12.3 s" / "4.2 min". */
+std::string
+formatSavedMs(uint64_t ms)
+{
+    char buf[48];
+    if (ms < 10000)
+        std::snprintf(buf, sizeof(buf), "%llu ms",
+                      static_cast<unsigned long long>(ms));
+    else if (ms < 600000)
+        std::snprintf(buf, sizeof(buf), "%.1f s", ms / 1000.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f min", ms / 60000.0);
+    return buf;
 }
 
 /** Names of functions with registered `fn.<name>.lookups` counters. */
@@ -166,6 +218,11 @@ runStats(PotluckClient &client, const std::string &format)
                 static_cast<unsigned long long>(stats.expirations),
                 static_cast<unsigned long long>(stats.tighten_events),
                 static_cast<unsigned long long>(stats.loosen_events));
+    uint64_t saved_ms = snap.counterValue("service.saved_ms");
+    uint64_t saved_flops = snap.counterValue("service.saved_flops_est");
+    std::printf("  saved:       %s compute reused (~%s FLOPs est.)\n",
+                formatSavedMs(saved_ms).c_str(),
+                formatSi(static_cast<double>(saved_flops)).c_str());
     uint64_t bad_frames = snap.counterValue("ipc.bad_frame");
     std::printf("ipc\n"
                 "  requests:    %llu over %llu connections (%llu bad "
@@ -195,6 +252,9 @@ runStats(PotluckClient &client, const std::string &format)
                             obs::formatNs(h->percentile(50)).c_str(),
                             obs::formatNs(h->percentile(99)).c_str());
             }
+            uint64_t fn_saved = snap.counterValue("fn." + fn + ".saved_ms");
+            if (fn_saved)
+                std::printf("  saved %s", formatSavedMs(fn_saved).c_str());
             std::printf("\n");
         }
     }
@@ -463,6 +523,269 @@ runPeers(PotluckClient &client, bool json)
     return 0;
 }
 
+/** Sum counters and merge histograms across the reachable sections. */
+obs::RegistrySnapshot
+mergeSections(const std::vector<NodeStatsSection> &sections)
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, obs::HistogramSnapshot> hists;
+    for (const NodeStatsSection &node : sections) {
+        if (!node.ok)
+            continue;
+        for (const auto &c : node.snapshot.counters)
+            counters[c.name] += c.value;
+        for (const auto &h : node.snapshot.histograms)
+            hists[h.name].merge(h.hist);
+    }
+    obs::RegistrySnapshot merged;
+    merged.counters.reserve(counters.size());
+    for (const auto &[name, value] : counters)
+        merged.counters.push_back({name, value});
+    merged.histograms.reserve(hists.size());
+    for (auto &[name, hist] : hists)
+        merged.histograms.push_back({name, std::move(hist)});
+    return merged;
+}
+
+int
+runClusterStats(PotluckClient &client, bool json)
+{
+    std::vector<NodeStatsSection> sections = client.fetchClusterStats();
+    obs::RegistrySnapshot merged = mergeSections(sections);
+    size_t reachable = 0;
+    for (const NodeStatsSection &node : sections)
+        reachable += node.ok ? 1 : 0;
+
+    if (json) {
+        std::cout << "{\"nodes\":[";
+        for (size_t i = 0; i < sections.size(); ++i) {
+            const NodeStatsSection &node = sections[i];
+            uint64_t hits = node.snapshot.counterValue("service.hits");
+            uint64_t misses = node.snapshot.counterValue("service.misses");
+            std::cout << (i ? "," : "") << "{\"node\":\""
+                      << jsonEscape(node.node) << "\",\"ok\":"
+                      << (node.ok ? "true" : "false") << ",\"lookups\":"
+                      << node.snapshot.counterValue("service.lookups")
+                      << ",\"hits\":" << hits << ",\"misses\":" << misses
+                      << ",\"saved_ms\":"
+                      << node.snapshot.counterValue("service.saved_ms")
+                      << ",\"uptime_seconds\":"
+                      << node.snapshot.gaugeValue("service.uptime_seconds")
+                      << "}";
+        }
+        std::cout << "],\"merged\":" << obs::toJson(merged) << "\n}\n";
+        return 0;
+    }
+
+    std::cout << "cluster stats: " << sections.size() << " node"
+              << (sections.size() == 1 ? "" : "s") << " (" << reachable
+              << " reachable)\n";
+    std::printf("%-28s %-6s %10s %9s %12s %8s\n", "NODE", "STATE",
+                "LOOKUPS", "HIT_RATE", "SAVED", "QUEUE");
+    for (const NodeStatsSection &node : sections) {
+        if (!node.ok) {
+            std::printf("%-28s %-6s\n", node.node.c_str(), "down");
+            continue;
+        }
+        uint64_t hits = node.snapshot.counterValue("service.hits");
+        uint64_t misses = node.snapshot.counterValue("service.misses");
+        uint64_t answered = hits + misses;
+        std::printf(
+            "%-28s %-6s %10llu %8.1f%% %12s %8lld\n", node.node.c_str(),
+            "up",
+            static_cast<unsigned long long>(
+                node.snapshot.counterValue("service.lookups")),
+            answered ? 100.0 * hits / answered : 0.0,
+            formatSavedMs(node.snapshot.counterValue("service.saved_ms"))
+                .c_str(),
+            static_cast<long long>(
+                node.snapshot.gaugeValue("cluster.replica_queue_depth")));
+    }
+
+    uint64_t hits = merged.counterValue("service.hits");
+    uint64_t misses = merged.counterValue("service.misses");
+    uint64_t answered = hits + misses;
+    std::printf("merged\n"
+                "  lookups:     %llu (hits %llu, misses %llu)\n"
+                "  hit rate:    %.1f%% of answered lookups\n"
+                "  remote hits: %llu forwarded to owners\n"
+                "  saved:       %s compute reused (~%s FLOPs est.)\n",
+                static_cast<unsigned long long>(
+                    merged.counterValue("service.lookups")),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                answered ? 100.0 * hits / answered : 0.0,
+                static_cast<unsigned long long>(
+                    merged.counterValue("cluster.remote_hit")),
+                formatSavedMs(merged.counterValue("service.saved_ms"))
+                    .c_str(),
+                formatSi(static_cast<double>(
+                             merged.counterValue("service.saved_flops_est")))
+                    .c_str());
+    const obs::HistogramSnapshot *lookup_ns =
+        merged.findHistogram("lookup.total_ns");
+    if (lookup_ns && lookup_ns->count) {
+        std::printf("  lookup:      p50 %s  p99 %s  (%llu samples, "
+                    "cluster-merged)\n",
+                    obs::formatNs(lookup_ns->percentile(50)).c_str(),
+                    obs::formatNs(lookup_ns->percentile(99)).c_str(),
+                    static_cast<unsigned long long>(lookup_ns->count));
+    }
+    return 0;
+}
+
+/** One hot slot aggregated across nodes, parsed from the
+ * `heat.slot.<label>.*` gauge families each node publishes. */
+struct TopSlot
+{
+    std::string label;
+    int64_t heat = 0;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t puts = 0;
+};
+
+std::vector<TopSlot>
+collectHotSlots(const std::vector<NodeStatsSection> &sections)
+{
+    const std::string prefix = "heat.slot.";
+    const std::string suffix = ".heat";
+    std::map<std::string, TopSlot> slots;
+    for (const NodeStatsSection &node : sections) {
+        if (!node.ok)
+            continue;
+        for (const auto &g : node.snapshot.gauges) {
+            // Labels may themselves contain dots, so parse the family
+            // by its known prefix and the final .heat/.hits/... field.
+            if (g.name.compare(0, prefix.size(), prefix) != 0 ||
+                g.name.size() <= prefix.size() + suffix.size() ||
+                g.name.compare(g.name.size() - suffix.size(),
+                               suffix.size(), suffix) != 0) {
+                continue;
+            }
+            std::string label = g.name.substr(
+                prefix.size(),
+                g.name.size() - prefix.size() - suffix.size());
+            TopSlot &slot = slots[label];
+            slot.label = label;
+            slot.heat += g.value;
+            std::string base = prefix + label;
+            slot.hits += node.snapshot.gaugeValue(base + ".hits");
+            slot.misses += node.snapshot.gaugeValue(base + ".misses");
+            slot.puts += node.snapshot.gaugeValue(base + ".puts");
+        }
+    }
+    std::vector<TopSlot> out;
+    out.reserve(slots.size());
+    for (auto &[label, slot] : slots) {
+        if (slot.heat > 0 || slot.hits || slot.misses || slot.puts)
+            out.push_back(std::move(slot));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TopSlot &a, const TopSlot &b) {
+                  return a.heat > b.heat;
+              });
+    return out;
+}
+
+/**
+ * `top`: live-refreshing cluster dashboard. Each frame fetches the
+ * federated per-node snapshots and shows per-node hit rate and
+ * saved-ms/lookup rates (deltas against the previous frame), the
+ * replication queue depth, and the cluster-wide hot-slot table from
+ * the heat gauges. iterations = 0 runs until interrupted; a bounded
+ * count (and a tty-less stdout, which skips the ANSI clear) makes the
+ * same codepath scriptable in CI.
+ */
+int
+runTop(PotluckClient &client, uint64_t interval_ms, uint64_t iterations)
+{
+    struct Prev
+    {
+        uint64_t lookups = 0;
+        uint64_t saved_ms = 0;
+        bool seen = false;
+    };
+    std::map<std::string, Prev> prev;
+    bool tty = ::isatty(STDOUT_FILENO) != 0;
+
+    for (uint64_t frame = 0; iterations == 0 || frame < iterations;
+         ++frame) {
+        if (frame)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+        std::vector<NodeStatsSection> sections =
+            client.fetchClusterStats();
+        double dt = frame ? interval_ms / 1000.0 : 0.0;
+
+        if (tty)
+            std::cout << "\033[H\033[2J";
+        size_t reachable = 0;
+        for (const NodeStatsSection &node : sections)
+            reachable += node.ok ? 1 : 0;
+        std::printf("potluck top — %zu/%zu nodes up — refresh %.1fs\n\n",
+                    reachable, sections.size(), interval_ms / 1000.0);
+
+        std::printf("%-28s %-6s %9s %10s %10s %8s\n", "NODE", "STATE",
+                    "HIT_RATE", "LOOKUP/S", "SAVED_MS/S", "QUEUE");
+        for (const NodeStatsSection &node : sections) {
+            if (!node.ok) {
+                std::printf("%-28s %-6s\n", node.node.c_str(), "down");
+                continue;
+            }
+            uint64_t hits = node.snapshot.counterValue("service.hits");
+            uint64_t misses = node.snapshot.counterValue("service.misses");
+            uint64_t lookups =
+                node.snapshot.counterValue("service.lookups");
+            uint64_t saved =
+                node.snapshot.counterValue("service.saved_ms");
+            uint64_t answered = hits + misses;
+            Prev &p = prev[node.node];
+            double lookup_rate =
+                (p.seen && dt > 0 && lookups >= p.lookups)
+                    ? (lookups - p.lookups) / dt
+                    : 0.0;
+            double saved_rate = (p.seen && dt > 0 && saved >= p.saved_ms)
+                                    ? (saved - p.saved_ms) / dt
+                                    : 0.0;
+            std::printf(
+                "%-28s %-6s %8.1f%% %10.1f %10.1f %8lld\n",
+                node.node.c_str(), "up",
+                answered ? 100.0 * hits / answered : 0.0, lookup_rate,
+                saved_rate,
+                static_cast<long long>(node.snapshot.gaugeValue(
+                    "cluster.replica_queue_depth")));
+            p.lookups = lookups;
+            p.saved_ms = saved;
+            p.seen = true;
+        }
+
+        std::vector<TopSlot> hot = collectHotSlots(sections);
+        std::printf("\nhot slots (cluster-wide, by heat)\n");
+        if (hot.empty()) {
+            std::printf("  (none tracked yet)\n");
+        } else {
+            std::printf("  %-36s %10s %10s %10s %10s\n", "SLOT", "HEAT",
+                        "HITS", "MISSES", "PUTS");
+            size_t shown = std::min<size_t>(hot.size(), 10);
+            for (size_t i = 0; i < shown; ++i) {
+                std::printf("  %-36s %10lld %10lld %10lld %10lld\n",
+                            hot[i].label.c_str(),
+                            static_cast<long long>(hot[i].heat),
+                            static_cast<long long>(hot[i].hits),
+                            static_cast<long long>(hot[i].misses),
+                            static_cast<long long>(hot[i].puts));
+            }
+            if (hot.size() > shown) {
+                std::printf("  ... %zu more tracked slots\n",
+                            hot.size() - shown);
+            }
+        }
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
 FeatureVector
 parseKey(const std::string &csv)
 {
@@ -613,6 +936,14 @@ main(int argc, char **argv)
             }
             return all_hit ? 0 : 2;
         }
+        if (cmd == "stats" && args.size() >= 2 && args[1] == "--cluster") {
+            bool json = false;
+            if (args.size() == 3 && args[2] == "--json")
+                json = true;
+            else if (args.size() > 2)
+                usage();
+            return runClusterStats(client, json);
+        }
         if (cmd == "stats" && args.size() <= 2) {
             std::string format = "plain";
             if (args.size() == 2) {
@@ -624,6 +955,23 @@ main(int argc, char **argv)
                     usage();
             }
             return runStats(client, format);
+        }
+        if (cmd == "top") {
+            uint64_t interval_ms = 2000;
+            uint64_t iterations = 0;
+            for (size_t i = 1; i < args.size(); i += 2) {
+                if (i + 1 >= args.size())
+                    usage();
+                if (args[i] == "--interval-ms")
+                    interval_ms = std::stoull(args[i + 1]);
+                else if (args[i] == "--iterations")
+                    iterations = std::stoull(args[i + 1]);
+                else
+                    usage();
+            }
+            if (interval_ms == 0)
+                usage();
+            return runTop(client, interval_ms, iterations);
         }
         if (cmd == "store" && args.size() <= 2) {
             bool json = false;

@@ -16,6 +16,15 @@
  *            [--trace-slo-us N] [--trace-sample-prob P]
  *            [--peers SOCK,SOCK,...] [--replicas N] [--cluster-tag NAME]
  *            [--store-dir DIR] [--cold-capacity-mb N] [--scrub-rate-mb N]
+ *            [--http-port N] [--http-bind ADDR]
+ *
+ * With --http-port, the daemon additionally serves an embedded HTTP
+ * scrape endpoint (DESIGN.md §13): /metrics (Prometheus text format),
+ * /healthz (200, or 503 while any peer link's circuit breaker is
+ * open), /varz (JSON registry snapshot) and /hot (heat-sketch top-k
+ * JSON). Binds 127.0.0.1 unless --http-bind says otherwise — metric
+ * names leak app/function identifiers, so wider exposure is an
+ * explicit operator decision.
  *
  * With --snapshot, the cache is restored from PATH at startup (if the
  * file exists) and saved back on clean shutdown — the "secondary flash
@@ -59,6 +68,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -68,6 +78,8 @@
 #include "core/potluck_service.h"
 #include "ipc/server.h"
 #include "obs/export.h"
+#include "obs/heat.h"
+#include "obs/http_exporter.h"
 #include "store/tiered_store.h"
 #include "obs/trace_export.h"
 #include "util/fs_faults.h"
@@ -148,7 +160,8 @@ usage()
            "                [--peers SOCK,SOCK,...] [--replicas N]\n"
            "                [--cluster-tag NAME]\n"
            "                [--store-dir DIR] [--cold-capacity-mb N]\n"
-           "                [--scrub-rate-mb N]\n";
+           "                [--scrub-rate-mb N]\n"
+           "                [--http-port N] [--http-bind ADDR]\n";
     std::exit(1);
 }
 
@@ -229,6 +242,25 @@ dumpStats(const PotluckService &service, const std::string &format)
     std::cout << std::endl;
 }
 
+/** The /hot payload: heat-sketch top-k as JSON. */
+std::string
+hotSlotsJson(const PotluckService &service)
+{
+    std::vector<obs::HotSlot> slots = service.hotSlots(16);
+    std::ostringstream out;
+    out << "{\"hot_slots\":[";
+    for (size_t i = 0; i < slots.size(); ++i) {
+        const obs::HotSlot &s = slots[i];
+        out << (i ? "," : "") << "{\"slot\":\"" << obs::jsonEscape(s.label)
+            << "\",\"heat\":" << formatFixed(s.heat, 3)
+            << ",\"error\":" << formatFixed(s.error, 3)
+            << ",\"hits\":" << s.hits << ",\"misses\":" << s.misses
+            << ",\"puts\":" << s.puts << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
 } // namespace
 
 int
@@ -246,6 +278,8 @@ main(int argc, char **argv)
     std::string store_dir;
     uint64_t cold_capacity_mb = 0;
     uint64_t scrub_rate_mb = 4;
+    int http_port = -1; // -1 = exporter off (0 = kernel-assigned)
+    std::string http_bind = "127.0.0.1";
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -323,6 +357,12 @@ main(int argc, char **argv)
             cold_capacity_mb = std::stoull(next());
         } else if (arg == "--scrub-rate-mb") {
             scrub_rate_mb = std::stoull(next());
+        } else if (arg == "--http-port") {
+            http_port = std::stoi(next());
+            if (http_port < 0 || http_port > 65535)
+                usage();
+        } else if (arg == "--http-bind") {
+            http_bind = next();
         } else {
             usage();
         }
@@ -405,11 +445,77 @@ main(int argc, char **argv)
         if (coordinator) {
             server.listener().setClusterStatusProvider(
                 [c = coordinator.get()] { return c->status(); });
+            server.listener().setClusterStatsProvider(
+                [c = coordinator.get()](uint8_t hops) {
+                    return c->clusterStats(hops);
+                });
             std::cout << "potluckd: cluster '"
                       << coordinator->config().self_tag << "' with "
                       << coordinator->numPeers() << " peer"
                       << (coordinator->numPeers() == 1 ? "" : "s")
                       << ", replicas=" << replicas << std::endl;
+        }
+        // HTTP scrape endpoint (off by default). Declared after the
+        // server so it stops first; its handlers only read the
+        // service/coordinator, which outlive both.
+        std::unique_ptr<obs::HttpExporter> http;
+        if (http_port >= 0) {
+            obs::HttpExporter::Config hcfg;
+            hcfg.bind_address = http_bind;
+            hcfg.port = static_cast<uint16_t>(http_port);
+            http = std::make_unique<obs::HttpExporter>(hcfg);
+            http->handle("/metrics", [&service] {
+                service.publishObservability();
+                obs::HttpResponse r;
+                r.content_type =
+                    "text/plain; version=0.0.4; charset=utf-8";
+                r.body = obs::toPrometheus(service.metrics().snapshot());
+                return r;
+            });
+            http->handle("/healthz", [&service, c = coordinator.get(),
+                                      t = tiered.get()] {
+                service.publishObservability();
+                size_t peers_open = 0, peers_total = 0;
+                if (c) {
+                    ClusterStatus st = c->status();
+                    peers_total = st.peers.size();
+                    for (const PeerStatus &p : st.peers)
+                        peers_open += p.state == 2 ? 1 : 0;
+                }
+                size_t quarantined = t ? t->quarantinedCount() : 0;
+                obs::HttpResponse r;
+                r.status = peers_open ? 503 : 200;
+                r.content_type = "application/json";
+                std::ostringstream body;
+                body << "{\"status\":\""
+                     << (peers_open ? "degraded" : "ok")
+                     << "\",\"peers_open\":" << peers_open
+                     << ",\"peers\":" << peers_total
+                     << ",\"quarantined\":" << quarantined << "}";
+                r.body = body.str();
+                return r;
+            });
+            http->handle("/varz", [&service] {
+                service.publishObservability();
+                obs::HttpResponse r;
+                r.content_type = "application/json";
+                r.body = obs::toJson(service.metrics().snapshot());
+                return r;
+            });
+            http->handle("/hot", [&service] {
+                obs::HttpResponse r;
+                r.content_type = "application/json";
+                r.body = hotSlotsJson(service);
+                return r;
+            });
+            if (!http->start()) {
+                POTLUCK_FATAL("--http-port " << http_port << " on "
+                                             << http_bind << ": "
+                                             << http->lastError());
+            }
+            std::cout << "potluckd: http exporter on " << http_bind << ":"
+                      << http->port()
+                      << " (/metrics /healthz /varz /hot)" << std::endl;
         }
         g_service = &service;
         g_trace_dump_path = trace_dump_path;
@@ -452,6 +558,7 @@ main(int argc, char **argv)
             }
             if (stats_sec > 0 && ++elapsed >= stats_sec) {
                 elapsed = 0;
+                service.publishObservability();
                 dumpStats(service, stats_format);
             }
         }
