@@ -7,12 +7,21 @@
  *
  * Expected shape: sub-millisecond round trips (the paper measured
  * ~0.36 ms per request through Binder).
+ *
+ * A second section compares the two transports head-to-head: single
+ * lookups and 64-key batched mget (1024-dim keys) over plain
+ * Unix-socket frames vs the shared-memory ring (DESIGN.md §14).
+ * Machine-readable `BENCH {...}` lines record per-item latencies; the
+ * shape check asserts the shm batched path amortises to at least 10x
+ * below the per-request UDS path.
  */
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <random>
 
 #include "bench_common.h"
 #include "ipc/client.h"
@@ -69,6 +78,86 @@ BM_InProcessRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_InProcessRoundTrip);
 
+constexpr int kDim = 1024;
+constexpr int kFleet = 64;
+constexpr int kSingles = 300;
+constexpr int kBatches = 30;
+constexpr int kTrials = 3;
+
+struct TransportResult
+{
+    double single_us = 0;
+    double batch_item_us = 0;
+};
+
+/**
+ * Drive one client (UDS frames or shm ring, per `use_shm`) through the
+ * two request shapes: sequential single lookups and kFleet-key batched
+ * mget, both with kDim-dim keys that were pre-put so every lookup is a
+ * hit. Each transport gets its own function (and so its own
+ * exact-match index) — re-putting the fleet into a shared slot would
+ * grow the index under the second scenario and skew the comparison.
+ * Returns average per-request / per-item latency.
+ */
+TransportResult
+runTransport(const std::string &socket_path, bool use_shm,
+             const std::string &function)
+{
+    RetryPolicy policy;
+    policy.degraded_mode = false;
+    policy.request_deadline_ms = 10000;
+    TransportOptions transport;
+    transport.try_shm = use_shm;
+    PotluckClient client("bench_batch", socket_path, policy, {},
+                         transport);
+    client.registerFunction(function, "descriptor", Metric::L2,
+                            IndexKind::Hash);
+
+    std::mt19937 rng(1234);
+    std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+    std::vector<FeatureVector> keys;
+    std::vector<BatchPutItem> items;
+    for (int i = 0; i < kFleet; ++i) {
+        std::vector<float> values(kDim);
+        for (float &v : values)
+            v = dist(rng);
+        keys.emplace_back(values);
+        items.push_back({keys.back(), encodeInt(i)});
+    }
+    client.putBatch(function, "descriptor", items);
+
+    // Warm both shapes (connection, negotiation, index) off the clock.
+    for (int i = 0; i < 20; ++i)
+        client.lookup(function, "descriptor", keys[i % kFleet]);
+    client.lookupBatch(function, "descriptor", keys);
+    client.lookupBatch(function, "descriptor", keys);
+
+    // Best of kTrials passes: each number is a floor latency, so a
+    // scheduler preemption mid-pass (common on shared CI boxes)
+    // inflates one trial instead of poisoning the whole measurement.
+    TransportResult result;
+    result.single_us = 1e18;
+    result.batch_item_us = 1e18;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        {
+            Stopwatch sw;
+            for (int i = 0; i < kSingles; ++i)
+                client.lookup(function, "descriptor", keys[i % kFleet]);
+            result.single_us =
+                std::min(result.single_us, sw.elapsedUs() / kSingles);
+        }
+        {
+            Stopwatch sw;
+            for (int i = 0; i < kBatches; ++i)
+                client.lookupBatch(function, "descriptor", keys);
+            result.batch_item_us =
+                std::min(result.batch_item_us,
+                         sw.elapsedUs() / (double(kBatches) * kFleet));
+        }
+    }
+    return result;
+}
+
 } // namespace
 
 int
@@ -102,6 +191,52 @@ main(int argc, char **argv)
         table.endRow();
         std::cout << "\nshape check (sub-millisecond round trip): "
                   << (avg_ms < 1.0 ? "PASS" : "FAIL") << "\n\n";
+        bench::benchJson("ipc_latency", "uds_paper_rt_ms", avg_ms, "ms",
+                         kRequests);
+    }
+
+    // Transport comparison: UDS frames vs shared-memory ring, single
+    // lookups vs 64-key batched mget (DESIGN.md §14).
+    {
+        bench::banner("Transport comparison", "UDS vs shm ring",
+                      "shm batched mget amortises >= 10x below the "
+                      "per-request UDS path");
+        PotluckService svc(cfg);
+        bench::TempPath sock("ipc_shm", ".sock");
+        PotluckServer server(svc, sock.str());
+
+        TransportResult uds = runTransport(sock.str(), false,
+                                           "feature_match_uds");
+        TransportResult shm = runTransport(sock.str(), true,
+                                           "feature_match_shm");
+
+        bench::Table table(
+            {"transport", "single (us)", "batch item (us)"}, 16);
+        table.cell("unix socket").cell(uds.single_us, 2);
+        table.cell(uds.batch_item_us, 2).endRow();
+        table.cell("shm ring").cell(shm.single_us, 2);
+        table.cell(shm.batch_item_us, 2).endRow();
+
+        bench::benchJson("ipc_latency", "uds_single_us", uds.single_us,
+                         "us", kSingles);
+        bench::benchJson("ipc_latency", "uds_batch_item_us",
+                         uds.batch_item_us, "us",
+                         uint64_t(kBatches) * kFleet);
+        bench::benchJson("ipc_latency", "shm_single_us", shm.single_us,
+                         "us", kSingles);
+        bench::benchJson("ipc_latency", "shm_batch_item_us",
+                         shm.batch_item_us, "us",
+                         uint64_t(kBatches) * kFleet);
+        double speedup = shm.batch_item_us > 0
+                             ? uds.single_us / shm.batch_item_us
+                             : 0;
+        bench::benchJson("ipc_latency", "shm_batch_vs_uds_single",
+                         speedup, "x");
+        std::cout << "\nshape check (shm batch >= 10x below UDS "
+                     "singles): "
+                  << (speedup >= 10.0 ? "PASS" : "FAIL") << " ("
+                  << std::fixed << std::setprecision(1) << speedup
+                  << "x)\n\n";
     }
 
     benchmark::Initialize(&argc, argv);

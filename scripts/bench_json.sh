@@ -1,51 +1,66 @@
 #!/usr/bin/env bash
 # Run the machine-readable benchmark subset and collect their
-# `BENCH {...}` result lines into BENCH_obs.json at the repo root —
-# one JSON array a CI dashboard can ingest without scraping the human
-# tables. The human output still streams to the terminal.
+# `BENCH {...}` result lines into JSON arrays at the repo root —
+# BENCH_obs.json for the observability/store/cluster suite and
+# BENCH_ipc.json for the IPC transport suite — files a CI dashboard
+# can ingest without scraping the human tables. The human output
+# still streams to the terminal.
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-OUT="BENCH_obs.json"
-BENCHES=(bench_obs_overhead bench_store_tiering bench_fault_recovery
-         bench_cluster_scaleout)
+OBS_BENCHES=(bench_obs_overhead bench_store_tiering bench_fault_recovery
+             bench_cluster_scaleout)
+IPC_BENCHES=(bench_ipc_latency)
 
 if [ ! -d "$BUILD_DIR" ]; then
     echo "error: build dir '$BUILD_DIR' not found (run cmake first)" >&2
     exit 1
 fi
-cmake --build "$BUILD_DIR" --target "${BENCHES[@]}"
+cmake --build "$BUILD_DIR" --target "${OBS_BENCHES[@]}" "${IPC_BENCHES[@]}"
 
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
-for b in "${BENCHES[@]}"; do
-    bin="$BUILD_DIR/bench/$b"
-    if [ ! -x "$bin" ]; then
-        echo "error: $bin missing after build" >&2
+# collect OUT BENCH...: run each bench, harvest its `BENCH {...}`
+# lines, and write them to OUT as one JSON array (one object per line).
+collect() {
+    local out="$1"
+    shift
+    local raw
+    raw="$(mktemp)"
+    for b in "$@"; do
+        local bin="$BUILD_DIR/bench/$b"
+        if [ ! -x "$bin" ]; then
+            echo "error: $bin missing after build" >&2
+            rm -f "$raw"
+            exit 1
+        fi
+        echo "== $b =="
+        # Google-benchmark-linked binaries accept --benchmark_min_time;
+        # keep the registered microbenchmarks short — the BENCH lines
+        # come from the hand-rolled experiments, not the registered
+        # ones.
+        "$bin" --benchmark_min_time=0.01s 2>&1 | tee /dev/stderr |
+            grep '^BENCH ' | sed 's/^BENCH //' >>"$raw" || true
+    done
+
+    if [ ! -s "$raw" ]; then
+        echo "error: no BENCH lines collected for $out" >&2
+        rm -f "$raw"
         exit 1
     fi
-    echo "== $b =="
-    # Google-benchmark-linked binaries accept --benchmark_min_time;
-    # keep the registered microbenchmarks short — the BENCH lines come
-    # from the hand-rolled experiments, not the registered ones.
-    "$bin" --benchmark_min_time=0.01s 2>&1 | tee /dev/stderr |
-        grep '^BENCH ' | sed 's/^BENCH //' >>"$RAW" || true
-done
 
-if [ ! -s "$RAW" ]; then
-    echo "error: no BENCH lines collected" >&2
-    exit 1
-fi
+    # Join the JSON objects into one array, one result per line.
+    {
+        echo '['
+        sed '$!s/$/,/' "$raw" | sed 's/^/  /'
+        echo ']'
+    } >"$out"
+    rm -f "$raw"
 
-# Join the JSON objects into one array, one result per line.
-{
-    echo '['
-    sed '$!s/$/,/' "$RAW" | sed 's/^/  /'
-    echo ']'
-} >"$OUT"
+    echo
+    echo "wrote $(grep -c '"bench"' "$out") results to $out"
+}
 
-echo
-echo "wrote $(grep -c '"bench"' "$OUT") results to $OUT"
+collect BENCH_obs.json "${OBS_BENCHES[@]}"
+collect BENCH_ipc.json "${IPC_BENCHES[@]}"

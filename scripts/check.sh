@@ -18,6 +18,12 @@
 # trace_event shape (a traceEvents array with complete spans). Skipped
 # when python3 is unavailable.
 #
+# An shm transport stage then reruns the workload over the
+# shared-memory ring (potluck_cli --shm) against the sanitized daemon,
+# boots a fault-build daemon with POTLUCK_IPC_FAULTS=refuse_shm=1.0 to
+# prove a refused handshake silently continues the stream over UDS,
+# and checks a --no-shm daemon serves --shm clients the same way.
+#
 # A cluster stage then boots a 3-daemon full mesh (--peers), drives a
 # cross-node mput/mget through it, asserts the mesh recorded remote
 # hits (cluster_remote_hit in the Prometheus export), and verifies the
@@ -172,6 +178,76 @@ fi
 
 echo "check.sh: trace smoke test passed"
 
+# ---- shm ring transport smoke test -------------------------------------
+# First half: the same sanitized daemon, reached over the shared-memory
+# ring. The CLI's --shm flag negotiates the upgrade on every
+# invocation, so the commands below run the fd-passing handshake, the
+# ring marshalling (including the batched verbs' sendFrameDirect path)
+# and the futex doorbells under the sanitizer.
+"$CLI" --socket "$SOCK" --shm register shmfn vec
+"$CLI" --socket "$SOCK" --shm put shmfn vec 1,2,3 uno
+"$CLI" --socket "$SOCK" --shm mput shmfn vec 4,5,6=dos 7,8,9=tres
+"$CLI" --socket "$SOCK" --shm mget shmfn vec 1,2,3 4,5,6 7,8,9
+"$CLI" --socket "$SOCK" --shm get shmfn vec 1,2,3
+echo "check.sh: shm ring smoke OK (sanitized daemon, --shm client)"
+
+# Second half: a fault-build daemon that refuses every shm handshake
+# (POTLUCK_IPC_FAULTS=refuse_shm=1.0). The same --shm workload must
+# keep succeeding — the refusal nack silently continues the stream
+# over UDS; it is a fallback, never an error.
+RSOCK="$(mktemp -u /tmp/potluck_shmref_XXXXXX.sock)"
+POTLUCK_IPC_FAULTS="refuse_shm=1.0" \
+    "$FAULT_BUILD/tools/potluckd" --socket "$RSOCK" --stats-sec 0 \
+    --dropout 0 &
+RPID=$!
+cleanup_shm() {
+    kill "$RPID" 2>/dev/null || true
+    wait "$RPID" 2>/dev/null || true
+    rm -f "$RSOCK" "$RSOCK.trace.json"
+    cleanup
+}
+trap cleanup_shm EXIT
+
+for _ in $(seq 1 50); do
+    [ -S "$RSOCK" ] && break
+    sleep 0.1
+done
+[ -S "$RSOCK" ] || { echo "check.sh: refuse-shm daemon did not start" >&2; exit 1; }
+
+"$FAULT_BUILD/tools/potluck_cli" --socket "$RSOCK" --shm register shmfall vec
+"$FAULT_BUILD/tools/potluck_cli" --socket "$RSOCK" --shm \
+    mput shmfall vec 1,2,3=uno 4,5,6=dos
+"$FAULT_BUILD/tools/potluck_cli" --socket "$RSOCK" --shm \
+    mget shmfall vec 1,2,3 4,5,6
+echo "check.sh: refused shm handshake fell back to UDS OK"
+kill "$RPID" 2>/dev/null || true
+wait "$RPID" 2>/dev/null || true
+
+# A daemon started with --no-shm must refuse the same way.
+NSOCK="$(mktemp -u /tmp/potluck_noshm_XXXXXX.sock)"
+"$DAEMON" --socket "$NSOCK" --no-shm --stats-sec 0 --dropout 0 &
+NPID=$!
+cleanup_noshm() {
+    kill "$NPID" 2>/dev/null || true
+    wait "$NPID" 2>/dev/null || true
+    rm -f "$NSOCK" "$NSOCK.trace.json"
+    cleanup_shm
+}
+trap cleanup_noshm EXIT
+for _ in $(seq 1 50); do
+    [ -S "$NSOCK" ] && break
+    sleep 0.1
+done
+[ -S "$NSOCK" ] || { echo "check.sh: --no-shm daemon did not start" >&2; exit 1; }
+"$CLI" --socket "$NSOCK" --shm register noshmfn vec
+"$CLI" --socket "$NSOCK" --shm put noshmfn vec 1,2,3 x
+"$CLI" --socket "$NSOCK" --shm get noshmfn vec 1,2,3
+echo "check.sh: --no-shm daemon serves --shm clients over UDS"
+kill "$NPID" 2>/dev/null || true
+wait "$NPID" 2>/dev/null || true
+
+echo "check.sh: shm transport stage passed"
+
 # ---- cluster federation smoke test ------------------------------------
 # Boot a 3-daemon full mesh (DESIGN.md §11), write a batch through one
 # node, and read it back through the other two: every key's slot owner
@@ -196,7 +272,7 @@ cleanup_cluster() {
     wait "$CPID1" "$CPID2" "$CPID3" 2>/dev/null || true
     rm -f "$CSOCK1" "$CSOCK2" "$CSOCK3" \
         "$CSOCK1.trace.json" "$CSOCK2.trace.json" "$CSOCK3.trace.json"
-    cleanup
+    cleanup_noshm
 }
 trap cleanup_cluster EXIT
 

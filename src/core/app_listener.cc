@@ -89,10 +89,15 @@ AppListener::execute(const Request &request)
         break;
       }
       case RequestType::LookupBatch: {
-        reply.batch_lookups.reserve(request.batch_keys.size());
-        for (const FeatureVector &key : request.batch_keys) {
-            LookupResult result = service_.lookup(
-                request.app, request.function, request.key_type, key);
+        // The batched service entry point amortizes slot resolution,
+        // dropout bookkeeping and shard locking across the batch —
+        // the reply values are shared_ptrs into shard storage, so no
+        // payload bytes are copied until the transport marshals them.
+        std::vector<LookupResult> batch = service_.lookupBatch(
+            request.app, request.function, request.key_type,
+            request.batchKeys());
+        reply.batch_lookups.reserve(batch.size());
+        for (LookupResult &result : batch) {
             BatchLookupItem item;
             item.hit = result.hit;
             item.dropped = result.dropped;

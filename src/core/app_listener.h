@@ -141,6 +141,23 @@ struct Request
      * type; the batch shares one frame and one server dispatch). */
     std::vector<FeatureVector> batch_keys;
 
+    /**
+     * Non-owning alternative to batch_keys for the client's marshal
+     * hot path: lookupBatch() points this at the caller's key vector
+     * so building the Request copies no payload bytes. The pointee
+     * must outlive the request (callers pass a reference whose
+     * lifetime spans the round trip). Wire decoders always fill
+     * batch_keys and leave this null; readers go through batchKeys().
+     */
+    const std::vector<FeatureVector> *batch_keys_view = nullptr;
+
+    /** The effective kLookupBatch keys (borrowed view if set). */
+    const std::vector<FeatureVector> &
+    batchKeys() const
+    {
+        return batch_keys_view ? *batch_keys_view : batch_keys;
+    }
+
     /** kPutBatch payloads (ttl_us / compute_overhead_us above apply
      * to every item). */
     std::vector<BatchPutItem> batch_puts;

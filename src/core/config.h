@@ -164,6 +164,21 @@ struct PotluckConfig
      * finish before severing the remaining connections.
      */
     uint64_t ipc_drain_deadline_ms = 2000;
+
+    /**
+     * Answer shared-memory upgrade offers (DESIGN.md §14). When off
+     * every hello is nacked and all connections stay on plain UDS;
+     * clients fall back transparently either way, so this is a kill
+     * switch, not a compatibility knob.
+     */
+    bool ipc_enable_shm = true;
+
+    /**
+     * Per-direction shm ring capacity granted to clients (bytes,
+     * power of two; also caps what a client may request). Frames
+     * larger than about half of this spill to the UDS socket.
+     */
+    uint32_t ipc_shm_ring_bytes = 1u << 20;
     /// @}
 
     /// @name Tiered persistent store (src/store; DESIGN.md §12).

@@ -1,6 +1,28 @@
 #include "core/hash_index.h"
 
+#include <cstring>
+
 namespace potluck {
+
+namespace {
+
+/**
+ * Bit-identical content comparison. The exact-match index stores and
+ * probes the same wire bytes, so memcmp is both faster than the
+ * element-wise float compare and stricter in the right way: a NaN
+ * element keeps its entry retrievable (x != x would make every probe
+ * of such a key miss forever).
+ */
+bool
+bitwiseEqual(const FeatureVector &a, const FeatureVector &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return std::memcmp(a.values().data(), b.values().data(),
+                       a.sizeBytes()) == 0;
+}
+
+} // namespace
 
 void
 HashIndex::insert(EntryId id, const FeatureVector &key)
@@ -33,7 +55,7 @@ HashIndex::nearest(const FeatureVector &key, size_t k) const
     auto range = by_hash_.equal_range(key.hash());
     for (auto it = range.first; it != range.second && out.size() < k; ++it) {
         const FeatureVector &stored = by_id_.at(it->second);
-        if (stored == key) // guard against hash collisions
+        if (bitwiseEqual(stored, key)) // guard against hash collisions
             out.push_back({it->second, 0.0});
     }
     return out;

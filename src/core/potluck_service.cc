@@ -201,17 +201,26 @@ PotluckService::probeLookupShard(Shard &shard, const std::string &function,
                                  const std::string &key_type,
                                  const FeatureVector &key, uint64_t now)
 {
-    ProbeOutcome out;
     std::shared_lock lock(shard.mutex);
     KeyIndex *slot = shard.table.find(function, key_type);
     if (!slot)
-        return out; // registration still replicating to this shard
+        return {}; // registration still replicating to this shard
+    return probeSlotLocked(shard, slot, key, now);
+}
 
+PotluckService::ProbeOutcome
+PotluckService::probeSlotLocked(Shard &shard, KeyIndex *slot,
+                                const FeatureVector &key, uint64_t now,
+                                bool traced)
+{
+    ProbeOutcome out;
     // Threshold-restricted nearest-neighbour query (Section 3.4),
     // filtered by THIS shard's tuner.
     std::vector<Neighbor> neighbors;
-    {
+    if (traced) {
         POTLUCK_TRACE_SPAN("lookup.index_probe", obs_.lookup_probe_ns);
+        neighbors = slot->index->nearest(key, config_.knn);
+    } else {
         neighbors = slot->index->nearest(key, config_.knn);
     }
     if (!neighbors.empty())
@@ -402,6 +411,203 @@ PotluckService::lookup(const std::string &app, const std::string &function,
         }
     }
     return result;
+}
+
+std::vector<LookupResult>
+PotluckService::lookupBatch(const std::string &app,
+                            const std::string &function,
+                            const std::string &key_type,
+                            const std::vector<FeatureVector> &keys)
+{
+    std::vector<LookupResult> results(keys.size());
+    if (keys.empty())
+        return results;
+    POTLUCK_TRACE_NAMED_SPAN(batch_span, "service.lookup_batch",
+                             obs_.lookup_total_ns, function.c_str());
+    const uint64_t n = keys.size();
+    obs_.lookups->inc(n);
+
+    KeyIndex *slot0 = canonicalSlot(function, key_type, "lookup");
+    POTLUCK_SPAN_ATTACH(batch_span, slot0->fn_lookup_ns);
+    slot0->stats.lookups.fetch_add(n, std::memory_order_relaxed);
+    slot0->fn_lookups->inc(n);
+
+    uint64_t now = clock_->nowUs();
+
+    // Random dropout (Section 3.4), drawn per key so batch traffic
+    // recalibrates thresholds at the same rate as single lookups —
+    // but under ONE meta-mutex acquisition for the whole batch.
+    std::vector<uint8_t> dropped(keys.size(), 0);
+    uint64_t n_dropped = 0;
+    if (config_.dropout_probability > 0.0) {
+        std::lock_guard<std::mutex> meta(meta_mutex_);
+        for (size_t i = 0; i < keys.size(); ++i) {
+            if (rng_.bernoulli(config_.dropout_probability)) {
+                dropped[i] = 1;
+                ++n_dropped;
+            }
+        }
+        if (n_dropped > 0)
+            pending_miss_us_[{app, function}] = now;
+    }
+    if (n_dropped > 0) {
+        obs_.dropouts->inc(n_dropped);
+        for (size_t i = 0; i < keys.size(); ++i)
+            results[i].dropped = dropped[i] != 0;
+        if (n_dropped == n)
+            return results;
+    }
+
+    // Probe every key against each shard under a single shared-lock
+    // acquisition and slot resolution per shard.
+    std::vector<std::vector<ProbeOutcome>> outcomes(shards_.size());
+    auto probeShard = [&](size_t si) {
+        std::vector<ProbeOutcome> &out = outcomes[si];
+        out.resize(keys.size());
+        Shard &shard = *shards_[si];
+        std::shared_lock lock(shard.mutex);
+        KeyIndex *slot = shard.table.find(function, key_type);
+        if (!slot)
+            return; // registration still replicating to this shard
+        // One index-probe span for the whole shard pass; per-key spans
+        // would cost two clock reads per key.
+        POTLUCK_TRACE_SPAN("lookup.index_probe", obs_.lookup_probe_ns);
+        for (size_t i = 0; i < keys.size(); ++i) {
+            if (!dropped[i])
+                out[i] = probeSlotLocked(shard, slot, keys[i], now,
+                                         /*traced=*/false);
+        }
+    };
+    if (shards_.size() == 1) {
+        probeShard(0);
+    } else {
+        POTLUCK_TRACE_SPAN("service.shard_fanout", obs_.fanout_ns);
+        if (fanout_pool_) {
+            std::vector<std::future<void>> futures;
+            futures.reserve(shards_.size() - 1);
+            for (size_t i = 1; i < shards_.size(); ++i)
+                futures.push_back(
+                    fanout_pool_->submit([&probeShard, i] { probeShard(i); }));
+            probeShard(0);
+            for (auto &f : futures)
+                f.get();
+        } else {
+            for (size_t i = 0; i < shards_.size(); ++i)
+                probeShard(i);
+        }
+    }
+
+    // Merge per key; hits complete here, misses queue for the
+    // cold-tier / miss-handler passes below. Savings and heat are
+    // tallied across the batch and accounted once — accountSavings is
+    // additive in overhead_us (the carry logic tracks the exact sum),
+    // and one weighted feedHeat takes the stripe lock once instead of
+    // once per hit.
+    uint64_t n_hits = 0;
+    double hit_overhead_us = 0.0;
+    std::vector<size_t> miss_indices;
+    for (size_t i = 0; i < keys.size(); ++i) {
+        if (dropped[i])
+            continue;
+        int best = -1;
+        double nearest = -1.0;
+        for (size_t s = 0; s < outcomes.size(); ++s) {
+            const ProbeOutcome &o = outcomes[s][i];
+            if (o.nearest_dist >= 0.0 &&
+                (nearest < 0.0 || o.nearest_dist < nearest)) {
+                nearest = o.nearest_dist;
+            }
+            if (o.hit.valid &&
+                (best < 0 ||
+                 o.hit.dist < outcomes[static_cast<size_t>(best)][i].hit.dist)) {
+                best = static_cast<int>(s);
+            }
+        }
+        if (best >= 0) {
+            ++n_hits;
+            ProbeOutcome &won = outcomes[static_cast<size_t>(best)][i];
+            if (won.hit.overhead_us > 0.0)
+                hit_overhead_us += won.hit.overhead_us;
+            results[i].hit = true;
+            results[i].value = std::move(won.hit.value);
+            results[i].id = won.hit.id;
+            results[i].nn_dist = won.hit.dist;
+        } else {
+            results[i].nn_dist = nearest;
+            miss_indices.push_back(i);
+        }
+    }
+
+    // Cold-tier probe per missed key (DESIGN.md §12), threshold
+    // resolved once for the batch.
+    if (!miss_indices.empty()) {
+        if (ColdTier *tier = cold_tier_.load(std::memory_order_acquire)) {
+            double cold_threshold = 0.0;
+            {
+                std::shared_lock lock(shards_[0]->mutex);
+                if (KeyIndex *s0 = shards_[0]->table.find(function, key_type))
+                    cold_threshold = s0->tuner.threshold();
+            }
+            std::vector<size_t> still_missing;
+            still_missing.reserve(miss_indices.size());
+            for (size_t i : miss_indices) {
+                ColdPromotion promo;
+                if (!tier->promote(function, key_type, keys[i],
+                                   cold_threshold, promo)) {
+                    still_missing.push_back(i);
+                    continue;
+                }
+                promo.entry.access_frequency.fetch_add(
+                    1, std::memory_order_relaxed);
+                Value value = promo.entry.value;
+                double promoted_overhead_us = promo.entry.compute_overhead_us;
+                EntryId id = insertPromoted(std::move(promo.entry), now);
+                ++n_hits;
+                if (promoted_overhead_us > 0.0)
+                    hit_overhead_us += promoted_overhead_us;
+                results[i].hit = true;
+                results[i].value = std::move(value);
+                results[i].id = id;
+                results[i].nn_dist = promo.dist;
+            }
+            miss_indices = std::move(still_missing);
+        }
+    }
+
+    if (n_hits > 0) {
+        obs_.hits->inc(n_hits);
+        slot0->stats.hits.fetch_add(n_hits, std::memory_order_relaxed);
+        slot0->fn_hits->inc(n_hits);
+        accountSavings(slot0, app, hit_overhead_us);
+        feedHeat(function, key_type, obs::HeatKind::Hit, now, n_hits);
+    }
+
+    if (!miss_indices.empty()) {
+        uint64_t n_misses = miss_indices.size();
+        obs_.misses->inc(n_misses);
+        slot0->stats.misses.fetch_add(n_misses, std::memory_order_relaxed);
+        slot0->fn_misses->inc(n_misses);
+        feedHeat(function, key_type, obs::HeatKind::Miss, now, n_misses);
+        MissHandler handler;
+        {
+            std::lock_guard<std::mutex> meta(meta_mutex_);
+            pending_miss_us_[{app, function}] = now;
+            handler = miss_handler_;
+        }
+        for (size_t i : miss_indices) {
+            if (!handler)
+                break;
+            LookupResult remote;
+            MissContext ctx{app, function, key_type, keys[i]};
+            if (handler(ctx, remote)) {
+                double nearest = results[i].nn_dist;
+                results[i] = std::move(remote);
+                if (results[i].nn_dist < 0.0)
+                    results[i].nn_dist = nearest;
+            }
+        }
+    }
+    return results;
 }
 
 PotluckService::PutProbe
@@ -843,11 +1049,11 @@ PotluckService::accountSavings(KeyIndex *slot0, const std::string &app,
 void
 PotluckService::feedHeat(const std::string &function,
                          const std::string &key_type, obs::HeatKind kind,
-                         uint64_t now_us)
+                         uint64_t now_us, uint64_t count)
 {
     if (!heat_)
         return;
-    if (heat_->feed(function, key_type, kind, now_us) && recorder_) {
+    if (heat_->feed(function, key_type, kind, now_us, count) && recorder_) {
         obs::recordDecision(recorder_.get(), obs::DecisionKind::HotSlot,
                             "hot_slot", function + "/" + key_type,
                             config_.heat_hot_threshold,

@@ -139,6 +139,22 @@ class PotluckService
                         const std::string &key_type,
                         const FeatureVector &key);
 
+    /**
+     * Batched lookup: one result per key, same semantics per element
+     * as lookup() — dropout, cold-tier promotion and the miss handler
+     * all apply per key. The batch amortizes the per-request fixed
+     * costs: the canonical slot is resolved once, the dropout RNG and
+     * pending-miss bookkeeping take one meta-mutex acquisition for
+     * the whole batch, and each shard is locked (and its slot looked
+     * up) once for all keys instead of once per key — this is what
+     * makes the kLookupBatch IPC verb's single frame worthwhile at
+     * the service layer too.
+     */
+    std::vector<LookupResult> lookupBatch(const std::string &app,
+                                          const std::string &function,
+                                          const std::string &key_type,
+                                          const std::vector<FeatureVector> &keys);
+
     /** Insert a computed result under the given key. */
     EntryId put(const std::string &function, const std::string &key_type,
                 const FeatureVector &key, Value value,
@@ -387,6 +403,15 @@ class PotluckService
                                   const std::string &key_type,
                                   const FeatureVector &key, uint64_t now);
 
+    /** One key's probe against an already-resolved slot; the caller
+     * holds `shard`'s shared lock (the per-key body of
+     * probeLookupShard, shared with the batched path). `traced` opens
+     * a per-probe span; the batched path passes false and wraps the
+     * whole shard pass in one span instead. */
+    ProbeOutcome probeSlotLocked(Shard &shard, KeyIndex *slot,
+                                 const FeatureVector &key, uint64_t now,
+                                 bool traced = true);
+
     /** Probe one shard for a put's tuner observation (shared lock). */
     PutProbe probePutShard(Shard &shard, const std::string &function,
                            const std::string &key_type,
@@ -433,12 +458,13 @@ class PotluckService
                         double overhead_us);
 
     /**
-     * Feed the heat sketch one lookup/put tail sample and emit the
-     * HotSlot decision event when it reports a threshold crossing.
+     * Feed the heat sketch `count` lookup/put tail samples (batch
+     * verbs fold a whole mget into one call) and emit the HotSlot
+     * decision event when it reports a threshold crossing.
      * One null branch when the sketch is disabled.
      */
     void feedHeat(const std::string &function, const std::string &key_type,
-                  obs::HeatKind kind, uint64_t now_us);
+                  obs::HeatKind kind, uint64_t now_us, uint64_t count = 1);
 
     /**
      * Cached registry pointers for the hot paths: resolved once at

@@ -4,6 +4,10 @@
 #include <cstring>
 #include <sstream>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include "util/logging.h"
 
 namespace potluck {
@@ -43,21 +47,152 @@ FeatureVector::normalize()
         v = static_cast<float>(v / n);
 }
 
+namespace {
+
+constexpr uint64_t kHashPrime = 1099511628211ULL;
+
+/** Final avalanche so low-entropy inputs still spread across the
+ * unordered_multimap's buckets. */
+uint64_t
+hashAvalanche(uint64_t h)
+{
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+/** Fold a word into the running hash (FNV-style multiply-xor). */
+uint64_t
+hashWord(uint64_t h, uint64_t w)
+{
+    return (h ^ w) * kHashPrime;
+}
+
+#if defined(__x86_64__)
+
+/**
+ * AVX2 bulk path: 64 bytes per iteration through two banks of four
+ * 64-bit accumulators, each step multiplying the 32-bit halves of the
+ * secret-xor'd input (xxh3-style) and folding the product in after a
+ * lane rotation (a plain sum would hash block permutations
+ * identically). `consumed` returns how many bytes were eaten; the
+ * caller folds the tail with the scalar steps. Selected at runtime
+ * via cpuid, so the scalar path below stays the portable reference.
+ */
+__attribute__((target("avx2"))) uint64_t
+hashBulkAvx2(const uint8_t *bytes, size_t len, size_t &consumed)
+{
+    const __m256i secret0 =
+        _mm256_set_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL),
+                          static_cast<long long>(0xc2b2ae3d27d4eb4fULL),
+                          static_cast<long long>(0x165667b19e3779f9ULL),
+                          static_cast<long long>(0x27d4eb2f165667c5ULL));
+    const __m256i secret1 =
+        _mm256_set_epi64x(static_cast<long long>(0x85ebca77c2b2ae63ULL),
+                          static_cast<long long>(0xff51afd7ed558ccdULL),
+                          static_cast<long long>(0xc4ceb9fe1a85ec53ULL),
+                          static_cast<long long>(0x2545f4914f6cdd1dULL));
+    __m256i acc0 = secret1;
+    __m256i acc1 = secret0;
+    size_t i = 0;
+    for (; i + 64 <= len; i += 64) {
+        __m256i d0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bytes + i));
+        __m256i d1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bytes + i + 32));
+        __m256i k0 = _mm256_xor_si256(d0, secret0);
+        __m256i k1 = _mm256_xor_si256(d1, secret1);
+        __m256i p0 = _mm256_mul_epu32(k0, _mm256_srli_epi64(k0, 32));
+        __m256i p1 = _mm256_mul_epu32(k1, _mm256_srli_epi64(k1, 32));
+        acc0 = _mm256_add_epi64(_mm256_shuffle_epi32(acc0, 0x93), p0);
+        acc1 = _mm256_add_epi64(_mm256_shuffle_epi32(acc1, 0x93), p1);
+    }
+    consumed = i;
+    uint64_t lanes[8];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes + 4), acc1);
+    uint64_t h = len * kHashPrime;
+    for (uint64_t lane : lanes)
+        h = hashWord(h, lane + 0x9e3779b97f4a7c15ULL);
+    return h;
+}
+
+bool
+haveAvx2()
+{
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+}
+
+#endif // __x86_64__
+
+/**
+ * Portable path: word-at-a-time mixing over the raw bytes, eight
+ * independent lanes so the multiply chains overlap. The original
+ * byte-at-a-time FNV-1a was one serial multiply per BYTE (~5 us for a
+ * 1024-dim key), which dominated every hash-index probe.
+ */
+uint64_t
+hashScalar(const uint8_t *bytes, size_t len)
+{
+    constexpr int kLanes = 8; // deep enough to hide the multiply latency
+    uint64_t lane[kLanes] = {1469598103934665603ULL ^ (len * kHashPrime),
+                             0x9e3779b97f4a7c15ULL,
+                             0xc2b2ae3d27d4eb4fULL,
+                             0x165667b19e3779f9ULL,
+                             0x27d4eb2f165667c5ULL,
+                             0x85ebca77c2b2ae63ULL,
+                             0xff51afd7ed558ccdULL,
+                             0xc4ceb9fe1a85ec53ULL};
+    size_t i = 0;
+    for (; i + 8 * kLanes <= len; i += 8 * kLanes) {
+        for (int l = 0; l < kLanes; ++l) {
+            uint64_t w;
+            std::memcpy(&w, bytes + i + 8 * static_cast<size_t>(l), 8);
+            lane[l] = hashWord(lane[l], w);
+        }
+    }
+    for (; i + 8 <= len; i += 8) {
+        uint64_t w;
+        std::memcpy(&w, bytes + i, 8);
+        lane[0] = hashWord(lane[0], w);
+    }
+    for (; i < len; ++i)
+        lane[0] = hashWord(lane[0], bytes[i]);
+    uint64_t h = lane[0];
+    for (int l = 1; l < kLanes; ++l)
+        h = hashWord(h, lane[l] + 0x9e3779b97f4a7c15ULL);
+    return h;
+}
+
+} // namespace
+
 uint64_t
 FeatureVector::hash() const
 {
-    // FNV-1a over the raw float bytes.
-    uint64_t h = 1469598103934665603ULL;
-    for (float v : values_) {
-        uint32_t bits;
-        static_assert(sizeof(bits) == sizeof(v));
-        std::memcpy(&bits, &v, sizeof(bits));
-        for (int i = 0; i < 4; ++i) {
-            h ^= (bits >> (8 * i)) & 0xff;
-            h *= 1099511628211ULL;
+    // Content hash over the raw float bytes. In-memory only (never
+    // persisted, never crosses processes), so the algorithm — and the
+    // per-machine AVX2 dispatch — is free to change.
+    const auto *bytes = reinterpret_cast<const uint8_t *>(values_.data());
+    const size_t len = values_.size() * sizeof(float);
+#if defined(__x86_64__)
+    if (len >= 64 && haveAvx2()) {
+        size_t i = 0;
+        uint64_t h = hashBulkAvx2(bytes, len, i);
+        for (; i + 8 <= len; i += 8) {
+            uint64_t w;
+            std::memcpy(&w, bytes + i, 8);
+            h = hashWord(h, w);
         }
+        for (; i < len; ++i)
+            h = hashWord(h, bytes[i]);
+        return hashAvalanche(h);
     }
-    return h;
+#endif
+    return hashAvalanche(hashScalar(bytes, len));
 }
 
 std::string

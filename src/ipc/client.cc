@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "ipc/message.h"
+#include "ipc/shm_ring.h"
 #include "obs/span.h"
 #include "util/logging.h"
 
@@ -27,9 +28,10 @@ constexpr size_t kMaxUploadedPerRequest = 128;
 
 PotluckClient::PotluckClient(std::string app_name,
                              const std::string &socket_path,
-                             RetryPolicy policy, obs::TraceConfig trace_config)
+                             RetryPolicy policy, obs::TraceConfig trace_config,
+                             TransportOptions transport)
     : app_(std::move(app_name)), socket_path_(socket_path),
-      policy_(policy),
+      transport_opts_(transport), policy_(policy),
       breaker_(policy.breaker_failure_threshold, policy.breaker_open_ms),
       backoff_(policy)
 {
@@ -86,7 +88,7 @@ PotluckClient::~PotluckClient()
     if (local_ || !recorder_)
         return;
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!socket_.valid())
+    if (!transport_ || !transport_->valid())
         return;
     Request request;
     request.type = RequestType::Stats;
@@ -143,10 +145,23 @@ PotluckClient::noteBreakerState()
 void
 PotluckClient::ensureConnectedLocked()
 {
-    if (socket_.valid())
+    if (transport_ && transport_->valid())
         return;
-    socket_ = connectUnix(socket_path_);
-    socket_.setDeadline(policy_.request_deadline_ms);
+    // A stale borrowed view must not outlive the mapping it points
+    // into: drop back to owned mode before the old transport goes.
+    reply_view_.ownedBuffer().clear();
+    transport_.reset();
+    FrameSocket sock = connectUnix(socket_path_);
+    if (transport_opts_.try_shm) {
+        // Negotiate the ring upgrade; a declining (or older) daemon
+        // nacks and negotiate() hands back the same socket wrapped as
+        // a plain transport — the connection works either way.
+        transport_ =
+            shm::negotiate(std::move(sock), transport_opts_.shm_ring_bytes);
+    } else {
+        transport_ = std::make_unique<FrameSocket>(std::move(sock));
+    }
+    transport_->setDeadline(policy_.request_deadline_ms);
     if (connected_once_)
         reconnects_->inc();
 
@@ -158,7 +173,7 @@ PotluckClient::ensureConnectedLocked()
     reg.app = app_;
     Reply reply = sendRecv(reg);
     if (!reply.ok) {
-        socket_.close();
+        transport_->close();
         POTLUCK_FATAL("app registration failed: " << reply.error);
     }
     for (const Registration &r : registrations_) {
@@ -201,15 +216,19 @@ PotluckClient::sendRecv(Request &request)
 #else
     POTLUCK_SPAN(round_trip_ns_);
 #endif
-    std::vector<uint8_t> out = encodeRequest(request);
-    request_bytes_->record(out.size());
-    socket_.sendFrame(out);
-    std::vector<uint8_t> frame;
-    if (!socket_.recvFrame(frame))
+    // Marshal straight into the transport's frame slot: on the shm
+    // ring this writes the wire bytes into shared memory directly —
+    // lookup values never pass through an intermediate buffer.
+    size_t out_len = requestWireSize(request);
+    request_bytes_->record(out_len);
+    transport_->sendFrameDirect(out_len, [&request](uint8_t *dst) {
+        encodeRequestTo(request, dst);
+    });
+    if (!transport_->recvFrameView(reply_view_))
         throw TransportError(TransportErrc::ConnectionClosed,
                              "service closed the connection");
     try {
-        return decodeReply(frame);
+        return decodeReply(reply_view_.data(), reply_view_.size());
     } catch (const TransportError &) {
         throw;
     } catch (const FatalError &e) {
@@ -245,8 +264,11 @@ PotluckClient::tryRoundTrip(Request &request)
             breaker_.onFailure(nowMs());
             noteBreakerState();
             // The connection state is unknown (half-written frame,
-            // stale reply in flight): always reconnect before retry.
-            socket_.close();
+            // stale reply in flight, poisoned ring): always reconnect
+            // before retry. ensureConnectedLocked() re-negotiates the
+            // shm upgrade on the fresh connection.
+            if (transport_)
+                transport_->close();
             if (attempt + 1 < policy_.max_attempts &&
                 breaker_.state() == CircuitBreaker::State::Closed) {
                 retries_->inc();
@@ -387,7 +409,9 @@ PotluckClient::lookupBatch(const std::string &function,
     request.app = app_;
     request.function = function;
     request.key_type = key_type;
-    request.batch_keys = keys;
+    // Borrowed, not copied: `keys` outlives the round trip, so the
+    // codec marshals straight from the caller's vectors.
+    request.batch_keys_view = &keys;
     Reply reply;
     try {
         reply = roundTrip(request);

@@ -35,6 +35,21 @@
 
 namespace potluck {
 
+/** How a remote client connects to the daemon. */
+struct TransportOptions
+{
+    /**
+     * Open with a shared-memory handshake (ipc/shm_ring.h): request a
+     * ring upgrade on connect and fall back to plain socket framing
+     * when the daemon declines. Off by default — UDS remains the
+     * default transport.
+     */
+    bool try_shm = false;
+    /** Requested per-direction ring capacity (the daemon may grant
+     * less; clamped to a power of two). */
+    uint32_t shm_ring_bytes = 1u << 20;
+};
+
 /** Application handle to the deduplication service. */
 class PotluckClient
 {
@@ -53,9 +68,15 @@ class PotluckClient
      * transitions) piggyback onto outgoing requests so the daemon's
      * dump shows both halves of each trace. capacity = 0 disables the
      * client recorder entirely.
+     *
+     * `transport` selects the wire: with try_shm the client asks for a
+     * shared-memory ring on every (re)connect and transparently drops
+     * back to the socket when refused, so fault-tolerance semantics
+     * (retries, reconnects, breaker) are identical on both transports.
      */
     PotluckClient(std::string app_name, const std::string &socket_path,
-                  RetryPolicy policy = {}, obs::TraceConfig trace_config = {});
+                  RetryPolicy policy = {}, obs::TraceConfig trace_config = {},
+                  TransportOptions transport = {});
 
     /** Bind directly to an in-process service (no IPC cost). */
     PotluckClient(std::string app_name, PotluckService &service);
@@ -250,7 +271,13 @@ class PotluckClient
 
     std::string app_;
     std::string socket_path_;            // remote mode
-    FrameSocket socket_;                 // remote mode
+    TransportOptions transport_opts_;    // remote mode
+    /** Live connection: FrameSocket or ShmTransport (remote mode). */
+    std::unique_ptr<Transport> transport_;
+    /** Reply frame scratch — borrowed straight from the shm ring when
+     * the transport allows, an owned buffer otherwise. Only valid
+     * until the next round trip. */
+    FrameView reply_view_;
     std::unique_ptr<AppListener> local_; // in-process mode
     mutable std::mutex mutex_;           // serializes socket round-trips
     RetryPolicy policy_;

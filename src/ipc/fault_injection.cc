@@ -3,7 +3,13 @@
 #include "ipc/fault_injection.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
+
+#include "util/logging.h"
 
 namespace potluck {
 
@@ -20,6 +26,26 @@ FaultInjector::shouldRefuseConnect()
     if (!rng_.bernoulli(cfg_.refuse_connect))
         return false;
     ++counts_.refused;
+    return true;
+}
+
+bool
+FaultInjector::shouldRefuseShm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!rng_.bernoulli(cfg_.refuse_shm))
+        return false;
+    ++counts_.shm_refused;
+    return true;
+}
+
+bool
+FaultInjector::shouldPoisonRing()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!rng_.bernoulli(cfg_.poison_ring))
+        return false;
+    ++counts_.rings_poisoned;
     return true;
 }
 
@@ -86,6 +112,55 @@ FaultInjector *
 FaultInjector::active()
 {
     return g_injector.load(std::memory_order_acquire);
+}
+
+void
+FaultInjector::installFromEnv(const char *env_var)
+{
+    const char *spec = std::getenv(env_var);
+    if (!spec || !*spec)
+        return;
+    Config cfg;
+    std::stringstream ss(spec);
+    std::string pair;
+    while (std::getline(ss, pair, ',')) {
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            POTLUCK_WARN("ignoring malformed " << env_var
+                                                   << " entry: " << pair);
+            continue;
+        }
+        std::string key = pair.substr(0, eq);
+        double value = std::strtod(pair.c_str() + eq + 1, nullptr);
+        if (key == "seed")
+            cfg.seed = static_cast<uint64_t>(value);
+        else if (key == "refuse_connect")
+            cfg.refuse_connect = value;
+        else if (key == "drop_frame")
+            cfg.drop_frame = value;
+        else if (key == "truncate_frame")
+            cfg.truncate_frame = value;
+        else if (key == "garble_frame")
+            cfg.garble_frame = value;
+        else if (key == "delay_probability")
+            cfg.delay_probability = value;
+        else if (key == "delay_ms")
+            cfg.delay_ms = static_cast<uint64_t>(value);
+        else if (key == "refuse_shm")
+            cfg.refuse_shm = value;
+        else if (key == "poison_ring")
+            cfg.poison_ring = value;
+        else
+            POTLUCK_WARN("ignoring unknown " << env_var
+                                                 << " key: " << key);
+    }
+    // Deliberately leaked: the injector must outlive every transport
+    // in the process, and this path is only taken in fault builds.
+    static std::unique_ptr<FaultInjector> env_injector;
+    env_injector = std::make_unique<FaultInjector>(cfg);
+    install(env_injector.get());
+    POTLUCK_INFORM("transport fault injection from " << env_var << ": "
+                                                       << spec);
 }
 
 } // namespace potluck

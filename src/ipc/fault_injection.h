@@ -23,6 +23,11 @@
  *                    the decoder upstream must reject it.
  *  - delay:          send and recv sleep delay_ms first (with
  *                    probability delay_probability).
+ *  - refuse_shm:     the server nacks a shared-memory upgrade offer —
+ *                    the connection continues over UDS (the client
+ *                    must not error).
+ *  - poison_ring:    an shm send poisons the ring segment and fails —
+ *                    both sides must tear down and reconnect.
  */
 #ifndef POTLUCK_IPC_FAULT_INJECTION_H
 #define POTLUCK_IPC_FAULT_INJECTION_H
@@ -51,6 +56,8 @@ class FaultInjector
         double garble_frame = 0.0;
         double delay_probability = 0.0;
         uint64_t delay_ms = 0;
+        double refuse_shm = 0.0;
+        double poison_ring = 0.0;
     };
 
     /** Injected-fault tallies, for test assertions. */
@@ -61,6 +68,8 @@ class FaultInjector
         uint64_t truncated = 0;
         uint64_t garbled = 0;
         uint64_t delayed = 0;
+        uint64_t shm_refused = 0;
+        uint64_t rings_poisoned = 0;
     };
 
     explicit FaultInjector(const Config &config) : cfg_(config),
@@ -78,6 +87,12 @@ class FaultInjector
 
     /** @return true if this connect attempt must be refused. */
     bool shouldRefuseConnect();
+
+    /** @return true if this shm upgrade offer must be nacked. */
+    bool shouldRefuseShm();
+
+    /** @return true if this shm send must poison the ring. */
+    bool shouldPoisonRing();
 
     SendAction onSend();
 
@@ -98,6 +113,16 @@ class FaultInjector
 
     /** The installed injector, or nullptr. */
     static FaultInjector *active();
+
+    /**
+     * Parse `env_var` (default POTLUCK_IPC_FAULTS) as a comma list of
+     * key=value pairs (keys matching Config's fields, e.g.
+     * "refuse_shm=0.2,garble_frame=0.05,seed=7") and install a
+     * process-lifetime injector built from it. Lets scripts/check.sh
+     * stage transport faults in a daemon without new flags. No-op if
+     * the variable is unset or empty.
+     */
+    static void installFromEnv(const char *env_var = "POTLUCK_IPC_FAULTS");
 
   private:
     mutable std::mutex mutex_;

@@ -9,23 +9,58 @@ namespace potluck {
 
 namespace {
 
-/** Append-only binary writer. */
-class Writer
+/** Byte sink that only measures (first pass of a two-pass encode). */
+class CountingSink
 {
   public:
-    std::vector<uint8_t> take() { return std::move(bytes_); }
+    void write(const void *, size_t n) { size_ += n; }
+    size_t size() const { return size_; }
+
+  private:
+    size_t size_ = 0;
+};
+
+/** Byte sink writing into pre-sized memory (second pass). */
+class RawSink
+{
+  public:
+    explicit RawSink(uint8_t *dst) : dst_(dst) {}
+
+    void
+    write(const void *src, size_t n)
+    {
+        if (n > 0)
+            std::memcpy(dst_, src, n);
+        dst_ += n;
+    }
+
+  private:
+    uint8_t *dst_;
+};
+
+/**
+ * Binary writer over a byte sink. Instantiated once with CountingSink
+ * (size pass) and once with RawSink (encode pass), so the wire format
+ * is defined in exactly one place and the two passes cannot disagree.
+ */
+template <class Sink> class Writer
+{
+  public:
+    explicit Writer(Sink &sink) : sink_(sink) {}
 
     void
     u8(uint8_t v)
     {
-        bytes_.push_back(v);
+        sink_.write(&v, 1);
     }
 
     void
     u64(uint64_t v)
     {
+        uint8_t b[8];
         for (int i = 0; i < 8; ++i)
-            bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+            b[i] = static_cast<uint8_t>(v >> (8 * i));
+        sink_.write(b, sizeof(b));
     }
 
     void
@@ -40,17 +75,14 @@ class Writer
     str(const std::string &s)
     {
         u64(s.size());
-        bytes_.insert(bytes_.end(), s.begin(), s.end());
+        sink_.write(s.data(), s.size());
     }
 
     void
     floats(const std::vector<float> &v)
     {
         u64(v.size());
-        size_t offset = bytes_.size();
-        bytes_.resize(offset + v.size() * sizeof(float));
-        std::memcpy(bytes_.data() + offset, v.data(),
-                    v.size() * sizeof(float));
+        sink_.write(v.data(), v.size() * sizeof(float));
     }
 
     void
@@ -62,24 +94,44 @@ class Writer
         }
         u8(1);
         u64(v->size());
-        bytes_.insert(bytes_.end(), v->begin(), v->end());
+        sink_.write(v->data(), v->size());
     }
 
   private:
-    std::vector<uint8_t> bytes_;
+    Sink &sink_;
 };
 
-/** Sequential binary reader with bounds checking. */
+/** Sequential binary reader with bounds checking over a borrowed
+ * span. Every length/count is validated against the bytes actually
+ * remaining before any allocation or memcpy happens. */
 class Reader
 {
   public:
-    explicit Reader(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+    Reader(const uint8_t *data, size_t size) : data_(data), size_(size) {}
+
+    size_t remaining() const { return size_ - pos_; }
+
+    /**
+     * Bounds-checked copy of `n` bytes out of the frame. The single
+     * chokepoint every variable-length read goes through: the check
+     * compares against the remaining tail (never `pos_ + n`, which
+     * could wrap), so a hostile 64-bit length cannot overflow its way
+     * past the frame end.
+     */
+    void
+    readBytes(void *dst, size_t n)
+    {
+        need(n);
+        if (n > 0)
+            std::memcpy(dst, data_ + pos_, n);
+        pos_ += n;
+    }
 
     uint8_t
     u8()
     {
         need(1);
-        return bytes_[pos_++];
+        return data_[pos_++];
     }
 
     uint64_t
@@ -88,7 +140,7 @@ class Reader
         need(8);
         uint64_t v = 0;
         for (int i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+            v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
         pos_ += 8;
         return v;
     }
@@ -107,20 +159,38 @@ class Reader
     {
         uint64_t n = u64();
         need(n);
-        std::string s(bytes_.begin() + pos_, bytes_.begin() + pos_ + n);
-        pos_ += n;
+        std::string s(reinterpret_cast<const char *>(data_) + pos_,
+                      static_cast<size_t>(n));
+        pos_ += static_cast<size_t>(n);
         return s;
     }
 
     std::vector<float>
     floats()
     {
-        uint64_t n = u64();
-        need(n * sizeof(float));
-        std::vector<float> v(n);
-        std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(float));
-        pos_ += n * sizeof(float);
+        std::vector<float> v;
+        floatsInto(v);
         return v;
+    }
+
+    /**
+     * Decode a float array into `v`, reusing its capacity — the
+     * server's request-scratch reuse (decodeRequestInto) makes a
+     * steady-state batch decode allocation-free.
+     */
+    void
+    floatsInto(std::vector<float> &v)
+    {
+        uint64_t n = u64();
+        // Validate the COUNT against the tail before computing the
+        // byte size: n * sizeof(float) on an attacker-chosen u64 can
+        // wrap to a small number and slip past a naive byte check.
+        if (n > remaining() / sizeof(float))
+            POTLUCK_FATAL("truncated message frame: float array of "
+                          << n << " elements exceeds " << remaining()
+                          << " remaining bytes");
+        v.resize(static_cast<size_t>(n));
+        readBytes(v.data(), static_cast<size_t>(n) * sizeof(float));
     }
 
     Value
@@ -130,28 +200,63 @@ class Reader
             return nullptr;
         uint64_t n = u64();
         need(n);
-        std::vector<uint8_t> bytes(bytes_.begin() + pos_,
-                                   bytes_.begin() + pos_ + n);
-        pos_ += n;
+        std::vector<uint8_t> bytes(data_ + pos_, data_ + pos_ + n);
+        pos_ += static_cast<size_t>(n);
         return makeValue(std::move(bytes));
     }
 
-    bool done() const { return pos_ == bytes_.size(); }
+    bool done() const { return pos_ == size_; }
 
   private:
     void
-    need(size_t n)
+    need(uint64_t n)
     {
-        if (pos_ + n > bytes_.size())
+        // remaining() can't underflow (pos_ <= size_ invariant) and
+        // the comparison is in uint64_t, so a huge claimed length is
+        // rejected instead of wrapping.
+        if (n > size_ - pos_)
             POTLUCK_FATAL("truncated message frame");
     }
 
-    const std::vector<uint8_t> &bytes_;
+    const uint8_t *data_;
+    size_t size_;
     size_t pos_ = 0;
 };
 
+/**
+ * Cap a count-prefixed reserve() at what the frame tail could
+ * possibly hold (`min_encoded` = smallest legal wire size of one
+ * element). A short hostile frame may claim millions of elements —
+ * within the kMax* caps — while carrying a handful of bytes; the loop
+ * below would throw on the first truncated element anyway, but only
+ * AFTER reserve() committed a multi-GB allocation. Clamping first
+ * keeps the decoder's allocation proportional to real input.
+ */
+size_t
+boundedCount(uint64_t claimed, size_t min_encoded, const Reader &r)
+{
+    return static_cast<size_t>(
+        std::min<uint64_t>(claimed, r.remaining() / min_encoded));
+}
+
 constexpr uint8_t kOptAbsent = 0;
 constexpr uint8_t kOptPresent = 1;
+
+/// @name Smallest legal wire size of one element of each repeated
+/// field, for boundedCount(). A string costs its 8-byte length
+/// prefix; a blob one presence byte.
+/// @{
+constexpr size_t kMinCounterBytes = 8 + 8;          // name + value
+constexpr size_t kMinGaugeBytes = 8 + 8;            // name + value
+constexpr size_t kMinHistogramBytes = 8 + 5 * 8;    // name + 5 fields
+constexpr size_t kMinTraceRecordBytes = 3 + 2 * 8 + 9 * 8; // tags+strs+fields
+constexpr size_t kMinBatchKeyBytes = 8;             // float count
+constexpr size_t kMinBatchPutBytes = 8 + 1;         // key + blob tag
+constexpr size_t kMinBatchLookupBytes = 1 + 1 + 1 + 8; // flags+blob+id
+constexpr size_t kMinEntryIdBytes = 8;
+constexpr size_t kMinPeerBytes = 2 * 8 + 1 + 3 * 8; // strs+state+fields
+constexpr size_t kMinNodeSectionBytes = 8 + 1 + 3 * 8; // name+ok+snapshot
+/// @}
 
 /**
  * Registry snapshot encoding (the kStats/Metrics verb). Histogram
@@ -159,8 +264,9 @@ constexpr uint8_t kOptPresent = 1;
  * is a compile-time constant shared by both ends (obs/histogram.h),
  * so percentiles reconstruct exactly.
  */
+template <class Sink>
 void
-writeSnapshot(Writer &w, const obs::RegistrySnapshot &snapshot)
+writeSnapshot(Writer<Sink> &w, const obs::RegistrySnapshot &snapshot)
 {
     w.u64(snapshot.counters.size());
     for (const auto &c : snapshot.counters) {
@@ -197,7 +303,7 @@ readSnapshot(Reader &r)
 {
     obs::RegistrySnapshot snapshot;
     uint64_t n_counters = r.u64();
-    snapshot.counters.reserve(n_counters);
+    snapshot.counters.reserve(boundedCount(n_counters, kMinCounterBytes, r));
     for (uint64_t i = 0; i < n_counters; ++i) {
         obs::RegistrySnapshot::CounterSample c;
         c.name = r.str();
@@ -205,7 +311,7 @@ readSnapshot(Reader &r)
         snapshot.counters.push_back(std::move(c));
     }
     uint64_t n_gauges = r.u64();
-    snapshot.gauges.reserve(n_gauges);
+    snapshot.gauges.reserve(boundedCount(n_gauges, kMinGaugeBytes, r));
     for (uint64_t i = 0; i < n_gauges; ++i) {
         obs::RegistrySnapshot::GaugeSample g;
         g.name = r.str();
@@ -213,7 +319,7 @@ readSnapshot(Reader &r)
         snapshot.gauges.push_back(std::move(g));
     }
     uint64_t n_hists = r.u64();
-    snapshot.histograms.reserve(n_hists);
+    snapshot.histograms.reserve(boundedCount(n_hists, kMinHistogramBytes, r));
     for (uint64_t i = 0; i < n_hists; ++i) {
         obs::RegistrySnapshot::HistogramSample h;
         h.name = r.str();
@@ -250,8 +356,9 @@ constexpr uint64_t kMaxPeerEntries = 1024;
 /** Hard bound on tagged node sections in a kClusterStats reply. */
 constexpr uint64_t kMaxNodeSections = 64;
 
+template <class Sink>
 void
-writeTraceRecord(Writer &w, const obs::TraceRecord &record)
+writeTraceRecord(Writer<Sink> &w, const obs::TraceRecord &record)
 {
     w.u8(static_cast<uint8_t>(record.kind));
     w.u8(static_cast<uint8_t>(record.decision));
@@ -304,12 +411,10 @@ readTraceRecord(Reader &r)
     return record;
 }
 
-} // namespace
-
-std::vector<uint8_t>
-encodeRequest(const Request &request)
+template <class Sink>
+void
+writeRequest(Writer<Sink> &w, const Request &request)
 {
-    Writer w;
     w.u8(static_cast<uint8_t>(request.type));
     w.str(request.app);
     w.str(request.function);
@@ -339,8 +444,9 @@ encodeRequest(const Request &request)
         writeTraceRecord(w, request.uploaded[i]);
     // Batch verbs (appended last so the fields stay in one place for
     // both ends; empty vectors cost two u64 zeros on non-batch verbs).
-    w.u64(request.batch_keys.size());
-    for (const FeatureVector &key : request.batch_keys)
+    const std::vector<FeatureVector> &batch_keys = request.batchKeys();
+    w.u64(batch_keys.size());
+    for (const FeatureVector &key : batch_keys)
         w.floats(key.values());
     w.u64(request.batch_puts.size());
     for (const BatchPutItem &item : request.batch_puts) {
@@ -351,61 +457,12 @@ encodeRequest(const Request &request)
     // batch fields; two cheap fields on non-peer verbs).
     w.str(request.origin);
     w.u8(request.hops);
-    return w.take();
 }
 
-Request
-decodeRequest(const std::vector<uint8_t> &bytes)
+template <class Sink>
+void
+writeReply(Writer<Sink> &w, const Reply &reply)
 {
-    Reader r(bytes);
-    Request request;
-    request.type = static_cast<RequestType>(r.u8());
-    request.app = r.str();
-    request.function = r.str();
-    request.key_type = r.str();
-    request.metric = static_cast<Metric>(r.u8());
-    request.index_kind = static_cast<IndexKind>(r.u8());
-    request.key = FeatureVector(r.floats());
-    request.value = r.blob();
-    if (r.u8() == kOptPresent)
-        request.ttl_us = r.u64();
-    if (r.u8() == kOptPresent)
-        request.compute_overhead_us = r.f64();
-    request.trace.trace_id = r.u64();
-    request.trace.span_id = r.u64();
-    uint64_t n_uploaded = r.u64();
-    if (n_uploaded > kMaxUploadedRecords)
-        POTLUCK_FATAL("too many uploaded trace records: " << n_uploaded);
-    request.uploaded.reserve(n_uploaded);
-    for (uint64_t i = 0; i < n_uploaded; ++i)
-        request.uploaded.push_back(readTraceRecord(r));
-    uint64_t n_batch_keys = r.u64();
-    if (n_batch_keys > kMaxBatchItems)
-        POTLUCK_FATAL("too many batch lookup keys: " << n_batch_keys);
-    request.batch_keys.reserve(n_batch_keys);
-    for (uint64_t i = 0; i < n_batch_keys; ++i)
-        request.batch_keys.emplace_back(r.floats());
-    uint64_t n_batch_puts = r.u64();
-    if (n_batch_puts > kMaxBatchItems)
-        POTLUCK_FATAL("too many batch put items: " << n_batch_puts);
-    request.batch_puts.reserve(n_batch_puts);
-    for (uint64_t i = 0; i < n_batch_puts; ++i) {
-        BatchPutItem item;
-        item.key = FeatureVector(r.floats());
-        item.value = r.blob();
-        request.batch_puts.push_back(std::move(item));
-    }
-    request.origin = r.str();
-    request.hops = r.u8();
-    if (!r.done())
-        POTLUCK_FATAL("trailing bytes in request frame");
-    return request;
-}
-
-std::vector<uint8_t>
-encodeReply(const Reply &reply)
-{
-    Writer w;
     w.u8(static_cast<uint8_t>(reply.type));
     w.u8(reply.ok ? 1 : 0);
     w.str(reply.error);
@@ -466,13 +523,145 @@ encodeReply(const Reply &reply)
         w.u8(node.ok ? 1 : 0);
         writeSnapshot(w, node.snapshot);
     }
-    return w.take();
+}
+
+} // namespace
+
+size_t
+requestWireSize(const Request &request)
+{
+    CountingSink sink;
+    Writer<CountingSink> w(sink);
+    writeRequest(w, request);
+    return sink.size();
+}
+
+void
+encodeRequestTo(const Request &request, uint8_t *dst)
+{
+    RawSink sink(dst);
+    Writer<RawSink> w(sink);
+    writeRequest(w, request);
+}
+
+std::vector<uint8_t>
+encodeRequest(const Request &request)
+{
+    std::vector<uint8_t> bytes(requestWireSize(request));
+    encodeRequestTo(request, bytes.data());
+    return bytes;
+}
+
+void
+decodeRequestInto(Request &request, const uint8_t *data, size_t size)
+{
+    Reader r(data, size);
+    request.type = static_cast<RequestType>(r.u8());
+    request.app = r.str();
+    request.function = r.str();
+    request.key_type = r.str();
+    request.metric = static_cast<Metric>(r.u8());
+    request.index_kind = static_cast<IndexKind>(r.u8());
+    r.floatsInto(request.key.values());
+    request.value = r.blob();
+    // Every field is (re)assigned below so a reused scratch Request
+    // carries nothing over from the previous frame; the optionals and
+    // the borrowed-keys view are the only fields the wire can leave
+    // untouched, so reset them explicitly.
+    request.ttl_us.reset();
+    if (r.u8() == kOptPresent)
+        request.ttl_us = r.u64();
+    request.compute_overhead_us.reset();
+    if (r.u8() == kOptPresent)
+        request.compute_overhead_us = r.f64();
+    request.batch_keys_view = nullptr;
+    request.trace.trace_id = r.u64();
+    request.trace.span_id = r.u64();
+    uint64_t n_uploaded = r.u64();
+    if (n_uploaded > kMaxUploadedRecords)
+        POTLUCK_FATAL("too many uploaded trace records: " << n_uploaded);
+    request.uploaded.clear();
+    request.uploaded.reserve(
+        boundedCount(n_uploaded, kMinTraceRecordBytes, r));
+    for (uint64_t i = 0; i < n_uploaded; ++i)
+        request.uploaded.push_back(readTraceRecord(r));
+    uint64_t n_batch_keys = r.u64();
+    if (n_batch_keys > kMaxBatchItems)
+        POTLUCK_FATAL("too many batch lookup keys: " << n_batch_keys);
+    // Reuse surviving elements' float storage: a steady stream of
+    // same-shaped batches decodes with zero allocations.
+    if (request.batch_keys.size() > n_batch_keys)
+        request.batch_keys.resize(static_cast<size_t>(n_batch_keys));
+    request.batch_keys.reserve(
+        boundedCount(n_batch_keys, kMinBatchKeyBytes, r));
+    for (uint64_t i = 0; i < n_batch_keys; ++i) {
+        if (i >= request.batch_keys.size())
+            request.batch_keys.emplace_back();
+        r.floatsInto(request.batch_keys[static_cast<size_t>(i)].values());
+    }
+    uint64_t n_batch_puts = r.u64();
+    if (n_batch_puts > kMaxBatchItems)
+        POTLUCK_FATAL("too many batch put items: " << n_batch_puts);
+    if (request.batch_puts.size() > n_batch_puts)
+        request.batch_puts.resize(static_cast<size_t>(n_batch_puts));
+    request.batch_puts.reserve(
+        boundedCount(n_batch_puts, kMinBatchPutBytes, r));
+    for (uint64_t i = 0; i < n_batch_puts; ++i) {
+        if (i >= request.batch_puts.size())
+            request.batch_puts.emplace_back();
+        BatchPutItem &item = request.batch_puts[static_cast<size_t>(i)];
+        r.floatsInto(item.key.values());
+        item.value = r.blob();
+    }
+    request.origin = r.str();
+    request.hops = r.u8();
+    if (!r.done())
+        POTLUCK_FATAL("trailing bytes in request frame");
+}
+
+Request
+decodeRequest(const uint8_t *data, size_t size)
+{
+    Request request;
+    decodeRequestInto(request, data, size);
+    return request;
+}
+
+Request
+decodeRequest(const std::vector<uint8_t> &bytes)
+{
+    return decodeRequest(bytes.data(), bytes.size());
+}
+
+size_t
+replyWireSize(const Reply &reply)
+{
+    CountingSink sink;
+    Writer<CountingSink> w(sink);
+    writeReply(w, reply);
+    return sink.size();
+}
+
+void
+encodeReplyTo(const Reply &reply, uint8_t *dst)
+{
+    RawSink sink(dst);
+    Writer<RawSink> w(sink);
+    writeReply(w, reply);
+}
+
+std::vector<uint8_t>
+encodeReply(const Reply &reply)
+{
+    std::vector<uint8_t> bytes(replyWireSize(reply));
+    encodeReplyTo(reply, bytes.data());
+    return bytes;
 }
 
 Reply
-decodeReply(const std::vector<uint8_t> &bytes)
+decodeReply(const uint8_t *data, size_t size)
 {
-    Reader r(bytes);
+    Reader r(data, size);
     Reply reply;
     reply.type = static_cast<RequestType>(r.u8());
     reply.ok = r.u8() != 0;
@@ -498,13 +687,15 @@ decodeReply(const std::vector<uint8_t> &bytes)
     uint64_t n_trace = r.u64();
     if (n_trace > kMaxTraceRecords)
         POTLUCK_FATAL("too many trace records in reply: " << n_trace);
-    reply.trace_records.reserve(n_trace);
+    reply.trace_records.reserve(
+        boundedCount(n_trace, kMinTraceRecordBytes, r));
     for (uint64_t i = 0; i < n_trace; ++i)
         reply.trace_records.push_back(readTraceRecord(r));
     uint64_t n_batch_lookups = r.u64();
     if (n_batch_lookups > kMaxBatchItems)
         POTLUCK_FATAL("too many batch lookup results: " << n_batch_lookups);
-    reply.batch_lookups.reserve(n_batch_lookups);
+    reply.batch_lookups.reserve(
+        boundedCount(n_batch_lookups, kMinBatchLookupBytes, r));
     for (uint64_t i = 0; i < n_batch_lookups; ++i) {
         BatchLookupItem item;
         item.hit = r.u8() != 0;
@@ -516,7 +707,8 @@ decodeReply(const std::vector<uint8_t> &bytes)
     uint64_t n_batch_ids = r.u64();
     if (n_batch_ids > kMaxBatchItems)
         POTLUCK_FATAL("too many batch entry ids: " << n_batch_ids);
-    reply.batch_entry_ids.reserve(n_batch_ids);
+    reply.batch_entry_ids.reserve(
+        boundedCount(n_batch_ids, kMinEntryIdBytes, r));
     for (uint64_t i = 0; i < n_batch_ids; ++i)
         reply.batch_entry_ids.push_back(r.u64());
     reply.cluster.enabled = r.u8() != 0;
@@ -526,7 +718,7 @@ decodeReply(const std::vector<uint8_t> &bytes)
     uint64_t n_peers = r.u64();
     if (n_peers > kMaxPeerEntries)
         POTLUCK_FATAL("too many peer entries in reply: " << n_peers);
-    reply.cluster.peers.reserve(n_peers);
+    reply.cluster.peers.reserve(boundedCount(n_peers, kMinPeerBytes, r));
     for (uint64_t i = 0; i < n_peers; ++i) {
         PeerStatus p;
         p.tag = r.str();
@@ -540,7 +732,8 @@ decodeReply(const std::vector<uint8_t> &bytes)
     uint64_t n_nodes = r.u64();
     if (n_nodes > kMaxNodeSections)
         POTLUCK_FATAL("too many node sections in reply: " << n_nodes);
-    reply.node_stats.reserve(n_nodes);
+    reply.node_stats.reserve(
+        boundedCount(n_nodes, kMinNodeSectionBytes, r));
     for (uint64_t i = 0; i < n_nodes; ++i) {
         NodeStatsSection node;
         node.node = r.str();
@@ -551,6 +744,12 @@ decodeReply(const std::vector<uint8_t> &bytes)
     if (!r.done())
         POTLUCK_FATAL("trailing bytes in reply frame");
     return reply;
+}
+
+Reply
+decodeReply(const std::vector<uint8_t> &bytes)
+{
+    return decodeReply(bytes.data(), bytes.size());
 }
 
 } // namespace potluck

@@ -6,10 +6,27 @@
  * little-endian fields. Marshal cost and message structure mirror the
  * original, which is what the Section 5.4 IPC-latency experiment
  * measures.
+ *
+ * Two encode shapes, one format definition: the classic
+ * encodeRequest()/encodeReply() return an owned frame body, while the
+ * wire-size + encode-into-place pair (requestWireSize() then
+ * encodeRequestTo()) lets a zero-copy transport reserve exactly the
+ * right span — in a shared-memory ring, say — and marshal straight
+ * into it with no intermediate buffer. Both run the same templated
+ * writer, so the format cannot drift between them.
+ *
+ * Decoders take (pointer, length) spans so a frame can be parsed in
+ * place from borrowed transport memory; the std::vector overloads
+ * forward to them. All decoders bound every count and length field
+ * against the bytes actually remaining in the frame BEFORE reserving
+ * or reading, so a hostile or truncated frame can neither force an
+ * oversized allocation nor read past the frame tail; malformed input
+ * throws FatalError.
  */
 #ifndef POTLUCK_IPC_MESSAGE_H
 #define POTLUCK_IPC_MESSAGE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -20,15 +37,44 @@ namespace potluck {
 /** Serialize a Request into a frame body (no length prefix). */
 std::vector<uint8_t> encodeRequest(const Request &request);
 
+/** Exact encoded size of a Request, for reserve-then-encode. */
+size_t requestWireSize(const Request &request);
+
+/** Marshal a Request into caller-provided memory. `dst` must have
+ * room for exactly requestWireSize(request) bytes. */
+void encodeRequestTo(const Request &request, uint8_t *dst);
+
 /** Parse a frame body into a Request. Throws FatalError on malformed
  * input. */
 Request decodeRequest(const std::vector<uint8_t> &bytes);
 
+/** Parse a Request in place from borrowed frame memory. */
+Request decodeRequest(const uint8_t *data, size_t size);
+
+/**
+ * Parse a Request into a caller-owned scratch object, reusing its
+ * string/vector capacity — the server's serve loop decodes a steady
+ * stream of same-shaped batch frames without a single allocation.
+ * Every field is reset; `request` ends up exactly as decodeRequest
+ * would have returned it.
+ */
+void decodeRequestInto(Request &request, const uint8_t *data, size_t size);
+
 /** Serialize a Reply into a frame body. */
 std::vector<uint8_t> encodeReply(const Reply &reply);
 
+/** Exact encoded size of a Reply, for reserve-then-encode. */
+size_t replyWireSize(const Reply &reply);
+
+/** Marshal a Reply into caller-provided memory. `dst` must have room
+ * for exactly replyWireSize(reply) bytes. */
+void encodeReplyTo(const Reply &reply, uint8_t *dst);
+
 /** Parse a frame body into a Reply. */
 Reply decodeReply(const std::vector<uint8_t> &bytes);
+
+/** Parse a Reply in place from borrowed frame memory. */
+Reply decodeReply(const uint8_t *data, size_t size);
 
 } // namespace potluck
 

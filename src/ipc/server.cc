@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "ipc/message.h"
+#include "ipc/shm_ring.h"
 #include "obs/span.h"
 #include "util/clock.h"
 #include "util/logging.h"
@@ -56,7 +57,9 @@ PotluckServer::PotluckServer(PotluckService &service,
       listen_socket_(listenUnix(socket_path)),
       send_deadline_ms_(service.config().ipc_send_deadline_ms),
       idle_timeout_ms_(service.config().ipc_idle_timeout_ms),
-      drain_deadline_ms_(service.config().ipc_drain_deadline_ms)
+      drain_deadline_ms_(service.config().ipc_drain_deadline_ms),
+      shm_enabled_(service.config().ipc_enable_shm),
+      shm_ring_bytes_(service.config().ipc_shm_ring_bytes)
 {
     obs::MetricsRegistry &reg = service.metrics();
     requests_ = &reg.counter("ipc.requests");
@@ -65,6 +68,8 @@ PotluckServer::PotluckServer(PotluckService &service,
     accept_errors_ = &reg.counter("ipc.accept_error");
     idle_timeouts_ = &reg.counter("ipc.idle_timeout");
     deadline_exceeded_ = &reg.counter("ipc.deadline_exceeded");
+    shm_connections_ = &reg.counter("ipc.shm_connections");
+    shm_refused_ = &reg.counter("ipc.shm_refused");
     active_connections_ = &reg.gauge("ipc.active_connections");
     request_bytes_ = &reg.histogram("ipc.request_bytes");
     reply_bytes_ = &reg.histogram("ipc.reply_bytes");
@@ -205,33 +210,95 @@ PotluckServer::serveClient(FrameSocket client)
     // (that would std::terminate the whole daemon).
     ConnectionGuard guard(conns_mutex_, conns_cv_, active_fds_,
                           active_connections_, client.fd());
-    std::vector<uint8_t> frame;
     try {
-        for (;;) { // the drain path exits via EOF after SHUT_RD
-            try {
-                if (!client.recvFrame(frame))
-                    return; // orderly disconnect (or drained shutdown)
-            } catch (const TransportError &e) {
-                if (e.code() == TransportErrc::Timeout) {
-                    // Idle timeout: reap the silent connection.
-                    idle_timeouts_->inc();
-                    return;
-                }
-                // Disconnect mid-frame or an oversized length prefix.
-                bad_frames_->inc();
-                if (!stopping_)
-                    POTLUCK_WARN("client connection error: " << e.what());
+        // The first frame picks the transport: an shm hello upgrades
+        // the connection (or is nacked and the same socket carries
+        // on), anything else is the first request over plain UDS.
+        std::unique_ptr<Transport> transport;
+        std::vector<uint8_t> first;
+        bool have_first = false;
+        try {
+            if (!client.recvFrame(first))
+                return; // orderly disconnect (or drained shutdown)
+        } catch (const TransportError &e) {
+            if (e.code() == TransportErrc::Timeout) {
+                idle_timeouts_->inc();
                 return;
+            }
+            bad_frames_->inc();
+            if (!stopping_)
+                POTLUCK_WARN("client connection error: " << e.what());
+            return;
+        } catch (const std::exception &e) {
+            bad_frames_->inc();
+            if (!stopping_)
+                POTLUCK_WARN("client connection error: " << e.what());
+            return;
+        }
+        if (shm::isHello(first)) {
+            bool upgraded = false;
+            try {
+                transport =
+                    shm::acceptUpgrade(std::move(client), first,
+                                       shm_enabled_, shm_ring_bytes_,
+                                       &upgraded);
             } catch (const std::exception &e) {
                 bad_frames_->inc();
                 if (!stopping_)
-                    POTLUCK_WARN("client connection error: " << e.what());
+                    POTLUCK_WARN("shm handshake failed: " << e.what());
                 return;
             }
+            (upgraded ? shm_connections_ : shm_refused_)->inc();
+        } else {
+            transport = std::make_unique<FrameSocket>(std::move(client));
+            have_first = true;
+        }
+        try {
+            transport->setDeadlines(send_deadline_ms_, idle_timeout_ms_);
+        } catch (const FatalError &) {
+            return; // connection died under the setsockopt
+        }
 
-            Request request;
+        FrameView frame;
+        // Scratch request reused across frames: decodeRequestInto
+        // recycles the string/vector capacity, so a steady stream of
+        // same-shaped batches decodes allocation-free.
+        Request request;
+        for (;;) { // the drain path exits via EOF after SHUT_RD
+            if (have_first) {
+                frame.ownedBuffer() = std::move(first);
+                have_first = false;
+            } else {
+                try {
+                    // Borrowed where the transport allows (shm ring):
+                    // the request decodes straight out of the ring
+                    // slot, no per-frame receive buffer.
+                    if (!transport->recvFrameView(frame))
+                        return; // orderly disconnect or drain
+                } catch (const TransportError &e) {
+                    if (e.code() == TransportErrc::Timeout) {
+                        // Idle timeout: reap the silent connection.
+                        idle_timeouts_->inc();
+                        return;
+                    }
+                    // Disconnect mid-frame, oversized length prefix,
+                    // or a poisoned ring.
+                    bad_frames_->inc();
+                    if (!stopping_)
+                        POTLUCK_WARN("client connection error: "
+                                     << e.what());
+                    return;
+                } catch (const std::exception &e) {
+                    bad_frames_->inc();
+                    if (!stopping_)
+                        POTLUCK_WARN("client connection error: "
+                                     << e.what());
+                    return;
+                }
+            }
+
             try {
-                request = decodeRequest(frame);
+                decodeRequestInto(request, frame.data(), frame.size());
             } catch (const std::exception &e) {
                 bad_frames_->inc();
                 if (!stopping_)
@@ -250,7 +317,7 @@ PotluckServer::serveClient(FrameSocket client)
                     recorder_->publish(record);
             }
 
-            std::vector<uint8_t> out;
+            Reply reply;
             {
                 // Adopt the client's trace context (when present) so
                 // the handler + service spans join the client's trace.
@@ -268,11 +335,17 @@ PotluckServer::serveClient(FrameSocket client)
                 POTLUCK_SPAN(handle_ns_);
                 // handle() never throws; service errors ride in
                 // Reply::error.
-                out = encodeReply(listener_.handle(request));
+                reply = listener_.handle(request);
             }
-            reply_bytes_->record(out.size());
+            size_t out_len = replyWireSize(reply);
+            reply_bytes_->record(out_len);
             try {
-                client.sendFrame(out);
+                // Marshal the reply in place — into the shm ring, or
+                // one exact-size buffer for UDS. Values (shared_ptrs
+                // into shard storage) are copied exactly once, here.
+                transport->sendFrameDirect(out_len, [&reply](uint8_t *dst) {
+                    encodeReplyTo(reply, dst);
+                });
             } catch (const TransportError &e) {
                 if (e.code() == TransportErrc::Timeout)
                     deadline_exceeded_->inc();

@@ -5,6 +5,12 @@
  * client (an application keeps a persistent connection, like a bound
  * Binder proxy).
  *
+ * A connection's first frame picks its transport: a shared-memory
+ * hello (ipc/shm_ring.h) upgrades it to ring I/O — replies are then
+ * marshalled straight into the ring — while anything else is served
+ * as a normal request over the socket. `ipc.shm_connections` /
+ * `ipc.shm_refused` count the outcomes.
+ *
  * Fault tolerance: transient accept() failures (fd exhaustion,
  * aborted connections) are counted (`ipc.accept_error`) and retried
  * after a brief sleep instead of killing the accept loop. Client
@@ -88,6 +94,8 @@ class PotluckServer
     uint64_t send_deadline_ms_ = 0;
     uint64_t idle_timeout_ms_ = 0;
     uint64_t drain_deadline_ms_ = 0;
+    bool shm_enabled_ = true;
+    uint32_t shm_ring_bytes_ = 0;
     std::mutex threads_mutex_;
     std::vector<std::thread> client_threads_;
     std::thread accept_thread_;
@@ -106,6 +114,8 @@ class PotluckServer
     obs::Counter *accept_errors_ = nullptr;
     obs::Counter *idle_timeouts_ = nullptr;
     obs::Counter *deadline_exceeded_ = nullptr;
+    obs::Counter *shm_connections_ = nullptr; ///< upgrades established
+    obs::Counter *shm_refused_ = nullptr;     ///< hellos nacked
     obs::Gauge *active_connections_ = nullptr;
     obs::LatencyHistogram *request_bytes_ = nullptr;
     obs::LatencyHistogram *reply_bytes_ = nullptr;

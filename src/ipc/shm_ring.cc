@@ -1,0 +1,806 @@
+#include "ipc/shm_ring.h"
+
+#include <linux/futex.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstring>
+
+#include "ipc/fault_injection.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+#ifndef MFD_CLOEXEC
+#define MFD_CLOEXEC 0x0001U
+#endif
+
+namespace potluck {
+namespace shm {
+
+namespace {
+
+/// @name Ring record format
+/// Each record is [u32 tag][u32 len][payload padded to 8 bytes], at
+/// an 8-aligned ring offset. The tag carries a magic in its high
+/// bytes so a corrupted or misaligned read is detected immediately
+/// instead of being interpreted as a length.
+/// @{
+constexpr uint32_t kTagMagicMask = 0xffffff00u;
+constexpr uint32_t kTagMagic = 0x52494e00u; // "RIN\0"
+constexpr uint32_t kTagData = kTagMagic | 1;  ///< inline frame body
+constexpr uint32_t kTagSpill = kTagMagic | 2; ///< body follows on the socket
+constexpr uint32_t kTagWrap = kTagMagic | 3;  ///< skip to ring start
+constexpr uint64_t kRecordHeaderBytes = 8;
+/// @}
+
+/** Budget for the whole upgrade handshake (its own constant — the
+ * connection has no deadlines configured yet when it runs). */
+constexpr uint64_t kHandshakeDeadlineMs = 5000;
+
+/** Futex park slice. Bounds how stale a missed edge can get and sets
+ * the cadence of liveness/deadline checks while parked. */
+constexpr int kFutexSliceMs = 50;
+
+constexpr uint64_t
+align8(uint64_t n)
+{
+    return (n + 7) & ~uint64_t{7};
+}
+
+int
+futexWait(std::atomic<uint32_t> *addr, uint32_t expected, int timeout_ms)
+{
+    timespec ts{};
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1000000L;
+    // No FUTEX_PRIVATE_FLAG: the word lives in a MAP_SHARED segment
+    // and must be matched across processes.
+    return static_cast<int>(syscall(SYS_futex,
+                                    reinterpret_cast<uint32_t *>(addr),
+                                    FUTEX_WAIT, expected, &ts, nullptr, 0));
+}
+
+void
+futexWakeAll(std::atomic<uint32_t> *addr)
+{
+    syscall(SYS_futex, reinterpret_cast<uint32_t *>(addr), FUTEX_WAKE,
+            INT_MAX, nullptr, nullptr, 0);
+}
+
+uint32_t
+loadU32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+void
+storeU32(uint8_t *p, uint32_t v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+[[noreturn]] void
+throwErrno(TransportErrc code, const char *what)
+{
+    throw TransportError(code,
+                         std::string(what) + ": " + std::strerror(errno));
+}
+
+void
+waitReadable(int fd, short events, const Stopwatch &sw)
+{
+    for (;;) {
+        double remaining_ms =
+            static_cast<double>(kHandshakeDeadlineMs) - sw.elapsedMs();
+        if (remaining_ms <= 0)
+            throw TransportError(TransportErrc::Timeout,
+                                 "shm handshake deadline expired");
+        pollfd p{};
+        p.fd = fd;
+        p.events = events;
+        int rc = ::poll(&p, 1, static_cast<int>(std::ceil(remaining_ms)));
+        if (rc > 0)
+            return;
+        if (rc < 0 && errno != EINTR)
+            throwErrno(TransportErrc::IoError, "poll failed");
+    }
+}
+
+/**
+ * Handshake I/O is raw on purpose: it bypasses FrameSocket and with
+ * it the fault injector's frame-level drop/garble hooks, so fault
+ * campaigns exercise the protocol's dedicated shm faults (refuse_shm,
+ * poison_ring) instead of wedging the negotiation itself.
+ */
+void
+rawSendAll(int fd, const uint8_t *data, size_t n, const Stopwatch &sw)
+{
+    size_t sent = 0;
+    while (sent < n) {
+        ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                waitReadable(fd, POLLOUT, sw);
+                continue;
+            }
+            if (errno == EPIPE || errno == ECONNRESET)
+                throwErrno(TransportErrc::ConnectionClosed,
+                           "peer closed during shm handshake");
+            throwErrno(TransportErrc::IoError, "shm handshake send failed");
+        }
+        sent += static_cast<size_t>(rc);
+    }
+}
+
+void
+rawSendFrame(int fd, const std::vector<uint8_t> &body)
+{
+    Stopwatch sw;
+    uint32_t len = static_cast<uint32_t>(body.size());
+    uint8_t header[4];
+    storeU32(header, len);
+    rawSendAll(fd, header, sizeof(header), sw);
+    rawSendAll(fd, body.data(), body.size(), sw);
+}
+
+/** rawSendFrame plus an SCM_RIGHTS fd attached to the first byte. */
+void
+rawSendFrameWithFd(int fd, const std::vector<uint8_t> &body, int pass_fd)
+{
+    Stopwatch sw;
+    uint8_t header[4];
+    storeU32(header, static_cast<uint32_t>(body.size()));
+    iovec iov[2];
+    iov[0].iov_base = header;
+    iov[0].iov_len = sizeof(header);
+    iov[1].iov_base = const_cast<uint8_t *>(body.data());
+    iov[1].iov_len = body.size();
+    char cbuf[CMSG_SPACE(sizeof(int))] = {};
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = 2;
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    cmsghdr *cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cmsg), &pass_fd, sizeof(int));
+    for (;;) {
+        ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                waitReadable(fd, POLLOUT, sw);
+                continue;
+            }
+            if (errno == EPIPE || errno == ECONNRESET)
+                throwErrno(TransportErrc::ConnectionClosed,
+                           "peer closed during shm handshake");
+            throwErrno(TransportErrc::IoError, "shm handshake sendmsg failed");
+        }
+        size_t done = static_cast<size_t>(rc);
+        // The cmsg is delivered with the first byte; any remainder of
+        // a short write goes out as plain bytes.
+        if (done < sizeof(header)) {
+            rawSendAll(fd, header + done, sizeof(header) - done, sw);
+            rawSendAll(fd, body.data(), body.size(), sw);
+        } else if (done < sizeof(header) + body.size()) {
+            size_t body_done = done - sizeof(header);
+            rawSendAll(fd, body.data() + body_done, body.size() - body_done,
+                       sw);
+        }
+        return;
+    }
+}
+
+/**
+ * Read exactly n bytes, harvesting any SCM_RIGHTS fd that arrives
+ * along the way into *out_fd (first one wins; extras are closed).
+ */
+void
+rawRecvAll(int fd, uint8_t *data, size_t n, int *out_fd, const Stopwatch &sw)
+{
+    size_t got = 0;
+    while (got < n) {
+        waitReadable(fd, POLLIN, sw);
+        iovec iov{};
+        iov.iov_base = data + got;
+        iov.iov_len = n - got;
+        char cbuf[CMSG_SPACE(sizeof(int))] = {};
+        msghdr msg{};
+        msg.msg_iov = &iov;
+        msg.msg_iovlen = 1;
+        msg.msg_control = cbuf;
+        msg.msg_controllen = sizeof(cbuf);
+        ssize_t rc = ::recvmsg(fd, &msg, MSG_CMSG_CLOEXEC);
+        if (rc < 0) {
+            if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+                continue;
+            if (errno == ECONNRESET)
+                throwErrno(TransportErrc::ConnectionClosed,
+                           "peer reset during shm handshake");
+            throwErrno(TransportErrc::IoError, "shm handshake recv failed");
+        }
+        if (rc == 0)
+            throw TransportError(TransportErrc::ConnectionClosed,
+                                 "peer closed during shm handshake");
+        for (cmsghdr *cmsg = CMSG_FIRSTHDR(&msg); cmsg;
+             cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+            if (cmsg->cmsg_level != SOL_SOCKET ||
+                cmsg->cmsg_type != SCM_RIGHTS) {
+                continue;
+            }
+            int received;
+            std::memcpy(&received, CMSG_DATA(cmsg), sizeof(int));
+            if (out_fd && *out_fd < 0)
+                *out_fd = received;
+            else
+                ::close(received);
+        }
+        got += static_cast<size_t>(rc);
+    }
+}
+
+/** @return false if the frame is oversized for a handshake reply
+ * (protocol confusion; the caller bails out to UDS or errors). */
+bool
+rawRecvFrame(int fd, std::vector<uint8_t> &body, int *out_fd)
+{
+    Stopwatch sw;
+    uint8_t header[4];
+    rawRecvAll(fd, header, sizeof(header), out_fd, sw);
+    uint32_t len = loadU32(header);
+    if (len > 64)
+        return false;
+    body.resize(len);
+    if (len > 0)
+        rawRecvAll(fd, body.data(), len, out_fd, sw);
+    return true;
+}
+
+uint32_t
+clampRingBytes(uint64_t requested)
+{
+    uint64_t v = std::clamp<uint64_t>(requested, kMinRingBytes,
+                                      kMaxRingBytes);
+    // Round down to a power of two: offsets are masked, not modulo'd.
+    while (v & (v - 1))
+        v &= v - 1;
+    return static_cast<uint32_t>(v);
+}
+
+size_t
+segmentBytes(uint32_t ring_bytes)
+{
+    return headerBytes() + 2 * static_cast<size_t>(ring_bytes);
+}
+
+} // namespace
+
+bool
+isHello(const std::vector<uint8_t> &frame)
+{
+    return frame.size() == 12 && loadU32(frame.data()) == kHelloMagic;
+}
+
+std::vector<uint8_t>
+makeHello(uint32_t ring_bytes)
+{
+    std::vector<uint8_t> hello(12);
+    storeU32(hello.data(), kHelloMagic);
+    storeU32(hello.data() + 4, kVersion);
+    storeU32(hello.data() + 8, ring_bytes);
+    return hello;
+}
+
+ShmTransport::ShmTransport(FrameSocket &&sock, void *map, size_t map_len,
+                           bool server)
+    : sock_(std::move(sock)), map_(map), map_len_(map_len),
+      hdr_(static_cast<ShmHeader *>(map))
+{
+    ring_bytes_ = hdr_->ring_bytes;
+    uint8_t *base = static_cast<uint8_t *>(map_);
+    uint8_t *c2s_data = base + headerBytes();
+    uint8_t *s2c_data = c2s_data + ring_bytes_;
+    if (server) {
+        recv_ring_ = &hdr_->c2s;
+        recv_data_ = c2s_data;
+        send_ring_ = &hdr_->s2c;
+        send_data_ = s2c_data;
+    } else {
+        send_ring_ = &hdr_->c2s;
+        send_data_ = c2s_data;
+        recv_ring_ = &hdr_->s2c;
+        recv_data_ = s2c_data;
+    }
+}
+
+ShmTransport::~ShmTransport()
+{
+    close();
+    if (map_)
+        ::munmap(map_, map_len_);
+}
+
+void
+ShmTransport::close()
+{
+    if (!sock_.valid())
+        return;
+    // Close the socket BEFORE ringing the doorbells: a woken peer
+    // immediately probes the socket for EOF, and waking first would
+    // let that probe race ahead of the close (EAGAIN → back to sleep
+    // for a full futex slice).
+    sock_.close();
+    if (hdr_) {
+        hdr_->c2s.data_seq.fetch_add(1, std::memory_order_seq_cst);
+        hdr_->s2c.data_seq.fetch_add(1, std::memory_order_seq_cst);
+        futexWakeAll(&hdr_->c2s.data_seq);
+        futexWakeAll(&hdr_->s2c.data_seq);
+    }
+}
+
+void
+ShmTransport::setDeadlines(uint64_t send_deadline_ms,
+                           uint64_t recv_deadline_ms)
+{
+    send_deadline_ms_ = send_deadline_ms;
+    recv_deadline_ms_ = recv_deadline_ms;
+    // The socket still carries spill frames; keep its budgets in sync.
+    sock_.setDeadlines(send_deadline_ms, recv_deadline_ms);
+}
+
+size_t
+ShmTransport::maxInlineBytes() const
+{
+    // A record may need a wrap marker in front of it: worst case
+    // total = (contig < record) + record < 2 * record, so keeping
+    // record <= ring/2 - 16 guarantees any single frame fits in an
+    // empty ring and the producer can never deadlock on space.
+    return static_cast<size_t>(ring_bytes_ / 2 - 16);
+}
+
+void
+ShmTransport::checkPoisoned() const
+{
+    if (hdr_->poisoned.load(std::memory_order_acquire))
+        throw TransportError(TransportErrc::ProtocolError,
+                             "shm ring poisoned");
+}
+
+void
+ShmTransport::poison(const char *why)
+{
+    POTLUCK_WARN("poisoning shm ring: " << why);
+    hdr_->poisoned.store(1, std::memory_order_release);
+    // Kick every doorbell so a parked peer re-checks the flag now.
+    for (RingCtrl *ring : {&hdr_->c2s, &hdr_->s2c}) {
+        ring->data_seq.fetch_add(1, std::memory_order_seq_cst);
+        ring->space_seq.fetch_add(1, std::memory_order_seq_cst);
+        futexWakeAll(&ring->data_seq);
+        futexWakeAll(&ring->space_seq);
+    }
+}
+
+bool
+ShmTransport::peerClosed() const
+{
+    uint8_t probe;
+    ssize_t rc = ::recv(sock_.fd(), &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (rc > 0)
+        return false; // queued spill bytes: definitely alive
+    if (rc == 0)
+        return true; // orderly EOF (peer closed or drained via SHUT_RD)
+    return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+}
+
+void
+ShmTransport::finishPendingConsume()
+{
+    if (pending_consume_ == 0)
+        return;
+    uint64_t tail = recv_ring_->tail.load(std::memory_order_relaxed);
+    recv_ring_->tail.store(tail + pending_consume_,
+                           std::memory_order_release);
+    pending_consume_ = 0;
+    recv_ring_->space_seq.fetch_add(1, std::memory_order_seq_cst);
+    if (recv_ring_->space_waiting.load(std::memory_order_seq_cst))
+        futexWakeAll(&recv_ring_->space_seq);
+}
+
+void
+ShmTransport::waitForSpace(uint64_t needed, const Stopwatch &sw)
+{
+    bool peeked = false;
+    for (;;) {
+        checkPoisoned();
+        uint64_t head = send_ring_->head.load(std::memory_order_relaxed);
+        uint64_t tail = send_ring_->tail.load(std::memory_order_acquire);
+        if (ring_bytes_ - (head - tail) >= needed)
+            return;
+        uint32_t seq = send_ring_->space_seq.load(std::memory_order_seq_cst);
+        tail = send_ring_->tail.load(std::memory_order_acquire);
+        if (ring_bytes_ - (head - tail) >= needed)
+            return;
+        send_ring_->space_waiting.store(1, std::memory_order_seq_cst);
+        tail = send_ring_->tail.load(std::memory_order_acquire);
+        if (ring_bytes_ - (head - tail) >= needed) {
+            send_ring_->space_waiting.store(0, std::memory_order_seq_cst);
+            return;
+        }
+        if (!peeked) {
+            // A peer that closed BEFORE we read the doorbell seq left
+            // no wake behind for us: detect it now rather than after a
+            // full futex slice. Once is enough — closed is forever,
+            // and later closes are caught by the post-slice check.
+            peeked = true;
+            if (peerClosed()) {
+                send_ring_->space_waiting.store(0,
+                                               std::memory_order_seq_cst);
+                throw TransportError(TransportErrc::ConnectionClosed,
+                                     "peer closed while shm ring full");
+            }
+        }
+        futexWait(&send_ring_->space_seq, seq, kFutexSliceMs);
+        send_ring_->space_waiting.store(0, std::memory_order_seq_cst);
+        if (send_deadline_ms_ &&
+            sw.elapsedMs() >= static_cast<double>(send_deadline_ms_)) {
+            throw TransportError(TransportErrc::Timeout,
+                                 "shm send deadline expired after " +
+                                     std::to_string(send_deadline_ms_) +
+                                     " ms");
+        }
+        if (peerClosed())
+            throw TransportError(TransportErrc::ConnectionClosed,
+                                 "peer closed while shm ring full");
+    }
+}
+
+bool
+ShmTransport::waitForData(const Stopwatch &sw)
+{
+    bool peeked = false;
+    for (;;) {
+        checkPoisoned();
+        uint64_t tail = recv_ring_->tail.load(std::memory_order_relaxed);
+        if (recv_ring_->head.load(std::memory_order_acquire) != tail)
+            return true;
+        uint32_t seq = recv_ring_->data_seq.load(std::memory_order_seq_cst);
+        if (recv_ring_->head.load(std::memory_order_acquire) != tail)
+            return true;
+        recv_ring_->data_waiting.store(1, std::memory_order_seq_cst);
+        if (recv_ring_->head.load(std::memory_order_acquire) != tail) {
+            recv_ring_->data_waiting.store(0, std::memory_order_seq_cst);
+            return true;
+        }
+        if (!peeked) {
+            // Same first-sleep race as waitForSpace: a close that
+            // rang the doorbell before we read the seq would cost a
+            // full slice of latency on every orderly teardown (and on
+            // the server's SHUT_RD drain) without this peek.
+            peeked = true;
+            if (peerClosed()) {
+                recv_ring_->data_waiting.store(0,
+                                              std::memory_order_seq_cst);
+                return false;
+            }
+        }
+        futexWait(&recv_ring_->data_seq, seq, kFutexSliceMs);
+        recv_ring_->data_waiting.store(0, std::memory_order_seq_cst);
+        if (recv_ring_->head.load(std::memory_order_acquire) != tail)
+            return true;
+        checkPoisoned();
+        if (recv_deadline_ms_ &&
+            sw.elapsedMs() >= static_cast<double>(recv_deadline_ms_)) {
+            throw TransportError(TransportErrc::Timeout,
+                                 "shm recv deadline expired after " +
+                                     std::to_string(recv_deadline_ms_) +
+                                     " ms");
+        }
+        // The ring is empty, so an EOF on the socket is an orderly
+        // shutdown (including the server's drain-time SHUT_RD on its
+        // own end, which this side never sees — but the server's
+        // handler sees ITS recv side closed the same way).
+        if (peerClosed())
+            return false;
+    }
+}
+
+void
+ShmTransport::sendFrameDirect(size_t len, const FrameFiller &fill)
+{
+    // NOTE: the pending recv-ring slot is NOT recycled here — only
+    // after fill() has run. The caller's borrowed FrameView may feed
+    // the fill callback (decode request in place, marshal the reply
+    // from it), and releasing the slot first would let a pipelining
+    // peer overwrite the bytes mid-copy.
+    checkPoisoned();
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FaultInjector *fi = FaultInjector::active()) {
+        fi->maybeDelay();
+        if (fi->shouldPoisonRing()) {
+            poison("fault injection");
+            throw TransportError(TransportErrc::IoError,
+                                 "fault injection: shm ring poisoned");
+        }
+    }
+#endif
+    if (len > maxInlineBytes()) {
+        // Spill: a marker keeps ring/socket frame ordering, then the
+        // body travels the socket. Marker first — the receiver always
+        // looks at the ring before the socket.
+        Stopwatch sw;
+        waitForSpace(kRecordHeaderBytes, sw);
+        uint64_t head = send_ring_->head.load(std::memory_order_relaxed);
+        uint64_t pos = head & (ring_bytes_ - 1);
+        storeU32(send_data_ + pos, kTagSpill);
+        storeU32(send_data_ + pos + 4, 0);
+        send_ring_->head.store(head + kRecordHeaderBytes,
+                               std::memory_order_release);
+        send_ring_->data_seq.fetch_add(1, std::memory_order_seq_cst);
+        if (send_ring_->data_waiting.load(std::memory_order_seq_cst))
+            futexWakeAll(&send_ring_->data_seq);
+        std::vector<uint8_t> body(len);
+        fill(body.data());
+        finishPendingConsume();
+        sock_.sendFrame(body);
+        return;
+    }
+    Stopwatch sw;
+    uint64_t record = kRecordHeaderBytes + align8(len);
+    uint64_t head = send_ring_->head.load(std::memory_order_relaxed);
+    uint64_t pos = head & (ring_bytes_ - 1);
+    uint64_t contig = ring_bytes_ - pos;
+    // Rewind-when-empty: on the steady request/reply cadence the ring
+    // drains completely between frames, yet head keeps advancing, so
+    // successive frames would march through the whole ring and evict
+    // their own cache lines. If the ring is idle and the frame fits
+    // below the current offset (so contig + record <= ring), close out
+    // the tail now and restart at offset 0 — every frame then reuses
+    // the same hot lines. The consumer sees an ordinary wrap marker.
+    bool rewind = pos != 0 && record <= pos &&
+                  send_ring_->tail.load(std::memory_order_acquire) == head;
+    bool wrap = record > contig || rewind;
+    uint64_t total = wrap ? contig + record : record;
+    waitForSpace(total, sw);
+    if (wrap) {
+        // Close out the tail of the ring so the payload is contiguous
+        // (contiguity is what makes borrowed recv views possible).
+        storeU32(send_data_ + pos, kTagWrap);
+        storeU32(send_data_ + pos + 4,
+                 static_cast<uint32_t>(contig - kRecordHeaderBytes));
+        head += contig;
+        pos = 0;
+    }
+    storeU32(send_data_ + pos, kTagData);
+    storeU32(send_data_ + pos + 4, static_cast<uint32_t>(len));
+    if (len > 0)
+        fill(send_data_ + pos + kRecordHeaderBytes);
+    finishPendingConsume();
+    send_ring_->head.store(head + record, std::memory_order_release);
+    send_ring_->data_seq.fetch_add(1, std::memory_order_seq_cst);
+    if (send_ring_->data_waiting.load(std::memory_order_seq_cst))
+        futexWakeAll(&send_ring_->data_seq);
+}
+
+void
+ShmTransport::sendFrame(const std::vector<uint8_t> &body)
+{
+    sendFrameDirect(body.size(), [&body](uint8_t *dst) {
+        std::memcpy(dst, body.data(), body.size());
+    });
+}
+
+bool
+ShmTransport::recvFrameView(FrameView &view)
+{
+    finishPendingConsume();
+    checkPoisoned();
+    Stopwatch sw;
+    for (;;) {
+        if (!waitForData(sw))
+            return false;
+        uint64_t tail = recv_ring_->tail.load(std::memory_order_relaxed);
+        uint64_t pos = tail & (ring_bytes_ - 1);
+        uint32_t tag = loadU32(recv_data_ + pos);
+        uint32_t len = loadU32(recv_data_ + pos + 4);
+        if ((tag & kTagMagicMask) != kTagMagic) {
+            poison("bad record tag");
+            throw TransportError(TransportErrc::ProtocolError,
+                                 "shm ring corrupt: bad record tag");
+        }
+        if (tag == kTagWrap) {
+            uint64_t expected = ring_bytes_ - pos - kRecordHeaderBytes;
+            if (len != expected) {
+                poison("bad wrap marker");
+                throw TransportError(TransportErrc::ProtocolError,
+                                     "shm ring corrupt: bad wrap marker");
+            }
+            recv_ring_->tail.store(tail + ring_bytes_ - pos,
+                                   std::memory_order_release);
+            recv_ring_->space_seq.fetch_add(1, std::memory_order_seq_cst);
+            if (recv_ring_->space_waiting.load(std::memory_order_seq_cst))
+                futexWakeAll(&recv_ring_->space_seq);
+            continue;
+        }
+        if (tag == kTagSpill) {
+            recv_ring_->tail.store(tail + kRecordHeaderBytes,
+                                   std::memory_order_release);
+            recv_ring_->space_seq.fetch_add(1, std::memory_order_seq_cst);
+            if (recv_ring_->space_waiting.load(std::memory_order_seq_cst))
+                futexWakeAll(&recv_ring_->space_seq);
+            if (!sock_.recvFrame(view.ownedBuffer())) {
+                throw TransportError(TransportErrc::ConnectionClosed,
+                                     "peer closed before spilled frame");
+            }
+            return true;
+        }
+        if (len > maxInlineBytes()) {
+            poison("oversized inline record");
+            throw TransportError(TransportErrc::ProtocolError,
+                                 "shm ring corrupt: oversized record");
+        }
+        view.setBorrowed(recv_data_ + pos + kRecordHeaderBytes, len);
+        // Keep the slot alive while the caller decodes in place; the
+        // next recv — or the next send, after its fill callback has
+        // finished reading — recycles it.
+        pending_consume_ = kRecordHeaderBytes + align8(len);
+        return true;
+    }
+}
+
+bool
+ShmTransport::recvFrame(std::vector<uint8_t> &body)
+{
+    FrameView view;
+    if (!recvFrameView(view))
+        return false;
+    body.assign(view.data(), view.data() + view.size());
+    finishPendingConsume();
+    return true;
+}
+
+std::unique_ptr<Transport>
+negotiate(FrameSocket &&sock, uint32_t ring_bytes)
+{
+    uint32_t requested = clampRingBytes(ring_bytes);
+    rawSendFrame(sock.fd(), makeHello(requested));
+    std::vector<uint8_t> reply;
+    int seg_fd = -1;
+    bool frame_ok = rawRecvFrame(sock.fd(), reply, &seg_fd);
+    if (frame_ok && !reply.empty() && reply[0] == 0) {
+        // Declined: the server keeps serving this connection over
+        // UDS, so the socket continues as-is.
+        if (seg_fd >= 0)
+            ::close(seg_fd);
+        return std::make_unique<FrameSocket>(std::move(sock));
+    }
+    if (!frame_ok || reply.empty() || reply[0] != 1 ||
+        reply.size() != 5 || seg_fd < 0) {
+        // Anything else is protocol confusion — and after an ack the
+        // server is committed to the ring, so silently continuing on
+        // UDS would wedge both sides. Error out; the retry layer
+        // reconnects.
+        if (seg_fd >= 0)
+            ::close(seg_fd);
+        throw TransportError(TransportErrc::ProtocolError,
+                             "malformed shm handshake reply");
+    }
+    uint32_t granted = loadU32(reply.data() + 1);
+    size_t expected_len = segmentBytes(granted);
+    struct stat st{};
+    bool ok = granted >= kMinRingBytes && granted <= kMaxRingBytes &&
+              (granted & (granted - 1)) == 0 &&
+              ::fstat(seg_fd, &st) == 0 &&
+              static_cast<size_t>(st.st_size) == expected_len;
+    void *map = nullptr;
+    if (ok) {
+        map = ::mmap(nullptr, expected_len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, seg_fd, 0);
+        if (map == MAP_FAILED)
+            map = nullptr;
+    }
+    ::close(seg_fd); // the mapping keeps the segment alive
+    if (map) {
+        ShmHeader *hdr = static_cast<ShmHeader *>(map);
+        if (hdr->magic != kHelloMagic || hdr->version != kVersion ||
+            hdr->ring_bytes != granted) {
+            ::munmap(map, expected_len);
+            map = nullptr;
+        }
+    }
+    if (!map) {
+        // The server committed to the ring; this side can't join it,
+        // so the connection is unusable — error out and let the retry
+        // layer reconnect (a persistent failure keeps nacking here
+        // and retries eventually surface it).
+        throw TransportError(TransportErrc::ProtocolError,
+                             "shm segment validation failed");
+    }
+    return std::unique_ptr<Transport>(new ShmTransport(
+        std::move(sock), map, expected_len, /*server=*/false));
+}
+
+std::unique_ptr<Transport>
+acceptUpgrade(FrameSocket &&sock, const std::vector<uint8_t> &hello,
+              bool enabled, uint32_t max_ring_bytes, bool *upgraded)
+{
+    if (upgraded)
+        *upgraded = false;
+    uint32_t version = loadU32(hello.data() + 4);
+    uint32_t requested = loadU32(hello.data() + 8);
+    bool refuse = !enabled || version != kVersion;
+#ifdef POTLUCK_FAULT_INJECTION
+    if (FaultInjector *fi = FaultInjector::active()) {
+        if (fi->shouldRefuseShm())
+            refuse = true;
+    }
+#endif
+    uint32_t granted = clampRingBytes(
+        std::min<uint64_t>(requested, clampRingBytes(max_ring_bytes)));
+    int seg_fd = -1;
+    void *map = nullptr;
+    size_t seg_len = segmentBytes(granted);
+    if (!refuse) {
+        seg_fd = static_cast<int>(
+            syscall(SYS_memfd_create, "potluck-shm", MFD_CLOEXEC));
+        if (seg_fd < 0 || ::ftruncate(seg_fd, seg_len) != 0) {
+            POTLUCK_WARN("shm segment creation failed, "
+                             "falling back to UDS: "
+                             << std::strerror(errno));
+            refuse = true;
+        } else {
+            map = ::mmap(nullptr, seg_len, PROT_READ | PROT_WRITE,
+                         MAP_SHARED, seg_fd, 0);
+            if (map == MAP_FAILED) {
+                map = nullptr;
+                refuse = true;
+            }
+        }
+    }
+    if (refuse) {
+        if (map)
+            ::munmap(map, seg_len);
+        if (seg_fd >= 0)
+            ::close(seg_fd);
+        rawSendFrame(sock.fd(), {0});
+        return std::make_unique<FrameSocket>(std::move(sock));
+    }
+    std::memset(map, 0, headerBytes());
+    ShmHeader *hdr = static_cast<ShmHeader *>(map);
+    hdr->magic = kHelloMagic;
+    hdr->version = kVersion;
+    hdr->ring_bytes = granted;
+    std::vector<uint8_t> ack(5);
+    ack[0] = 1;
+    storeU32(ack.data() + 1, granted);
+    try {
+        rawSendFrameWithFd(sock.fd(), ack, seg_fd);
+    } catch (...) {
+        ::munmap(map, seg_len);
+        ::close(seg_fd);
+        throw;
+    }
+    ::close(seg_fd);
+    if (upgraded)
+        *upgraded = true;
+    return std::unique_ptr<Transport>(
+        new ShmTransport(std::move(sock), map, seg_len, /*server=*/true));
+}
+
+} // namespace shm
+} // namespace potluck

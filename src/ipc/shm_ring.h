@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Shared-memory ring transport (DESIGN.md §14) — the zero-copy
+ * alternative to FrameSocket's four kernel copies per round trip. A
+ * client opens the normal UDS connection and offers an upgrade; the
+ * server creates a memfd holding a pair of SPSC byte rings plus futex
+ * doorbells and passes the fd back over the socket (SCM_RIGHTS). From
+ * then on frames are marshalled directly into ring memory
+ * (Transport::sendFrameDirect) and parsed in place out of it
+ * (recvFrameView borrows the ring slot), so an mget batch moves
+ * between processes with a single memcpy per direction instead of
+ * encode-buffer + two kernel crossings + decode-buffer.
+ *
+ * The UDS socket stays open for the connection's lifetime: it carries
+ * frames too large for the ring (spill records), serves as the
+ * liveness/EOF signal while a side is parked on a futex, and is the
+ * fallback the connection continues on when the server declines the
+ * upgrade — so PR 2's retry/breaker semantics and the server's
+ * drain-on-shutdown protocol are preserved unchanged.
+ *
+ * Handshake: the client's FIRST frame on a fresh connection is a
+ * hello (magic "PSHM", which cannot collide with a Request — the
+ * first byte of a request frame is a RequestType in 1..15). The
+ * server replies with a one-byte nack frame (connection continues
+ * over UDS) or an ack carrying the memfd. Refusal is never an error:
+ * version skew, --no-shm, and the fault injector's refuse_shm all
+ * land on the same nack path.
+ */
+#ifndef POTLUCK_IPC_SHM_RING_H
+#define POTLUCK_IPC_SHM_RING_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ipc/transport.h"
+
+namespace potluck {
+
+class Stopwatch;
+
+namespace shm {
+
+/** Wire magic of the hello/ack frames ("PSHM", little-endian). */
+constexpr uint32_t kHelloMagic = 0x4d485350u;
+/** Protocol version; mismatches nack and fall back to UDS. */
+constexpr uint32_t kVersion = 1;
+
+/** Smallest / largest acceptable per-direction ring, bytes. */
+constexpr uint32_t kMinRingBytes = 1u << 12;
+constexpr uint32_t kMaxRingBytes = 1u << 26;
+
+/** One direction's SPSC control block. head/tail are free-running
+ * byte counters (never wrapped), so fill = head - tail is exact and
+ * full/empty are unambiguous. The futex words are bumped after each
+ * publish/consume; the waiting flags let the fast path skip the wake
+ * syscall when nobody is parked. */
+struct alignas(64) RingCtrl
+{
+    std::atomic<uint64_t> head;         ///< bytes produced (producer-owned)
+    std::atomic<uint32_t> data_seq;     ///< doorbell: frames published
+    std::atomic<uint32_t> data_waiting; ///< consumer parked on data_seq
+    char pad1_[48];
+    std::atomic<uint64_t> tail;          ///< bytes consumed (consumer-owned)
+    std::atomic<uint32_t> space_seq;     ///< doorbell: bytes freed
+    std::atomic<uint32_t> space_waiting; ///< producer parked on space_seq
+    char pad2_[48];
+};
+
+/** Shared-segment header, at offset 0 of the memfd. The two data
+ * regions follow: client→server at dataOffset(0), server→client at
+ * dataOffset(1), each `ring_bytes` long. */
+struct ShmHeader
+{
+    uint32_t magic;
+    uint32_t version;
+    uint32_t ring_bytes; ///< per-direction capacity, power of two
+    /** Set by either side on protocol corruption (bad record tag,
+     * impossible length, injected fault); every subsequent op on both
+     * sides fails with ProtocolError so the connection is torn down
+     * and retried — over UDS if the fault persists. */
+    std::atomic<uint32_t> poisoned;
+    char pad_[48];
+    RingCtrl c2s; ///< client produces, server consumes
+    RingCtrl s2c; ///< server produces, client consumes
+};
+
+/** Bytes the header occupies before the first data region. */
+constexpr size_t headerBytes() { return sizeof(ShmHeader); }
+
+/** @return true if a first frame on a fresh connection is a shm
+ * upgrade offer rather than a Request. */
+bool isHello(const std::vector<uint8_t> &frame);
+
+/** Client hello offering an upgrade with the given ring size. */
+std::vector<uint8_t> makeHello(uint32_t ring_bytes);
+
+/**
+ * Transport over a pair of mapped SPSC rings; owns the mapping and
+ * the underlying socket. Created only by negotiate()/acceptUpgrade().
+ */
+class ShmTransport : public Transport
+{
+  public:
+    ~ShmTransport() override;
+
+    ShmTransport(const ShmTransport &) = delete;
+    ShmTransport &operator=(const ShmTransport &) = delete;
+
+    bool valid() const override { return sock_.valid(); }
+    const char *kind() const override { return "shm"; }
+
+    void setDeadlines(uint64_t send_deadline_ms,
+                      uint64_t recv_deadline_ms) override;
+    uint64_t sendDeadlineMs() const override { return send_deadline_ms_; }
+    uint64_t recvDeadlineMs() const override { return recv_deadline_ms_; }
+
+    void sendFrame(const std::vector<uint8_t> &body) override;
+    bool recvFrame(std::vector<uint8_t> &body) override;
+
+    void sendFrameDirect(size_t len, const FrameFiller &fill) override;
+    bool recvFrameView(FrameView &view) override;
+
+    void close() override;
+
+    /** Largest frame sent inline through the ring; larger frames
+     * spill over the UDS socket. */
+    size_t maxInlineBytes() const;
+
+  private:
+    friend std::unique_ptr<Transport>
+    negotiate(FrameSocket &&sock, uint32_t ring_bytes);
+    friend std::unique_ptr<Transport>
+    acceptUpgrade(FrameSocket &&sock, const std::vector<uint8_t> &hello,
+                  bool enabled, uint32_t max_ring_bytes, bool *upgraded);
+
+    /** @param server  true on the daemon side (swaps ring roles) */
+    ShmTransport(FrameSocket &&sock, void *map, size_t map_len, bool server);
+
+    void finishPendingConsume();
+    bool waitForData(const Stopwatch &sw);
+    void waitForSpace(uint64_t needed, const Stopwatch &sw);
+    void poison(const char *why);
+    void checkPoisoned() const;
+    bool peerClosed() const;
+
+    FrameSocket sock_; ///< spill path, liveness probe, UDS fallback peer
+    void *map_ = nullptr;
+    size_t map_len_ = 0;
+    ShmHeader *hdr_ = nullptr;
+    RingCtrl *send_ring_ = nullptr;
+    RingCtrl *recv_ring_ = nullptr;
+    uint8_t *send_data_ = nullptr;
+    uint8_t *recv_data_ = nullptr;
+    uint64_t ring_bytes_ = 0;
+    /** Ring bytes of the record handed out by the last recvFrameView
+     * as a borrowed view; consumed (tail advanced) lazily — on the
+     * next recv, or on the next send only after its fill callback has
+     * run — so a reply marshalled straight out of the borrowed
+     * request bytes never races the peer reusing the slot. */
+    uint64_t pending_consume_ = 0;
+    uint64_t send_deadline_ms_ = 0;
+    uint64_t recv_deadline_ms_ = 0;
+};
+
+/**
+ * Client side: offer the upgrade on a fresh connection and return the
+ * negotiated transport — a ShmTransport on ack, or the same socket as
+ * a plain FrameSocket transport on nack/old server. The hello must be
+ * the first traffic on the socket. Throws TransportError only for
+ * real transport failures (peer died mid-handshake), never for a
+ * declined upgrade.
+ */
+std::unique_ptr<Transport> negotiate(FrameSocket &&sock,
+                                     uint32_t ring_bytes);
+
+/**
+ * Server side: answer a hello that was just received on `sock`.
+ * Creates the memfd segment and acks with the fd when `enabled` (and
+ * the fault injector does not veto); nacks otherwise — either way the
+ * connection continues on the returned transport.
+ * @param max_ring_bytes  cap on the client's requested ring size
+ * @param upgraded        out: whether shm was established (optional)
+ */
+std::unique_ptr<Transport> acceptUpgrade(FrameSocket &&sock,
+                                         const std::vector<uint8_t> &hello,
+                                         bool enabled,
+                                         uint32_t max_ring_bytes,
+                                         bool *upgraded = nullptr);
+
+} // namespace shm
+} // namespace potluck
+
+#endif // POTLUCK_IPC_SHM_RING_H

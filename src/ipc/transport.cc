@@ -26,6 +26,23 @@ throwErrno(TransportErrc code, const char *what)
 }
 
 /**
+ * Enforce the per-frame budget. Called at the top of every partial
+ * I/O iteration, not just when a syscall times out: a slow-loris peer
+ * that trickles one byte per syscall keeps each recv()/send()
+ * succeeding — SO_*TIMEO never fires, its kernel timer restarting
+ * with every byte — so without this check a frame op could be held
+ * open indefinitely.
+ */
+void
+checkBudget(uint64_t deadline_ms, const Stopwatch &sw)
+{
+    if (deadline_ms && sw.elapsedMs() >= static_cast<double>(deadline_ms))
+        throw TransportError(TransportErrc::Timeout,
+                             "frame deadline expired after " +
+                                 std::to_string(deadline_ms) + " ms");
+}
+
+/**
  * Wait until fd is ready for `events` or the frame deadline expires
  * (deadline_ms 0 = wait forever).
  * @param sw  stopwatch started at the beginning of the frame op
@@ -67,6 +84,7 @@ writeAll(int fd, const uint8_t *data, size_t n, uint64_t deadline_ms,
 {
     size_t sent = 0;
     while (sent < n) {
+        checkBudget(deadline_ms, sw);
         ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
         if (rc < 0) {
             if (errno == EINTR)
@@ -94,6 +112,7 @@ readAll(int fd, uint8_t *data, size_t n, bool eof_ok, uint64_t deadline_ms,
 {
     size_t got = 0;
     while (got < n) {
+        checkBudget(deadline_ms, sw);
         ssize_t rc = ::recv(fd, data + got, n - got, 0);
         if (rc < 0) {
             if (errno == EINTR)
@@ -131,6 +150,21 @@ setSocketTimeout(int fd, int option, uint64_t timeout_ms)
 }
 
 } // namespace
+
+void
+Transport::sendFrameDirect(size_t len, const FrameFiller &fill)
+{
+    std::vector<uint8_t> body(len);
+    if (len > 0)
+        fill(body.data());
+    sendFrame(body);
+}
+
+bool
+Transport::recvFrameView(FrameView &view)
+{
+    return recvFrame(view.ownedBuffer());
+}
 
 const char *
 transportErrcName(TransportErrc code)
@@ -202,7 +236,7 @@ FrameSocket::setDeadlines(uint64_t send_deadline_ms,
 }
 
 void
-FrameSocket::sendFrame(const std::vector<uint8_t> &body) const
+FrameSocket::sendFrame(const std::vector<uint8_t> &body)
 {
     POTLUCK_ASSERT(valid(), "send on closed socket");
     uint32_t len = static_cast<uint32_t>(body.size());
@@ -234,7 +268,7 @@ FrameSocket::sendFrame(const std::vector<uint8_t> &body) const
 }
 
 bool
-FrameSocket::recvFrame(std::vector<uint8_t> &body) const
+FrameSocket::recvFrame(std::vector<uint8_t> &body)
 {
     POTLUCK_ASSERT(valid(), "recv on closed socket");
     Stopwatch sw;

@@ -1,22 +1,34 @@
 /**
  * @file
- * Framed byte transport over Unix domain sockets — the stand-in for
- * Android's Binder kernel path. Frames are a 4-byte little-endian
- * length followed by the body. FrameSocket wraps a connected fd with
- * RAII; listenUnix()/connectUnix() create the endpoints.
+ * Framed byte transports — the stand-in for Android's Binder kernel
+ * path. Transport is the abstract frame pipe the client, server and
+ * retry machinery program against; FrameSocket is the Unix-domain
+ * stream implementation (4-byte little-endian length prefix + body),
+ * and ShmTransport (ipc/shm_ring.h) is the shared-memory ring that
+ * negotiates over it. listenUnix()/connectUnix() create the UDS
+ * endpoints.
  *
- * Failure model: every socket-level failure throws TransportError
+ * Failure model: every transport-level failure throws TransportError
  * (ipc/errors.h) with a machine-readable code — never process-fatal,
  * so clients can retry, reconnect, or degrade (ipc/retry.h). An
  * optional per-frame deadline turns unbounded blocking I/O into a
- * Timeout error: setDeadline() arms SO_SNDTIMEO/SO_RCVTIMEO, so the
- * fast path stays a single blocking syscall; only a frame that
- * actually stalls pays for a budget check and a poll().
+ * Timeout error. The budget covers the WHOLE frame: partial reads and
+ * writes are charged against one stopwatch, so a slow-loris peer that
+ * trickles a byte at a time cannot keep a frame op alive past its
+ * deadline by resetting per-syscall timers.
+ *
+ * Zero-copy hooks: sendFrameDirect() marshals straight into
+ * transport-owned memory (the shm ring; a single exact-size buffer
+ * for sockets), and recvFrameView() can yield a borrowed view of the
+ * frame body in place. Both have buffered default implementations, so
+ * a Transport only implements them when it can actually avoid the
+ * copy.
  */
 #ifndef POTLUCK_IPC_TRANSPORT_H
 #define POTLUCK_IPC_TRANSPORT_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,8 +36,112 @@
 
 namespace potluck {
 
+/**
+ * A received frame body that is either owned (copied out of the
+ * transport) or borrowed (pointing into transport memory, e.g. a shm
+ * ring slot). A borrowed view is valid only until the next call on
+ * the transport that produced it — decode in place, then let the next
+ * recv/send recycle the slot. The owned buffer persists across calls
+ * so repeated buffered receives reuse its capacity.
+ */
+class FrameView
+{
+  public:
+    const uint8_t *data() const
+    {
+        return borrowed_ ? borrowed_ : owned_.data();
+    }
+    size_t size() const { return borrowed_ ? borrowed_size_ : owned_.size(); }
+
+    /** Point the view at transport-owned memory. */
+    void
+    setBorrowed(const uint8_t *data, size_t size)
+    {
+        borrowed_ = data;
+        borrowed_size_ = size;
+    }
+
+    /** Switch to owned mode and expose the backing buffer for the
+     * transport to fill (capacity is reused across frames). */
+    std::vector<uint8_t> &
+    ownedBuffer()
+    {
+        borrowed_ = nullptr;
+        borrowed_size_ = 0;
+        return owned_;
+    }
+
+  private:
+    std::vector<uint8_t> owned_;
+    const uint8_t *borrowed_ = nullptr;
+    size_t borrowed_size_ = 0;
+};
+
+/** Abstract bidirectional frame pipe. Not thread-safe: one user per
+ * direction (the request/reply protocol is strictly alternating). */
+class Transport
+{
+  public:
+    /** Marshals one frame body into transport-provided memory; called
+     * exactly once with a span of the promised length. */
+    using FrameFiller = std::function<void(uint8_t *dst)>;
+
+    virtual ~Transport() = default;
+
+    virtual bool valid() const = 0;
+
+    /** Implementation tag for logs/metrics: "uds" or "shm". */
+    virtual const char *kind() const = 0;
+
+    /**
+     * Bound the time a single frame op may block (milliseconds; 0
+     * restores unbounded blocking). On expiry the op throws
+     * TransportError{Timeout}. Separate budgets for the two
+     * directions: a server bounds sends (a non-reading client must
+     * not wedge a handler) while using the recv budget as an idle
+     * timeout.
+     */
+    virtual void setDeadlines(uint64_t send_deadline_ms,
+                              uint64_t recv_deadline_ms) = 0;
+
+    void setDeadline(uint64_t deadline_ms)
+    {
+        setDeadlines(deadline_ms, deadline_ms);
+    }
+
+    virtual uint64_t sendDeadlineMs() const = 0;
+    virtual uint64_t recvDeadlineMs() const = 0;
+
+    /** Send one frame. Throws TransportError. */
+    virtual void sendFrame(const std::vector<uint8_t> &body) = 0;
+
+    /**
+     * Receive one frame. Throws TransportError on timeout, mid-frame
+     * close, or a malformed header.
+     * @return false on orderly peer shutdown before a frame started.
+     */
+    virtual bool recvFrame(std::vector<uint8_t> &body) = 0;
+
+    /**
+     * Send a frame of exactly `len` bytes, marshalled by `fill`
+     * directly into the transport's memory. Default: fill a temporary
+     * buffer and sendFrame() it.
+     */
+    virtual void sendFrameDirect(size_t len, const FrameFiller &fill);
+
+    /**
+     * Receive one frame as a FrameView, borrowing transport memory
+     * when possible (see FrameView for the validity rule). Default:
+     * buffered recvFrame() into the view's owned buffer.
+     * @return false on orderly peer shutdown.
+     */
+    virtual bool recvFrameView(FrameView &view);
+
+    virtual void close() = 0;
+};
+
 /** RAII wrapper over a connected stream socket with frame I/O. */
-class FrameSocket
+class FrameSocket : public Transport
 {
   public:
     FrameSocket() = default;
@@ -33,50 +149,28 @@ class FrameSocket
     /** Take ownership of a connected fd (-1 = empty). */
     explicit FrameSocket(int fd) : fd_(fd) {}
 
-    ~FrameSocket();
+    ~FrameSocket() override;
 
     FrameSocket(FrameSocket &&other) noexcept;
     FrameSocket &operator=(FrameSocket &&other) noexcept;
     FrameSocket(const FrameSocket &) = delete;
     FrameSocket &operator=(const FrameSocket &) = delete;
 
-    bool valid() const { return fd_ >= 0; }
+    bool valid() const override { return fd_ >= 0; }
+    const char *kind() const override { return "uds"; }
     int fd() const { return fd_; }
 
-    /**
-     * Bound the time a single sendFrame()/recvFrame() call may block
-     * (milliseconds; 0 restores unbounded blocking I/O). On expiry
-     * the call throws TransportError{Timeout}. The budget covers one
-     * whole frame (header + body), measured from the start of the
-     * call.
-     */
-    void setDeadline(uint64_t deadline_ms)
-    {
-        setDeadlines(deadline_ms, deadline_ms);
-    }
+    void setDeadlines(uint64_t send_deadline_ms,
+                      uint64_t recv_deadline_ms) override;
 
-    /**
-     * Separate budgets for the two directions: a server bounds sends
-     * (a non-reading client must not wedge a handler) while leaving
-     * recv unbounded (an idle client connection is normal) — or sets
-     * a recv budget as an idle timeout.
-     */
-    void setDeadlines(uint64_t send_deadline_ms, uint64_t recv_deadline_ms);
+    uint64_t sendDeadlineMs() const override { return send_deadline_ms_; }
+    uint64_t recvDeadlineMs() const override { return recv_deadline_ms_; }
 
-    uint64_t sendDeadlineMs() const { return send_deadline_ms_; }
-    uint64_t recvDeadlineMs() const { return recv_deadline_ms_; }
+    void sendFrame(const std::vector<uint8_t> &body) override;
 
-    /** Send one length-prefixed frame. Throws TransportError. */
-    void sendFrame(const std::vector<uint8_t> &body) const;
+    bool recvFrame(std::vector<uint8_t> &body) override;
 
-    /**
-     * Receive one frame. Throws TransportError on timeout, mid-frame
-     * close, or an oversized length prefix.
-     * @return false on orderly peer shutdown before a frame started.
-     */
-    bool recvFrame(std::vector<uint8_t> &body) const;
-
-    void close();
+    void close() override;
 
   private:
     int fd_ = -1;

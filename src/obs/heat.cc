@@ -100,8 +100,10 @@ HeatSketch::decayLocked(Stripe &stripe, uint64_t now_us) const
 
 bool
 HeatSketch::feed(std::string_view function, std::string_view key_type,
-                 HeatKind kind, uint64_t now_us)
+                 HeatKind kind, uint64_t now_us, uint64_t count)
 {
+    if (count == 0)
+        return false;
     uint64_t slot = slotHash(function, key_type);
     Stripe &stripe = stripes_[mix(slot + 0x9e3779b97f4a7c15ULL) %
                               stripes_.size()];
@@ -151,16 +153,16 @@ HeatSketch::feed(std::string_view function, std::string_view key_type,
         entry->label[n] = '\0';
     }
 
-    entry->heat += 1.0;
+    entry->heat += static_cast<double>(count);
     switch (kind) {
       case HeatKind::Hit:
-        ++entry->hits;
+        entry->hits += count;
         break;
       case HeatKind::Miss:
-        ++entry->misses;
+        entry->misses += count;
         break;
       case HeatKind::Put:
-        ++entry->puts;
+        entry->puts += count;
         break;
     }
 

@@ -101,8 +101,10 @@ class HeatSketch
     HeatSketch &operator=(const HeatSketch &) = delete;
 
     /**
-     * Account one hot-path event against (function, key_type).
-     * Never blocks: drops the sample if the stripe is contended.
+     * Account `count` hot-path events against (function, key_type) —
+     * batched callers fold a whole mget's hits into one stripe-lock
+     * acquisition. Never blocks: drops the sample if the stripe is
+     * contended.
      * @return true exactly when this sample pushed the slot's decayed
      *         heat across config().hot_threshold (edge-triggered; the
      *         latch re-arms when the slot decays below half the
@@ -110,7 +112,7 @@ class HeatSketch
      *         decision event.
      */
     bool feed(std::string_view function, std::string_view key_type,
-              HeatKind kind, uint64_t now_us);
+              HeatKind kind, uint64_t now_us, uint64_t count = 1);
 
     /** The `k` hottest tracked slots, hottest first, decayed to
      * `now_us`. Takes every stripe lock; not for the hot path. */

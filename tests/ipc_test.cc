@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <filesystem>
+#include <random>
 #include <thread>
 
 #include "ipc/client.h"
@@ -19,7 +21,9 @@
 #include "ipc/message.h"
 #include "ipc/retry.h"
 #include "ipc/server.h"
+#include "ipc/shm_ring.h"
 #include "ipc/transport.h"
+#include "util/clock.h"
 
 namespace potluck {
 namespace {
@@ -839,6 +843,91 @@ TEST(FaultInjectionTest, DelaysSlowButDoNotBreakRequests)
     }
 }
 
+TEST(FaultInjectionTest, RefusedShmHandshakeFallsBackToUds)
+{
+    // A mid-fleet rollout hazard: the daemon accepts the connection
+    // but nacks the ring. The client must carry on over the same
+    // socket with zero application-visible failures.
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("shmrefuse");
+    PotluckServer server(service, path);
+
+    FaultInjector::Config fic;
+    fic.refuse_shm = 1.0;
+    InjectorScope scope(fic);
+
+    RetryPolicy policy;
+    policy.degraded_mode = false;
+    TransportOptions topts;
+    topts.try_shm = true;
+    PotluckClient client("shmrefuse_app", path, policy, {}, topts);
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    client.put("f", "vec", FeatureVector({1.0f}), encodeInt(1));
+    EXPECT_TRUE(client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+    EXPECT_GE(scope->counts().shm_refused, 1u);
+    EXPECT_GE(service.metrics().snapshot().counterValue(
+                  "ipc.shm_refused"),
+              1u);
+}
+
+TEST(FaultInjectionTest, PoisonedRingReconnectsAndRecovers)
+{
+    // Ring corruption mid-stream: both sides abandon the segment, the
+    // client's retry loop reconnects (renegotiating a fresh ring once
+    // the fault clears) — PR 2's reconnect semantics, on shm.
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("poison");
+    PotluckServer server(service, path);
+
+    RetryPolicy policy = fastPolicy();
+    TransportOptions topts;
+    topts.try_shm = true;
+    PotluckClient client("poison_app", path, policy, {}, topts);
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    client.put("f", "vec", FeatureVector({1.0f}), encodeInt(9));
+    ASSERT_TRUE(client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+    {
+        FaultInjector::Config fic;
+        fic.poison_ring = 1.0;
+        InjectorScope scope(fic);
+        // Every ring op poisons: lookups degrade to misses, never
+        // exceptions or hangs.
+        EXPECT_FALSE(
+            client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+        EXPECT_GE(scope->counts().rings_poisoned, 1u);
+    }
+    // Fault gone: the client recovers on a fresh ring.
+    bool recovered = false;
+    for (int i = 0; i < 500 && !recovered; ++i) {
+        client.put("f", "vec", FeatureVector({1.0f}), encodeInt(9));
+        recovered =
+            client.lookup("f", "vec", FeatureVector({1.0f})).hit;
+        if (!recovered)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(recovered);
+}
+
+TEST(FaultInjectionTest, InstallFromEnvParsesSpec)
+{
+    ASSERT_EQ(::setenv("POTLUCK_IPC_FAULTS_TEST",
+                       "refuse_shm=1.0,seed=42", 1),
+              0);
+    FaultInjector::installFromEnv("POTLUCK_IPC_FAULTS_TEST");
+    FaultInjector *active = FaultInjector::active();
+    ASSERT_NE(active, nullptr);
+    EXPECT_TRUE(active->shouldRefuseShm());
+    EXPECT_GE(active->counts().shm_refused, 1u);
+    FaultInjector::install(nullptr);
+    ::unsetenv("POTLUCK_IPC_FAULTS_TEST");
+}
+
 #endif // POTLUCK_FAULT_INJECTION
 
 TEST(LocalClient, InProcessModeWorksWithoutSockets)
@@ -1034,6 +1123,483 @@ TEST(EndToEnd, DegradedBatchLookupIsAllMisses)
         "f", "vec", {{FeatureVector({1.0f}), encodeInt(1)}});
     ASSERT_EQ(ids.size(), 1u);
     EXPECT_EQ(ids[0], 0u);
+}
+
+// ---------- Hostile frames (decoder hardening) ----------
+
+/** Byte-level frame forgery: writes the wire format by hand so tests
+ * can claim lengths and counts the encoder would never produce. */
+class FrameForge
+{
+  public:
+    FrameForge &u8(uint8_t v)
+    {
+        bytes.push_back(v);
+        return *this;
+    }
+    FrameForge &u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back(static_cast<uint8_t>(v >> (8 * i)));
+        return *this;
+    }
+    FrameForge &str(const std::string &s)
+    {
+        u64(s.size());
+        bytes.insert(bytes.end(), s.begin(), s.end());
+        return *this;
+    }
+    std::vector<uint8_t> bytes;
+};
+
+TEST(MessageHardening, HugeStringLengthIsRejected)
+{
+    // A string length promising 2^64-1 bytes in a 9-byte frame must
+    // throw (and never attempt the allocation).
+    FrameForge f;
+    f.u8(static_cast<uint8_t>(RequestType::Lookup))
+        .u64(0xffffffffffffffffull); // app length
+    EXPECT_THROW(decodeRequest(f.bytes), FatalError);
+}
+
+TEST(MessageHardening, HugeFloatCountIsRejected)
+{
+    // A float count whose byte size overflows size_t (2^61 floats)
+    // must be caught by the pre-allocation bound, not by a wrapped
+    // multiplication.
+    FrameForge f;
+    f.u8(static_cast<uint8_t>(RequestType::Lookup))
+        .str("")                      // app
+        .str("")                      // function
+        .str("")                      // key_type
+        .u8(0)                        // metric
+        .u8(0)                        // index kind
+        .u64(1ull << 61);             // key float count
+    EXPECT_THROW(decodeRequest(f.bytes), FatalError);
+}
+
+TEST(MessageHardening, TruncatedFloatArrayIsRejected)
+{
+    Request request;
+    request.type = RequestType::Lookup;
+    request.key = FeatureVector({1.0f, 2.0f, 3.0f, 4.0f, 5.0f});
+    std::vector<uint8_t> frame = encodeRequest(request);
+    // Cut into the float payload (the tail fields behind it are all
+    // fixed-size, so any 3-byte cut lands inside *some* field).
+    frame.resize(frame.size() - 3);
+    EXPECT_THROW(decodeRequest(frame), FatalError);
+}
+
+TEST(MessageHardening, HugeUploadedCountIsRejected)
+{
+    // An uploaded-records count of 2^32 with no bytes behind it: the
+    // reserve must be clamped to what the frame could possibly hold
+    // and the first record read must then fail on truncation.
+    FrameForge f;
+    f.u8(static_cast<uint8_t>(RequestType::Lookup))
+        .str("")
+        .str("")
+        .str("")
+        .u8(0)                        // metric
+        .u8(0)                        // index kind
+        .u64(0)                       // key floats
+        .u8(0)                        // value absent
+        .u8(0)                        // ttl absent
+        .u8(0)                        // overhead absent
+        .u64(0)                       // trace id
+        .u64(0)                       // span id
+        .u64(1ull << 32);             // uploaded record count
+    EXPECT_THROW(decodeRequest(f.bytes), FatalError);
+}
+
+TEST(MessageHardening, HugeBatchCountIsRejected)
+{
+    FrameForge f;
+    f.u8(static_cast<uint8_t>(RequestType::LookupBatch))
+        .str("")
+        .str("")
+        .str("")
+        .u8(0)
+        .u8(0)
+        .u64(0)                       // key floats
+        .u8(0)                        // value absent
+        .u8(0)                        // ttl absent
+        .u8(0)                        // overhead absent
+        .u64(0)                       // trace id
+        .u64(0)                       // span id
+        .u64(0)                       // uploaded records
+        .u64(0x7fffffffffffffffull);  // batch key count
+    EXPECT_THROW(decodeRequest(f.bytes), FatalError);
+}
+
+TEST(MessageHardening, ReplyHugeSnapshotCountIsRejected)
+{
+    // Reply side: a snapshot counter count far beyond the frame's
+    // remaining bytes must fail on truncation, clamped reserve first.
+    FrameForge f;
+    f.u8(static_cast<uint8_t>(RequestType::Metrics))
+        .u8(1)                        // ok
+        .str("")                      // error
+        .u8(0)                        // hit
+        .u8(0)                        // dropped
+        .u8(0)                        // value absent
+        .u64(0);                      // entry id
+    for (int i = 0; i < 13; ++i)
+        f.u64(0); // 11 stats + num_entries + total_bytes
+    f.u64(1ull << 40); // snapshot counter count
+    EXPECT_THROW(decodeReply(f.bytes), FatalError);
+}
+
+TEST(MessageHardening, DecoderSurvivesRandomMutations)
+{
+    // Property check: no single-byte corruption of a real frame may
+    // crash or hang the decoder — every outcome is either a clean
+    // decode or FatalError.
+    Request request;
+    request.type = RequestType::PutBatch;
+    request.app = "app";
+    request.function = "f";
+    request.key_type = "vec";
+    request.batch_puts.push_back({FeatureVector({1.0f, 2.0f}),
+                                  encodeString("value")});
+    std::vector<uint8_t> frame = encodeRequest(request);
+    std::mt19937 rng(1234);
+    for (int i = 0; i < 500; ++i) {
+        std::vector<uint8_t> mutated = frame;
+        size_t pos = rng() % mutated.size();
+        mutated[pos] ^= static_cast<uint8_t>(1 + rng() % 255);
+        try {
+            decodeRequest(mutated);
+        } catch (const FatalError &) {
+            // rejected: fine
+        }
+    }
+}
+
+// ---------- Slow-loris (whole-frame deadline) ----------
+
+TEST(Transport, TricklingPeerHitsFrameDeadline)
+{
+    // A peer that promises a 1 MiB frame and then trickles one byte
+    // at a time never triggers the per-recv() timeout — the
+    // whole-frame budget must kill the read anyway.
+    std::string path = tempSocketPath("loris");
+    ListenSocket listener = listenUnix(path);
+    std::atomic<bool> stop{false};
+    std::thread trickler([&listener, &stop]() {
+        FrameSocket conn = listener.accept();
+        const uint8_t header[] = {0x00, 0x00, 0x10, 0x00}; // 1 MiB
+        (void)::send(conn.fd(), header, sizeof(header), MSG_NOSIGNAL);
+        uint8_t byte = 0;
+        while (!stop) {
+            if (::send(conn.fd(), &byte, 1, MSG_NOSIGNAL) <= 0)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    });
+    FrameSocket client = connectUnix(path);
+    client.setDeadlines(/*send_ms=*/0, /*recv_ms=*/100);
+    Stopwatch sw;
+    std::vector<uint8_t> in;
+    try {
+        client.recvFrame(in);
+        FAIL() << "trickled frame should have timed out";
+    } catch (const TransportError &e) {
+        EXPECT_EQ(e.code(), TransportErrc::Timeout);
+    }
+    // Well under the 200 s the trickle would need at one byte per
+    // poll interval: the deadline spans the whole frame.
+    EXPECT_LT(sw.elapsedMs(), 2000u);
+    stop = true;
+    client.close();
+    trickler.join();
+}
+
+// ---------- Shared-memory ring transport ----------
+
+/** A connected socketpair wrapped as two FrameSockets (no listener
+ * needed for transport-level tests). */
+std::pair<FrameSocket, FrameSocket>
+socketPair()
+{
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    return {FrameSocket(fds[0]), FrameSocket(fds[1])};
+}
+
+TEST(ShmRing, NegotiateUpgradesAndEchoes)
+{
+    auto [client_sock, server_sock] = socketPair();
+    std::thread server([sock = std::move(server_sock)]() mutable {
+        std::vector<uint8_t> hello;
+        ASSERT_TRUE(sock.recvFrame(hello));
+        ASSERT_TRUE(shm::isHello(hello));
+        bool upgraded = false;
+        std::unique_ptr<Transport> t = shm::acceptUpgrade(
+            std::move(sock), hello, /*enabled=*/true,
+            /*max_ring_bytes=*/1u << 16, &upgraded);
+        EXPECT_TRUE(upgraded);
+        EXPECT_STREQ(t->kind(), "shm");
+        t->setDeadlines(5000, 5000);
+        FrameView view;
+        while (t->recvFrameView(view)) {
+            std::vector<uint8_t> echo(view.data(),
+                                      view.data() + view.size());
+            t->sendFrame(echo);
+        }
+    });
+
+    std::unique_ptr<Transport> t =
+        shm::negotiate(std::move(client_sock), 1u << 16);
+    EXPECT_STREQ(t->kind(), "shm");
+    t->setDeadlines(5000, 5000);
+
+    // Sizes chosen to hit: empty, tiny, the inline/spill boundary on a
+    // 64 KiB ring (maxInline = 32 KiB - 16), and far beyond it.
+    std::mt19937 rng(7);
+    std::vector<size_t> sizes = {0,     1,     7,     4096,
+                                 32752, 32753, 65536, 300000};
+    for (int round = 0; round < 200; ++round)
+        sizes.push_back(rng() % 50000);
+    std::vector<uint8_t> in;
+    for (size_t size : sizes) {
+        std::vector<uint8_t> out(size);
+        for (size_t i = 0; i < size; ++i)
+            out[i] = static_cast<uint8_t>((i * 131) ^ size);
+        t->sendFrame(out);
+        ASSERT_TRUE(t->recvFrame(in)) << "size " << size;
+        ASSERT_EQ(in, out) << "size " << size;
+    }
+    t->close();
+    server.join();
+}
+
+TEST(ShmRing, RefusedHandshakeFallsBackToSocket)
+{
+    auto [client_sock, server_sock] = socketPair();
+    std::thread server([sock = std::move(server_sock)]() mutable {
+        std::vector<uint8_t> hello;
+        ASSERT_TRUE(sock.recvFrame(hello));
+        bool upgraded = true;
+        std::unique_ptr<Transport> t = shm::acceptUpgrade(
+            std::move(sock), hello, /*enabled=*/false,
+            /*max_ring_bytes=*/1u << 16, &upgraded);
+        EXPECT_FALSE(upgraded);
+        EXPECT_STREQ(t->kind(), "uds");
+        std::vector<uint8_t> frame;
+        while (t->recvFrame(frame))
+            t->sendFrame(frame);
+    });
+
+    // The client asked for shm, the server declined: same connection,
+    // plain socket framing, no reconnect.
+    std::unique_ptr<Transport> t =
+        shm::negotiate(std::move(client_sock), 1u << 16);
+    EXPECT_STREQ(t->kind(), "uds");
+    std::vector<uint8_t> out = {9, 8, 7};
+    t->sendFrame(out);
+    std::vector<uint8_t> in;
+    ASSERT_TRUE(t->recvFrame(in));
+    EXPECT_EQ(in, out);
+    t->close();
+    server.join();
+}
+
+TEST(ShmRing, ClampRequestsToGrantedCapacity)
+{
+    // The server caps the ring at its configured maximum; an outsized
+    // client request is granted the cap, not refused.
+    auto [client_sock, server_sock] = socketPair();
+    std::thread server([sock = std::move(server_sock)]() mutable {
+        std::vector<uint8_t> hello;
+        ASSERT_TRUE(sock.recvFrame(hello));
+        bool upgraded = false;
+        std::unique_ptr<Transport> t = shm::acceptUpgrade(
+            std::move(sock), hello, true, /*max_ring_bytes=*/1u << 14,
+            &upgraded);
+        EXPECT_TRUE(upgraded);
+        FrameView view;
+        t->setDeadlines(5000, 5000);
+        while (t->recvFrameView(view))
+            t->sendFrameDirect(view.size(), [&](uint8_t *dst) {
+                std::memcpy(dst, view.data(), view.size());
+            });
+    });
+    std::unique_ptr<Transport> t =
+        shm::negotiate(std::move(client_sock), 1u << 24);
+    EXPECT_STREQ(t->kind(), "shm");
+    t->setDeadlines(5000, 5000);
+    // A frame larger than the granted 16 KiB ring travels via spill.
+    std::vector<uint8_t> out(100000, 0x5a);
+    t->sendFrame(out);
+    std::vector<uint8_t> in;
+    ASSERT_TRUE(t->recvFrame(in));
+    EXPECT_EQ(in, out);
+    t->close();
+    server.join();
+}
+
+// ---------- Cross-transport conformance (UDS vs shm) ----------
+
+/** Every client verb, end to end, on both transports. The parameter
+ * is TransportOptions::try_shm. */
+class TransportConformance : public ::testing::TestWithParam<bool>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        PotluckConfig cfg;
+        cfg.dropout_probability = 0.0;
+        cfg.warmup_entries = 0;
+        // A small ring so conformance traffic also crosses the
+        // wrap/spill paths, not just the inline fast path.
+        cfg.ipc_shm_ring_bytes = 1u << 16;
+        service_ = std::make_unique<PotluckService>(cfg);
+        path_ = tempSocketPath("conf");
+        server_ = std::make_unique<PotluckServer>(*service_, path_);
+    }
+
+    PotluckClient
+    makeClient(const std::string &app)
+    {
+        RetryPolicy policy;
+        policy.degraded_mode = false;
+        TransportOptions topts;
+        topts.try_shm = GetParam();
+        topts.shm_ring_bytes = 1u << 16;
+        return PotluckClient(app, path_, policy, {}, topts);
+    }
+
+    std::unique_ptr<PotluckService> service_;
+    std::unique_ptr<PotluckServer> server_;
+    std::string path_;
+};
+
+TEST_P(TransportConformance, AllVerbsRoundTrip)
+{
+    PotluckClient client = makeClient("conf_app");
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+
+    // Single-shot data path.
+    EXPECT_FALSE(client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+    EntryId id = client.put("f", "vec", FeatureVector({1.0f}),
+                            encodeString("small"));
+    EXPECT_GT(id, 0u);
+    LookupResult hit = client.lookup("f", "vec", FeatureVector({1.0f}));
+    ASSERT_TRUE(hit.hit);
+    EXPECT_EQ(decodeString(hit.value), "small");
+
+    // A value larger than the ring rides the spill path intact.
+    std::vector<uint8_t> big(200000);
+    for (size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<uint8_t>(i * 17);
+    client.put("f", "vec", FeatureVector({2.0f}),
+               std::make_shared<const std::vector<uint8_t>>(big));
+    LookupResult big_hit =
+        client.lookup("f", "vec", FeatureVector({2.0f}));
+    ASSERT_TRUE(big_hit.hit);
+    EXPECT_EQ(*big_hit.value, big);
+
+    // Batch verbs.
+    std::vector<BatchPutItem> items;
+    for (int i = 0; i < 64; ++i)
+        items.push_back({FeatureVector({static_cast<float>(100 + i)}),
+                         encodeInt(i)});
+    std::vector<EntryId> ids = client.putBatch("f", "vec", items);
+    ASSERT_EQ(ids.size(), 64u);
+    std::vector<FeatureVector> keys;
+    for (int i = 0; i < 64; ++i)
+        keys.push_back(FeatureVector({static_cast<float>(100 + i)}));
+    std::vector<BatchLookupItem> results =
+        client.lookupBatch("f", "vec", keys);
+    ASSERT_EQ(results.size(), 64u);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_TRUE(results[i].hit) << "key " << i;
+        EXPECT_EQ(decodeInt(results[i].value), i);
+    }
+
+    // Control verbs.
+    PotluckClient::RemoteStats stats = client.fetchStats();
+    EXPECT_GE(stats.stats.puts, 66u);
+    PotluckClient::RemoteMetrics metrics = client.fetchMetrics();
+    EXPECT_GE(metrics.num_entries, 66u);
+    EXPECT_GE(metrics.snapshot.counterValue("ipc.requests"), 5u);
+    (void)client.fetchPeers();
+    std::vector<NodeStatsSection> sections = client.fetchClusterStats();
+    ASSERT_GE(sections.size(), 1u);
+    EXPECT_EQ(client.triggerScrub(), 0u); // no cold tier configured
+    (void)client.fetchTrace();
+
+    // The server counted the transport this connection actually used.
+    obs::RegistrySnapshot snap = service_->metrics().snapshot();
+    if (GetParam())
+        EXPECT_GE(snap.counterValue("ipc.shm_connections"), 1u);
+    else
+        EXPECT_EQ(snap.counterValue("ipc.shm_connections"), 0u);
+}
+
+TEST_P(TransportConformance, SurvivesServerRestart)
+{
+    // PR 2's reconnect/replay semantics hold on both transports: the
+    // shm client renegotiates its ring on the fresh connection.
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    policy.initial_backoff_ms = 1;
+    policy.max_backoff_ms = 4;
+    policy.request_deadline_ms = 500;
+    policy.breaker_failure_threshold = 2;
+    policy.breaker_open_ms = 30;
+    TransportOptions topts;
+    topts.try_shm = GetParam();
+    PotluckClient client("restart_app", path_, policy, {}, topts);
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    client.put("f", "vec", FeatureVector({1.0f}), encodeInt(11));
+    ASSERT_TRUE(client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+
+    server_.reset();
+    EXPECT_FALSE(client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+
+    server_ = std::make_unique<PotluckServer>(*service_, path_);
+    bool recovered = false;
+    for (int i = 0; i < 500 && !recovered; ++i) {
+        recovered = client.lookup("f", "vec", FeatureVector({1.0f})).hit;
+        if (!recovered)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(recovered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, TransportConformance,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "shm" : "uds";
+                         });
+
+TEST(ShmServerClient, ServerKillSwitchFallsBackToUds)
+{
+    // --no-shm daemon: clients asking for the ring get nacked and the
+    // connection serves normally over the socket.
+    PotluckConfig cfg;
+    cfg.dropout_probability = 0.0;
+    cfg.warmup_entries = 0;
+    cfg.ipc_enable_shm = false;
+    PotluckService service(cfg);
+    std::string path = tempSocketPath("noshm");
+    PotluckServer server(service, path);
+
+    RetryPolicy policy;
+    policy.degraded_mode = false;
+    TransportOptions topts;
+    topts.try_shm = true;
+    PotluckClient client("noshm_app", path, policy, {}, topts);
+    client.registerFunction("f", "vec", Metric::L2, IndexKind::Linear);
+    client.put("f", "vec", FeatureVector({1.0f}), encodeInt(1));
+    EXPECT_TRUE(client.lookup("f", "vec", FeatureVector({1.0f})).hit);
+
+    obs::RegistrySnapshot snap = service.metrics().snapshot();
+    EXPECT_GE(snap.counterValue("ipc.shm_refused"), 1u);
+    EXPECT_EQ(snap.counterValue("ipc.shm_connections"), 0u);
 }
 
 } // namespace

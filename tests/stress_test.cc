@@ -7,11 +7,17 @@
  * exact counts — interleavings vary — and are the workload the
  * ThreadSanitizer stage of scripts/check.sh runs to prove the shard
  * locking, the kd-tree lazy rebuild and the LSH lazy projections are
- * race-free.
+ * race-free — and that the shm ring transport's SPSC protocol
+ * (free-running head/tail counters, futex doorbells, wrap/rewind
+ * markers, spill over the side socket) is race-free with the
+ * producer and consumer of each ring on different threads.
  */
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,6 +25,8 @@
 
 #include "cluster/coordinator.h"
 #include "core/potluck_service.h"
+#include "ipc/shm_ring.h"
+#include "ipc/transport.h"
 #include "util/rng.h"
 
 namespace potluck {
@@ -301,6 +309,139 @@ TEST(Stress, FederatedMeshUnderConcurrentTraffic)
     // Coordinators must go before the services their links point at.
     coordinators.clear();
     services.clear();
+}
+
+// ---------- Shared-memory SPSC rings (DESIGN.md §14) ----------
+
+/**
+ * Burst-echo stress over a negotiated shm ring pair: the client
+ * thread produces into the c2s ring while the server thread consumes
+ * it and concurrently produces echoes into the s2c ring the client
+ * consumes — so both rings have their producer and consumer live on
+ * different threads at once, which is the whole SPSC race surface
+ * (head/tail acquire-release pairing, doorbell sequence bumps, the
+ * waiting-flag wake elision, wrap and rewind markers). Burst shapes
+ * are chosen to keep crossing the interesting boundaries: many tiny
+ * frames (doorbell churn, rewind-when-empty), frames straddling the
+ * inline/spill threshold (maxInline = ring/2 - 16), and outsized
+ * spill frames that ride the side socket.
+ */
+void
+runRingBurstEcho(uint32_t ring_bytes, int rounds, uint64_t seed)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    FrameSocket client_sock(fds[0]);
+
+    std::atomic<int> server_errors{0};
+    std::thread server([fd = fds[1], &server_errors]() {
+        try {
+            FrameSocket sock(fd);
+            std::vector<uint8_t> hello;
+            if (!sock.recvFrame(hello) || !shm::isHello(hello)) {
+                ++server_errors;
+                return;
+            }
+            bool upgraded = false;
+            std::unique_ptr<Transport> t = shm::acceptUpgrade(
+                std::move(sock), hello, /*enabled=*/true,
+                /*max_ring_bytes=*/1u << 26, &upgraded);
+            if (!upgraded) {
+                ++server_errors;
+                return;
+            }
+            t->setDeadlines(10000, 10000);
+            FrameView view;
+            while (t->recvFrameView(view))
+                t->sendFrameDirect(view.size(), [&](uint8_t *dst) {
+                    std::memcpy(dst, view.data(), view.size());
+                });
+        } catch (...) {
+            ++server_errors;
+        }
+    });
+
+    std::unique_ptr<Transport> t =
+        shm::negotiate(std::move(client_sock), ring_bytes);
+    std::string client_error;
+    // The client loop runs under try/catch and the join is
+    // unconditional: an assertion or a transport exception here must
+    // not destroy a joinable server thread (std::terminate).
+    try {
+        if (std::string(t->kind()) != "shm")
+            throw std::runtime_error("upgrade not granted");
+        t->setDeadlines(10000, 10000);
+        Rng rng(seed);
+        uint64_t seq = 0;
+        std::vector<std::vector<uint8_t>> burst;
+        std::vector<uint8_t> in;
+        for (int round = 0; round < rounds; ++round) {
+            burst.clear();
+            int shape = rng.uniformInt(0, 9);
+            if (shape < 6) {
+                // Tiny-frame burst. Total record bytes — even
+                // doubled by worst-case wrap waste — stay below the
+                // 4 KiB minimum ring, so the echoes of a whole burst
+                // fit in the s2c ring before we consume any: the
+                // server can never block sending an echo while we
+                // are still blocked producing (duplex deadlock).
+                int n = rng.uniformInt(1, 4);
+                for (int i = 0; i < n; ++i)
+                    burst.emplace_back(static_cast<size_t>(
+                        rng.uniformInt(0, 400)));
+            } else if (shape < 9) {
+                // One frame straddling the inline/spill boundary.
+                int64_t lo = static_cast<int64_t>(ring_bytes) / 2 - 64;
+                burst.emplace_back(static_cast<size_t>(
+                    lo + rng.uniformInt(0, 96)));
+            } else {
+                // One spill frame, larger than the whole ring.
+                burst.emplace_back(static_cast<size_t>(
+                    ring_bytes + rng.uniformInt(0, ring_bytes)));
+            }
+            for (auto &frame : burst) {
+                ++seq;
+                for (size_t j = 0; j < frame.size(); ++j)
+                    frame[j] = static_cast<uint8_t>(
+                        (seq * 131 + j) ^ frame.size());
+                t->sendFrame(frame);
+            }
+            for (auto &frame : burst) {
+                if (!t->recvFrame(in))
+                    throw std::runtime_error(
+                        "echo connection closed early");
+                if (in != frame) {
+                    size_t d = 0;
+                    while (d < std::min(in.size(), frame.size()) &&
+                           in[d] == frame[d])
+                        ++d;
+                    throw std::runtime_error(
+                        "echo mismatch, round " +
+                        std::to_string(round) + ", sent " +
+                        std::to_string(frame.size()) + "B got " +
+                        std::to_string(in.size()) +
+                        "B, first diff at " + std::to_string(d));
+                }
+            }
+        }
+    } catch (const std::exception &e) {
+        client_error = e.what();
+    }
+    t->close();
+    server.join();
+    EXPECT_EQ(client_error, "");
+    EXPECT_EQ(server_errors.load(), 0);
+}
+
+TEST(Stress, ShmRingBurstEchoMinimumRing)
+{
+    // 4 KiB ring: wraps and futex parks on almost every burst.
+    runRingBurstEcho(shm::kMinRingBytes, 300, 11);
+}
+
+TEST(Stress, ShmRingBurstEchoDefaultSizedRing)
+{
+    runRingBurstEcho(1u << 16, 200, 23);
 }
 
 } // namespace

@@ -3,7 +3,7 @@
  * potluck_cli: poke a running potluckd from the shell.
  *
  * Usage:
- *   potluck_cli [--socket PATH] [--timeout-ms N]
+ *   potluck_cli [--socket PATH] [--timeout-ms N] [--shm]
  *               register FUNCTION KEYTYPE [metric] [index]
  *   potluck_cli [...] put FUNCTION KEYTYPE K1,K2,... VALUE
  *   potluck_cli [...] get FUNCTION KEYTYPE K1,K2,...
@@ -16,6 +16,11 @@
  *   potluck_cli [...] trace [--json]
  *   potluck_cli [...] peers [--json]
  *   potluck_cli [...] scrub [--json]
+ *
+ * --shm asks the daemon for the shared-memory ring transport
+ * (DESIGN.md §14) instead of plain Unix-socket frames; if the daemon
+ * refuses (started with --no-shm, or too old to understand the hello)
+ * the CLI silently stays on the socket, so the flag is always safe.
  *
  * `scrub` triggers a full cold-tier integrity pass over the kScrub
  * verb — every cold frame is CRC-verified NOW, ignoring the daemon's
@@ -97,7 +102,8 @@ namespace {
 usage()
 {
     std::cerr << "usage:\n"
-                 "  potluck_cli [--socket PATH] [--timeout-ms N] register "
+                 "  potluck_cli [--socket PATH] [--timeout-ms N] [--shm] "
+                 "register "
                  "FN KEYTYPE [l2|l1|cosine|hamming] "
                  "[kdtree|lsh|linear|hash|tree]\n"
                  "  potluck_cli [...] put FN KEYTYPE K1,K2,.. VALUE\n"
@@ -834,14 +840,24 @@ main(int argc, char **argv)
 {
     std::string socket_path = "/tmp/potluck.sock";
     uint64_t timeout_ms = 1000;
+    TransportOptions transport;
     std::vector<std::string> args(argv + 1, argv + argc);
-    while (args.size() >= 2 &&
-           (args[0] == "--socket" || args[0] == "--timeout-ms")) {
-        if (args[0] == "--socket")
-            socket_path = args[1];
-        else
-            timeout_ms = std::stoull(args[1]);
-        args.erase(args.begin(), args.begin() + 2);
+    while (!args.empty()) {
+        if (args[0] == "--shm") {
+            transport.try_shm = true;
+            args.erase(args.begin());
+            continue;
+        }
+        if (args.size() >= 2 &&
+            (args[0] == "--socket" || args[0] == "--timeout-ms")) {
+            if (args[0] == "--socket")
+                socket_path = args[1];
+            else
+                timeout_ms = std::stoull(args[1]);
+            args.erase(args.begin(), args.begin() + 2);
+            continue;
+        }
+        break;
     }
     if (args.empty())
         usage();
@@ -862,7 +878,7 @@ main(int argc, char **argv)
 
     try {
         PotluckClient client("potluck_cli", socket_path, policy,
-                             trace_config);
+                             trace_config, transport);
         const std::string &cmd = args[0];
         if (cmd == "register" && args.size() >= 3) {
             Metric metric =

@@ -17,6 +17,16 @@
  *            [--peers SOCK,SOCK,...] [--replicas N] [--cluster-tag NAME]
  *            [--store-dir DIR] [--cold-capacity-mb N] [--scrub-rate-mb N]
  *            [--http-port N] [--http-bind ADDR]
+ *            [--no-shm] [--shm-ring-kb N]
+ *
+ * Clients that ask for it are upgraded to the shared-memory ring
+ * transport (DESIGN.md §14): the first frame on a fresh connection may
+ * be a PSHM hello, in which case the daemon maps a memfd-backed ring
+ * pair, passes the fd back over the socket, and the rest of the
+ * conversation runs through shared memory with futex doorbells.
+ * --no-shm refuses every hello (clients silently stay on the Unix
+ * socket); --shm-ring-kb caps the per-connection ring size the daemon
+ * will grant (default 1024 KiB, rounded down to a power of two).
  *
  * With --http-port, the daemon additionally serves an embedded HTTP
  * scrape endpoint (DESIGN.md §13): /metrics (Prometheus text format),
@@ -76,6 +86,7 @@
 #include "core/cache_manager.h"
 #include "core/persistence.h"
 #include "core/potluck_service.h"
+#include "ipc/fault_injection.h"
 #include "ipc/server.h"
 #include "obs/export.h"
 #include "obs/heat.h"
@@ -161,7 +172,8 @@ usage()
            "                [--cluster-tag NAME]\n"
            "                [--store-dir DIR] [--cold-capacity-mb N]\n"
            "                [--scrub-rate-mb N]\n"
-           "                [--http-port N] [--http-bind ADDR]\n";
+           "                [--http-port N] [--http-bind ADDR]\n"
+           "                [--no-shm] [--shm-ring-kb N]\n";
     std::exit(1);
 }
 
@@ -363,6 +375,11 @@ main(int argc, char **argv)
                 usage();
         } else if (arg == "--http-bind") {
             http_bind = next();
+        } else if (arg == "--no-shm") {
+            config.ipc_enable_shm = false;
+        } else if (arg == "--shm-ring-kb") {
+            config.ipc_shm_ring_bytes =
+                static_cast<uint32_t>(std::stoull(next()) * 1024);
         } else {
             usage();
         }
@@ -373,8 +390,10 @@ main(int argc, char **argv)
     try {
 #ifdef POTLUCK_FAULT_INJECTION
         // Chaos harness: POTLUCK_FS_FAULTS="bit_flip=1.0,..." arms the
-        // filesystem fault injector (fault builds only).
+        // filesystem fault injector, POTLUCK_IPC_FAULTS=
+        // "refuse_shm=1.0,..." the transport one (fault builds only).
         FsFaultInjector::installFromEnv();
+        FaultInjector::installFromEnv();
 #endif
         PotluckService service(config);
         if (!snapshot_path.empty()) {
